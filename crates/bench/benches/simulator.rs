@@ -1,0 +1,156 @@
+//! Criterion micro-benchmarks for the simulator substrate: interpreter
+//! throughput per ISA, instruction encode/decode, the cache model, the
+//! FL compiler, and softfloat vs hardware FP cost (a DESIGN.md ablation:
+//! the register-pair marshalling + softfloat call path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fracas::cpu::Machine;
+use fracas::isa::{decode, encode, link, Asm, Cond, Image, Inst, InstKind, IsaKind, Reg};
+use fracas::mem::{Access, CacheParams, MemSystem};
+use std::hint::black_box;
+
+/// A bare-metal countdown loop of `n` iterations (4 instructions per
+/// iteration).
+fn loop_image(isa: IsaKind, n: u16) -> Image {
+    let mut asm = Asm::new(isa);
+    asm.global_fn("_start");
+    asm.movz(Reg(1), n, 0);
+    let done = asm.new_label();
+    let top = asm.here();
+    asm.cmpi(Reg(1), 0);
+    asm.bc(Cond::Eq, done);
+    asm.subi(Reg(1), Reg(1), 1);
+    asm.b(top);
+    asm.bind(done);
+    asm.halt();
+    link(isa, &[asm.into_object()]).expect("link")
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interpreter");
+    for isa in IsaKind::ALL {
+        let image = loop_image(isa, 1000);
+        group.bench_function(format!("loop4k_{isa}"), |b| {
+            b.iter(|| {
+                let mut m = Machine::boot_flat(&image, 1);
+                m.run_to_halt(100_000).expect("halt");
+                black_box(m.core(0).stats().instructions)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let insts: Vec<Inst> = (0..64u8)
+        .map(|i| {
+            Inst::new(InstKind::AluImm {
+                op: fracas::isa::AluOp::Add,
+                rd: Reg(i % 16),
+                rn: Reg((i + 1) % 16),
+                imm: i16::from(i),
+            })
+        })
+        .collect();
+    c.bench_function("encode_decode_64", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for inst in &insts {
+                let w = encode(black_box(inst));
+                acc ^= w;
+                black_box(decode(w).expect("valid"));
+            }
+            acc
+        });
+    });
+}
+
+fn bench_cache_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    group.bench_function("sequential_4k_reads", |b| {
+        let mut mem = MemSystem::new(1, CacheParams::paper());
+        b.iter(|| {
+            let mut cycles = 0u32;
+            for i in 0..4096u32 {
+                cycles += mem.access(0, Access::DataRead, i * 8);
+            }
+            black_box(cycles)
+        });
+    });
+    group.bench_function("coherence_pingpong", |b| {
+        let mut mem = MemSystem::new(2, CacheParams::paper());
+        b.iter(|| {
+            let mut cycles = 0u32;
+            for i in 0..512u32 {
+                cycles += mem.access(0, Access::DataWrite, 0x1000 + (i % 8) * 64);
+                cycles += mem.access(1, Access::DataWrite, 0x1000 + (i % 8) * 64);
+            }
+            black_box(cycles)
+        });
+    });
+    group.finish();
+}
+
+fn bench_compiler(c: &mut Criterion) {
+    // The scenario source references the runtime API, so append the
+    // extern header exactly as the build driver does.
+    let source = format!(
+        "{}\n{}",
+        fracas::npb::Scenario::new(
+            fracas::npb::App::Cg,
+            fracas::npb::Model::Serial,
+            1,
+            IsaKind::Sira64,
+        )
+        .expect("scenario")
+        .source(),
+        fracas::rt::FL_HEADER
+    );
+    let mut group = c.benchmark_group("compiler");
+    for isa in IsaKind::ALL {
+        group.bench_function(format!("compile_cg_{isa}"), |b| {
+            b.iter(|| fracas::lang::compile(black_box(&source), isa).expect("compiles"));
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: the cost of one guest FP multiply-add chain on hardware FP
+/// (SIRA-64) vs the softfloat call path with register-pair marshalling
+/// (SIRA-32). Reported as host time to simulate 200 guest operations;
+/// the guest-cycle gap is printed by the campaign binaries.
+fn bench_float_paths(c: &mut Criterion) {
+    let src = "fn main() -> int {
+        let float acc = 1.0;
+        let int i = 0;
+        for (i = 0; i < 200; i = i + 1) {
+            acc = acc * 1.0009765625 + 0.03125;
+        }
+        if (acc > 0.0) { return 0; }
+        return 1;
+    }";
+    let mut group = c.benchmark_group("float_path");
+    for isa in IsaKind::ALL {
+        let image = fracas::rt::build_image(&[src], isa).expect("build");
+        group.bench_function(format!("fma200_{isa}"), |b| {
+            b.iter(|| {
+                let mut kernel = fracas::kernel::Kernel::boot(
+                    &image,
+                    1,
+                    fracas::kernel::BootSpec::serial(),
+                );
+                let outcome = kernel.run(&fracas::kernel::Limits::default());
+                assert!(outcome.is_clean_exit());
+                black_box(kernel.report().cycles)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_interpreter, bench_encode_decode, bench_cache_model, bench_compiler, bench_float_paths
+}
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Runs (or resumes) the full 130-scenario fault-injection campaign and
+//! writes the shared database every other target reads. Tune with
+//! `FRACAS_FAULTS` / `FRACAS_SEED` / `FRACAS_THREADS` / `FRACAS_DB`.
+
+use fracas::npb::Scenario;
+
+fn main() {
+    let db = fracas_bench::ensure_db(&Scenario::all());
+    println!(
+        "database covers {} campaigns -> {}",
+        fracas_bench::coverage(&db),
+        fracas_bench::db_path().display()
+    );
+}

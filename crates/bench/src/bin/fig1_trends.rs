@@ -1,0 +1,28 @@
+//! Figure 1: evolution of commercial processors 1970–2018 — transistor
+//! count, core count and process node. Prints the three series the
+//! paper's motivational figure plots.
+
+fn main() {
+    println!("Figure 1: processor evolution (embedded historical dataset)");
+    println!(
+        "{:<6} {:<34} {:>15} {:>6} {:>10}",
+        "Year", "Processor", "Transistors", "Cores", "Node (nm)"
+    );
+    for p in fracas::mine::trend_rows() {
+        println!(
+            "{:<6} {:<34} {:>15} {:>6} {:>10.0}",
+            p.year, p.name, p.transistors, p.cores, p.node_nm
+        );
+    }
+    let rows = fracas::mine::trend_rows();
+    let first = rows.first().expect("dataset non-empty");
+    let last = rows.last().expect("dataset non-empty");
+    println!();
+    println!(
+        "transistor growth {:.1e}x, node shrink {:.0}x, cores {}x over {} years",
+        last.transistors as f64 / first.transistors as f64,
+        first.node_nm / last.node_nm,
+        last.cores / first.cores,
+        last.year - first.year
+    );
+}

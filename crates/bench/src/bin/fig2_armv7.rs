@@ -1,0 +1,17 @@
+//! Figures 2a/2b/2c: NPB fault-injection outcome distributions and the
+//! MPI-vs-OMP mismatch on the ARMv7-like processor (SIRA-32).
+
+use fracas::isa::IsaKind;
+use fracas::mine::{mismatch_table, outcome_table};
+use fracas::npb::Model;
+
+fn main() {
+    let isa = IsaKind::Sira32;
+    let db = fracas_bench::ensure_db(&fracas_bench::scenarios_for_isa(isa));
+    println!("Figure 2a: ARMv7-like MPI benchmarks");
+    println!("{}", outcome_table(&db, isa, Model::Mpi));
+    println!("Figure 2b: ARMv7-like OMP benchmarks");
+    println!("{}", outcome_table(&db, isa, Model::Omp));
+    println!("Figure 2c: ARMv7-like MPI-vs-OMP mismatch");
+    println!("{}", mismatch_table(&db, isa));
+}

@@ -1,0 +1,17 @@
+//! Figures 3a/3b/3c: NPB fault-injection outcome distributions and the
+//! MPI-vs-OMP mismatch on the ARMv8-like processor (SIRA-64).
+
+use fracas::isa::IsaKind;
+use fracas::mine::{mismatch_table, outcome_table};
+use fracas::npb::Model;
+
+fn main() {
+    let isa = IsaKind::Sira64;
+    let db = fracas_bench::ensure_db(&fracas_bench::scenarios_for_isa(isa));
+    println!("Figure 3a: ARMv8-like MPI benchmarks");
+    println!("{}", outcome_table(&db, isa, Model::Mpi));
+    println!("Figure 3b: ARMv8-like OMP benchmarks");
+    println!("{}", outcome_table(&db, isa, Model::Omp));
+    println!("Figure 3c: ARMv8-like MPI-vs-OMP mismatch");
+    println!("{}", mismatch_table(&db, isa));
+}

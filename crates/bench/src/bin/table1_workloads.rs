@@ -1,0 +1,72 @@
+//! Table 1: NPB workload summary — single-run simulation time, fault
+//! campaign hours and executed instructions (smaller / average / larger)
+//! per ISA, plus the total campaign hours.
+//!
+//! Runs the golden execution of all 130 scenarios (no injections) and
+//! derives guest time at the 1 GHz model clock. Campaign hours are
+//! projected at the paper's 8,000 injections per scenario.
+
+use fracas::inject::{golden_only, Workload};
+use fracas::isa::IsaKind;
+use fracas::mine::{workload_summary, Database};
+use fracas::npb::Scenario;
+use std::time::Instant;
+
+fn main() {
+    let started = Instant::now();
+    let mut db = Database::new();
+    let scenarios = Scenario::all();
+    eprintln!("golden-running {} scenarios...", scenarios.len());
+    for s in &scenarios {
+        let workload = Workload::from_scenario(s).unwrap_or_else(|e| panic!("{}: {e}", s.id()));
+        db.push(golden_only(&workload, 8000));
+    }
+    eprintln!("golden runs took {:.1}s host time", started.elapsed().as_secs_f64());
+
+    println!("Table 1: NPB workload summary (guest time at 1 GHz, campaign at 8000 faults)");
+    println!(
+        "{:<28} {:>14} {:>14} {:>14}",
+        "", "Smaller", "Average", "Larger"
+    );
+    for isa in [IsaKind::Sira64, IsaKind::Sira32] {
+        let s = workload_summary(&db, isa);
+        let label = match isa {
+            IsaKind::Sira32 => "ARMv7-like (SIRA-32)",
+            IsaKind::Sira64 => "ARMv8-like (SIRA-64)",
+        };
+        println!("-- {label} ({} scenarios)", s.scenarios);
+        println!(
+            "{:<28} {:>14.4} {:>14.4} {:>14.4}",
+            "Single run (s)", s.sim_seconds.0, s.sim_seconds.1, s.sim_seconds.2
+        );
+        println!(
+            "{:<28} {:>14.4} {:>14.4} {:>14.4}",
+            "Fault campaign (h)", s.campaign_hours.0, s.campaign_hours.1, s.campaign_hours.2
+        );
+        println!(
+            "{:<28} {:>14.3e} {:>14.3e} {:>14.3e}",
+            "Executed instructions",
+            s.instructions.0 as f64,
+            s.instructions.1 as f64,
+            s.instructions.2 as f64
+        );
+        println!(
+            "{:<28} {:>14.2}",
+            "Total campaign (h)", s.total_campaign_hours
+        );
+    }
+
+    let v7 = workload_summary(&db, IsaKind::Sira32);
+    let v8 = workload_summary(&db, IsaKind::Sira64);
+    if v8.instructions.1 > 0 {
+        println!();
+        println!(
+            "ARMv7-like / ARMv8-like average instruction ratio: {:.1}x (paper: ~25x from software FP)",
+            v7.instructions.1 as f64 / v8.instructions.1 as f64
+        );
+        println!(
+            "ARMv7-like / ARMv8-like average time ratio: {:.1}x (paper: speedups up to 10x)",
+            v7.sim_seconds.1 / v8.sim_seconds.1
+        );
+    }
+}

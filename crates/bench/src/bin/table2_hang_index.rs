@@ -1,0 +1,34 @@
+//! Table 2: Hang occurrence against the normalized function-calls ×
+//! branches (F*B) index, IS case study across MPI/OMP, both ISAs and
+//! 1/2/4 cores.
+
+use fracas::isa::IsaKind;
+use fracas::mine::hang_index_table;
+use fracas::npb::{App, Model, Scenario};
+
+fn main() {
+    let mut scenarios = Vec::new();
+    for isa in IsaKind::ALL {
+        for model in [Model::Mpi, Model::Omp] {
+            for cores in [1u32, 2, 4] {
+                if let Some(s) = Scenario::new(App::Is, model, cores, isa) {
+                    scenarios.push(s);
+                }
+            }
+        }
+    }
+    let db = fracas_bench::ensure_db(&scenarios);
+    println!("Table 2: IS Hang %% vs normalized F*B index");
+    println!(
+        "{:<10} {:>6} {:>9} {:>14} {:>14} {:>10}",
+        "Scenario", "Cores", "Hang (%)", "Branches", "F. Calls", "Index F*B"
+    );
+    for row in hang_index_table(&db, App::Is) {
+        println!(
+            "{:<10} {:>6} {:>9.3} {:>14} {:>14} {:>10.3}",
+            row.group, row.cores, row.hang_pct, row.branches, row.calls, row.index_fb
+        );
+    }
+    println!();
+    println!("paper's claim: the F*B index and the Hang share rise together with core count.");
+}

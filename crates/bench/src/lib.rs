@@ -1,0 +1,140 @@
+//! # fracas-bench — shared harness plumbing for the table/figure binaries
+//!
+//! Every `src/bin/*` target regenerates one of the paper's tables or
+//! figures. They share a campaign database so the expensive injection
+//! work runs once:
+//!
+//! * `FRACAS_DB` (default `fracas_campaigns.jsonl`) — the JSON-lines
+//!   database file. [`ensure_db`] loads it, runs campaigns only for
+//!   scenarios not yet covered, and saves it back.
+//! * `FRACAS_FAULTS` — injections per scenario (default 60; the paper
+//!   used 8,000 on a 5,000-core cluster).
+//! * `FRACAS_SEED`, `FRACAS_THREADS` — see
+//!   [`fracas::inject::CampaignConfig::from_env`].
+
+use fracas::inject::{CampaignConfig, CampaignResult};
+use fracas::mine::{parse_id, Database};
+use fracas::npb::Scenario;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// The database path from `FRACAS_DB` (default `fracas_campaigns.jsonl`
+/// in the working directory).
+pub fn db_path() -> PathBuf {
+    std::env::var_os("FRACAS_DB")
+        .map_or_else(|| PathBuf::from("fracas_campaigns.jsonl"), PathBuf::from)
+}
+
+/// The campaign configuration from the environment, with the harness
+/// default of 60 injections per scenario.
+pub fn config() -> CampaignConfig {
+    let mut config = CampaignConfig::from_env();
+    if std::env::var_os("FRACAS_FAULTS").is_none() {
+        config.faults = 60;
+    }
+    config
+}
+
+/// Loads the shared database, runs campaigns for any of `scenarios` not
+/// yet present (printing progress), appends them and saves the file.
+///
+/// # Panics
+///
+/// Panics if a bundled scenario fails to build or the database file is
+/// unreadable/corrupt — both indicate a broken installation rather than
+/// user input.
+pub fn ensure_db(scenarios: &[Scenario]) -> Database {
+    let path = db_path();
+    let mut db = match std::fs::read_to_string(&path) {
+        Ok(text) => Database::from_json_lines(&text)
+            .unwrap_or_else(|e| panic!("corrupt database {}: {e}", path.display())),
+        Err(_) => Database::new(),
+    };
+    let config = config();
+    let missing: Vec<&Scenario> = scenarios
+        .iter()
+        .filter(|s| {
+            db.get(fracas::mine::Key {
+                app: s.app,
+                model: s.model,
+                cores: s.cores,
+                isa: s.isa,
+            })
+            .is_none()
+        })
+        .collect();
+    if missing.is_empty() {
+        return db;
+    }
+    eprintln!(
+        "running {} campaign(s) at {} faults each (cached: {})",
+        missing.len(),
+        config.faults,
+        db.len()
+    );
+    let start = Instant::now();
+    for (i, scenario) in missing.iter().enumerate() {
+        let t = Instant::now();
+        let result = fracas::run_scenario_campaign(scenario, &config)
+            .unwrap_or_else(|e| panic!("{}: {e}", scenario.id()));
+        eprintln!(
+            "  [{}/{}] {} in {:.1}s  (V {:.0}% O {:.0}% M {:.0}% U {:.0}% H {:.0}%)",
+            i + 1,
+            missing.len(),
+            result.id,
+            t.elapsed().as_secs_f64(),
+            result.tally.pct(fracas::inject::Outcome::Vanished),
+            result.tally.pct(fracas::inject::Outcome::Ona),
+            result.tally.pct(fracas::inject::Outcome::Omm),
+            result.tally.pct(fracas::inject::Outcome::Ut),
+            result.tally.pct(fracas::inject::Outcome::Hang),
+        );
+        db.push(result);
+        // Save incrementally so an interrupted run resumes.
+        let _ = std::fs::write(&path, db.to_json_lines());
+    }
+    eprintln!("campaigns done in {:.1}s -> {}", start.elapsed().as_secs_f64(), path.display());
+    db
+}
+
+/// All scenarios of one ISA.
+pub fn scenarios_for_isa(isa: fracas::isa::IsaKind) -> Vec<Scenario> {
+    Scenario::all().into_iter().filter(|s| s.isa == isa).collect()
+}
+
+/// The subset of campaigns in `db` whose ids parse (all of them, in a
+/// correct database).
+pub fn coverage(db: &Database) -> usize {
+    db.iter().filter(|c| parse_id(&c.id).is_some()).count()
+}
+
+/// Convenience: a result's five percentages in display order.
+pub fn pct_row(result: &CampaignResult) -> [f64; 5] {
+    use fracas::inject::Outcome;
+    [
+        result.tally.pct(Outcome::Vanished),
+        result.tally.pct(Outcome::Ona),
+        result.tally.pct(Outcome::Omm),
+        result.tally.pct(Outcome::Ut),
+        result.tally.pct(Outcome::Hang),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_has_harness_fault_count() {
+        if std::env::var_os("FRACAS_FAULTS").is_none() {
+            assert_eq!(config().faults, 60);
+        }
+    }
+
+    #[test]
+    fn db_path_defaults() {
+        if std::env::var_os("FRACAS_DB").is_none() {
+            assert_eq!(db_path(), PathBuf::from("fracas_campaigns.jsonl"));
+        }
+    }
+}

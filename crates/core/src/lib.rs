@@ -1,0 +1,156 @@
+//! # FRACAS — Fault injection and Reliability Analysis for Cores And Software
+//!
+//! A from-scratch Rust reproduction of *"Extensive Evaluation of
+//! Programming Models and ISAs Impact on Multicore Soft Error
+//! Reliability"* (DAC 2018): a full-system simulation stack — two
+//! ARM-like ISAs, a cycle-counted multicore interpreter with caches, a
+//! miniature OS, a compiler with softfloat lowering, OpenMP/MPI-like
+//! guest runtimes and the NPB-T benchmarks — plus the fault-injection
+//! campaign machinery and the cross-layer data-mining engine that
+//! regenerate every table and figure of the paper.
+//!
+//! This facade re-exports the subsystem crates under short module names
+//! and offers the high-level campaign drivers used by the benchmark
+//! harness.
+//!
+//! ## Layer map
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`isa`] | `fracas-isa` | SIRA-32/SIRA-64 instruction sets, assembler, linker |
+//! | [`mem`] | `fracas-mem` | physical memory, page permissions, cache hierarchy |
+//! | [`cpu`] | `fracas-cpu` | deterministic multicore interpreter + timing |
+//! | [`kernel`] | `fracas-kernel` | processes, threads, scheduler, syscalls |
+//! | [`lang`] | `fracas-lang` | the FL compiler (both backends) |
+//! | [`rt`] | `fracas-rt` | crt0, softfloat, OMP and MPI guest runtimes |
+//! | [`npb`] | `fracas-npb` | the 29 NPB-T programs / 130 scenarios |
+//! | [`inject`] | `fracas-inject` | fault model, campaigns, classification |
+//! | [`mine`] | `fracas-mine` | statistics and table/figure mining |
+//!
+//! ## Quickstart
+//!
+//! Run a small fault-injection campaign on one scenario:
+//!
+//! ```no_run
+//! use fracas::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let scenario = Scenario::new(App::Is, Model::Omp, 2, IsaKind::Sira64)
+//!     .expect("scenario exists");
+//! let result = run_scenario_campaign(
+//!     &scenario,
+//!     &CampaignConfig { faults: 200, ..CampaignConfig::default() },
+//! )?;
+//! for class in Outcome::ALL {
+//!     println!("{class:>8}: {:5.1} %", result.tally.pct(class));
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+pub use fracas_cpu as cpu;
+pub use fracas_inject as inject;
+pub use fracas_isa as isa;
+pub use fracas_kernel as kernel;
+pub use fracas_lang as lang;
+pub use fracas_mem as mem;
+pub use fracas_mine as mine;
+pub use fracas_npb as npb;
+pub use fracas_rt as rt;
+
+use fracas_inject::{run_campaign, CampaignConfig, CampaignResult, Workload};
+use fracas_mine::Database;
+use fracas_npb::Scenario;
+use fracas_rt::BuildError;
+
+/// The most commonly used types, for glob import.
+pub mod prelude {
+    pub use crate::{campaign_suite, run_scenario_campaign};
+    pub use fracas_inject::{
+        golden_run, run_campaign, CampaignConfig, CampaignResult, Fault, FaultSpace,
+        FaultTarget, Outcome, Tally, Workload,
+    };
+    pub use fracas_isa::IsaKind;
+    pub use fracas_kernel::{BootSpec, Kernel, Limits, RunOutcome};
+    pub use fracas_mine::{Database, Key};
+    pub use fracas_npb::{App, Model, Scenario};
+}
+
+/// Builds and runs a fault-injection campaign for one NPB scenario.
+///
+/// # Errors
+///
+/// Returns a [`BuildError`] if the scenario's guest program fails to
+/// build (a bundled-program bug, covered by tests).
+pub fn run_scenario_campaign(
+    scenario: &Scenario,
+    config: &CampaignConfig,
+) -> Result<CampaignResult, BuildError> {
+    let workload = Workload::from_scenario(scenario)?;
+    Ok(run_campaign(&workload, config))
+}
+
+/// Runs campaigns over a set of scenarios and merges them into a
+/// [`Database`] (the paper's phase-four single database). `progress` is
+/// called after each scenario with (done, total, &result).
+///
+/// # Errors
+///
+/// Returns the first [`BuildError`] encountered.
+pub fn campaign_suite(
+    scenarios: &[Scenario],
+    config: &CampaignConfig,
+    mut progress: impl FnMut(usize, usize, &CampaignResult),
+) -> Result<Database, BuildError> {
+    let mut db = Database::new();
+    for (i, scenario) in scenarios.iter().enumerate() {
+        let result = run_scenario_campaign(scenario, config)?;
+        progress(i + 1, scenarios.len(), &result);
+        db.push(result);
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn quickstart_campaign_runs() {
+        let scenario = Scenario::new(App::Is, Model::Serial, 1, IsaKind::Sira64).unwrap();
+        let result = crate::run_scenario_campaign(
+            &scenario,
+            &CampaignConfig { faults: 10, threads: 1, ..CampaignConfig::default() },
+        )
+        .unwrap();
+        assert_eq!(result.tally.total(), 10);
+    }
+
+    #[test]
+    fn suite_merges_and_reports_progress() {
+        let scenarios: Vec<Scenario> = [
+            Scenario::new(App::Is, Model::Serial, 1, IsaKind::Sira64),
+            Scenario::new(App::Ep, Model::Serial, 1, IsaKind::Sira64),
+        ]
+        .into_iter()
+        .flatten()
+        .collect();
+        let mut seen = Vec::new();
+        let db = crate::campaign_suite(
+            &scenarios,
+            &CampaignConfig { faults: 5, threads: 1, ..CampaignConfig::default() },
+            |done, total, r| seen.push((done, total, r.id.clone())),
+        )
+        .unwrap();
+        assert_eq!(db.len(), 2);
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0], (1, 2, "is-ser-1-sira64".to_string()));
+        assert!(db.get(Key {
+            app: App::Ep,
+            model: Model::Serial,
+            cores: 1,
+            isa: IsaKind::Sira64
+        })
+        .is_some());
+    }
+}

@@ -1,0 +1,1254 @@
+//! The multicore machine and its interpreter loop.
+
+use crate::{Core, CostModel, Flags, Trap};
+use fracas_isa::{AluOp, FpOp, FReg, Image, Inst, InstKind, IsaKind, Reg, Width};
+use fracas_mem::{Access, AccessKind, CacheParams, MemSystem, PermissionMap, Perms, PhysMem};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Default flat-boot physical memory size (16 MiB).
+const FLAT_MEM_SIZE: u32 = 16 << 20;
+/// Flat-boot data segment base.
+const FLAT_DATA_BASE: u32 = 0x0010_0000;
+
+/// Outcome of executing one instruction on one core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepResult {
+    /// The instruction retired normally (or was conditionally skipped).
+    Executed,
+    /// A supervisor call was executed; the PC already points past it and
+    /// the kernel should service the given number.
+    Svc(u16),
+    /// A synchronous exception; the PC still points at the faulting
+    /// instruction.
+    Trap(Trap),
+    /// The core executed `halt`.
+    Halted,
+}
+
+/// Errors from the bare-metal convenience runner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// A trap occurred with no kernel to absorb it.
+    Trap(Trap),
+    /// A supervisor call occurred with no kernel to service it.
+    UnhandledSvc {
+        /// The service number.
+        num: u16,
+        /// The calling PC.
+        pc: u32,
+    },
+    /// The step budget ran out before `halt`.
+    StepLimit,
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Trap(t) => write!(f, "{t}"),
+            RunError::UnhandledSvc { num, pc } => {
+                write!(f, "unhandled svc #{num} at {pc:#010x} (no kernel attached)")
+            }
+            RunError::StepLimit => write!(f, "step limit reached before halt"),
+        }
+    }
+}
+
+impl Error for RunError {}
+
+#[derive(Debug, Clone)]
+struct FnProfile {
+    /// (start, end, name-index) ranges sorted by start.
+    ranges: Vec<(u32, u32, usize)>,
+    names: Vec<String>,
+    cycles: Vec<u64>,
+    /// Per-core memoised range index (code mostly stays in one function).
+    memo: Vec<usize>,
+}
+
+impl FnProfile {
+    fn attribute(&mut self, core: usize, pc: u32, cycles: u64) {
+        let memo = self.memo[core];
+        if memo < self.ranges.len() {
+            let (s, e, idx) = self.ranges[memo];
+            if pc >= s && pc < e {
+                self.cycles[idx] += cycles;
+                return;
+            }
+        }
+        let pos = self.ranges.partition_point(|&(s, _, _)| s <= pc);
+        if let Some(i) = pos.checked_sub(1) {
+            let (s, e, idx) = self.ranges[i];
+            if pc >= s && pc < e {
+                self.memo[core] = i;
+                self.cycles[idx] += cycles;
+            }
+        }
+    }
+}
+
+/// The simulated multicore machine: cores, physical memory, caches and
+/// the loaded text section.
+///
+/// The kernel model drives it through [`Machine::next_core`] /
+/// [`Machine::step`]; bare-metal programs can use
+/// [`Machine::run_to_halt`].
+#[derive(Debug, Clone)]
+pub struct Machine {
+    isa: IsaKind,
+    cost: CostModel,
+    /// Encoded instruction words (the injectable instruction memory).
+    text_words: Vec<u32>,
+    /// Decode cache over `text_words`; an entry is `None` when an
+    /// instruction-memory fault corrupted the word into something that
+    /// no longer decodes or violates the ISA.
+    text: Vec<Option<Inst>>,
+    text_base: u32,
+    cores: Vec<Core>,
+    /// Physical memory (public: the kernel and the injector manipulate it).
+    pub mem: PhysMem,
+    /// Cache hierarchy (public for statistics readout).
+    pub caches: MemSystem,
+    profile: Option<FnProfile>,
+}
+
+impl Machine {
+    /// Creates a machine loaded with `image`, with all cores halted.
+    ///
+    /// The data template is *not* placed anywhere — that is the loader's
+    /// (kernel's) job, since each process gets its own copy.
+    pub fn new(image: &Image, cores: usize, mem_size: u32, cache: CacheParams) -> Machine {
+        let text_words: Vec<u32> = image.text.iter().map(fracas_isa::encode).collect();
+        Machine {
+            isa: image.isa,
+            cost: CostModel::for_isa(image.isa),
+            text: image.text.iter().map(|i| Some(*i)).collect(),
+            text_words,
+            text_base: image.text_base,
+            cores: (0..cores).map(|_| Core::new(image.isa)).collect(),
+            mem: PhysMem::new(mem_size),
+            caches: MemSystem::new(cores, cache),
+            profile: None,
+        }
+    }
+
+    /// Boots a single-process, bare-metal configuration: the data template
+    /// is copied to a fixed base, GB/SP/PC are initialised on every core
+    /// (stacks staggered), core 0 unhalted. Used by examples and tests
+    /// that don't need the kernel.
+    pub fn boot_flat(image: &Image, cores: usize) -> Machine {
+        let mut m = Machine::new(image, cores, FLAT_MEM_SIZE, CacheParams::paper());
+        m.mem
+            .write_bytes(FLAT_DATA_BASE, &image.data_template)
+            .expect("data template fits flat memory");
+        for i in 0..cores {
+            let sp = FLAT_MEM_SIZE - 64 * 1024 * (i as u32) - 64;
+            let core = &mut m.cores[i];
+            core.set_reg(image.isa.gb(), u64::from(FLAT_DATA_BASE));
+            core.set_reg(image.isa.sp(), u64::from(sp));
+            core.set_pc(image.entry);
+            core.set_halted(i != 0);
+        }
+        m
+    }
+
+    /// The machine's ISA.
+    pub fn isa(&self) -> IsaKind {
+        self.isa
+    }
+
+    /// The timing model in effect.
+    pub fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+
+    /// Replaces the timing model (used by timing-sensitivity ablations).
+    pub fn set_cost_model(&mut self, cost: CostModel) {
+        self.cost = cost;
+    }
+
+    /// Number of cores.
+    pub fn core_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Shared read access to a core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn core(&self, index: usize) -> &Core {
+        &self.cores[index]
+    }
+
+    /// Mutable access to a core (kernel context switching, injection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn core_mut(&mut self, index: usize) -> &mut Core {
+        &mut self.cores[index]
+    }
+
+    /// Base address of the text section.
+    pub fn text_base(&self) -> u32 {
+        self.text_base
+    }
+
+    /// Byte size of the text section.
+    pub fn text_bytes(&self) -> u32 {
+        (self.text.len() as u32) * 4
+    }
+
+    /// The runnable core with the smallest local cycle count (ties break
+    /// toward lower core ids). `None` when every core is halted.
+    pub fn next_core(&self) -> Option<usize> {
+        self.cores
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.is_halted())
+            .min_by_key(|(i, c)| (c.cycles(), *i))
+            .map(|(i, _)| i)
+    }
+
+    /// The maximum local cycle count over all cores (the machine's wall
+    /// clock; used for watchdogs and Table 1's simulation-time figures).
+    pub fn max_cycles(&self) -> u64 {
+        self.cores.iter().map(Core::cycles).max().unwrap_or(0)
+    }
+
+    /// Total retired instructions over all cores.
+    pub fn total_instructions(&self) -> u64 {
+        self.cores.iter().map(|c| c.stats().instructions).sum()
+    }
+
+    /// Enables per-function cycle attribution from the image's symbol
+    /// table (vulnerability-window profiling).
+    pub fn enable_profiling(&mut self, image: &Image) {
+        let mut starts: Vec<(u32, String)> = image
+            .symbols
+            .iter()
+            .filter(|s| s.section == fracas_isa::Section::Text)
+            .map(|s| (s.value, s.name.clone()))
+            .collect();
+        starts.sort();
+        let end = self.text_base + self.text_bytes();
+        let mut names = Vec::with_capacity(starts.len());
+        let mut ranges = Vec::with_capacity(starts.len());
+        for (i, (start, name)) in starts.iter().enumerate() {
+            let stop = starts.get(i + 1).map_or(end, |(s, _)| *s);
+            ranges.push((*start, stop, i));
+            names.push(name.clone());
+        }
+        let cycles = vec![0; names.len()];
+        self.profile = Some(FnProfile { ranges, names, cycles, memo: vec![0; self.cores.len()] });
+    }
+
+    /// Per-function cycle totals (empty unless profiling was enabled).
+    pub fn profile_report(&self) -> HashMap<String, u64> {
+        match &self.profile {
+            None => HashMap::new(),
+            Some(p) => p
+                .names
+                .iter()
+                .cloned()
+                .zip(p.cycles.iter().copied())
+                .collect(),
+        }
+    }
+
+    // ----- fault injection hooks (§3.2.1 fault model) --------------------
+
+    /// Flips one bit of an integer register. On SIRA-32, register 15 is
+    /// the architected PC, so the flip lands on the program counter.
+    pub fn flip_gpr(&mut self, core: usize, reg: u32, bit: u32) {
+        let isa = self.isa;
+        let core = &mut self.cores[core];
+        match isa {
+            IsaKind::Sira32 => {
+                let reg = reg % 16;
+                let bit = bit % 32;
+                if Reg(reg as u8) == fracas_isa::sira32::PC {
+                    let pc = core.pc() ^ (1 << bit);
+                    core.set_pc(pc);
+                } else {
+                    let v = core.reg(Reg(reg as u8)) ^ (1 << bit);
+                    core.set_reg(Reg(reg as u8), v);
+                }
+            }
+            IsaKind::Sira64 => {
+                let reg = reg % 32;
+                let bit = bit % 64;
+                let v = core.reg(Reg(reg as u8)) ^ (1 << bit);
+                core.set_reg(Reg(reg as u8), v);
+            }
+        }
+    }
+
+    /// Flips one bit of an FP register (SIRA-64).
+    pub fn flip_fpr(&mut self, core: usize, reg: u32, bit: u32) {
+        let core = &mut self.cores[core];
+        let reg = FReg((reg % 32) as u8);
+        let v = core.freg(reg) ^ (1 << (bit % 64));
+        core.set_freg(reg, v);
+    }
+
+    /// Flips one NZCV flag (0 = N, 1 = Z, 2 = C, 3 = V).
+    pub fn flip_flag(&mut self, core: usize, which: u32) {
+        let core = &mut self.cores[core];
+        let mut f = core.flags();
+        match which % 4 {
+            0 => f.n = !f.n,
+            1 => f.z = !f.z,
+            2 => f.c = !f.c,
+            _ => f.v = !f.v,
+        }
+        core.set_flags(f);
+    }
+
+    /// Flips one bit of physical memory (bypasses permissions — it models
+    /// a particle strike on an SRAM cell, not a program access).
+    pub fn flip_mem(&mut self, addr: u32, bit: u32) {
+        if let Ok(byte) = self.mem.read_u8(addr) {
+            let _ = self.mem.write_u8(addr, byte ^ (1 << (bit % 8)));
+        }
+    }
+
+    /// Flips one bit of instruction memory. The corrupted word is
+    /// re-decoded; if it no longer decodes, executing it raises an
+    /// illegal-instruction trap (modelling an uncorrected I-cache/IMEM
+    /// upset).
+    pub fn flip_text(&mut self, word_index: u32, bit: u32) {
+        let Some(word) = self.text_words.get_mut(word_index as usize) else {
+            return;
+        };
+        *word ^= 1 << (bit % 32);
+        let isa = self.isa;
+        self.text[word_index as usize] = fracas_isa::decode(*word)
+            .ok()
+            .filter(|inst| isa.validate(inst).is_ok());
+    }
+
+    /// Number of instruction words in the text section.
+    pub fn text_len(&self) -> u32 {
+        self.text_words.len() as u32
+    }
+
+    // ----- interpreter ----------------------------------------------------
+
+    /// Executes one instruction on `core` under the given process
+    /// permission map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn step(&mut self, core: usize, perm: &PermissionMap) -> StepResult {
+        if self.cores[core].is_halted() {
+            return StepResult::Halted;
+        }
+        let pc = self.cores[core].pc();
+        let cycles_before = self.cores[core].cycles();
+
+        let result = self.step_inner(core, perm, pc);
+
+        if self.profile.is_some() {
+            let delta = self.cores[core].cycles() - cycles_before;
+            if delta > 0 {
+                if let Some(p) = &mut self.profile {
+                    p.attribute(core, pc, delta);
+                }
+            }
+        }
+        result
+    }
+
+    fn step_inner(&mut self, core: usize, perm: &PermissionMap, pc: u32) -> StepResult {
+        // --- fetch ---
+        if pc % 4 != 0 {
+            return StepResult::Trap(Trap::Mem(fracas_mem::MemError::Misaligned {
+                addr: pc,
+                align: 4,
+            }));
+        }
+        if let Err(e) = perm.check(pc, 4, AccessKind::Execute) {
+            return StepResult::Trap(Trap::Mem(e));
+        }
+        let idx = (pc.wrapping_sub(self.text_base) / 4) as usize;
+        let Some(Some(inst)) = self.text.get(idx).copied() else {
+            return StepResult::Trap(Trap::IllegalInst { pc });
+        };
+        let fetch_penalty = self.caches.access(core, Access::Fetch, pc);
+        self.cores[core].stats.miss_cycles += u64::from(fetch_penalty);
+        self.cores[core].cycles += u64::from(fetch_penalty);
+
+        // --- conditional execution ---
+        let flags = self.cores[core].flags();
+        let holds = inst.cond.holds(flags.n, flags.z, flags.c, flags.v);
+        let is_branch = matches!(inst.kind, InstKind::B { .. });
+        if !holds && !is_branch {
+            let c = &mut self.cores[core];
+            c.stats.cond_skipped += 1;
+            c.cycles += u64::from(self.cost.base);
+            c.set_pc(pc.wrapping_add(4));
+            return StepResult::Executed;
+        }
+
+        self.exec(core, perm, pc, inst, holds)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn exec(
+        &mut self,
+        core: usize,
+        perm: &PermissionMap,
+        pc: u32,
+        inst: Inst,
+        cond_holds: bool,
+    ) -> StepResult {
+        let isa = self.isa;
+        let bits = if isa == IsaKind::Sira32 { 32 } else { 64 };
+        let cost = self.cost;
+        let next = pc.wrapping_add(4);
+        // Default PC advance; branch arms override.
+        self.cores[core].set_pc(next);
+        self.cores[core].stats.instructions += 1;
+
+        macro_rules! trap {
+            ($t:expr) => {{
+                // Roll back: a trapped instruction does not retire.
+                self.cores[core].set_pc(pc);
+                self.cores[core].stats.instructions -= 1;
+                return StepResult::Trap($t);
+            }};
+        }
+
+        let mut cycles = u64::from(cost.base);
+
+        match inst.kind {
+            InstKind::Nop => {}
+            InstKind::Halt => {
+                self.cores[core].cycles += cycles;
+                self.cores[core].set_halted(true);
+                return StepResult::Halted;
+            }
+            InstKind::Svc { imm } => {
+                let c = &mut self.cores[core];
+                c.stats.svcs += 1;
+                c.cycles += u64::from(cost.svc);
+                return StepResult::Svc(imm);
+            }
+            InstKind::Ret => {
+                let lr = self.cores[core].reg(isa.lr());
+                self.cores[core].set_pc(lr as u32);
+                cycles += u64::from(cost.branch_taken);
+            }
+            InstKind::Alu { op, rd, rn, rm } => {
+                let a = self.cores[core].reg(rn);
+                let b = self.cores[core].reg(rm);
+                match alu_exec(op, a, b, bits) {
+                    Some(v) => self.cores[core].set_reg(rd, v),
+                    None => trap!(Trap::DivByZero { pc }),
+                }
+                cycles += u64::from(alu_extra(op, cost));
+            }
+            InstKind::AluImm { op, rd, rn, imm } => {
+                let a = self.cores[core].reg(rn);
+                let b = imm as i64 as u64;
+                match alu_exec(op, a, b, bits) {
+                    Some(v) => self.cores[core].set_reg(rd, v),
+                    None => trap!(Trap::DivByZero { pc }),
+                }
+                cycles += u64::from(alu_extra(op, cost));
+            }
+            InstKind::Cmp { rn, rm } => {
+                let a = self.cores[core].reg(rn);
+                let b = self.cores[core].reg(rm);
+                let f = sub_flags(a, b, bits);
+                self.cores[core].set_flags(f);
+            }
+            InstKind::CmpImm { rn, imm } => {
+                let a = self.cores[core].reg(rn);
+                let f = sub_flags(a, imm as i64 as u64, bits);
+                self.cores[core].set_flags(f);
+            }
+            InstKind::MovImm { rd, imm, shift, keep } => {
+                let sh = u32::from(shift) * 16;
+                let v = if keep {
+                    (self.cores[core].reg(rd) & !(0xffffu64 << sh)) | (u64::from(imm) << sh)
+                } else {
+                    u64::from(imm) << sh
+                };
+                self.cores[core].set_reg(rd, v);
+            }
+            InstKind::Mov { rd, rm } => {
+                let v = self.cores[core].reg(rm);
+                self.cores[core].set_reg(rd, v);
+            }
+            InstKind::Mvn { rd, rm } => {
+                let v = !self.cores[core].reg(rm);
+                self.cores[core].set_reg(rd, v);
+            }
+            InstKind::Ld { width, rd, rn, off } => {
+                let addr = (self.cores[core].reg(rn) as u32).wrapping_add(off as i32 as u32);
+                match self.load(core, perm, width, addr) {
+                    Ok(v) => self.cores[core].set_reg(rd, v),
+                    Err(t) => trap!(t),
+                }
+                cycles += u64::from(cost.mem - cost.base.min(cost.mem));
+            }
+            InstKind::St { width, rd, rn, off } => {
+                let addr = (self.cores[core].reg(rn) as u32).wrapping_add(off as i32 as u32);
+                let v = self.cores[core].reg(rd);
+                if let Err(t) = self.store(core, perm, width, addr, v) {
+                    trap!(t);
+                }
+                cycles += u64::from(cost.mem - cost.base.min(cost.mem));
+            }
+            InstKind::LdR { width, rd, rn, rm } => {
+                let addr =
+                    (self.cores[core].reg(rn) as u32).wrapping_add(self.cores[core].reg(rm) as u32);
+                match self.load(core, perm, width, addr) {
+                    Ok(v) => self.cores[core].set_reg(rd, v),
+                    Err(t) => trap!(t),
+                }
+                cycles += u64::from(cost.mem - cost.base.min(cost.mem));
+            }
+            InstKind::StR { width, rd, rn, rm } => {
+                let addr =
+                    (self.cores[core].reg(rn) as u32).wrapping_add(self.cores[core].reg(rm) as u32);
+                let v = self.cores[core].reg(rd);
+                if let Err(t) = self.store(core, perm, width, addr, v) {
+                    trap!(t);
+                }
+                cycles += u64::from(cost.mem - cost.base.min(cost.mem));
+            }
+            InstKind::B { off } => {
+                let c = &mut self.cores[core];
+                c.stats.branches += 1;
+                if cond_holds {
+                    c.stats.branches_taken += 1;
+                    c.set_pc(branch_target(pc, off));
+                    cycles += u64::from(cost.branch_taken);
+                }
+            }
+            InstKind::Bl { off } => {
+                let c = &mut self.cores[core];
+                c.stats.calls += 1;
+                c.set_reg(isa.lr(), u64::from(next));
+                c.set_pc(branch_target(pc, off));
+                cycles += u64::from(cost.branch_taken);
+            }
+            InstKind::Blr { rm } => {
+                let target = self.cores[core].reg(rm) as u32;
+                let c = &mut self.cores[core];
+                c.stats.calls += 1;
+                c.set_reg(isa.lr(), u64::from(next));
+                c.set_pc(target);
+                cycles += u64::from(cost.branch_taken);
+            }
+            InstKind::Swp { rd, rn, rm } => {
+                let addr = self.cores[core].reg(rn) as u32;
+                let new = self.cores[core].reg(rm);
+                match self.load(core, perm, Width::Word, addr) {
+                    Ok(old) => {
+                        if let Err(t) = self.store(core, perm, Width::Word, addr, new) {
+                            trap!(t);
+                        }
+                        self.cores[core].set_reg(rd, old);
+                    }
+                    Err(t) => trap!(t),
+                }
+                cycles += u64::from(cost.mem);
+            }
+            InstKind::AmoAdd { rd, rn, rm } => {
+                let addr = self.cores[core].reg(rn) as u32;
+                let delta = self.cores[core].reg(rm);
+                match self.load(core, perm, Width::Word, addr) {
+                    Ok(old) => {
+                        let sum = old.wrapping_add(delta);
+                        if let Err(t) = self.store(core, perm, Width::Word, addr, sum) {
+                            trap!(t);
+                        }
+                        self.cores[core].set_reg(rd, old);
+                    }
+                    Err(t) => trap!(t),
+                }
+                cycles += u64::from(cost.mem);
+            }
+            InstKind::Fp { op, fd, fa, fb } => {
+                let a = self.cores[core].freg_f64(fa);
+                let b = self.cores[core].freg_f64(fb);
+                let v = match op {
+                    FpOp::Fadd => a + b,
+                    FpOp::Fsub => a - b,
+                    FpOp::Fmul => a * b,
+                    FpOp::Fdiv => a / b,
+                    FpOp::Fneg => -a,
+                    FpOp::Fabs => a.abs(),
+                    FpOp::Fsqrt => a.sqrt(),
+                    FpOp::Fmov => a,
+                };
+                self.cores[core].set_freg_f64(fd, v);
+                self.cores[core].stats.fp_ops += 1;
+                cycles += u64::from(fp_extra(op, cost));
+            }
+            InstKind::FpCmp { fa, fb } => {
+                let a = self.cores[core].freg_f64(fa);
+                let b = self.cores[core].freg_f64(fb);
+                let f = if a.is_nan() || b.is_nan() {
+                    Flags { n: false, z: false, c: true, v: true }
+                } else {
+                    Flags { n: a < b, z: a == b, c: a >= b, v: false }
+                };
+                self.cores[core].set_flags(f);
+                self.cores[core].stats.fp_ops += 1;
+                cycles += u64::from(cost.fp_add);
+            }
+            InstKind::FMovToFp { fd, rn } => {
+                let v = self.cores[core].reg(rn);
+                self.cores[core].set_freg(fd, v);
+                self.cores[core].stats.fp_ops += 1;
+            }
+            InstKind::FMovFromFp { rd, fa } => {
+                let v = self.cores[core].freg(fa);
+                self.cores[core].set_reg(rd, v);
+                self.cores[core].stats.fp_ops += 1;
+            }
+            InstKind::Fcvtzs { rd, fa } => {
+                let a = self.cores[core].freg_f64(fa);
+                // Saturating convert, NaN -> 0 (ARM semantics).
+                let v = if a.is_nan() { 0 } else { a as i64 };
+                self.cores[core].set_reg(rd, v as u64);
+                self.cores[core].stats.fp_ops += 1;
+                cycles += u64::from(cost.fp_add);
+            }
+            InstKind::Scvtf { fd, rn } => {
+                let v = self.cores[core].reg(rn) as i64;
+                self.cores[core].set_freg_f64(fd, v as f64);
+                self.cores[core].stats.fp_ops += 1;
+                cycles += u64::from(cost.fp_add);
+            }
+            InstKind::FLd { fd, rn, off } => {
+                let addr = (self.cores[core].reg(rn) as u32).wrapping_add(off as i32 as u32);
+                match self.load_f64(core, perm, addr) {
+                    Ok(v) => self.cores[core].set_freg(fd, v),
+                    Err(t) => trap!(t),
+                }
+                self.cores[core].stats.fp_ops += 1;
+                cycles += u64::from(cost.mem - cost.base.min(cost.mem));
+            }
+            InstKind::FSt { fd, rn, off } => {
+                let addr = (self.cores[core].reg(rn) as u32).wrapping_add(off as i32 as u32);
+                let v = self.cores[core].freg(fd);
+                if let Err(t) = self.store_f64(core, perm, addr, v) {
+                    trap!(t);
+                }
+                self.cores[core].stats.fp_ops += 1;
+                cycles += u64::from(cost.mem - cost.base.min(cost.mem));
+            }
+            InstKind::FLdR { fd, rn, rm } => {
+                let addr =
+                    (self.cores[core].reg(rn) as u32).wrapping_add(self.cores[core].reg(rm) as u32);
+                match self.load_f64(core, perm, addr) {
+                    Ok(v) => self.cores[core].set_freg(fd, v),
+                    Err(t) => trap!(t),
+                }
+                self.cores[core].stats.fp_ops += 1;
+                cycles += u64::from(cost.mem - cost.base.min(cost.mem));
+            }
+            InstKind::FStR { fd, rn, rm } => {
+                let addr =
+                    (self.cores[core].reg(rn) as u32).wrapping_add(self.cores[core].reg(rm) as u32);
+                let v = self.cores[core].freg(fd);
+                if let Err(t) = self.store_f64(core, perm, addr, v) {
+                    trap!(t);
+                }
+                self.cores[core].stats.fp_ops += 1;
+                cycles += u64::from(cost.mem - cost.base.min(cost.mem));
+            }
+        }
+
+        self.cores[core].cycles += cycles;
+        StepResult::Executed
+    }
+
+    fn load(
+        &mut self,
+        core: usize,
+        perm: &PermissionMap,
+        width: Width,
+        addr: u32,
+    ) -> Result<u64, Trap> {
+        let size = self.isa.width_bytes(width);
+        perm.check(addr, size, AccessKind::Read)?;
+        let v = match (width, self.isa) {
+            (Width::Byte, _) => u64::from(self.mem.read_u8(addr)?),
+            (Width::Half, _) | (Width::Word, IsaKind::Sira32) => {
+                u64::from(self.mem.read_u32(addr)?)
+            }
+            (Width::Word, IsaKind::Sira64) => self.mem.read_u64(addr)?,
+        };
+        let penalty = self.caches.access(core, Access::DataRead, addr);
+        let c = &mut self.cores[core];
+        c.stats.loads += 1;
+        c.stats.miss_cycles += u64::from(penalty);
+        c.cycles += u64::from(penalty);
+        Ok(v)
+    }
+
+    fn store(
+        &mut self,
+        core: usize,
+        perm: &PermissionMap,
+        width: Width,
+        addr: u32,
+        value: u64,
+    ) -> Result<(), Trap> {
+        let size = self.isa.width_bytes(width);
+        perm.check(addr, size, AccessKind::Write)?;
+        match (width, self.isa) {
+            (Width::Byte, _) => self.mem.write_u8(addr, value as u8)?,
+            (Width::Half, _) | (Width::Word, IsaKind::Sira32) => {
+                self.mem.write_u32(addr, value as u32)?;
+            }
+            (Width::Word, IsaKind::Sira64) => self.mem.write_u64(addr, value)?,
+        }
+        let penalty = self.caches.access(core, Access::DataWrite, addr);
+        let c = &mut self.cores[core];
+        c.stats.stores += 1;
+        c.stats.miss_cycles += u64::from(penalty);
+        c.cycles += u64::from(penalty);
+        Ok(())
+    }
+
+    fn load_f64(&mut self, core: usize, perm: &PermissionMap, addr: u32) -> Result<u64, Trap> {
+        perm.check(addr, 8, AccessKind::Read)?;
+        let v = self.mem.read_u64(addr)?;
+        let penalty = self.caches.access(core, Access::DataRead, addr);
+        let c = &mut self.cores[core];
+        c.stats.loads += 1;
+        c.stats.miss_cycles += u64::from(penalty);
+        c.cycles += u64::from(penalty);
+        Ok(v)
+    }
+
+    fn store_f64(
+        &mut self,
+        core: usize,
+        perm: &PermissionMap,
+        addr: u32,
+        bits: u64,
+    ) -> Result<(), Trap> {
+        perm.check(addr, 8, AccessKind::Write)?;
+        self.mem.write_u64(addr, bits)?;
+        let penalty = self.caches.access(core, Access::DataWrite, addr);
+        let c = &mut self.cores[core];
+        c.stats.stores += 1;
+        c.stats.miss_cycles += u64::from(penalty);
+        c.cycles += u64::from(penalty);
+        Ok(())
+    }
+
+    /// Runs core 0 bare-metal (all memory RWX) until `halt`.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Trap`] on any trap, [`RunError::UnhandledSvc`] on a
+    /// supervisor call and [`RunError::StepLimit`] if `max_steps` runs out.
+    pub fn run_to_halt(&mut self, max_steps: u64) -> Result<(), RunError> {
+        let mut perm = PermissionMap::new(self.mem.size());
+        perm.map_range(0, self.mem.size(), Perms { read: true, write: true, exec: true });
+        for _ in 0..max_steps {
+            let Some(core) = self.next_core() else {
+                return Ok(());
+            };
+            match self.step(core, &perm) {
+                StepResult::Executed => {}
+                StepResult::Halted => return Ok(()),
+                StepResult::Trap(t) => return Err(RunError::Trap(t)),
+                StepResult::Svc(num) => {
+                    return Err(RunError::UnhandledSvc { num, pc: self.cores[core].pc() })
+                }
+            }
+        }
+        Err(RunError::StepLimit)
+    }
+}
+
+fn branch_target(pc: u32, off: i32) -> u32 {
+    pc.wrapping_add(4).wrapping_add((off as u32).wrapping_mul(4))
+}
+
+fn mask(bits: u32) -> u64 {
+    if bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+fn sext(v: u64, bits: u32) -> i64 {
+    if bits == 64 {
+        v as i64
+    } else {
+        ((v << (64 - bits)) as i64) >> (64 - bits)
+    }
+}
+
+/// Executes an ALU op on width-masked operands; `None` signals division
+/// by zero.
+fn alu_exec(op: AluOp, a: u64, b: u64, bits: u32) -> Option<u64> {
+    let m = mask(bits);
+    let (a, b) = (a & m, b & m);
+    let v = match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Muh => {
+            if bits == 32 {
+                (a.wrapping_mul(b)) >> 32
+            } else {
+                ((u128::from(a) * u128::from(b)) >> 64) as u64
+            }
+        }
+        AluOp::Sdiv => {
+            let (sa, sb) = (sext(a, bits), sext(b, bits));
+            if sb == 0 {
+                return None;
+            }
+            sa.wrapping_div(sb) as u64
+        }
+        AluOp::Srem => {
+            let (sa, sb) = (sext(a, bits), sext(b, bits));
+            if sb == 0 {
+                return None;
+            }
+            sa.wrapping_rem(sb) as u64
+        }
+        AluOp::And => a & b,
+        AluOp::Orr => a | b,
+        AluOp::Eor => a ^ b,
+        AluOp::Lsl => {
+            if b >= u64::from(bits) {
+                0
+            } else {
+                a << b
+            }
+        }
+        AluOp::Lsr => {
+            if b >= u64::from(bits) {
+                0
+            } else {
+                a >> b
+            }
+        }
+        AluOp::Asr => {
+            let sa = sext(a, bits);
+            let sh = b.min(u64::from(bits) - 1);
+            (sa >> sh) as u64
+        }
+    };
+    Some(v & m)
+}
+
+fn alu_extra(op: AluOp, cost: CostModel) -> u32 {
+    match op {
+        AluOp::Mul | AluOp::Muh => cost.mul - cost.base.min(cost.mul),
+        AluOp::Sdiv | AluOp::Srem => cost.div - cost.base.min(cost.div),
+        _ => 0,
+    }
+}
+
+fn fp_extra(op: FpOp, cost: CostModel) -> u32 {
+    match op {
+        FpOp::Fadd | FpOp::Fsub | FpOp::Fneg | FpOp::Fabs | FpOp::Fmov => cost.fp_add,
+        FpOp::Fmul => cost.fp_mul,
+        FpOp::Fdiv => cost.fp_div,
+        FpOp::Fsqrt => cost.fp_sqrt,
+    }
+}
+
+/// NZCV from `a - b` at the given width.
+fn sub_flags(a: u64, b: u64, bits: u32) -> Flags {
+    let m = mask(bits);
+    let (a, b) = (a & m, b & m);
+    let r = a.wrapping_sub(b) & m;
+    let sign = 1u64 << (bits - 1);
+    Flags {
+        n: r & sign != 0,
+        z: r == 0,
+        c: a >= b,
+        v: ((a ^ b) & (a ^ r)) & sign != 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fracas_isa::{link, sira32, Asm, Cond};
+
+    fn run(isa: IsaKind, build: impl FnOnce(&mut Asm)) -> Machine {
+        let mut asm = Asm::new(isa);
+        asm.global_fn("_start");
+        build(&mut asm);
+        asm.halt();
+        let image = link(isa, &[asm.into_object()]).expect("link");
+        let mut m = Machine::boot_flat(&image, 1);
+        m.run_to_halt(1_000_000).expect("run");
+        m
+    }
+
+    #[test]
+    fn arithmetic_basics_sira64() {
+        let m = run(IsaKind::Sira64, |a| {
+            a.load_imm(Reg(1), 100);
+            a.load_imm(Reg(2), 7);
+            a.alu(AluOp::Sdiv, Reg(3), Reg(1), Reg(2)); // 14
+            a.alu(AluOp::Srem, Reg(4), Reg(1), Reg(2)); // 2
+            a.alu(AluOp::Mul, Reg(5), Reg(3), Reg(2)); // 98
+        });
+        assert_eq!(m.core(0).reg(Reg(3)), 14);
+        assert_eq!(m.core(0).reg(Reg(4)), 2);
+        assert_eq!(m.core(0).reg(Reg(5)), 98);
+    }
+
+    #[test]
+    fn wrap_semantics_sira32() {
+        let m = run(IsaKind::Sira32, |a| {
+            a.load_imm(Reg(1), 0xffff_ffff);
+            a.addi(Reg(2), Reg(1), 1); // wraps to 0
+            a.subi(Reg(3), Reg(2), 1); // wraps to 0xffff_ffff
+        });
+        assert_eq!(m.core(0).reg(Reg(2)), 0);
+        assert_eq!(m.core(0).reg(Reg(3)), 0xffff_ffff);
+    }
+
+    #[test]
+    fn negative_division_sira32() {
+        let m = run(IsaKind::Sira32, |a| {
+            a.load_imm(Reg(1), (-100i32) as u32 as u64);
+            a.load_imm(Reg(2), 7);
+            a.alu(AluOp::Sdiv, Reg(3), Reg(1), Reg(2)); // -14
+            a.alu(AluOp::Srem, Reg(4), Reg(1), Reg(2)); // -2
+        });
+        assert_eq!(m.core(0).reg(Reg(3)), (-14i32) as u32 as u64);
+        assert_eq!(m.core(0).reg(Reg(4)), (-2i32) as u32 as u64);
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        let mut asm = Asm::new(IsaKind::Sira64);
+        asm.global_fn("_start");
+        asm.movz(Reg(1), 5, 0);
+        asm.movz(Reg(2), 0, 0);
+        asm.alu(AluOp::Sdiv, Reg(3), Reg(1), Reg(2));
+        asm.halt();
+        let image = link(IsaKind::Sira64, &[asm.into_object()]).unwrap();
+        let mut m = Machine::boot_flat(&image, 1);
+        let err = m.run_to_halt(100).unwrap_err();
+        assert!(matches!(err, RunError::Trap(Trap::DivByZero { .. })));
+    }
+
+    #[test]
+    fn conditional_execution_sira32() {
+        let m = run(IsaKind::Sira32, |a| {
+            a.movz(Reg(1), 5, 0);
+            a.cmpi(Reg(1), 5);
+            a.inst_if(Cond::Eq, InstKind::MovImm { rd: Reg(2), imm: 1, shift: 0, keep: false });
+            a.inst_if(Cond::Ne, InstKind::MovImm { rd: Reg(3), imm: 1, shift: 0, keep: false });
+        });
+        assert_eq!(m.core(0).reg(Reg(2)), 1, "eq path executed");
+        assert_eq!(m.core(0).reg(Reg(3)), 0, "ne path skipped");
+        assert_eq!(m.core(0).stats().cond_skipped, 1);
+    }
+
+    #[test]
+    fn loop_and_branch_stats() {
+        let m = run(IsaKind::Sira64, |a| {
+            a.movz(Reg(1), 10, 0);
+            let done = a.new_label();
+            let top = a.here();
+            a.cmpi(Reg(1), 0);
+            a.bc(Cond::Eq, done);
+            a.subi(Reg(1), Reg(1), 1);
+            a.b(top);
+            a.bind(done);
+        });
+        assert_eq!(m.core(0).reg(Reg(1)), 0);
+        // 11 conditional (one taken) + 10 unconditional backward branches.
+        assert_eq!(m.core(0).stats().branches, 21);
+        assert_eq!(m.core(0).stats().branches_taken, 11);
+    }
+
+    #[test]
+    fn call_and_return() {
+        let mut asm = Asm::new(IsaKind::Sira64);
+        asm.global_fn("_start");
+        asm.bl_sym("double");
+        asm.halt();
+        asm.global_fn("double");
+        asm.movz(Reg(0), 21, 0);
+        asm.alu(AluOp::Add, Reg(0), Reg(0), Reg(0));
+        asm.ret();
+        let image = link(IsaKind::Sira64, &[asm.into_object()]).unwrap();
+        let mut m = Machine::boot_flat(&image, 1);
+        m.run_to_halt(100).unwrap();
+        assert_eq!(m.core(0).reg(Reg(0)), 42);
+        assert_eq!(m.core(0).stats().calls, 1);
+    }
+
+    #[test]
+    fn memory_roundtrip_and_stats() {
+        let m = run(IsaKind::Sira64, |a| {
+            a.lea_data(Reg(1), "buf");
+            a.load_imm(Reg(2), 0x0123_4567_89ab_cdef);
+            a.st(Reg(2), Reg(1), 0);
+            a.ld(Reg(3), Reg(1), 0);
+            a.data_zero("buf", 16);
+        });
+        assert_eq!(m.core(0).reg(Reg(3)), 0x0123_4567_89ab_cdef);
+        assert_eq!(m.core(0).stats().loads, 1);
+        assert_eq!(m.core(0).stats().stores, 1);
+    }
+
+    #[test]
+    fn fp_pipeline_sira64() {
+        let m = run(IsaKind::Sira64, |a| {
+            a.load_imm(Reg(1), 9);
+            a.inst(InstKind::Scvtf { fd: FReg(0), rn: Reg(1) });
+            a.fp(FpOp::Fsqrt, FReg(1), FReg(0), FReg(0)); // 3.0
+            a.load_imm(Reg(2), 2);
+            a.inst(InstKind::Scvtf { fd: FReg(2), rn: Reg(2) });
+            a.fp(FpOp::Fmul, FReg(3), FReg(1), FReg(2)); // 6.0
+            a.inst(InstKind::Fcvtzs { rd: Reg(3), fa: FReg(3) });
+        });
+        assert_eq!(m.core(0).reg(Reg(3)), 6);
+        assert!(m.core(0).stats().fp_ops >= 5);
+    }
+
+    #[test]
+    fn fp_compare_flags() {
+        let m = run(IsaKind::Sira64, |a| {
+            a.load_imm(Reg(1), 3);
+            a.load_imm(Reg(2), 4);
+            a.inst(InstKind::Scvtf { fd: FReg(0), rn: Reg(1) });
+            a.inst(InstKind::Scvtf { fd: FReg(1), rn: Reg(2) });
+            a.fcmp(FReg(0), FReg(1));
+            // r5 = 1 if 3.0 < 4.0
+            let skip = a.new_label();
+            a.bc(Cond::Ge, skip);
+            a.movz(Reg(5), 1, 0);
+            a.bind(skip);
+        });
+        assert_eq!(m.core(0).reg(Reg(5)), 1);
+    }
+
+    #[test]
+    fn pc_flip_causes_illegal_instruction() {
+        let mut asm = Asm::new(IsaKind::Sira32);
+        asm.global_fn("_start");
+        for _ in 0..4 {
+            asm.nop();
+        }
+        asm.halt();
+        let image = link(IsaKind::Sira32, &[asm.into_object()]).unwrap();
+        let mut m = Machine::boot_flat(&image, 1);
+        // Flip a high PC bit: lands far outside text.
+        m.flip_gpr(0, 15, 20);
+        let err = m.run_to_halt(100).unwrap_err();
+        assert!(matches!(
+            err,
+            RunError::Trap(Trap::IllegalInst { .. }) | RunError::Trap(Trap::Mem(_))
+        ));
+    }
+
+    #[test]
+    fn gpr_flip_changes_result() {
+        let mut asm = Asm::new(IsaKind::Sira64);
+        asm.global_fn("_start");
+        asm.movz(Reg(1), 100, 0);
+        asm.addi(Reg(0), Reg(1), 0);
+        asm.halt();
+        let image = link(IsaKind::Sira64, &[asm.into_object()]).unwrap();
+        let mut m = Machine::boot_flat(&image, 1);
+        // Execute the movz only.
+        let mut perm = PermissionMap::new(m.mem.size());
+        perm.map_range(0, m.mem.size(), Perms { read: true, write: true, exec: true });
+        assert_eq!(m.step(0, &perm), StepResult::Executed);
+        m.flip_gpr(0, 1, 3); // 100 ^ 8 = 108
+        m.run_to_halt(10).unwrap();
+        assert_eq!(m.core(0).reg(Reg(0)), 108);
+    }
+
+    #[test]
+    fn deterministic_interleave_prefers_lagging_core() {
+        let mut asm = Asm::new(IsaKind::Sira64);
+        asm.global_fn("_start");
+        asm.nop();
+        asm.halt();
+        let image = link(IsaKind::Sira64, &[asm.into_object()]).unwrap();
+        let mut m = Machine::new(&image, 2, 1 << 20, CacheParams::paper());
+        m.core_mut(0).set_halted(false);
+        m.core_mut(1).set_halted(false);
+        m.core_mut(0).advance_idle(100);
+        assert_eq!(m.next_core(), Some(1), "core 1 lags, runs first");
+        m.core_mut(1).advance_idle(100);
+        assert_eq!(m.next_core(), Some(0), "tie broken by id");
+    }
+
+    #[test]
+    fn sira32_pc_as_destination_branches() {
+        // mov pc, lr acts as a return on SIRA-32.
+        let mut asm = Asm::new(IsaKind::Sira32);
+        asm.global_fn("_start");
+        asm.bl_sym("f");
+        asm.halt();
+        asm.global_fn("f");
+        asm.movz(Reg(0), 9, 0);
+        asm.mov(sira32::PC, sira32::LR);
+        let image = link(IsaKind::Sira32, &[asm.into_object()]).unwrap();
+        let mut m = Machine::boot_flat(&image, 1);
+        m.run_to_halt(100).unwrap();
+        assert_eq!(m.core(0).reg(Reg(0)), 9);
+    }
+
+    #[test]
+    fn misaligned_store_traps() {
+        let mut asm = Asm::new(IsaKind::Sira64);
+        asm.global_fn("_start");
+        asm.lea_data(Reg(1), "buf");
+        asm.addi(Reg(1), Reg(1), 1);
+        asm.st(Reg(2), Reg(1), 0);
+        asm.halt();
+        asm.data_zero("buf", 16);
+        let image = link(IsaKind::Sira64, &[asm.into_object()]).unwrap();
+        let mut m = Machine::boot_flat(&image, 1);
+        let err = m.run_to_halt(100).unwrap_err();
+        assert!(matches!(
+            err,
+            RunError::Trap(Trap::Mem(fracas_mem::MemError::Misaligned { .. }))
+        ));
+    }
+
+    #[test]
+    fn profiling_attributes_cycles_per_function() {
+        let mut asm = Asm::new(IsaKind::Sira64);
+        asm.global_fn("_start");
+        asm.bl_sym("busy");
+        asm.halt();
+        asm.global_fn("busy");
+        asm.movz(Reg(1), 50, 0);
+        let done = asm.new_label();
+        let top = asm.here();
+        asm.cmpi(Reg(1), 0);
+        asm.bc(Cond::Eq, done);
+        asm.subi(Reg(1), Reg(1), 1);
+        asm.b(top);
+        asm.bind(done);
+        asm.ret();
+        let image = link(IsaKind::Sira64, &[asm.into_object()]).unwrap();
+        let mut m = Machine::boot_flat(&image, 1);
+        m.enable_profiling(&image);
+        m.run_to_halt(10_000).unwrap();
+        let report = m.profile_report();
+        let busy = report["busy"];
+        let start = report["_start"];
+        assert!(busy > start, "busy loop dominates: busy={busy} start={start}");
+    }
+
+    #[test]
+    fn halt_reports_and_parks() {
+        let mut asm = Asm::new(IsaKind::Sira64);
+        asm.global_fn("_start");
+        asm.halt();
+        let image = link(IsaKind::Sira64, &[asm.into_object()]).unwrap();
+        let mut m = Machine::boot_flat(&image, 1);
+        let mut perm = PermissionMap::new(m.mem.size());
+        perm.map_range(0, m.mem.size(), Perms { read: true, write: true, exec: true });
+        assert_eq!(m.step(0, &perm), StepResult::Halted);
+        assert!(m.core(0).is_halted());
+        assert_eq!(m.next_core(), None);
+    }
+}
+
+#[cfg(test)]
+mod text_fault_tests {
+    use super::*;
+    use fracas_isa::{link, Asm};
+
+    fn nop_image() -> fracas_isa::Image {
+        let mut asm = Asm::new(IsaKind::Sira64);
+        asm.global_fn("_start");
+        asm.movz(Reg(0), 7, 0);
+        asm.nop();
+        asm.halt();
+        link(IsaKind::Sira64, &[asm.into_object()]).expect("link")
+    }
+
+    #[test]
+    fn flip_text_twice_restores_the_word() {
+        let image = nop_image();
+        let mut m = Machine::boot_flat(&image, 1);
+        m.flip_text(1, 30);
+        m.flip_text(1, 30);
+        m.run_to_halt(100).expect("restored program runs");
+        assert_eq!(m.core(0).reg(Reg(0)), 7);
+    }
+
+    #[test]
+    fn corrupting_opcode_raises_illegal_instruction() {
+        let image = nop_image();
+        let mut m = Machine::boot_flat(&image, 1);
+        // Nop is opcode 0; set a high opcode bit -> unused opcode 64..127
+        // region or an FP opcode, both rejected (FP is invalid only on
+        // sira32; opcode 64 = fadd is *valid* on sira64, so flip two bits
+        // to land in the guaranteed-unused 127 slot).
+        for bit in [31, 30, 29, 28, 27, 26, 25] {
+            m.flip_text(1, bit);
+        }
+        let err = m.run_to_halt(100).unwrap_err();
+        assert!(matches!(err, RunError::Trap(Trap::IllegalInst { .. })), "{err}");
+    }
+
+    #[test]
+    fn corrupting_operand_changes_semantics_but_still_runs() {
+        let image = nop_image();
+        let mut m = Machine::boot_flat(&image, 1);
+        // movz r0,#7 -> flip an immediate bit -> different constant.
+        m.flip_text(0, 3);
+        m.run_to_halt(100).expect("still decodable");
+        assert_eq!(m.core(0).reg(Reg(0)), 7 ^ 8);
+    }
+
+    #[test]
+    fn flip_text_out_of_range_is_ignored() {
+        let image = nop_image();
+        let mut m = Machine::boot_flat(&image, 1);
+        m.flip_text(10_000, 0);
+        m.run_to_halt(100).expect("unaffected");
+        assert_eq!(m.text_len(), 3);
+    }
+
+    #[test]
+    fn muh_computes_high_words() {
+        for isa in IsaKind::ALL {
+            let mut asm = Asm::new(isa);
+            asm.global_fn("_start");
+            asm.load_imm(Reg(1), 0xffff_ffff);
+            asm.mov(Reg(2), Reg(1));
+            asm.alu(AluOp::Muh, Reg(3), Reg(1), Reg(2));
+            asm.halt();
+            let image = link(isa, &[asm.into_object()]).expect("link");
+            let mut m = Machine::boot_flat(&image, 1);
+            m.run_to_halt(100).expect("run");
+            let want = match isa {
+                // (2^32-1)^2 >> 32 = 0xFFFF_FFFE
+                IsaKind::Sira32 => 0xffff_fffe,
+                // 64-bit: (2^32-1)^2 >> 64 = 0
+                IsaKind::Sira64 => 0,
+            };
+            assert_eq!(m.core(0).reg(Reg(3)), want, "{isa}");
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! Per-core architectural state and statistics.
+
+use fracas_isa::{FReg, IsaKind, Reg};
+
+/// The NZCV condition flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Flags {
+    /// Negative.
+    pub n: bool,
+    /// Zero.
+    pub z: bool,
+    /// Carry / no-borrow.
+    pub c: bool,
+    /// Signed overflow (also set by unordered FP compares).
+    pub v: bool,
+}
+
+impl Flags {
+    /// Packs the flags into the low 4 bits (N=8, Z=4, C=2, V=1).
+    pub fn bits(self) -> u8 {
+        (u8::from(self.n) << 3) | (u8::from(self.z) << 2) | (u8::from(self.c) << 1) | u8::from(self.v)
+    }
+
+    /// Unpacks flags from the low 4 bits.
+    pub fn from_bits(bits: u8) -> Flags {
+        Flags {
+            n: bits & 8 != 0,
+            z: bits & 4 != 0,
+            c: bits & 2 != 0,
+            v: bits & 1 != 0,
+        }
+    }
+}
+
+/// Microarchitectural event counters for one core.
+///
+/// These are the per-scenario profile inputs of the paper's data-mining
+/// engine (§3.4, §4.1.3, §4.1.4).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Retired instructions (conditionally skipped instructions are
+    /// counted in `cond_skipped`, not here).
+    pub instructions: u64,
+    /// Instructions whose condition evaluated false (SIRA-32).
+    pub cond_skipped: u64,
+    /// Branch instructions executed (`b`, conditional or not).
+    pub branches: u64,
+    /// Branches that redirected the PC.
+    pub branches_taken: u64,
+    /// Function calls (`bl`, `blr`).
+    pub calls: u64,
+    /// Data loads (including atomics and FP loads).
+    pub loads: u64,
+    /// Data stores (including atomics and FP stores).
+    pub stores: u64,
+    /// Hardware floating-point instructions.
+    pub fp_ops: u64,
+    /// Supervisor calls.
+    pub svcs: u64,
+    /// Cycles this core spent idle (parked by the kernel).
+    pub idle_cycles: u64,
+    /// Cycles spent in kernel services (syscall handling, dispatch).
+    pub kernel_cycles: u64,
+    /// Cycles added by cache misses.
+    pub miss_cycles: u64,
+}
+
+impl CoreStats {
+    /// Loads + stores — the paper's "memory transactions".
+    pub fn mem_ops(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// Memory instructions as a fraction of retired instructions.
+    pub fn mem_ratio(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.mem_ops() as f64 / self.instructions as f64
+        }
+    }
+
+    /// Branch instructions as a fraction of retired instructions
+    /// (the §4.1.3 "branch composition").
+    pub fn branch_ratio(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.branches as f64 / self.instructions as f64
+        }
+    }
+
+    /// Read/write ratio of memory transactions (`RD/WR` in Tables 3–4).
+    pub fn rd_wr_ratio(&self) -> f64 {
+        if self.stores == 0 {
+            0.0
+        } else {
+            self.loads as f64 / self.stores as f64
+        }
+    }
+}
+
+/// A saved architectural context (one thread's registers).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreContext {
+    /// Integer registers.
+    pub regs: [u64; 32],
+    /// FP registers (raw bits).
+    pub fregs: [u64; 32],
+    /// Program counter.
+    pub pc: u32,
+    /// NZCV flags.
+    pub flags: Flags,
+}
+
+impl CoreContext {
+    /// A zeroed context starting at `pc`.
+    pub fn at_entry(pc: u32) -> CoreContext {
+        CoreContext { regs: [0; 32], fregs: [0; 32], pc, flags: Flags::default() }
+    }
+}
+
+/// One SIRA core: registers, flags, PC, local clock and counters.
+#[derive(Debug, Clone)]
+pub struct Core {
+    isa: IsaKind,
+    /// Integer register file (SIRA-32 uses slots 0–15, 32-bit semantics).
+    pub(crate) regs: [u64; 32],
+    /// FP register file (SIRA-64 only).
+    pub(crate) fregs: [u64; 32],
+    /// Program counter (byte address).
+    pub(crate) pc: u32,
+    /// NZCV flags.
+    pub(crate) flags: Flags,
+    /// Local cycle clock.
+    pub(crate) cycles: u64,
+    /// Set when the core executed `halt` (bare-metal) or is parked.
+    pub(crate) halted: bool,
+    /// Event counters.
+    pub(crate) stats: CoreStats,
+}
+
+impl Core {
+    /// A reset core for the given ISA.
+    pub fn new(isa: IsaKind) -> Core {
+        Core {
+            isa,
+            regs: [0; 32],
+            fregs: [0; 32],
+            pc: 0,
+            flags: Flags::default(),
+            cycles: 0,
+            halted: true,
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// The core's ISA.
+    pub fn isa(&self) -> IsaKind {
+        self.isa
+    }
+
+    /// Reads an integer register (architecturally: on SIRA-32, reading
+    /// r15 yields the address of the *next* instruction).
+    pub fn reg(&self, r: Reg) -> u64 {
+        if self.isa == IsaKind::Sira32 {
+            if r == fracas_isa::sira32::PC {
+                return u64::from(self.pc.wrapping_add(4));
+            }
+            return self.regs[r.index() & 15] & 0xffff_ffff;
+        }
+        self.regs[r.index() & 31]
+    }
+
+    /// Writes an integer register (on SIRA-32, writing r15 branches).
+    pub fn set_reg(&mut self, r: Reg, value: u64) {
+        if self.isa == IsaKind::Sira32 {
+            if r == fracas_isa::sira32::PC {
+                self.pc = value as u32;
+                return;
+            }
+            self.regs[r.index() & 15] = value & 0xffff_ffff;
+            return;
+        }
+        self.regs[r.index() & 31] = value;
+    }
+
+    /// Reads an FP register's raw bits.
+    pub fn freg(&self, r: FReg) -> u64 {
+        self.fregs[r.index() & 31]
+    }
+
+    /// Writes an FP register's raw bits.
+    pub fn set_freg(&mut self, r: FReg, bits: u64) {
+        self.fregs[r.index() & 31] = bits;
+    }
+
+    /// Reads an FP register as `f64`.
+    pub fn freg_f64(&self, r: FReg) -> f64 {
+        f64::from_bits(self.freg(r))
+    }
+
+    /// Writes an FP register from `f64`.
+    pub fn set_freg_f64(&mut self, r: FReg, value: f64) {
+        self.set_freg(r, value.to_bits());
+    }
+
+    /// The program counter.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Redirects the program counter.
+    pub fn set_pc(&mut self, pc: u32) {
+        self.pc = pc;
+    }
+
+    /// The NZCV flags.
+    pub fn flags(&self) -> Flags {
+        self.flags
+    }
+
+    /// Overwrites the NZCV flags.
+    pub fn set_flags(&mut self, flags: Flags) {
+        self.flags = flags;
+    }
+
+    /// The core's local cycle clock.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Whether the core is halted/parked.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Parks or unparks the core (kernel scheduling).
+    pub fn set_halted(&mut self, halted: bool) {
+        self.halted = halted;
+    }
+
+    /// Advances the local clock without executing (idle accounting).
+    pub fn advance_idle(&mut self, cycles: u64) {
+        self.cycles += cycles;
+        self.stats.idle_cycles += cycles;
+    }
+
+    /// Advances the local clock for kernel-service time (syscall body,
+    /// scheduler dispatch) — the kernel-exposure channel of §4.2.2.
+    pub fn advance_kernel(&mut self, cycles: u64) {
+        self.cycles += cycles;
+        self.stats.kernel_cycles += cycles;
+    }
+
+    /// Captures the full architectural context (for context switches).
+    pub fn save_context(&self) -> CoreContext {
+        CoreContext {
+            regs: self.regs,
+            fregs: self.fregs,
+            pc: self.pc,
+            flags: self.flags,
+        }
+    }
+
+    /// Restores a previously saved architectural context.
+    pub fn restore_context(&mut self, ctx: &CoreContext) {
+        self.regs = ctx.regs;
+        self.fregs = ctx.fregs;
+        self.pc = ctx.pc;
+        self.flags = ctx.flags;
+    }
+
+    /// The event counters.
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// A snapshot of the architectural register context, used for the
+    /// golden-run "registers context" comparison of §3.2.3.
+    pub fn context_hash(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for i in 0..32 {
+            mix(self.regs[i]);
+        }
+        if self.isa == IsaKind::Sira64 {
+            for i in 0..32 {
+                mix(self.fregs[i]);
+            }
+        }
+        mix(u64::from(self.flags.bits()));
+        hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fracas_isa::sira32;
+
+    #[test]
+    fn sira32_masks_to_32_bits() {
+        let mut c = Core::new(IsaKind::Sira32);
+        c.set_reg(Reg(3), 0x1_2345_6789);
+        assert_eq!(c.reg(Reg(3)), 0x2345_6789);
+    }
+
+    #[test]
+    fn sira32_pc_register_semantics() {
+        let mut c = Core::new(IsaKind::Sira32);
+        c.set_pc(0x1000);
+        assert_eq!(c.reg(sira32::PC), 0x1004, "reading PC yields next-instruction address");
+        c.set_reg(sira32::PC, 0x2000);
+        assert_eq!(c.pc(), 0x2000);
+    }
+
+    #[test]
+    fn sira64_keeps_64_bits() {
+        let mut c = Core::new(IsaKind::Sira64);
+        c.set_reg(Reg(20), u64::MAX);
+        assert_eq!(c.reg(Reg(20)), u64::MAX);
+        c.set_freg_f64(FReg(5), -2.5);
+        assert_eq!(c.freg_f64(FReg(5)), -2.5);
+    }
+
+    #[test]
+    fn flags_pack_roundtrip() {
+        for bits in 0..16u8 {
+            assert_eq!(Flags::from_bits(bits).bits(), bits);
+        }
+    }
+
+    #[test]
+    fn context_hash_sees_registers_and_flags() {
+        let mut a = Core::new(IsaKind::Sira64);
+        let mut b = Core::new(IsaKind::Sira64);
+        assert_eq!(a.context_hash(), b.context_hash());
+        b.set_reg(Reg(17), 1);
+        assert_ne!(a.context_hash(), b.context_hash());
+        b.set_reg(Reg(17), 0);
+        b.set_flags(Flags { n: true, ..Flags::default() });
+        assert_ne!(a.context_hash(), b.context_hash());
+        a.set_flags(Flags { n: true, ..Flags::default() });
+        assert_eq!(a.context_hash(), b.context_hash());
+    }
+
+    #[test]
+    fn stats_ratios() {
+        let s = CoreStats {
+            instructions: 100,
+            branches: 19,
+            loads: 12,
+            stores: 6,
+            ..CoreStats::default()
+        };
+        assert!((s.branch_ratio() - 0.19).abs() < 1e-12);
+        assert!((s.mem_ratio() - 0.18).abs() < 1e-12);
+        assert!((s.rd_wr_ratio() - 2.0).abs() < 1e-12);
+    }
+}

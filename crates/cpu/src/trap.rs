@@ -1,0 +1,64 @@
+//! Architectural traps.
+
+use fracas_mem::MemError;
+use std::error::Error;
+use std::fmt;
+
+/// A synchronous exception raised by instruction execution.
+///
+/// The kernel converts user-mode traps into abnormal process termination —
+/// the paper's *Unexpected Termination* outcome class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trap {
+    /// A data or fetch access failed (unmapped, protected, misaligned or
+    /// out of physical range).
+    Mem(MemError),
+    /// The program counter left the text section or the fetched word did
+    /// not decode.
+    IllegalInst {
+        /// The faulting PC.
+        pc: u32,
+    },
+    /// Integer divide or remainder by zero.
+    DivByZero {
+        /// The faulting PC.
+        pc: u32,
+    },
+    /// A privileged instruction (`halt`) executed in user mode.
+    Privileged {
+        /// The faulting PC.
+        pc: u32,
+    },
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::Mem(e) => write!(f, "memory fault: {e}"),
+            Trap::IllegalInst { pc } => write!(f, "illegal instruction at {pc:#010x}"),
+            Trap::DivByZero { pc } => write!(f, "integer division by zero at {pc:#010x}"),
+            Trap::Privileged { pc } => write!(f, "privileged instruction at {pc:#010x}"),
+        }
+    }
+}
+
+impl Error for Trap {}
+
+impl From<MemError> for Trap {
+    fn from(e: MemError) -> Trap {
+        Trap::Mem(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let t = Trap::IllegalInst { pc: 0x1000 };
+        assert!(t.to_string().contains("0x00001000"));
+        let t = Trap::Mem(MemError::Misaligned { addr: 6, align: 4 });
+        assert!(t.to_string().contains("misaligned"));
+    }
+}

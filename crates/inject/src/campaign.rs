@@ -1,0 +1,563 @@
+//! Campaign orchestration: golden runs, parallel injection jobs and the
+//! merged result database (workflow phases 1–4 of §3.2.3/§3.2.4).
+
+use crate::{classify, Fault, FaultSpace, Outcome};
+use fracas_isa::Image;
+use fracas_kernel::{BootSpec, Kernel, Limits, RunReport};
+use fracas_npb::Scenario;
+use fracas_rt::BuildError;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A bootable workload: the unit a campaign runs against.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Stable identifier (the scenario id).
+    pub id: String,
+    /// The linked guest image.
+    pub image: Arc<Image>,
+    /// Core count of the processor model.
+    pub cores: usize,
+    /// Kernel boot configuration.
+    pub spec: BootSpec,
+}
+
+impl Workload {
+    /// Builds the workload for an NPB scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] if the guest program fails to build.
+    pub fn from_scenario(scenario: &Scenario) -> Result<Workload, BuildError> {
+        Workload::from_scenario_with(scenario, fracas_lang::OptLevel::O1)
+    }
+
+    /// Builds the workload at an explicit compiler optimisation level
+    /// (the future-work compiler-flags axis; the id gains an `-o0`
+    /// suffix so databases keep the variants apart).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] if the guest program fails to build.
+    pub fn from_scenario_with(
+        scenario: &Scenario,
+        opt: fracas_lang::OptLevel,
+    ) -> Result<Workload, BuildError> {
+        let image = scenario.build_with(opt)?;
+        let id = match opt {
+            fracas_lang::OptLevel::O1 => scenario.id(),
+            fracas_lang::OptLevel::O0 => format!("{}-o0", scenario.id()),
+        };
+        Ok(Workload {
+            id,
+            image: Arc::new(image),
+            cores: scenario.cores as usize,
+            spec: BootSpec {
+                processes: scenario.processes(),
+                omp_threads: scenario.omp_threads(),
+                ..BootSpec::serial()
+            },
+        })
+    }
+
+    fn boot(&self) -> Kernel {
+        Kernel::boot(&self.image, self.cores, self.spec)
+    }
+}
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Number of injections (the paper uses 8,000 per scenario; the
+    /// laptop default is environment-tunable via `FRACAS_FAULTS`).
+    pub faults: usize,
+    /// RNG seed (combined with the workload id per campaign).
+    pub seed: u64,
+    /// Hang watchdog as a multiple of the golden cycle count.
+    pub watchdog_factor: f64,
+    /// Host worker threads (0 = available parallelism).
+    pub threads: usize,
+    /// Injection-job batch size (phase three packs several injections
+    /// per job to amortise scheduling, like the paper's HPC batching).
+    pub batch: usize,
+    /// The sampled fault space.
+    pub space: FaultSpace,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig {
+            faults: 100,
+            seed: 0xF_ACA5,
+            watchdog_factor: 4.0,
+            threads: 0,
+            batch: 8,
+            space: FaultSpace::default(),
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// Reads `FRACAS_FAULTS`, `FRACAS_SEED` and `FRACAS_THREADS` from the
+    /// environment over the defaults.
+    pub fn from_env() -> CampaignConfig {
+        let mut config = CampaignConfig::default();
+        if let Some(v) = env_u64("FRACAS_FAULTS") {
+            config.faults = v as usize;
+        }
+        if let Some(v) = env_u64("FRACAS_SEED") {
+            config.seed = v;
+        }
+        if let Some(v) = env_u64("FRACAS_THREADS") {
+            config.threads = v as usize;
+        }
+        config
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// Golden-run reference data (phase one).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GoldenSummary {
+    /// Machine wall-clock of the fault-free run.
+    pub cycles: u64,
+    /// Total retired instructions.
+    pub instructions: u64,
+    /// Per-core retired instructions (workload balance, §4.2.2).
+    pub per_core_instructions: Vec<u64>,
+}
+
+/// Software/µarch profile of the golden run — the campaign's side of the
+/// §3.4 data-mining inputs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileStats {
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Machine cycles.
+    pub cycles: u64,
+    /// Branch instructions.
+    pub branches: u64,
+    /// Function calls (`bl`/`blr`).
+    pub calls: u64,
+    /// Data loads.
+    pub loads: u64,
+    /// Data stores.
+    pub stores: u64,
+    /// Hardware FP instructions.
+    pub fp_ops: u64,
+    /// Supervisor calls.
+    pub svcs: u64,
+    /// Idle cycles over all cores.
+    pub idle_cycles: u64,
+    /// Kernel-service cycles over all cores.
+    pub kernel_cycles: u64,
+    /// Branch share of retired instructions (§4.1.3).
+    pub branch_ratio: f64,
+    /// Load+store share of retired instructions (Tables 3–4).
+    pub mem_ratio: f64,
+    /// Load/store ratio (`RD/WR` in Tables 3–4).
+    pub rd_wr_ratio: f64,
+    /// Per-core instruction imbalance (§4.2.2; MAD / mean).
+    pub imbalance: f64,
+    /// Fraction of attributed cycles spent in parallelization-API guest
+    /// code (`omp_*`/`mpi_*`/workers) — the §4.2.2 vulnerability window.
+    pub api_cycle_fraction: f64,
+    /// Fraction of attributed cycles spent in the softfloat library.
+    pub softfloat_cycle_fraction: f64,
+    /// Core park/unpark events during the golden run (power-state
+    /// transitions — a future-work statistic of the paper's 5).
+    #[serde(default)]
+    pub power_transitions: u64,
+    /// The hottest guest functions by attributed cycles (top 12),
+    /// feeding per-function vulnerability-window mining.
+    #[serde(default)]
+    pub top_functions: Vec<(String, u64)>,
+}
+
+impl ProfileStats {
+    fn from_run(report: &RunReport, profile: &HashMap<String, u64>) -> ProfileStats {
+        let total = report.total_stats();
+        let attributed: u64 = profile.values().sum();
+        let frac = |pred: &dyn Fn(&str) -> bool| -> f64 {
+            if attributed == 0 {
+                return 0.0;
+            }
+            let hit: u64 = profile
+                .iter()
+                .filter(|(name, _)| pred(name))
+                .map(|(_, c)| *c)
+                .sum();
+            hit as f64 / attributed as f64
+        };
+        let mut top: Vec<(String, u64)> = profile
+            .iter()
+            .map(|(n, c)| (n.clone(), *c))
+            .collect();
+        top.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        top.truncate(12);
+        ProfileStats {
+            instructions: total.instructions,
+            cycles: report.cycles,
+            branches: total.branches,
+            calls: total.calls,
+            loads: total.loads,
+            stores: total.stores,
+            fp_ops: total.fp_ops,
+            svcs: total.svcs,
+            idle_cycles: total.idle_cycles,
+            kernel_cycles: total.kernel_cycles,
+            branch_ratio: total.branch_ratio(),
+            mem_ratio: total.mem_ratio(),
+            rd_wr_ratio: total.rd_wr_ratio(),
+            imbalance: report.instruction_imbalance(),
+            api_cycle_fraction: frac(&|n: &str| {
+                n.starts_with("omp_") || n.starts_with("mpi_") || n.starts_with("__omp")
+            }),
+            softfloat_cycle_fraction: frac(&|n: &str| n.starts_with("__f64")),
+            power_transitions: report.power_transitions,
+            top_functions: top,
+        }
+    }
+}
+
+/// One injection's record in the database.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InjectionRecord {
+    /// Index within the campaign (also the fault-list index).
+    pub index: u32,
+    /// The injected fault.
+    pub fault: Fault,
+    /// Classified outcome.
+    pub outcome: Outcome,
+    /// Faulty-run machine cycles.
+    pub cycles: u64,
+    /// Faulty-run retired instructions.
+    pub instructions: u64,
+}
+
+/// Per-class injection counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tally {
+    /// No trace left.
+    pub vanished: u64,
+    /// Architectural-state-only difference.
+    pub ona: u64,
+    /// Silent output/memory corruption.
+    pub omm: u64,
+    /// Abnormal termination.
+    pub ut: u64,
+    /// Watchdog or deadlock.
+    pub hang: u64,
+}
+
+impl Tally {
+    /// Adds one outcome.
+    pub fn record(&mut self, outcome: Outcome) {
+        match outcome {
+            Outcome::Vanished => self.vanished += 1,
+            Outcome::Ona => self.ona += 1,
+            Outcome::Omm => self.omm += 1,
+            Outcome::Ut => self.ut += 1,
+            Outcome::Hang => self.hang += 1,
+        }
+    }
+
+    /// Total injections.
+    pub fn total(&self) -> u64 {
+        self.vanished + self.ona + self.omm + self.ut + self.hang
+    }
+
+    /// Count for one class.
+    pub fn count(&self, outcome: Outcome) -> u64 {
+        match outcome {
+            Outcome::Vanished => self.vanished,
+            Outcome::Ona => self.ona,
+            Outcome::Omm => self.omm,
+            Outcome::Ut => self.ut,
+            Outcome::Hang => self.hang,
+        }
+    }
+
+    /// Percentage (0–100) for one class.
+    pub fn pct(&self, outcome: Outcome) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.count(outcome) as f64 * 100.0 / self.total() as f64
+        }
+    }
+
+    /// The §4.2.2 masking rate: executions without any visible error.
+    pub fn masking_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            (self.vanished + self.ona) as f64 / self.total() as f64
+        }
+    }
+}
+
+/// The merged database for one scenario's campaign (phase four).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// Scenario id (e.g. `ft-mpi-4-sira64`).
+    pub id: String,
+    /// Injections requested.
+    pub faults: usize,
+    /// RNG seed used.
+    pub seed: u64,
+    /// Golden reference.
+    pub golden: GoldenSummary,
+    /// Golden-run profile (data-mining inputs).
+    pub profile: ProfileStats,
+    /// Per-class counts.
+    pub tally: Tally,
+    /// Every injection's record.
+    pub records: Vec<InjectionRecord>,
+}
+
+impl CampaignResult {
+    /// Serialises to JSON.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if serde serialisation fails, which cannot happen for
+    /// this type.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("CampaignResult serialises")
+    }
+
+    /// Parses a JSON database.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying serde error for malformed input.
+    pub fn from_json(json: &str) -> Result<CampaignResult, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+/// Runs the golden execution (phase one), returning the full report and
+/// the per-function cycle profile.
+pub fn golden_run(workload: &Workload) -> (RunReport, HashMap<String, u64>) {
+    let mut kernel = workload.boot();
+    kernel.machine_mut().enable_profiling(&workload.image);
+    let outcome = kernel.run(&Limits::default());
+    assert!(
+        outcome.is_clean_exit(),
+        "golden run of {} must be clean, got {outcome}",
+        workload.id
+    );
+    let profile = kernel.machine().profile_report();
+    (kernel.report(), profile)
+}
+
+/// Executes one injection and classifies it.
+fn inject_one(workload: &Workload, fault: &Fault, golden: &RunReport, limits: &Limits) -> RunReport {
+    let mut kernel = workload.boot();
+    let paused = kernel.run_until_core_cycle(fault.timing_core(), fault.cycle, limits);
+    if paused.is_none() {
+        fault.apply(kernel.machine_mut());
+        kernel.run(limits);
+    }
+    let _ = golden;
+    kernel.report()
+}
+
+/// Runs only the golden phase and packages it as a zero-injection
+/// [`CampaignResult`] (used by the Table 1 workload summary, where
+/// `planned_faults` scales the projected campaign hours).
+pub fn golden_only(workload: &Workload, planned_faults: usize) -> CampaignResult {
+    let (golden, profile_map) = golden_run(workload);
+    CampaignResult {
+        id: workload.id.clone(),
+        faults: planned_faults,
+        seed: 0,
+        golden: GoldenSummary {
+            cycles: golden.cycles,
+            instructions: golden.total_instructions(),
+            per_core_instructions: golden.per_core_instructions.clone(),
+        },
+        profile: ProfileStats::from_run(&golden, &profile_map),
+        tally: Tally::default(),
+        records: Vec::new(),
+    }
+}
+
+/// Runs a full campaign: golden run, fault sampling, parallel batched
+/// injection, classification and merge.
+pub fn run_campaign(workload: &Workload, config: &CampaignConfig) -> CampaignResult {
+    let (golden, profile_map) = golden_run(workload);
+    let profile = ProfileStats::from_run(&golden, &profile_map);
+
+    // Per-scenario seed stream: campaigns across scenarios differ even
+    // with the same base seed.
+    let seed = config
+        .seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(fnv(workload.id.as_bytes()));
+    let faults = crate::sample_faults_with_text(
+        workload.image.isa,
+        workload.cores as u32,
+        golden.cycles,
+        config.faults,
+        &config.space,
+        seed,
+        workload.image.text.len() as u32,
+    );
+
+    let limits = Limits {
+        max_cycles: ((golden.cycles as f64 * config.watchdog_factor) as u64).max(golden.cycles + 100_000),
+        max_steps: (golden.total_instructions() * 8).max(1_000_000),
+    };
+
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+    } else {
+        config.threads
+    };
+    let batch = config.batch.max(1);
+    let slots: Mutex<Vec<Option<InjectionRecord>>> = Mutex::new(vec![None; faults.len()]);
+    let next_batch = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(faults.len().max(1)) {
+            scope.spawn(|| loop {
+                let start = next_batch.fetch_add(batch, Ordering::Relaxed);
+                if start >= faults.len() {
+                    break;
+                }
+                let end = (start + batch).min(faults.len());
+                let mut local = Vec::with_capacity(end - start);
+                for (i, fault) in faults[start..end].iter().enumerate() {
+                    let report = inject_one(workload, fault, &golden, &limits);
+                    let outcome = classify(&golden, &report);
+                    local.push(InjectionRecord {
+                        index: (start + i) as u32,
+                        fault: *fault,
+                        outcome,
+                        cycles: report.cycles,
+                        instructions: report.total_instructions(),
+                    });
+                }
+                let mut slots = slots.lock().expect("no poisoned lock");
+                for record in local {
+                    slots[record.index as usize] = Some(record);
+                }
+            });
+        }
+    });
+
+    let records: Vec<InjectionRecord> = slots
+        .into_inner()
+        .expect("no poisoned lock")
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect();
+    let mut tally = Tally::default();
+    for r in &records {
+        tally.record(r.outcome);
+    }
+
+    CampaignResult {
+        id: workload.id.clone(),
+        faults: config.faults,
+        seed: config.seed,
+        golden: GoldenSummary {
+            cycles: golden.cycles,
+            instructions: golden.total_instructions(),
+            per_core_instructions: golden.per_core_instructions.clone(),
+        },
+        profile,
+        tally,
+        records,
+    }
+}
+
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_percentages() {
+        let mut t = Tally::default();
+        for o in [Outcome::Vanished, Outcome::Vanished, Outcome::Ut, Outcome::Hang] {
+            t.record(o);
+        }
+        assert_eq!(t.total(), 4);
+        assert!((t.pct(Outcome::Vanished) - 50.0).abs() < 1e-12);
+        assert!((t.pct(Outcome::Ut) - 25.0).abs() < 1e-12);
+        assert!((t.masking_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn config_from_env_defaults() {
+        // Without env vars set, from_env equals the default.
+        let c = CampaignConfig::from_env();
+        assert_eq!(c.batch, CampaignConfig::default().batch);
+        assert_eq!(c.watchdog_factor, CampaignConfig::default().watchdog_factor);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let result = CampaignResult {
+            id: "test".into(),
+            faults: 1,
+            seed: 7,
+            golden: GoldenSummary {
+                cycles: 100,
+                instructions: 50,
+                per_core_instructions: vec![50],
+            },
+            profile: ProfileStats {
+                instructions: 50,
+                cycles: 100,
+                branches: 5,
+                calls: 1,
+                loads: 2,
+                stores: 2,
+                fp_ops: 0,
+                svcs: 1,
+                idle_cycles: 0,
+                kernel_cycles: 10,
+                branch_ratio: 0.1,
+                mem_ratio: 0.08,
+                rd_wr_ratio: 1.0,
+                imbalance: 0.0,
+                api_cycle_fraction: 0.05,
+                softfloat_cycle_fraction: 0.0,
+                power_transitions: 0,
+                top_functions: Vec::new(),
+            },
+            tally: Tally { vanished: 1, ..Tally::default() },
+            records: vec![InjectionRecord {
+                index: 0,
+                fault: Fault {
+                    target: crate::FaultTarget::Gpr { core: 0, reg: 1, bit: 2 },
+                    cycle: 42,
+                    width: 1,
+                },
+                outcome: Outcome::Vanished,
+                cycles: 101,
+                instructions: 50,
+            }],
+        };
+        let json = result.to_json();
+        let back = CampaignResult::from_json(&json).unwrap();
+        assert_eq!(back, result);
+    }
+}

@@ -1,0 +1,166 @@
+//! The Cho et al. five-way outcome taxonomy (§3.2.2).
+
+use fracas_kernel::RunReport;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Fault-injection outcome classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Outcome {
+    /// No fault traces are left: output, memory, register context and
+    /// instruction counts all match the golden run.
+    Vanished,
+    /// *Output Not Affected*: memory and output match, but some
+    /// architectural state (register context or executed-instruction
+    /// counts) differs.
+    Ona,
+    /// *Output Memory Mismatch*: the application terminates without any
+    /// error indication, but memory/output differ.
+    Omm,
+    /// *Unexpected Termination*: abnormal termination with an error
+    /// indication (segfault, illegal instruction, trap, nonzero exit).
+    Ut,
+    /// The application does not finish (watchdog or deadlock) and needs
+    /// preemptive removal.
+    Hang,
+}
+
+impl Outcome {
+    /// All classes in the paper's stacking order.
+    pub const ALL: [Outcome; 5] =
+        [Outcome::Vanished, Outcome::Ona, Outcome::Omm, Outcome::Ut, Outcome::Hang];
+
+    /// Display name as used in the figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Outcome::Vanished => "Vanish",
+            Outcome::Ona => "ONA",
+            Outcome::Omm => "OMM",
+            Outcome::Ut => "UT",
+            Outcome::Hang => "Hang",
+        }
+    }
+
+    /// "Masked" in the paper's §4.2.2 sense: the execution finished
+    /// without any error (Vanished or ONA — no *visible* output error).
+    pub fn is_masked(self) -> bool {
+        matches!(self, Outcome::Vanished | Outcome::Ona)
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Classifies a faulty run against the golden reference, comparing the
+/// §3.2.3 set: executed instructions, register context and memory state
+/// (plus console output).
+pub fn classify(golden: &RunReport, faulty: &RunReport) -> Outcome {
+    if faulty.outcome.is_hang() {
+        return Outcome::Hang;
+    }
+    if faulty.outcome.is_abnormal() {
+        return Outcome::Ut;
+    }
+    // Clean exit: compare externally visible state first.
+    let output_differs =
+        faulty.console_hash != golden.console_hash || faulty.console_len != golden.console_len;
+    let memory_differs = faulty.mem_hash != golden.mem_hash;
+    if output_differs || memory_differs {
+        return Outcome::Omm;
+    }
+    let arch_differs = faulty.ctx_hash != golden.ctx_hash
+        || faulty.per_core_instructions != golden.per_core_instructions;
+    if arch_differs {
+        return Outcome::Ona;
+    }
+    Outcome::Vanished
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fracas_cpu::Trap;
+    use fracas_kernel::RunOutcome;
+
+    fn report(outcome: RunOutcome) -> RunReport {
+        RunReport {
+            outcome,
+            console: b"ok".to_vec(),
+            console_len: 2,
+            console_hash: 111,
+            mem_hash: 222,
+            ctx_hash: 333,
+            cycles: 1000,
+            power_transitions: 2,
+            per_core_instructions: vec![500, 500],
+            core_stats: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn identical_runs_vanish() {
+        let g = report(RunOutcome::Exited { code: 0 });
+        assert_eq!(classify(&g, &g.clone()), Outcome::Vanished);
+    }
+
+    #[test]
+    fn hang_and_deadlock_classify_as_hang() {
+        let g = report(RunOutcome::Exited { code: 0 });
+        assert_eq!(classify(&g, &report(RunOutcome::CycleLimit)), Outcome::Hang);
+        assert_eq!(classify(&g, &report(RunOutcome::Deadlock)), Outcome::Hang);
+        assert_eq!(classify(&g, &report(RunOutcome::StepLimit)), Outcome::Hang);
+    }
+
+    #[test]
+    fn traps_and_error_exits_classify_as_ut() {
+        let g = report(RunOutcome::Exited { code: 0 });
+        let trapped = report(RunOutcome::Trapped {
+            trap: Trap::IllegalInst { pc: 0x1000 },
+            pid: 0,
+        });
+        assert_eq!(classify(&g, &trapped), Outcome::Ut);
+        assert_eq!(
+            classify(&g, &report(RunOutcome::Exited { code: 1 })),
+            Outcome::Ut
+        );
+    }
+
+    #[test]
+    fn memory_or_output_difference_is_omm() {
+        let g = report(RunOutcome::Exited { code: 0 });
+        let mut f = g.clone();
+        f.mem_hash = 999;
+        assert_eq!(classify(&g, &f), Outcome::Omm);
+        let mut f = g.clone();
+        f.console_hash = 999;
+        assert_eq!(classify(&g, &f), Outcome::Omm);
+        // OMM wins over ONA when both memory and context differ.
+        let mut f = g.clone();
+        f.mem_hash = 999;
+        f.ctx_hash = 999;
+        assert_eq!(classify(&g, &f), Outcome::Omm);
+    }
+
+    #[test]
+    fn architectural_difference_only_is_ona() {
+        let g = report(RunOutcome::Exited { code: 0 });
+        let mut f = g.clone();
+        f.ctx_hash = 999;
+        assert_eq!(classify(&g, &f), Outcome::Ona);
+        let mut f = g.clone();
+        f.per_core_instructions = vec![501, 500];
+        assert_eq!(classify(&g, &f), Outcome::Ona);
+    }
+
+    #[test]
+    fn masking_definition() {
+        assert!(Outcome::Vanished.is_masked());
+        assert!(Outcome::Ona.is_masked());
+        assert!(!Outcome::Omm.is_masked());
+        assert!(!Outcome::Ut.is_masked());
+        assert!(!Outcome::Hang.is_masked());
+    }
+}

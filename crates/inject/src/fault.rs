@@ -1,0 +1,321 @@
+//! The single-bit-upset fault model.
+
+use fracas_cpu::Machine;
+use fracas_isa::IsaKind;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Where a bit flip lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultTarget {
+    /// An integer register bit (on SIRA-32, register 15 is the PC).
+    Gpr {
+        /// Core index.
+        core: u32,
+        /// Register index.
+        reg: u32,
+        /// Bit position.
+        bit: u32,
+    },
+    /// A floating-point register bit (SIRA-64).
+    Fpr {
+        /// Core index.
+        core: u32,
+        /// Register index.
+        reg: u32,
+        /// Bit position.
+        bit: u32,
+    },
+    /// One of the NZCV flags (0 = N, 1 = Z, 2 = C, 3 = V).
+    Flag {
+        /// Core index.
+        core: u32,
+        /// Flag selector.
+        which: u32,
+    },
+    /// A physical-memory bit.
+    Mem {
+        /// Byte address.
+        addr: u32,
+        /// Bit within the byte (0–7).
+        bit: u32,
+    },
+    /// An instruction-memory bit (within one encoded text word).
+    Text {
+        /// Instruction-word index.
+        word: u32,
+        /// Bit within the word (0–31).
+        bit: u32,
+    },
+}
+
+fn default_width() -> u32 {
+    1
+}
+
+/// A sampled fault: a target plus the injection time on the target
+/// core's cycle clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fault {
+    /// Where the bit flips.
+    pub target: FaultTarget,
+    /// When (cycles on the target core's clock; core 0 for memory
+    /// faults).
+    pub cycle: u64,
+    /// Number of *adjacent* bits upset starting at the target bit —
+    /// 1 for the paper's SBU model; >1 models the single-word
+    /// multiple-bit upsets of its ref. [13] (Johansson et al.).
+    #[serde(default = "default_width")]
+    pub width: u32,
+}
+
+impl Fault {
+    /// The core whose clock times this fault.
+    pub fn timing_core(&self) -> usize {
+        match self.target {
+            FaultTarget::Gpr { core, .. }
+            | FaultTarget::Fpr { core, .. }
+            | FaultTarget::Flag { core, .. } => core as usize,
+            FaultTarget::Mem { .. } | FaultTarget::Text { .. } => 0,
+        }
+    }
+
+    /// Applies the upset (all `width` adjacent bits) to a paused machine.
+    /// Adjacent bits wrap within the struck word, as in a real
+    /// single-word MBU.
+    pub fn apply(&self, machine: &mut Machine) {
+        for i in 0..self.width.max(1) {
+            match self.target {
+                FaultTarget::Gpr { core, reg, bit } => {
+                    machine.flip_gpr(core as usize, reg, bit + i);
+                }
+                FaultTarget::Fpr { core, reg, bit } => {
+                    machine.flip_fpr(core as usize, reg, bit + i);
+                }
+                FaultTarget::Flag { core, which } => {
+                    machine.flip_flag(core as usize, which + i);
+                }
+                FaultTarget::Mem { addr, bit } => machine.flip_mem(addr, bit + i),
+                FaultTarget::Text { word, bit } => machine.flip_text(word, bit + i),
+            }
+        }
+    }
+}
+
+/// Which state elements the uniform sampler may hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSpace {
+    /// Integer registers (always part of the paper's model).
+    pub gpr: bool,
+    /// FP registers (SIRA-64 contributes 2048 more bits — §4.1.2).
+    pub fpr: bool,
+    /// NZCV flags.
+    pub flags: bool,
+    /// Data memory range `(base, len)`, if memory faults are enabled.
+    pub mem: Option<(u32, u32)>,
+    /// Instruction-memory faults (bit flips in encoded text words).
+    pub text: bool,
+    /// Adjacent bits upset per fault (1 = SBU; >1 = single-word MBU,
+    /// ref. [13] of the paper).
+    #[serde(default = "default_width")]
+    pub mbu_width: u32,
+}
+
+impl Default for FaultSpace {
+    /// The paper's register-file campaign: GPRs plus (on SIRA-64) the FP
+    /// registers; no flags, no memory.
+    fn default() -> FaultSpace {
+        FaultSpace { gpr: true, fpr: true, flags: false, mem: None, text: false, mbu_width: 1 }
+    }
+}
+
+impl FaultSpace {
+    /// Total injectable bits for an ISA on `cores` cores.
+    pub fn total_bits(&self, isa: IsaKind, cores: u32) -> u64 {
+        let layout = isa.reg_file();
+        let mut per_core = 0u64;
+        if self.gpr {
+            per_core += layout.gpr_total_bits();
+        }
+        if self.fpr {
+            per_core += u64::from(layout.fpr_count) * u64::from(layout.fpr_bits);
+        }
+        if self.flags {
+            per_core += 4;
+        }
+        let mut total = per_core * u64::from(cores);
+        if let Some((_, len)) = self.mem {
+            total += u64::from(len) * 8;
+        }
+        total
+    }
+}
+
+/// Samples `count` uniform faults over the space and the app lifespan
+/// `[0, lifespan_cycles)` (phase two of the workflow). Deterministic in
+/// `seed`. Instruction-memory faults require the word count and use
+/// [`sample_faults_with_text`].
+pub fn sample_faults(
+    isa: IsaKind,
+    cores: u32,
+    lifespan_cycles: u64,
+    count: usize,
+    space: &FaultSpace,
+    seed: u64,
+) -> Vec<Fault> {
+    sample_faults_with_text(isa, cores, lifespan_cycles, count, space, seed, 0)
+}
+
+/// [`sample_faults`] extended with the text-section size, so the
+/// uniform space can include instruction-memory bits when
+/// [`FaultSpace::text`] is set.
+#[allow(clippy::too_many_arguments)]
+pub fn sample_faults_with_text(
+    isa: IsaKind,
+    cores: u32,
+    lifespan_cycles: u64,
+    count: usize,
+    space: &FaultSpace,
+    seed: u64,
+    text_words: u32,
+) -> Vec<Fault> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let layout = isa.reg_file();
+    let gpr_bits = if space.gpr { layout.gpr_total_bits() } else { 0 };
+    let fpr_bits = if space.fpr {
+        u64::from(layout.fpr_count) * u64::from(layout.fpr_bits)
+    } else {
+        0
+    };
+    let flag_bits = if space.flags { 4u64 } else { 0 };
+    let per_core = gpr_bits + fpr_bits + flag_bits;
+    let mem_bits = space.mem.map_or(0, |(_, len)| u64::from(len) * 8);
+    let text_bits = if space.text { u64::from(text_words) * 32 } else { 0 };
+    let total = per_core * u64::from(cores) + mem_bits + text_bits;
+    assert!(total > 0, "empty fault space");
+
+    (0..count)
+        .map(|_| {
+            let cycle = rng.random_range(0..lifespan_cycles.max(1));
+            let pick = rng.random_range(0..total);
+            let target = if pick < per_core * u64::from(cores) {
+                let core = (pick / per_core) as u32;
+                let within = pick % per_core;
+                if within < gpr_bits {
+                    FaultTarget::Gpr {
+                        core,
+                        reg: (within / u64::from(layout.gpr_bits)) as u32,
+                        bit: (within % u64::from(layout.gpr_bits)) as u32,
+                    }
+                } else if within < gpr_bits + fpr_bits {
+                    let w = within - gpr_bits;
+                    FaultTarget::Fpr {
+                        core,
+                        reg: (w / u64::from(layout.fpr_bits)) as u32,
+                        bit: (w % u64::from(layout.fpr_bits)) as u32,
+                    }
+                } else {
+                    FaultTarget::Flag { core, which: (within - gpr_bits - fpr_bits) as u32 }
+                }
+            } else if pick < per_core * u64::from(cores) + mem_bits {
+                let w = pick - per_core * u64::from(cores);
+                let (base, _) = space.mem.expect("mem bits imply mem space");
+                FaultTarget::Mem { addr: base + (w / 8) as u32, bit: (w % 8) as u32 }
+            } else {
+                let w = pick - per_core * u64::from(cores) - mem_bits;
+                FaultTarget::Text { word: (w / 32) as u32, bit: (w % 32) as u32 }
+            };
+            Fault { target, cycle, width: space.mbu_width.max(1) }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn space_sizes_match_paper_register_files() {
+        let space = FaultSpace::default();
+        assert_eq!(space.total_bits(IsaKind::Sira32, 1), 512);
+        assert_eq!(space.total_bits(IsaKind::Sira64, 1), 4096);
+        assert_eq!(space.total_bits(IsaKind::Sira32, 4), 2048);
+        let gpr_only = FaultSpace { fpr: false, ..FaultSpace::default() };
+        assert_eq!(gpr_only.total_bits(IsaKind::Sira64, 1), 2048);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_in_range() {
+        let space = FaultSpace::default();
+        let a = sample_faults(IsaKind::Sira64, 2, 10_000, 200, &space, 42);
+        let b = sample_faults(IsaKind::Sira64, 2, 10_000, 200, &space, 42);
+        assert_eq!(a, b);
+        let c = sample_faults(IsaKind::Sira64, 2, 10_000, 200, &space, 43);
+        assert_ne!(a, c);
+        for f in &a {
+            assert!(f.cycle < 10_000);
+            match f.target {
+                FaultTarget::Gpr { core, reg, bit } => {
+                    assert!(core < 2 && reg < 32 && bit < 64);
+                }
+                FaultTarget::Fpr { core, reg, bit } => {
+                    assert!(core < 2 && reg < 32 && bit < 64);
+                }
+                other => panic!("unexpected target {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sira32_never_samples_fpr() {
+        let space = FaultSpace::default();
+        let faults = sample_faults(IsaKind::Sira32, 4, 1_000, 500, &space, 7);
+        assert!(faults
+            .iter()
+            .all(|f| matches!(f.target, FaultTarget::Gpr { .. })));
+        // All 16 registers eventually get hit.
+        let mut regs: Vec<u32> = faults
+            .iter()
+            .map(|f| match f.target {
+                FaultTarget::Gpr { reg, .. } => reg,
+                _ => unreachable!(),
+            })
+            .collect();
+        regs.sort_unstable();
+        regs.dedup();
+        assert!(regs.len() >= 14, "coverage too thin: {regs:?}");
+        assert!(regs.iter().all(|&r| r < 16));
+    }
+
+    #[test]
+    fn memory_faults_use_configured_range() {
+        let space = FaultSpace {
+            gpr: false,
+            fpr: false,
+            flags: false,
+            mem: Some((0x1000, 256)),
+            text: false,
+            mbu_width: 1,
+        };
+        let faults = sample_faults(IsaKind::Sira64, 1, 100, 100, &space, 1);
+        for f in &faults {
+            match f.target {
+                FaultTarget::Mem { addr, bit } => {
+                    assert!((0x1000..0x1100).contains(&addr));
+                    assert!(bit < 8);
+                }
+                other => panic!("unexpected target {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn flags_included_when_enabled() {
+        let space = FaultSpace { gpr: false, fpr: false, flags: true, mem: None, text: false, mbu_width: 1 };
+        let faults = sample_faults(IsaKind::Sira64, 2, 100, 50, &space, 3);
+        assert!(faults
+            .iter()
+            .all(|f| matches!(f.target, FaultTarget::Flag { which, .. } if which < 4)));
+    }
+}

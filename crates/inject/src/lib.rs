@@ -1,0 +1,47 @@
+//! # fracas-inject — soft-error fault injection campaigns
+//!
+//! Implements the paper's §3.2 fault-injection framework over the FRACAS
+//! machine:
+//!
+//! * **Fault model** (§3.2.1): single-bit upsets sampled uniformly over
+//!   (core × architected-register bit) and uniformly in time across the
+//!   application lifespan — OS boot is not simulated at all, so faults by
+//!   construction land only during the workload, *including* its syscalls
+//!   and parallelization-API guest code.
+//! * **Outcome classification** (§3.2.2, Cho et al.): [`Outcome`] —
+//!   Vanished / ONA / OMM / UT / Hang, decided by comparing console
+//!   output, memory state, register context and instruction counts
+//!   against the golden run.
+//! * **Four-phase workflow** (§3.2.3): golden execution → fault-list
+//!   generation → (parallel, batched) injection jobs → a single merged
+//!   [`CampaignResult`] database.
+//! * **Distribution** (§3.2.4): jobs run on a work queue over
+//!   host threads; results are index-sorted, so a campaign is
+//!   deterministic for a given seed regardless of thread count.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use fracas_inject::{CampaignConfig, Workload, run_campaign};
+//! use fracas_npb::{App, Model, Scenario};
+//! use fracas_isa::IsaKind;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let scenario = Scenario::new(App::Is, Model::Omp, 2, IsaKind::Sira64).unwrap();
+//! let workload = Workload::from_scenario(&scenario)?;
+//! let result = run_campaign(&workload, &CampaignConfig { faults: 100, ..Default::default() });
+//! println!("{}: {:?}", result.id, result.tally);
+//! # Ok(())
+//! # }
+//! ```
+
+mod campaign;
+mod classify;
+mod fault;
+
+pub use campaign::{
+    golden_only, golden_run, run_campaign, CampaignConfig, CampaignResult, GoldenSummary,
+    InjectionRecord, ProfileStats, Tally, Workload,
+};
+pub use classify::{classify, Outcome};
+pub use fault::{sample_faults, sample_faults_with_text, Fault, FaultSpace, FaultTarget};

@@ -1,0 +1,177 @@
+//! End-to-end campaign tests on real NPB scenarios.
+
+use fracas_inject::{run_campaign, CampaignConfig, Outcome, Workload};
+use fracas_isa::IsaKind;
+use fracas_npb::{App, Model, Scenario};
+
+fn campaign(app: App, model: Model, cores: u32, isa: IsaKind, faults: usize) -> fracas_inject::CampaignResult {
+    let scenario = Scenario::new(app, model, cores, isa).expect("scenario exists");
+    let workload = Workload::from_scenario(&scenario).expect("build");
+    run_campaign(
+        &workload,
+        &CampaignConfig { faults, threads: 1, ..CampaignConfig::default() },
+    )
+}
+
+#[test]
+fn is_serial_campaign_has_sane_distribution() {
+    let result = campaign(App::Is, Model::Serial, 1, IsaKind::Sira64, 80);
+    assert_eq!(result.tally.total(), 80);
+    assert_eq!(result.records.len(), 80);
+    // A real campaign is never all-vanished nor all-fatal.
+    assert!(result.tally.vanished > 0, "{:?}", result.tally);
+    assert!(
+        result.tally.total() > result.tally.vanished,
+        "some faults must leave traces: {:?}",
+        result.tally
+    );
+    // Profile metrics are populated.
+    assert!(result.profile.branch_ratio > 0.01);
+    assert!(result.profile.mem_ratio > 0.01);
+    assert!(result.golden.instructions > 10_000);
+}
+
+#[test]
+fn campaigns_are_deterministic() {
+    let a = campaign(App::Ep, Model::Serial, 1, IsaKind::Sira64, 40);
+    let b = campaign(App::Ep, Model::Serial, 1, IsaKind::Sira64, 40);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    let scenario = Scenario::new(App::Ep, Model::Serial, 1, IsaKind::Sira64).unwrap();
+    let workload = Workload::from_scenario(&scenario).unwrap();
+    let one = run_campaign(
+        &workload,
+        &CampaignConfig { faults: 30, threads: 1, ..CampaignConfig::default() },
+    );
+    let four = run_campaign(
+        &workload,
+        &CampaignConfig { faults: 30, threads: 4, ..CampaignConfig::default() },
+    );
+    assert_eq!(one, four);
+}
+
+#[test]
+fn mpi_campaign_runs_and_can_deadlock_or_trap() {
+    let result = campaign(App::Cg, Model::Mpi, 2, IsaKind::Sira64, 60);
+    assert_eq!(result.tally.total(), 60);
+    // MPI workloads expose UT (wild addresses) and/or Hang (deadlocked
+    // communication) under register faults; with 60 faults at least one
+    // non-masked outcome is effectively certain.
+    assert!(
+        result.tally.ut + result.tally.hang + result.tally.omm > 0,
+        "{:?}",
+        result.tally
+    );
+    // Per-core balance was captured for the mining engine.
+    assert_eq!(result.golden.per_core_instructions.len(), 2);
+}
+
+#[test]
+fn sira32_campaign_targets_16_registers() {
+    let result = campaign(App::Is, Model::Serial, 1, IsaKind::Sira32, 40);
+    assert_eq!(result.tally.total(), 40);
+    for r in &result.records {
+        match r.fault.target {
+            fracas_inject::FaultTarget::Gpr { reg, bit, .. } => {
+                assert!(reg < 16 && bit < 32);
+            }
+            other => panic!("unexpected target {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn seeds_change_fault_lists() {
+    let scenario = Scenario::new(App::Is, Model::Serial, 1, IsaKind::Sira64).unwrap();
+    let workload = Workload::from_scenario(&scenario).unwrap();
+    let a = run_campaign(
+        &workload,
+        &CampaignConfig { faults: 20, seed: 1, threads: 1, ..CampaignConfig::default() },
+    );
+    let b = run_campaign(
+        &workload,
+        &CampaignConfig { faults: 20, seed: 2, threads: 1, ..CampaignConfig::default() },
+    );
+    assert_ne!(
+        a.records.iter().map(|r| r.fault).collect::<Vec<_>>(),
+        b.records.iter().map(|r| r.fault).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn database_json_roundtrips_through_disk_format() {
+    let result = campaign(App::Mg, Model::Serial, 1, IsaKind::Sira64, 25);
+    let json = result.to_json();
+    let back = fracas_inject::CampaignResult::from_json(&json).unwrap();
+    assert_eq!(back, result);
+    assert_eq!(back.tally.total(), 25);
+    let masked: u64 = back
+        .records
+        .iter()
+        .filter(|r| r.outcome.is_masked())
+        .count() as u64;
+    assert_eq!(masked, back.tally.vanished + back.tally.ona);
+    for o in Outcome::ALL {
+        assert_eq!(
+            back.tally.count(o),
+            back.records.iter().filter(|r| r.outcome == o).count() as u64
+        );
+    }
+}
+
+#[test]
+fn text_faults_hit_instruction_memory() {
+    let scenario = Scenario::new(App::Is, Model::Serial, 1, IsaKind::Sira64).unwrap();
+    let workload = Workload::from_scenario(&scenario).unwrap();
+    let space = fracas_inject::FaultSpace {
+        gpr: false,
+        fpr: false,
+        flags: false,
+        mem: None,
+        text: true,
+        mbu_width: 1,
+    };
+    let result = run_campaign(
+        &workload,
+        &CampaignConfig { faults: 40, threads: 1, space, ..CampaignConfig::default() },
+    );
+    assert_eq!(result.tally.total(), 40);
+    for r in &result.records {
+        assert!(
+            matches!(r.fault.target, fracas_inject::FaultTarget::Text { bit, .. } if bit < 32),
+            "{:?}",
+            r.fault.target
+        );
+    }
+    // Corrupted instructions are harsher than register flips: a healthy
+    // share must not vanish.
+    assert!(
+        result.tally.total() > result.tally.vanished,
+        "{:?}",
+        result.tally
+    );
+}
+
+#[test]
+fn o0_workloads_have_distinct_ids_and_more_memory_traffic() {
+    let scenario = Scenario::new(App::Is, Model::Serial, 1, IsaKind::Sira64).unwrap();
+    let w1 = Workload::from_scenario_with(&scenario, fracas_lang::OptLevel::O1).unwrap();
+    let w0 = Workload::from_scenario_with(&scenario, fracas_lang::OptLevel::O0).unwrap();
+    assert_eq!(w1.id, "is-ser-1-sira64");
+    assert_eq!(w0.id, "is-ser-1-sira64-o0");
+    let (g1, _) = fracas_inject::golden_run(&w1);
+    let (g0, _) = fracas_inject::golden_run(&w0);
+    let mem1 = g1.total_stats().mem_ratio();
+    let mem0 = g0.total_stats().mem_ratio();
+    assert!(
+        mem0 > mem1,
+        "-O0 must produce more memory traffic: {mem0:.3} vs {mem1:.3}"
+    );
+    // Absolute load/store counts rise too (every local access becomes a
+    // memory access); total instructions barely move since a `ld`
+    // replaces a `mov`.
+    assert!(g0.total_stats().mem_ops() > g1.total_stats().mem_ops());
+}

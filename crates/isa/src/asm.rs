@@ -1,0 +1,486 @@
+//! The assembler / program builder.
+//!
+//! [`Asm`] accumulates instructions, labels, symbol definitions, data and
+//! relocations for one object. Instruction emitters validate against the
+//! target ISA and panic on violations (they indicate bugs in the code
+//! generator, not runtime conditions).
+
+use crate::inst::{AluOp, InstKind, Width};
+use crate::object::{Object, Reloc, Section, SymDef};
+use crate::{Cond, FpOp, FReg, Inst, IsaKind, Reg};
+
+/// A forward-referenceable label inside one object's text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(usize);
+
+#[derive(Debug, Clone, Copy)]
+enum Fixup {
+    B { at: usize, label: usize },
+    Bl { at: usize, label: usize },
+}
+
+/// Builds one relocatable [`Object`].
+///
+/// # Example
+///
+/// ```
+/// use fracas_isa::{Asm, Cond, IsaKind, Reg};
+///
+/// let mut asm = Asm::new(IsaKind::Sira32);
+/// asm.global_fn("_start");
+/// let done = asm.new_label();
+/// asm.movz(Reg(0), 10, 0);
+/// let top = asm.here();
+/// asm.cmpi(Reg(0), 0);
+/// asm.bc(Cond::Eq, done);
+/// asm.subi(Reg(0), Reg(0), 1);
+/// asm.b(top);
+/// asm.bind(done);
+/// asm.halt();
+/// let object = asm.into_object();
+/// assert_eq!(object.text.len(), 6);
+/// ```
+#[derive(Debug)]
+pub struct Asm {
+    isa: IsaKind,
+    text: Vec<Inst>,
+    data: Vec<u8>,
+    defs: Vec<SymDef>,
+    relocs: Vec<Reloc>,
+    labels: Vec<Option<usize>>,
+    fixups: Vec<Fixup>,
+}
+
+impl Asm {
+    /// Creates an empty builder for the given ISA.
+    pub fn new(isa: IsaKind) -> Asm {
+        Asm {
+            isa,
+            text: Vec::new(),
+            data: Vec::new(),
+            defs: Vec::new(),
+            relocs: Vec::new(),
+            labels: Vec::new(),
+            fixups: Vec::new(),
+        }
+    }
+
+    /// The target ISA.
+    pub fn isa(&self) -> IsaKind {
+        self.isa
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// True if no instructions have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.text.is_empty()
+    }
+
+    /// Emits a raw instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instruction is invalid for the target ISA.
+    pub fn emit(&mut self, inst: Inst) {
+        if let Err(e) = self.isa.validate(&inst) {
+            panic!("asm: {e} in `{inst}`");
+        }
+        self.text.push(inst);
+    }
+
+    /// Emits an unconditional instruction kind.
+    pub fn inst(&mut self, kind: InstKind) {
+        self.emit(Inst::new(kind));
+    }
+
+    /// Emits a conditionally executed instruction kind (SIRA-32 only for
+    /// non-branches).
+    pub fn inst_if(&mut self, cond: Cond, kind: InstKind) {
+        self.emit(Inst::when(cond, kind));
+    }
+
+    // ----- labels -------------------------------------------------------
+
+    /// Creates a fresh unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds a label to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) {
+        assert!(self.labels[label.0].is_none(), "label bound twice");
+        self.labels[label.0] = Some(self.text.len());
+    }
+
+    /// Creates a label bound to the current position.
+    pub fn here(&mut self) -> Label {
+        let l = self.new_label();
+        self.bind(l);
+        l
+    }
+
+    // ----- symbols and data ---------------------------------------------
+
+    /// Defines a global text symbol (function) at the current position.
+    pub fn global_fn(&mut self, name: &str) {
+        self.defs.push(SymDef {
+            name: name.to_string(),
+            section: Section::Text,
+            offset: self.text.len() as u32,
+        });
+    }
+
+    /// Appends initialised bytes to the data template under a symbol.
+    pub fn data_bytes(&mut self, name: &str, bytes: &[u8]) {
+        self.align_data(8);
+        self.defs.push(SymDef {
+            name: name.to_string(),
+            section: Section::Data,
+            offset: self.data.len() as u32,
+        });
+        self.data.extend_from_slice(bytes);
+    }
+
+    /// Appends `len` zero bytes to the data template under a symbol.
+    pub fn data_zero(&mut self, name: &str, len: u32) {
+        self.align_data(8);
+        self.defs.push(SymDef {
+            name: name.to_string(),
+            section: Section::Data,
+            offset: self.data.len() as u32,
+        });
+        self.data.extend(std::iter::repeat_n(0u8, len as usize));
+    }
+
+    /// Appends 64-bit words (e.g. `f64` constants as bits) under a symbol.
+    pub fn data_u64(&mut self, name: &str, words: &[u64]) {
+        let mut bytes = Vec::with_capacity(words.len() * 8);
+        for w in words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        self.data_bytes(name, &bytes);
+    }
+
+    fn align_data(&mut self, align: usize) {
+        while self.data.len() % align != 0 {
+            self.data.push(0);
+        }
+    }
+
+    // ----- instruction helpers ------------------------------------------
+
+    /// `nop`
+    pub fn nop(&mut self) {
+        self.inst(InstKind::Nop);
+    }
+
+    /// `halt`
+    pub fn halt(&mut self) {
+        self.inst(InstKind::Halt);
+    }
+
+    /// `svc #imm`
+    pub fn svc(&mut self, imm: u16) {
+        self.inst(InstKind::Svc { imm });
+    }
+
+    /// `ret`
+    pub fn ret(&mut self) {
+        self.inst(InstKind::Ret);
+    }
+
+    /// `rd = rn <op> rm`
+    pub fn alu(&mut self, op: AluOp, rd: Reg, rn: Reg, rm: Reg) {
+        self.inst(InstKind::Alu { op, rd, rn, rm });
+    }
+
+    /// `rd = rn <op> imm`
+    pub fn alui(&mut self, op: AluOp, rd: Reg, rn: Reg, imm: i16) {
+        self.inst(InstKind::AluImm { op, rd, rn, imm });
+    }
+
+    /// `rd = rn + rm`
+    pub fn add(&mut self, rd: Reg, rn: Reg, rm: Reg) {
+        self.alu(AluOp::Add, rd, rn, rm);
+    }
+
+    /// `rd = rn - rm`
+    pub fn sub(&mut self, rd: Reg, rn: Reg, rm: Reg) {
+        self.alu(AluOp::Sub, rd, rn, rm);
+    }
+
+    /// `rd = rn * rm`
+    pub fn mul(&mut self, rd: Reg, rn: Reg, rm: Reg) {
+        self.alu(AluOp::Mul, rd, rn, rm);
+    }
+
+    /// `rd = rn + imm`
+    pub fn addi(&mut self, rd: Reg, rn: Reg, imm: i16) {
+        self.alui(AluOp::Add, rd, rn, imm);
+    }
+
+    /// `rd = rn - imm`
+    pub fn subi(&mut self, rd: Reg, rn: Reg, imm: i16) {
+        self.alui(AluOp::Sub, rd, rn, imm);
+    }
+
+    /// `rd = rn << imm`
+    pub fn lsli(&mut self, rd: Reg, rn: Reg, imm: i16) {
+        self.alui(AluOp::Lsl, rd, rn, imm);
+    }
+
+    /// `rd = rn >> imm` (logical)
+    pub fn lsri(&mut self, rd: Reg, rn: Reg, imm: i16) {
+        self.alui(AluOp::Lsr, rd, rn, imm);
+    }
+
+    /// `rd = rn >> imm` (arithmetic)
+    pub fn asri(&mut self, rd: Reg, rn: Reg, imm: i16) {
+        self.alui(AluOp::Asr, rd, rn, imm);
+    }
+
+    /// `cmp rn, rm`
+    pub fn cmp(&mut self, rn: Reg, rm: Reg) {
+        self.inst(InstKind::Cmp { rn, rm });
+    }
+
+    /// `cmp rn, #imm`
+    pub fn cmpi(&mut self, rn: Reg, imm: i16) {
+        self.inst(InstKind::CmpImm { rn, imm });
+    }
+
+    /// `movz rd, #imm, lsl #(16*shift)`
+    pub fn movz(&mut self, rd: Reg, imm: u16, shift: u8) {
+        self.inst(InstKind::MovImm { rd, imm, shift, keep: false });
+    }
+
+    /// `movk rd, #imm, lsl #(16*shift)`
+    pub fn movk(&mut self, rd: Reg, imm: u16, shift: u8) {
+        self.inst(InstKind::MovImm { rd, imm, shift, keep: true });
+    }
+
+    /// `mov rd, rm`
+    pub fn mov(&mut self, rd: Reg, rm: Reg) {
+        self.inst(InstKind::Mov { rd, rm });
+    }
+
+    /// Loads an arbitrary constant with the shortest movz/movk sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit the ISA word (e.g. a 64-bit value
+    /// on SIRA-32).
+    pub fn load_imm(&mut self, rd: Reg, value: u64) {
+        let max_shift = self.isa.max_mov_shift();
+        assert!(
+            max_shift == 3 || value <= u64::from(u32::MAX),
+            "constant {value:#x} does not fit a 32-bit register"
+        );
+        self.movz(rd, (value & 0xffff) as u16, 0);
+        for shift in 1..=max_shift {
+            let chunk = ((value >> (16 * shift)) & 0xffff) as u16;
+            if chunk != 0 {
+                self.movk(rd, chunk, shift);
+            }
+        }
+    }
+
+    /// Loads a word from `[rn + off]`.
+    pub fn ld(&mut self, rd: Reg, rn: Reg, off: i16) {
+        self.inst(InstKind::Ld { width: Width::Word, rd, rn, off });
+    }
+
+    /// Stores a word to `[rn + off]`.
+    pub fn st(&mut self, rd: Reg, rn: Reg, off: i16) {
+        self.inst(InstKind::St { width: Width::Word, rd, rn, off });
+    }
+
+    /// Loads a byte (zero-extended) from `[rn + off]`.
+    pub fn ldb(&mut self, rd: Reg, rn: Reg, off: i16) {
+        self.inst(InstKind::Ld { width: Width::Byte, rd, rn, off });
+    }
+
+    /// Stores a byte to `[rn + off]`.
+    pub fn stb(&mut self, rd: Reg, rn: Reg, off: i16) {
+        self.inst(InstKind::St { width: Width::Byte, rd, rn, off });
+    }
+
+    /// Loads a word from `[rn + rm]`.
+    pub fn ldr(&mut self, rd: Reg, rn: Reg, rm: Reg) {
+        self.inst(InstKind::LdR { width: Width::Word, rd, rn, rm });
+    }
+
+    /// Stores a word to `[rn + rm]`.
+    pub fn str(&mut self, rd: Reg, rn: Reg, rm: Reg) {
+        self.inst(InstKind::StR { width: Width::Word, rd, rn, rm });
+    }
+
+    /// Unconditional branch to a label.
+    pub fn b(&mut self, label: Label) {
+        self.fixups.push(Fixup::B { at: self.text.len(), label: label.0 });
+        self.inst(InstKind::B { off: 0 });
+    }
+
+    /// Conditional branch to a label.
+    pub fn bc(&mut self, cond: Cond, label: Label) {
+        self.fixups.push(Fixup::B { at: self.text.len(), label: label.0 });
+        self.inst_if(cond, InstKind::B { off: 0 });
+    }
+
+    /// Call a local label.
+    pub fn bl(&mut self, label: Label) {
+        self.fixups.push(Fixup::Bl { at: self.text.len(), label: label.0 });
+        self.inst(InstKind::Bl { off: 0 });
+    }
+
+    /// Call a (possibly external) symbol; resolved at link time.
+    pub fn bl_sym(&mut self, name: &str) {
+        self.relocs.push(Reloc::Call { at: self.text.len() as u32, name: name.to_string() });
+        self.inst(InstKind::Bl { off: 0 });
+    }
+
+    /// Indirect call through a register.
+    pub fn blr(&mut self, rm: Reg) {
+        self.inst(InstKind::Blr { rm });
+    }
+
+    /// Atomic swap `rd = [rn]; [rn] = rm`.
+    pub fn swp(&mut self, rd: Reg, rn: Reg, rm: Reg) {
+        self.inst(InstKind::Swp { rd, rn, rm });
+    }
+
+    /// Atomic fetch-add `rd = [rn]; [rn] += rm`.
+    pub fn amoadd(&mut self, rd: Reg, rn: Reg, rm: Reg) {
+        self.inst(InstKind::AmoAdd { rd, rn, rm });
+    }
+
+    /// Loads `rd` with `GB + offset_of(symbol)` — the address of a global.
+    ///
+    /// Emits a `movz`/`movk` pair (patched by the linker) plus an add with
+    /// the global base register.
+    pub fn lea_data(&mut self, rd: Reg, name: &str) {
+        let scratch = self.isa.scratch();
+        self.relocs.push(Reloc::DataOff { at: self.text.len() as u32, name: name.to_string() });
+        self.movz(scratch, 0, 0);
+        self.movk(scratch, 0, 1);
+        self.add(rd, self.isa.gb(), scratch);
+    }
+
+    /// Loads `rd` with the absolute address of a text symbol (for function
+    /// pointers passed to `spawn`/`parallel_for`).
+    pub fn lea_text(&mut self, rd: Reg, name: &str) {
+        self.relocs.push(Reloc::TextAddr { at: self.text.len() as u32, name: name.to_string() });
+        self.movz(rd, 0, 0);
+        self.movk(rd, 0, 1);
+    }
+
+    /// Hardware FP operation (SIRA-64).
+    pub fn fp(&mut self, op: FpOp, fd: FReg, fa: FReg, fb: FReg) {
+        self.inst(InstKind::Fp { op, fd, fa, fb });
+    }
+
+    /// FP compare (SIRA-64).
+    pub fn fcmp(&mut self, fa: FReg, fb: FReg) {
+        self.inst(InstKind::FpCmp { fa, fb });
+    }
+
+    /// Finalises the object, resolving all local label fixups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label is unbound.
+    pub fn into_object(self) -> Object {
+        let Asm { isa, mut text, data, defs, relocs, labels, fixups } = self;
+        for fixup in fixups {
+            let (at, label) = match fixup {
+                Fixup::B { at, label } | Fixup::Bl { at, label } => (at, label),
+            };
+            let target = labels[label].unwrap_or_else(|| panic!("unbound label L{label}"));
+            let off = target as i64 - (at as i64 + 1);
+            match &mut text[at].kind {
+                InstKind::B { off: slot } | InstKind::Bl { off: slot } => *slot = off as i32,
+                ref k => unreachable!("fixup at non-branch {k:?}"),
+            }
+        }
+        Object { isa: Some(isa), text, data, defs, relocs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backward_and_forward_branches() {
+        let mut asm = Asm::new(IsaKind::Sira64);
+        asm.global_fn("_start");
+        let fwd = asm.new_label();
+        let top = asm.here();
+        asm.nop(); // word 0
+        asm.bc(Cond::Eq, fwd); // word 1
+        asm.b(top); // word 2
+        asm.bind(fwd);
+        asm.halt(); // word 3
+        let obj = asm.into_object();
+        match obj.text[1].kind {
+            InstKind::B { off } => assert_eq!(off, 1),
+            ref k => panic!("{k:?}"),
+        }
+        match obj.text[2].kind {
+            InstKind::B { off } => assert_eq!(off, -3),
+            ref k => panic!("{k:?}"),
+        }
+    }
+
+    #[test]
+    fn load_imm_lengths() {
+        let mut asm = Asm::new(IsaKind::Sira64);
+        asm.load_imm(Reg(0), 7); // 1 inst
+        asm.load_imm(Reg(0), 0x0001_0000); // movz + movk -> 2
+        asm.load_imm(Reg(0), 0xdead_beef_0000_0001); // movz + 2 movk (zero chunk skipped) -> 3
+        assert_eq!(asm.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit a 32-bit register")]
+    fn load_imm_too_big_for_sira32() {
+        let mut asm = Asm::new(IsaKind::Sira32);
+        asm.load_imm(Reg(0), 0x1_0000_0000);
+    }
+
+    #[test]
+    #[should_panic(expected = "isa violation")]
+    fn emit_validates() {
+        let mut asm = Asm::new(IsaKind::Sira32);
+        asm.mov(Reg(20), Reg(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics() {
+        let mut asm = Asm::new(IsaKind::Sira64);
+        let l = asm.new_label();
+        asm.b(l);
+        let _ = asm.into_object();
+    }
+
+    #[test]
+    fn data_emission_is_aligned() {
+        let mut asm = Asm::new(IsaKind::Sira64);
+        asm.data_bytes("a", &[1, 2, 3]);
+        asm.data_u64("b", &[42]);
+        let obj = asm.into_object();
+        let b = obj.defs.iter().find(|d| d.name == "b").unwrap();
+        assert_eq!(b.offset % 8, 0);
+        assert_eq!(&obj.data[b.offset as usize..b.offset as usize + 8], &42u64.to_le_bytes());
+    }
+}

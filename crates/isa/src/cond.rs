@@ -1,0 +1,191 @@
+//! Condition codes.
+//!
+//! On [`Sira32`](crate::IsaKind::Sira32) every instruction carries a
+//! condition (ARMv7-style conditional execution); on
+//! [`Sira64`](crate::IsaKind::Sira64) only branches may be conditional.
+
+use std::fmt;
+
+/// A condition evaluated against the NZCV flags.
+///
+/// The encoding values match the 4-bit `cond` field of the binary format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(u8)]
+pub enum Cond {
+    /// Always (unconditional).
+    #[default]
+    Al = 0,
+    /// Equal (Z set).
+    Eq = 1,
+    /// Not equal (Z clear).
+    Ne = 2,
+    /// Signed less than (N != V).
+    Lt = 3,
+    /// Signed less than or equal (Z set or N != V).
+    Le = 4,
+    /// Signed greater than (Z clear and N == V).
+    Gt = 5,
+    /// Signed greater than or equal (N == V).
+    Ge = 6,
+    /// Unsigned lower (C clear).
+    Lo = 7,
+    /// Unsigned lower or same (C clear or Z set).
+    Ls = 8,
+    /// Unsigned higher (C set and Z clear).
+    Hi = 9,
+    /// Unsigned higher or same (C set).
+    Hs = 10,
+    /// Negative (N set).
+    Mi = 11,
+    /// Positive or zero (N clear).
+    Pl = 12,
+}
+
+impl Cond {
+    /// All condition codes, in encoding order.
+    pub const ALL: [Cond; 13] = [
+        Cond::Al,
+        Cond::Eq,
+        Cond::Ne,
+        Cond::Lt,
+        Cond::Le,
+        Cond::Gt,
+        Cond::Ge,
+        Cond::Lo,
+        Cond::Ls,
+        Cond::Hi,
+        Cond::Hs,
+        Cond::Mi,
+        Cond::Pl,
+    ];
+
+    /// Decodes a 4-bit condition field.
+    ///
+    /// Returns `None` for the three unused encodings.
+    pub fn from_bits(bits: u8) -> Option<Cond> {
+        Cond::ALL.get(bits as usize).copied()
+    }
+
+    /// The 4-bit encoding of this condition.
+    pub fn bits(self) -> u8 {
+        self as u8
+    }
+
+    /// The logical inverse of this condition.
+    ///
+    /// `Al` is its own inverse (there is no "never" encoding).
+    pub fn invert(self) -> Cond {
+        match self {
+            Cond::Al => Cond::Al,
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Le => Cond::Gt,
+            Cond::Gt => Cond::Le,
+            Cond::Ge => Cond::Lt,
+            Cond::Lo => Cond::Hs,
+            Cond::Ls => Cond::Hi,
+            Cond::Hi => Cond::Ls,
+            Cond::Hs => Cond::Lo,
+            Cond::Mi => Cond::Pl,
+            Cond::Pl => Cond::Mi,
+        }
+    }
+
+    /// Evaluates the condition against NZCV flags.
+    pub fn holds(self, n: bool, z: bool, c: bool, v: bool) -> bool {
+        match self {
+            Cond::Al => true,
+            Cond::Eq => z,
+            Cond::Ne => !z,
+            Cond::Lt => n != v,
+            Cond::Le => z || (n != v),
+            Cond::Gt => !z && (n == v),
+            Cond::Ge => n == v,
+            Cond::Lo => !c,
+            Cond::Ls => !c || z,
+            Cond::Hi => c && !z,
+            Cond::Hs => c,
+            Cond::Mi => n,
+            Cond::Pl => !n,
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Al => "al",
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Le => "le",
+            Cond::Gt => "gt",
+            Cond::Ge => "ge",
+            Cond::Lo => "lo",
+            Cond::Ls => "ls",
+            Cond::Hi => "hi",
+            Cond::Hs => "hs",
+            Cond::Mi => "mi",
+            Cond::Pl => "pl",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_roundtrip() {
+        for c in Cond::ALL {
+            assert_eq!(Cond::from_bits(c.bits()), Some(c));
+        }
+        assert_eq!(Cond::from_bits(13), None);
+        assert_eq!(Cond::from_bits(15), None);
+    }
+
+    #[test]
+    fn invert_is_involution() {
+        for c in Cond::ALL {
+            assert_eq!(c.invert().invert(), c);
+        }
+    }
+
+    #[test]
+    fn invert_flips_outcome() {
+        // For every non-Al condition and every flag combination, cond and
+        // its inverse must disagree.
+        for c in Cond::ALL.into_iter().filter(|&c| c != Cond::Al) {
+            for bits in 0..16u8 {
+                let (n, z, cf, v) = (bits & 1 != 0, bits & 2 != 0, bits & 4 != 0, bits & 8 != 0);
+                assert_ne!(
+                    c.holds(n, z, cf, v),
+                    c.invert().holds(n, z, cf, v),
+                    "cond {c} flags n={n} z={z} c={cf} v={v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn semantics_spot_checks() {
+        // cmp 3, 5 (signed): N set (3-5 < 0), Z clear, borrow -> C clear.
+        assert!(Cond::Lt.holds(true, false, false, false));
+        assert!(Cond::Le.holds(true, false, false, false));
+        assert!(!Cond::Ge.holds(true, false, false, false));
+        assert!(Cond::Lo.holds(true, false, false, false));
+        // cmp 5, 5: Z set, C set (no borrow).
+        assert!(Cond::Eq.holds(false, true, true, false));
+        assert!(Cond::Ls.holds(false, true, true, false));
+        assert!(Cond::Hs.holds(false, true, true, false));
+        assert!(!Cond::Hi.holds(false, true, true, false));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Cond::Eq.to_string(), "eq");
+        assert_eq!(Cond::Hs.to_string(), "hs");
+    }
+}

@@ -1,0 +1,344 @@
+//! Binary instruction encoding.
+//!
+//! Every instruction encodes into one little-endian 32-bit word:
+//!
+//! ```text
+//! [31:25] opcode (7 bits)
+//! [24:21] condition (4 bits)
+//! [20:0]  operands:
+//!   R-form: rd[20:16] rn[15:11] rm[10:6]
+//!   I-form: rd[20:16] rn[15:11] imm11[10:0] (signed)
+//!   M-form: rd[20:16] imm16[15:0]
+//!   B-form: off21[20:0] (signed word offset)
+//! ```
+
+use crate::inst::{AluOp, FpOp, Inst, InstKind, Width};
+use crate::{Cond, DecodeError, FReg, Reg};
+
+const OP_NOP: u32 = 0;
+const OP_HALT: u32 = 1;
+const OP_SVC: u32 = 2;
+const OP_RET: u32 = 3;
+const OP_ALU_R: u32 = 8; // ..=19
+const OP_CMP: u32 = 20;
+const OP_MOV: u32 = 21;
+const OP_MVN: u32 = 22;
+const OP_ALU_I: u32 = 24; // ..=35
+const OP_CMP_I: u32 = 36;
+const OP_MOVIMM: u32 = 37; // + shift*2 + keep -> ..=44
+const OP_LD: u32 = 45; // + width -> ..=47
+const OP_ST: u32 = 48;
+const OP_LDR_R: u32 = 51;
+const OP_STR_R: u32 = 54;
+const OP_B: u32 = 57;
+const OP_BL: u32 = 58;
+const OP_BLR: u32 = 59;
+const OP_SWP: u32 = 60;
+const OP_AMOADD: u32 = 61;
+const OP_FP: u32 = 64; // ..=71
+const OP_FPCMP: u32 = 72;
+const OP_FMOV_TO: u32 = 73;
+const OP_FMOV_FROM: u32 = 74;
+const OP_FCVTZS: u32 = 75;
+const OP_SCVTF: u32 = 76;
+const OP_FLD: u32 = 77;
+const OP_FST: u32 = 78;
+const OP_FLD_R: u32 = 79;
+const OP_FST_R: u32 = 80;
+
+fn r_form(rd: u8, rn: u8, rm: u8) -> u32 {
+    (u32::from(rd) << 16) | (u32::from(rn) << 11) | (u32::from(rm) << 6)
+}
+
+fn i_form(rd: u8, rn: u8, imm: i16) -> u32 {
+    (u32::from(rd) << 16) | (u32::from(rn) << 11) | (imm as u32 & 0x7ff)
+}
+
+fn m_form(rd: u8, imm: u16) -> u32 {
+    (u32::from(rd) << 16) | u32::from(imm)
+}
+
+fn b_form(off: i32) -> u32 {
+    off as u32 & 0x1f_ffff
+}
+
+fn width_idx(w: Width) -> u32 {
+    w as u32
+}
+
+/// Encodes an instruction into its 32-bit binary form.
+///
+/// Encoding is total: any representable [`Inst`] encodes; ISA-specific
+/// *validity* is the job of [`crate::IsaKind::validate`].
+pub fn encode(inst: &Inst) -> u32 {
+    let (opcode, operands) = match inst.kind {
+        InstKind::Nop => (OP_NOP, 0),
+        InstKind::Halt => (OP_HALT, 0),
+        InstKind::Svc { imm } => (OP_SVC, u32::from(imm)),
+        InstKind::Ret => (OP_RET, 0),
+        InstKind::Alu { op, rd, rn, rm } => (OP_ALU_R + op as u32, r_form(rd.0, rn.0, rm.0)),
+        InstKind::Cmp { rn, rm } => (OP_CMP, r_form(0, rn.0, rm.0)),
+        InstKind::Mov { rd, rm } => (OP_MOV, r_form(rd.0, 0, rm.0)),
+        InstKind::Mvn { rd, rm } => (OP_MVN, r_form(rd.0, 0, rm.0)),
+        InstKind::AluImm { op, rd, rn, imm } => (OP_ALU_I + op as u32, i_form(rd.0, rn.0, imm)),
+        InstKind::CmpImm { rn, imm } => (OP_CMP_I, i_form(0, rn.0, imm)),
+        InstKind::MovImm { rd, imm, shift, keep } => (
+            OP_MOVIMM + u32::from(shift) * 2 + u32::from(keep),
+            m_form(rd.0, imm),
+        ),
+        InstKind::Ld { width, rd, rn, off } => (OP_LD + width_idx(width), i_form(rd.0, rn.0, off)),
+        InstKind::St { width, rd, rn, off } => (OP_ST + width_idx(width), i_form(rd.0, rn.0, off)),
+        InstKind::LdR { width, rd, rn, rm } => {
+            (OP_LDR_R + width_idx(width), r_form(rd.0, rn.0, rm.0))
+        }
+        InstKind::StR { width, rd, rn, rm } => {
+            (OP_STR_R + width_idx(width), r_form(rd.0, rn.0, rm.0))
+        }
+        InstKind::B { off } => (OP_B, b_form(off)),
+        InstKind::Bl { off } => (OP_BL, b_form(off)),
+        InstKind::Blr { rm } => (OP_BLR, r_form(0, 0, rm.0)),
+        InstKind::Swp { rd, rn, rm } => (OP_SWP, r_form(rd.0, rn.0, rm.0)),
+        InstKind::AmoAdd { rd, rn, rm } => (OP_AMOADD, r_form(rd.0, rn.0, rm.0)),
+        InstKind::Fp { op, fd, fa, fb } => (OP_FP + op as u32, r_form(fd.0, fa.0, fb.0)),
+        InstKind::FpCmp { fa, fb } => (OP_FPCMP, r_form(0, fa.0, fb.0)),
+        InstKind::FMovToFp { fd, rn } => (OP_FMOV_TO, r_form(fd.0, rn.0, 0)),
+        InstKind::FMovFromFp { rd, fa } => (OP_FMOV_FROM, r_form(rd.0, fa.0, 0)),
+        InstKind::Fcvtzs { rd, fa } => (OP_FCVTZS, r_form(rd.0, fa.0, 0)),
+        InstKind::Scvtf { fd, rn } => (OP_SCVTF, r_form(fd.0, rn.0, 0)),
+        InstKind::FLd { fd, rn, off } => (OP_FLD, i_form(fd.0, rn.0, off)),
+        InstKind::FSt { fd, rn, off } => (OP_FST, i_form(fd.0, rn.0, off)),
+        InstKind::FLdR { fd, rn, rm } => (OP_FLD_R, r_form(fd.0, rn.0, rm.0)),
+        InstKind::FStR { fd, rn, rm } => (OP_FST_R, r_form(fd.0, rn.0, rm.0)),
+    };
+    (opcode << 25) | (u32::from(inst.cond.bits()) << 21) | operands
+}
+
+fn dec_rd(w: u32) -> Reg {
+    Reg(((w >> 16) & 0x1f) as u8)
+}
+
+fn dec_rn(w: u32) -> Reg {
+    Reg(((w >> 11) & 0x1f) as u8)
+}
+
+fn dec_rm(w: u32) -> Reg {
+    Reg(((w >> 6) & 0x1f) as u8)
+}
+
+fn dec_fd(w: u32) -> FReg {
+    FReg(((w >> 16) & 0x1f) as u8)
+}
+
+fn dec_fa(w: u32) -> FReg {
+    FReg(((w >> 11) & 0x1f) as u8)
+}
+
+fn dec_fb(w: u32) -> FReg {
+    FReg(((w >> 6) & 0x1f) as u8)
+}
+
+fn dec_imm11(w: u32) -> i16 {
+    // Sign-extend the low 11 bits.
+    (((w & 0x7ff) as i16) << 5) >> 5
+}
+
+fn dec_imm16(w: u32) -> u16 {
+    (w & 0xffff) as u16
+}
+
+fn dec_off21(w: u32) -> i32 {
+    ((w & 0x1f_ffff) as i32) << 11 >> 11
+}
+
+fn dec_width(idx: u32) -> Width {
+    match idx {
+        0 => Width::Word,
+        1 => Width::Byte,
+        _ => Width::Half,
+    }
+}
+
+/// Decodes a 32-bit word back into an instruction.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the opcode or condition field is not a
+/// legal encoding. (This is how the CPU detects corrupted instruction
+/// fetches: an undecodable word raises an illegal-instruction trap.)
+pub fn decode(word: u32) -> Result<Inst, DecodeError> {
+    let opcode = word >> 25;
+    let cond = Cond::from_bits(((word >> 21) & 0xf) as u8).ok_or(DecodeError { word })?;
+    let kind = match opcode {
+        OP_NOP => InstKind::Nop,
+        OP_HALT => InstKind::Halt,
+        OP_SVC => InstKind::Svc { imm: dec_imm16(word) },
+        OP_RET => InstKind::Ret,
+        o if (OP_ALU_R..OP_ALU_R + 12).contains(&o) => InstKind::Alu {
+            op: AluOp::ALL[(o - OP_ALU_R) as usize],
+            rd: dec_rd(word),
+            rn: dec_rn(word),
+            rm: dec_rm(word),
+        },
+        OP_CMP => InstKind::Cmp { rn: dec_rn(word), rm: dec_rm(word) },
+        OP_MOV => InstKind::Mov { rd: dec_rd(word), rm: dec_rm(word) },
+        OP_MVN => InstKind::Mvn { rd: dec_rd(word), rm: dec_rm(word) },
+        o if (OP_ALU_I..OP_ALU_I + 12).contains(&o) => InstKind::AluImm {
+            op: AluOp::ALL[(o - OP_ALU_I) as usize],
+            rd: dec_rd(word),
+            rn: dec_rn(word),
+            imm: dec_imm11(word),
+        },
+        OP_CMP_I => InstKind::CmpImm { rn: dec_rn(word), imm: dec_imm11(word) },
+        o if (OP_MOVIMM..OP_MOVIMM + 8).contains(&o) => {
+            let sel = o - OP_MOVIMM;
+            InstKind::MovImm {
+                rd: dec_rd(word),
+                imm: dec_imm16(word),
+                shift: (sel / 2) as u8,
+                keep: sel % 2 == 1,
+            }
+        }
+        o if (OP_LD..OP_LD + 3).contains(&o) => InstKind::Ld {
+            width: dec_width(o - OP_LD),
+            rd: dec_rd(word),
+            rn: dec_rn(word),
+            off: dec_imm11(word),
+        },
+        o if (OP_ST..OP_ST + 3).contains(&o) => InstKind::St {
+            width: dec_width(o - OP_ST),
+            rd: dec_rd(word),
+            rn: dec_rn(word),
+            off: dec_imm11(word),
+        },
+        o if (OP_LDR_R..OP_LDR_R + 3).contains(&o) => InstKind::LdR {
+            width: dec_width(o - OP_LDR_R),
+            rd: dec_rd(word),
+            rn: dec_rn(word),
+            rm: dec_rm(word),
+        },
+        o if (OP_STR_R..OP_STR_R + 3).contains(&o) => InstKind::StR {
+            width: dec_width(o - OP_STR_R),
+            rd: dec_rd(word),
+            rn: dec_rn(word),
+            rm: dec_rm(word),
+        },
+        OP_B => InstKind::B { off: dec_off21(word) },
+        OP_BL => InstKind::Bl { off: dec_off21(word) },
+        OP_BLR => InstKind::Blr { rm: dec_rm(word) },
+        OP_SWP => InstKind::Swp { rd: dec_rd(word), rn: dec_rn(word), rm: dec_rm(word) },
+        OP_AMOADD => InstKind::AmoAdd { rd: dec_rd(word), rn: dec_rn(word), rm: dec_rm(word) },
+        o if (OP_FP..OP_FP + 8).contains(&o) => InstKind::Fp {
+            op: FpOp::ALL[(o - OP_FP) as usize],
+            fd: dec_fd(word),
+            fa: dec_fa(word),
+            fb: dec_fb(word),
+        },
+        OP_FPCMP => InstKind::FpCmp { fa: dec_fa(word), fb: dec_fb(word) },
+        OP_FMOV_TO => InstKind::FMovToFp { fd: dec_fd(word), rn: dec_rn(word) },
+        OP_FMOV_FROM => InstKind::FMovFromFp { rd: dec_rd(word), fa: dec_fa(word) },
+        OP_FCVTZS => InstKind::Fcvtzs { rd: dec_rd(word), fa: dec_fa(word) },
+        OP_SCVTF => InstKind::Scvtf { fd: dec_fd(word), rn: dec_rn(word) },
+        OP_FLD => InstKind::FLd { fd: dec_fd(word), rn: dec_rn(word), off: dec_imm11(word) },
+        OP_FST => InstKind::FSt { fd: dec_fd(word), rn: dec_rn(word), off: dec_imm11(word) },
+        OP_FLD_R => InstKind::FLdR { fd: dec_fd(word), rn: dec_rn(word), rm: dec_rm(word) },
+        OP_FST_R => InstKind::FStR { fd: dec_fd(word), rn: dec_rn(word), rm: dec_rm(word) },
+        _ => return Err(DecodeError { word }),
+    };
+    Ok(Inst { cond, kind })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(inst: Inst) {
+        let word = encode(&inst);
+        let back = decode(word).unwrap_or_else(|e| panic!("{inst}: {e}"));
+        assert_eq!(back, inst, "word {word:#010x}");
+    }
+
+    #[test]
+    fn roundtrip_core_instructions() {
+        roundtrip(Inst::new(InstKind::Nop));
+        roundtrip(Inst::new(InstKind::Halt));
+        roundtrip(Inst::new(InstKind::Ret));
+        roundtrip(Inst::new(InstKind::Svc { imm: 0x1234 }));
+        for op in AluOp::ALL {
+            roundtrip(Inst::new(InstKind::Alu { op, rd: Reg(3), rn: Reg(14), rm: Reg(31) }));
+            roundtrip(Inst::new(InstKind::AluImm { op, rd: Reg(1), rn: Reg(2), imm: -1024 }));
+            roundtrip(Inst::new(InstKind::AluImm { op, rd: Reg(1), rn: Reg(2), imm: 1023 }));
+        }
+        roundtrip(Inst::new(InstKind::Cmp { rn: Reg(4), rm: Reg(5) }));
+        roundtrip(Inst::new(InstKind::CmpImm { rn: Reg(4), imm: -1 }));
+        roundtrip(Inst::new(InstKind::Mov { rd: Reg(0), rm: Reg(30) }));
+        roundtrip(Inst::new(InstKind::Mvn { rd: Reg(0), rm: Reg(30) }));
+        for shift in 0..4 {
+            for keep in [false, true] {
+                roundtrip(Inst::new(InstKind::MovImm { rd: Reg(9), imm: 0xbeef, shift, keep }));
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_memory_and_branches() {
+        for width in [Width::Word, Width::Byte, Width::Half] {
+            roundtrip(Inst::new(InstKind::Ld { width, rd: Reg(1), rn: Reg(2), off: -8 }));
+            roundtrip(Inst::new(InstKind::St { width, rd: Reg(1), rn: Reg(2), off: 1016 }));
+            roundtrip(Inst::new(InstKind::LdR { width, rd: Reg(1), rn: Reg(2), rm: Reg(3) }));
+            roundtrip(Inst::new(InstKind::StR { width, rd: Reg(1), rn: Reg(2), rm: Reg(3) }));
+        }
+        roundtrip(Inst::new(InstKind::B { off: -(1 << 20) }));
+        roundtrip(Inst::new(InstKind::B { off: (1 << 20) - 1 }));
+        roundtrip(Inst::when(Cond::Ne, InstKind::B { off: -3 }));
+        roundtrip(Inst::new(InstKind::Bl { off: 12345 }));
+        roundtrip(Inst::new(InstKind::Blr { rm: Reg(7) }));
+        roundtrip(Inst::new(InstKind::Swp { rd: Reg(1), rn: Reg(2), rm: Reg(3) }));
+        roundtrip(Inst::new(InstKind::AmoAdd { rd: Reg(1), rn: Reg(2), rm: Reg(3) }));
+    }
+
+    #[test]
+    fn roundtrip_fp() {
+        for op in FpOp::ALL {
+            roundtrip(Inst::new(InstKind::Fp { op, fd: FReg(31), fa: FReg(15), fb: FReg(1) }));
+        }
+        roundtrip(Inst::new(InstKind::FpCmp { fa: FReg(0), fb: FReg(1) }));
+        roundtrip(Inst::new(InstKind::FMovToFp { fd: FReg(2), rn: Reg(3) }));
+        roundtrip(Inst::new(InstKind::FMovFromFp { rd: Reg(3), fa: FReg(2) }));
+        roundtrip(Inst::new(InstKind::Fcvtzs { rd: Reg(3), fa: FReg(2) }));
+        roundtrip(Inst::new(InstKind::Scvtf { fd: FReg(2), rn: Reg(3) }));
+        roundtrip(Inst::new(InstKind::FLd { fd: FReg(8), rn: Reg(31), off: 16 }));
+        roundtrip(Inst::new(InstKind::FSt { fd: FReg(8), rn: Reg(31), off: -16 }));
+        roundtrip(Inst::new(InstKind::FLdR { fd: FReg(8), rn: Reg(1), rm: Reg(2) }));
+        roundtrip(Inst::new(InstKind::FStR { fd: FReg(8), rn: Reg(1), rm: Reg(2) }));
+    }
+
+    #[test]
+    fn conditional_encodings() {
+        for cond in Cond::ALL {
+            roundtrip(Inst::when(cond, InstKind::AluImm {
+                op: AluOp::Add,
+                rd: Reg(0),
+                rn: Reg(0),
+                imm: 1,
+            }));
+        }
+    }
+
+    #[test]
+    fn bad_words_are_rejected() {
+        // Opcode 127 is unused.
+        assert!(decode(127 << 25).is_err());
+        // Condition 15 is unused.
+        assert!(decode((OP_NOP << 25) | (15 << 21)).is_err());
+        // A gap opcode (62) is unused.
+        assert!(decode(62 << 25).is_err());
+    }
+
+    #[test]
+    fn imm11_sign_extension() {
+        let i = Inst::new(InstKind::CmpImm { rn: Reg(0), imm: -1 });
+        let w = encode(&i);
+        assert_eq!(w & 0x7ff, 0x7ff);
+        assert_eq!(decode(w).unwrap(), i);
+    }
+}

@@ -1,0 +1,72 @@
+//! Error types for the ISA crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// An instruction that violates the constraints of its target ISA.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IsaError {
+    pub(crate) message: String,
+}
+
+impl IsaError {
+    pub(crate) fn new(message: impl Into<String>) -> IsaError {
+        IsaError { message: message.into() }
+    }
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "isa violation: {}", self.message)
+    }
+}
+
+impl Error for IsaError {}
+
+/// A 32-bit word that does not decode to a valid instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The undecodable word.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "undecodable instruction word {:#010x}", self.word)
+    }
+}
+
+impl Error for DecodeError {}
+
+/// A failure while linking objects into an image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkError {
+    /// A referenced symbol was not defined by any object.
+    Undefined { name: String },
+    /// A symbol was defined more than once.
+    Duplicate { name: String },
+    /// An object targets a different ISA than the link request.
+    IsaMismatch { expected: &'static str, found: &'static str },
+    /// No `_start` entry symbol was found.
+    NoEntry,
+    /// A relocation is malformed (e.g. patch site is not a movz/movk pair).
+    BadReloc { name: String, detail: String },
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::Undefined { name } => write!(f, "undefined symbol `{name}`"),
+            LinkError::Duplicate { name } => write!(f, "duplicate symbol `{name}`"),
+            LinkError::IsaMismatch { expected, found } => {
+                write!(f, "isa mismatch: linking {expected} but object targets {found}")
+            }
+            LinkError::NoEntry => write!(f, "no `_start` entry symbol"),
+            LinkError::BadReloc { name, detail } => {
+                write!(f, "bad relocation against `{name}`: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for LinkError {}

@@ -1,0 +1,394 @@
+//! Instruction representation and disassembly.
+
+use crate::{Cond, FReg, Reg};
+use std::fmt;
+
+/// Binary/compare ALU operations (register or immediate forms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum AluOp {
+    /// Addition (sets NZCV when it is the operand of `cmp`-like use; plain
+    /// `add` does not touch flags).
+    Add = 0,
+    /// Subtraction.
+    Sub = 1,
+    /// Multiplication (low half).
+    Mul = 2,
+    /// Signed division. Division by zero raises an arithmetic trap.
+    Sdiv = 3,
+    /// Signed remainder. Division by zero raises an arithmetic trap.
+    Srem = 4,
+    /// Bitwise AND.
+    And = 5,
+    /// Bitwise OR.
+    Orr = 6,
+    /// Bitwise exclusive OR.
+    Eor = 7,
+    /// Logical shift left.
+    Lsl = 8,
+    /// Logical shift right.
+    Lsr = 9,
+    /// Arithmetic shift right.
+    Asr = 10,
+    /// Unsigned multiply returning the *high* word of the double-width
+    /// product (like ARM's `umull` upper half); the software-float
+    /// library builds wide mantissa products from `Mul`/`Muh` pairs.
+    Muh = 11,
+}
+
+impl AluOp {
+    /// All ALU operations, in encoding order.
+    pub const ALL: [AluOp; 12] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::Sdiv,
+        AluOp::Srem,
+        AluOp::And,
+        AluOp::Orr,
+        AluOp::Eor,
+        AluOp::Lsl,
+        AluOp::Lsr,
+        AluOp::Asr,
+        AluOp::Muh,
+    ];
+
+    /// Mnemonic for disassembly.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::Sdiv => "sdiv",
+            AluOp::Srem => "srem",
+            AluOp::And => "and",
+            AluOp::Orr => "orr",
+            AluOp::Eor => "eor",
+            AluOp::Lsl => "lsl",
+            AluOp::Lsr => "lsr",
+            AluOp::Asr => "asr",
+            AluOp::Muh => "muh",
+        }
+    }
+}
+
+/// Hardware floating-point operations (SIRA-64 only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum FpOp {
+    /// `fd = fn + fm`
+    Fadd = 0,
+    /// `fd = fn - fm`
+    Fsub = 1,
+    /// `fd = fn * fm`
+    Fmul = 2,
+    /// `fd = fn / fm`
+    Fdiv = 3,
+    /// `fd = -fn` (unary; `fm` ignored)
+    Fneg = 4,
+    /// `fd = |fn|` (unary)
+    Fabs = 5,
+    /// `fd = sqrt(fn)` (unary)
+    Fsqrt = 6,
+    /// `fd = fn` (unary register move)
+    Fmov = 7,
+}
+
+impl FpOp {
+    /// All FP operations, in encoding order.
+    pub const ALL: [FpOp; 8] = [
+        FpOp::Fadd,
+        FpOp::Fsub,
+        FpOp::Fmul,
+        FpOp::Fdiv,
+        FpOp::Fneg,
+        FpOp::Fabs,
+        FpOp::Fsqrt,
+        FpOp::Fmov,
+    ];
+
+    /// True for single-operand operations (`fm` is ignored).
+    pub fn is_unary(self) -> bool {
+        matches!(self, FpOp::Fneg | FpOp::Fabs | FpOp::Fsqrt | FpOp::Fmov)
+    }
+
+    /// Mnemonic for disassembly.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FpOp::Fadd => "fadd",
+            FpOp::Fsub => "fsub",
+            FpOp::Fmul => "fmul",
+            FpOp::Fdiv => "fdiv",
+            FpOp::Fneg => "fneg",
+            FpOp::Fabs => "fabs",
+            FpOp::Fsqrt => "fsqrt",
+            FpOp::Fmov => "fmov",
+        }
+    }
+}
+
+/// Memory access width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Width {
+    /// The machine word: 4 bytes on SIRA-32, 8 bytes on SIRA-64.
+    Word = 0,
+    /// A single byte (zero-extended on load).
+    Byte = 1,
+    /// Four bytes regardless of ISA (zero-extended on load; used for
+    /// cross-width data such as encoded instructions and packed tables).
+    Half = 2,
+}
+
+/// The operation part of an instruction (without the condition field).
+///
+/// `off` fields of branches are *word* offsets relative to the next
+/// instruction; `off` fields of loads/stores are byte offsets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstKind {
+    /// No operation.
+    Nop,
+    /// Stop the core (only the kernel idle loop and `crt0` use this).
+    Halt,
+    /// Supervisor call with an 16-bit service number.
+    Svc { imm: u16 },
+    /// Return: branch to the link register.
+    Ret,
+    /// Three-register ALU operation: `rd = rn <op> rm`.
+    Alu { op: AluOp, rd: Reg, rn: Reg, rm: Reg },
+    /// Immediate ALU operation: `rd = rn <op> imm` (signed 11-bit).
+    AluImm { op: AluOp, rd: Reg, rn: Reg, imm: i16 },
+    /// Compare registers and set NZCV: flags from `rn - rm`.
+    Cmp { rn: Reg, rm: Reg },
+    /// Compare register with a signed 11-bit immediate.
+    CmpImm { rn: Reg, imm: i16 },
+    /// Move a 16-bit chunk into `rd` at bit position `shift*16`.
+    ///
+    /// With `keep == false` the rest of the register is zeroed (MOVZ);
+    /// with `keep == true` the other bits are preserved (MOVK).
+    /// `shift` ranges over `0..=1` on SIRA-32 and `0..=3` on SIRA-64.
+    MovImm { rd: Reg, imm: u16, shift: u8, keep: bool },
+    /// Register move: `rd = rm`.
+    Mov { rd: Reg, rm: Reg },
+    /// Bitwise NOT move: `rd = !rm`.
+    Mvn { rd: Reg, rm: Reg },
+    /// Load `rd` from `[rn + off]` (byte offset, signed 11-bit).
+    Ld { width: Width, rd: Reg, rn: Reg, off: i16 },
+    /// Store `rd` to `[rn + off]`.
+    St { width: Width, rd: Reg, rn: Reg, off: i16 },
+    /// Load `rd` from `[rn + rm]`.
+    LdR { width: Width, rd: Reg, rn: Reg, rm: Reg },
+    /// Store `rd` to `[rn + rm]`.
+    StR { width: Width, rd: Reg, rn: Reg, rm: Reg },
+    /// Branch (conditional via the instruction's condition field).
+    B { off: i32 },
+    /// Branch and link: `lr = return address; pc += off`.
+    Bl { off: i32 },
+    /// Branch and link to register.
+    Blr { rm: Reg },
+    /// Atomic swap: `rd = [rn]; [rn] = rm` in one step.
+    Swp { rd: Reg, rn: Reg, rm: Reg },
+    /// Atomic fetch-and-add: `rd = [rn]; [rn] += rm` in one step.
+    AmoAdd { rd: Reg, rn: Reg, rm: Reg },
+    /// Hardware FP operation (SIRA-64 only).
+    Fp { op: FpOp, fd: FReg, fa: FReg, fb: FReg },
+    /// FP compare: set NZCV from `fa - fb` (unordered sets V).
+    FpCmp { fa: FReg, fb: FReg },
+    /// Move the raw bits of an integer register into an FP register.
+    FMovToFp { fd: FReg, rn: Reg },
+    /// Move the raw bits of an FP register into an integer register.
+    FMovFromFp { rd: Reg, fa: FReg },
+    /// Convert FP to signed integer (round toward zero): `rd = (int)fa`.
+    Fcvtzs { rd: Reg, fa: FReg },
+    /// Convert signed integer to FP: `fd = (float)rn`.
+    Scvtf { fd: FReg, rn: Reg },
+    /// Load an FP register (8 bytes) from `[rn + off]`.
+    FLd { fd: FReg, rn: Reg, off: i16 },
+    /// Store an FP register to `[rn + off]`.
+    FSt { fd: FReg, rn: Reg, off: i16 },
+    /// Load an FP register from `[rn + rm]`.
+    FLdR { fd: FReg, rn: Reg, rm: Reg },
+    /// Store an FP register to `[rn + rm]`.
+    FStR { fd: FReg, rn: Reg, rm: Reg },
+}
+
+/// A full instruction: an operation plus its execution condition.
+///
+/// On SIRA-64 the condition must be [`Cond::Al`] for everything except
+/// [`InstKind::B`]; SIRA-32 allows any condition on any instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Inst {
+    /// Execution condition, evaluated against NZCV.
+    pub cond: Cond,
+    /// The operation.
+    pub kind: InstKind,
+}
+
+impl Inst {
+    /// An unconditional instruction.
+    pub fn new(kind: InstKind) -> Inst {
+        Inst { cond: Cond::Al, kind }
+    }
+
+    /// A conditional instruction.
+    pub fn when(cond: Cond, kind: InstKind) -> Inst {
+        Inst { cond, kind }
+    }
+
+    /// True if this instruction may redirect control flow.
+    pub fn is_branch(&self) -> bool {
+        matches!(
+            self.kind,
+            InstKind::B { .. } | InstKind::Bl { .. } | InstKind::Blr { .. } | InstKind::Ret
+        )
+    }
+
+    /// True if this is a call (`bl`/`blr`).
+    pub fn is_call(&self) -> bool {
+        matches!(self.kind, InstKind::Bl { .. } | InstKind::Blr { .. })
+    }
+
+    /// True if this instruction reads or writes data memory.
+    pub fn is_mem(&self) -> bool {
+        matches!(
+            self.kind,
+            InstKind::Ld { .. }
+                | InstKind::St { .. }
+                | InstKind::LdR { .. }
+                | InstKind::StR { .. }
+                | InstKind::Swp { .. }
+                | InstKind::AmoAdd { .. }
+                | InstKind::FLd { .. }
+                | InstKind::FSt { .. }
+                | InstKind::FLdR { .. }
+                | InstKind::FStR { .. }
+        )
+    }
+
+    /// True if this instruction is a floating-point operation (hardware FP
+    /// arithmetic, moves, conversions or FP memory accesses).
+    pub fn is_fp(&self) -> bool {
+        matches!(
+            self.kind,
+            InstKind::Fp { .. }
+                | InstKind::FpCmp { .. }
+                | InstKind::FMovToFp { .. }
+                | InstKind::FMovFromFp { .. }
+                | InstKind::Fcvtzs { .. }
+                | InstKind::Scvtf { .. }
+                | InstKind::FLd { .. }
+                | InstKind::FSt { .. }
+                | InstKind::FLdR { .. }
+                | InstKind::FStR { .. }
+        )
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = if self.cond == Cond::Al {
+            String::new()
+        } else {
+            format!(".{}", self.cond)
+        };
+        match self.kind {
+            InstKind::Nop => write!(f, "nop{c}"),
+            InstKind::Halt => write!(f, "halt{c}"),
+            InstKind::Svc { imm } => write!(f, "svc{c} #{imm}"),
+            InstKind::Ret => write!(f, "ret{c}"),
+            InstKind::Alu { op, rd, rn, rm } => {
+                write!(f, "{}{c} {rd}, {rn}, {rm}", op.mnemonic())
+            }
+            InstKind::AluImm { op, rd, rn, imm } => {
+                write!(f, "{}{c} {rd}, {rn}, #{imm}", op.mnemonic())
+            }
+            InstKind::Cmp { rn, rm } => write!(f, "cmp{c} {rn}, {rm}"),
+            InstKind::CmpImm { rn, imm } => write!(f, "cmp{c} {rn}, #{imm}"),
+            InstKind::MovImm { rd, imm, shift, keep } => {
+                let m = if keep { "movk" } else { "movz" };
+                if shift == 0 {
+                    write!(f, "{m}{c} {rd}, #{imm}")
+                } else {
+                    write!(f, "{m}{c} {rd}, #{imm}, lsl #{}", shift * 16)
+                }
+            }
+            InstKind::Mov { rd, rm } => write!(f, "mov{c} {rd}, {rm}"),
+            InstKind::Mvn { rd, rm } => write!(f, "mvn{c} {rd}, {rm}"),
+            InstKind::Ld { width, rd, rn, off } => {
+                write!(f, "ld{}{c} {rd}, [{rn}, #{off}]", width_suffix(width))
+            }
+            InstKind::St { width, rd, rn, off } => {
+                write!(f, "st{}{c} {rd}, [{rn}, #{off}]", width_suffix(width))
+            }
+            InstKind::LdR { width, rd, rn, rm } => {
+                write!(f, "ld{}{c} {rd}, [{rn}, {rm}]", width_suffix(width))
+            }
+            InstKind::StR { width, rd, rn, rm } => {
+                write!(f, "st{}{c} {rd}, [{rn}, {rm}]", width_suffix(width))
+            }
+            InstKind::B { off } => write!(f, "b{c} {off:+}"),
+            InstKind::Bl { off } => write!(f, "bl{c} {off:+}"),
+            InstKind::Blr { rm } => write!(f, "blr{c} {rm}"),
+            InstKind::Swp { rd, rn, rm } => write!(f, "swp{c} {rd}, [{rn}], {rm}"),
+            InstKind::AmoAdd { rd, rn, rm } => write!(f, "amoadd{c} {rd}, [{rn}], {rm}"),
+            InstKind::Fp { op, fd, fa, fb } => {
+                if op.is_unary() {
+                    write!(f, "{}{c} {fd}, {fa}", op.mnemonic())
+                } else {
+                    write!(f, "{}{c} {fd}, {fa}, {fb}", op.mnemonic())
+                }
+            }
+            InstKind::FpCmp { fa, fb } => write!(f, "fcmp{c} {fa}, {fb}"),
+            InstKind::FMovToFp { fd, rn } => write!(f, "fmov{c} {fd}, {rn}"),
+            InstKind::FMovFromFp { rd, fa } => write!(f, "fmov{c} {rd}, {fa}"),
+            InstKind::Fcvtzs { rd, fa } => write!(f, "fcvtzs{c} {rd}, {fa}"),
+            InstKind::Scvtf { fd, rn } => write!(f, "scvtf{c} {fd}, {rn}"),
+            InstKind::FLd { fd, rn, off } => write!(f, "fldr{c} {fd}, [{rn}, #{off}]"),
+            InstKind::FSt { fd, rn, off } => write!(f, "fstr{c} {fd}, [{rn}, #{off}]"),
+            InstKind::FLdR { fd, rn, rm } => write!(f, "fldr{c} {fd}, [{rn}, {rm}]"),
+            InstKind::FStR { fd, rn, rm } => write!(f, "fstr{c} {fd}, [{rn}, {rm}]"),
+        }
+    }
+}
+
+fn width_suffix(w: Width) -> &'static str {
+    match w {
+        Width::Word => "r",
+        Width::Byte => "rb",
+        Width::Half => "rh",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let i = Inst::new(InstKind::Alu {
+            op: AluOp::Add,
+            rd: Reg(1),
+            rn: Reg(2),
+            rm: Reg(3),
+        });
+        assert_eq!(i.to_string(), "add r1, r2, r3");
+        let i = Inst::when(Cond::Eq, InstKind::Mov { rd: Reg(0), rm: Reg(4) });
+        assert_eq!(i.to_string(), "mov.eq r0, r4");
+        let i = Inst::new(InstKind::MovImm { rd: Reg(2), imm: 17, shift: 1, keep: true });
+        assert_eq!(i.to_string(), "movk r2, #17, lsl #16");
+    }
+
+    #[test]
+    fn classification() {
+        let b = Inst::new(InstKind::B { off: -4 });
+        assert!(b.is_branch() && !b.is_call() && !b.is_mem() && !b.is_fp());
+        let bl = Inst::new(InstKind::Bl { off: 10 });
+        assert!(bl.is_branch() && bl.is_call());
+        let ld = Inst::new(InstKind::Ld { width: Width::Word, rd: Reg(0), rn: Reg(1), off: 8 });
+        assert!(ld.is_mem() && !ld.is_fp());
+        let fld = Inst::new(InstKind::FLd { fd: FReg(0), rn: Reg(1), off: 8 });
+        assert!(fld.is_mem() && fld.is_fp());
+        let amo = Inst::new(InstKind::AmoAdd { rd: Reg(0), rn: Reg(1), rm: Reg(2) });
+        assert!(amo.is_mem());
+    }
+}

@@ -1,0 +1,372 @@
+//! ISA identities, register-file layouts and per-ISA instruction validity.
+
+use crate::inst::{Inst, InstKind, Width};
+use crate::reg::{sira32, sira64, FReg, Reg};
+use crate::{Cond, IsaError};
+use std::fmt;
+
+/// Which of the two SIRA instruction sets a program targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IsaKind {
+    /// 32-bit, 16 GPRs, conditional execution, software floating point
+    /// (ARMv7 / Cortex-A9 analogue).
+    Sira32,
+    /// 64-bit, 32 GPR slots, 32 FP registers, hardware floating point
+    /// (ARMv8 / Cortex-A72 analogue).
+    Sira64,
+}
+
+/// Register-file geometry of an ISA, used by the fault injector to define
+/// the uniform bit-target space (paper §3.2.1/§4.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegFileLayout {
+    /// Number of architected integer registers (including SP/LR, and PC on
+    /// SIRA-32).
+    pub gpr_count: u32,
+    /// Bits per integer register.
+    pub gpr_bits: u32,
+    /// Number of architected FP registers.
+    pub fpr_count: u32,
+    /// Bits per FP register.
+    pub fpr_bits: u32,
+}
+
+impl RegFileLayout {
+    /// Total injectable register-file bits (integer + FP).
+    pub fn total_bits(&self) -> u64 {
+        u64::from(self.gpr_count) * u64::from(self.gpr_bits)
+            + u64::from(self.fpr_count) * u64::from(self.fpr_bits)
+    }
+
+    /// Injectable integer-file bits only.
+    pub fn gpr_total_bits(&self) -> u64 {
+        u64::from(self.gpr_count) * u64::from(self.gpr_bits)
+    }
+}
+
+impl IsaKind {
+    /// Both ISAs, in the order the paper evaluates them (v7 then v8).
+    pub const ALL: [IsaKind; 2] = [IsaKind::Sira32, IsaKind::Sira64];
+
+    /// Size of the machine word in bytes (4 or 8).
+    pub fn word_bytes(self) -> u32 {
+        match self {
+            IsaKind::Sira32 => 4,
+            IsaKind::Sira64 => 8,
+        }
+    }
+
+    /// Size in bytes of a [`Width`] access on this ISA.
+    pub fn width_bytes(self, width: Width) -> u32 {
+        match width {
+            Width::Word => self.word_bytes(),
+            Width::Byte => 1,
+            Width::Half => 4,
+        }
+    }
+
+    /// Number of general-purpose register slots.
+    pub fn gpr_count(self) -> u32 {
+        match self {
+            IsaKind::Sira32 => u32::from(sira32::GPR_COUNT),
+            IsaKind::Sira64 => u32::from(sira64::GPR_COUNT),
+        }
+    }
+
+    /// Number of FP registers (0 on SIRA-32).
+    pub fn fpr_count(self) -> u32 {
+        match self {
+            IsaKind::Sira32 => 0,
+            IsaKind::Sira64 => u32::from(sira64::FPR_COUNT),
+        }
+    }
+
+    /// The register-file geometry (fault-target space).
+    ///
+    /// SIRA-32: 16 × 32 b = 512 integer bits. SIRA-64: 32 × 64 b = 2048
+    /// integer bits plus 32 × 64 b FP — the 4× integer-file growth the
+    /// paper highlights in §4.1.2.
+    pub fn reg_file(self) -> RegFileLayout {
+        match self {
+            IsaKind::Sira32 => RegFileLayout {
+                gpr_count: 16,
+                gpr_bits: 32,
+                fpr_count: 0,
+                fpr_bits: 0,
+            },
+            IsaKind::Sira64 => RegFileLayout {
+                gpr_count: 32,
+                gpr_bits: 64,
+                fpr_count: 32,
+                fpr_bits: 64,
+            },
+        }
+    }
+
+    /// The ABI global-base register.
+    pub fn gb(self) -> Reg {
+        match self {
+            IsaKind::Sira32 => sira32::GB,
+            IsaKind::Sira64 => sira64::GB,
+        }
+    }
+
+    /// The ABI stack pointer.
+    pub fn sp(self) -> Reg {
+        match self {
+            IsaKind::Sira32 => sira32::SP,
+            IsaKind::Sira64 => sira64::SP,
+        }
+    }
+
+    /// The ABI link register.
+    pub fn lr(self) -> Reg {
+        match self {
+            IsaKind::Sira32 => sira32::LR,
+            IsaKind::Sira64 => sira64::LR,
+        }
+    }
+
+    /// The ABI scratch register reserved for assembler/runtime veneers.
+    pub fn scratch(self) -> Reg {
+        match self {
+            IsaKind::Sira32 => sira32::SCRATCH,
+            IsaKind::Sira64 => sira64::SCRATCH,
+        }
+    }
+
+    /// Maximum `shift` value of [`InstKind::MovImm`] (1 on SIRA-32, 3 on
+    /// SIRA-64).
+    pub fn max_mov_shift(self) -> u8 {
+        match self {
+            IsaKind::Sira32 => 1,
+            IsaKind::Sira64 => 3,
+        }
+    }
+
+    /// Short human name ("sira32" / "sira64").
+    pub fn name(self) -> &'static str {
+        match self {
+            IsaKind::Sira32 => "sira32",
+            IsaKind::Sira64 => "sira64",
+        }
+    }
+
+    /// The commercial-architecture analogue this ISA stands in for.
+    pub fn analogue(self) -> &'static str {
+        match self {
+            IsaKind::Sira32 => "ARMv7 (Cortex-A9)",
+            IsaKind::Sira64 => "ARMv8 (Cortex-A72)",
+        }
+    }
+
+    fn check_reg(self, r: Reg, what: &str) -> Result<(), IsaError> {
+        if u32::from(r.0) >= self.gpr_count() {
+            return Err(IsaError::new(format!(
+                "{what} register {r} out of range for {}",
+                self.name()
+            )));
+        }
+        Ok(())
+    }
+
+    fn check_freg(self, r: FReg) -> Result<(), IsaError> {
+        match self {
+            IsaKind::Sira32 => Err(IsaError::new("sira32 has no floating-point registers")),
+            IsaKind::Sira64 => {
+                if u32::from(r.0) >= self.fpr_count() {
+                    Err(IsaError::new(format!("fp register {r} out of range")))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Validates an instruction against this ISA's constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`IsaError`] when the instruction uses out-of-range
+    /// registers, FP operations on SIRA-32, an over-wide `movz`/`movk`
+    /// shift, or (on SIRA-64) a condition on a non-branch instruction.
+    pub fn validate(self, inst: &Inst) -> Result<(), IsaError> {
+        if self == IsaKind::Sira64
+            && inst.cond != Cond::Al
+            && !matches!(inst.kind, InstKind::B { .. })
+        {
+            return Err(IsaError::new(
+                "sira64 allows a condition only on branch instructions",
+            ));
+        }
+        match inst.kind {
+            InstKind::Nop | InstKind::Halt | InstKind::Svc { .. } | InstKind::Ret => Ok(()),
+            InstKind::Alu { rd, rn, rm, .. }
+            | InstKind::LdR { rd, rn, rm, .. }
+            | InstKind::StR { rd, rn, rm, .. }
+            | InstKind::Swp { rd, rn, rm }
+            | InstKind::AmoAdd { rd, rn, rm } => {
+                self.check_reg(rd, "dest")?;
+                self.check_reg(rn, "src1")?;
+                self.check_reg(rm, "src2")
+            }
+            InstKind::AluImm { rd, rn, imm, .. } => {
+                self.check_reg(rd, "dest")?;
+                self.check_reg(rn, "src")?;
+                check_imm11(imm)
+            }
+            InstKind::Cmp { rn, rm } => {
+                self.check_reg(rn, "src1")?;
+                self.check_reg(rm, "src2")
+            }
+            InstKind::CmpImm { rn, imm } => {
+                self.check_reg(rn, "src")?;
+                check_imm11(imm)
+            }
+            InstKind::MovImm { rd, shift, .. } => {
+                self.check_reg(rd, "dest")?;
+                if shift > self.max_mov_shift() {
+                    Err(IsaError::new(format!(
+                        "movz/movk shift {shift} exceeds {} max {}",
+                        self.name(),
+                        self.max_mov_shift()
+                    )))
+                } else {
+                    Ok(())
+                }
+            }
+            InstKind::Mov { rd, rm } | InstKind::Mvn { rd, rm } => {
+                self.check_reg(rd, "dest")?;
+                self.check_reg(rm, "src")
+            }
+            InstKind::Ld { rd, rn, off, .. } | InstKind::St { rd, rn, off, .. } => {
+                self.check_reg(rd, "data")?;
+                self.check_reg(rn, "base")?;
+                check_imm11(off)
+            }
+            InstKind::B { off } | InstKind::Bl { off } => {
+                if !(-(1 << 20)..(1 << 20)).contains(&off) {
+                    Err(IsaError::new(format!("branch offset {off} exceeds 21 bits")))
+                } else {
+                    Ok(())
+                }
+            }
+            InstKind::Blr { rm } => self.check_reg(rm, "target"),
+            InstKind::Fp { fd, fa, fb, .. } => {
+                self.check_freg(fd)?;
+                self.check_freg(fa)?;
+                self.check_freg(fb)
+            }
+            InstKind::FpCmp { fa, fb } => {
+                self.check_freg(fa)?;
+                self.check_freg(fb)
+            }
+            InstKind::FMovToFp { fd, rn } => {
+                self.check_freg(fd)?;
+                self.check_reg(rn, "src")
+            }
+            InstKind::FMovFromFp { rd, fa } => {
+                self.check_reg(rd, "dest")?;
+                self.check_freg(fa)
+            }
+            InstKind::Fcvtzs { rd, fa } => {
+                self.check_reg(rd, "dest")?;
+                self.check_freg(fa)
+            }
+            InstKind::Scvtf { fd, rn } => {
+                self.check_freg(fd)?;
+                self.check_reg(rn, "src")
+            }
+            InstKind::FLd { fd, rn, off } | InstKind::FSt { fd, rn, off } => {
+                self.check_freg(fd)?;
+                self.check_reg(rn, "base")?;
+                check_imm11(off)
+            }
+            InstKind::FLdR { fd, rn, rm } | InstKind::FStR { fd, rn, rm } => {
+                self.check_freg(fd)?;
+                self.check_reg(rn, "base")?;
+                self.check_reg(rm, "index")
+            }
+        }
+    }
+}
+
+impl fmt::Display for IsaKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+fn check_imm11(imm: i16) -> Result<(), IsaError> {
+    if !(-1024..1024).contains(&imm) {
+        Err(IsaError::new(format!("immediate {imm} exceeds signed 11 bits")))
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::AluOp;
+
+    #[test]
+    fn reg_file_growth_matches_paper() {
+        let v7 = IsaKind::Sira32.reg_file();
+        let v8 = IsaKind::Sira64.reg_file();
+        assert_eq!(v7.gpr_total_bits(), 512);
+        assert_eq!(v8.gpr_total_bits(), 2048);
+        // §4.1.2: the integer-file bit count grows by a factor of four.
+        assert_eq!(v8.gpr_total_bits() / v7.gpr_total_bits(), 4);
+        assert_eq!(v7.total_bits(), 512);
+        assert_eq!(v8.total_bits(), 4096);
+    }
+
+    #[test]
+    fn sira32_rejects_fp() {
+        let inst = Inst::new(InstKind::Fp {
+            op: crate::FpOp::Fadd,
+            fd: FReg(0),
+            fa: FReg(1),
+            fb: FReg(2),
+        });
+        assert!(IsaKind::Sira32.validate(&inst).is_err());
+        assert!(IsaKind::Sira64.validate(&inst).is_ok());
+    }
+
+    #[test]
+    fn sira64_rejects_conditional_alu() {
+        let inst = Inst::when(
+            Cond::Eq,
+            InstKind::Alu { op: AluOp::Add, rd: Reg(0), rn: Reg(1), rm: Reg(2) },
+        );
+        assert!(IsaKind::Sira64.validate(&inst).is_err());
+        assert!(IsaKind::Sira32.validate(&inst).is_ok());
+        let b = Inst::when(Cond::Eq, InstKind::B { off: 4 });
+        assert!(IsaKind::Sira64.validate(&b).is_ok());
+    }
+
+    #[test]
+    fn register_range_checks() {
+        let inst = Inst::new(InstKind::Mov { rd: Reg(20), rm: Reg(0) });
+        assert!(IsaKind::Sira32.validate(&inst).is_err());
+        assert!(IsaKind::Sira64.validate(&inst).is_ok());
+        let inst = Inst::new(InstKind::Mov { rd: Reg(32), rm: Reg(0) });
+        assert!(IsaKind::Sira64.validate(&inst).is_err());
+    }
+
+    #[test]
+    fn mov_shift_limits() {
+        let inst = Inst::new(InstKind::MovImm { rd: Reg(0), imm: 1, shift: 2, keep: false });
+        assert!(IsaKind::Sira32.validate(&inst).is_err());
+        assert!(IsaKind::Sira64.validate(&inst).is_ok());
+    }
+
+    #[test]
+    fn imm11_limits() {
+        let ok = Inst::new(InstKind::AluImm { op: AluOp::Add, rd: Reg(0), rn: Reg(0), imm: 1023 });
+        let bad = Inst::new(InstKind::AluImm { op: AluOp::Add, rd: Reg(0), rn: Reg(0), imm: 1024 });
+        assert!(IsaKind::Sira32.validate(&ok).is_ok());
+        assert!(IsaKind::Sira32.validate(&bad).is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! # fracas-isa — the SIRA instruction set architectures
+//!
+//! This crate defines the two instruction sets used throughout FRACAS to
+//! stand in for ARMv7 (Cortex-A9) and ARMv8 (Cortex-A72) in the DAC'18
+//! reproduction:
+//!
+//! * [`IsaKind::Sira32`] — a 32-bit ISA with a 16-entry register file
+//!   (r13 = SP, r14 = LR, r15 = PC), per-instruction conditional execution
+//!   and **no** hardware floating point (ARMv7-like).
+//! * [`IsaKind::Sira64`] — a 64-bit ISA with a 32-entry integer register
+//!   file, 32 hardware floating-point registers, and branches as the only
+//!   conditional instructions (ARMv8-like).
+//!
+//! Both share a single instruction vocabulary ([`InstKind`]) and a 32-bit
+//! binary encoding ([`encode`]/[`decode`]), a disassembler, an assembler /
+//! program builder ([`Asm`]) and a relocating linker ([`link`]) producing
+//! loadable [`Image`]s.
+//!
+//! ## Example
+//!
+//! Assemble, link and inspect a trivial program:
+//!
+//! ```
+//! use fracas_isa::{Asm, IsaKind, link, Reg};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut asm = Asm::new(IsaKind::Sira64);
+//! asm.global_fn("_start");
+//! asm.movz(Reg(0), 41, 0);
+//! asm.addi(Reg(0), Reg(0), 1);
+//! asm.halt();
+//! let image = link(IsaKind::Sira64, &[asm.into_object()])?;
+//! assert_eq!(image.text.len(), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+mod asm;
+mod cond;
+mod encode;
+mod error;
+mod inst;
+mod isa;
+mod object;
+mod reg;
+
+pub use asm::{Asm, Label};
+pub use cond::Cond;
+pub use encode::{decode, encode};
+pub use error::{DecodeError, IsaError, LinkError};
+pub use inst::{AluOp, FpOp, Inst, InstKind, Width};
+pub use isa::{IsaKind, RegFileLayout};
+pub use object::{link, Image, Object, Reloc, Section, SymDef, SymbolTable};
+pub use reg::{sira32, sira64, FReg, Reg};

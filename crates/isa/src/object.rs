@@ -1,0 +1,407 @@
+//! Object files, symbols, relocations and the linker.
+//!
+//! An [`Object`] is the output of the assembler or a compiler backend: a
+//! text section of instructions, a data-template section, symbol
+//! definitions and unresolved relocations. [`link`] combines objects into
+//! a loadable [`Image`].
+//!
+//! Data symbols resolve to **global-base-relative offsets** rather than
+//! absolute addresses: every process receives its own copy of the data
+//! template, and code addresses globals as `GB + offset`. Text symbols
+//! resolve to absolute byte addresses (text is shared between processes).
+
+use crate::inst::{Inst, InstKind};
+use crate::{IsaKind, LinkError};
+use std::collections::HashMap;
+
+/// Base byte address where the linker places the text section.
+pub const TEXT_BASE: u32 = 0x0000_1000;
+
+/// Which section a symbol lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Section {
+    /// Instructions; symbol offsets are instruction indices.
+    Text,
+    /// Initialised/zeroed data template; offsets are bytes (GB-relative).
+    Data,
+}
+
+/// A symbol definition inside an object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymDef {
+    /// Symbol name (e.g. `_start`, `main`, `__f64_add`, `grid`).
+    pub name: String,
+    /// The section the symbol is defined in.
+    pub section: Section,
+    /// Offset within the object's section (instructions for text, bytes
+    /// for data).
+    pub offset: u32,
+}
+
+/// An unresolved reference from an object's text to a symbol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reloc {
+    /// A `bl` at text index `at` targeting a text symbol; the linker
+    /// patches the relative word offset.
+    Call { at: u32, name: String },
+    /// A `movz`/`movk` pair starting at text index `at` to be patched
+    /// with the absolute byte address of a text symbol.
+    TextAddr { at: u32, name: String },
+    /// A `movz`/`movk` pair starting at text index `at` to be patched
+    /// with the GB-relative byte offset of a data symbol.
+    DataOff { at: u32, name: String },
+}
+
+impl Reloc {
+    fn name(&self) -> &str {
+        match self {
+            Reloc::Call { name, .. } | Reloc::TextAddr { name, .. } | Reloc::DataOff { name, .. } => {
+                name
+            }
+        }
+    }
+}
+
+/// A relocatable unit: the output of [`crate::Asm::into_object`] or a
+/// compiler backend.
+#[derive(Debug, Clone, Default)]
+pub struct Object {
+    /// Target ISA (`None` only for the empty default object).
+    pub isa: Option<IsaKind>,
+    /// The text section.
+    pub text: Vec<Inst>,
+    /// The data template (copied per process at load time).
+    pub data: Vec<u8>,
+    /// Symbols this object defines.
+    pub defs: Vec<SymDef>,
+    /// References this object makes.
+    pub relocs: Vec<Reloc>,
+}
+
+/// A resolved symbol in a linked image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Symbol {
+    /// Symbol name.
+    pub name: String,
+    /// Section.
+    pub section: Section,
+    /// Absolute byte address for text symbols; GB-relative byte offset
+    /// for data symbols.
+    pub value: u32,
+}
+
+/// The symbol table of a linked image, with function-range lookup used by
+/// the per-function profiler (vulnerability-window attribution).
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    symbols: Vec<Symbol>,
+    /// Text symbols sorted by address, for range lookup.
+    text_sorted: Vec<(u32, usize)>,
+    by_name: HashMap<String, usize>,
+}
+
+impl SymbolTable {
+    fn build(symbols: Vec<Symbol>) -> SymbolTable {
+        let by_name = symbols
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.name.clone(), i))
+            .collect();
+        let mut text_sorted: Vec<(u32, usize)> = symbols
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.section == Section::Text)
+            .map(|(i, s)| (s.value, i))
+            .collect();
+        text_sorted.sort_unstable();
+        SymbolTable { symbols, text_sorted, by_name }
+    }
+
+    /// Looks a symbol up by name.
+    pub fn get(&self, name: &str) -> Option<&Symbol> {
+        self.by_name.get(name).map(|&i| &self.symbols[i])
+    }
+
+    /// The text symbol (function) covering the given byte address, if any.
+    pub fn function_at(&self, addr: u32) -> Option<&Symbol> {
+        let idx = self.text_sorted.partition_point(|&(a, _)| a <= addr);
+        idx.checked_sub(1)
+            .map(|i| &self.symbols[self.text_sorted[i].1])
+    }
+
+    /// Iterates over all symbols.
+    pub fn iter(&self) -> impl Iterator<Item = &Symbol> {
+        self.symbols.iter()
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// True if the table holds no symbols.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+}
+
+/// A fully linked, loadable program image.
+#[derive(Debug, Clone)]
+pub struct Image {
+    /// Target ISA.
+    pub isa: IsaKind,
+    /// Byte address of the first instruction.
+    pub text_base: u32,
+    /// Linked instructions (instruction `i` lives at `text_base + 4*i`).
+    pub text: Vec<Inst>,
+    /// The per-process data template; a process's data segment is
+    /// initialised from this and sized `data_size`.
+    pub data_template: Vec<u8>,
+    /// Entry point (absolute byte address of `_start`).
+    pub entry: u32,
+    /// Resolved symbols.
+    pub symbols: SymbolTable,
+}
+
+impl Image {
+    /// Byte size of the text section.
+    pub fn text_bytes(&self) -> u32 {
+        (self.text.len() as u32) * 4
+    }
+
+    /// Size in bytes of the data template.
+    pub fn data_size(&self) -> u32 {
+        self.data_template.len() as u32
+    }
+}
+
+fn patch_pair(text: &mut [Inst], at: u32, value: u32, name: &str) -> Result<(), LinkError> {
+    let at = at as usize;
+    let err = |detail: &str| LinkError::BadReloc { name: name.to_string(), detail: detail.into() };
+    if at + 1 >= text.len() {
+        return Err(err("patch site out of range"));
+    }
+    match (&mut text[at].kind, value as u16) {
+        (InstKind::MovImm { imm, keep: false, shift: 0, .. }, low) => *imm = low,
+        _ => return Err(err("patch site is not a movz #0 instruction")),
+    }
+    match (&mut text[at + 1].kind, (value >> 16) as u16) {
+        (InstKind::MovImm { imm, keep: true, shift: 1, .. }, high) => *imm = high,
+        _ => return Err(err("patch site +1 is not a movk lsl #16 instruction")),
+    }
+    Ok(())
+}
+
+/// Links objects into an [`Image`].
+///
+/// Text sections are concatenated in object order; data sections are
+/// concatenated with 16-byte alignment. All relocations are resolved and
+/// the `_start` symbol becomes the entry point.
+///
+/// # Errors
+///
+/// Returns a [`LinkError`] for undefined or duplicate symbols, an object
+/// whose ISA differs from `isa`, a missing `_start`, or a malformed
+/// relocation site.
+pub fn link(isa: IsaKind, objects: &[Object]) -> Result<Image, LinkError> {
+    let mut text: Vec<Inst> = Vec::new();
+    let mut data: Vec<u8> = Vec::new();
+    let mut symbols: Vec<Symbol> = Vec::new();
+    let mut seen: HashMap<String, ()> = HashMap::new();
+    let mut relocs: Vec<Reloc> = Vec::new();
+
+    for obj in objects {
+        if let Some(found) = obj.isa {
+            if found != isa {
+                return Err(LinkError::IsaMismatch { expected: isa.name(), found: found.name() });
+            }
+        }
+        let text_off = text.len() as u32;
+        // Align each object's data to 16 bytes so f64 arrays stay aligned.
+        while data.len() % 16 != 0 {
+            data.push(0);
+        }
+        let data_off = data.len() as u32;
+        text.extend_from_slice(&obj.text);
+        data.extend_from_slice(&obj.data);
+        for def in &obj.defs {
+            if seen.insert(def.name.clone(), ()).is_some() {
+                return Err(LinkError::Duplicate { name: def.name.clone() });
+            }
+            let value = match def.section {
+                Section::Text => TEXT_BASE + (text_off + def.offset) * 4,
+                Section::Data => data_off + def.offset,
+            };
+            symbols.push(Symbol { name: def.name.clone(), section: def.section, value });
+        }
+        for reloc in &obj.relocs {
+            relocs.push(match reloc.clone() {
+                Reloc::Call { at, name } => Reloc::Call { at: at + text_off, name },
+                Reloc::TextAddr { at, name } => Reloc::TextAddr { at: at + text_off, name },
+                Reloc::DataOff { at, name } => Reloc::DataOff { at: at + text_off, name },
+            });
+        }
+    }
+
+    let table = SymbolTable::build(symbols);
+    for reloc in &relocs {
+        let name = reloc.name();
+        let sym = table
+            .get(name)
+            .ok_or_else(|| LinkError::Undefined { name: name.to_string() })?;
+        match reloc {
+            Reloc::Call { at, .. } => {
+                if sym.section != Section::Text {
+                    return Err(LinkError::BadReloc {
+                        name: name.to_string(),
+                        detail: "call target is a data symbol".into(),
+                    });
+                }
+                let target_word = (sym.value - TEXT_BASE) / 4;
+                let off = target_word as i64 - (i64::from(*at) + 1);
+                match &mut text[*at as usize].kind {
+                    InstKind::Bl { off: slot } => *slot = off as i32,
+                    _ => {
+                        return Err(LinkError::BadReloc {
+                            name: name.to_string(),
+                            detail: "call patch site is not a bl".into(),
+                        })
+                    }
+                }
+            }
+            Reloc::TextAddr { at, .. } => {
+                if sym.section != Section::Text {
+                    return Err(LinkError::BadReloc {
+                        name: name.to_string(),
+                        detail: "text-address reloc against data symbol".into(),
+                    });
+                }
+                patch_pair(&mut text, *at, sym.value, name)?;
+            }
+            Reloc::DataOff { at, .. } => {
+                if sym.section != Section::Data {
+                    return Err(LinkError::BadReloc {
+                        name: name.to_string(),
+                        detail: "data-offset reloc against text symbol".into(),
+                    });
+                }
+                patch_pair(&mut text, *at, sym.value, name)?;
+            }
+        }
+    }
+
+    let entry = table.get("_start").ok_or(LinkError::NoEntry)?.value;
+    Ok(Image {
+        isa,
+        text_base: TEXT_BASE,
+        text,
+        data_template: data,
+        entry,
+        symbols: table,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Asm, Reg};
+
+    #[test]
+    fn link_two_objects_with_call() {
+        let mut a = Asm::new(IsaKind::Sira64);
+        a.global_fn("_start");
+        a.bl_sym("helper");
+        a.halt();
+
+        let mut b = Asm::new(IsaKind::Sira64);
+        b.global_fn("helper");
+        b.movz(Reg(0), 7, 0);
+        b.ret();
+
+        let img = link(IsaKind::Sira64, &[a.into_object(), b.into_object()]).unwrap();
+        assert_eq!(img.entry, TEXT_BASE);
+        // bl at word 0 must jump to word 2 (offset +1).
+        match img.text[0].kind {
+            InstKind::Bl { off } => assert_eq!(off, 1),
+            ref k => panic!("expected bl, got {k:?}"),
+        }
+        let helper = img.symbols.get("helper").unwrap();
+        assert_eq!(helper.value, TEXT_BASE + 8);
+    }
+
+    #[test]
+    fn undefined_symbol_fails() {
+        let mut a = Asm::new(IsaKind::Sira32);
+        a.global_fn("_start");
+        a.bl_sym("missing");
+        let err = link(IsaKind::Sira32, &[a.into_object()]).unwrap_err();
+        assert_eq!(err, LinkError::Undefined { name: "missing".into() });
+    }
+
+    #[test]
+    fn duplicate_symbol_fails() {
+        let mut a = Asm::new(IsaKind::Sira32);
+        a.global_fn("_start");
+        a.halt();
+        let mut b = Asm::new(IsaKind::Sira32);
+        b.global_fn("_start");
+        b.halt();
+        let err = link(IsaKind::Sira32, &[a.into_object(), b.into_object()]).unwrap_err();
+        assert_eq!(err, LinkError::Duplicate { name: "_start".into() });
+    }
+
+    #[test]
+    fn missing_entry_fails() {
+        let mut a = Asm::new(IsaKind::Sira32);
+        a.global_fn("not_start");
+        a.halt();
+        let err = link(IsaKind::Sira32, &[a.into_object()]).unwrap_err();
+        assert_eq!(err, LinkError::NoEntry);
+    }
+
+    #[test]
+    fn isa_mismatch_fails() {
+        let mut a = Asm::new(IsaKind::Sira32);
+        a.global_fn("_start");
+        a.halt();
+        let err = link(IsaKind::Sira64, &[a.into_object()]).unwrap_err();
+        assert!(matches!(err, LinkError::IsaMismatch { .. }));
+    }
+
+    #[test]
+    fn data_symbols_are_gb_relative_and_aligned() {
+        let mut a = Asm::new(IsaKind::Sira64);
+        a.global_fn("_start");
+        a.lea_data(Reg(0), "table");
+        a.halt();
+        a.data_bytes("pad", &[1, 2, 3]);
+        let mut b = Asm::new(IsaKind::Sira64);
+        b.data_zero("table", 64);
+        let img = link(IsaKind::Sira64, &[a.into_object(), b.into_object()]).unwrap();
+        let table = img.symbols.get("table").unwrap();
+        assert_eq!(table.section, Section::Data);
+        // Object b's data starts at the next 16-byte boundary after 3 bytes.
+        assert_eq!(table.value, 16);
+        // The movz/movk pair was patched with the offset.
+        match img.text[0].kind {
+            InstKind::MovImm { imm, keep: false, .. } => assert_eq!(imm, 16),
+            ref k => panic!("expected movz, got {k:?}"),
+        }
+    }
+
+    #[test]
+    fn function_range_lookup() {
+        let mut a = Asm::new(IsaKind::Sira64);
+        a.global_fn("_start");
+        a.nop();
+        a.nop();
+        a.global_fn("second");
+        a.nop();
+        let img = link(IsaKind::Sira64, &[a.into_object()]).unwrap();
+        assert_eq!(img.symbols.function_at(TEXT_BASE).unwrap().name, "_start");
+        assert_eq!(img.symbols.function_at(TEXT_BASE + 4).unwrap().name, "_start");
+        assert_eq!(img.symbols.function_at(TEXT_BASE + 8).unwrap().name, "second");
+        assert_eq!(img.symbols.function_at(TEXT_BASE + 400).unwrap().name, "second");
+        assert!(img.symbols.function_at(TEXT_BASE - 4).is_none());
+    }
+}

@@ -1,0 +1,189 @@
+//! Register newtypes and per-ISA ABI register assignments.
+
+use std::fmt;
+
+/// An integer (general-purpose) register index.
+///
+/// Valid indices are `0..16` on SIRA-32 and `0..32` on SIRA-64 (where
+/// index 31 is the stack pointer). The [`crate::IsaKind::validate`] pass
+/// rejects out-of-range indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Reg(pub u8);
+
+/// A floating-point register index (SIRA-64 only), `0..32`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct FReg(pub u8);
+
+impl Reg {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl FReg {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+impl From<Reg> for u8 {
+    fn from(r: Reg) -> u8 {
+        r.0
+    }
+}
+
+impl From<FReg> for u8 {
+    fn from(r: FReg) -> u8 {
+        r.0
+    }
+}
+
+/// ABI register assignments for SIRA-32 (ARMv7-like).
+///
+/// 16 general-purpose registers. r0–r3 carry arguments and return values
+/// (an `f64` occupies the pair r0:r1), r4–r10 are callee-saved, r11 is the
+/// global base, r12 is an intra-call scratch register, r13 the stack
+/// pointer, r14 the link register and r15 the architected program counter.
+pub mod sira32 {
+    use super::Reg;
+
+    /// Number of general-purpose registers (including SP, LR, PC).
+    pub const GPR_COUNT: u8 = 16;
+    /// First argument / return-value register.
+    pub const A0: Reg = Reg(0);
+    /// Second argument register.
+    pub const A1: Reg = Reg(1);
+    /// Third argument register.
+    pub const A2: Reg = Reg(2);
+    /// Fourth argument register.
+    pub const A3: Reg = Reg(3);
+    /// Global base register (points at the process data segment).
+    pub const GB: Reg = Reg(11);
+    /// Intra-procedure scratch register.
+    pub const SCRATCH: Reg = Reg(12);
+    /// Stack pointer.
+    pub const SP: Reg = Reg(13);
+    /// Link register.
+    pub const LR: Reg = Reg(14);
+    /// Architected program counter (reads yield the next-instruction
+    /// address; writes branch).
+    pub const PC: Reg = Reg(15);
+    /// Callee-saved registers available to the register allocator.
+    pub const CALLEE_SAVED: [Reg; 7] = [Reg(4), Reg(5), Reg(6), Reg(7), Reg(8), Reg(9), Reg(10)];
+    /// Caller-saved registers beyond the argument registers.
+    pub const CALLER_SAVED: [Reg; 4] = [Reg(0), Reg(1), Reg(2), Reg(3)];
+}
+
+/// ABI register assignments for SIRA-64 (ARMv8-like).
+///
+/// 31 general-purpose registers plus a dedicated SP slot at index 31; the
+/// program counter is not architected. x0–x7 carry arguments, x8–x15 are
+/// caller-saved temporaries, x16–x27 are callee-saved, x28 is the global
+/// base, x29 is scratch and x30 the link register. d0–d7 carry FP
+/// arguments, d8–d15 are callee-saved, d16–d31 are temporaries.
+pub mod sira64 {
+    use super::{FReg, Reg};
+
+    /// Number of integer register-file slots (x0–x30 plus SP at 31).
+    pub const GPR_COUNT: u8 = 32;
+    /// Number of floating-point registers.
+    pub const FPR_COUNT: u8 = 32;
+    /// First argument / return-value register.
+    pub const A0: Reg = Reg(0);
+    /// Second argument register.
+    pub const A1: Reg = Reg(1);
+    /// Third argument register.
+    pub const A2: Reg = Reg(2);
+    /// Fourth argument register.
+    pub const A3: Reg = Reg(3);
+    /// Global base register.
+    pub const GB: Reg = Reg(28);
+    /// Intra-procedure scratch register.
+    pub const SCRATCH: Reg = Reg(29);
+    /// Link register.
+    pub const LR: Reg = Reg(30);
+    /// Stack pointer (register-file slot 31).
+    pub const SP: Reg = Reg(31);
+    /// First FP argument / return register.
+    pub const D0: FReg = FReg(0);
+    /// Callee-saved integer registers available to the register allocator.
+    pub const CALLEE_SAVED: [Reg; 12] = [
+        Reg(16),
+        Reg(17),
+        Reg(18),
+        Reg(19),
+        Reg(20),
+        Reg(21),
+        Reg(22),
+        Reg(23),
+        Reg(24),
+        Reg(25),
+        Reg(26),
+        Reg(27),
+    ];
+    /// Caller-saved temporaries beyond the argument registers.
+    pub const CALLER_SAVED: [Reg; 8] = [
+        Reg(8),
+        Reg(9),
+        Reg(10),
+        Reg(11),
+        Reg(12),
+        Reg(13),
+        Reg(14),
+        Reg(15),
+    ];
+    /// Callee-saved FP registers.
+    pub const F_CALLEE_SAVED: [FReg; 8] = [
+        FReg(8),
+        FReg(9),
+        FReg(10),
+        FReg(11),
+        FReg(12),
+        FReg(13),
+        FReg(14),
+        FReg(15),
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(Reg(7).to_string(), "r7");
+        assert_eq!(FReg(31).to_string(), "d31");
+    }
+
+    #[test]
+    fn abi_registers_disjoint_sira32() {
+        let special = [sira32::GB, sira32::SCRATCH, sira32::SP, sira32::LR, sira32::PC];
+        for r in sira32::CALLEE_SAVED {
+            assert!(!special.contains(&r));
+            assert!(!sira32::CALLER_SAVED.contains(&r));
+        }
+    }
+
+    #[test]
+    fn abi_registers_disjoint_sira64() {
+        let special = [sira64::GB, sira64::SCRATCH, sira64::SP, sira64::LR];
+        for r in sira64::CALLEE_SAVED {
+            assert!(!special.contains(&r));
+            assert!(!sira64::CALLER_SAVED.contains(&r));
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests for the assembler and linker.
+
+use fracas_isa::{decode, encode, link, Asm, InstKind, IsaKind, Reg};
+use proptest::prelude::*;
+
+proptest! {
+    /// Branches to labels always resolve to the bound position,
+    /// regardless of where the label is bound relative to the branch.
+    #[test]
+    fn label_offsets_resolve_exactly(
+        pads in proptest::collection::vec(0usize..6, 2..12),
+        target_idx in 0usize..11,
+    ) {
+        let target_idx = target_idx % pads.len();
+        let mut asm = Asm::new(IsaKind::Sira64);
+        asm.global_fn("_start");
+        let label = asm.new_label();
+        let mut branch_sites = Vec::new();
+        let mut target_pos = None;
+        for (i, &pad) in pads.iter().enumerate() {
+            if i == target_idx {
+                asm.bind(label);
+                target_pos = Some(asm.len());
+            }
+            branch_sites.push(asm.len());
+            asm.b(label);
+            for _ in 0..pad {
+                asm.nop();
+            }
+        }
+        if target_pos.is_none() {
+            return Ok(());
+        }
+        let target = target_pos.expect("bound") as i64;
+        let obj = asm.into_object();
+        for site in branch_sites {
+            match obj.text[site].kind {
+                InstKind::B { off } => {
+                    prop_assert_eq!(i64::from(off), target - (site as i64 + 1));
+                }
+                ref k => prop_assert!(false, "expected branch, got {:?}", k),
+            }
+        }
+    }
+
+    /// Linked images re-encode exactly: every linked instruction still
+    /// round-trips through the binary format (relocation patching never
+    /// produces an unencodable instruction).
+    #[test]
+    fn linked_text_reencodes(calls in 1usize..6, data_len in 1u32..128) {
+        let mut a = Asm::new(IsaKind::Sira32);
+        a.global_fn("_start");
+        for _ in 0..calls {
+            a.bl_sym("helper");
+            a.lea_data(Reg(0), "blob");
+        }
+        a.halt();
+        a.data_zero("blob", data_len);
+        let mut b = Asm::new(IsaKind::Sira32);
+        b.global_fn("helper");
+        b.ret();
+        let image = link(IsaKind::Sira32, &[a.into_object(), b.into_object()]).expect("link");
+        for inst in &image.text {
+            let word = encode(inst);
+            prop_assert_eq!(&decode(word).expect("round-trip"), inst);
+        }
+    }
+
+    /// `load_imm` materialises any 64-bit constant exactly (checked by
+    /// simulating the movz/movk sequence).
+    #[test]
+    fn load_imm_materialises_exactly(value in any::<u64>()) {
+        let mut asm = Asm::new(IsaKind::Sira64);
+        asm.global_fn("_start");
+        asm.load_imm(Reg(5), value);
+        let obj = asm.into_object();
+        let mut reg: u64 = 0;
+        for inst in &obj.text {
+            if let InstKind::MovImm { imm, shift, keep, .. } = inst.kind {
+                let sh = u32::from(shift) * 16;
+                if keep {
+                    reg = (reg & !(0xffffu64 << sh)) | (u64::from(imm) << sh);
+                } else {
+                    reg = u64::from(imm) << sh;
+                }
+            }
+        }
+        prop_assert_eq!(reg, value);
+    }
+}

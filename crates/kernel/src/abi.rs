@@ -1,0 +1,57 @@
+//! The kernel's supervisor-call ABI.
+//!
+//! Service numbers go in the `svc` immediate; arguments in the ISA's
+//! argument registers r0–r3 / x0–x3; results come back in r0 / x0.
+//! On SIRA-32, the 64-bit payload of [`SYS_WRITE_FLT`] is split across
+//! the r0 (low half) / r1 (high half) pair, ARM-AAPCS style.
+
+/// `exit(code)` — terminates the calling process.
+pub const SYS_EXIT: u16 = 0;
+/// `write(ptr, len)` — appends bytes from process memory to the console.
+pub const SYS_WRITE: u16 = 1;
+/// `sbrk(n)` — grows the heap by `n` bytes; returns the old break, or
+/// `u32::MAX` on exhaustion.
+pub const SYS_SBRK: u16 = 2;
+/// `spawn(fn, arg)` — starts a new thread in the calling process at
+/// `fn` with `arg` in the first argument register; returns the tid.
+pub const SYS_SPAWN: u16 = 3;
+/// `thread_exit(ret)` — terminates the calling thread.
+pub const SYS_THREAD_EXIT: u16 = 4;
+/// `join(tid)` — blocks until the thread exits; returns its exit value.
+pub const SYS_JOIN: u16 = 5;
+/// `rank()` — the calling process's 0-based id (the MPI rank).
+pub const SYS_RANK: u16 = 6;
+/// `size()` — number of processes the scenario booted (the MPI world).
+pub const SYS_SIZE: u16 = 7;
+/// `send(dest, tag, ptr, len)` — posts a message to a process.
+pub const SYS_SEND: u16 = 8;
+/// `recv(src, tag, ptr, maxlen)` — blocks for a matching message;
+/// `src == ANY_SOURCE` matches any sender. Returns the payload length.
+pub const SYS_RECV: u16 = 9;
+/// `barrier(id, count)` — blocks until `count` threads arrive at `id`.
+pub const SYS_BARRIER: u16 = 10;
+/// `lock(addr)` — acquires the kernel mutex keyed by `addr` (blocking).
+pub const SYS_LOCK: u16 = 11;
+/// `unlock(addr)` — releases the kernel mutex keyed by `addr`.
+pub const SYS_UNLOCK: u16 = 12;
+/// `time()` — the calling core's cycle counter (truncated on SIRA-32).
+pub const SYS_TIME: u16 = 13;
+/// `yield()` — relinquishes the core.
+pub const SYS_YIELD: u16 = 14;
+/// `write_int(v)` — formats a signed integer onto the console.
+pub const SYS_WRITE_INT: u16 = 15;
+/// `write_flt(bits)` — formats an `f64` (given as raw bits) onto the
+/// console with `%.6e`-style formatting.
+pub const SYS_WRITE_FLT: u16 = 16;
+/// `write_ch(byte)` — appends one byte to the console.
+pub const SYS_WRITE_CH: u16 = 17;
+/// `nthreads()` — the scenario's configured OMP worker count.
+pub const SYS_NTHREADS: u16 = 18;
+/// `gettid()` — the calling thread's id.
+pub const SYS_GETTID: u16 = 19;
+
+/// Wildcard source for [`SYS_RECV`].
+pub const ANY_SOURCE: u32 = u32::MAX;
+
+/// Maximum bytes per message (larger sends fault the caller).
+pub const MAX_MSG_LEN: u32 = 1 << 20;

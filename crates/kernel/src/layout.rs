@@ -1,0 +1,129 @@
+//! Guest memory layout and the region allocator.
+
+use fracas_mem::PAGE_SIZE;
+
+/// Layout parameters for guest memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemLayout {
+    /// Total physical memory.
+    pub mem_size: u32,
+    /// Base of the per-process region arena (above the text section).
+    pub region_base: u32,
+    /// Per-process heap capacity.
+    pub heap_max: u32,
+    /// Per-thread stack size.
+    pub stack_size: u32,
+    /// Unmapped guard gap between stacks.
+    pub stack_guard: u32,
+}
+
+impl Default for MemLayout {
+    fn default() -> MemLayout {
+        MemLayout {
+            mem_size: 64 << 20,
+            region_base: 0x0040_0000,
+            heap_max: 2 << 20,
+            stack_size: 64 << 10,
+            stack_guard: PAGE_SIZE,
+        }
+    }
+}
+
+/// Bump allocator over the guest physical space: process regions grow
+/// upward from `region_base`, stacks grow downward from the top.
+#[derive(Debug, Clone)]
+pub struct RegionAlloc {
+    layout: MemLayout,
+    next_region: u32,
+    next_stack_top: u32,
+}
+
+impl RegionAlloc {
+    /// Creates the allocator for a layout.
+    pub fn new(layout: MemLayout) -> RegionAlloc {
+        RegionAlloc {
+            layout,
+            next_region: layout.region_base,
+            next_stack_top: layout.mem_size,
+        }
+    }
+
+    /// The layout in effect.
+    pub fn layout(&self) -> MemLayout {
+        self.layout
+    }
+
+    /// Allocates a process region of `data_size` data bytes plus the heap
+    /// arena; returns `(data_base, heap_base)` or `None` when the arena
+    /// would collide with the stack area.
+    pub fn alloc_process(&mut self, data_size: u32) -> Option<(u32, u32)> {
+        let data_base = self.next_region;
+        let data_span = round_up(data_size.max(1), PAGE_SIZE);
+        let heap_base = data_base.checked_add(data_span)?;
+        let end = heap_base.checked_add(self.layout.heap_max)?;
+        if end > self.next_stack_top {
+            return None;
+        }
+        self.next_region = end;
+        Some((data_base, heap_base))
+    }
+
+    /// Allocates one thread stack; returns `(stack_base, stack_top)` or
+    /// `None` on exhaustion. `stack_top` is 16-byte aligned.
+    pub fn alloc_stack(&mut self) -> Option<(u32, u32)> {
+        let top = self.next_stack_top.checked_sub(self.layout.stack_guard)?;
+        let base = top.checked_sub(self.layout.stack_size)?;
+        if base < self.next_region {
+            return None;
+        }
+        self.next_stack_top = base;
+        Some((base, top & !15))
+    }
+}
+
+fn round_up(v: u32, to: u32) -> u32 {
+    v.div_ceil(to) * to
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_regions_do_not_overlap() {
+        let mut a = RegionAlloc::new(MemLayout::default());
+        let (d0, h0) = a.alloc_process(10_000).unwrap();
+        let (d1, _h1) = a.alloc_process(10_000).unwrap();
+        assert!(h0 > d0);
+        assert!(d1 >= h0 + MemLayout::default().heap_max);
+        assert_eq!(d0 % PAGE_SIZE, 0);
+        assert_eq!(d1 % PAGE_SIZE, 0);
+    }
+
+    #[test]
+    fn stacks_grow_down_with_guards() {
+        let layout = MemLayout::default();
+        let mut a = RegionAlloc::new(layout);
+        let (b0, t0) = a.alloc_stack().unwrap();
+        let (b1, t1) = a.alloc_stack().unwrap();
+        assert!(t0 > b0 && t1 > b1);
+        assert!(t1 <= b0 - layout.stack_guard, "guard gap between stacks");
+        assert_eq!(t0 % 16, 0);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let layout = MemLayout {
+            mem_size: 8 << 20,
+            region_base: 0x0010_0000,
+            heap_max: 2 << 20,
+            stack_size: 64 << 10,
+            stack_guard: PAGE_SIZE,
+        };
+        let mut a = RegionAlloc::new(layout);
+        assert!(a.alloc_process(0).is_some());
+        assert!(a.alloc_process(0).is_some());
+        assert!(a.alloc_process(0).is_some());
+        assert!(a.alloc_process(0).is_none(), "fourth region exceeds stacks");
+    }
+}

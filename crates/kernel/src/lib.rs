@@ -1,0 +1,57 @@
+//! # fracas-kernel — the miniature operating-system model
+//!
+//! Stands in for the Linux kernel of the DAC'18 platform. It provides the
+//! failure channels and scheduling behaviour the paper's analysis depends
+//! on, over the [`fracas_cpu::Machine`]:
+//!
+//! * **Processes** own a private data segment, heap and stacks with a
+//!   per-process [`fracas_mem::PermissionMap`]; wild accesses through
+//!   fault-corrupted registers become segmentation faults → the paper's
+//!   *Unexpected Termination* class (§4.1.4).
+//! * **Threads** are scheduled round-robin with a cycle quantum; cores
+//!   without runnable threads park and account idle time — the OpenMP
+//!   core-under-utilisation channel of §4.2.2.
+//! * **Syscalls** (`exit`, `write*`, `sbrk`, `spawn`, `join`, `send`,
+//!   `recv`, `barrier`, `lock`, …) implement the substrate under the
+//!   guest OMP and MPI runtimes.
+//! * **Deadlock detection** — all live threads blocked with every core
+//!   parked ends the run as a deadlock → *Hang* (the paper's "MPI is more
+//!   prone to deadlocks due to failed communication").
+//! * **Watchdog** — a configurable cycle limit ends runaway executions →
+//!   *Hang*.
+//!
+//! Substitution note (documented in DESIGN.md): kernel *services* execute
+//! in host Rust and charge `kernel_cycles` to the calling core rather
+//! than running as injectable guest code; the parallelization APIs, libc
+//! and softfloat — the layers whose vulnerability windows the paper
+//! analyses — are guest code in `fracas-rt` and fully exposed to faults.
+//!
+//! ## Example
+//!
+//! ```
+//! use fracas_isa::{Asm, IsaKind, Reg, link};
+//! use fracas_kernel::{abi, BootSpec, Kernel, Limits, RunOutcome};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut asm = Asm::new(IsaKind::Sira64);
+//! asm.global_fn("_start");
+//! asm.movz(Reg(0), 0, 0);            // exit code 0
+//! asm.svc(abi::SYS_EXIT);
+//! let image = link(IsaKind::Sira64, &[asm.into_object()])?;
+//! let mut kernel = Kernel::boot(&image, 1, BootSpec::serial());
+//! let outcome = kernel.run(&Limits::default());
+//! assert_eq!(outcome, RunOutcome::Exited { code: 0 });
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod abi;
+mod kernel;
+mod layout;
+mod outcome;
+mod proc;
+
+pub use kernel::{BootSpec, Kernel, Limits};
+pub use layout::{MemLayout, RegionAlloc};
+pub use outcome::{RunOutcome, RunReport};
+pub use proc::{Pid, ThreadState, Tid};

@@ -1,0 +1,174 @@
+//! Run outcomes and the end-of-run report.
+
+use fracas_cpu::{CoreStats, Trap};
+use std::fmt;
+
+/// How a kernel run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every process exited; `code` is the first nonzero exit code (or 0).
+    Exited {
+        /// Aggregate exit code.
+        code: i32,
+    },
+    /// A thread trapped (segfault, illegal instruction, divide trap, …) —
+    /// the paper's *Unexpected Termination* channel.
+    Trapped {
+        /// The trap.
+        trap: Trap,
+        /// The faulting process.
+        pid: u32,
+    },
+    /// All live threads are blocked — classified as *Hang* (the deadlock
+    /// channel the paper attributes to corrupted MPI communication).
+    Deadlock,
+    /// The cycle watchdog fired — *Hang*.
+    CycleLimit,
+    /// The host step budget ran out — *Hang* (safety net).
+    StepLimit,
+}
+
+impl RunOutcome {
+    /// True for a normal, zero-code exit.
+    pub fn is_clean_exit(self) -> bool {
+        self == RunOutcome::Exited { code: 0 }
+    }
+
+    /// True for the paper's Hang class (watchdog or deadlock).
+    pub fn is_hang(self) -> bool {
+        matches!(
+            self,
+            RunOutcome::Deadlock | RunOutcome::CycleLimit | RunOutcome::StepLimit
+        )
+    }
+
+    /// True for the paper's UT class (abnormal termination).
+    pub fn is_abnormal(self) -> bool {
+        matches!(self, RunOutcome::Trapped { .. } | RunOutcome::Exited { code: 1.. })
+            || matches!(self, RunOutcome::Exited { code } if code < 0)
+    }
+}
+
+impl fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunOutcome::Exited { code } => write!(f, "exited with code {code}"),
+            RunOutcome::Trapped { trap, pid } => write!(f, "process {pid} trapped: {trap}"),
+            RunOutcome::Deadlock => write!(f, "deadlock: all live threads blocked"),
+            RunOutcome::CycleLimit => write!(f, "cycle watchdog expired"),
+            RunOutcome::StepLimit => write!(f, "host step budget expired"),
+        }
+    }
+}
+
+/// The comparable end-of-run state — exactly the §3.2.3 comparison set:
+/// executed instructions, register context and memory state, plus the
+/// console output the workload produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// Console bytes (capped; `console_len` counts the uncapped total).
+    pub console: Vec<u8>,
+    /// Total console bytes written, including any beyond the cap.
+    pub console_len: u64,
+    /// FNV hash of console output.
+    pub console_hash: u64,
+    /// FNV hash over every process's data segment and heap.
+    pub mem_hash: u64,
+    /// Hash of all cores' final register contexts.
+    pub ctx_hash: u64,
+    /// Machine wall-clock (max core cycles).
+    pub cycles: u64,
+    /// Core park/unpark events (idle power-state transitions — one of
+    /// the extra statistics the paper's future work asks for).
+    pub power_transitions: u64,
+    /// Per-core retired instructions.
+    pub per_core_instructions: Vec<u64>,
+    /// Per-core event counters.
+    pub core_stats: Vec<CoreStats>,
+}
+
+impl RunReport {
+    /// Total retired instructions across cores.
+    pub fn total_instructions(&self) -> u64 {
+        self.per_core_instructions.iter().sum()
+    }
+
+    /// Aggregated event counters over all cores.
+    pub fn total_stats(&self) -> CoreStats {
+        let mut total = CoreStats::default();
+        for s in &self.core_stats {
+            total.instructions += s.instructions;
+            total.cond_skipped += s.cond_skipped;
+            total.branches += s.branches;
+            total.branches_taken += s.branches_taken;
+            total.calls += s.calls;
+            total.loads += s.loads;
+            total.stores += s.stores;
+            total.fp_ops += s.fp_ops;
+            total.svcs += s.svcs;
+            total.idle_cycles += s.idle_cycles;
+            total.kernel_cycles += s.kernel_cycles;
+            total.miss_cycles += s.miss_cycles;
+        }
+        total
+    }
+
+    /// Relative imbalance of instructions across cores: mean absolute
+    /// deviation from the per-core mean, as a fraction of the mean
+    /// (the §4.2.2 workload-balance metric; ≈0.04 for MPI, up to ≈0.16
+    /// for OMP in the paper).
+    pub fn instruction_imbalance(&self) -> f64 {
+        let n = self.per_core_instructions.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let mean = self.total_instructions() as f64 / n as f64;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let mad = self
+            .per_core_instructions
+            .iter()
+            .map(|&c| (c as f64 - mean).abs())
+            .sum::<f64>()
+            / n as f64;
+        mad / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_classes() {
+        assert!(RunOutcome::Exited { code: 0 }.is_clean_exit());
+        assert!(!RunOutcome::Exited { code: 1 }.is_clean_exit());
+        assert!(RunOutcome::Exited { code: 1 }.is_abnormal());
+        assert!(RunOutcome::Exited { code: -9 }.is_abnormal());
+        assert!(RunOutcome::Deadlock.is_hang());
+        assert!(RunOutcome::CycleLimit.is_hang());
+        assert!(!RunOutcome::Exited { code: 0 }.is_hang());
+    }
+
+    #[test]
+    fn imbalance_metric() {
+        let mut report = RunReport {
+            outcome: RunOutcome::Exited { code: 0 },
+            console: Vec::new(),
+            console_len: 0,
+            console_hash: 0,
+            mem_hash: 0,
+            ctx_hash: 0,
+            cycles: 0,
+            power_transitions: 0,
+            per_core_instructions: vec![100, 100, 100, 100],
+            core_stats: Vec::new(),
+        };
+        assert_eq!(report.instruction_imbalance(), 0.0);
+        report.per_core_instructions = vec![150, 50, 150, 50];
+        assert!((report.instruction_imbalance() - 0.5).abs() < 1e-12);
+    }
+}

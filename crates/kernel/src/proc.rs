@@ -1,0 +1,120 @@
+//! Process and thread tables.
+
+use fracas_cpu::CoreContext;
+use fracas_mem::PermissionMap;
+
+/// A process id (doubles as the MPI rank for boot processes).
+pub type Pid = u32;
+
+/// A thread id.
+pub type Tid = u32;
+
+/// Why a thread is blocked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockReason {
+    /// Waiting in `recv` for a matching message.
+    Recv,
+    /// Waiting in `join` for another thread.
+    Join {
+        /// Thread being joined.
+        target: Tid,
+    },
+    /// Waiting at a barrier.
+    Barrier {
+        /// Barrier id.
+        id: u32,
+    },
+    /// Waiting on a kernel mutex.
+    Lock {
+        /// Lock key (the guest address).
+        addr: u32,
+    },
+}
+
+/// Thread lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadState {
+    /// Queued for a core.
+    Ready,
+    /// Executing on a core.
+    Running {
+        /// The core it occupies.
+        core: usize,
+    },
+    /// Blocked in a syscall.
+    Blocked(BlockReason),
+    /// Finished.
+    Exited {
+        /// The value passed to `thread_exit` (or the process exit code).
+        ret: i64,
+    },
+}
+
+/// A pending `recv` posted by a blocked thread.
+#[derive(Debug, Clone, Copy)]
+pub struct PendingRecv {
+    /// Wildcard-capable source rank.
+    pub src: u32,
+    /// Tag filter.
+    pub tag: u32,
+    /// Destination buffer in the receiver's memory.
+    pub ptr: u32,
+    /// Buffer capacity.
+    pub maxlen: u32,
+}
+
+/// One kernel thread.
+#[derive(Debug, Clone)]
+pub struct Thread {
+    /// Owning process.
+    pub pid: Pid,
+    /// Lifecycle state.
+    pub state: ThreadState,
+    /// Saved registers while not running.
+    pub ctx: CoreContext,
+    /// Stack range (base, top).
+    pub stack: (u32, u32),
+    /// Cycle timestamp at which the thread became ready (causality for
+    /// the core clock when it gets dispatched).
+    pub ready_at: u64,
+    /// The receive the thread is blocked on, if any.
+    pub pending_recv: Option<PendingRecv>,
+}
+
+/// One kernel process.
+#[derive(Debug)]
+pub struct Process {
+    /// Page permissions for this process's view of memory.
+    pub perm: PermissionMap,
+    /// Data-segment base (the GB register value).
+    pub data_base: u32,
+    /// Heap base (kept for diagnostics; the data/heap split point).
+    #[allow(dead_code)]
+    pub heap_base: u32,
+    /// Current break (next unallocated heap byte).
+    pub brk: u32,
+    /// Heap limit.
+    pub heap_limit: u32,
+    /// Free stacks available for reuse by new threads.
+    pub free_stacks: Vec<(u32, u32)>,
+    /// Exit code once the process has exited.
+    pub exit_code: Option<i32>,
+}
+
+impl Process {
+    /// True until the process exits.
+    pub fn is_alive(&self) -> bool {
+        self.exit_code.is_none()
+    }
+}
+
+/// An in-flight message.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Sender's rank.
+    pub src: u32,
+    /// Message tag.
+    pub tag: u32,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}

@@ -1,0 +1,124 @@
+//! The FL abstract syntax tree.
+
+/// A value type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// Machine-word signed integer (32-bit on SIRA-32, 64-bit on SIRA-64).
+    Int,
+    /// IEEE-754 double (computed at reduced precision by the SIRA-32
+    /// softfloat library).
+    Float,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// Short-circuit logical AND (int operands).
+    LAnd,
+    /// Short-circuit logical OR.
+    LOr,
+}
+
+impl BinOp {
+    /// True for the six comparison operators (which yield `int` 0/1).
+    pub fn is_cmp(self) -> bool {
+        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation (int or float).
+    Neg,
+    /// Logical NOT (int; yields 0/1).
+    Not,
+}
+
+/// An expression, annotated with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    pub line: u32,
+    pub kind: ExprKind,
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    IntLit(i64),
+    FloatLit(f64),
+    /// Local variable or global scalar reference.
+    Var(String),
+    /// Global array element `name[index]`.
+    Index(String, Box<Expr>),
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    Un(UnOp, Box<Expr>),
+    /// Function call or intrinsic.
+    Call(String, Vec<Expr>),
+    /// `int(e)` / `float(e)` cast.
+    Cast(Ty, Box<Expr>),
+    /// String literal (only valid as the `print_str` argument).
+    Str(String),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `let ty name = init;` (missing init means zero).
+    Let { line: u32, ty: Ty, name: String, init: Option<Expr> },
+    /// `name = value;`
+    Assign { line: u32, name: String, value: Expr },
+    /// `name[index] = value;`
+    AssignIndex { line: u32, name: String, index: Expr, value: Expr },
+    If { cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt> },
+    While { cond: Expr, body: Vec<Stmt> },
+    For { init: Box<Stmt>, cond: Expr, step: Box<Stmt>, body: Vec<Stmt> },
+    Return { line: u32, value: Option<Expr> },
+    Break { line: u32 },
+    Continue { line: u32 },
+    ExprStmt(Expr),
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Func {
+    pub line: u32,
+    pub name: String,
+    pub params: Vec<(Ty, String)>,
+    pub ret: Option<Ty>,
+    pub body: Vec<Stmt>,
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// `global ty name;` or `global ty name[len];`
+    Global { line: u32, ty: Ty, name: String, len: u32 },
+    Func(Func),
+    /// `extern fn name(tys) -> ty;`
+    ExternFn { line: u32, name: String, params: Vec<Ty>, ret: Option<Ty> },
+    /// `extern global ty name[len];`
+    ExternGlobal { line: u32, ty: Ty, name: String, len: u32 },
+}
+
+/// A parsed source file.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    pub items: Vec<Item>,
+}

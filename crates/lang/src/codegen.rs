@@ -1,0 +1,1532 @@
+//! Code generation: one pass over the checked AST per target ISA.
+//!
+//! The generator uses a classic single-pass scheme chosen to make the
+//! two ISAs' register files matter the way they do for GCC on ARM:
+//!
+//! * **Locals** live in callee-saved registers until the per-ISA pool
+//!   runs out (7 on SIRA-32, 12 on SIRA-64), then in frame slots —
+//!   register pressure shows up as extra loads/stores on SIRA-32.
+//! * **Expression temporaries** occupy a depth-indexed scratch pool
+//!   (r0–r3 on SIRA-32, x8–x15 on SIRA-64) and spill to fixed frame
+//!   slots around calls.
+//! * **Floats on SIRA-32** never live in registers: every FP operation
+//!   marshals register pairs into the softfloat library (`__f64_*`),
+//!   reproducing the ARMv7 soft-FP instruction blow-up.
+//! * **Comparisons** materialise with conditional execution on SIRA-32
+//!   and with a branch on SIRA-64.
+
+use crate::ast::{BinOp, Expr, ExprKind, Func, Item, Program, Stmt, Ty, UnOp};
+use crate::sema::{ty_of, ProgramInfo};
+use crate::OptLevel;
+use fracas_isa::{AluOp, Asm, Cond, FReg, InstKind, IsaKind, Label, Object, Reg};
+use std::collections::HashMap;
+
+/// Fixed number of 8-byte expression-temporary slots per frame.
+const TEMP_SLOTS: usize = 40;
+
+/// Where a local variable lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Home {
+    IntReg(Reg),
+    FpReg(FReg),
+    /// Byte offset from SP.
+    Slot(i16),
+}
+
+/// One expression-stack entry.
+#[derive(Debug, Clone, Copy)]
+struct Ev {
+    ty: Ty,
+    in_reg: bool,
+}
+
+/// Generates the object for a checked program.
+///
+/// # Panics
+///
+/// Panics if a function's frame exceeds the addressable range or the
+/// expression nesting exceeds the temporary pool — both indicate a
+/// pathological source file rather than user input (the FL sources in
+/// this workspace are all far below the limits).
+pub fn generate(program: &Program, info: &ProgramInfo, isa: IsaKind, opt: OptLevel) -> Object {
+    let mut asm = Asm::new(isa);
+    for item in &program.items {
+        if let Item::Global { ty, name, len, .. } = item {
+            let bytes = u64::from(*len) * u64::from(elem_size(isa, *ty));
+            asm.data_zero(name, bytes as u32);
+        }
+    }
+    for item in &program.items {
+        if let Item::Func(f) = item {
+            FnGen::new(&mut asm, isa, info, f, opt).generate(f);
+        }
+    }
+    asm.into_object()
+}
+
+fn elem_size(isa: IsaKind, ty: Ty) -> u32 {
+    match ty {
+        Ty::Int => isa.word_bytes(),
+        Ty::Float => 8,
+    }
+}
+
+fn int_pool(isa: IsaKind) -> &'static [Reg] {
+    match isa {
+        IsaKind::Sira32 => &[Reg(0), Reg(1), Reg(2), Reg(3)],
+        IsaKind::Sira64 => &[
+            Reg(8),
+            Reg(9),
+            Reg(10),
+            Reg(11),
+            Reg(12),
+            Reg(13),
+            Reg(14),
+            Reg(15),
+        ],
+    }
+}
+
+fn fp_pool(isa: IsaKind) -> &'static [FReg] {
+    match isa {
+        IsaKind::Sira32 => &[],
+        IsaKind::Sira64 => &[
+            FReg(16),
+            FReg(17),
+            FReg(18),
+            FReg(19),
+            FReg(20),
+            FReg(21),
+            FReg(22),
+            FReg(23),
+        ],
+    }
+}
+
+fn int_homes(isa: IsaKind) -> &'static [Reg] {
+    match isa {
+        IsaKind::Sira32 => &fracas_isa::sira32::CALLEE_SAVED,
+        IsaKind::Sira64 => &fracas_isa::sira64::CALLEE_SAVED,
+    }
+}
+
+fn fp_homes(isa: IsaKind) -> &'static [FReg] {
+    match isa {
+        IsaKind::Sira32 => &[],
+        IsaKind::Sira64 => &fracas_isa::sira64::F_CALLEE_SAVED,
+    }
+}
+
+/// FP scratch registers (SIRA-64) for operands loaded from slots.
+const FP_SCRATCH_A: FReg = FReg(24);
+const FP_SCRATCH_B: FReg = FReg(25);
+
+/// Maps an int-comparison operator to a condition (signed semantics).
+fn int_cond(op: BinOp) -> Cond {
+    match op {
+        BinOp::Eq => Cond::Eq,
+        BinOp::Ne => Cond::Ne,
+        BinOp::Lt => Cond::Lt,
+        BinOp::Le => Cond::Le,
+        BinOp::Gt => Cond::Gt,
+        BinOp::Ge => Cond::Ge,
+        _ => unreachable!("not a comparison"),
+    }
+}
+
+/// Maps a float comparison to a condition over the [`InstKind::FpCmp`]
+/// flag encoding (unordered compares false except `!=`).
+fn float_cond(op: BinOp) -> Cond {
+    match op {
+        BinOp::Eq => Cond::Eq,
+        BinOp::Ne => Cond::Ne,
+        BinOp::Lt => Cond::Mi,
+        BinOp::Le => Cond::Ls,
+        BinOp::Gt => Cond::Gt,
+        BinOp::Ge => Cond::Ge,
+        _ => unreachable!("not a comparison"),
+    }
+}
+
+fn alu_of(op: BinOp) -> AluOp {
+    match op {
+        BinOp::Add => AluOp::Add,
+        BinOp::Sub => AluOp::Sub,
+        BinOp::Mul => AluOp::Mul,
+        BinOp::Div => AluOp::Sdiv,
+        BinOp::Rem => AluOp::Srem,
+        BinOp::And => AluOp::And,
+        BinOp::Or => AluOp::Orr,
+        BinOp::Xor => AluOp::Eor,
+        BinOp::Shl => AluOp::Lsl,
+        BinOp::Shr => AluOp::Asr,
+        _ => unreachable!("not an ALU operator"),
+    }
+}
+
+fn softfloat_fn(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "__f64_add",
+        BinOp::Sub => "__f64_sub",
+        BinOp::Mul => "__f64_mul",
+        BinOp::Div => "__f64_div",
+        _ => unreachable!("not a float ALU operator"),
+    }
+}
+
+struct FnGen<'a> {
+    asm: &'a mut Asm,
+    isa: IsaKind,
+    info: &'a ProgramInfo,
+    locals: HashMap<String, Ty>,
+    homes: HashMap<String, Home>,
+    ev: Vec<Ev>,
+    epilogue: Label,
+    /// (continue target, break target) stack.
+    loops: Vec<(Label, Label)>,
+    ret_ty: Option<Ty>,
+    used_int_homes: Vec<Reg>,
+    used_fp_homes: Vec<FReg>,
+    /// Byte offset of the temp area from SP.
+    temps_off: i16,
+    frame_bytes: i16,
+    fn_name: String,
+    str_count: u32,
+    sa: Reg,
+    sb: Reg,
+}
+
+impl<'a> FnGen<'a> {
+    fn new(
+        asm: &'a mut Asm,
+        isa: IsaKind,
+        info: &'a ProgramInfo,
+        f: &Func,
+        opt: OptLevel,
+    ) -> FnGen<'a> {
+        // Collect locals: params first, then every `let` in order.
+        let mut names: Vec<(Ty, String)> = f.params.clone();
+        collect_lets(&f.body, &mut names);
+
+        let mut homes = HashMap::new();
+        let mut locals = HashMap::new();
+        let (mut int_idx, mut fp_idx) = (0usize, 0usize);
+        let mut slot_locals: Vec<String> = Vec::new();
+        // At -O0 no local is promoted to a register.
+        let promote = opt == OptLevel::O1;
+        for (ty, name) in &names {
+            locals.insert(name.clone(), *ty);
+            let home = match ty {
+                Ty::Int if promote && int_idx < int_homes(isa).len() => {
+                    int_idx += 1;
+                    Home::IntReg(int_homes(isa)[int_idx - 1])
+                }
+                Ty::Float if promote && fp_idx < fp_homes(isa).len() => {
+                    fp_idx += 1;
+                    Home::FpReg(fp_homes(isa)[fp_idx - 1])
+                }
+                _ => {
+                    slot_locals.push(name.clone());
+                    Home::Slot(0) // patched below
+                }
+            };
+            homes.insert(name.clone(), home);
+        }
+
+        // Frame: |LR|saved int homes|saved fp homes|slot locals|temps|,
+        // all in 8-byte slots.
+        let saved = 1 + int_idx + fp_idx;
+        let locals_off = (saved * 8) as i16;
+        for (i, name) in slot_locals.iter().enumerate() {
+            homes.insert(name.clone(), Home::Slot(locals_off + (i as i16) * 8));
+        }
+        let temps_off = locals_off + (slot_locals.len() as i16) * 8;
+        let mut frame = temps_off as usize + TEMP_SLOTS * 8;
+        if frame % 16 != 0 {
+            frame += 8;
+        }
+        assert!(
+            frame + 8 <= 1024,
+            "function `{}` frame of {frame} bytes exceeds the addressable range",
+            f.name
+        );
+
+        let epilogue = asm.new_label();
+        FnGen {
+            isa,
+            info,
+            locals,
+            homes,
+            ev: Vec::new(),
+            epilogue,
+            loops: Vec::new(),
+            ret_ty: f.ret,
+            used_int_homes: int_homes(isa)[..int_idx].to_vec(),
+            used_fp_homes: fp_homes(isa)[..fp_idx].to_vec(),
+            temps_off,
+            frame_bytes: frame as i16,
+            fn_name: f.name.clone(),
+            str_count: 0,
+            sa: isa.scratch(),
+            sb: isa.lr(),
+            asm,
+        }
+    }
+
+    fn generate(mut self, f: &Func) {
+        self.asm.global_fn(&f.name);
+        self.prologue(f);
+        self.gen_block(&f.body);
+        // Implicit `return 0` / `return 0.0` for fall-off.
+        if let Some(ty) = self.ret_ty {
+            match ty {
+                Ty::Int => self.asm.movz(Reg(0), 0, 0),
+                Ty::Float => match self.isa {
+                    IsaKind::Sira64 => {
+                        self.asm.movz(self.sa, 0, 0);
+                        self.asm.inst(InstKind::FMovToFp { fd: FReg(0), rn: self.sa });
+                    }
+                    IsaKind::Sira32 => {
+                        self.asm.movz(Reg(0), 0, 0);
+                        self.asm.movz(Reg(1), 0, 0);
+                    }
+                },
+            }
+        }
+        let epilogue = self.epilogue;
+        self.asm.bind(epilogue);
+        self.epilogue_code();
+        assert!(self.ev.is_empty(), "expression stack imbalance in `{}`", f.name);
+    }
+
+    fn prologue(&mut self, f: &Func) {
+        let sp = self.isa.sp();
+        self.asm.subi(sp, sp, self.frame_bytes);
+        self.asm.st(self.isa.lr(), sp, 0);
+        let used_int = self.used_int_homes.clone();
+        for (i, r) in used_int.iter().enumerate() {
+            self.asm.st(*r, sp, ((i + 1) * 8) as i16);
+        }
+        let base = 1 + used_int.len();
+        let used_fp = self.used_fp_homes.clone();
+        for (i, d) in used_fp.iter().enumerate() {
+            self.asm
+                .inst(InstKind::FSt { fd: *d, rn: sp, off: ((base + i) * 8) as i16 });
+        }
+        // Move arguments into their homes.
+        match self.isa {
+            IsaKind::Sira32 => {
+                let mut slot = 0u8;
+                for (ty, name) in &f.params {
+                    let home = self.homes[name];
+                    match (ty, home) {
+                        (Ty::Int, Home::IntReg(r)) => self.asm.mov(r, Reg(slot)),
+                        (Ty::Int, Home::Slot(off)) => self.asm.st(Reg(slot), sp, off),
+                        (Ty::Float, Home::Slot(off)) => {
+                            self.asm.st(Reg(slot), sp, off);
+                            self.asm.st(Reg(slot + 1), sp, off + 4);
+                        }
+                        _ => unreachable!("no FP homes on sira32"),
+                    }
+                    slot += if *ty == Ty::Float { 2 } else { 1 };
+                }
+            }
+            IsaKind::Sira64 => {
+                let (mut ints, mut fps) = (0u8, 0u8);
+                for (ty, name) in &f.params {
+                    let home = self.homes[name];
+                    match (ty, home) {
+                        (Ty::Int, Home::IntReg(r)) => {
+                            self.asm.mov(r, Reg(ints));
+                            ints += 1;
+                        }
+                        (Ty::Int, Home::Slot(off)) => {
+                            self.asm.st(Reg(ints), sp, off);
+                            ints += 1;
+                        }
+                        (Ty::Float, Home::FpReg(d)) => {
+                            self.asm.fp(fracas_isa::FpOp::Fmov, d, FReg(fps), FReg(fps));
+                            fps += 1;
+                        }
+                        (Ty::Float, Home::Slot(off)) => {
+                            self.asm.inst(InstKind::FSt { fd: FReg(fps), rn: sp, off });
+                            fps += 1;
+                        }
+                        _ => unreachable!("home/type mismatch"),
+                    }
+                }
+            }
+        }
+    }
+
+    fn epilogue_code(&mut self) {
+        let sp = self.isa.sp();
+        let used_int = self.used_int_homes.clone();
+        for (i, r) in used_int.iter().enumerate() {
+            self.asm.ld(*r, sp, ((i + 1) * 8) as i16);
+        }
+        let base = 1 + used_int.len();
+        let used_fp = self.used_fp_homes.clone();
+        for (i, d) in used_fp.iter().enumerate() {
+            self.asm
+                .inst(InstKind::FLd { fd: *d, rn: sp, off: ((base + i) * 8) as i16 });
+        }
+        self.asm.ld(self.isa.lr(), sp, 0);
+        self.asm.addi(sp, sp, self.frame_bytes);
+        self.asm.ret();
+    }
+
+    // ----- expression-stack plumbing -------------------------------------
+
+    fn slot_off(&self, depth: usize) -> i16 {
+        assert!(depth < TEMP_SLOTS, "expression too deep in `{}`", self.fn_name);
+        self.temps_off + (depth as i16) * 8
+    }
+
+    /// Register the next int result should be computed into.
+    fn begin_int(&self) -> Reg {
+        let d = self.ev.len();
+        int_pool(self.isa).get(d).copied().unwrap_or(self.sa)
+    }
+
+    /// Pushes the entry for a value just computed into [`Self::begin_int`]'s
+    /// register, storing to the temp slot when the pool is exhausted.
+    fn commit_int(&mut self, r: Reg) {
+        let d = self.ev.len();
+        let in_reg = int_pool(self.isa).get(d).is_some();
+        if !in_reg {
+            let off = self.slot_off(d);
+            self.asm.st(r, self.isa.sp(), off);
+        }
+        self.ev.push(Ev { ty: Ty::Int, in_reg });
+    }
+
+    fn begin_float(&self) -> FReg {
+        let d = self.ev.len();
+        fp_pool(self.isa).get(d).copied().unwrap_or(FP_SCRATCH_A)
+    }
+
+    fn commit_float(&mut self, d_reg: FReg) {
+        let d = self.ev.len();
+        let in_reg = fp_pool(self.isa).get(d).is_some();
+        if !in_reg {
+            let off = self.slot_off(d);
+            self.asm.inst(InstKind::FSt { fd: d_reg, rn: self.isa.sp(), off });
+        }
+        self.ev.push(Ev { ty: Ty::Float, in_reg });
+    }
+
+    /// Pushes a float entry that lives in its slot (SIRA-32 convention);
+    /// the caller must store both words to [`Self::slot_off`] of the new
+    /// depth *before* calling this.
+    fn push_float_slot(&mut self) {
+        self.ev.push(Ev { ty: Ty::Float, in_reg: false });
+    }
+
+    /// Spills pool-resident entries to their canonical slots (required
+    /// before any call, which clobbers the pools).
+    fn spill_all(&mut self) {
+        let sp = self.isa.sp();
+        for d in 0..self.ev.len() {
+            if !self.ev[d].in_reg {
+                continue;
+            }
+            let off = self.slot_off(d);
+            match self.ev[d].ty {
+                Ty::Int => self.asm.st(int_pool(self.isa)[d], sp, off),
+                Ty::Float => {
+                    self.asm
+                        .inst(InstKind::FSt { fd: fp_pool(self.isa)[d], rn: sp, off });
+                }
+            }
+            self.ev[d].in_reg = false;
+        }
+    }
+
+    /// Pops an int entry; returns the register holding it (the pool
+    /// register, or `want` after a load).
+    fn pop_int(&mut self, want: Reg) -> Reg {
+        let d = self.ev.len() - 1;
+        let ev = self.ev.pop().expect("pop on empty expression stack");
+        assert_eq!(ev.ty, Ty::Int, "type confusion on expression stack");
+        if ev.in_reg {
+            int_pool(self.isa)[d]
+        } else {
+            let off = self.slot_off(d);
+            self.asm.ld(want, self.isa.sp(), off);
+            want
+        }
+    }
+
+    /// Pops a float entry (SIRA-64): returns the FP register holding it.
+    fn pop_float(&mut self, want: FReg) -> FReg {
+        let d = self.ev.len() - 1;
+        let ev = self.ev.pop().expect("pop on empty expression stack");
+        assert_eq!(ev.ty, Ty::Float, "type confusion on expression stack");
+        if ev.in_reg {
+            fp_pool(self.isa)[d]
+        } else {
+            let off = self.slot_off(d);
+            self.asm.inst(InstKind::FLd { fd: want, rn: self.isa.sp(), off });
+            want
+        }
+    }
+
+    /// Pops a float entry that lives in a slot (SIRA-32), returning the
+    /// slot offset. The slot stays valid until the next push at this depth.
+    fn pop_float_slot(&mut self) -> i16 {
+        let d = self.ev.len() - 1;
+        let ev = self.ev.pop().expect("pop on empty expression stack");
+        assert_eq!(ev.ty, Ty::Float, "type confusion on expression stack");
+        assert!(!ev.in_reg, "sira32 floats never live in registers");
+        self.slot_off(d)
+    }
+
+    fn ty_of(&self, e: &Expr) -> Ty {
+        ty_of(e, &self.locals, self.info)
+    }
+
+    // ----- statements ------------------------------------------------------
+
+    fn gen_block(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            self.gen_stmt(s);
+        }
+    }
+
+    fn gen_stmt(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::Let { ty, name, init, .. } => {
+                match init {
+                    Some(e) => self.eval(e),
+                    None => match ty {
+                        Ty::Int => {
+                            let r = self.begin_int();
+                            self.asm.movz(r, 0, 0);
+                            self.commit_int(r);
+                        }
+                        Ty::Float => self.eval(&Expr {
+                            line: 0,
+                            kind: ExprKind::FloatLit(0.0),
+                        }),
+                    },
+                }
+                self.store_into_home(name);
+            }
+            Stmt::Assign { name, value, .. } => {
+                self.eval(value);
+                if self.locals.contains_key(name) {
+                    self.store_into_home(name);
+                } else {
+                    self.store_global_scalar(name);
+                }
+            }
+            Stmt::AssignIndex { name, index, value, .. } => {
+                self.eval(value);
+                self.eval(index);
+                let ty = self.info.globals[name].ty;
+                let idx = self.pop_int(self.sb);
+                let shift = elem_size(self.isa, ty).trailing_zeros() as i16;
+                self.asm.alui(AluOp::Lsl, self.sb, idx, shift);
+                self.asm.lea_data(self.sa, name);
+                self.asm.add(self.sa, self.sa, self.sb);
+                match ty {
+                    Ty::Int => {
+                        let v = self.pop_int(self.sb);
+                        self.asm.st(v, self.sa, 0);
+                    }
+                    Ty::Float => match self.isa {
+                        IsaKind::Sira64 => {
+                            let v = self.pop_float(FP_SCRATCH_A);
+                            self.asm.inst(InstKind::FSt { fd: v, rn: self.sa, off: 0 });
+                        }
+                        IsaKind::Sira32 => {
+                            let slot = self.pop_float_slot();
+                            let sp = self.isa.sp();
+                            self.asm.ld(self.sb, sp, slot);
+                            self.asm.st(self.sb, self.sa, 0);
+                            self.asm.ld(self.sb, sp, slot + 4);
+                            self.asm.st(self.sb, self.sa, 4);
+                        }
+                    },
+                }
+            }
+            Stmt::If { cond, then_body, else_body } => {
+                let else_l = self.asm.new_label();
+                self.branch_false(cond, else_l);
+                self.gen_block(then_body);
+                if else_body.is_empty() {
+                    self.asm.bind(else_l);
+                } else {
+                    let done = self.asm.new_label();
+                    self.asm.b(done);
+                    self.asm.bind(else_l);
+                    self.gen_block(else_body);
+                    self.asm.bind(done);
+                }
+            }
+            Stmt::While { cond, body } => {
+                let top = self.asm.here();
+                let end = self.asm.new_label();
+                self.branch_false(cond, end);
+                self.loops.push((top, end));
+                self.gen_block(body);
+                self.loops.pop();
+                self.asm.b(top);
+                self.asm.bind(end);
+            }
+            Stmt::For { init, cond, step, body } => {
+                self.gen_stmt(init);
+                let top = self.asm.here();
+                let end = self.asm.new_label();
+                let step_l = self.asm.new_label();
+                self.branch_false(cond, end);
+                self.loops.push((step_l, end));
+                self.gen_block(body);
+                self.loops.pop();
+                self.asm.bind(step_l);
+                self.gen_stmt(step);
+                self.asm.b(top);
+                self.asm.bind(end);
+            }
+            Stmt::Return { value, .. } => {
+                if let Some(e) = value {
+                    self.eval(e);
+                    match self.ty_of(e) {
+                        Ty::Int => {
+                            let r = self.pop_int(Reg(0));
+                            if r != Reg(0) {
+                                self.asm.mov(Reg(0), r);
+                            }
+                        }
+                        Ty::Float => match self.isa {
+                            IsaKind::Sira64 => {
+                                let d = self.pop_float(FReg(0));
+                                if d != FReg(0) {
+                                    self.asm.fp(fracas_isa::FpOp::Fmov, FReg(0), d, d);
+                                }
+                            }
+                            IsaKind::Sira32 => {
+                                let slot = self.pop_float_slot();
+                                let sp = self.isa.sp();
+                                self.asm.ld(Reg(0), sp, slot);
+                                self.asm.ld(Reg(1), sp, slot + 4);
+                            }
+                        },
+                    }
+                }
+                let l = self.epilogue;
+                self.asm.b(l);
+            }
+            Stmt::Break { .. } => {
+                let (_, brk) = *self.loops.last().expect("checked by sema");
+                self.asm.b(brk);
+            }
+            Stmt::Continue { .. } => {
+                let (cont, _) = *self.loops.last().expect("checked by sema");
+                self.asm.b(cont);
+            }
+            Stmt::ExprStmt(e) => {
+                let produces = self.eval_maybe_void(e);
+                if produces {
+                    // Discard the value.
+                    match self.ev.last().expect("just produced").ty {
+                        Ty::Int => {
+                            self.pop_int(self.sa);
+                        }
+                        Ty::Float => match self.isa {
+                            IsaKind::Sira64 => {
+                                self.pop_float(FP_SCRATCH_A);
+                            }
+                            IsaKind::Sira32 => {
+                                self.pop_float_slot();
+                            }
+                        },
+                    }
+                }
+            }
+        }
+    }
+
+    /// Stores the top of the expression stack into a local's home.
+    fn store_into_home(&mut self, name: &str) {
+        let sp = self.isa.sp();
+        match self.homes[name] {
+            Home::IntReg(home) => {
+                let r = self.pop_int(home);
+                if r != home {
+                    self.asm.mov(home, r);
+                }
+            }
+            Home::FpReg(home) => {
+                let d = self.pop_float(home);
+                if d != home {
+                    self.asm.fp(fracas_isa::FpOp::Fmov, home, d, d);
+                }
+            }
+            Home::Slot(off) => match self.locals[name] {
+                Ty::Int => {
+                    let r = self.pop_int(self.sa);
+                    self.asm.st(r, sp, off);
+                }
+                Ty::Float => match self.isa {
+                    IsaKind::Sira64 => {
+                        let d = self.pop_float(FP_SCRATCH_A);
+                        self.asm.inst(InstKind::FSt { fd: d, rn: sp, off });
+                    }
+                    IsaKind::Sira32 => {
+                        let slot = self.pop_float_slot();
+                        self.asm.ld(self.sa, sp, slot);
+                        self.asm.st(self.sa, sp, off);
+                        self.asm.ld(self.sa, sp, slot + 4);
+                        self.asm.st(self.sa, sp, off + 4);
+                    }
+                },
+            },
+        }
+    }
+
+    fn store_global_scalar(&mut self, name: &str) {
+        let ty = self.info.globals[name].ty;
+        match ty {
+            Ty::Int => {
+                let v = self.pop_int(self.sb);
+                self.asm.lea_data(self.sa, name);
+                self.asm.st(v, self.sa, 0);
+            }
+            Ty::Float => match self.isa {
+                IsaKind::Sira64 => {
+                    let v = self.pop_float(FP_SCRATCH_A);
+                    self.asm.lea_data(self.sa, name);
+                    self.asm.inst(InstKind::FSt { fd: v, rn: self.sa, off: 0 });
+                }
+                IsaKind::Sira32 => {
+                    let slot = self.pop_float_slot();
+                    let sp = self.isa.sp();
+                    self.asm.lea_data(self.sa, name);
+                    self.asm.ld(self.sb, sp, slot);
+                    self.asm.st(self.sb, self.sa, 0);
+                    self.asm.ld(self.sb, sp, slot + 4);
+                    self.asm.st(self.sb, self.sa, 4);
+                }
+            },
+        }
+    }
+
+    // ----- conditions -------------------------------------------------------
+
+    /// Branches to `target` when `cond` is false.
+    fn branch_false(&mut self, cond: &Expr, target: Label) {
+        match &cond.kind {
+            ExprKind::Bin(op, l, r) if op.is_cmp() => {
+                self.compare(*op, l, r, target, true);
+            }
+            ExprKind::Bin(BinOp::LAnd, l, r) => {
+                self.branch_false(l, target);
+                self.branch_false(r, target);
+            }
+            ExprKind::Bin(BinOp::LOr, l, r) => {
+                let yes = self.asm.new_label();
+                self.branch_true(l, yes);
+                self.branch_false(r, target);
+                self.asm.bind(yes);
+            }
+            ExprKind::Un(UnOp::Not, inner) => self.branch_true(inner, target),
+            _ => {
+                self.eval(cond);
+                let r = self.pop_int(self.sa);
+                self.asm.cmpi(r, 0);
+                self.asm.bc(Cond::Eq, target);
+            }
+        }
+    }
+
+    /// Branches to `target` when `cond` is true.
+    fn branch_true(&mut self, cond: &Expr, target: Label) {
+        match &cond.kind {
+            ExprKind::Bin(op, l, r) if op.is_cmp() => {
+                self.compare(*op, l, r, target, false);
+            }
+            ExprKind::Bin(BinOp::LAnd, l, r) => {
+                let no = self.asm.new_label();
+                self.branch_false(l, no);
+                self.branch_true(r, target);
+                self.asm.bind(no);
+            }
+            ExprKind::Bin(BinOp::LOr, l, r) => {
+                self.branch_true(l, target);
+                self.branch_true(r, target);
+            }
+            ExprKind::Un(UnOp::Not, inner) => self.branch_false(inner, target),
+            _ => {
+                self.eval(cond);
+                let r = self.pop_int(self.sa);
+                self.asm.cmpi(r, 0);
+                self.asm.bc(Cond::Ne, target);
+            }
+        }
+    }
+
+    /// Evaluates `l <op> r` and branches on the result (`invert` selects
+    /// branch-if-false).
+    fn compare(&mut self, op: BinOp, l: &Expr, r: &Expr, target: Label, invert: bool) {
+        match self.ty_of(l) {
+            Ty::Int => {
+                self.eval(l);
+                self.eval(r);
+                let rb = self.pop_int(self.sb);
+                let ra = self.pop_int(self.sa);
+                self.asm.cmp(ra, rb);
+                let mut cond = int_cond(op);
+                if invert {
+                    cond = cond.invert();
+                }
+                self.asm.bc(cond, target);
+            }
+            Ty::Float => match self.isa {
+                IsaKind::Sira64 => {
+                    self.eval(l);
+                    self.eval(r);
+                    let fb = self.pop_float(FP_SCRATCH_B);
+                    let fa = self.pop_float(FP_SCRATCH_A);
+                    self.asm.fcmp(fa, fb);
+                    let mut cond = float_cond(op);
+                    if invert {
+                        cond = cond.invert();
+                    }
+                    self.asm.bc(cond, target);
+                }
+                IsaKind::Sira32 => {
+                    // Softfloat compare materialises 0/1, then branch.
+                    self.softfloat_cmp(op, l, r);
+                    let r0 = self.pop_int(self.sa);
+                    self.asm.cmpi(r0, 0);
+                    self.asm.bc(if invert { Cond::Eq } else { Cond::Ne }, target);
+                }
+            },
+        }
+    }
+
+    /// SIRA-32 float comparison via `__f64_cmp` (-1/0/1, 2 = unordered),
+    /// pushing an int 0/1 entry.
+    fn softfloat_cmp(&mut self, op: BinOp, l: &Expr, r: &Expr) {
+        self.eval(l);
+        self.eval(r);
+        self.spill_all();
+        let s_r = self.pop_float_slot();
+        let s_l = self.pop_float_slot();
+        let sp = self.isa.sp();
+        self.asm.ld(Reg(0), sp, s_l);
+        self.asm.ld(Reg(1), sp, s_l + 4);
+        self.asm.ld(Reg(2), sp, s_r);
+        self.asm.ld(Reg(3), sp, s_r + 4);
+        self.asm.bl_sym("__f64_cmp");
+        // Save the class value, then materialise with conditional moves.
+        self.asm.mov(self.sa, Reg(0));
+        let dest = self.begin_int();
+        let set = |g: &mut Self, d: Reg, against: i16| {
+            g.asm.cmpi(g.sa, against);
+            g.asm
+                .inst_if(Cond::Eq, InstKind::MovImm { rd: d, imm: 1, shift: 0, keep: false });
+        };
+        match op {
+            BinOp::Eq => {
+                self.asm.movz(dest, 0, 0);
+                set(self, dest, 0);
+            }
+            BinOp::Ne => {
+                // Unordered (2) counts as "not equal".
+                self.asm.movz(dest, 1, 0);
+                self.asm.cmpi(self.sa, 0);
+                self.asm
+                    .inst_if(Cond::Eq, InstKind::MovImm { rd: dest, imm: 0, shift: 0, keep: false });
+            }
+            BinOp::Lt => {
+                self.asm.movz(dest, 0, 0);
+                set(self, dest, -1);
+            }
+            BinOp::Le => {
+                self.asm.movz(dest, 0, 0);
+                set(self, dest, -1);
+                set(self, dest, 0);
+            }
+            BinOp::Gt => {
+                self.asm.movz(dest, 0, 0);
+                set(self, dest, 1);
+            }
+            BinOp::Ge => {
+                self.asm.movz(dest, 0, 0);
+                set(self, dest, 0);
+                set(self, dest, 1);
+            }
+            _ => unreachable!("not a comparison"),
+        }
+        self.commit_int(dest);
+    }
+
+    // ----- expressions -------------------------------------------------------
+
+    /// Evaluates an expression that may be a void call; returns whether a
+    /// value was pushed.
+    fn eval_maybe_void(&mut self, e: &Expr) -> bool {
+        if let ExprKind::Call(name, args) = &e.kind {
+            let is_void = match name.as_str() {
+                "print_int" | "print_float" | "print_char" | "print_str" => true,
+                _ => self
+                    .info
+                    .fns
+                    .get(name)
+                    .is_some_and(|sig| sig.ret.is_none()),
+            };
+            self.gen_call(name, args);
+            return !is_void;
+        }
+        self.eval(e);
+        true
+    }
+
+    /// Evaluates an expression, pushing exactly one entry.
+    fn eval(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::IntLit(v) => {
+                let r = self.begin_int();
+                let bits = if self.isa == IsaKind::Sira32 {
+                    u64::from(*v as i32 as u32)
+                } else {
+                    *v as u64
+                };
+                self.asm.load_imm(r, bits);
+                self.commit_int(r);
+            }
+            ExprKind::FloatLit(v) => self.emit_float_const(*v),
+            ExprKind::Str(_) => unreachable!("rejected by sema"),
+            ExprKind::Var(name) => self.eval_var(name),
+            ExprKind::Index(name, idx) => self.eval_index(name, idx),
+            ExprKind::Cast(ty, inner) => self.eval_cast(*ty, inner),
+            ExprKind::Un(op, inner) => self.eval_unary(*op, inner, e),
+            ExprKind::Bin(op, l, r) => self.eval_binary(*op, l, r),
+            ExprKind::Call(name, args) => self.gen_call(name, args),
+        }
+    }
+
+    fn emit_float_const(&mut self, v: f64) {
+        let bits = v.to_bits();
+        match self.isa {
+            IsaKind::Sira64 => {
+                self.asm.load_imm(self.sa, bits);
+                let d = self.begin_float();
+                self.asm.inst(InstKind::FMovToFp { fd: d, rn: self.sa });
+                self.commit_float(d);
+            }
+            IsaKind::Sira32 => {
+                let sp = self.isa.sp();
+                let off = self.slot_off(self.ev.len());
+                self.asm.load_imm(self.sa, bits & 0xffff_ffff);
+                self.asm.st(self.sa, sp, off);
+                self.asm.load_imm(self.sa, bits >> 32);
+                self.asm.st(self.sa, sp, off + 4);
+                self.push_float_slot();
+            }
+        }
+    }
+
+    fn eval_var(&mut self, name: &str) {
+        let sp = self.isa.sp();
+        if let Some(&home) = self.homes.get(name) {
+            match home {
+                Home::IntReg(r) => {
+                    let dest = self.begin_int();
+                    self.asm.mov(dest, r);
+                    self.commit_int(dest);
+                }
+                Home::FpReg(d) => {
+                    let dest = self.begin_float();
+                    self.asm.fp(fracas_isa::FpOp::Fmov, dest, d, d);
+                    self.commit_float(dest);
+                }
+                Home::Slot(off) => match self.locals[name] {
+                    Ty::Int => {
+                        let dest = self.begin_int();
+                        self.asm.ld(dest, sp, off);
+                        self.commit_int(dest);
+                    }
+                    Ty::Float => match self.isa {
+                        IsaKind::Sira64 => {
+                            let dest = self.begin_float();
+                            self.asm.inst(InstKind::FLd { fd: dest, rn: sp, off });
+                            self.commit_float(dest);
+                        }
+                        IsaKind::Sira32 => {
+                            let dst = self.slot_off(self.ev.len());
+                            self.asm.ld(self.sa, sp, off);
+                            self.asm.st(self.sa, sp, dst);
+                            self.asm.ld(self.sa, sp, off + 4);
+                            self.asm.st(self.sa, sp, dst + 4);
+                            self.push_float_slot();
+                        }
+                    },
+                },
+            }
+            return;
+        }
+        // Global scalar.
+        let ty = self.info.globals[name].ty;
+        match ty {
+            Ty::Int => {
+                let dest = self.begin_int();
+                self.asm.lea_data(self.sa, name);
+                self.asm.ld(dest, self.sa, 0);
+                self.commit_int(dest);
+            }
+            Ty::Float => match self.isa {
+                IsaKind::Sira64 => {
+                    self.asm.lea_data(self.sa, name);
+                    let dest = self.begin_float();
+                    self.asm.inst(InstKind::FLd { fd: dest, rn: self.sa, off: 0 });
+                    self.commit_float(dest);
+                }
+                IsaKind::Sira32 => {
+                    let sp = self.isa.sp();
+                    let dst = self.slot_off(self.ev.len());
+                    self.asm.lea_data(self.sa, name);
+                    self.asm.ld(self.sb, self.sa, 0);
+                    self.asm.st(self.sb, sp, dst);
+                    self.asm.ld(self.sb, self.sa, 4);
+                    self.asm.st(self.sb, sp, dst + 4);
+                    self.push_float_slot();
+                }
+            },
+        }
+    }
+
+    fn eval_index(&mut self, name: &str, idx: &Expr) {
+        self.eval(idx);
+        let ty = self.info.globals[name].ty;
+        let i = self.pop_int(self.sb);
+        let shift = elem_size(self.isa, ty).trailing_zeros() as i16;
+        self.asm.alui(AluOp::Lsl, self.sb, i, shift);
+        self.asm.lea_data(self.sa, name);
+        self.asm.add(self.sa, self.sa, self.sb);
+        match ty {
+            Ty::Int => {
+                let dest = self.begin_int();
+                self.asm.ld(dest, self.sa, 0);
+                self.commit_int(dest);
+            }
+            Ty::Float => match self.isa {
+                IsaKind::Sira64 => {
+                    let dest = self.begin_float();
+                    self.asm.inst(InstKind::FLd { fd: dest, rn: self.sa, off: 0 });
+                    self.commit_float(dest);
+                }
+                IsaKind::Sira32 => {
+                    let sp = self.isa.sp();
+                    let dst = self.slot_off(self.ev.len());
+                    self.asm.ld(self.sb, self.sa, 0);
+                    self.asm.st(self.sb, sp, dst);
+                    self.asm.ld(self.sb, self.sa, 4);
+                    self.asm.st(self.sb, sp, dst + 4);
+                    self.push_float_slot();
+                }
+            },
+        }
+    }
+
+    fn eval_cast(&mut self, to: Ty, inner: &Expr) {
+        let from = self.ty_of(inner);
+        if from == to {
+            self.eval(inner);
+            return;
+        }
+        match (from, to) {
+            (Ty::Float, Ty::Int) => match self.isa {
+                IsaKind::Sira64 => {
+                    self.eval(inner);
+                    let fa = self.pop_float(FP_SCRATCH_A);
+                    let dest = self.begin_int();
+                    self.asm.inst(InstKind::Fcvtzs { rd: dest, fa });
+                    self.commit_int(dest);
+                }
+                IsaKind::Sira32 => {
+                    self.eval(inner);
+                    self.spill_all();
+                    let slot = self.pop_float_slot();
+                    let sp = self.isa.sp();
+                    self.asm.ld(Reg(0), sp, slot);
+                    self.asm.ld(Reg(1), sp, slot + 4);
+                    self.asm.bl_sym("__f64_toint");
+                    let dest = self.begin_int();
+                    if dest != Reg(0) {
+                        self.asm.mov(dest, Reg(0));
+                    }
+                    self.commit_int(dest);
+                }
+            },
+            (Ty::Int, Ty::Float) => match self.isa {
+                IsaKind::Sira64 => {
+                    self.eval(inner);
+                    let rn = self.pop_int(self.sa);
+                    let dest = self.begin_float();
+                    self.asm.inst(InstKind::Scvtf { fd: dest, rn });
+                    self.commit_float(dest);
+                }
+                IsaKind::Sira32 => {
+                    self.eval(inner);
+                    self.spill_all();
+                    let r = self.pop_int(Reg(0));
+                    if r != Reg(0) {
+                        self.asm.mov(Reg(0), r);
+                    }
+                    self.asm.bl_sym("__f64_fromint");
+                    let sp = self.isa.sp();
+                    let dst = self.slot_off(self.ev.len());
+                    self.asm.st(Reg(0), sp, dst);
+                    self.asm.st(Reg(1), sp, dst + 4);
+                    self.push_float_slot();
+                }
+            },
+            _ => unreachable!("same-type cast handled above"),
+        }
+    }
+
+    fn eval_unary(&mut self, op: UnOp, inner: &Expr, whole: &Expr) {
+        match (op, self.ty_of(inner)) {
+            (UnOp::Neg, Ty::Int) => {
+                self.eval(inner);
+                let r = self.pop_int(self.sa);
+                let dest = self.begin_int();
+                // Two's complement negate; safe even when dest == r.
+                self.asm.inst(InstKind::Mvn { rd: dest, rm: r });
+                self.asm.addi(dest, dest, 1);
+                self.commit_int(dest);
+            }
+            (UnOp::Neg, Ty::Float) => match self.isa {
+                IsaKind::Sira64 => {
+                    self.eval(inner);
+                    let fa = self.pop_float(FP_SCRATCH_A);
+                    let dest = self.begin_float();
+                    self.asm.fp(fracas_isa::FpOp::Fneg, dest, fa, fa);
+                    self.commit_float(dest);
+                }
+                IsaKind::Sira32 => {
+                    // Flip the sign bit of the high word, in place.
+                    self.eval(inner);
+                    let slot = self.pop_float_slot();
+                    let sp = self.isa.sp();
+                    self.asm.ld(self.sa, sp, slot + 4);
+                    self.asm.load_imm(self.sb, 0x8000_0000);
+                    self.asm.alu(AluOp::Eor, self.sa, self.sa, self.sb);
+                    self.asm.st(self.sa, sp, slot + 4);
+                    self.push_float_slot();
+                }
+            },
+            (UnOp::Not, _) => {
+                // Materialise (inner == 0) as 0/1 via the branch helpers.
+                let no = self.asm.new_label();
+                let done = self.asm.new_label();
+                self.branch_true(whole_inner(whole), no);
+                let dest = self.begin_int();
+                self.asm.movz(dest, 1, 0);
+                self.asm.b(done);
+                self.asm.bind(no);
+                self.asm.movz(dest, 0, 0);
+                self.asm.bind(done);
+                self.commit_int(dest);
+            }
+        }
+    }
+
+    fn eval_binary(&mut self, op: BinOp, l: &Expr, r: &Expr) {
+        if op == BinOp::LAnd || op == BinOp::LOr {
+            // Short-circuit, materialised 0/1.
+            let no = self.asm.new_label();
+            let done = self.asm.new_label();
+            match op {
+                BinOp::LAnd => {
+                    self.branch_false(l, no);
+                    self.branch_false(r, no);
+                }
+                _ => {
+                    let yes = self.asm.new_label();
+                    self.branch_true(l, yes);
+                    self.branch_false(r, no);
+                    self.asm.bind(yes);
+                }
+            }
+            let dest = self.begin_int();
+            self.asm.movz(dest, 1, 0);
+            self.asm.b(done);
+            self.asm.bind(no);
+            self.asm.movz(dest, 0, 0);
+            self.asm.bind(done);
+            self.commit_int(dest);
+            return;
+        }
+
+        let ty = self.ty_of(l);
+        if op.is_cmp() {
+            match (ty, self.isa) {
+                (Ty::Int, _) => {
+                    self.eval(l);
+                    self.eval(r);
+                    let rb = self.pop_int(self.sb);
+                    let ra = self.pop_int(self.sa);
+                    self.asm.cmp(ra, rb);
+                    self.materialize_cond(int_cond(op));
+                }
+                (Ty::Float, IsaKind::Sira64) => {
+                    self.eval(l);
+                    self.eval(r);
+                    let fb = self.pop_float(FP_SCRATCH_B);
+                    let fa = self.pop_float(FP_SCRATCH_A);
+                    self.asm.fcmp(fa, fb);
+                    self.materialize_cond(float_cond(op));
+                }
+                (Ty::Float, IsaKind::Sira32) => self.softfloat_cmp(op, l, r),
+            }
+            return;
+        }
+
+        match ty {
+            Ty::Int => {
+                self.eval(l);
+                self.eval(r);
+                let rb = self.pop_int(self.sb);
+                let ra = self.pop_int(self.sa);
+                let dest = self.begin_int();
+                self.asm.alu(alu_of(op), dest, ra, rb);
+                self.commit_int(dest);
+            }
+            Ty::Float => match self.isa {
+                IsaKind::Sira64 => {
+                    self.eval(l);
+                    self.eval(r);
+                    let fb = self.pop_float(FP_SCRATCH_B);
+                    let fa = self.pop_float(FP_SCRATCH_A);
+                    let dest = self.begin_float();
+                    let fop = match op {
+                        BinOp::Add => fracas_isa::FpOp::Fadd,
+                        BinOp::Sub => fracas_isa::FpOp::Fsub,
+                        BinOp::Mul => fracas_isa::FpOp::Fmul,
+                        BinOp::Div => fracas_isa::FpOp::Fdiv,
+                        _ => unreachable!("checked float operator"),
+                    };
+                    self.asm.fp(fop, dest, fa, fb);
+                    self.commit_float(dest);
+                }
+                IsaKind::Sira32 => {
+                    self.eval(l);
+                    self.eval(r);
+                    self.spill_all();
+                    let s_r = self.pop_float_slot();
+                    let s_l = self.pop_float_slot();
+                    let sp = self.isa.sp();
+                    self.asm.ld(Reg(0), sp, s_l);
+                    self.asm.ld(Reg(1), sp, s_l + 4);
+                    self.asm.ld(Reg(2), sp, s_r);
+                    self.asm.ld(Reg(3), sp, s_r + 4);
+                    self.asm.bl_sym(softfloat_fn(op));
+                    let dst = self.slot_off(self.ev.len());
+                    self.asm.st(Reg(0), sp, dst);
+                    self.asm.st(Reg(1), sp, dst + 4);
+                    self.push_float_slot();
+                }
+            },
+        }
+    }
+
+    /// Pushes 0/1 from the current flags and `cond`.
+    fn materialize_cond(&mut self, cond: Cond) {
+        let dest = self.begin_int();
+        match self.isa {
+            IsaKind::Sira32 => {
+                self.asm.movz(dest, 0, 0);
+                self.asm
+                    .inst_if(cond, InstKind::MovImm { rd: dest, imm: 1, shift: 0, keep: false });
+            }
+            IsaKind::Sira64 => {
+                let done = self.asm.new_label();
+                self.asm.movz(dest, 1, 0);
+                self.asm.bc(cond, done);
+                self.asm.movz(dest, 0, 0);
+                self.asm.bind(done);
+            }
+        }
+        self.commit_int(dest);
+    }
+
+    // ----- calls and intrinsics ------------------------------------------------
+
+    #[allow(clippy::too_many_lines)]
+    fn gen_call(&mut self, name: &str, args: &[Expr]) {
+        let sp = self.isa.sp();
+        match name {
+            "sizeof_int" => {
+                let dest = self.begin_int();
+                self.asm.movz(dest, self.isa.word_bytes() as u16, 0);
+                self.commit_int(dest);
+                return;
+            }
+            "sizeof_float" => {
+                let dest = self.begin_int();
+                self.asm.movz(dest, 8, 0);
+                self.commit_int(dest);
+                return;
+            }
+            "addr_of" => {
+                let ExprKind::Var(g) = &args[0].kind else { unreachable!("sema") };
+                let g = g.clone();
+                let dest = self.begin_int();
+                self.asm.lea_data(dest, &g);
+                self.commit_int(dest);
+                return;
+            }
+            "fn_addr" => {
+                let ExprKind::Var(f) = &args[0].kind else { unreachable!("sema") };
+                let f = f.clone();
+                let dest = self.begin_int();
+                self.asm.lea_text(dest, &f);
+                self.commit_int(dest);
+                return;
+            }
+            "fabs" if self.isa == IsaKind::Sira32 => {
+                self.eval(&args[0]);
+                let slot = self.pop_float_slot();
+                self.asm.ld(self.sa, sp, slot + 4);
+                self.asm.load_imm(self.sb, 0x7fff_ffff);
+                self.asm.alu(AluOp::And, self.sa, self.sa, self.sb);
+                self.asm.st(self.sa, sp, slot + 4);
+                self.push_float_slot();
+                return;
+            }
+            "sqrt" | "fabs" if self.isa == IsaKind::Sira64 => {
+                self.eval(&args[0]);
+                let fa = self.pop_float(FP_SCRATCH_A);
+                let dest = self.begin_float();
+                let op = if name == "sqrt" {
+                    fracas_isa::FpOp::Fsqrt
+                } else {
+                    fracas_isa::FpOp::Fabs
+                };
+                self.asm.fp(op, dest, fa, fa);
+                self.commit_float(dest);
+                return;
+            }
+            "sqrt" => {
+                // SIRA-32: call the runtime's Newton implementation.
+                self.gen_float_unary_call(&args[0], "__f64_sqrt");
+                return;
+            }
+            "print_str" => {
+                let ExprKind::Str(s) = &args[0].kind else { unreachable!("sema") };
+                let label = format!("__str_{}_{}", self.fn_name, self.str_count);
+                self.str_count += 1;
+                self.asm.data_bytes(&label, s.as_bytes());
+                self.spill_all();
+                self.asm.lea_data(Reg(0), &label);
+                self.asm.load_imm(Reg(1), s.len() as u64);
+                self.asm.svc(fracas_kernel_abi::SYS_WRITE);
+                return;
+            }
+            "print_int" | "print_char" => {
+                self.eval(&args[0]);
+                self.spill_all();
+                let r = self.pop_int(Reg(0));
+                if r != Reg(0) {
+                    self.asm.mov(Reg(0), r);
+                }
+                let num = if name == "print_int" {
+                    fracas_kernel_abi::SYS_WRITE_INT
+                } else {
+                    fracas_kernel_abi::SYS_WRITE_CH
+                };
+                self.asm.svc(num);
+                return;
+            }
+            "print_float" => {
+                self.eval(&args[0]);
+                self.spill_all();
+                match self.isa {
+                    IsaKind::Sira64 => {
+                        let d = self.pop_float(FP_SCRATCH_A);
+                        self.asm.inst(InstKind::FMovFromFp { rd: Reg(0), fa: d });
+                    }
+                    IsaKind::Sira32 => {
+                        let slot = self.pop_float_slot();
+                        self.asm.ld(Reg(0), sp, slot);
+                        self.asm.ld(Reg(1), sp, slot + 4);
+                    }
+                }
+                self.asm.svc(fracas_kernel_abi::SYS_WRITE_FLT);
+                return;
+            }
+            "call2" => {
+                self.spill_all();
+                for a in args {
+                    self.eval(a);
+                }
+                self.spill_all();
+                let base = self.ev.len() - 3;
+                let (s0, s1, s2) =
+                    (self.slot_off(base), self.slot_off(base + 1), self.slot_off(base + 2));
+                self.ev.truncate(base);
+                self.asm.ld(Reg(0), sp, s1);
+                self.asm.ld(Reg(1), sp, s2);
+                self.asm.ld(self.sa, sp, s0);
+                self.asm.blr(self.sa);
+                let dest = self.begin_int();
+                if dest != Reg(0) {
+                    self.asm.mov(dest, Reg(0));
+                }
+                self.commit_int(dest);
+                return;
+            }
+            _ if name.starts_with("syscall") && name.len() == 8 => {
+                let ExprKind::IntLit(num) = args[0].kind else { unreachable!("sema") };
+                self.spill_all();
+                for a in &args[1..] {
+                    self.eval(a);
+                }
+                self.spill_all();
+                let n = args.len() - 1;
+                let base = self.ev.len() - n;
+                for i in 0..n {
+                    let off = self.slot_off(base + i);
+                    self.asm.ld(Reg(i as u8), sp, off);
+                }
+                self.ev.truncate(base);
+                self.asm.svc(num as u16);
+                let dest = self.begin_int();
+                if dest != Reg(0) {
+                    self.asm.mov(dest, Reg(0));
+                }
+                self.commit_int(dest);
+                return;
+            }
+            _ => {}
+        }
+
+        // Ordinary (FL or extern) function call.
+        let sig = self.info.fns[name].clone();
+        self.spill_all();
+        for a in args {
+            self.eval(a);
+        }
+        self.spill_all();
+        let base = self.ev.len() - args.len();
+        let slots: Vec<(i16, Ty)> = (0..args.len())
+            .map(|i| (self.slot_off(base + i), sig.params[i]))
+            .collect();
+        self.ev.truncate(base);
+        match self.isa {
+            IsaKind::Sira32 => {
+                let mut arg_slot = 0u8;
+                for (off, ty) in &slots {
+                    match ty {
+                        Ty::Int => {
+                            self.asm.ld(Reg(arg_slot), sp, *off);
+                            arg_slot += 1;
+                        }
+                        Ty::Float => {
+                            self.asm.ld(Reg(arg_slot), sp, *off);
+                            self.asm.ld(Reg(arg_slot + 1), sp, *off + 4);
+                            arg_slot += 2;
+                        }
+                    }
+                }
+            }
+            IsaKind::Sira64 => {
+                let (mut ints, mut fps) = (0u8, 0u8);
+                for (off, ty) in &slots {
+                    match ty {
+                        Ty::Int => {
+                            self.asm.ld(Reg(ints), sp, *off);
+                            ints += 1;
+                        }
+                        Ty::Float => {
+                            self.asm.inst(InstKind::FLd { fd: FReg(fps), rn: sp, off: *off });
+                            fps += 1;
+                        }
+                    }
+                }
+            }
+        }
+        self.asm.bl_sym(name);
+        match sig.ret {
+            None => {}
+            Some(Ty::Int) => {
+                let dest = self.begin_int();
+                if dest != Reg(0) {
+                    self.asm.mov(dest, Reg(0));
+                }
+                self.commit_int(dest);
+            }
+            Some(Ty::Float) => match self.isa {
+                IsaKind::Sira64 => {
+                    let dest = self.begin_float();
+                    self.asm.fp(fracas_isa::FpOp::Fmov, dest, FReg(0), FReg(0));
+                    self.commit_float(dest);
+                }
+                IsaKind::Sira32 => {
+                    let dst = self.slot_off(self.ev.len());
+                    self.asm.st(Reg(0), sp, dst);
+                    self.asm.st(Reg(1), sp, dst + 4);
+                    self.push_float_slot();
+                }
+            },
+        }
+    }
+
+    /// SIRA-32 unary float runtime call (float -> float ABI).
+    fn gen_float_unary_call(&mut self, arg: &Expr, sym: &str) {
+        self.eval(arg);
+        self.spill_all();
+        let slot = self.pop_float_slot();
+        let sp = self.isa.sp();
+        self.asm.ld(Reg(0), sp, slot);
+        self.asm.ld(Reg(1), sp, slot + 4);
+        self.asm.bl_sym(sym);
+        let dst = self.slot_off(self.ev.len());
+        self.asm.st(Reg(0), sp, dst);
+        self.asm.st(Reg(1), sp, dst + 4);
+        self.push_float_slot();
+    }
+}
+
+/// The inner expression of a `!` node (helper for `eval_unary`).
+fn whole_inner(e: &Expr) -> &Expr {
+    match &e.kind {
+        ExprKind::Un(UnOp::Not, inner) => inner,
+        _ => unreachable!("only called on Not nodes"),
+    }
+}
+
+fn collect_lets(stmts: &[Stmt], out: &mut Vec<(Ty, String)>) {
+    for s in stmts {
+        match s {
+            Stmt::Let { ty, name, .. } => out.push((*ty, name.clone())),
+            Stmt::If { then_body, else_body, .. } => {
+                collect_lets(then_body, out);
+                collect_lets(else_body, out);
+            }
+            Stmt::While { body, .. } => collect_lets(body, out),
+            Stmt::For { init, step, body, .. } => {
+                collect_lets(std::slice::from_ref(init), out);
+                collect_lets(std::slice::from_ref(step), out);
+                collect_lets(body, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Syscall numbers used by the generated code. These mirror
+/// `fracas_kernel::abi`; they are duplicated here (and asserted equal in
+/// the integration tests) so that `fracas-lang` does not depend on the
+/// kernel crate.
+mod fracas_kernel_abi {
+    pub const SYS_WRITE: u16 = 1;
+    pub const SYS_WRITE_INT: u16 = 15;
+    pub const SYS_WRITE_FLT: u16 = 16;
+    pub const SYS_WRITE_CH: u16 = 17;
+}

@@ -1,0 +1,27 @@
+//! Compiler diagnostics.
+
+use std::error::Error;
+use std::fmt;
+
+/// A compile-time diagnostic with the 1-based source line it refers to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// 1-based line number (0 for end-of-file errors).
+    pub line: u32,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl CompileError {
+    pub(crate) fn new(line: u32, message: impl Into<String>) -> CompileError {
+        CompileError { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for CompileError {}

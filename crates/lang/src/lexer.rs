@@ -1,0 +1,351 @@
+//! The FL lexer.
+
+use crate::CompileError;
+
+/// One lexical token with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: Tok,
+    pub line: u32,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    Int(i64),
+    Float(f64),
+    Ident(String),
+    Str(String),
+    // keywords
+    Fn,
+    Let,
+    Global,
+    Extern,
+    If,
+    Else,
+    While,
+    For,
+    Return,
+    Break,
+    Continue,
+    TyInt,
+    TyFloat,
+    // punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Arrow,
+    Assign,
+    // operators
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Shl,
+    Shr,
+    AmpAmp,
+    PipePipe,
+    Bang,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eof,
+}
+
+/// Lexes a source string into tokens (always ending with [`Tok::Eof`]).
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on malformed numbers, unterminated strings
+/// or comments, and unexpected characters.
+pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
+    let mut tokens = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let err = |line: u32, msg: &str| CompileError::new(line, msg);
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = line;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(err(start, "unterminated block comment"));
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                if c == b'0' && bytes.get(i + 1) == Some(&b'x') {
+                    i += 2;
+                    while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    let text = &source[start + 2..i];
+                    let v = i64::from_str_radix(text, 16)
+                        .map_err(|_| err(line, "invalid hex literal"))?;
+                    tokens.push(Token { kind: Tok::Int(v), line });
+                    continue;
+                }
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &source[start..i];
+                if is_float {
+                    let v: f64 = text.parse().map_err(|_| err(line, "invalid float literal"))?;
+                    tokens.push(Token { kind: Tok::Float(v), line });
+                } else {
+                    let v: i64 = text.parse().map_err(|_| err(line, "invalid int literal"))?;
+                    tokens.push(Token { kind: Tok::Int(v), line });
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &source[start..i];
+                let kind = match word {
+                    "fn" => Tok::Fn,
+                    "let" => Tok::Let,
+                    "global" => Tok::Global,
+                    "extern" => Tok::Extern,
+                    "if" => Tok::If,
+                    "else" => Tok::Else,
+                    "while" => Tok::While,
+                    "for" => Tok::For,
+                    "return" => Tok::Return,
+                    "break" => Tok::Break,
+                    "continue" => Tok::Continue,
+                    "int" => Tok::TyInt,
+                    "float" => Tok::TyFloat,
+                    _ => Tok::Ident(word.to_string()),
+                };
+                tokens.push(Token { kind, line });
+            }
+            b'"' => {
+                let start_line = line;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(err(start_line, "unterminated string literal"));
+                    }
+                    match bytes[i] {
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\\' => {
+                            let esc = bytes.get(i + 1).copied();
+                            let ch = match esc {
+                                Some(b'n') => '\n',
+                                Some(b't') => '\t',
+                                Some(b'\\') => '\\',
+                                Some(b'"') => '"',
+                                _ => return Err(err(line, "bad escape sequence")),
+                            };
+                            s.push(ch);
+                            i += 2;
+                        }
+                        b'\n' => return Err(err(start_line, "unterminated string literal")),
+                        b => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token { kind: Tok::Str(s), line });
+            }
+            _ => {
+                let two = |a: u8, b: u8| c == a && bytes.get(i + 1) == Some(&b);
+                let (kind, width) = if two(b'-', b'>') {
+                    (Tok::Arrow, 2)
+                } else if two(b'=', b'=') {
+                    (Tok::Eq, 2)
+                } else if two(b'!', b'=') {
+                    (Tok::Ne, 2)
+                } else if two(b'<', b'=') {
+                    (Tok::Le, 2)
+                } else if two(b'>', b'=') {
+                    (Tok::Ge, 2)
+                } else if two(b'<', b'<') {
+                    (Tok::Shl, 2)
+                } else if two(b'>', b'>') {
+                    (Tok::Shr, 2)
+                } else if two(b'&', b'&') {
+                    (Tok::AmpAmp, 2)
+                } else if two(b'|', b'|') {
+                    (Tok::PipePipe, 2)
+                } else {
+                    let single = match c {
+                        b'(' => Tok::LParen,
+                        b')' => Tok::RParen,
+                        b'{' => Tok::LBrace,
+                        b'}' => Tok::RBrace,
+                        b'[' => Tok::LBracket,
+                        b']' => Tok::RBracket,
+                        b',' => Tok::Comma,
+                        b';' => Tok::Semi,
+                        b'=' => Tok::Assign,
+                        b'+' => Tok::Plus,
+                        b'-' => Tok::Minus,
+                        b'*' => Tok::Star,
+                        b'/' => Tok::Slash,
+                        b'%' => Tok::Percent,
+                        b'&' => Tok::Amp,
+                        b'|' => Tok::Pipe,
+                        b'^' => Tok::Caret,
+                        b'!' => Tok::Bang,
+                        b'<' => Tok::Lt,
+                        b'>' => Tok::Gt,
+                        _ => {
+                            return Err(err(line, &format!("unexpected character `{}`", c as char)))
+                        }
+                    };
+                    (single, 1)
+                };
+                tokens.push(Token { kind, line });
+                i += width;
+            }
+        }
+    }
+    tokens.push(Token { kind: Tok::Eof, line });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("42 0x1f 3.5 1e3 2.5e-2"),
+            vec![
+                Tok::Int(42),
+                Tok::Int(31),
+                Tok::Float(3.5),
+                Tok::Float(1000.0),
+                Tok::Float(0.025),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            kinds("fn foo int x_1"),
+            vec![Tok::Fn, Tok::Ident("foo".into()), Tok::TyInt, Tok::Ident("x_1".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("== != <= >= << >> && || -> = < >"),
+            vec![
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Le,
+                Tok::Ge,
+                Tok::Shl,
+                Tok::Shr,
+                Tok::AmpAmp,
+                Tok::PipePipe,
+                Tok::Arrow,
+                Tok::Assign,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let toks = lex("a // comment\nb /* multi\nline */ c").unwrap();
+        assert_eq!(toks.len(), 4);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""hi\n" "a\"b""#),
+            vec![Tok::Str("hi\n".into()), Tok::Str("a\"b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn errors_carry_lines() {
+        let e = lex("x\n$").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(lex("\"abc").is_err());
+        assert!(lex("/* abc").is_err());
+    }
+}

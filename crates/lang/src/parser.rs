@@ -1,0 +1,524 @@
+//! Recursive-descent parser for FL.
+
+use crate::ast::{BinOp, Expr, ExprKind, Func, Item, Program, Stmt, Ty, UnOp};
+use crate::lexer::{Tok, Token};
+use crate::CompileError;
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+/// Parses a token stream into a [`Program`].
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] at the first syntax error.
+pub fn parse(tokens: &[Token]) -> Result<Program, CompileError> {
+    let mut p = Parser { tokens, pos: 0 };
+    let mut items = Vec::new();
+    while p.peek() != &Tok::Eof {
+        items.push(p.item()?);
+    }
+    Ok(Program { items })
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> &Tok {
+        let t = &self.tokens[self.pos].kind;
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> CompileError {
+        CompileError::new(self.line(), msg)
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<(), CompileError> {
+        if self.peek() == tok {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, CompileError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn ty(&mut self) -> Result<Ty, CompileError> {
+        match self.peek() {
+            Tok::TyInt => {
+                self.bump();
+                Ok(Ty::Int)
+            }
+            Tok::TyFloat => {
+                self.bump();
+                Ok(Ty::Float)
+            }
+            other => Err(self.err(format!("expected a type, found {other:?}"))),
+        }
+    }
+
+    fn item(&mut self) -> Result<Item, CompileError> {
+        let line = self.line();
+        match self.peek() {
+            Tok::Global => {
+                self.bump();
+                let ty = self.ty()?;
+                let name = self.ident("global name")?;
+                let len = self.opt_array_len()?;
+                self.expect(&Tok::Semi, "`;`")?;
+                Ok(Item::Global { line, ty, name, len })
+            }
+            Tok::Extern => {
+                self.bump();
+                match self.peek() {
+                    Tok::Fn => {
+                        self.bump();
+                        let name = self.ident("function name")?;
+                        self.expect(&Tok::LParen, "`(`")?;
+                        let mut params = Vec::new();
+                        if self.peek() != &Tok::RParen {
+                            loop {
+                                params.push(self.ty()?);
+                                if self.peek() == &Tok::Comma {
+                                    self.bump();
+                                } else {
+                                    break;
+                                }
+                            }
+                        }
+                        self.expect(&Tok::RParen, "`)`")?;
+                        let ret = self.opt_ret()?;
+                        self.expect(&Tok::Semi, "`;`")?;
+                        Ok(Item::ExternFn { line, name, params, ret })
+                    }
+                    Tok::Global => {
+                        self.bump();
+                        let ty = self.ty()?;
+                        let name = self.ident("global name")?;
+                        let len = self.opt_array_len()?;
+                        self.expect(&Tok::Semi, "`;`")?;
+                        Ok(Item::ExternGlobal { line, ty, name, len })
+                    }
+                    other => Err(self.err(format!("expected `fn` or `global`, found {other:?}"))),
+                }
+            }
+            Tok::Fn => {
+                self.bump();
+                let name = self.ident("function name")?;
+                self.expect(&Tok::LParen, "`(`")?;
+                let mut params = Vec::new();
+                if self.peek() != &Tok::RParen {
+                    loop {
+                        let ty = self.ty()?;
+                        let pname = self.ident("parameter name")?;
+                        params.push((ty, pname));
+                        if self.peek() == &Tok::Comma {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Tok::RParen, "`)`")?;
+                let ret = self.opt_ret()?;
+                let body = self.block()?;
+                Ok(Item::Func(Func { line, name, params, ret, body }))
+            }
+            other => Err(self.err(format!(
+                "expected `fn`, `global` or `extern`, found {other:?}"
+            ))),
+        }
+    }
+
+    fn opt_array_len(&mut self) -> Result<u32, CompileError> {
+        if self.peek() == &Tok::LBracket {
+            self.bump();
+            let len = match *self.peek() {
+                Tok::Int(v) if v > 0 => v as u32,
+                _ => return Err(self.err("array length must be a positive integer literal")),
+            };
+            self.bump();
+            self.expect(&Tok::RBracket, "`]`")?;
+            Ok(len)
+        } else {
+            Ok(1)
+        }
+    }
+
+    fn opt_ret(&mut self) -> Result<Option<Ty>, CompileError> {
+        if self.peek() == &Tok::Arrow {
+            self.bump();
+            Ok(Some(self.ty()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.expect(&Tok::LBrace, "`{`")?;
+        let mut stmts = Vec::new();
+        while self.peek() != &Tok::RBrace {
+            if self.peek() == &Tok::Eof {
+                return Err(self.err("unexpected end of file inside block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.bump();
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        match self.peek() {
+            Tok::Let => {
+                self.bump();
+                let ty = self.ty()?;
+                let name = self.ident("variable name")?;
+                let init = if self.peek() == &Tok::Assign {
+                    self.bump();
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.expect(&Tok::Semi, "`;`")?;
+                Ok(Stmt::Let { line, ty, name, init })
+            }
+            Tok::If => {
+                self.bump();
+                self.expect(&Tok::LParen, "`(`")?;
+                let cond = self.expr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                let then_body = self.block()?;
+                let else_body = if self.peek() == &Tok::Else {
+                    self.bump();
+                    if self.peek() == &Tok::If {
+                        vec![self.stmt()?]
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If { cond, then_body, else_body })
+            }
+            Tok::While => {
+                self.bump();
+                self.expect(&Tok::LParen, "`(`")?;
+                let cond = self.expr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            Tok::For => {
+                self.bump();
+                self.expect(&Tok::LParen, "`(`")?;
+                let init = Box::new(self.simple_assign()?);
+                self.expect(&Tok::Semi, "`;`")?;
+                let cond = self.expr()?;
+                self.expect(&Tok::Semi, "`;`")?;
+                let step = Box::new(self.simple_assign()?);
+                self.expect(&Tok::RParen, "`)`")?;
+                let body = self.block()?;
+                Ok(Stmt::For { init, cond, step, body })
+            }
+            Tok::Return => {
+                self.bump();
+                let value = if self.peek() == &Tok::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(&Tok::Semi, "`;`")?;
+                Ok(Stmt::Return { line, value })
+            }
+            Tok::Break => {
+                self.bump();
+                self.expect(&Tok::Semi, "`;`")?;
+                Ok(Stmt::Break { line })
+            }
+            Tok::Continue => {
+                self.bump();
+                self.expect(&Tok::Semi, "`;`")?;
+                Ok(Stmt::Continue { line })
+            }
+            _ => {
+                let s = self.assign_or_expr()?;
+                self.expect(&Tok::Semi, "`;`")?;
+                Ok(s)
+            }
+        }
+    }
+
+    /// An assignment without the trailing `;` (for `for` headers).
+    fn simple_assign(&mut self) -> Result<Stmt, CompileError> {
+        let s = self.assign_or_expr()?;
+        match &s {
+            Stmt::Assign { .. } | Stmt::AssignIndex { .. } => Ok(s),
+            _ => Err(self.err("expected an assignment")),
+        }
+    }
+
+    fn assign_or_expr(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        // Lookahead: IDENT `=` or IDENT `[` ... `]` `=`.
+        if let Tok::Ident(name) = self.peek().clone() {
+            if self.peek2() == &Tok::Assign {
+                self.bump();
+                self.bump();
+                let value = self.expr()?;
+                return Ok(Stmt::Assign { line, name, value });
+            }
+            if self.peek2() == &Tok::LBracket {
+                // Could be an index assignment or an index expression;
+                // parse the index, then decide.
+                let save = self.pos;
+                self.bump();
+                self.bump();
+                let index = self.expr()?;
+                if self.peek() == &Tok::RBracket && self.peek2() == &Tok::Assign {
+                    self.bump();
+                    self.bump();
+                    let value = self.expr()?;
+                    return Ok(Stmt::AssignIndex { line, name, index, value });
+                }
+                self.pos = save;
+            }
+        }
+        Ok(Stmt::ExprStmt(self.expr()?))
+    }
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.binary(0)
+    }
+
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                Tok::PipePipe => (BinOp::LOr, 1),
+                Tok::AmpAmp => (BinOp::LAnd, 2),
+                Tok::Pipe => (BinOp::Or, 3),
+                Tok::Caret => (BinOp::Xor, 4),
+                Tok::Amp => (BinOp::And, 5),
+                Tok::Eq => (BinOp::Eq, 6),
+                Tok::Ne => (BinOp::Ne, 6),
+                Tok::Lt => (BinOp::Lt, 7),
+                Tok::Le => (BinOp::Le, 7),
+                Tok::Gt => (BinOp::Gt, 7),
+                Tok::Ge => (BinOp::Ge, 7),
+                Tok::Shl => (BinOp::Shl, 8),
+                Tok::Shr => (BinOp::Shr, 8),
+                Tok::Plus => (BinOp::Add, 9),
+                Tok::Minus => (BinOp::Sub, 9),
+                Tok::Star => (BinOp::Mul, 10),
+                Tok::Slash => (BinOp::Div, 10),
+                Tok::Percent => (BinOp::Rem, 10),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            let line = self.line();
+            self.bump();
+            let rhs = self.binary(prec + 1)?;
+            lhs = Expr { line, kind: ExprKind::Bin(op, Box::new(lhs), Box::new(rhs)) };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        match self.peek() {
+            Tok::Minus => {
+                self.bump();
+                let e = self.unary()?;
+                // Fold negation of literals so `-1` is a literal.
+                let kind = match e.kind {
+                    ExprKind::IntLit(v) => ExprKind::IntLit(v.wrapping_neg()),
+                    ExprKind::FloatLit(v) => ExprKind::FloatLit(-v),
+                    _ => ExprKind::Un(UnOp::Neg, Box::new(e)),
+                };
+                Ok(Expr { line, kind })
+            }
+            Tok::Bang => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(Expr { line, kind: ExprKind::Un(UnOp::Not, Box::new(e)) })
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr { line, kind: ExprKind::IntLit(v) })
+            }
+            Tok::Float(v) => {
+                self.bump();
+                Ok(Expr { line, kind: ExprKind::FloatLit(v) })
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Expr { line, kind: ExprKind::Str(s) })
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Tok::TyInt | Tok::TyFloat => {
+                // Cast syntax: int(expr) / float(expr).
+                let ty = self.ty()?;
+                self.expect(&Tok::LParen, "`(` after cast type")?;
+                let e = self.expr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(Expr { line, kind: ExprKind::Cast(ty, Box::new(e)) })
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                match self.peek() {
+                    Tok::LParen => {
+                        self.bump();
+                        let mut args = Vec::new();
+                        if self.peek() != &Tok::RParen {
+                            loop {
+                                args.push(self.expr()?);
+                                if self.peek() == &Tok::Comma {
+                                    self.bump();
+                                } else {
+                                    break;
+                                }
+                            }
+                        }
+                        self.expect(&Tok::RParen, "`)`")?;
+                        Ok(Expr { line, kind: ExprKind::Call(name, args) })
+                    }
+                    Tok::LBracket => {
+                        self.bump();
+                        let idx = self.expr()?;
+                        self.expect(&Tok::RBracket, "`]`")?;
+                        Ok(Expr { line, kind: ExprKind::Index(name, Box::new(idx)) })
+                    }
+                    _ => Ok(Expr { line, kind: ExprKind::Var(name) }),
+                }
+            }
+            other => Err(self.err(format!("expected an expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Program {
+        parse(&lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parses_function_with_control_flow() {
+        let p = parse_src(
+            "fn sum(int n) -> int {
+                let int s = 0;
+                let int i = 0;
+                for (i = 0; i < n; i = i + 1) { s = s + i; }
+                while (s > 100) { s = s - 100; }
+                if (s == 0) { return 1; } else if (s < 0) { return 2; } else { return s; }
+            }",
+        );
+        assert_eq!(p.items.len(), 1);
+        let Item::Func(f) = &p.items[0] else { panic!() };
+        assert_eq!(f.name, "sum");
+        assert_eq!(f.params, vec![(Ty::Int, "n".into())]);
+        assert_eq!(f.ret, Some(Ty::Int));
+        assert_eq!(f.body.len(), 5);
+    }
+
+    #[test]
+    fn parses_globals_and_externs() {
+        let p = parse_src(
+            "global float a[100];
+             global int counter;
+             extern fn helper(int, float) -> float;
+             extern global int shared[4];",
+        );
+        assert!(matches!(
+            p.items[0],
+            Item::Global { ty: Ty::Float, len: 100, .. }
+        ));
+        assert!(matches!(p.items[1], Item::Global { ty: Ty::Int, len: 1, .. }));
+        assert!(matches!(p.items[2], Item::ExternFn { .. }));
+        assert!(matches!(p.items[3], Item::ExternGlobal { len: 4, .. }));
+    }
+
+    #[test]
+    fn precedence() {
+        let p = parse_src("fn f() -> int { return 1 + 2 * 3 < 4 && 5 == 5; }");
+        let Item::Func(f) = &p.items[0] else { panic!() };
+        let Stmt::Return { value: Some(e), .. } = &f.body[0] else { panic!() };
+        // Top node must be &&.
+        let ExprKind::Bin(BinOp::LAnd, l, _) = &e.kind else { panic!("{e:?}") };
+        let ExprKind::Bin(BinOp::Lt, add, _) = &l.kind else { panic!() };
+        let ExprKind::Bin(BinOp::Add, _, mul) = &add.kind else { panic!() };
+        assert!(matches!(mul.kind, ExprKind::Bin(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        let p = parse_src("fn f() -> float { return -2.5; }");
+        let Item::Func(f) = &p.items[0] else { panic!() };
+        let Stmt::Return { value: Some(e), .. } = &f.body[0] else { panic!() };
+        assert_eq!(e.kind, ExprKind::FloatLit(-2.5));
+    }
+
+    #[test]
+    fn index_assignment_vs_expression() {
+        let p = parse_src("fn f() { a[1] = 2; b = a[1] + 1; print_int(a[2]); }");
+        let Item::Func(f) = &p.items[0] else { panic!() };
+        assert!(matches!(f.body[0], Stmt::AssignIndex { .. }));
+        assert!(matches!(f.body[1], Stmt::Assign { .. }));
+        assert!(matches!(f.body[2], Stmt::ExprStmt(_)));
+    }
+
+    #[test]
+    fn casts() {
+        let p = parse_src("fn f() -> float { return float(3) + float(int(2.5)); }");
+        assert_eq!(p.items.len(), 1);
+    }
+
+    #[test]
+    fn syntax_errors_report_lines() {
+        let toks = lex("fn f() {\n let int = 5;\n}").unwrap();
+        let e = parse(&toks).unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+}

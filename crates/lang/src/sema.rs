@@ -1,0 +1,547 @@
+//! Semantic analysis: symbol tables and type checking.
+
+use crate::ast::{BinOp, Expr, ExprKind, Func, Item, Program, Stmt, Ty, UnOp};
+use crate::CompileError;
+use std::collections::HashMap;
+
+/// A global variable's compile-time shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GlobalInfo {
+    /// Element type.
+    pub ty: Ty,
+    /// Element count (1 for scalars).
+    pub len: u32,
+    /// Declared `extern` (defined in another object).
+    pub external: bool,
+}
+
+/// A function signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnSig {
+    /// Parameter types.
+    pub params: Vec<Ty>,
+    /// Return type (`None` = void).
+    pub ret: Option<Ty>,
+    /// Declared `extern`.
+    pub external: bool,
+}
+
+/// Symbol tables produced by semantic checking and consumed by code
+/// generation.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramInfo {
+    /// Globals by name.
+    pub globals: HashMap<String, GlobalInfo>,
+    /// Functions by name.
+    pub fns: HashMap<String, FnSig>,
+}
+
+/// Built-in (intrinsic) signature, if `name` is a builtin. Specials
+/// (`addr_of`, `fn_addr`, `print_str`, `syscallN`) are checked ad hoc.
+fn builtin_sig(name: &str) -> Option<(&'static [Ty], Option<Ty>)> {
+    use Ty::{Float, Int};
+    Some(match name {
+        "print_int" | "print_char" => (&[Int], None),
+        "print_float" => (&[Float], None),
+        "sqrt" | "fabs" => (&[Float], Some(Float)),
+        "call2" => (&[Int, Int, Int], Some(Int)),
+        "sizeof_int" | "sizeof_float" => (&[], Some(Int)),
+        _ => return None,
+    })
+}
+
+/// True if `name` is reserved for an intrinsic.
+pub(crate) fn is_builtin(name: &str) -> bool {
+    builtin_sig(name).is_some()
+        || matches!(name, "addr_of" | "fn_addr" | "print_str")
+        || name.starts_with("syscall") && name.len() == 8
+}
+
+fn err(line: u32, msg: impl Into<String>) -> CompileError {
+    CompileError::new(line, msg)
+}
+
+/// Checks a program and builds its symbol tables.
+///
+/// # Errors
+///
+/// Returns the first semantic error found (undeclared names, type
+/// mismatches, arity errors, argument-slot overflow, misplaced
+/// `break`/`continue`, …).
+pub fn check(program: &Program) -> Result<ProgramInfo, CompileError> {
+    let mut info = ProgramInfo::default();
+    // Pass 1: collect signatures.
+    for item in &program.items {
+        match item {
+            Item::Global { line, ty, name, len } => {
+                declare_global(&mut info, *line, name, *ty, *len, false)?;
+            }
+            Item::ExternGlobal { line, ty, name, len } => {
+                declare_global(&mut info, *line, name, *ty, *len, true)?;
+            }
+            Item::Func(f) => {
+                let sig = FnSig {
+                    params: f.params.iter().map(|(t, _)| *t).collect(),
+                    ret: f.ret,
+                    external: false,
+                };
+                declare_fn(&mut info, f.line, &f.name, sig)?;
+            }
+            Item::ExternFn { line, name, params, ret } => {
+                let sig = FnSig { params: params.clone(), ret: *ret, external: true };
+                declare_fn(&mut info, *line, name, sig)?;
+            }
+        }
+    }
+    // Pass 2: check bodies.
+    for item in &program.items {
+        if let Item::Func(f) = item {
+            check_fn(&info, f)?;
+        }
+    }
+    Ok(info)
+}
+
+fn declare_global(
+    info: &mut ProgramInfo,
+    line: u32,
+    name: &str,
+    ty: Ty,
+    len: u32,
+    external: bool,
+) -> Result<(), CompileError> {
+    if is_builtin(name) || info.fns.contains_key(name) {
+        return Err(err(line, format!("`{name}` conflicts with an existing name")));
+    }
+    if info
+        .globals
+        .insert(name.to_string(), GlobalInfo { ty, len, external })
+        .is_some()
+    {
+        return Err(err(line, format!("global `{name}` declared twice")));
+    }
+    Ok(())
+}
+
+fn declare_fn(info: &mut ProgramInfo, line: u32, name: &str, sig: FnSig) -> Result<(), CompileError> {
+    if is_builtin(name) || info.globals.contains_key(name) {
+        return Err(err(line, format!("`{name}` conflicts with an existing name")));
+    }
+    // Enforce the portable argument-slot budget (SIRA-32 passes all
+    // arguments in r0-r3; a float takes two slots).
+    let slots: u32 = sig.params.iter().map(|t| if *t == Ty::Float { 2 } else { 1 }).sum();
+    if slots > 4 {
+        return Err(err(
+            line,
+            format!("function `{name}` needs {slots} argument slots; the ABI allows 4"),
+        ));
+    }
+    if info.fns.insert(name.to_string(), sig).is_some() {
+        return Err(err(line, format!("function `{name}` declared twice")));
+    }
+    Ok(())
+}
+
+struct FnCtx<'a> {
+    info: &'a ProgramInfo,
+    locals: HashMap<String, Ty>,
+    ret: Option<Ty>,
+    loop_depth: u32,
+}
+
+fn check_fn(info: &ProgramInfo, f: &Func) -> Result<(), CompileError> {
+    let mut ctx = FnCtx { info, locals: HashMap::new(), ret: f.ret, loop_depth: 0 };
+    for (ty, name) in &f.params {
+        declare_local(&mut ctx, f.line, name, *ty)?;
+    }
+    check_block(&mut ctx, &f.body)
+}
+
+fn declare_local(ctx: &mut FnCtx<'_>, line: u32, name: &str, ty: Ty) -> Result<(), CompileError> {
+    if ctx.info.globals.contains_key(name) || ctx.info.fns.contains_key(name) || is_builtin(name) {
+        return Err(err(line, format!("local `{name}` shadows an existing name")));
+    }
+    if ctx.locals.insert(name.to_string(), ty).is_some() {
+        return Err(err(line, format!("local `{name}` declared twice in this function")));
+    }
+    Ok(())
+}
+
+fn check_block(ctx: &mut FnCtx<'_>, stmts: &[Stmt]) -> Result<(), CompileError> {
+    for s in stmts {
+        check_stmt(ctx, s)?;
+    }
+    Ok(())
+}
+
+fn check_stmt(ctx: &mut FnCtx<'_>, stmt: &Stmt) -> Result<(), CompileError> {
+    match stmt {
+        Stmt::Let { line, ty, name, init } => {
+            if let Some(init) = init {
+                expect_ty(ctx, init, *ty)?;
+            }
+            declare_local(ctx, *line, name, *ty)
+        }
+        Stmt::Assign { line, name, value } => {
+            let ty = lvalue_scalar_ty(ctx, *line, name)?;
+            expect_ty(ctx, value, ty)
+        }
+        Stmt::AssignIndex { line, name, index, value } => {
+            let Some(g) = ctx.info.globals.get(name) else {
+                return Err(err(*line, format!("`{name}` is not a global array")));
+            };
+            expect_ty(ctx, index, Ty::Int)?;
+            expect_ty(ctx, value, g.ty)
+        }
+        Stmt::If { cond, then_body, else_body } => {
+            expect_ty(ctx, cond, Ty::Int)?;
+            check_block(ctx, then_body)?;
+            check_block(ctx, else_body)
+        }
+        Stmt::While { cond, body } => {
+            expect_ty(ctx, cond, Ty::Int)?;
+            ctx.loop_depth += 1;
+            let r = check_block(ctx, body);
+            ctx.loop_depth -= 1;
+            r
+        }
+        Stmt::For { init, cond, step, body } => {
+            check_stmt(ctx, init)?;
+            expect_ty(ctx, cond, Ty::Int)?;
+            check_stmt(ctx, step)?;
+            ctx.loop_depth += 1;
+            let r = check_block(ctx, body);
+            ctx.loop_depth -= 1;
+            r
+        }
+        Stmt::Return { line, value } => match (ctx.ret, value) {
+            (None, None) => Ok(()),
+            (Some(ty), Some(v)) => expect_ty(ctx, v, ty),
+            (None, Some(_)) => Err(err(*line, "void function returns a value")),
+            (Some(_), None) => Err(err(*line, "missing return value")),
+        },
+        Stmt::Break { line } | Stmt::Continue { line } => {
+            if ctx.loop_depth == 0 {
+                Err(err(*line, "`break`/`continue` outside a loop"))
+            } else {
+                Ok(())
+            }
+        }
+        Stmt::ExprStmt(e) => {
+            // Void calls are allowed only here.
+            check_expr(ctx, e).map(|_| ())
+        }
+    }
+}
+
+fn lvalue_scalar_ty(ctx: &FnCtx<'_>, line: u32, name: &str) -> Result<Ty, CompileError> {
+    if let Some(ty) = ctx.locals.get(name) {
+        return Ok(*ty);
+    }
+    if let Some(g) = ctx.info.globals.get(name) {
+        if g.len == 1 {
+            return Ok(g.ty);
+        }
+        return Err(err(line, format!("global array `{name}` needs an index")));
+    }
+    Err(err(line, format!("undeclared variable `{name}`")))
+}
+
+fn expect_ty(ctx: &FnCtx<'_>, e: &Expr, want: Ty) -> Result<(), CompileError> {
+    match check_expr(ctx, e)? {
+        Some(got) if got == want => Ok(()),
+        Some(got) => Err(err(e.line, format!("expected {want:?}, found {got:?}"))),
+        None => Err(err(e.line, "void expression used as a value")),
+    }
+}
+
+/// Type of an expression; `None` for void calls.
+fn check_expr(ctx: &FnCtx<'_>, e: &Expr) -> Result<Option<Ty>, CompileError> {
+    match &e.kind {
+        ExprKind::IntLit(_) => Ok(Some(Ty::Int)),
+        ExprKind::FloatLit(_) => Ok(Some(Ty::Float)),
+        ExprKind::Str(_) => Err(err(e.line, "string literal outside `print_str`")),
+        ExprKind::Var(name) => Ok(Some(lvalue_scalar_ty(ctx, e.line, name)?)),
+        ExprKind::Index(name, idx) => {
+            let Some(g) = ctx.info.globals.get(name) else {
+                return Err(err(e.line, format!("`{name}` is not a global array")));
+            };
+            expect_ty(ctx, idx, Ty::Int)?;
+            Ok(Some(g.ty))
+        }
+        ExprKind::Cast(ty, inner) => {
+            let got = check_expr(ctx, inner)?
+                .ok_or_else(|| err(e.line, "cannot cast a void expression"))?;
+            let _ = got;
+            Ok(Some(*ty))
+        }
+        ExprKind::Un(op, inner) => {
+            let ty = check_expr(ctx, inner)?
+                .ok_or_else(|| err(e.line, "void operand"))?;
+            match op {
+                UnOp::Neg => Ok(Some(ty)),
+                UnOp::Not => {
+                    if ty == Ty::Int {
+                        Ok(Some(Ty::Int))
+                    } else {
+                        Err(err(e.line, "`!` needs an int operand"))
+                    }
+                }
+            }
+        }
+        ExprKind::Bin(op, l, r) => {
+            let lt = check_expr(ctx, l)?.ok_or_else(|| err(e.line, "void operand"))?;
+            let rt = check_expr(ctx, r)?.ok_or_else(|| err(e.line, "void operand"))?;
+            if lt != rt {
+                return Err(err(e.line, format!("operand types differ: {lt:?} vs {rt:?}")));
+            }
+            match op {
+                BinOp::Rem
+                | BinOp::And
+                | BinOp::Or
+                | BinOp::Xor
+                | BinOp::Shl
+                | BinOp::Shr
+                | BinOp::LAnd
+                | BinOp::LOr => {
+                    if lt != Ty::Int {
+                        return Err(err(e.line, "integer operator applied to floats"));
+                    }
+                    Ok(Some(Ty::Int))
+                }
+                _ if op.is_cmp() => Ok(Some(Ty::Int)),
+                _ => Ok(Some(lt)),
+            }
+        }
+        ExprKind::Call(name, args) => check_call(ctx, e.line, name, args),
+    }
+}
+
+fn check_call(
+    ctx: &FnCtx<'_>,
+    line: u32,
+    name: &str,
+    args: &[Expr],
+) -> Result<Option<Ty>, CompileError> {
+    // Specials first.
+    match name {
+        "print_str" => {
+            if args.len() != 1 || !matches!(args[0].kind, ExprKind::Str(_)) {
+                return Err(err(line, "print_str takes exactly one string literal"));
+            }
+            return Ok(None);
+        }
+        "addr_of" => {
+            let [arg] = args else {
+                return Err(err(line, "addr_of takes exactly one global name"));
+            };
+            let ExprKind::Var(g) = &arg.kind else {
+                return Err(err(line, "addr_of argument must be a global name"));
+            };
+            if !ctx.info.globals.contains_key(g) {
+                return Err(err(line, format!("`{g}` is not a global")));
+            }
+            return Ok(Some(Ty::Int));
+        }
+        "fn_addr" => {
+            let [arg] = args else {
+                return Err(err(line, "fn_addr takes exactly one function name"));
+            };
+            let ExprKind::Var(f) = &arg.kind else {
+                return Err(err(line, "fn_addr argument must be a function name"));
+            };
+            if !ctx.info.fns.contains_key(f) {
+                return Err(err(line, format!("`{f}` is not a function")));
+            }
+            return Ok(Some(Ty::Int));
+        }
+        _ if name.starts_with("syscall") && name.len() == 8 => {
+            let n = name.as_bytes()[7].wrapping_sub(b'0');
+            if n > 4 {
+                return Err(err(line, format!("unknown intrinsic `{name}`")));
+            }
+            if args.len() != usize::from(n) + 1 {
+                return Err(err(line, format!("{name} takes {} arguments", n + 1)));
+            }
+            let ExprKind::IntLit(num) = args[0].kind else {
+                return Err(err(line, "syscall number must be an integer literal"));
+            };
+            if !(0..=0xffff).contains(&num) {
+                return Err(err(line, "syscall number out of range"));
+            }
+            for a in &args[1..] {
+                expect_ty(ctx, a, Ty::Int)?;
+            }
+            return Ok(Some(Ty::Int));
+        }
+        _ => {}
+    }
+
+    if let Some((params, ret)) = builtin_sig(name) {
+        if args.len() != params.len() {
+            return Err(err(line, format!("`{name}` takes {} arguments", params.len())));
+        }
+        for (a, want) in args.iter().zip(params) {
+            expect_ty(ctx, a, *want)?;
+        }
+        return Ok(ret);
+    }
+
+    let Some(sig) = ctx.info.fns.get(name) else {
+        return Err(err(line, format!("call to undeclared function `{name}`")));
+    };
+    if args.len() != sig.params.len() {
+        return Err(err(
+            line,
+            format!("`{name}` takes {} arguments, got {}", sig.params.len(), args.len()),
+        ));
+    }
+    for (a, want) in args.iter().zip(&sig.params) {
+        expect_ty(ctx, a, *want)?;
+    }
+    Ok(sig.ret)
+}
+
+/// Computes an expression's type assuming the program already passed
+/// [`check`]. Used by code generation.
+///
+/// # Panics
+///
+/// Panics on expressions that `check` would have rejected.
+pub(crate) fn ty_of(e: &Expr, locals: &HashMap<String, Ty>, info: &ProgramInfo) -> Ty {
+    match &e.kind {
+        ExprKind::IntLit(_) | ExprKind::Str(_) => Ty::Int,
+        ExprKind::FloatLit(_) => Ty::Float,
+        ExprKind::Var(name) => locals
+            .get(name)
+            .copied()
+            .or_else(|| info.globals.get(name).map(|g| g.ty))
+            .expect("checked variable"),
+        ExprKind::Index(name, _) => info.globals[name].ty,
+        ExprKind::Cast(ty, _) => *ty,
+        ExprKind::Un(UnOp::Not, _) => Ty::Int,
+        ExprKind::Un(UnOp::Neg, inner) => ty_of(inner, locals, info),
+        ExprKind::Bin(op, l, _) => {
+            if op.is_cmp()
+                || matches!(
+                    op,
+                    BinOp::LAnd | BinOp::LOr | BinOp::And | BinOp::Or | BinOp::Xor
+                        | BinOp::Shl | BinOp::Shr | BinOp::Rem
+                )
+            {
+                Ty::Int
+            } else {
+                ty_of(l, locals, info)
+            }
+        }
+        ExprKind::Call(name, _) => match name.as_str() {
+            "sqrt" | "fabs" => Ty::Float,
+            _ => info
+                .fns
+                .get(name)
+                .and_then(|s| s.ret)
+                .unwrap_or(Ty::Int),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn check_src(src: &str) -> Result<ProgramInfo, CompileError> {
+        check(&parse(&lex(src).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn accepts_well_typed_program() {
+        let info = check_src(
+            "global float grid[64];
+             fn init(int n) {
+                 let int i = 0;
+                 for (i = 0; i < n; i = i + 1) { grid[i] = float(i) * 2.0; }
+             }
+             fn main() -> int {
+                 init(64);
+                 let float s = 0.0;
+                 let int i = 0;
+                 while (i < 64) { s = s + grid[i]; i = i + 1; }
+                 if (s > 1000.0 && s < 10000.0) { return 0; }
+                 return 1;
+             }",
+        )
+        .unwrap();
+        assert_eq!(info.globals["grid"].len, 64);
+        assert_eq!(info.fns["main"].ret, Some(Ty::Int));
+    }
+
+    #[test]
+    fn rejects_type_mismatches() {
+        assert!(check_src("fn f() -> int { return 1.5; }").is_err());
+        assert!(check_src("fn f() { let int x = 1; let float y = x; }").is_err());
+        assert!(check_src("fn f() { let float x = 1.0 % 2.0; }").is_err());
+        assert!(check_src("global int a[4]; fn f() { a = 3; }").is_err());
+        assert!(check_src("fn f() { let int x = 1.0 < 2; }").is_err());
+    }
+
+    #[test]
+    fn rejects_undeclared_and_duplicates() {
+        assert!(check_src("fn f() { x = 1; }").is_err());
+        assert!(check_src("fn f() { let int x = 1; let int x = 2; }").is_err());
+        assert!(check_src("fn f() {} fn f() {}").is_err());
+        assert!(check_src("global int g; fn f() { let int g = 1; }").is_err());
+        assert!(check_src("fn f() { g(); }").is_err());
+    }
+
+    #[test]
+    fn rejects_misplaced_break() {
+        assert!(check_src("fn f() { break; }").is_err());
+        assert!(check_src("fn f() { while (1) { break; } }").is_ok());
+    }
+
+    #[test]
+    fn checks_calls_and_builtins() {
+        assert!(check_src("fn f() { print_int(1); print_float(2.0); }").is_ok());
+        assert!(check_src("fn f() { print_int(2.0); }").is_err());
+        assert!(check_src("fn f() -> float { return sqrt(2.0); }").is_ok());
+        assert!(check_src("fn f() { print_str(\"ok\"); }").is_ok());
+        assert!(check_src("fn f() { print_str(1); }").is_err());
+        assert!(check_src("fn f() { let int x = \"s\"; }").is_err());
+    }
+
+    #[test]
+    fn checks_syscall_and_addr_intrinsics() {
+        assert!(check_src("fn f() -> int { return syscall1(6, 0); }").is_ok());
+        assert!(check_src("fn f() { let int x = 1; syscall1(x, 0); }").is_err());
+        assert!(check_src("global float t[2]; fn f() -> int { return addr_of(t); }").is_ok());
+        assert!(check_src("fn f() -> int { return addr_of(missing); }").is_err());
+        assert!(check_src("fn g(int a, int b) {} fn f() -> int { return fn_addr(g); }").is_ok());
+        assert!(check_src("fn f() -> int { return fn_addr(nope); }").is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_signatures() {
+        // 2 floats + 1 int = 5 slots on SIRA-32.
+        assert!(check_src("fn f(float a, float b, int c) {}").is_err());
+        assert!(check_src("fn f(float a, float b) {}").is_ok());
+        assert!(check_src("fn f(int a, int b, int c, int d) {}").is_ok());
+    }
+
+    #[test]
+    fn externs_participate() {
+        let src = "extern fn helper(int) -> int;
+                   extern global float shared[8];
+                   fn main() -> int { shared[0] = 1.0; return helper(3); }";
+        let info = check_src(src).unwrap();
+        assert!(info.fns["helper"].external);
+        assert!(info.globals["shared"].external);
+    }
+
+    #[test]
+    fn void_calls_only_as_statements() {
+        assert!(check_src("fn v() {} fn f() { v(); }").is_ok());
+        assert!(check_src("fn v() {} fn f() { let int x = v(); }").is_err());
+    }
+}

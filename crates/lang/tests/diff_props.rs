@@ -1,0 +1,179 @@
+//! Differential property testing of the compiler: random integer
+//! expression trees are compiled for both ISAs and executed on the
+//! machine; each result must match a host-side evaluator with that
+//! ISA's word width (wrapping i32 vs wrapping i64 semantics).
+
+use fracas_isa::{link, Asm, IsaKind, Reg};
+use fracas_kernel::{abi, BootSpec, Kernel, Limits, RunOutcome};
+use fracas_lang::compile;
+use proptest::prelude::*;
+
+/// A random integer expression over three variables.
+#[derive(Debug, Clone)]
+enum E {
+    Lit(i32),
+    Var(usize),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    And(Box<E>, Box<E>),
+    Or(Box<E>, Box<E>),
+    Xor(Box<E>, Box<E>),
+    /// Shift by a literal 0..8 (keeps host/guest semantics aligned).
+    Shl(Box<E>, u8),
+    Shr(Box<E>, u8),
+    /// Division by a nonzero literal.
+    Div(Box<E>, i32),
+    Rem(Box<E>, i32),
+    Lt(Box<E>, Box<E>),
+    Eq(Box<E>, Box<E>),
+    Not(Box<E>),
+}
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        (-100i32..100).prop_map(E::Lit),
+        (0usize..3).prop_map(E::Var),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), 0u8..8).prop_map(|(a, s)| E::Shl(Box::new(a), s)),
+            (inner.clone(), 0u8..8).prop_map(|(a, s)| E::Shr(Box::new(a), s)),
+            (inner.clone(), prop_oneof![(-9i32..-1), (1i32..9)])
+                .prop_map(|(a, d)| E::Div(Box::new(a), d)),
+            (inner.clone(), prop_oneof![(-9i32..-1), (1i32..9)])
+                .prop_map(|(a, d)| E::Rem(Box::new(a), d)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Lt(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Eq(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| E::Not(Box::new(a))),
+        ]
+    })
+}
+
+fn render(e: &E) -> String {
+    match e {
+        E::Lit(v) => format!("({v})"),
+        E::Var(i) => ["va", "vb", "vc"][*i].to_string(),
+        E::Add(a, b) => format!("({} + {})", render(a), render(b)),
+        E::Sub(a, b) => format!("({} - {})", render(a), render(b)),
+        E::Mul(a, b) => format!("({} * {})", render(a), render(b)),
+        E::And(a, b) => format!("({} & {})", render(a), render(b)),
+        E::Or(a, b) => format!("({} | {})", render(a), render(b)),
+        E::Xor(a, b) => format!("({} ^ {})", render(a), render(b)),
+        E::Shl(a, s) => format!("({} << {s})", render(a)),
+        E::Shr(a, s) => format!("({} >> {s})", render(a)),
+        E::Div(a, d) => format!("({} / ({d}))", render(a)),
+        E::Rem(a, d) => format!("({} % ({d}))", render(a)),
+        E::Lt(a, b) => format!("({} < {})", render(a), render(b)),
+        E::Eq(a, b) => format!("({} == {})", render(a), render(b)),
+        E::Not(a) => format!("(!{})", render(a)),
+    }
+}
+
+/// Host evaluation at a given register width (32 or 64 bits), with
+/// wrapping arithmetic and the ISA's shift semantics.
+fn eval(e: &E, vars: [i64; 3], bits: u32) -> i64 {
+    let trunc = |v: i64| -> i64 {
+        if bits == 32 {
+            i64::from(v as i32)
+        } else {
+            v
+        }
+    };
+    let v = match e {
+        E::Lit(v) => i64::from(*v),
+        E::Var(i) => vars[*i],
+        E::Add(a, b) => eval(a, vars, bits).wrapping_add(eval(b, vars, bits)),
+        E::Sub(a, b) => eval(a, vars, bits).wrapping_sub(eval(b, vars, bits)),
+        E::Mul(a, b) => eval(a, vars, bits).wrapping_mul(eval(b, vars, bits)),
+        E::And(a, b) => eval(a, vars, bits) & eval(b, vars, bits),
+        E::Or(a, b) => eval(a, vars, bits) | eval(b, vars, bits),
+        E::Xor(a, b) => eval(a, vars, bits) ^ eval(b, vars, bits),
+        E::Shl(a, s) => {
+            let x = eval(a, vars, bits);
+            if bits == 32 {
+                i64::from((x as i32) << s)
+            } else {
+                x << s
+            }
+        }
+        E::Shr(a, s) => {
+            let x = eval(a, vars, bits);
+            if bits == 32 {
+                i64::from((x as i32) >> s)
+            } else {
+                x >> s
+            }
+        }
+        E::Div(a, d) => eval(a, vars, bits).wrapping_div(i64::from(*d)),
+        E::Rem(a, d) => eval(a, vars, bits).wrapping_rem(i64::from(*d)),
+        E::Lt(a, b) => i64::from(eval(a, vars, bits) < eval(b, vars, bits)),
+        E::Eq(a, b) => i64::from(eval(a, vars, bits) == eval(b, vars, bits)),
+        E::Not(a) => i64::from(eval(a, vars, bits) == 0),
+    };
+    trunc(v)
+}
+
+fn crt0(isa: IsaKind) -> fracas_isa::Object {
+    let mut asm = Asm::new(isa);
+    asm.global_fn("_start");
+    asm.bl_sym("main");
+    asm.svc(abi::SYS_EXIT);
+    asm.into_object()
+}
+
+fn run_expr(expr: &E, vars: [i64; 3], isa: IsaKind) -> i32 {
+    let src = format!(
+        "fn main() -> int {{
+            let int va = {};
+            let int vb = {};
+            let int vc = {};
+            return {};
+        }}",
+        vars[0],
+        vars[1],
+        vars[2],
+        render(expr)
+    );
+    let obj = compile(&src, isa).unwrap_or_else(|e| panic!("compile: {e}\n{src}"));
+    let image = link(isa, &[crt0(isa), obj]).expect("link");
+    let mut kernel = Kernel::boot(&image, 1, BootSpec::serial());
+    match kernel.run(&Limits::default()) {
+        RunOutcome::Exited { code } => code,
+        other => panic!("unexpected outcome {other} for\n{src}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Both backends agree with the host evaluator at their word width
+    /// (exit codes are the low 32 bits of the result).
+    #[test]
+    fn compiled_expressions_match_host(
+        expr in arb_expr(),
+        va in -1000i64..1000,
+        vb in -1000i64..1000,
+        vc in -1000i64..1000,
+    ) {
+        let vars = [va, vb, vc];
+        let want32 = eval(&expr, vars, 32) as i32;
+        let got32 = run_expr(&expr, vars, IsaKind::Sira32);
+        prop_assert_eq!(got32, want32, "sira32 mismatch on {}", render(&expr));
+        let want64 = eval(&expr, vars, 64) as i32;
+        let got64 = run_expr(&expr, vars, IsaKind::Sira64);
+        prop_assert_eq!(got64, want64, "sira64 mismatch on {}", render(&expr));
+    }
+
+    /// Pure register helper: `Reg` indices survive the ABI constants.
+    #[test]
+    fn abi_arg_regs_are_low(idx in 0u8..4) {
+        prop_assert_eq!(Reg(idx).index(), idx as usize);
+    }
+}

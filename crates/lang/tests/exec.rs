@@ -1,0 +1,561 @@
+//! End-to-end compiler tests: compile FL, link with a minimal crt0, and
+//! run on the kernel. Integer programs run on both ISAs; float programs
+//! run on SIRA-64 here (SIRA-32 floats need the softfloat runtime from
+//! `fracas-rt`, exercised in that crate's tests).
+
+use fracas_isa::{link, Asm, IsaKind, Reg};
+use fracas_kernel::{abi, BootSpec, Kernel, Limits, RunOutcome};
+use fracas_lang::compile;
+
+fn crt0(isa: IsaKind) -> fracas_isa::Object {
+    let mut asm = Asm::new(isa);
+    asm.global_fn("_start");
+    asm.bl_sym("main");
+    asm.svc(abi::SYS_EXIT);
+    asm.into_object()
+}
+
+fn run_on(src: &str, isa: IsaKind) -> (RunOutcome, String) {
+    let obj = compile(src, isa).unwrap_or_else(|e| panic!("compile ({isa}): {e}"));
+    let image = link(isa, &[crt0(isa), obj]).unwrap_or_else(|e| panic!("link ({isa}): {e}"));
+    let mut kernel = Kernel::boot(&image, 1, BootSpec::serial());
+    let outcome = kernel.run(&Limits { max_cycles: 500_000_000, max_steps: 500_000_000 });
+    (outcome, String::from_utf8_lossy(kernel.console()).into_owned())
+}
+
+/// Runs on both ISAs and checks the exit code matches.
+fn expect_code(src: &str, code: i32) {
+    for isa in IsaKind::ALL {
+        let (outcome, console) = run_on(src, isa);
+        assert_eq!(
+            outcome,
+            RunOutcome::Exited { code },
+            "isa {isa}, console: {console}"
+        );
+    }
+}
+
+/// Runs on both ISAs and checks exit 0 plus identical console output.
+fn expect_console(src: &str, expected: &str) {
+    for isa in IsaKind::ALL {
+        let (outcome, console) = run_on(src, isa);
+        assert_eq!(outcome, RunOutcome::Exited { code: 0 }, "isa {isa}: {console}");
+        assert_eq!(console, expected, "isa {isa}");
+    }
+}
+
+#[test]
+fn arithmetic_and_precedence() {
+    expect_code("fn main() -> int { return 2 + 3 * 4 - 20 / 4 % 3; }", 12);
+}
+
+#[test]
+fn bitwise_and_shifts() {
+    expect_code(
+        "fn main() -> int { return ((0xf0 | 0x0f) & 0x3c) ^ (1 << 4) ^ (256 >> 4); }",
+        0x3c,
+    );
+}
+
+#[test]
+fn negative_arithmetic() {
+    expect_code("fn main() -> int { return -7 / 2 + 10 % -3 + 5; }", 3);
+}
+
+#[test]
+fn comparisons_materialize() {
+    expect_code(
+        "fn main() -> int {
+            let int a = (3 < 4) + (4 <= 4) + (5 > 4) + (4 >= 5) + (1 == 1) + (1 != 1);
+            return a;
+        }",
+        4,
+    );
+}
+
+#[test]
+fn logical_short_circuit() {
+    expect_code(
+        "global int side;
+         fn bump() -> int { side = side + 1; return 1; }
+         fn main() -> int {
+            let int a = 0 && bump();
+            let int b = 1 || bump();
+            if (side != 0) { return 100; }
+            let int c = 1 && bump();
+            let int d = 0 || bump();
+            if (side != 2) { return 200; }
+            return a * 1000 + b * 100 + c * 10 + d;
+         }",
+        111,
+    );
+}
+
+#[test]
+fn not_operator() {
+    expect_code(
+        "fn main() -> int { return !0 * 10 + !5 + !(3 < 2); }",
+        11,
+    );
+}
+
+#[test]
+fn while_and_for_loops() {
+    expect_code(
+        "fn main() -> int {
+            let int s = 0;
+            let int i = 0;
+            for (i = 1; i <= 10; i = i + 1) { s = s + i; }
+            while (s > 50) { s = s - 1; }
+            return s;
+        }",
+        50,
+    );
+}
+
+#[test]
+fn break_and_continue() {
+    expect_code(
+        "fn main() -> int {
+            let int s = 0;
+            let int i = 0;
+            for (i = 0; i < 100; i = i + 1) {
+                if (i % 2 == 0) { continue; }
+                if (i > 10) { break; }
+                s = s + i;
+            }
+            return s;
+        }",
+        25, // 1+3+5+7+9
+    );
+}
+
+#[test]
+fn nested_loops() {
+    expect_code(
+        "fn main() -> int {
+            let int s = 0;
+            let int i = 0;
+            let int j = 0;
+            for (i = 0; i < 5; i = i + 1) {
+                for (j = 0; j < 5; j = j + 1) {
+                    if (j > i) { break; }
+                    s = s + 1;
+                }
+            }
+            return s;
+        }",
+        15,
+    );
+}
+
+#[test]
+fn functions_and_recursion() {
+    expect_code(
+        "fn fib(int n) -> int {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+         }
+         fn main() -> int { return fib(12); }",
+        144,
+    );
+}
+
+#[test]
+fn many_locals_spill_to_frame() {
+    // More locals than either ISA has callee-saved homes.
+    expect_code(
+        "fn main() -> int {
+            let int a = 1; let int b = 2; let int c = 3; let int d = 4;
+            let int e = 5; let int f = 6; let int g = 7; let int h = 8;
+            let int i = 9; let int j = 10; let int k = 11; let int l = 12;
+            let int m = 13; let int n = 14; let int o = 15;
+            return a + b + c + d + e + f + g + h + i + j + k + l + m + n + o;
+        }",
+        120,
+    );
+}
+
+#[test]
+fn deep_expression_spills_pool() {
+    expect_code(
+        "fn main() -> int {
+            return 1 + (2 + (3 + (4 + (5 + (6 + (7 + (8 + (9 + (10 + (11 + 12))))))))));
+        }",
+        78,
+    );
+}
+
+#[test]
+fn globals_and_arrays() {
+    expect_code(
+        "global int table[16];
+         global int total;
+         fn main() -> int {
+            let int i = 0;
+            for (i = 0; i < 16; i = i + 1) { table[i] = i * i; }
+            for (i = 0; i < 16; i = i + 1) { total = total + table[i]; }
+            return total % 251;
+         }",
+        1240 % 251,
+    );
+}
+
+#[test]
+fn calls_preserve_locals_across() {
+    expect_code(
+        "fn clobber() -> int { let int x = 99; let int y = 98; return x + y; }
+         fn main() -> int {
+            let int a = 5;
+            let int b = 7;
+            let int c = clobber();
+            return a * 100 + b * 10 + (c - 197) + a + b;
+         }",
+        582,
+    );
+}
+
+#[test]
+fn four_int_args() {
+    expect_code(
+        "fn pack(int a, int b, int c, int d) -> int { return a*1000 + b*100 + c*10 + d; }
+         fn main() -> int { return pack(1, 2, 3, 4); }",
+        1234,
+    );
+}
+
+#[test]
+fn print_int_and_str() {
+    expect_console(
+        "fn main() -> int {
+            print_str(\"v=\");
+            print_int(42);
+            print_char(10);
+            print_int(-7);
+            return 0;
+        }",
+        "v=42\n-7",
+    );
+}
+
+#[test]
+fn syscall_intrinsics() {
+    // rank() == 0, size() == 1 under BootSpec::serial().
+    expect_code(
+        "fn main() -> int { return syscall0(6) * 10 + syscall0(7); }",
+        1,
+    );
+}
+
+#[test]
+fn addr_of_and_sizeof_are_consistent() {
+    expect_code(
+        "global int arr[8];
+         fn main() -> int {
+            let int base = addr_of(arr);
+            arr[3] = 77;
+            // Load arr[3] via a raw syscall-free pointer-ish check:
+            // addresses of consecutive elements differ by sizeof_int().
+            let int stride = sizeof_int();
+            if (base <= 0) { return 1; }
+            if (stride != 4 && stride != 8) { return 2; }
+            return arr[3] - 77;
+         }",
+        0,
+    );
+}
+
+#[test]
+fn call2_indirect() {
+    expect_code(
+        "fn add3(int a, int b) -> int { return a + b + 3; }
+         fn main() -> int { return call2(fn_addr(add3), 10, 20); }",
+        33,
+    );
+}
+
+#[test]
+fn float_pipeline_sira64() {
+    let (outcome, console) = run_on(
+        "global float acc;
+         fn main() -> int {
+            let float x = 2.0;
+            let float y = sqrt(x * 8.0);   // 4
+            acc = y + fabs(-1.5) - 0.5;    // 5
+            let float z = acc / 2.0;       // 2.5
+            if (z > 2.4 && z < 2.6) { print_str(\"ok\"); return 0; }
+            return 1;
+         }",
+        IsaKind::Sira64,
+    );
+    assert_eq!(outcome, RunOutcome::Exited { code: 0 }, "{console}");
+    assert_eq!(console, "ok");
+}
+
+#[test]
+fn float_arrays_and_casts_sira64() {
+    let (outcome, _) = run_on(
+        "global float v[32];
+         fn main() -> int {
+            let int i = 0;
+            for (i = 0; i < 32; i = i + 1) { v[i] = float(i) * 0.5; }
+            let float s = 0.0;
+            for (i = 0; i < 32; i = i + 1) { s = s + v[i]; }
+            return int(s); // 248
+         }",
+        IsaKind::Sira64,
+    );
+    assert_eq!(outcome, RunOutcome::Exited { code: 248 });
+}
+
+#[test]
+fn float_args_and_returns_sira64() {
+    let (outcome, _) = run_on(
+        "fn mix(float a, float b) -> float { return a * 2.0 + b; }
+         fn main() -> int { return int(mix(3.0, 4.0)); }",
+        IsaKind::Sira64,
+    );
+    assert_eq!(outcome, RunOutcome::Exited { code: 10 });
+}
+
+#[test]
+fn float_compare_forms_sira64() {
+    let (outcome, _) = run_on(
+        "fn main() -> int {
+            let float a = 1.5;
+            let float b = 2.5;
+            let int m = (a < b) + (a <= b) + (a > b) + (a >= b) + (a == b) + (a != b);
+            if (m != 3) { return 1; }
+            if (a < b) { } else { return 2; }
+            if (a >= b) { return 3; }
+            return 0;
+         }",
+        IsaKind::Sira64,
+    );
+    assert_eq!(outcome, RunOutcome::Exited { code: 0 });
+}
+
+#[test]
+fn division_by_zero_is_ut() {
+    for isa in IsaKind::ALL {
+        let (outcome, _) = run_on(
+            "fn main() -> int { let int z = 0; return 10 / z; }",
+            isa,
+        );
+        assert!(
+            matches!(outcome, RunOutcome::Trapped { .. }),
+            "isa {isa}: {outcome}"
+        );
+    }
+}
+
+#[test]
+fn out_of_bounds_index_is_ut() {
+    for isa in IsaKind::ALL {
+        let (outcome, _) = run_on(
+            "global int small[2];
+             fn main() -> int {
+                let int wild = 100000000;
+                small[wild] = 1;
+                return 0;
+             }",
+            isa,
+        );
+        assert!(
+            matches!(outcome, RunOutcome::Trapped { .. }),
+            "isa {isa}: {outcome}"
+        );
+    }
+}
+
+#[test]
+fn int_width_differs_by_isa() {
+    // 1 << 40 survives on SIRA-64 and truncates to 0 on SIRA-32.
+    let src = "fn main() -> int { let int x = 1 << 40; if (x == 0) { return 32; } return 64; }";
+    let (o32, _) = run_on(src, IsaKind::Sira32);
+    let (o64, _) = run_on(src, IsaKind::Sira64);
+    assert_eq!(o32, RunOutcome::Exited { code: 32 });
+    assert_eq!(o64, RunOutcome::Exited { code: 64 });
+}
+
+#[test]
+fn abi_constants_match_kernel() {
+    // codegen duplicates four syscall numbers; pin them to the kernel ABI.
+    assert_eq!(abi::SYS_WRITE, 1);
+    assert_eq!(abi::SYS_WRITE_INT, 15);
+    assert_eq!(abi::SYS_WRITE_FLT, 16);
+    assert_eq!(abi::SYS_WRITE_CH, 17);
+}
+
+#[test]
+fn sira32_uses_conditional_execution_for_compares() {
+    let src = "fn main() -> int { let int c = 3 < 4; return c; }";
+    let o32 = compile(src, IsaKind::Sira32).unwrap();
+    let o64 = compile(src, IsaKind::Sira64).unwrap();
+    let conds32 = o32
+        .text
+        .iter()
+        .filter(|i| i.cond != fracas_isa::Cond::Al && !i.is_branch())
+        .count();
+    let conds64 = o64
+        .text
+        .iter()
+        .filter(|i| i.cond != fracas_isa::Cond::Al && !i.is_branch())
+        .count();
+    assert!(conds32 > 0, "sira32 should conditionally execute");
+    assert_eq!(conds64, 0, "sira64 must not conditionally execute non-branches");
+}
+
+#[test]
+fn sira32_lowers_float_ops_to_calls() {
+    let src = "fn main() -> int { let float x = 1.0; let float y = x * 2.0; return int(y); }";
+    let o32 = compile(src, IsaKind::Sira32).unwrap();
+    let o64 = compile(src, IsaKind::Sira64).unwrap();
+    let calls32: Vec<_> = o32
+        .relocs
+        .iter()
+        .filter_map(|r| match r {
+            fracas_isa::Reloc::Call { name, .. } => Some(name.clone()),
+            _ => None,
+        })
+        .collect();
+    assert!(calls32.iter().any(|n| n == "__f64_mul"), "{calls32:?}");
+    assert!(calls32.iter().any(|n| n == "__f64_toint"), "{calls32:?}");
+    let fp64 = o64.text.iter().filter(|i| i.is_fp()).count();
+    assert!(fp64 > 0, "sira64 uses hardware FP");
+    assert!(
+        !o64.relocs.iter().any(|r| matches!(r, fracas_isa::Reloc::Call { name, .. } if name.starts_with("__f64"))),
+        "sira64 must not call softfloat"
+    );
+}
+
+#[test]
+fn exit_code_from_crt0_uses_main_return() {
+    expect_code("fn main() -> int { return 41 + 1; }", 42);
+}
+
+#[test]
+fn void_functions() {
+    expect_code(
+        "global int g;
+         fn poke() { g = 17; }
+         fn main() -> int { poke(); return g; }",
+        17,
+    );
+}
+
+#[test]
+fn reg_helper_reexports() {
+    // Silences the unused-import lint for Reg in this test crate and pins
+    // the ABI argument registers both backends rely on.
+    assert_eq!(fracas_isa::sira32::A0, Reg(0));
+    assert_eq!(fracas_isa::sira64::A0, Reg(0));
+}
+
+#[test]
+fn o0_and_o1_agree_functionally() {
+    use fracas_lang::{compile_with, OptLevel};
+    let src = "global int acc;
+        fn mix(int a, int b) -> int { let int t = a * 3; let int u = b - 1; return t + u; }
+        fn main() -> int {
+            let int i = 0;
+            for (i = 0; i < 50; i = i + 1) { acc = acc + mix(i, i * 2); }
+            return acc % 251;
+        }";
+    for isa in IsaKind::ALL {
+        let mut codes = Vec::new();
+        for opt in [OptLevel::O0, OptLevel::O1] {
+            let obj = compile_with(src, isa, opt).expect("compiles");
+            let image = link(isa, &[crt0(isa), obj]).expect("links");
+            let mut kernel = Kernel::boot(&image, 1, BootSpec::serial());
+            let outcome = kernel.run(&Limits::default());
+            let RunOutcome::Exited { code } = outcome else { panic!("{isa}: {outcome}") };
+            codes.push(code);
+        }
+        assert_eq!(codes[0], codes[1], "{isa}: -O0 and -O1 must agree");
+    }
+}
+
+#[test]
+fn o0_emits_no_callee_saved_homes() {
+    use fracas_lang::{compile_with, OptLevel};
+    let src = "fn main() -> int { let int a = 1; let int b = 2; return a + b; }";
+    let o0 = compile_with(src, IsaKind::Sira64, OptLevel::O0).unwrap();
+    // No instruction may touch the callee-saved home range x16..x27
+    // except the prologue/epilogue (which skips them entirely at -O0):
+    let touches_homes = o0.text.iter().any(|i| match i.kind {
+        fracas_isa::InstKind::Mov { rd, .. } => (16..28).contains(&rd.0),
+        fracas_isa::InstKind::Ld { rd, .. } => (16..28).contains(&rd.0),
+        _ => false,
+    });
+    assert!(!touches_homes, "-O0 keeps locals out of registers");
+}
+
+#[test]
+fn chained_index_expressions() {
+    expect_code(
+        "global int idx[8];
+         global int val[8];
+         fn main() -> int {
+            let int i = 0;
+            for (i = 0; i < 8; i = i + 1) { idx[i] = 7 - i; val[i] = i * i; }
+            // val[idx[idx[2]]] = val[idx[5]] = val[2] = 4
+            return val[idx[idx[2]]];
+         }",
+        4,
+    );
+}
+
+#[test]
+fn early_return_from_nested_loops() {
+    expect_code(
+        "fn find(int needle) -> int {
+            let int i = 0;
+            let int j = 0;
+            for (i = 0; i < 10; i = i + 1) {
+                for (j = 0; j < 10; j = j + 1) {
+                    if (i * 10 + j == needle) { return i * 100 + j; }
+                }
+            }
+            return -1;
+         }
+         fn main() -> int { return find(57); }",
+        507,
+    );
+}
+
+#[test]
+fn modulo_and_division_signs_match_c() {
+    expect_code(
+        "fn main() -> int {
+            let int a = -17;
+            let int b = 5;
+            // C semantics: -17/5 = -3, -17%5 = -2.
+            if (a / b != -3) { return 1; }
+            if (a % b != -2) { return 2; }
+            if (17 / -5 != -3) { return 3; }
+            if (17 % -5 != 2) { return 4; }
+            return 0;
+        }",
+        0,
+    );
+}
+
+#[test]
+fn comparison_chains_with_logic() {
+    expect_code(
+        "fn clamp(int x, int lo, int hi) -> int {
+            if (x < lo) { return lo; }
+            if (x > hi) { return hi; }
+            return x;
+         }
+         fn main() -> int {
+            let int ok = 1;
+            ok = ok && clamp(5, 0, 10) == 5;
+            ok = ok && clamp(-5, 0, 10) == 0;
+            ok = ok && clamp(50, 0, 10) == 10;
+            return !ok;
+         }",
+        0,
+    );
+}

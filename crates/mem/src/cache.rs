@@ -1,0 +1,428 @@
+//! Tag-only cache hierarchy with MESI-style coherence statistics.
+//!
+//! Geometry follows the paper's §3.1 platform: per-core L1I 32 kB /
+//! 4-way and L1D 32 kB / 4-way, shared L2 512 kB / 8-way, 64-byte lines,
+//! LRU replacement. The model is *tag-only*: it tracks which lines would
+//! be resident and returns access latencies; data itself lives in
+//! [`crate::PhysMem`].
+
+/// What kind of access hits the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Instruction fetch (L1I path).
+    Fetch,
+    /// Data load (L1D path).
+    DataRead,
+    /// Data store (L1D path, write-allocate).
+    DataWrite,
+}
+
+/// Cache geometry and latency parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheParams {
+    /// L1 (instruction and data) size in bytes.
+    pub l1_size: u32,
+    /// L1 associativity.
+    pub l1_ways: u32,
+    /// Shared L2 size in bytes.
+    pub l2_size: u32,
+    /// L2 associativity.
+    pub l2_ways: u32,
+    /// Cache line size in bytes.
+    pub line: u32,
+    /// Extra cycles for an L1 miss that hits L2.
+    pub l2_hit_cycles: u32,
+    /// Extra cycles for a miss that goes to memory.
+    pub mem_cycles: u32,
+}
+
+impl CacheParams {
+    /// The paper's configuration: L1 32 kB 4-way, L2 512 kB 8-way.
+    pub fn paper() -> CacheParams {
+        CacheParams {
+            l1_size: 32 << 10,
+            l1_ways: 4,
+            l2_size: 512 << 10,
+            l2_ways: 8,
+            line: 64,
+            l2_hit_cycles: 8,
+            mem_cycles: 48,
+        }
+    }
+}
+
+impl Default for CacheParams {
+    fn default() -> CacheParams {
+        CacheParams::paper()
+    }
+}
+
+/// Hit/miss and coherence counters for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Lines invalidated by another core's write (L1D only).
+    pub invalidations: u64,
+    /// Dirty lines written back on eviction or downgrade.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in `[0, 1]`; zero when idle.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+}
+
+/// MESI line states (the model distinguishes dirty vs clean and
+/// shared vs exclusive for the coherence counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mesi {
+    Modified,
+    Exclusive,
+    Shared,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u32,
+    state: Mesi,
+    lru: u64,
+}
+
+#[derive(Debug, Clone)]
+struct SetAssoc {
+    sets: Vec<Vec<Line>>,
+    ways: usize,
+    set_shift: u32,
+    set_mask: u32,
+    tick: u64,
+}
+
+impl SetAssoc {
+    fn new(size: u32, ways: u32, line: u32) -> SetAssoc {
+        let set_count = (size / line / ways).max(1);
+        assert!(set_count.is_power_of_two(), "set count must be a power of two");
+        SetAssoc {
+            sets: vec![Vec::new(); set_count as usize],
+            ways: ways as usize,
+            set_shift: line.trailing_zeros(),
+            set_mask: set_count - 1,
+            tick: 0,
+        }
+    }
+
+    fn index(&self, addr: u32) -> (usize, u32) {
+        let block = addr >> self.set_shift;
+        ((block & self.set_mask) as usize, block >> self.set_mask.trailing_ones())
+    }
+
+    fn lookup(&mut self, addr: u32) -> Option<&mut Line> {
+        self.tick += 1;
+        let tick = self.tick;
+        let (set, tag) = self.index(addr);
+        let line = self.sets[set].iter_mut().find(|l| l.tag == tag)?;
+        line.lru = tick;
+        Some(line)
+    }
+
+    /// Inserts a line, returning the evicted line if the set was full.
+    fn insert(&mut self, addr: u32, state: Mesi) -> Option<Line> {
+        self.tick += 1;
+        let tick = self.tick;
+        let ways = self.ways;
+        let (set, tag) = self.index(addr);
+        let set = &mut self.sets[set];
+        let evicted = if set.len() == ways {
+            let victim = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .map(|(i, _)| i)
+                .expect("non-empty set");
+            Some(set.swap_remove(victim))
+        } else {
+            None
+        };
+        set.push(Line { tag, state, lru: tick });
+        evicted
+    }
+
+    fn remove(&mut self, addr: u32) -> Option<Line> {
+        let (set, tag) = self.index(addr);
+        let set = &mut self.sets[set];
+        let i = set.iter().position(|l| l.tag == tag)?;
+        Some(set.swap_remove(i))
+    }
+}
+
+/// The multicore cache hierarchy: one L1I + L1D pair per core and a
+/// shared L2, with MESI bookkeeping between the L1 data caches.
+#[derive(Debug, Clone)]
+pub struct MemSystem {
+    params: CacheParams,
+    l1i: Vec<SetAssoc>,
+    l1d: Vec<SetAssoc>,
+    l2: SetAssoc,
+    l1i_stats: Vec<CacheStats>,
+    l1d_stats: Vec<CacheStats>,
+    l2_stats: CacheStats,
+}
+
+impl MemSystem {
+    /// Creates a hierarchy for `cores` cores.
+    pub fn new(cores: usize, params: CacheParams) -> MemSystem {
+        MemSystem {
+            params,
+            l1i: (0..cores)
+                .map(|_| SetAssoc::new(params.l1_size, params.l1_ways, params.line))
+                .collect(),
+            l1d: (0..cores)
+                .map(|_| SetAssoc::new(params.l1_size, params.l1_ways, params.line))
+                .collect(),
+            l2: SetAssoc::new(params.l2_size, params.l2_ways, params.line),
+            l1i_stats: vec![CacheStats::default(); cores],
+            l1d_stats: vec![CacheStats::default(); cores],
+            l2_stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of cores the hierarchy serves.
+    pub fn cores(&self) -> usize {
+        self.l1i.len()
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> CacheParams {
+        self.params
+    }
+
+    /// Simulates one access by `core`, returning the extra latency in
+    /// cycles beyond the L1-hit base cost (0 for an L1 hit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn access(&mut self, core: usize, access: Access, addr: u32) -> u32 {
+        match access {
+            Access::Fetch => self.access_l1i(core, addr),
+            Access::DataRead => self.access_l1d(core, addr, false),
+            Access::DataWrite => self.access_l1d(core, addr, true),
+        }
+    }
+
+    fn access_l1i(&mut self, core: usize, addr: u32) -> u32 {
+        if self.l1i[core].lookup(addr).is_some() {
+            self.l1i_stats[core].hits += 1;
+            return 0;
+        }
+        self.l1i_stats[core].misses += 1;
+        let penalty = self.access_l2(addr, false);
+        self.l1i[core].insert(addr, Mesi::Shared);
+        penalty
+    }
+
+    fn access_l1d(&mut self, core: usize, addr: u32, write: bool) -> u32 {
+        // Hit path.
+        if let Some(line) = self.l1d[core].lookup(addr) {
+            self.l1d_stats[core].hits += 1;
+            let upgrade = write && line.state == Mesi::Shared;
+            if write {
+                line.state = Mesi::Modified;
+            }
+            if upgrade {
+                // BusUpgr: invalidate every other copy.
+                self.invalidate_others(core, addr);
+            }
+            return 0;
+        }
+        self.l1d_stats[core].misses += 1;
+
+        // Snoop other L1Ds; a Modified copy elsewhere must be written back.
+        let mut shared_elsewhere = false;
+        for other in 0..self.l1d.len() {
+            if other == core {
+                continue;
+            }
+            if write {
+                if let Some(line) = self.l1d[other].remove(addr) {
+                    self.l1d_stats[other].invalidations += 1;
+                    if line.state == Mesi::Modified {
+                        self.l1d_stats[other].writebacks += 1;
+                    }
+                }
+            } else if let Some(line) = self.l1d[other].lookup(addr) {
+                if line.state == Mesi::Modified {
+                    self.l1d_stats[other].writebacks += 1;
+                }
+                line.state = Mesi::Shared;
+                shared_elsewhere = true;
+            }
+        }
+
+        let penalty = self.access_l2(addr, write);
+        let state = if write {
+            Mesi::Modified
+        } else if shared_elsewhere {
+            Mesi::Shared
+        } else {
+            Mesi::Exclusive
+        };
+        if let Some(evicted) = self.l1d[core].insert(addr, state) {
+            if evicted.state == Mesi::Modified {
+                self.l1d_stats[core].writebacks += 1;
+            }
+        }
+        penalty
+    }
+
+    fn access_l2(&mut self, addr: u32, write: bool) -> u32 {
+        if let Some(line) = self.l2.lookup(addr) {
+            self.l2_stats.hits += 1;
+            if write {
+                line.state = Mesi::Modified;
+            }
+            return self.params.l2_hit_cycles;
+        }
+        self.l2_stats.misses += 1;
+        let state = if write { Mesi::Modified } else { Mesi::Exclusive };
+        if let Some(evicted) = self.l2.insert(addr, state) {
+            if evicted.state == Mesi::Modified {
+                self.l2_stats.writebacks += 1;
+            }
+        }
+        self.params.l2_hit_cycles + self.params.mem_cycles
+    }
+
+    fn invalidate_others(&mut self, core: usize, addr: u32) {
+        for other in 0..self.l1d.len() {
+            if other != core && self.l1d[other].remove(addr).is_some() {
+                self.l1d_stats[other].invalidations += 1;
+            }
+        }
+    }
+
+    /// Per-core L1 instruction-cache statistics.
+    pub fn l1i_stats(&self, core: usize) -> CacheStats {
+        self.l1i_stats[core]
+    }
+
+    /// Per-core L1 data-cache statistics.
+    pub fn l1d_stats(&self, core: usize) -> CacheStats {
+        self.l1d_stats[core]
+    }
+
+    /// Shared L2 statistics.
+    pub fn l2_stats(&self) -> CacheStats {
+        self.l2_stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CacheParams {
+        CacheParams {
+            l1_size: 1024,
+            l1_ways: 2,
+            l2_size: 4096,
+            l2_ways: 4,
+            line: 64,
+            l2_hit_cycles: 8,
+            mem_cycles: 40,
+        }
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut m = MemSystem::new(1, small());
+        assert_eq!(m.access(0, Access::DataRead, 0x1000), 48);
+        assert_eq!(m.access(0, Access::DataRead, 0x1000), 0);
+        assert_eq!(m.access(0, Access::DataRead, 0x1020), 0, "same 64-byte line");
+        assert_eq!(m.l1d_stats(0).hits, 2);
+        assert_eq!(m.l1d_stats(0).misses, 1);
+    }
+
+    #[test]
+    fn l2_backs_l1_evictions() {
+        let mut m = MemSystem::new(1, small());
+        // L1: 1024 B / 64 B / 2 ways = 8 sets. Three lines mapping to the
+        // same set evict one from L1 but it stays in L2.
+        let set_stride = 8 * 64;
+        m.access(0, Access::DataRead, 0);
+        m.access(0, Access::DataRead, set_stride);
+        m.access(0, Access::DataRead, 2 * set_stride); // evicts line 0 from L1
+        let penalty = m.access(0, Access::DataRead, 0);
+        assert_eq!(penalty, 8, "L1 miss, L2 hit");
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut m = MemSystem::new(1, small());
+        let set_stride = 8 * 64;
+        m.access(0, Access::DataRead, 0);
+        m.access(0, Access::DataRead, set_stride);
+        m.access(0, Access::DataRead, 0); // refresh line 0
+        m.access(0, Access::DataRead, 2 * set_stride); // must evict line 1
+        assert_eq!(m.access(0, Access::DataRead, 0), 0, "line 0 still resident");
+    }
+
+    #[test]
+    fn write_invalidates_other_cores() {
+        let mut m = MemSystem::new(2, small());
+        m.access(0, Access::DataRead, 0x2000);
+        m.access(1, Access::DataRead, 0x2000);
+        // Core 1 writes: core 0's copy must be invalidated.
+        m.access(1, Access::DataWrite, 0x2000);
+        assert_eq!(m.l1d_stats(0).invalidations, 1);
+        // Core 0 re-reads: that's a miss now.
+        let misses_before = m.l1d_stats(0).misses;
+        m.access(0, Access::DataRead, 0x2000);
+        assert_eq!(m.l1d_stats(0).misses, misses_before + 1);
+    }
+
+    #[test]
+    fn modified_line_written_back_when_snooped() {
+        let mut m = MemSystem::new(2, small());
+        m.access(0, Access::DataWrite, 0x3000);
+        m.access(1, Access::DataRead, 0x3000);
+        assert_eq!(m.l1d_stats(0).writebacks, 1);
+    }
+
+    #[test]
+    fn fetch_uses_instruction_cache() {
+        let mut m = MemSystem::new(1, small());
+        m.access(0, Access::Fetch, 0x1000);
+        m.access(0, Access::Fetch, 0x1000);
+        assert_eq!(m.l1i_stats(0).hits, 1);
+        assert_eq!(m.l1i_stats(0).misses, 1);
+        assert_eq!(m.l1d_stats(0).accesses(), 0);
+    }
+
+    #[test]
+    fn paper_geometry_is_valid() {
+        // 32 kB / 64 B / 4 ways = 128 sets; 512 kB / 64 B / 8 = 1024 sets.
+        let m = MemSystem::new(4, CacheParams::paper());
+        assert_eq!(m.cores(), 4);
+    }
+
+    #[test]
+    fn miss_ratio() {
+        let s = CacheStats { hits: 3, misses: 1, ..Default::default() };
+        assert!((s.miss_ratio() - 0.25).abs() < 1e-12);
+        assert_eq!(CacheStats::default().miss_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! # fracas-mem — memory subsystem models
+//!
+//! Provides the three memory-side components of the FRACAS machine model:
+//!
+//! * [`PhysMem`] — the flat physical byte store (little-endian, bounds
+//!   checked).
+//! * [`PermissionMap`] — per-*process* page permissions over the shared
+//!   physical space; permission violations become the segmentation faults
+//!   that the paper's UT (unexpected-termination) class originates from.
+//! * [`MemSystem`] — the cache hierarchy of the paper's §3.1 platform:
+//!   per-core L1I 32 kB 4-way and L1D 32 kB 4-way, a shared L2 512 kB
+//!   8-way, LRU replacement and MESI-style coherence between the L1 data
+//!   caches. The hierarchy is *tag-only*: it produces timing and
+//!   statistics while data functionally lives in [`PhysMem`].
+//!
+//! ## Example
+//!
+//! ```
+//! use fracas_mem::{CacheParams, MemSystem, PhysMem, Access};
+//!
+//! let mut mem = PhysMem::new(1 << 20);
+//! mem.write_u32(0x100, 0xdead_beef).unwrap();
+//! assert_eq!(mem.read_u32(0x100).unwrap(), 0xdead_beef);
+//!
+//! let mut caches = MemSystem::new(2, CacheParams::default());
+//! let cold = caches.access(0, Access::DataRead, 0x100);
+//! let warm = caches.access(0, Access::DataRead, 0x100);
+//! assert!(cold > warm);
+//! ```
+
+mod cache;
+mod perm;
+mod phys;
+
+pub use cache::{Access, CacheParams, CacheStats, MemSystem};
+pub use perm::{AccessKind, PermissionMap, Perms, PAGE_SIZE};
+pub use phys::{MemError, PhysMem};
+
+/// Default physical memory size (64 MiB).
+pub const DEFAULT_MEM_SIZE: u32 = 64 << 20;

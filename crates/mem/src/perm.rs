@@ -1,0 +1,194 @@
+//! Per-process page permissions.
+
+use crate::MemError;
+use std::fmt;
+
+/// Page size in bytes (4 KiB, as on the paper's Linux/ARM platforms).
+pub const PAGE_SIZE: u32 = 4096;
+
+/// Page permission bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Perms {
+    /// Readable.
+    pub read: bool,
+    /// Writable.
+    pub write: bool,
+    /// Executable.
+    pub exec: bool,
+}
+
+impl Perms {
+    /// No access (unmapped).
+    pub const NONE: Perms = Perms { read: false, write: false, exec: false };
+    /// Read-only data.
+    pub const R: Perms = Perms { read: true, write: false, exec: false };
+    /// Read-write data.
+    pub const RW: Perms = Perms { read: true, write: true, exec: false };
+    /// Read-execute text.
+    pub const RX: Perms = Perms { read: true, write: false, exec: true };
+
+    /// Whether these permissions allow the given access kind.
+    pub fn allows(self, kind: AccessKind) -> bool {
+        match kind {
+            AccessKind::Read => self.read,
+            AccessKind::Write => self.write,
+            AccessKind::Execute => self.exec,
+        }
+    }
+}
+
+/// What a memory access attempts to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A data load.
+    Read,
+    /// A data store.
+    Write,
+    /// An instruction fetch.
+    Execute,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+            AccessKind::Execute => "execute",
+        })
+    }
+}
+
+/// A process's view of the physical address space: per-page permissions.
+///
+/// Pages default to [`Perms::NONE`]; the kernel maps a process's text,
+/// data, heap and stack regions. Any access outside mapped regions (e.g.
+/// through a register corrupted by a bit flip) produces a
+/// [`MemError::Protection`] fault, which the kernel delivers as a
+/// segmentation fault — the UT channel of the paper's §4.1.4.
+#[derive(Debug, Clone)]
+pub struct PermissionMap {
+    pages: Vec<Perms>,
+}
+
+impl PermissionMap {
+    /// Creates an all-unmapped permission map covering `mem_size` bytes.
+    pub fn new(mem_size: u32) -> PermissionMap {
+        let n = mem_size.div_ceil(PAGE_SIZE);
+        PermissionMap { pages: vec![Perms::NONE; n as usize] }
+    }
+
+    /// Grants `perms` to every page overlapping `[start, start + len)`.
+    ///
+    /// Ranges are rounded outward to page boundaries. Out-of-range pages
+    /// are ignored (they remain unmapped and will fault on access).
+    pub fn map_range(&mut self, start: u32, len: u32, perms: Perms) {
+        if len == 0 {
+            return;
+        }
+        let page_count = self.pages.len();
+        if page_count == 0 {
+            return;
+        }
+        let first = ((start / PAGE_SIZE) as usize).min(page_count);
+        let last = (((u64::from(start) + u64::from(len) - 1) / u64::from(PAGE_SIZE)) as usize)
+            .min(page_count - 1);
+        if first > last {
+            return;
+        }
+        for page in &mut self.pages[first..=last] {
+            *page = perms;
+        }
+    }
+
+    /// Removes all access to the pages overlapping the range.
+    pub fn unmap_range(&mut self, start: u32, len: u32) {
+        self.map_range(start, len, Perms::NONE);
+    }
+
+    /// The permissions of the page containing `addr`.
+    pub fn perms_at(&self, addr: u32) -> Perms {
+        self.pages
+            .get((addr / PAGE_SIZE) as usize)
+            .copied()
+            .unwrap_or(Perms::NONE)
+    }
+
+    /// Checks an access of `len` bytes at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::Protection`] naming the faulting address if any page
+    /// in the range denies the access.
+    pub fn check(&self, addr: u32, len: u32, kind: AccessKind) -> Result<(), MemError> {
+        let end = u64::from(addr) + u64::from(len.max(1)) - 1;
+        let mut page_addr = u64::from(addr / PAGE_SIZE) * u64::from(PAGE_SIZE);
+        while page_addr <= end {
+            let a = page_addr.min(u64::from(u32::MAX)) as u32;
+            if !self.perms_at(a).allows(kind) {
+                return Err(MemError::Protection { addr: addr.max(a), kind });
+            }
+            page_addr += u64::from(PAGE_SIZE);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmapped_by_default() {
+        let map = PermissionMap::new(1 << 20);
+        assert!(map.check(0, 4, AccessKind::Read).is_err());
+        assert!(map.check(0x8_0000, 4, AccessKind::Write).is_err());
+    }
+
+    #[test]
+    fn mapped_ranges_allow_matching_access() {
+        let mut map = PermissionMap::new(1 << 20);
+        map.map_range(0x1000, 0x2000, Perms::RX);
+        map.map_range(0x10_000, 0x1000, Perms::RW);
+        assert!(map.check(0x1000, 4, AccessKind::Execute).is_ok());
+        assert!(map.check(0x1000, 4, AccessKind::Read).is_ok());
+        assert!(map.check(0x1000, 4, AccessKind::Write).is_err());
+        assert!(map.check(0x10_000, 8, AccessKind::Write).is_ok());
+        assert!(map.check(0x10_000, 8, AccessKind::Execute).is_err());
+    }
+
+    #[test]
+    fn range_rounding_covers_partial_pages() {
+        let mut map = PermissionMap::new(1 << 20);
+        // Maps only 16 bytes, but the whole page becomes accessible
+        // (page-granular protection, as in a real MMU).
+        map.map_range(0x3010, 16, Perms::RW);
+        assert!(map.check(0x3000, 4, AccessKind::Read).is_ok());
+        assert!(map.check(0x3ffc, 4, AccessKind::Read).is_ok());
+        assert!(map.check(0x4000, 4, AccessKind::Read).is_err());
+    }
+
+    #[test]
+    fn straddling_access_needs_both_pages() {
+        let mut map = PermissionMap::new(1 << 20);
+        map.map_range(0x1000, PAGE_SIZE, Perms::RW);
+        // 8-byte access starting at the last 4 bytes of the mapped page.
+        assert!(map.check(0x1ffc, 8, AccessKind::Read).is_err());
+        map.map_range(0x2000, PAGE_SIZE, Perms::RW);
+        assert!(map.check(0x1ffc, 8, AccessKind::Read).is_ok());
+    }
+
+    #[test]
+    fn unmap_revokes() {
+        let mut map = PermissionMap::new(1 << 20);
+        map.map_range(0x1000, 0x1000, Perms::RW);
+        assert!(map.check(0x1800, 4, AccessKind::Read).is_ok());
+        map.unmap_range(0x1000, 0x1000);
+        assert!(map.check(0x1800, 4, AccessKind::Read).is_err());
+    }
+
+    #[test]
+    fn out_of_range_addresses_fault() {
+        let map = PermissionMap::new(1 << 20);
+        assert!(map.check(u32::MAX - 8, 4, AccessKind::Read).is_err());
+    }
+}

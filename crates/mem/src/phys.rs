@@ -1,0 +1,269 @@
+//! Flat physical memory.
+
+use std::error::Error;
+use std::fmt;
+
+/// A memory access failure, carrying the faulting address.
+///
+/// These are delivered by the kernel model as segmentation faults /
+/// alignment traps, producing the paper's *Unexpected Termination* class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// The access falls outside physical memory.
+    OutOfRange {
+        /// Faulting byte address.
+        addr: u32,
+        /// Access size in bytes.
+        len: u32,
+    },
+    /// The access is not naturally aligned for its size.
+    Misaligned {
+        /// Faulting byte address.
+        addr: u32,
+        /// Required alignment in bytes.
+        align: u32,
+    },
+    /// The current process lacks permission for this access.
+    Protection {
+        /// Faulting byte address.
+        addr: u32,
+        /// What was attempted.
+        kind: crate::AccessKind,
+    },
+}
+
+impl MemError {
+    /// The faulting address.
+    pub fn addr(&self) -> u32 {
+        match *self {
+            MemError::OutOfRange { addr, .. }
+            | MemError::Misaligned { addr, .. }
+            | MemError::Protection { addr, .. } => addr,
+        }
+    }
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfRange { addr, len } => {
+                write!(f, "access of {len} bytes at {addr:#010x} outside physical memory")
+            }
+            MemError::Misaligned { addr, align } => {
+                write!(f, "misaligned access at {addr:#010x} (requires {align}-byte alignment)")
+            }
+            MemError::Protection { addr, kind } => {
+                write!(f, "{kind} permission violation at {addr:#010x}")
+            }
+        }
+    }
+}
+
+impl Error for MemError {}
+
+/// The flat, little-endian physical byte store.
+///
+/// All multi-byte accessors enforce natural alignment — a corrupted base
+/// register that produces a misaligned address traps, exactly the
+/// wrong-address-calculation channel the paper describes in §4.1.4.
+#[derive(Debug, Clone)]
+pub struct PhysMem {
+    bytes: Vec<u8>,
+}
+
+impl PhysMem {
+    /// Allocates `size` bytes of zeroed memory.
+    pub fn new(size: u32) -> PhysMem {
+        PhysMem { bytes: vec![0; size as usize] }
+    }
+
+    /// Physical memory size in bytes.
+    pub fn size(&self) -> u32 {
+        self.bytes.len() as u32
+    }
+
+    fn check(&self, addr: u32, len: u32, align: u32) -> Result<usize, MemError> {
+        if addr % align != 0 {
+            return Err(MemError::Misaligned { addr, align });
+        }
+        let end = u64::from(addr) + u64::from(len);
+        if end > self.bytes.len() as u64 {
+            return Err(MemError::OutOfRange { addr, len });
+        }
+        Ok(addr as usize)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`] if outside physical memory.
+    pub fn read_u8(&self, addr: u32) -> Result<u8, MemError> {
+        let i = self.check(addr, 1, 1)?;
+        Ok(self.bytes[i])
+    }
+
+    /// Writes one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`] if outside physical memory.
+    pub fn write_u8(&mut self, addr: u32, value: u8) -> Result<(), MemError> {
+        let i = self.check(addr, 1, 1)?;
+        self.bytes[i] = value;
+        Ok(())
+    }
+
+    /// Reads a 32-bit little-endian word.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`] or [`MemError::Misaligned`].
+    pub fn read_u32(&self, addr: u32) -> Result<u32, MemError> {
+        let i = self.check(addr, 4, 4)?;
+        Ok(u32::from_le_bytes(self.bytes[i..i + 4].try_into().expect("checked length")))
+    }
+
+    /// Writes a 32-bit little-endian word.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`] or [`MemError::Misaligned`].
+    pub fn write_u32(&mut self, addr: u32, value: u32) -> Result<(), MemError> {
+        let i = self.check(addr, 4, 4)?;
+        self.bytes[i..i + 4].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    /// Reads a 64-bit little-endian word.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`] or [`MemError::Misaligned`].
+    pub fn read_u64(&self, addr: u32) -> Result<u64, MemError> {
+        let i = self.check(addr, 8, 8)?;
+        Ok(u64::from_le_bytes(self.bytes[i..i + 8].try_into().expect("checked length")))
+    }
+
+    /// Writes a 64-bit little-endian word.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`] or [`MemError::Misaligned`].
+    pub fn write_u64(&mut self, addr: u32, value: u64) -> Result<(), MemError> {
+        let i = self.check(addr, 8, 8)?;
+        self.bytes[i..i + 8].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    /// Copies a byte slice into memory (used by the loader; unaligned).
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`] if the range does not fit.
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) -> Result<(), MemError> {
+        let i = self.check(addr, bytes.len() as u32, 1)?;
+        self.bytes[i..i + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Reads a byte range (used by output capture and memory hashing).
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`] if the range does not fit.
+    pub fn read_bytes(&self, addr: u32, len: u32) -> Result<&[u8], MemError> {
+        let i = self.check(addr, len, 1)?;
+        Ok(&self.bytes[i..i + len as usize])
+    }
+
+    /// Fills a byte range with zeros.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`] if the range does not fit.
+    pub fn zero_range(&mut self, addr: u32, len: u32) -> Result<(), MemError> {
+        let i = self.check(addr, len, 1)?;
+        self.bytes[i..i + len as usize].fill(0);
+        Ok(())
+    }
+
+    /// A 64-bit FNV-1a hash of a byte range, used for golden-run
+    /// memory-state comparison.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`] if the range does not fit.
+    pub fn hash_range(&self, addr: u32, len: u32) -> Result<u64, MemError> {
+        let slice = self.read_bytes(addr, len)?;
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in slice {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Ok(hash)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut m = PhysMem::new(4096);
+        m.write_u8(3, 0xab).unwrap();
+        m.write_u32(8, 0x1234_5678).unwrap();
+        m.write_u64(16, 0xdead_beef_cafe_f00d).unwrap();
+        assert_eq!(m.read_u8(3).unwrap(), 0xab);
+        assert_eq!(m.read_u32(8).unwrap(), 0x1234_5678);
+        assert_eq!(m.read_u64(16).unwrap(), 0xdead_beef_cafe_f00d);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = PhysMem::new(64);
+        m.write_u32(0, 0x0102_0304).unwrap();
+        assert_eq!(m.read_u8(0).unwrap(), 0x04);
+        assert_eq!(m.read_u8(3).unwrap(), 0x01);
+    }
+
+    #[test]
+    fn misalignment_traps() {
+        let mut m = PhysMem::new(64);
+        assert!(matches!(m.read_u32(2), Err(MemError::Misaligned { addr: 2, align: 4 })));
+        assert!(matches!(m.write_u64(4, 0), Err(MemError::Misaligned { addr: 4, align: 8 })));
+    }
+
+    #[test]
+    fn out_of_range_traps() {
+        let mut m = PhysMem::new(64);
+        assert!(m.read_u8(64).is_err());
+        assert!(m.read_u32(64).is_err());
+        assert!(m.write_u32(60, 0).is_ok());
+        assert!(m.write_u64(60, 0).is_err());
+        // Address near u32::MAX must not overflow the bounds check.
+        assert!(m.read_u32(u32::MAX - 3).is_err());
+    }
+
+    #[test]
+    fn hash_detects_single_bit_change() {
+        let mut m = PhysMem::new(1024);
+        m.write_bytes(0, &[7u8; 1024]).unwrap();
+        let h1 = m.hash_range(0, 1024).unwrap();
+        m.write_u8(513, 7 ^ 0x10).unwrap();
+        let h2 = m.hash_range(0, 1024).unwrap();
+        assert_ne!(h1, h2);
+    }
+
+    #[test]
+    fn zero_range_clears() {
+        let mut m = PhysMem::new(64);
+        m.write_bytes(0, &[0xff; 64]).unwrap();
+        m.zero_range(8, 16).unwrap();
+        assert_eq!(m.read_u8(7).unwrap(), 0xff);
+        assert_eq!(m.read_u8(8).unwrap(), 0);
+        assert_eq!(m.read_u8(23).unwrap(), 0);
+        assert_eq!(m.read_u8(24).unwrap(), 0xff);
+    }
+}

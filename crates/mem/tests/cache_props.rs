@@ -1,0 +1,96 @@
+//! Property-based tests for the cache hierarchy.
+
+use fracas_mem::{Access, CacheParams, MemSystem};
+use proptest::prelude::*;
+
+fn small_params() -> CacheParams {
+    CacheParams {
+        l1_size: 2048,
+        l1_ways: 2,
+        l2_size: 8192,
+        l2_ways: 4,
+        line: 64,
+        l2_hit_cycles: 8,
+        mem_cycles: 40,
+    }
+}
+
+proptest! {
+    /// Counters are conserved: hits + misses equals the access count,
+    /// per cache, for any access pattern.
+    #[test]
+    fn counters_are_conserved(
+        pattern in proptest::collection::vec((0usize..2, 0u32..3, 0u32..(1 << 16)), 1..200)
+    ) {
+        let mut m = MemSystem::new(2, small_params());
+        let mut counts = [0u64; 2];
+        let mut fetches = [0u64; 2];
+        for (core, kind, addr) in pattern {
+            let access = match kind {
+                0 => Access::Fetch,
+                1 => Access::DataRead,
+                _ => Access::DataWrite,
+            };
+            m.access(core, access, addr * 4);
+            if kind == 0 {
+                fetches[core] += 1;
+            } else {
+                counts[core] += 1;
+            }
+        }
+        for core in 0..2 {
+            prop_assert_eq!(m.l1d_stats(core).accesses(), counts[core]);
+            prop_assert_eq!(m.l1i_stats(core).accesses(), fetches[core]);
+            let r = m.l1d_stats(core).miss_ratio();
+            prop_assert!((0.0..=1.0).contains(&r));
+        }
+    }
+
+    /// Identical access sequences produce identical statistics
+    /// (determinism — the campaign comparison depends on it).
+    #[test]
+    fn cache_model_is_deterministic(
+        pattern in proptest::collection::vec((0u32..2, 0u32..(1 << 14)), 1..150)
+    ) {
+        let run = || {
+            let mut m = MemSystem::new(2, small_params());
+            for &(kind, addr) in &pattern {
+                let access = if kind == 0 { Access::DataRead } else { Access::DataWrite };
+                m.access(0, access, addr * 8);
+            }
+            (m.l1d_stats(0), m.l2_stats())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// A working set no larger than one set's associativity never
+    /// misses after the cold pass (LRU never evicts what still fits).
+    #[test]
+    fn fitting_working_set_stays_resident(start in 0u32..64) {
+        let params = small_params();
+        let mut m = MemSystem::new(1, params);
+        // Two lines mapping to the same set (set count = 16).
+        let stride = 16 * 64;
+        let a = start * 64;
+        let b = a + stride;
+        m.access(0, Access::DataRead, a);
+        m.access(0, Access::DataRead, b);
+        for _ in 0..20 {
+            prop_assert_eq!(m.access(0, Access::DataRead, a), 0);
+            prop_assert_eq!(m.access(0, Access::DataRead, b), 0);
+        }
+    }
+
+    /// Writing from one core always invalidates any other core's copy:
+    /// the other core's re-read is never a silent stale hit.
+    #[test]
+    fn writes_invalidate_peers(addr in 0u32..(1 << 12)) {
+        let addr = addr * 64;
+        let mut m = MemSystem::new(2, small_params());
+        m.access(0, Access::DataRead, addr);
+        m.access(1, Access::DataWrite, addr);
+        let before = m.l1d_stats(0).misses;
+        m.access(0, Access::DataRead, addr);
+        prop_assert_eq!(m.l1d_stats(0).misses, before + 1);
+    }
+}

@@ -1,0 +1,73 @@
+//! Basic statistics used by the mining reports.
+
+/// Arithmetic mean (0 for an empty slice).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation (0 for fewer than two points).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Pearson correlation coefficient; 0 when either series is constant or
+/// the lengths differ.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        0.0
+    } else {
+        sxy / (sxx * syy).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert!((std_dev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_extremes() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let up = [10.0, 20.0, 30.0, 40.0];
+        let down = [4.0, 3.0, 2.0, 1.0];
+        assert!((pearson(&xs, &up) - 1.0).abs() < 1e-12);
+        assert!((pearson(&xs, &down) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&xs, &[5.0, 5.0, 5.0, 5.0]), 0.0);
+        assert_eq!(pearson(&xs, &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn pearson_uncorrelated_is_small() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let ys = [3.0, -1.0, 4.0, -1.0, 5.0, -9.0, 2.0, 6.0];
+        assert!(pearson(&xs, &ys).abs() < 0.7);
+    }
+}

@@ -1,0 +1,63 @@
+//! Figure 1's historical processor-evolution dataset.
+//!
+//! The paper's motivational figure plots transistor counts, core counts
+//! and process nodes of commercial processors from 1970 to 2018. The
+//! same public datapoints are embedded here so the `fig1_trends` bench
+//! target can regenerate the three series.
+
+/// One processor datapoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrendPoint {
+    /// Introduction year.
+    pub year: u32,
+    /// Marketing name.
+    pub name: &'static str,
+    /// Transistor count.
+    pub transistors: u64,
+    /// Core count.
+    pub cores: u32,
+    /// Process node in nanometres.
+    pub node_nm: f64,
+}
+
+/// The embedded dataset, in chronological order.
+pub fn trend_rows() -> &'static [TrendPoint] {
+    &[
+        TrendPoint { year: 1971, name: "Intel 4004", transistors: 2_300, cores: 1, node_nm: 10_000.0 },
+        TrendPoint { year: 1974, name: "Intel 8080", transistors: 4_500, cores: 1, node_nm: 6_000.0 },
+        TrendPoint { year: 1978, name: "Intel 8086", transistors: 29_000, cores: 1, node_nm: 3_000.0 },
+        TrendPoint { year: 1982, name: "Intel 80286", transistors: 134_000, cores: 1, node_nm: 1_500.0 },
+        TrendPoint { year: 1989, name: "Intel 80486", transistors: 1_180_000, cores: 1, node_nm: 1_000.0 },
+        TrendPoint { year: 1993, name: "Pentium", transistors: 3_100_000, cores: 1, node_nm: 800.0 },
+        TrendPoint { year: 1999, name: "AMD K7", transistors: 22_000_000, cores: 1, node_nm: 250.0 },
+        TrendPoint { year: 2005, name: "Athlon 64 X2", transistors: 233_000_000, cores: 2, node_nm: 90.0 },
+        TrendPoint { year: 2006, name: "Core 2 Quad", transistors: 582_000_000, cores: 4, node_nm: 65.0 },
+        TrendPoint { year: 2007, name: "POWER6", transistors: 790_000_000, cores: 2, node_nm: 65.0 },
+        TrendPoint { year: 2010, name: "SPARC T3", transistors: 1_000_000_000, cores: 16, node_nm: 40.0 },
+        TrendPoint { year: 2012, name: "Ivy Bridge (1st FinFET gen)", transistors: 1_400_000_000, cores: 4, node_nm: 22.0 },
+        TrendPoint { year: 2014, name: "Broadwell (2nd FinFET gen)", transistors: 1_900_000_000, cores: 4, node_nm: 14.0 },
+        TrendPoint { year: 2015, name: "SPARC M7", transistors: 10_000_000_000, cores: 32, node_nm: 20.0 },
+        TrendPoint { year: 2017, name: "Ryzen", transistors: 4_800_000_000, cores: 8, node_nm: 14.0 },
+        TrendPoint { year: 2017, name: "Xeon E7-8894", transistors: 7_200_000_000, cores: 24, node_nm: 14.0 },
+        TrendPoint { year: 2018, name: "Xeon Platinum (48-core boards)", transistors: 8_000_000_000, cores: 28, node_nm: 14.0 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_is_chronological_and_growing() {
+        let rows = trend_rows();
+        assert!(rows.len() >= 15);
+        for w in rows.windows(2) {
+            assert!(w[0].year <= w[1].year);
+        }
+        // Transistors grow by orders of magnitude over the range.
+        assert!(rows.last().unwrap().transistors > rows[0].transistors * 1_000_000);
+        // Node shrinks from microns to nanometres.
+        assert!(rows[0].node_nm > 1_000.0);
+        assert!(rows.last().unwrap().node_nm < 20.0);
+    }
+}

@@ -1,0 +1,207 @@
+//! FT: radix-2 complex FFT over rows plus inverse-transform round trip.
+
+use crate::Model;
+
+/// 8 rows × 64 complex points. Stage-base twiddles (`e^{-2πi/L}` for
+/// L = 2..64) are hard-coded constants; per-butterfly twiddles come from
+/// the rotation recurrence, exactly like a textbook iterative
+/// Cooley–Tukey — heavy FP multiply/add with strided memory access.
+const FT_COMMON: &str = "
+global float ft_re[512];
+global float ft_im[512];
+global float ft_tc[6];
+global float ft_ts[6];
+global float ft_err;
+
+fn ft_tables() {
+    ft_tc[0] = -1.0;
+    ft_ts[0] = 0.0;
+    ft_tc[1] = 0.0;
+    ft_ts[1] = -1.0;
+    ft_tc[2] = 0.7071067811865476;
+    ft_ts[2] = -0.7071067811865476;
+    ft_tc[3] = 0.9238795325112867;
+    ft_ts[3] = -0.3826834323650898;
+    ft_tc[4] = 0.9807852804032304;
+    ft_ts[4] = -0.1950903220161283;
+    ft_tc[5] = 0.9951847266721969;
+    ft_ts[5] = -0.0980171403295606;
+}
+
+fn ft_fill(int lo, int hi) {
+    let int r = 0;
+    let int i = 0;
+    let int seed = 0;
+    for (r = lo; r < hi; r = r + 1) {
+        seed = (r * 517 + 111) % 65537;
+        for (i = 0; i < 64; i = i + 1) {
+            seed = (seed * 75 + 74) % 65537;
+            ft_re[r * 64 + i] = float(seed) / 65537.0 - 0.5;
+            ft_im[r * 64 + i] = 0.0;
+        }
+    }
+}
+
+fn ft_row(int base, int inv) {
+    let int i = 0;
+    let int j = 0;
+    let int bit = 0;
+    let int stage = 0;
+    let int half = 0;
+    let int k = 0;
+    let int m = 0;
+    let int i1 = 0;
+    let int i2 = 0;
+    let float wr = 0.0;
+    let float wi = 0.0;
+    let float twr = 0.0;
+    let float twi = 0.0;
+    let float tr = 0.0;
+    let float ti = 0.0;
+    let float t = 0.0;
+    /* bit-reversal permutation over 6 bits */
+    for (i = 0; i < 64; i = i + 1) {
+        j = 0;
+        for (bit = 0; bit < 6; bit = bit + 1) {
+            j = j * 2 + ((i >> bit) & 1);
+        }
+        if (j > i) {
+            t = ft_re[base + i];
+            ft_re[base + i] = ft_re[base + j];
+            ft_re[base + j] = t;
+            t = ft_im[base + i];
+            ft_im[base + i] = ft_im[base + j];
+            ft_im[base + j] = t;
+        }
+    }
+    /* butterflies */
+    for (stage = 0; stage < 6; stage = stage + 1) {
+        half = 1 << stage;
+        twr = ft_tc[stage];
+        twi = ft_ts[stage];
+        if (inv == 1) { twi = -twi; }
+        for (k = 0; k < 64; k = k + 2 * half) {
+            wr = 1.0;
+            wi = 0.0;
+            for (m = 0; m < half; m = m + 1) {
+                i1 = base + k + m;
+                i2 = i1 + half;
+                tr = wr * ft_re[i2] - wi * ft_im[i2];
+                ti = wr * ft_im[i2] + wi * ft_re[i2];
+                ft_re[i2] = ft_re[i1] - tr;
+                ft_im[i2] = ft_im[i1] - ti;
+                ft_re[i1] = ft_re[i1] + tr;
+                ft_im[i1] = ft_im[i1] + ti;
+                t = wr * twr - wi * twi;
+                wi = wr * twi + wi * twr;
+                wr = t;
+            }
+        }
+    }
+    if (inv == 1) {
+        for (i = 0; i < 64; i = i + 1) {
+            ft_re[base + i] = ft_re[base + i] / 64.0;
+            ft_im[base + i] = ft_im[base + i] / 64.0;
+        }
+    }
+}
+
+fn ft_fwd(int lo, int hi) {
+    let int r = 0;
+    for (r = lo; r < hi; r = r + 1) { ft_row(r * 64, 0); }
+}
+
+fn ft_inv(int lo, int hi) {
+    let int r = 0;
+    for (r = lo; r < hi; r = r + 1) { ft_row(r * 64, 1); }
+}
+
+/* round-trip error against the regenerated input */
+fn ft_check(int lo, int hi) {
+    let int r = 0;
+    let int i = 0;
+    let int seed = 0;
+    let float e = 0.0;
+    let float d = 0.0;
+    for (r = lo; r < hi; r = r + 1) {
+        seed = (r * 517 + 111) % 65537;
+        for (i = 0; i < 64; i = i + 1) {
+            seed = (seed * 75 + 74) % 65537;
+            d = fabs(ft_re[r * 64 + i] - (float(seed) / 65537.0 - 0.5));
+            if (d > e) { e = d; }
+            d = fabs(ft_im[r * 64 + i]);
+            if (d > e) { e = d; }
+        }
+    }
+    omp_critical_enter(11);
+    if (e > ft_err) { ft_err = e; }
+    omp_critical_exit(11);
+}
+
+fn ft_report() {
+    print_str(\"FT err=\");
+    print_float(ft_err);
+    print_str(\" VERIFIED \");
+    if (ft_err < 0.02) { print_int(1); } else { print_int(0); }
+    print_char(10);
+}
+";
+
+pub fn ft(model: Model) -> String {
+    let main = match model {
+        Model::Serial => {
+            "fn main() -> int {
+                ft_tables();
+                ft_fill(0, 8);
+                ft_fwd(0, 8);
+                ft_inv(0, 8);
+                ft_check(0, 8);
+                ft_report();
+                return 0;
+            }"
+        }
+        Model::Omp => {
+            "fn main() -> int {
+                ft_tables();
+                omp_parallel_for(fn_addr(ft_fill), 0, 8);
+                omp_parallel_for(fn_addr(ft_fwd), 0, 8);
+                omp_parallel_for(fn_addr(ft_inv), 0, 8);
+                omp_parallel_for(fn_addr(ft_check), 0, 8);
+                ft_report();
+                return 0;
+            }"
+        }
+        Model::Mpi => {
+            // Each rank transforms its rows, ships the spectrum around
+            // the ring (the all-to-all stand-in), inverse-transforms the
+            // received block and returns it to its owner for the check.
+            "fn main() -> int {
+                let int r = mpi_rank();
+                let int n = mpi_size();
+                let int per = 8 / n;
+                let int lo = r * per;
+                let int next = (r + 1) % n;
+                let int prev = (r + n - 1) % n;
+                let int plo = prev * per;
+                ft_tables();
+                ft_fill(lo, lo + per);
+                ft_fwd(lo, lo + per);
+                mpi_send_bytes(addr_of(ft_re) + lo * 64 * 8, per * 64 * 8, next, 61);
+                mpi_send_bytes(addr_of(ft_im) + lo * 64 * 8, per * 64 * 8, next, 62);
+                mpi_recv_bytes(addr_of(ft_re) + plo * 64 * 8, per * 64 * 8, prev, 61);
+                mpi_recv_bytes(addr_of(ft_im) + plo * 64 * 8, per * 64 * 8, prev, 62);
+                ft_inv(plo, plo + per);
+                mpi_send_bytes(addr_of(ft_re) + plo * 64 * 8, per * 64 * 8, prev, 63);
+                mpi_send_bytes(addr_of(ft_im) + plo * 64 * 8, per * 64 * 8, prev, 64);
+                mpi_recv_bytes(addr_of(ft_re) + lo * 64 * 8, per * 64 * 8, next, 63);
+                mpi_recv_bytes(addr_of(ft_im) + lo * 64 * 8, per * 64 * 8, next, 64);
+                ft_check(lo, lo + per);
+                ft_err = mpi_allreduce_max_f(ft_err);
+                if (r == 0) { ft_report(); }
+                mpi_barrier();
+                return 0;
+            }"
+        }
+    };
+    format!("{FT_COMMON}\n{main}")
+}

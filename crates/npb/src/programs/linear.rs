@@ -1,0 +1,425 @@
+//! CG and MG — the linear-algebra kernels.
+
+use crate::Model;
+
+/// CG: conjugate gradient on a pentadiagonal SPD operator, n = 128,
+/// 10 iterations (FP + dot products; the per-iteration reductions are
+/// the parallel-API exposure).
+///
+/// Interior element `i` (0..128) lives at array slot `i + 2`; two
+/// zero-padding slots on each side absorb the stencil ends.
+const CG_COMMON: &str = "
+global float cg_x[132];
+global float cg_r[132];
+global float cg_p[132];
+global float cg_q[132];
+global float cg_dot;
+global float cg_rho0;
+global float cg_rho;
+global float cg_alpha;
+global float cg_beta;
+
+fn cg_init(int lo, int hi) {
+    let int i = 0;
+    for (i = lo; i < hi; i = i + 1) {
+        cg_x[i + 2] = 0.0;
+        cg_r[i + 2] = 1.0;
+        cg_p[i + 2] = 1.0;
+    }
+}
+
+fn cg_matvec(int lo, int hi) {
+    let int i = 0;
+    for (i = lo; i < hi; i = i + 1) {
+        cg_q[i + 2] = 4.0 * cg_p[i + 2]
+            - cg_p[i + 1] - cg_p[i + 3]
+            - 0.3 * cg_p[i] - 0.3 * cg_p[i + 4];
+    }
+}
+
+fn cg_dot_pq(int lo, int hi) {
+    let int i = 0;
+    let float s = 0.0;
+    for (i = lo; i < hi; i = i + 1) { s = s + cg_p[i + 2] * cg_q[i + 2]; }
+    omp_critical_enter(5);
+    cg_dot = cg_dot + s;
+    omp_critical_exit(5);
+}
+
+fn cg_dot_rr(int lo, int hi) {
+    let int i = 0;
+    let float s = 0.0;
+    for (i = lo; i < hi; i = i + 1) { s = s + cg_r[i + 2] * cg_r[i + 2]; }
+    omp_critical_enter(6);
+    cg_dot = cg_dot + s;
+    omp_critical_exit(6);
+}
+
+fn cg_update_xr(int lo, int hi) {
+    let int i = 0;
+    for (i = lo; i < hi; i = i + 1) {
+        cg_x[i + 2] = cg_x[i + 2] + cg_alpha * cg_p[i + 2];
+        cg_r[i + 2] = cg_r[i + 2] - cg_alpha * cg_q[i + 2];
+    }
+}
+
+fn cg_update_p(int lo, int hi) {
+    let int i = 0;
+    for (i = lo; i < hi; i = i + 1) {
+        cg_p[i + 2] = cg_r[i + 2] + cg_beta * cg_p[i + 2];
+    }
+}
+
+fn cg_report() {
+    print_str(\"CG rho0=\");
+    print_float(cg_rho0);
+    print_str(\" rho=\");
+    print_float(cg_rho);
+    print_str(\" VERIFIED \");
+    if (cg_rho < cg_rho0 * 0.05 && cg_rho >= 0.0) { print_int(1); } else { print_int(0); }
+    print_char(10);
+}
+";
+
+pub fn cg(model: Model) -> String {
+    let main = match model {
+        Model::Serial => {
+            "fn main() -> int {
+                let int it = 0;
+                let float rho_old = 0.0;
+                cg_init(0, 128);
+                cg_dot = 0.0;
+                cg_dot_rr(0, 128);
+                cg_rho = cg_dot;
+                cg_rho0 = cg_rho;
+                for (it = 0; it < 10; it = it + 1) {
+                    cg_matvec(0, 128);
+                    cg_dot = 0.0;
+                    cg_dot_pq(0, 128);
+                    cg_alpha = cg_rho / cg_dot;
+                    cg_update_xr(0, 128);
+                    rho_old = cg_rho;
+                    cg_dot = 0.0;
+                    cg_dot_rr(0, 128);
+                    cg_rho = cg_dot;
+                    cg_beta = cg_rho / rho_old;
+                    cg_update_p(0, 128);
+                }
+                cg_report();
+                return 0;
+            }"
+        }
+        Model::Omp => {
+            "fn main() -> int {
+                let int it = 0;
+                let float rho_old = 0.0;
+                omp_parallel_for(fn_addr(cg_init), 0, 128);
+                cg_dot = 0.0;
+                omp_parallel_for(fn_addr(cg_dot_rr), 0, 128);
+                cg_rho = cg_dot;
+                cg_rho0 = cg_rho;
+                for (it = 0; it < 10; it = it + 1) {
+                    omp_parallel_for(fn_addr(cg_matvec), 0, 128);
+                    cg_dot = 0.0;
+                    omp_parallel_for(fn_addr(cg_dot_pq), 0, 128);
+                    cg_alpha = cg_rho / cg_dot;
+                    omp_parallel_for(fn_addr(cg_update_xr), 0, 128);
+                    rho_old = cg_rho;
+                    cg_dot = 0.0;
+                    omp_parallel_for(fn_addr(cg_dot_rr), 0, 128);
+                    cg_rho = cg_dot;
+                    cg_beta = cg_rho / rho_old;
+                    omp_parallel_for(fn_addr(cg_update_p), 0, 128);
+                }
+                cg_report();
+                return 0;
+            }"
+        }
+        Model::Mpi => {
+            "global int cg_lo;
+            global int cg_hi;
+
+            fn cg_halo() {
+                let int r = mpi_rank();
+                let int n = mpi_size();
+                if (r > 0) {
+                    mpi_send_bytes(addr_of(cg_p) + (cg_lo + 2) * 8, 16, r - 1, 31);
+                }
+                if (r < n - 1) {
+                    mpi_send_bytes(addr_of(cg_p) + cg_hi * 8, 16, r + 1, 32);
+                    mpi_recv_bytes(addr_of(cg_p) + (cg_hi + 2) * 8, 16, r + 1, 31);
+                }
+                if (r > 0) {
+                    mpi_recv_bytes(addr_of(cg_p) + cg_lo * 8, 16, r - 1, 32);
+                }
+            }
+
+            fn main() -> int {
+                let int r = mpi_rank();
+                let int n = mpi_size();
+                let int it = 0;
+                let float rho_old = 0.0;
+                let int per = 128 / n;
+                cg_lo = r * per;
+                cg_hi = cg_lo + per;
+                if (r == n - 1) { cg_hi = 128; }
+                cg_init(cg_lo, cg_hi);
+                cg_dot = 0.0;
+                cg_dot_rr(cg_lo, cg_hi);
+                cg_rho = mpi_allreduce_sum_f(cg_dot);
+                cg_rho0 = cg_rho;
+                for (it = 0; it < 10; it = it + 1) {
+                    cg_halo();
+                    cg_matvec(cg_lo, cg_hi);
+                    cg_dot = 0.0;
+                    cg_dot_pq(cg_lo, cg_hi);
+                    cg_alpha = cg_rho / mpi_allreduce_sum_f(cg_dot);
+                    cg_update_xr(cg_lo, cg_hi);
+                    rho_old = cg_rho;
+                    cg_dot = 0.0;
+                    cg_dot_rr(cg_lo, cg_hi);
+                    cg_rho = mpi_allreduce_sum_f(cg_dot);
+                    cg_beta = cg_rho / rho_old;
+                    cg_update_p(cg_lo, cg_hi);
+                }
+                if (r == 0) { cg_report(); }
+                mpi_barrier();
+                return 0;
+            }"
+        }
+    };
+    format!("{CG_COMMON}\n{main}")
+}
+
+/// MG: 1-D multigrid V-cycles on a 128-point Poisson problem with one
+/// coarse level (memory-transaction heavy — the paper's Table 3 subject).
+///
+/// Fine interior points are 1..=128 (slots 0 and 129 are boundary pads);
+/// coarse interior points are 1..=64. Chunk functions take interior
+/// ranges `[lo, hi)` in 0-based interior coordinates.
+const MG_COMMON: &str = "
+global float mg_u[130];
+global float mg_f[130];
+global float mg_r[130];
+global float mg_uc[66];
+global float mg_rc[66];
+global float mg_norm;
+
+fn mg_init(int lo, int hi) {
+    let int i = 0;
+    for (i = lo; i < hi; i = i + 1) {
+        mg_u[i + 1] = 0.0;
+        mg_f[i + 1] = float((i * 37) % 19) / 19.0 - 0.5;
+    }
+}
+
+fn mg_smooth(int lo, int hi) {
+    let int i = 0;
+    for (i = lo; i < hi; i = i + 1) {
+        mg_u[i + 1] = 0.5 * (mg_u[i] + mg_u[i + 2] + mg_f[i + 1]);
+    }
+}
+
+fn mg_resid(int lo, int hi) {
+    let int i = 0;
+    for (i = lo; i < hi; i = i + 1) {
+        mg_r[i + 1] = mg_f[i + 1] - 2.0 * mg_u[i + 1] + mg_u[i] + mg_u[i + 2];
+    }
+}
+
+fn mg_restrict(int lo, int hi) {
+    let int i = 0;
+    let int c = 0;
+    for (i = lo; i < hi; i = i + 1) {
+        c = i + 1;
+        mg_rc[c] = 0.25 * (mg_r[2 * c - 1] + 2.0 * mg_r[2 * c] + mg_r[2 * c + 1]);
+    }
+}
+
+fn mg_zero_coarse(int lo, int hi) {
+    let int i = 0;
+    for (i = lo; i < hi; i = i + 1) { mg_uc[i + 1] = 0.0; }
+}
+
+fn mg_smooth_coarse(int lo, int hi) {
+    let int i = 0;
+    for (i = lo; i < hi; i = i + 1) {
+        mg_uc[i + 1] = 0.5 * (mg_uc[i] + mg_uc[i + 2] + mg_rc[i + 1]);
+    }
+}
+
+fn mg_prolong(int lo, int hi) {
+    let int i = 0;
+    let int c = 0;
+    for (i = lo; i < hi; i = i + 1) {
+        c = i + 1;
+        mg_u[2 * c] = mg_u[2 * c] + mg_uc[c];
+        mg_u[2 * c - 1] = mg_u[2 * c - 1] + 0.5 * (mg_uc[c] + mg_uc[c - 1]);
+    }
+}
+
+fn mg_normf(int lo, int hi) {
+    let int i = 0;
+    let float s = 0.0;
+    for (i = lo; i < hi; i = i + 1) { s = s + mg_r[i + 1] * mg_r[i + 1]; }
+    omp_critical_enter(7);
+    mg_norm = mg_norm + s;
+    omp_critical_exit(7);
+}
+
+fn mg_report(float norm0, float norm1) {
+    print_str(\"MG r0=\");
+    print_float(norm0);
+    print_str(\" r1=\");
+    print_float(norm1);
+    print_str(\" VERIFIED \");
+    if (norm1 < norm0 * 0.5 && norm1 >= 0.0) { print_int(1); } else { print_int(0); }
+    print_char(10);
+}
+";
+
+pub fn mg(model: Model) -> String {
+    let main = match model {
+        Model::Serial => {
+            "fn main() -> int {
+                let int cycle = 0;
+                let int s = 0;
+                let float norm0 = 0.0;
+                mg_init(0, 128);
+                mg_resid(0, 128);
+                mg_norm = 0.0;
+                mg_normf(0, 128);
+                norm0 = mg_norm;
+                for (cycle = 0; cycle < 4; cycle = cycle + 1) {
+                    mg_smooth(0, 128);
+                    mg_smooth(0, 128);
+                    mg_resid(0, 128);
+                    mg_restrict(0, 64);
+                    mg_zero_coarse(0, 64);
+                    for (s = 0; s < 4; s = s + 1) { mg_smooth_coarse(0, 64); }
+                    mg_prolong(0, 64);
+                    mg_smooth(0, 128);
+                }
+                mg_resid(0, 128);
+                mg_norm = 0.0;
+                mg_normf(0, 128);
+                mg_report(norm0, mg_norm);
+                return 0;
+            }"
+        }
+        Model::Omp => {
+            "fn main() -> int {
+                let int cycle = 0;
+                let int s = 0;
+                let float norm0 = 0.0;
+                omp_parallel_for(fn_addr(mg_init), 0, 128);
+                omp_parallel_for(fn_addr(mg_resid), 0, 128);
+                mg_norm = 0.0;
+                omp_parallel_for(fn_addr(mg_normf), 0, 128);
+                norm0 = mg_norm;
+                for (cycle = 0; cycle < 4; cycle = cycle + 1) {
+                    omp_parallel_for(fn_addr(mg_smooth), 0, 128);
+                    omp_parallel_for(fn_addr(mg_smooth), 0, 128);
+                    omp_parallel_for(fn_addr(mg_resid), 0, 128);
+                    omp_parallel_for(fn_addr(mg_restrict), 0, 64);
+                    omp_parallel_for(fn_addr(mg_zero_coarse), 0, 64);
+                    for (s = 0; s < 4; s = s + 1) { mg_smooth_coarse(0, 64); }
+                    omp_parallel_for(fn_addr(mg_prolong), 0, 64);
+                    omp_parallel_for(fn_addr(mg_smooth), 0, 128);
+                }
+                omp_parallel_for(fn_addr(mg_resid), 0, 128);
+                mg_norm = 0.0;
+                omp_parallel_for(fn_addr(mg_normf), 0, 128);
+                mg_report(norm0, mg_norm);
+                return 0;
+            }"
+        }
+        Model::Mpi => {
+            // Fine-level work is rank-decomposed with one-element halo
+            // exchanges; the coarse level runs on rank 0 (gather residual,
+            // coarse-smooth, broadcast the correction).
+            "global int mg_lo;
+            global int mg_hi;
+            global float mg_rtmp[130];
+
+            fn mg_halo_u() {
+                let int r = mpi_rank();
+                let int n = mpi_size();
+                if (r > 0) {
+                    mpi_send_bytes(addr_of(mg_u) + (mg_lo + 1) * 8, 8, r - 1, 33);
+                }
+                if (r < n - 1) {
+                    mpi_send_bytes(addr_of(mg_u) + mg_hi * 8, 8, r + 1, 34);
+                    mpi_recv_bytes(addr_of(mg_u) + (mg_hi + 1) * 8, 8, r + 1, 33);
+                }
+                if (r > 0) {
+                    mpi_recv_bytes(addr_of(mg_u) + mg_lo * 8, 8, r - 1, 34);
+                }
+            }
+
+            fn mg_coarse_on_root() {
+                let int r = mpi_rank();
+                let int n = mpi_size();
+                let int src = 0;
+                let int i = 0;
+                let int s = 0;
+                let int per = 128 / n;
+                if (r == 0) {
+                    for (src = 1; src < n; src = src + 1) {
+                        mpi_recv_bytes(addr_of(mg_rtmp), 130 * 8, src, 35);
+                        for (i = src * per; i < src * per + per; i = i + 1) {
+                            mg_r[i + 1] = mg_rtmp[i + 1];
+                        }
+                    }
+                    mg_restrict(0, 64);
+                    mg_zero_coarse(0, 64);
+                    for (s = 0; s < 4; s = s + 1) { mg_smooth_coarse(0, 64); }
+                    for (src = 1; src < n; src = src + 1) {
+                        mpi_send_bytes(addr_of(mg_uc), 66 * 8, src, 36);
+                    }
+                } else {
+                    mpi_send_bytes(addr_of(mg_r), 130 * 8, 0, 35);
+                    mpi_recv_bytes(addr_of(mg_uc), 66 * 8, 0, 36);
+                }
+            }
+
+            fn main() -> int {
+                let int r = mpi_rank();
+                let int n = mpi_size();
+                let int cycle = 0;
+                let float norm0 = 0.0;
+                let int per = 128 / n;
+                mg_lo = r * per;
+                mg_hi = mg_lo + per;
+                if (r == n - 1) { mg_hi = 128; }
+                mg_init(mg_lo, mg_hi);
+                mg_halo_u();
+                mg_resid(mg_lo, mg_hi);
+                mg_norm = 0.0;
+                mg_normf(mg_lo, mg_hi);
+                norm0 = mpi_allreduce_sum_f(mg_norm);
+                for (cycle = 0; cycle < 4; cycle = cycle + 1) {
+                    mg_halo_u();
+                    mg_smooth(mg_lo, mg_hi);
+                    mg_halo_u();
+                    mg_smooth(mg_lo, mg_hi);
+                    mg_halo_u();
+                    mg_resid(mg_lo, mg_hi);
+                    mg_coarse_on_root();
+                    mg_prolong(mg_lo / 2, mg_hi / 2);
+                    mg_halo_u();
+                    mg_smooth(mg_lo, mg_hi);
+                }
+                mg_halo_u();
+                mg_resid(mg_lo, mg_hi);
+                mg_norm = 0.0;
+                mg_normf(mg_lo, mg_hi);
+                mg_norm = mpi_allreduce_sum_f(mg_norm);
+                if (r == 0) { mg_report(norm0, mg_norm); }
+                mpi_barrier();
+                return 0;
+            }"
+        }
+    };
+    format!("{MG_COMMON}\n{main}")
+}

@@ -1,0 +1,40 @@
+//! FL sources for the eleven NPB-T applications.
+//!
+//! Each application module exposes a `COMMON` fragment (globals plus the
+//! computational kernels, written once) and per-model `main` drivers;
+//! [`source`] assembles the scenario's program. This mirrors how the
+//! real NPB ships separate serial/OMP/MPI implementations of one
+//! algorithm.
+
+mod ft;
+mod linear;
+mod simple;
+mod solvers;
+
+use crate::{App, Model};
+
+/// The FL source for an (application, model) variant.
+///
+/// # Panics
+///
+/// Panics when the variant does not exist in the suite; use
+/// [`crate::has_variant`] to check first.
+pub fn source(app: App, model: Model) -> String {
+    assert!(
+        crate::has_variant(app, model),
+        "{app} has no {model} variant"
+    );
+    match app {
+        App::Ep => simple::ep(model),
+        App::Is => simple::is(model),
+        App::Dc => simple::dc(model),
+        App::Ua => simple::ua(model),
+        App::Dt => simple::dt(),
+        App::Cg => linear::cg(model),
+        App::Mg => linear::mg(model),
+        App::Lu => solvers::lu(model),
+        App::Sp => solvers::sp(model),
+        App::Bt => solvers::bt(model),
+        App::Ft => ft::ft(model),
+    }
+}

@@ -1,0 +1,471 @@
+//! EP, IS, DC, UA and DT — the integer-leaning and irregular kernels.
+
+use crate::Model;
+
+/// EP: embarrassingly parallel pseudo-random pair rejection with a
+/// magnitude histogram (FP-heavy, `sqrt` per accepted pair — the
+/// softfloat blow-up driver on SIRA-32).
+const EP_COMMON: &str = "
+global int ep_bins[10];
+global float ep_sx;
+global float ep_sy;
+global int ep_accept;
+
+fn ep_chunk(int lo, int hi) {
+    let int k = 0;
+    let int seed = (lo * 2531 + 11) % 65537;
+    let float x = 0.0;
+    let float y = 0.0;
+    let float t = 0.0;
+    let float m = 0.0;
+    let float lsx = 0.0;
+    let float lsy = 0.0;
+    let int lacc = 0;
+    let int b = 0;
+    for (k = lo; k < hi; k = k + 1) {
+        seed = (seed * 75 + 74) % 65537;
+        x = float(seed) / 65537.0 * 2.0 - 1.0;
+        seed = (seed * 75 + 74) % 65537;
+        y = float(seed) / 65537.0 * 2.0 - 1.0;
+        t = x * x + y * y;
+        if (t <= 1.0) {
+            m = sqrt(t);
+            lacc = lacc + 1;
+            lsx = lsx + x * m;
+            lsy = lsy + y * m;
+            b = int(m * 10.0);
+            if (b > 9) { b = 9; }
+            omp_critical_enter(3);
+            ep_bins[b] = ep_bins[b] + 1;
+            omp_critical_exit(3);
+        }
+    }
+    omp_critical_enter(4);
+    ep_sx = ep_sx + lsx;
+    ep_sy = ep_sy + lsy;
+    ep_accept = ep_accept + lacc;
+    omp_critical_exit(4);
+}
+
+fn ep_report() {
+    let int k = 0;
+    let int tot = 0;
+    print_str(\"EP sx=\");
+    print_float(ep_sx);
+    print_str(\" sy=\");
+    print_float(ep_sy);
+    print_str(\" acc=\");
+    print_int(ep_accept);
+    for (k = 0; k < 10; k = k + 1) {
+        print_char(32);
+        print_int(ep_bins[k]);
+        tot = tot + ep_bins[k];
+    }
+    print_str(\" VERIFIED \");
+    if (tot == ep_accept && ep_accept > 0) { print_int(1); } else { print_int(0); }
+    print_char(10);
+}
+";
+
+pub fn ep(model: Model) -> String {
+    let main = match model {
+        Model::Serial => {
+            "fn main() -> int { ep_chunk(0, 1024); ep_report(); return 0; }"
+        }
+        Model::Omp => {
+            "fn main() -> int {
+                omp_parallel_for(fn_addr(ep_chunk), 0, 1024);
+                ep_report();
+                return 0;
+            }"
+        }
+        Model::Mpi => {
+            "fn main() -> int {
+                let int r = mpi_rank();
+                let int n = mpi_size();
+                let int per = 1024 / n;
+                let int lo = r * per;
+                let int hi = lo + per;
+                let int k = 0;
+                if (r == n - 1) { hi = 1024; }
+                ep_chunk(lo, hi);
+                ep_sx = mpi_reduce_sum_f(ep_sx);
+                ep_sy = mpi_reduce_sum_f(ep_sy);
+                ep_accept = mpi_reduce_sum_i(ep_accept);
+                for (k = 0; k < 10; k = k + 1) {
+                    ep_bins[k] = mpi_reduce_sum_i(ep_bins[k]);
+                }
+                if (r == 0) { ep_report(); }
+                mpi_barrier();
+                return 0;
+            }"
+        }
+    };
+    format!("{EP_COMMON}\n{main}")
+}
+
+/// IS: integer bucket sort — key generation, histogram, prefix scan and
+/// rank verification (integer/memory bound; the paper's Table 2 case
+/// study).
+const IS_COMMON: &str = "
+global int is_key[4096];
+global int is_hist[512];
+global int is_cum[512];
+global int is_err;
+
+fn is_fill(int lo, int hi) {
+    let int k = 0;
+    let int seed = (lo * 313 + 29) % 65537;
+    for (k = lo; k < hi; k = k + 1) {
+        seed = (seed * 75 + 74) % 65537;
+        is_key[k] = seed % 512;
+    }
+}
+
+fn is_count(int lo, int hi) {
+    let int k = 0;
+    for (k = lo; k < hi; k = k + 1) {
+        is_hist[is_key[k]] = is_hist[is_key[k]] + 1;
+    }
+}
+
+fn is_prefix() {
+    let int b = 0;
+    let int run = 0;
+    for (b = 0; b < 512; b = b + 1) {
+        run = run + is_hist[b];
+        is_cum[b] = run;
+    }
+}
+
+fn is_verify(int lo, int hi) {
+    let int k = 0;
+    let int errs = 0;
+    let int key = 0;
+    let int pos = 0;
+    for (k = lo; k < hi; k = k + 1) {
+        key = is_key[k];
+        pos = is_cum[key];
+        if (pos < 1 || pos > 4096) { errs = errs + 1; }
+        if (key > 0) {
+            if (is_cum[key - 1] > pos) { errs = errs + 1; }
+        }
+    }
+    omp_critical_enter(2);
+    is_err = is_err + errs;
+    omp_critical_exit(2);
+}
+
+fn is_report() {
+    let int chk = 0;
+    let int b = 0;
+    for (b = 0; b < 512; b = b + 1) { chk = chk + b * is_hist[b]; }
+    print_str(\"IS chk=\");
+    print_int(chk);
+    print_str(\" VERIFIED \");
+    if (is_err == 0 && is_cum[511] == 4096) { print_int(1); } else { print_int(0); }
+    print_char(10);
+}
+";
+
+pub fn is(model: Model) -> String {
+    let main = match model {
+        Model::Serial => {
+            "fn main() -> int {
+                is_fill(0, 4096);
+                is_count(0, 4096);
+                is_prefix();
+                is_verify(0, 4096);
+                is_report();
+                return 0;
+            }"
+        }
+        Model::Omp => {
+            // Fill and verify parallelise; the histogram and scan stay on
+            // the master (NPB-IS uses private histograms; the serialised
+            // count is our shared-array substitute).
+            "fn main() -> int {
+                omp_parallel_for(fn_addr(is_fill), 0, 4096);
+                is_count(0, 4096);
+                is_prefix();
+                omp_parallel_for(fn_addr(is_verify), 0, 4096);
+                is_report();
+                return 0;
+            }"
+        }
+        Model::Mpi => {
+            "global int is_tmp[512];
+            fn main() -> int {
+                let int r = mpi_rank();
+                let int n = mpi_size();
+                let int per = 4096 / n;
+                let int lo = r * per;
+                let int hi = lo + per;
+                let int i = 0;
+                let int src = 0;
+                if (r == n - 1) { hi = 4096; }
+                is_fill(lo, hi);
+                is_count(lo, hi);
+                if (r == 0) {
+                    for (src = 1; src < n; src = src + 1) {
+                        mpi_recv_bytes(addr_of(is_tmp), 512 * sizeof_int(), src, 21);
+                        for (i = 0; i < 512; i = i + 1) {
+                            is_hist[i] = is_hist[i] + is_tmp[i];
+                        }
+                    }
+                    is_prefix();
+                    for (src = 1; src < n; src = src + 1) {
+                        mpi_send_bytes(addr_of(is_cum), 512 * sizeof_int(), src, 22);
+                    }
+                } else {
+                    mpi_send_bytes(addr_of(is_hist), 512 * sizeof_int(), 0, 21);
+                    mpi_recv_bytes(addr_of(is_cum), 512 * sizeof_int(), 0, 22);
+                }
+                is_verify(lo, hi);
+                is_err = mpi_reduce_sum_i(is_err);
+                if (r == 0) { is_report(); }
+                mpi_barrier();
+                return 0;
+            }"
+        }
+    };
+    format!("{IS_COMMON}\n{main}")
+}
+
+/// DC: data-cube group-by aggregation over synthetic records (integer
+/// and memory bound; serial + OMP only, like NPB).
+const DC_COMMON: &str = "
+global int dc_d0[4096];
+global int dc_d1[4096];
+global int dc_d2[4096];
+global int dc_m[4096];
+global int dc_agg0[8];
+global int dc_agg1[16];
+global int dc_agg2[32];
+global int dc_agg01[128];
+global int dc_total;
+
+fn dc_fill(int lo, int hi) {
+    let int k = 0;
+    let int seed = (lo * 97 + 3) % 65537;
+    for (k = lo; k < hi; k = k + 1) {
+        seed = (seed * 75 + 74) % 65537;
+        dc_d0[k] = seed % 8;
+        seed = (seed * 75 + 74) % 65537;
+        dc_d1[k] = seed % 16;
+        seed = (seed * 75 + 74) % 65537;
+        dc_d2[k] = seed % 32;
+        seed = (seed * 75 + 74) % 65537;
+        dc_m[k] = seed % 1000;
+    }
+}
+
+fn dc_cube() {
+    let int k = 0;
+    let int v = 0;
+    for (k = 0; k < 4096; k = k + 1) {
+        v = dc_m[k];
+        dc_agg0[dc_d0[k]] = dc_agg0[dc_d0[k]] + v;
+        dc_agg1[dc_d1[k]] = dc_agg1[dc_d1[k]] + v;
+        dc_agg2[dc_d2[k]] = dc_agg2[dc_d2[k]] + v;
+        dc_agg01[dc_d0[k] * 16 + dc_d1[k]] = dc_agg01[dc_d0[k] * 16 + dc_d1[k]] + v;
+    }
+}
+
+fn dc_sum(int lo, int hi) {
+    let int k = 0;
+    let int s = 0;
+    for (k = lo; k < hi; k = k + 1) { s = s + dc_m[k]; }
+    omp_critical_enter(2);
+    dc_total = dc_total + s;
+    omp_critical_exit(2);
+}
+
+fn dc_report() {
+    let int i = 0;
+    let int t0 = 0;
+    let int t1 = 0;
+    let int t2 = 0;
+    let int t01 = 0;
+    for (i = 0; i < 8; i = i + 1) { t0 = t0 + dc_agg0[i]; }
+    for (i = 0; i < 16; i = i + 1) { t1 = t1 + dc_agg1[i]; }
+    for (i = 0; i < 32; i = i + 1) { t2 = t2 + dc_agg2[i]; }
+    for (i = 0; i < 128; i = i + 1) { t01 = t01 + dc_agg01[i]; }
+    print_str(\"DC total=\");
+    print_int(dc_total);
+    print_str(\" VERIFIED \");
+    if (t0 == dc_total && t1 == dc_total && t2 == dc_total && t01 == dc_total) {
+        print_int(1);
+    } else {
+        print_int(0);
+    }
+    print_char(10);
+}
+";
+
+pub fn dc(model: Model) -> String {
+    let main = match model {
+        Model::Serial => {
+            "fn main() -> int {
+                dc_fill(0, 4096);
+                dc_cube();
+                dc_sum(0, 4096);
+                dc_report();
+                return 0;
+            }"
+        }
+        Model::Omp => {
+            "fn main() -> int {
+                omp_parallel_for(fn_addr(dc_fill), 0, 4096);
+                dc_cube();
+                omp_parallel_for(fn_addr(dc_sum), 0, 4096);
+                dc_report();
+                return 0;
+            }"
+        }
+        Model::Mpi => unreachable!("DC has no MPI variant"),
+    };
+    format!("{DC_COMMON}\n{main}")
+}
+
+/// UA: unstructured adaptive smoothing — indirect neighbour loads with
+/// periodic re-meshing (irregular memory; serial + OMP only).
+const UA_COMMON: &str = "
+global float ua_v[512];
+global float ua_w[512];
+global int ua_nb[512];
+global float ua_norm;
+
+fn ua_mesh(int gen) {
+    let int i = 0;
+    let int a = 0;
+    a = 2 * gen + 129;
+    for (i = 0; i < 512; i = i + 1) {
+        ua_nb[i] = (i * a + gen * 7 + 1) % 512;
+    }
+}
+
+fn ua_init(int lo, int hi) {
+    let int i = 0;
+    for (i = lo; i < hi; i = i + 1) {
+        ua_v[i] = float((i * 37) % 100) / 100.0;
+    }
+}
+
+fn ua_smooth(int lo, int hi) {
+    let int i = 0;
+    for (i = lo; i < hi; i = i + 1) {
+        ua_w[i] = 0.7 * ua_v[i] + 0.3 * ua_v[ua_nb[i]];
+    }
+}
+
+fn ua_copy(int lo, int hi) {
+    let int i = 0;
+    for (i = lo; i < hi; i = i + 1) { ua_v[i] = ua_w[i]; }
+}
+
+fn ua_normf(int lo, int hi) {
+    let int i = 0;
+    let float s = 0.0;
+    for (i = lo; i < hi; i = i + 1) { s = s + ua_v[i] * ua_v[i]; }
+    omp_critical_enter(2);
+    ua_norm = ua_norm + s;
+    omp_critical_exit(2);
+}
+
+fn ua_report() {
+    print_str(\"UA norm=\");
+    print_float(ua_norm);
+    print_str(\" VERIFIED \");
+    if (ua_norm > 0.0 && ua_norm < 512.0) { print_int(1); } else { print_int(0); }
+    print_char(10);
+}
+";
+
+pub fn ua(model: Model) -> String {
+    let main = match model {
+        Model::Serial => {
+            "fn main() -> int {
+                let int it = 0;
+                ua_init(0, 512);
+                for (it = 0; it < 9; it = it + 1) {
+                    if (it % 3 == 0) { ua_mesh(it); }
+                    ua_smooth(0, 512);
+                    ua_copy(0, 512);
+                }
+                ua_normf(0, 512);
+                ua_report();
+                return 0;
+            }"
+        }
+        Model::Omp => {
+            "fn main() -> int {
+                let int it = 0;
+                omp_parallel_for(fn_addr(ua_init), 0, 512);
+                for (it = 0; it < 9; it = it + 1) {
+                    if (it % 3 == 0) { ua_mesh(it); }
+                    omp_parallel_for(fn_addr(ua_smooth), 0, 512);
+                    omp_parallel_for(fn_addr(ua_copy), 0, 512);
+                }
+                omp_parallel_for(fn_addr(ua_normf), 0, 512);
+                ua_report();
+                return 0;
+            }"
+        }
+        Model::Mpi => unreachable!("UA has no MPI variant"),
+    };
+    format!("{UA_COMMON}\n{main}")
+}
+
+/// DT: dataflow block shuffle — each rank pushes blocks around a ring,
+/// combining checksums (communication dominated; MPI only).
+pub fn dt() -> String {
+    "
+global float dt_blk[256];
+global float dt_in[256];
+global float dt_sum;
+
+fn dt_gen(int rank) {
+    let int i = 0;
+    let int seed = (rank * 411 + 17) % 65537;
+    for (i = 0; i < 256; i = i + 1) {
+        seed = (seed * 75 + 74) % 65537;
+        dt_blk[i] = float(seed) / 65537.0;
+    }
+}
+
+fn dt_combine() {
+    let int i = 0;
+    for (i = 0; i < 256; i = i + 1) {
+        dt_blk[i] = 0.5 * dt_blk[i] + 0.5 * dt_in[i];
+        dt_sum = dt_sum + dt_in[i];
+    }
+}
+
+fn main() -> int {
+    let int r = mpi_rank();
+    let int n = mpi_size();
+    let int round = 0;
+    let int next = (r + 1) % n;
+    let int prev = (r + n - 1) % n;
+    let float total = 0.0;
+    dt_gen(r);
+    for (round = 0; round < 4; round = round + 1) {
+        mpi_send_bytes(addr_of(dt_blk), 256 * 8, next, 40 + round);
+        mpi_recv_bytes(addr_of(dt_in), 256 * 8, prev, 40 + round);
+        dt_combine();
+    }
+    total = mpi_reduce_sum_f(dt_sum);
+    if (r == 0) {
+        print_str(\"DT sum=\");
+        print_float(total);
+        print_str(\" VERIFIED \");
+        if (total > 0.0) { print_int(1); } else { print_int(0); }
+        print_char(10);
+    }
+    mpi_barrier();
+    return 0;
+}
+"
+    .to_string()
+}

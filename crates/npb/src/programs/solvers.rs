@@ -1,0 +1,550 @@
+//! LU, SP and BT — the structured-grid solver kernels.
+
+use crate::Model;
+
+/// LU: SSOR-style Gauss–Seidel sweeps (forward + reverse) on a 24×24
+/// 5-point Poisson grid (FP + memory; the paper's Table 4 subject).
+///
+/// Cell `(r, c)` with interior coordinates `0..24` lives at slot
+/// `(r + 1) * 26 + (c + 1)`; the one-cell pad ring stays zero.
+const LU_COMMON: &str = "
+global float lu_u[676];
+global float lu_f[676];
+global float lu_norm;
+
+fn lu_init(int lo, int hi) {
+    let int r = 0;
+    let int c = 0;
+    for (r = lo; r < hi; r = r + 1) {
+        for (c = 0; c < 24; c = c + 1) {
+            lu_u[(r + 1) * 26 + c + 1] = 0.0;
+            lu_f[(r + 1) * 26 + c + 1] = float(((r * 5 + c * 3) % 17)) / 17.0 - 0.4;
+        }
+    }
+}
+
+fn lu_sweep(int lo, int hi) {
+    let int r = 0;
+    let int c = 0;
+    let int k = 0;
+    for (r = lo; r < hi; r = r + 1) {
+        for (c = 0; c < 24; c = c + 1) {
+            k = (r + 1) * 26 + c + 1;
+            lu_u[k] = 0.25 * (lu_u[k - 26] + lu_u[k + 26] + lu_u[k - 1] + lu_u[k + 1] + lu_f[k]);
+        }
+    }
+}
+
+fn lu_sweep_rev(int lo, int hi) {
+    let int r = 0;
+    let int c = 0;
+    let int k = 0;
+    for (r = hi - 1; r >= lo; r = r - 1) {
+        for (c = 23; c >= 0; c = c - 1) {
+            k = (r + 1) * 26 + c + 1;
+            lu_u[k] = 0.25 * (lu_u[k - 26] + lu_u[k + 26] + lu_u[k - 1] + lu_u[k + 1] + lu_f[k]);
+        }
+    }
+}
+
+fn lu_resid(int lo, int hi) {
+    let int r = 0;
+    let int c = 0;
+    let int k = 0;
+    let float s = 0.0;
+    let float e = 0.0;
+    for (r = lo; r < hi; r = r + 1) {
+        for (c = 0; c < 24; c = c + 1) {
+            k = (r + 1) * 26 + c + 1;
+            e = lu_f[k] - 4.0 * lu_u[k] + lu_u[k - 26] + lu_u[k + 26] + lu_u[k - 1] + lu_u[k + 1];
+            s = s + e * e;
+        }
+    }
+    omp_critical_enter(8);
+    lu_norm = lu_norm + s;
+    omp_critical_exit(8);
+}
+
+fn lu_report(float norm0, float norm1) {
+    print_str(\"LU r0=\");
+    print_float(norm0);
+    print_str(\" r1=\");
+    print_float(norm1);
+    print_str(\" VERIFIED \");
+    if (norm1 < norm0 * 0.5 && norm1 >= 0.0) { print_int(1); } else { print_int(0); }
+    print_char(10);
+}
+";
+
+pub fn lu(model: Model) -> String {
+    let main = match model {
+        Model::Serial => {
+            "fn main() -> int {
+                let int it = 0;
+                let float norm0 = 0.0;
+                lu_init(0, 24);
+                lu_norm = 0.0;
+                lu_resid(0, 24);
+                norm0 = lu_norm;
+                for (it = 0; it < 8; it = it + 1) {
+                    lu_sweep(0, 24);
+                    lu_sweep_rev(0, 24);
+                }
+                lu_norm = 0.0;
+                lu_resid(0, 24);
+                lu_report(norm0, lu_norm);
+                return 0;
+            }"
+        }
+        Model::Omp => {
+            "fn main() -> int {
+                let int it = 0;
+                let float norm0 = 0.0;
+                omp_parallel_for(fn_addr(lu_init), 0, 24);
+                lu_norm = 0.0;
+                omp_parallel_for(fn_addr(lu_resid), 0, 24);
+                norm0 = lu_norm;
+                for (it = 0; it < 8; it = it + 1) {
+                    omp_parallel_for(fn_addr(lu_sweep), 0, 24);
+                    omp_parallel_for(fn_addr(lu_sweep_rev), 0, 24);
+                }
+                lu_norm = 0.0;
+                omp_parallel_for(fn_addr(lu_resid), 0, 24);
+                lu_report(norm0, lu_norm);
+                return 0;
+            }"
+        }
+        Model::Mpi => {
+            "global int lu_lo;
+            global int lu_hi;
+
+            fn lu_halo() {
+                let int r = mpi_rank();
+                let int n = mpi_size();
+                if (r > 0) {
+                    mpi_send_bytes(addr_of(lu_u) + ((lu_lo + 1) * 26) * 8, 26 * 8, r - 1, 51);
+                }
+                if (r < n - 1) {
+                    mpi_send_bytes(addr_of(lu_u) + (lu_hi * 26) * 8, 26 * 8, r + 1, 52);
+                    mpi_recv_bytes(addr_of(lu_u) + ((lu_hi + 1) * 26) * 8, 26 * 8, r + 1, 51);
+                }
+                if (r > 0) {
+                    mpi_recv_bytes(addr_of(lu_u) + (lu_lo * 26) * 8, 26 * 8, r - 1, 52);
+                }
+            }
+
+            fn main() -> int {
+                let int r = mpi_rank();
+                let int n = mpi_size();
+                let int it = 0;
+                let float norm0 = 0.0;
+                let int per = 24 / n;
+                lu_lo = r * per;
+                lu_hi = lu_lo + per;
+                if (r == n - 1) { lu_hi = 24; }
+                lu_init(lu_lo, lu_hi);
+                lu_halo();
+                lu_norm = 0.0;
+                lu_resid(lu_lo, lu_hi);
+                norm0 = mpi_allreduce_sum_f(lu_norm);
+                for (it = 0; it < 8; it = it + 1) {
+                    lu_halo();
+                    lu_sweep(lu_lo, lu_hi);
+                    lu_halo();
+                    lu_sweep_rev(lu_lo, lu_hi);
+                }
+                lu_halo();
+                lu_norm = 0.0;
+                lu_resid(lu_lo, lu_hi);
+                lu_norm = mpi_allreduce_sum_f(lu_norm);
+                if (r == 0) { lu_report(norm0, lu_norm); }
+                mpi_barrier();
+                return 0;
+            }"
+        }
+    };
+    format!("{LU_COMMON}\n{main}")
+}
+
+/// SP: scalar tridiagonal (Thomas) line solves along the rows of a
+/// 24×24 grid, re-coupled between iterations through the row neighbours
+/// (FP-dominated with per-row sequential recurrences).
+///
+/// `sp_u[r * 26 + c + 1]` holds cell `(r, c)`; each row owns a private
+/// slice of the `sp_cp`/`sp_dp` scratch arrays so row solves can run in
+/// parallel.
+const SP_COMMON: &str = "
+global float sp_u[624];
+global float sp_rhs[624];
+global float sp_cp[624];
+global float sp_dp[624];
+global float sp_sum;
+
+fn sp_init(int lo, int hi) {
+    let int r = 0;
+    let int c = 0;
+    for (r = lo; r < hi; r = r + 1) {
+        for (c = 0; c < 24; c = c + 1) {
+            sp_u[r * 26 + c + 1] = 0.0;
+            sp_rhs[r * 26 + c + 1] = float(((r * 7 + c) % 13)) / 13.0;
+        }
+    }
+}
+
+fn sp_couple(int lo, int hi) {
+    let int r = 0;
+    let int c = 0;
+    let int k = 0;
+    let float up = 0.0;
+    let float dn = 0.0;
+    for (r = lo; r < hi; r = r + 1) {
+        for (c = 0; c < 24; c = c + 1) {
+            k = r * 26 + c + 1;
+            up = 0.0;
+            dn = 0.0;
+            if (r > 0) { up = sp_u[k - 26]; }
+            if (r < 23) { dn = sp_u[k + 26]; }
+            sp_rhs[k] = float(((r * 7 + c) % 13)) / 13.0 + 0.25 * (up + dn);
+        }
+    }
+}
+
+fn sp_solve(int lo, int hi) {
+    let int r = 0;
+    let int c = 0;
+    let int k = 0;
+    let float m = 0.0;
+    for (r = lo; r < hi; r = r + 1) {
+        k = r * 26 + 1;
+        sp_cp[k] = -1.0 / 2.5;
+        sp_dp[k] = sp_rhs[k] / 2.5;
+        for (c = 1; c < 24; c = c + 1) {
+            k = r * 26 + c + 1;
+            m = 2.5 - (-1.0) * sp_cp[k - 1];
+            sp_cp[k] = -1.0 / m;
+            sp_dp[k] = (sp_rhs[k] - (-1.0) * sp_dp[k - 1]) / m;
+        }
+        k = r * 26 + 24;
+        sp_u[k] = sp_dp[k];
+        for (c = 22; c >= 0; c = c - 1) {
+            k = r * 26 + c + 1;
+            sp_u[k] = sp_dp[k] - sp_cp[k] * sp_u[k + 1];
+        }
+    }
+}
+
+fn sp_sumf(int lo, int hi) {
+    let int r = 0;
+    let int c = 0;
+    let float s = 0.0;
+    for (r = lo; r < hi; r = r + 1) {
+        for (c = 0; c < 24; c = c + 1) {
+            s = s + fabs(sp_u[r * 26 + c + 1]);
+        }
+    }
+    omp_critical_enter(9);
+    sp_sum = sp_sum + s;
+    omp_critical_exit(9);
+}
+
+fn sp_report() {
+    print_str(\"SP sum=\");
+    print_float(sp_sum);
+    print_str(\" VERIFIED \");
+    if (sp_sum > 1.0 && sp_sum < 10000.0) { print_int(1); } else { print_int(0); }
+    print_char(10);
+}
+";
+
+pub fn sp(model: Model) -> String {
+    let main = match model {
+        Model::Serial => {
+            "fn main() -> int {
+                let int it = 0;
+                sp_init(0, 24);
+                for (it = 0; it < 6; it = it + 1) {
+                    sp_couple(0, 24);
+                    sp_solve(0, 24);
+                }
+                sp_sum = 0.0;
+                sp_sumf(0, 24);
+                sp_report();
+                return 0;
+            }"
+        }
+        Model::Omp => {
+            "fn main() -> int {
+                let int it = 0;
+                omp_parallel_for(fn_addr(sp_init), 0, 24);
+                for (it = 0; it < 6; it = it + 1) {
+                    omp_parallel_for(fn_addr(sp_couple), 0, 24);
+                    omp_parallel_for(fn_addr(sp_solve), 0, 24);
+                }
+                sp_sum = 0.0;
+                omp_parallel_for(fn_addr(sp_sumf), 0, 24);
+                sp_report();
+                return 0;
+            }"
+        }
+        Model::Mpi => {
+            // Row decomposition (24 % ranks == 0 for 1 and 4; the 2-rank
+            // variant does not exist, as in the paper). The coupling halo
+            // is one row in each direction.
+            "global int sp_lo;
+            global int sp_hi;
+
+            fn sp_halo() {
+                let int r = mpi_rank();
+                let int n = mpi_size();
+                if (r > 0) {
+                    mpi_send_bytes(addr_of(sp_u) + (sp_lo * 26) * 8, 26 * 8, r - 1, 53);
+                }
+                if (r < n - 1) {
+                    mpi_send_bytes(addr_of(sp_u) + ((sp_hi - 1) * 26) * 8, 26 * 8, r + 1, 54);
+                    mpi_recv_bytes(addr_of(sp_u) + (sp_hi * 26) * 8, 26 * 8, r + 1, 53);
+                }
+                if (r > 0) {
+                    mpi_recv_bytes(addr_of(sp_u) + ((sp_lo - 1) * 26) * 8, 26 * 8, r - 1, 54);
+                }
+            }
+
+            fn main() -> int {
+                let int r = mpi_rank();
+                let int n = mpi_size();
+                let int it = 0;
+                let int per = 24 / n;
+                sp_lo = r * per;
+                sp_hi = sp_lo + per;
+                if (r == n - 1) { sp_hi = 24; }
+                sp_init(sp_lo, sp_hi);
+                for (it = 0; it < 6; it = it + 1) {
+                    sp_halo();
+                    sp_couple(sp_lo, sp_hi);
+                    sp_solve(sp_lo, sp_hi);
+                }
+                sp_sum = 0.0;
+                sp_sumf(sp_lo, sp_hi);
+                sp_sum = mpi_allreduce_sum_f(sp_sum);
+                if (r == 0) { sp_report(); }
+                mpi_barrier();
+                return 0;
+            }"
+        }
+    };
+    format!("{SP_COMMON}\n{main}")
+}
+
+/// BT: 2×2 block tridiagonal Thomas solves along the rows of a 16×16
+/// grid — the densest FP kernel (block multiplies and 2×2 inversions
+/// per cell).
+///
+/// Cell `(r, c)` has two unknowns stored at `bt_u[(r * 16 + c) * 2]`
+/// and `+1`; scratch blocks `bt_cp` (2×2 per cell) and vectors `bt_dp`
+/// are row-private.
+const BT_COMMON: &str = "
+global float bt_u[512];
+global float bt_rhs[512];
+global float bt_cp[1024];
+global float bt_dp[512];
+global float bt_sum;
+
+fn bt_init(int lo, int hi) {
+    let int r = 0;
+    let int c = 0;
+    let int k = 0;
+    for (r = lo; r < hi; r = r + 1) {
+        for (c = 0; c < 16; c = c + 1) {
+            k = (r * 16 + c) * 2;
+            bt_u[k] = 0.0;
+            bt_u[k + 1] = 0.0;
+            bt_rhs[k] = float(((r * 3 + c) % 11)) / 11.0;
+            bt_rhs[k + 1] = float(((r + c * 5) % 11)) / 11.0 - 0.5;
+        }
+    }
+}
+
+fn bt_couple(int lo, int hi) {
+    let int r = 0;
+    let int c = 0;
+    let int k = 0;
+    let float u0 = 0.0;
+    let float u1 = 0.0;
+    for (r = lo; r < hi; r = r + 1) {
+        for (c = 0; c < 16; c = c + 1) {
+            k = (r * 16 + c) * 2;
+            u0 = 0.0;
+            u1 = 0.0;
+            if (r > 0) { u0 = u0 + bt_u[k - 32]; u1 = u1 + bt_u[k - 31]; }
+            if (r < 15) { u0 = u0 + bt_u[k + 32]; u1 = u1 + bt_u[k + 33]; }
+            bt_rhs[k] = float(((r * 3 + c) % 11)) / 11.0 + 0.2 * u0 + 0.05 * u1;
+            bt_rhs[k + 1] = float(((r + c * 5) % 11)) / 11.0 - 0.5 + 0.05 * u0 + 0.2 * u1;
+        }
+    }
+}
+
+/* Block-tridiagonal Thomas along each row with constant blocks
+   A = -0.8 I (sub), B = [[3, 0.5], [0.5, 3]] (diag), C = -0.9 I (super).
+   Forward: M = B + 0.8 * CPprev ... using 2x2 inverses computed inline. */
+fn bt_solve(int lo, int hi) {
+    let int r = 0;
+    let int c = 0;
+    let int k = 0;
+    let int kb = 0;
+    let float m00 = 0.0;
+    let float m01 = 0.0;
+    let float m10 = 0.0;
+    let float m11 = 0.0;
+    let float det = 0.0;
+    let float i00 = 0.0;
+    let float i01 = 0.0;
+    let float i10 = 0.0;
+    let float i11 = 0.0;
+    let float d0 = 0.0;
+    let float d1 = 0.0;
+    for (r = lo; r < hi; r = r + 1) {
+        for (c = 0; c < 16; c = c + 1) {
+            k = (r * 16 + c) * 2;
+            kb = (r * 16 + c) * 4;
+            /* M = B - A * CP[c-1]  (A = -0.8 I -> M = B + 0.8 CPprev) */
+            m00 = 3.0;
+            m01 = 0.5;
+            m10 = 0.5;
+            m11 = 3.0;
+            d0 = bt_rhs[k];
+            d1 = bt_rhs[k + 1];
+            if (c > 0) {
+                m00 = m00 + 0.8 * bt_cp[kb - 4];
+                m01 = m01 + 0.8 * bt_cp[kb - 3];
+                m10 = m10 + 0.8 * bt_cp[kb - 2];
+                m11 = m11 + 0.8 * bt_cp[kb - 1];
+                d0 = d0 + 0.8 * bt_dp[k - 2];
+                d1 = d1 + 0.8 * bt_dp[k - 1];
+            }
+            det = m00 * m11 - m01 * m10;
+            i00 = m11 / det;
+            i01 = 0.0 - m01 / det;
+            i10 = 0.0 - m10 / det;
+            i11 = m00 / det;
+            /* CP[c] = Minv * C = Minv * (-0.9 I) */
+            bt_cp[kb] = -0.9 * i00;
+            bt_cp[kb + 1] = -0.9 * i01;
+            bt_cp[kb + 2] = -0.9 * i10;
+            bt_cp[kb + 3] = -0.9 * i11;
+            /* DP[c] = Minv * d */
+            bt_dp[k] = i00 * d0 + i01 * d1;
+            bt_dp[k + 1] = i10 * d0 + i11 * d1;
+        }
+        /* back substitution: u[last] = dp[last]; u[c] = dp[c] - CP[c] u[c+1] */
+        k = (r * 16 + 15) * 2;
+        bt_u[k] = bt_dp[k];
+        bt_u[k + 1] = bt_dp[k + 1];
+        for (c = 14; c >= 0; c = c - 1) {
+            k = (r * 16 + c) * 2;
+            kb = (r * 16 + c) * 4;
+            bt_u[k] = bt_dp[k] - (bt_cp[kb] * bt_u[k + 2] + bt_cp[kb + 1] * bt_u[k + 3]);
+            bt_u[k + 1] = bt_dp[k + 1] - (bt_cp[kb + 2] * bt_u[k + 2] + bt_cp[kb + 3] * bt_u[k + 3]);
+        }
+    }
+}
+
+fn bt_sumf(int lo, int hi) {
+    let int r = 0;
+    let int c = 0;
+    let int k = 0;
+    let float s = 0.0;
+    for (r = lo; r < hi; r = r + 1) {
+        for (c = 0; c < 16; c = c + 1) {
+            k = (r * 16 + c) * 2;
+            s = s + fabs(bt_u[k]) + fabs(bt_u[k + 1]);
+        }
+    }
+    omp_critical_enter(10);
+    bt_sum = bt_sum + s;
+    omp_critical_exit(10);
+}
+
+fn bt_report() {
+    print_str(\"BT sum=\");
+    print_float(bt_sum);
+    print_str(\" VERIFIED \");
+    if (bt_sum > 0.1 && bt_sum < 5000.0) { print_int(1); } else { print_int(0); }
+    print_char(10);
+}
+";
+
+pub fn bt(model: Model) -> String {
+    let main = match model {
+        Model::Serial => {
+            "fn main() -> int {
+                let int it = 0;
+                bt_init(0, 16);
+                for (it = 0; it < 4; it = it + 1) {
+                    bt_couple(0, 16);
+                    bt_solve(0, 16);
+                }
+                bt_sum = 0.0;
+                bt_sumf(0, 16);
+                bt_report();
+                return 0;
+            }"
+        }
+        Model::Omp => {
+            "fn main() -> int {
+                let int it = 0;
+                omp_parallel_for(fn_addr(bt_init), 0, 16);
+                for (it = 0; it < 4; it = it + 1) {
+                    omp_parallel_for(fn_addr(bt_couple), 0, 16);
+                    omp_parallel_for(fn_addr(bt_solve), 0, 16);
+                }
+                bt_sum = 0.0;
+                omp_parallel_for(fn_addr(bt_sumf), 0, 16);
+                bt_report();
+                return 0;
+            }"
+        }
+        Model::Mpi => {
+            // Row decomposition over 16 rows (1 or 4 ranks; no 2-rank
+            // variant, as in the paper's note).
+            "global int bt_lo;
+            global int bt_hi;
+
+            fn bt_halo() {
+                let int r = mpi_rank();
+                let int n = mpi_size();
+                if (r > 0) {
+                    mpi_send_bytes(addr_of(bt_u) + (bt_lo * 16 * 2) * 8, 32 * 8, r - 1, 55);
+                }
+                if (r < n - 1) {
+                    mpi_send_bytes(addr_of(bt_u) + ((bt_hi - 1) * 16 * 2) * 8, 32 * 8, r + 1, 56);
+                    mpi_recv_bytes(addr_of(bt_u) + (bt_hi * 16 * 2) * 8, 32 * 8, r + 1, 55);
+                }
+                if (r > 0) {
+                    mpi_recv_bytes(addr_of(bt_u) + ((bt_lo - 1) * 16 * 2) * 8, 32 * 8, r - 1, 56);
+                }
+            }
+
+            fn main() -> int {
+                let int r = mpi_rank();
+                let int n = mpi_size();
+                let int it = 0;
+                let int per = 16 / n;
+                bt_lo = r * per;
+                bt_hi = bt_lo + per;
+                if (r == n - 1) { bt_hi = 16; }
+                bt_init(bt_lo, bt_hi);
+                for (it = 0; it < 4; it = it + 1) {
+                    bt_halo();
+                    bt_couple(bt_lo, bt_hi);
+                    bt_solve(bt_lo, bt_hi);
+                }
+                bt_sum = 0.0;
+                bt_sumf(bt_lo, bt_hi);
+                bt_sum = mpi_allreduce_sum_f(bt_sum);
+                if (r == 0) { bt_report(); }
+                mpi_barrier();
+                return 0;
+            }"
+        }
+    };
+    format!("{BT_COMMON}\n{main}")
+}

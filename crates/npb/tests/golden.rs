@@ -1,0 +1,113 @@
+//! Golden-run tests: every scenario must build, run to a clean exit and
+//! self-verify. SIRA-64 runs the full 65-scenario half; SIRA-32 (whose
+//! softfloat makes runs ~20-40x longer) runs all serial programs here
+//! and the full matrix in the `--ignored` test.
+
+use fracas_isa::IsaKind;
+use fracas_kernel::{BootSpec, Kernel, Limits, RunOutcome};
+use fracas_npb::{Model, Scenario};
+
+fn run_golden(s: &Scenario) -> (RunOutcome, String) {
+    let image = s.build().unwrap_or_else(|e| panic!("{}: build: {e}", s.id()));
+    let spec = BootSpec {
+        processes: s.processes(),
+        omp_threads: s.omp_threads(),
+        ..BootSpec::serial()
+    };
+    let mut kernel = Kernel::boot(&image, s.cores as usize, spec);
+    let outcome = kernel.run(&Limits { max_cycles: 40_000_000_000, max_steps: 20_000_000_000 });
+    (outcome, String::from_utf8_lossy(kernel.console()).into_owned())
+}
+
+fn assert_verified(s: &Scenario) {
+    let (outcome, console) = run_golden(s);
+    assert_eq!(
+        outcome,
+        RunOutcome::Exited { code: 0 },
+        "{}: outcome {outcome}, console: {console}",
+        s.id()
+    );
+    assert!(
+        console.contains("VERIFIED 1"),
+        "{}: verification failed, console: {console}",
+        s.id()
+    );
+}
+
+#[test]
+fn all_sira64_scenarios_verify() {
+    for s in Scenario::all().into_iter().filter(|s| s.isa == IsaKind::Sira64) {
+        assert_verified(&s);
+    }
+}
+
+#[test]
+fn sira32_serial_scenarios_verify() {
+    for s in Scenario::all()
+        .into_iter()
+        .filter(|s| s.isa == IsaKind::Sira32 && s.model == Model::Serial)
+    {
+        assert_verified(&s);
+    }
+}
+
+#[test]
+fn sira32_parallel_smoke() {
+    for s in Scenario::all().into_iter().filter(|s| {
+        s.isa == IsaKind::Sira32
+            && s.cores == 2
+            && matches!(s.app, fracas_npb::App::Is | fracas_npb::App::Cg)
+    }) {
+        assert_verified(&s);
+    }
+}
+
+#[test]
+#[ignore = "full 130-scenario sweep; run with --ignored"]
+fn full_matrix_verifies() {
+    for s in Scenario::all() {
+        assert_verified(&s);
+    }
+}
+
+#[test]
+fn golden_runs_are_deterministic() {
+    let s = Scenario::new(
+        fracas_npb::App::Mg,
+        Model::Omp,
+        2,
+        IsaKind::Sira64,
+    )
+    .expect("scenario exists");
+    let image = s.build().unwrap();
+    let spec = BootSpec {
+        processes: s.processes(),
+        omp_threads: s.omp_threads(),
+        ..BootSpec::serial()
+    };
+    let mut k1 = Kernel::boot(&image, 2, spec);
+    let mut k2 = Kernel::boot(&image, 2, spec);
+    k1.run(&Limits::default());
+    k2.run(&Limits::default());
+    assert_eq!(k1.report(), k2.report());
+}
+
+#[test]
+fn isa_workload_ratio_shows_softfloat_blowup() {
+    // §4.1.1: the 32-bit ISA executes far more instructions on FP-heavy
+    // workloads (software FP). CG serial is FP-dominated.
+    let s64 = Scenario::new(fracas_npb::App::Cg, Model::Serial, 1, IsaKind::Sira64).unwrap();
+    let s32 = Scenario::new(fracas_npb::App::Cg, Model::Serial, 1, IsaKind::Sira32).unwrap();
+    let build = |s: &Scenario| {
+        let image = s.build().unwrap();
+        let mut k = Kernel::boot(&image, 1, BootSpec::serial());
+        assert!(k.run(&Limits::default()).is_clean_exit());
+        k.report().total_instructions()
+    };
+    let i64n = build(&s64);
+    let i32n = build(&s32);
+    assert!(
+        i32n > i64n * 5,
+        "expected softfloat blow-up: sira32 {i32n} vs sira64 {i64n}"
+    );
+}

@@ -1,0 +1,42 @@
+//! The C-runtime zero: program entry and exit.
+
+use fracas_isa::{Asm, IsaKind, Object};
+
+/// Syscall numbers used by guest code in this crate. Pinned against
+/// `fracas_kernel::abi` by the integration tests.
+pub(crate) mod sys {
+    pub const EXIT: u16 = 0;
+}
+
+/// Builds the `_start` object: call `main`, then `exit(main())`.
+///
+/// The kernel has already set up GB and SP; `main`'s return value lands
+/// in the first argument register, which is exactly where `exit` expects
+/// its code.
+pub fn crt0(isa: IsaKind) -> Object {
+    let mut asm = Asm::new(isa);
+    asm.global_fn("_start");
+    asm.bl_sym("main");
+    asm.svc(sys::EXIT);
+    // exit never returns; a halt here would be a privileged trap if it
+    // were ever reached (it cannot be).
+    asm.into_object()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crt0_is_two_instructions_and_defines_start() {
+        for isa in IsaKind::ALL {
+            let obj = crt0(isa);
+            assert_eq!(obj.text.len(), 2);
+            assert!(obj.defs.iter().any(|d| d.name == "_start"));
+            assert!(obj
+                .relocs
+                .iter()
+                .any(|r| matches!(r, fracas_isa::Reloc::Call { name, .. } if name == "main")));
+        }
+    }
+}

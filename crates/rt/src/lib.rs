@@ -1,0 +1,145 @@
+//! # fracas-rt — the guest runtime
+//!
+//! Everything that runs *inside* the simulated machine below the
+//! benchmark code, all of it guest code and therefore exposed to fault
+//! injection (the paper's §4.2.2 vulnerability-window analysis is about
+//! exactly these layers):
+//!
+//! * **crt0** (hand-assembled): `_start` calls `main` and passes its
+//!   return value to the `exit` syscall.
+//! * **softfloat** (hand-assembled, SIRA-32 only): `__f64_add/sub/mul/
+//!   div/cmp/fromint/toint` — the ARM soft-FP library analogue. It keeps
+//!   IEEE-754 double *storage* format but computes through a 24-bit
+//!   mantissa core (sign/exponent/mantissa with flush-to-zero), which
+//!   preserves the instruction mix, branchiness and latency character of
+//!   software FP while staying tractable; documented in DESIGN.md.
+//! * **FL runtime** (compiled from FL): the OpenMP-like fork/join
+//!   runtime (`omp_parallel_for`, critical sections), the MPI-like
+//!   message-passing runtime (`mpi_send_*`/`mpi_recv_*`/`mpi_barrier`/
+//!   reductions/broadcasts) and math support (`__f64_sqrt` Newton
+//!   iteration for SIRA-32).
+//!
+//! [`build_image`] is the "toolchain driver": compile FL sources, add
+//! the runtime objects and link.
+//!
+//! ## Example
+//!
+//! ```
+//! use fracas_isa::IsaKind;
+//! use fracas_kernel::{BootSpec, Kernel, Limits};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let image = fracas_rt::build_image(
+//!     &["fn main() -> int { print_str(\"hi\"); return 0; }"],
+//!     IsaKind::Sira64,
+//! )?;
+//! let mut kernel = Kernel::boot(&image, 1, BootSpec::serial());
+//! assert!(kernel.run(&Limits::default()).is_clean_exit());
+//! assert_eq!(kernel.console(), b"hi");
+//! # Ok(())
+//! # }
+//! ```
+
+mod crt0;
+mod softfloat;
+mod sources;
+
+pub use crt0::crt0;
+pub use softfloat::softfloat;
+pub use sources::{FL_HEADER, MPI_RT, OMP_RT, SOFT_MATH};
+
+use fracas_isa::{link, Image, IsaKind, Object};
+use fracas_lang::{compile, CompileError};
+use std::error::Error;
+use std::fmt;
+
+/// A failure while building a guest program.
+#[derive(Debug)]
+pub enum BuildError {
+    /// One of the FL sources failed to compile (index into the source
+    /// list; runtime sources use `usize::MAX`).
+    Compile {
+        /// Which source failed.
+        source_index: usize,
+        /// The underlying diagnostic.
+        error: CompileError,
+    },
+    /// Linking failed.
+    Link(fracas_isa::LinkError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Compile { source_index, error } => {
+                write!(f, "source {source_index}: {error}")
+            }
+            BuildError::Link(e) => write!(f, "link: {e}"),
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+impl From<fracas_isa::LinkError> for BuildError {
+    fn from(e: fracas_isa::LinkError) -> BuildError {
+        BuildError::Link(e)
+    }
+}
+
+/// The runtime objects for an ISA: crt0, the compiled FL runtime, and
+/// (on SIRA-32) the softfloat library.
+///
+/// # Panics
+///
+/// Panics if the bundled runtime sources fail to compile — a build-time
+/// invariant covered by tests, not a user-input condition.
+pub fn runtime_objects(isa: IsaKind) -> Vec<Object> {
+    let mut objects = vec![crt0(isa)];
+    for (name, src) in [("omp", OMP_RT), ("mpi", MPI_RT)] {
+        objects.push(
+            compile(src, isa).unwrap_or_else(|e| panic!("runtime source `{name}`: {e}")),
+        );
+    }
+    if isa == IsaKind::Sira32 {
+        objects.push(softfloat());
+        objects.push(
+            compile(SOFT_MATH, isa).unwrap_or_else(|e| panic!("runtime source `math`: {e}")),
+        );
+    }
+    objects
+}
+
+/// Compiles user FL sources (each with [`FL_HEADER`] appended so the
+/// runtime API is declared), adds the runtime objects and links a
+/// bootable [`Image`].
+///
+/// # Errors
+///
+/// Returns [`BuildError`] for compile or link failures.
+pub fn build_image(sources: &[&str], isa: IsaKind) -> Result<Image, BuildError> {
+    build_image_with(sources, isa, fracas_lang::OptLevel::O1)
+}
+
+/// [`build_image`] with an explicit optimisation level for the *user*
+/// sources (the runtime itself always builds at the default level) —
+/// the compiler-flags axis of the paper's future-work section.
+///
+/// # Errors
+///
+/// Returns [`BuildError`] for compile or link failures.
+pub fn build_image_with(
+    sources: &[&str],
+    isa: IsaKind,
+    opt: fracas_lang::OptLevel,
+) -> Result<Image, BuildError> {
+    let mut objects = runtime_objects(isa);
+    for (i, src) in sources.iter().enumerate() {
+        let full = format!("{src}\n{FL_HEADER}");
+        objects.push(
+            fracas_lang::compile_with(&full, isa, opt)
+                .map_err(|error| BuildError::Compile { source_index: i, error })?,
+        );
+    }
+    Ok(link(isa, &objects)?)
+}

@@ -1,0 +1,419 @@
+//! The SIRA-32 software floating-point library (hand-assembled).
+//!
+//! Calling convention (mirrors ARM AAPCS soft-FP): an `f64` travels in a
+//! register pair — operand A in `r0` (low word) / `r1` (high word),
+//! operand B in `r2`/`r3`; results return in `r0`/`r1`. r4–r7 are saved
+//! on the stack; r12 is scratch.
+//!
+//! The library keeps the IEEE-754 double *storage* format but computes
+//! through a 24-bit mantissa working form (sign, unbiased exponent,
+//! normalized mantissa in `[2^23, 2^24)`), with truncation rounding and
+//! flush-to-zero for subnormals. This preserves what the reproduction
+//! needs from ARM's soft-FP: the instruction mix (integer ALU, `Mul`/
+//! `Muh` wide products, normalization shift loops, branches), the call
+//! marshalling traffic, and the ~30–80× per-operation cost — while
+//! keeping the hand-written assembly verifiable. Accuracy is ≈ float32
+//! (relative error ≤ 2⁻²²3 per operation); the NPB-T verification
+//! thresholds account for it. See DESIGN.md §1.
+
+use fracas_isa::{sira32, AluOp, Asm, Cond, InstKind, IsaKind, Object, Reg};
+
+const R0: Reg = Reg(0);
+const R1: Reg = Reg(1);
+const R2: Reg = Reg(2);
+const R3: Reg = Reg(3);
+const R4: Reg = Reg(4);
+const R5: Reg = Reg(5);
+const R6: Reg = Reg(6);
+const R7: Reg = Reg(7);
+const SCRATCH: Reg = sira32::SCRATCH;
+const SP: Reg = sira32::SP;
+
+fn prologue(a: &mut Asm) {
+    a.subi(SP, SP, 16);
+    a.st(R4, SP, 0);
+    a.st(R5, SP, 4);
+    a.st(R6, SP, 8);
+    a.st(R7, SP, 12);
+}
+
+fn epilogue(a: &mut Asm) {
+    a.ld(R4, SP, 0);
+    a.ld(R5, SP, 4);
+    a.ld(R6, SP, 8);
+    a.ld(R7, SP, 12);
+    a.addi(SP, SP, 16);
+    a.ret();
+}
+
+/// Conditionally set `rd = imm` (conditional execution).
+fn movi_if(a: &mut Asm, cond: Cond, rd: Reg, imm: u16) {
+    a.inst_if(cond, InstKind::MovImm { rd, imm, shift: 0, keep: false });
+}
+
+/// Unpacks the f64 in (`lo`,`hi`) into sign `s`, unbiased exponent `e`
+/// and 24-bit mantissa `m` (0 when the value is zero or subnormal).
+/// Clobbers r12. `s`, `e`, `m` must be distinct from `lo`/`hi`.
+fn unpack(a: &mut Asm, lo: Reg, hi: Reg, s: Reg, e: Reg, m: Reg) {
+    a.lsri(s, hi, 31);
+    a.lsri(e, hi, 20);
+    a.load_imm(SCRATCH, 0x7ff);
+    a.alu(AluOp::And, e, e, SCRATCH);
+    a.load_imm(SCRATCH, 0xf_ffff);
+    a.alu(AluOp::And, m, hi, SCRATCH);
+    a.lsli(m, m, 3);
+    a.lsri(SCRATCH, lo, 29);
+    a.alu(AluOp::Orr, m, m, SCRATCH);
+    a.movz(SCRATCH, 0x0080, 1); // implicit leading 1 (bit 23)
+    a.alu(AluOp::Orr, m, m, SCRATCH);
+    a.cmpi(e, 0);
+    movi_if(a, Cond::Eq, m, 0); // flush zero/subnormal
+    a.subi(e, e, 1023);
+}
+
+/// Normalizes (`s`,`e`,`m`) and packs into r0/r1. `m == 0` produces a
+/// signed zero; exponent overflow produces infinity; underflow flushes
+/// to zero. Clobbers r12 and `scratch2`. Falls through with the result
+/// in place.
+fn pack(a: &mut Asm, s: Reg, e: Reg, m: Reg, scratch2: Reg) {
+    let zero = a.new_label();
+    let up_chk = a.new_label();
+    let packed = a.new_label();
+    let enc = a.new_label();
+    let fin = a.new_label();
+
+    a.cmpi(m, 0);
+    a.bc(Cond::Eq, zero);
+    // Shift an over-wide mantissa down into [2^23, 2^24) ...
+    a.load_imm(SCRATCH, 1 << 24);
+    let dn_top = a.here();
+    a.cmp(m, SCRATCH);
+    a.bc(Cond::Lo, up_chk);
+    a.lsri(m, m, 1);
+    a.addi(e, e, 1);
+    a.b(dn_top);
+    // ... or an under-wide one up.
+    a.bind(up_chk);
+    a.load_imm(SCRATCH, 1 << 23);
+    let up_top = a.here();
+    a.cmp(m, SCRATCH);
+    a.bc(Cond::Hs, packed);
+    a.lsli(m, m, 1);
+    a.subi(e, e, 1);
+    a.b(up_top);
+
+    a.bind(packed);
+    a.addi(e, e, 1023);
+    a.cmpi(e, 0);
+    a.bc(Cond::Le, zero); // underflow -> signed zero
+    a.load_imm(SCRATCH, 2047);
+    a.cmp(e, SCRATCH);
+    a.bc(Cond::Lt, enc);
+    a.mov(e, SCRATCH); // overflow -> infinity
+    a.movz(m, 0x0080, 1);
+
+    a.bind(enc);
+    a.alui(AluOp::Lsl, R1, s, 31);
+    a.alui(AluOp::Lsl, SCRATCH, e, 20);
+    a.alu(AluOp::Orr, R1, R1, SCRATCH);
+    a.lsri(SCRATCH, m, 3);
+    a.load_imm(scratch2, 0xf_ffff);
+    a.alu(AluOp::And, SCRATCH, SCRATCH, scratch2);
+    a.alu(AluOp::Orr, R1, R1, SCRATCH);
+    a.alui(AluOp::And, R0, m, 7);
+    a.lsli(R0, R0, 29);
+    a.b(fin);
+
+    a.bind(zero);
+    a.alui(AluOp::Lsl, R1, s, 31);
+    a.movz(R0, 0, 0);
+    a.bind(fin);
+}
+
+fn emit_sub_add(a: &mut Asm) {
+    // __f64_sub: flip B's sign, fall through into __f64_add.
+    a.global_fn("__f64_sub");
+    a.load_imm(SCRATCH, 0x8000_0000);
+    a.alu(AluOp::Eor, R3, R3, SCRATCH);
+
+    a.global_fn("__f64_add");
+    prologue(a);
+    unpack(a, R0, R1, R4, R5, R6); // A -> s=r4 e=r5 m=r6
+    unpack(a, R2, R3, R7, R1, R0); // B -> s=r7 e=r1 m=r0
+
+    let use_b = a.new_label();
+    let shift_a = a.new_label();
+    let aligned = a.new_label();
+    let diff = a.new_label();
+    let b_bigger = a.new_label();
+    let pack_now = a.new_label();
+
+    a.sub(R2, R5, R1); // d = ea - eb
+    a.cmpi(R2, 25);
+    a.bc(Cond::Ge, pack_now); // B negligible: result = A
+    a.cmpi(R2, -25);
+    a.bc(Cond::Le, use_b); // A negligible: result = B
+    a.cmpi(R2, 0);
+    a.bc(Cond::Lt, shift_a);
+    a.alu(AluOp::Lsr, R0, R0, R2); // mb >>= d (e stays ea)
+    a.b(aligned);
+    a.bind(shift_a);
+    a.inst(InstKind::Mvn { rd: R3, rm: R2 });
+    a.addi(R3, R3, 1); // r3 = -d
+    a.alu(AluOp::Lsr, R6, R6, R3); // ma >>= -d
+    a.mov(R5, R1); // e = eb
+    a.bind(aligned);
+    a.cmp(R4, R7);
+    a.bc(Cond::Ne, diff);
+    a.add(R6, R6, R0); // same sign: m = ma + mb
+    a.b(pack_now);
+    a.bind(diff);
+    a.cmp(R6, R0);
+    a.bc(Cond::Lo, b_bigger);
+    a.sub(R6, R6, R0); // m = ma - mb, sign = sa
+    a.b(pack_now);
+    a.bind(b_bigger);
+    a.sub(R6, R0, R6); // m = mb - ma, sign = sb
+    a.mov(R4, R7);
+    a.b(pack_now);
+    a.bind(use_b);
+    a.mov(R4, R7);
+    a.mov(R5, R1);
+    a.mov(R6, R0);
+    a.bind(pack_now);
+    pack(a, R4, R5, R6, R2);
+    epilogue(a);
+}
+
+fn emit_mul(a: &mut Asm) {
+    a.global_fn("__f64_mul");
+    prologue(a);
+    unpack(a, R0, R1, R4, R5, R6);
+    unpack(a, R2, R3, R7, R1, R0);
+    a.alu(AluOp::Eor, R4, R4, R7); // sign
+    a.add(R5, R5, R1); // exponent
+    // 48-bit product of the 24-bit mantissas via Mul/Muh.
+    a.alu(AluOp::Mul, R2, R6, R0);
+    a.alu(AluOp::Muh, R3, R6, R0);
+    a.alui(AluOp::Lsl, R3, R3, 9);
+    a.alui(AluOp::Lsr, R2, R2, 23);
+    a.alu(AluOp::Orr, R6, R3, R2); // m = product >> 23
+    pack(a, R4, R5, R6, R2);
+    epilogue(a);
+}
+
+fn emit_div(a: &mut Asm) {
+    a.global_fn("__f64_div");
+    prologue(a);
+    unpack(a, R0, R1, R4, R5, R6);
+    unpack(a, R2, R3, R7, R1, R0);
+
+    let dinf = a.new_label();
+    let dzero = a.new_label();
+    let dpack = a.new_label();
+
+    a.cmpi(R0, 0);
+    a.bc(Cond::Eq, dinf); // x / 0 -> signed infinity
+    a.cmpi(R6, 0);
+    a.bc(Cond::Eq, dzero); // 0 / x -> signed zero
+    a.alu(AluOp::Eor, R4, R4, R7);
+    a.sub(R5, R5, R1);
+    a.subi(R5, R5, 1);
+    // q = floor(ma * 2^24 / mb): four 6-bit long-division steps.
+    a.movz(R3, 0, 0);
+    for _ in 0..4 {
+        a.alui(AluOp::Lsl, R6, R6, 6);
+        a.alui(AluOp::Lsl, R3, R3, 6);
+        a.alu(AluOp::Sdiv, R2, R6, R0);
+        a.add(R3, R3, R2);
+        a.alu(AluOp::Srem, R6, R6, R0);
+    }
+    a.mov(R6, R3);
+    a.b(dpack);
+
+    a.bind(dinf);
+    a.alu(AluOp::Eor, R4, R4, R7);
+    a.movz(R5, 3000, 0); // huge exponent -> pack saturates to infinity
+    a.movz(R6, 0x0080, 1);
+    a.b(dpack);
+    a.bind(dzero);
+    a.alu(AluOp::Eor, R4, R4, R7);
+    a.movz(R6, 0, 0);
+    a.bind(dpack);
+    pack(a, R4, R5, R6, R2);
+    epilogue(a);
+}
+
+fn emit_cmp(a: &mut Asm) {
+    a.global_fn("__f64_cmp");
+    prologue(a);
+
+    let nan = a.new_label();
+    let a_ok = a.new_label();
+    let b_ok = a.new_label();
+    let same_sign = a.new_label();
+    let decide = a.new_label();
+    let mag_less = a.new_label();
+    let ret_neg1 = a.new_label();
+    let ret_pos1 = a.new_label();
+    let fin = a.new_label();
+
+    // NaN detection: exponent all-ones with nonzero mantissa.
+    a.load_imm(SCRATCH, 0x7ff0_0000);
+    a.alu(AluOp::And, R4, R1, SCRATCH);
+    a.cmp(R4, SCRATCH);
+    a.bc(Cond::Ne, a_ok);
+    a.load_imm(R5, 0xf_ffff);
+    a.alu(AluOp::And, R4, R1, R5);
+    a.alu(AluOp::Orr, R4, R4, R0);
+    a.cmpi(R4, 0);
+    a.bc(Cond::Ne, nan);
+    a.bind(a_ok);
+    a.alu(AluOp::And, R4, R3, SCRATCH);
+    a.cmp(R4, SCRATCH);
+    a.bc(Cond::Ne, b_ok);
+    a.load_imm(R5, 0xf_ffff);
+    a.alu(AluOp::And, R4, R3, R5);
+    a.alu(AluOp::Orr, R4, R4, R2);
+    a.cmpi(R4, 0);
+    a.bc(Cond::Ne, nan);
+    a.bind(b_ok);
+
+    // Normalize -0 to +0.
+    a.alui(AluOp::Lsl, R4, R1, 1);
+    a.alu(AluOp::Orr, R4, R4, R0);
+    a.cmpi(R4, 0);
+    movi_if(a, Cond::Eq, R1, 0);
+    a.alui(AluOp::Lsl, R4, R3, 1);
+    a.alu(AluOp::Orr, R4, R4, R2);
+    a.cmpi(R4, 0);
+    movi_if(a, Cond::Eq, R3, 0);
+
+    a.lsri(R4, R1, 31); // sign of A
+    a.lsri(R5, R3, 31); // sign of B
+    a.cmp(R4, R5);
+    a.bc(Cond::Eq, same_sign);
+    a.cmpi(R4, 1);
+    a.bc(Cond::Eq, ret_neg1); // A negative, B positive
+    a.b(ret_pos1);
+
+    a.bind(same_sign);
+    a.cmp(R1, R3);
+    a.bc(Cond::Ne, decide);
+    a.cmp(R0, R2);
+    a.bc(Cond::Ne, decide);
+    a.movz(R0, 0, 0);
+    a.b(fin);
+    a.bind(decide);
+    a.bc(Cond::Lo, mag_less);
+    // |A| > |B|: A > B unless both negative.
+    a.cmpi(R4, 0);
+    a.bc(Cond::Ne, ret_neg1);
+    a.b(ret_pos1);
+    a.bind(mag_less);
+    // |A| < |B|: A < B unless both negative.
+    a.cmpi(R4, 0);
+    a.bc(Cond::Ne, ret_pos1);
+    a.bind(ret_neg1);
+    a.movz(R0, 0, 0);
+    a.inst(InstKind::Mvn { rd: R0, rm: R0 }); // -1
+    a.b(fin);
+    a.bind(ret_pos1);
+    a.movz(R0, 1, 0);
+    a.b(fin);
+    a.bind(nan);
+    a.movz(R0, 2, 0);
+    a.bind(fin);
+    epilogue(a);
+}
+
+fn emit_fromint(a: &mut Asm) {
+    a.global_fn("__f64_fromint");
+    prologue(a);
+    let fpos = a.new_label();
+    a.lsri(R4, R0, 31);
+    a.mov(R6, R0);
+    a.cmpi(R4, 0);
+    a.bc(Cond::Eq, fpos);
+    a.inst(InstKind::Mvn { rd: R6, rm: R6 });
+    a.addi(R6, R6, 1); // |i|
+    a.bind(fpos);
+    a.movz(R5, 23, 0); // value = m * 2^(e-23) with e = 23
+    pack(a, R4, R5, R6, R2);
+    epilogue(a);
+}
+
+fn emit_toint(a: &mut Asm) {
+    a.global_fn("__f64_toint");
+    prologue(a);
+    unpack(a, R0, R1, R4, R5, R6);
+
+    let rshift = a.new_label();
+    let zres = a.new_label();
+    let sat = a.new_label();
+    let apply_sign = a.new_label();
+    let done = a.new_label();
+
+    a.subi(R2, R5, 23); // d = e - 23
+    a.cmpi(R2, 0);
+    a.bc(Cond::Lt, rshift);
+    a.cmpi(R2, 8);
+    a.bc(Cond::Ge, sat); // |v| >= 2^31 -> saturate
+    a.alu(AluOp::Lsl, R6, R6, R2);
+    a.b(apply_sign);
+    a.bind(rshift);
+    a.inst(InstKind::Mvn { rd: R3, rm: R2 });
+    a.addi(R3, R3, 1); // -d
+    a.cmpi(R3, 24);
+    a.bc(Cond::Ge, zres);
+    a.alu(AluOp::Lsr, R6, R6, R3);
+    a.b(apply_sign);
+    a.bind(zres);
+    a.movz(R6, 0, 0);
+    a.b(apply_sign);
+    a.bind(sat);
+    a.load_imm(R6, 0x7fff_ffff);
+    a.bind(apply_sign);
+    a.cmpi(R4, 0);
+    a.bc(Cond::Eq, done);
+    a.inst(InstKind::Mvn { rd: R6, rm: R6 });
+    a.addi(R6, R6, 1);
+    a.bind(done);
+    a.mov(R0, R6);
+    epilogue(a);
+}
+
+/// Builds the softfloat library object (SIRA-32).
+pub fn softfloat() -> Object {
+    let mut a = Asm::new(IsaKind::Sira32);
+    emit_sub_add(&mut a);
+    emit_mul(&mut a);
+    emit_div(&mut a);
+    emit_cmp(&mut a);
+    emit_fromint(&mut a);
+    emit_toint(&mut a);
+    a.into_object()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defines_all_entry_points() {
+        let obj = softfloat();
+        for sym in [
+            "__f64_add",
+            "__f64_sub",
+            "__f64_mul",
+            "__f64_div",
+            "__f64_cmp",
+            "__f64_fromint",
+            "__f64_toint",
+        ] {
+            assert!(obj.defs.iter().any(|d| d.name == sym), "missing {sym}");
+        }
+        // Pure leaf library: no outgoing relocations.
+        assert!(obj.relocs.is_empty());
+    }
+}

@@ -1,0 +1,223 @@
+//! The FL-language runtime sources and the extern header for user code.
+
+/// Extern declarations appended to every user source by
+/// [`crate::build_image`], making the runtime API visible to the
+/// type checker.
+pub const FL_HEADER: &str = "
+extern fn omp_nthreads() -> int;
+extern fn omp_parallel_for(int, int, int);
+extern fn omp_critical_enter(int);
+extern fn omp_critical_exit(int);
+extern fn omp_thread_spawn(int, int) -> int;
+extern fn omp_thread_join(int) -> int;
+extern fn omp_thread_exit();
+extern fn mpi_rank() -> int;
+extern fn mpi_size() -> int;
+extern fn mpi_send_bytes(int, int, int, int) -> int;
+extern fn mpi_recv_bytes(int, int, int, int) -> int;
+extern fn mpi_barrier();
+extern fn mpi_send_f(float, int, int);
+extern fn mpi_recv_f(int, int) -> float;
+extern fn mpi_send_i(int, int, int);
+extern fn mpi_recv_i(int, int) -> int;
+extern fn mpi_reduce_sum_f(float) -> float;
+extern fn mpi_reduce_sum_i(int) -> int;
+extern fn mpi_bcast_f(float) -> float;
+extern fn mpi_bcast_i(int) -> int;
+extern fn mpi_allreduce_sum_f(float) -> float;
+extern fn mpi_allreduce_sum_i(int) -> int;
+extern fn mpi_allreduce_max_f(float) -> float;
+";
+
+/// The OpenMP-like fork/join runtime (guest FL code).
+///
+/// `omp_parallel_for(body, lo, hi)` statically chunks `[lo, hi)` over
+/// `omp_nthreads()` workers: the master runs chunk 0 inline while
+/// workers 1.. are spawned and joined — GOMP's fork/join shape, with
+/// the serial master sections that under-utilise the other cores
+/// (the paper's §4.2.2 OpenMP imbalance channel).
+pub const OMP_RT: &str = "
+global int __omp_fn;
+global int __omp_lo[8];
+global int __omp_hi[8];
+global int __omp_tid[8];
+
+fn omp_nthreads() -> int { return syscall0(18); }
+
+fn __omp_worker(int idx) {
+    call2(__omp_fn, __omp_lo[idx], __omp_hi[idx]);
+    syscall1(4, 0);
+}
+
+fn omp_parallel_for(int body, int lo, int hi) {
+    let int n = omp_nthreads();
+    if (n < 2 || hi - lo < n) {
+        call2(body, lo, hi);
+        return;
+    }
+    __omp_fn = body;
+    let int chunk = (hi - lo) / n;
+    let int i = 0;
+    for (i = 0; i < n; i = i + 1) {
+        __omp_lo[i] = lo + i * chunk;
+        __omp_hi[i] = lo + (i + 1) * chunk;
+    }
+    __omp_hi[n - 1] = hi;
+    for (i = 1; i < n; i = i + 1) {
+        __omp_tid[i] = syscall2(3, fn_addr(__omp_worker), i);
+    }
+    call2(body, __omp_lo[0], __omp_hi[0]);
+    for (i = 1; i < n; i = i + 1) {
+        omp_thread_join(__omp_tid[i]);
+    }
+}
+
+fn omp_critical_enter(int id) { syscall1(11, id); }
+fn omp_critical_exit(int id) { syscall1(12, id); }
+fn omp_thread_spawn(int entry, int arg) -> int { return syscall2(3, entry, arg); }
+fn omp_thread_join(int tid) -> int { return syscall1(5, tid); }
+fn omp_thread_exit() { syscall1(4, 0); }
+";
+
+/// The MPI-like message-passing runtime (guest FL code).
+///
+/// Transport is the kernel's message queues; collectives (`reduce`,
+/// `bcast`, `allreduce`, `barrier`) are built from point-to-point
+/// sends rooted at rank 0. Runtime-internal tags are ≥ 777000 —
+/// application code must use smaller tags.
+pub const MPI_RT: &str = "
+global float __mpi_ft;
+global int __mpi_it;
+
+fn mpi_rank() -> int { return syscall0(6); }
+fn mpi_size() -> int { return syscall0(7); }
+
+fn mpi_send_bytes(int addr, int len, int dest, int tag) -> int {
+    return syscall4(8, dest, tag, addr, len);
+}
+
+fn mpi_recv_bytes(int addr, int maxlen, int src, int tag) -> int {
+    return syscall4(9, src, tag, addr, maxlen);
+}
+
+fn mpi_barrier() {
+    syscall2(10, 777001, mpi_size());
+}
+
+fn mpi_send_f(float v, int dest, int tag) {
+    __mpi_ft = v;
+    mpi_send_bytes(addr_of(__mpi_ft), 8, dest, tag);
+}
+
+fn mpi_recv_f(int src, int tag) -> float {
+    mpi_recv_bytes(addr_of(__mpi_ft), 8, src, tag);
+    return __mpi_ft;
+}
+
+fn mpi_send_i(int v, int dest, int tag) {
+    __mpi_it = v;
+    mpi_send_bytes(addr_of(__mpi_it), sizeof_int(), dest, tag);
+}
+
+fn mpi_recv_i(int src, int tag) -> int {
+    mpi_recv_bytes(addr_of(__mpi_it), sizeof_int(), src, tag);
+    return __mpi_it;
+}
+
+fn mpi_reduce_sum_f(float v) -> float {
+    let int r = mpi_rank();
+    let int n = mpi_size();
+    let int i = 0;
+    let float acc = v;
+    if (r == 0) {
+        for (i = 1; i < n; i = i + 1) {
+            acc = acc + mpi_recv_f(i, 777002);
+        }
+        return acc;
+    }
+    mpi_send_f(v, 0, 777002);
+    return 0.0;
+}
+
+fn mpi_reduce_sum_i(int v) -> int {
+    let int r = mpi_rank();
+    let int n = mpi_size();
+    let int i = 0;
+    let int acc = v;
+    if (r == 0) {
+        for (i = 1; i < n; i = i + 1) {
+            acc = acc + mpi_recv_i(i, 777003);
+        }
+        return acc;
+    }
+    mpi_send_i(v, 0, 777003);
+    return 0;
+}
+
+fn mpi_bcast_f(float v) -> float {
+    let int r = mpi_rank();
+    let int n = mpi_size();
+    let int i = 0;
+    if (r == 0) {
+        for (i = 1; i < n; i = i + 1) {
+            mpi_send_f(v, i, 777004);
+        }
+        return v;
+    }
+    return mpi_recv_f(0, 777004);
+}
+
+fn mpi_bcast_i(int v) -> int {
+    let int r = mpi_rank();
+    let int n = mpi_size();
+    let int i = 0;
+    if (r == 0) {
+        for (i = 1; i < n; i = i + 1) {
+            mpi_send_i(v, i, 777005);
+        }
+        return v;
+    }
+    return mpi_recv_i(0, 777005);
+}
+
+fn mpi_allreduce_sum_f(float v) -> float {
+    return mpi_bcast_f(mpi_reduce_sum_f(v));
+}
+
+fn mpi_allreduce_sum_i(int v) -> int {
+    return mpi_bcast_i(mpi_reduce_sum_i(v));
+}
+
+fn mpi_allreduce_max_f(float v) -> float {
+    let int r = mpi_rank();
+    let int n = mpi_size();
+    let int i = 0;
+    let float acc = v;
+    let float other = 0.0;
+    if (r == 0) {
+        for (i = 1; i < n; i = i + 1) {
+            other = mpi_recv_f(i, 777006);
+            if (other > acc) { acc = other; }
+        }
+        return mpi_bcast_f(acc);
+    }
+    mpi_send_f(v, 0, 777006);
+    return mpi_bcast_f(0.0);
+}
+";
+
+/// Math support compiled only for SIRA-32: the Newton–Raphson square
+/// root the compiler's `sqrt()` intrinsic lowers to when there is no
+/// hardware FP.
+pub const SOFT_MATH: &str = "
+fn __f64_sqrt(float x) -> float {
+    if (x <= 0.0) { return 0.0; }
+    let float y = x;
+    if (y < 1.0) { y = 1.0; }
+    let int i = 0;
+    for (i = 0; i < 22; i = i + 1) {
+        y = 0.5 * (y + x / y);
+    }
+    return y;
+}
+";

@@ -1,0 +1,341 @@
+//! Integration tests for the guest runtime: floats on SIRA-32 through
+//! the softfloat library, the OMP fork/join runtime, and the MPI
+//! message-passing runtime — all running on the kernel model.
+
+use fracas_isa::IsaKind;
+use fracas_kernel::{BootSpec, Kernel, Limits, RunOutcome};
+use fracas_rt::build_image;
+
+fn run(src: &str, isa: IsaKind, cores: usize, spec: BootSpec) -> (RunOutcome, String) {
+    let image = build_image(&[src], isa).unwrap_or_else(|e| panic!("build ({isa}): {e}"));
+    let mut kernel = Kernel::boot(&image, cores, spec);
+    let outcome = kernel.run(&Limits { max_cycles: 2_000_000_000, max_steps: 2_000_000_000 });
+    (outcome, String::from_utf8_lossy(kernel.console()).into_owned())
+}
+
+fn expect_ok(src: &str, isa: IsaKind, cores: usize, spec: BootSpec) -> String {
+    let (outcome, console) = run(src, isa, cores, spec);
+    assert_eq!(outcome, RunOutcome::Exited { code: 0 }, "isa {isa}: {console}");
+    console
+}
+
+#[test]
+fn float_arithmetic_on_both_isas() {
+    // exit code = 10*(a+b) with a=2.5, b=1.75 -> 42 (int truncation).
+    let src = "fn main() -> int {
+        let float a = 2.5;
+        let float b = 1.75;
+        let float c = (a + b) * 10.0;
+        if (c < 42.4 || c > 42.6) { return 1; }
+        return 0;
+    }";
+    for isa in IsaKind::ALL {
+        expect_ok(src, isa, 1, BootSpec::serial());
+    }
+}
+
+#[test]
+fn float_loop_accumulation_sira32() {
+    // Sum 1/k for k in 1..=50 (harmonic); ~4.4992.
+    let src = "fn main() -> int {
+        let float s = 0.0;
+        let int k = 1;
+        while (k <= 50) {
+            s = s + 1.0 / float(k);
+            k = k + 1;
+        }
+        if (s > 4.49 && s < 4.51) { return 0; }
+        print_float(s);
+        return 1;
+    }";
+    expect_ok(src, IsaKind::Sira32, 1, BootSpec::serial());
+}
+
+#[test]
+fn sqrt_newton_sira32() {
+    let src = "fn main() -> int {
+        let float r = sqrt(2.0);
+        if (r > 1.41 && r < 1.4143) { } else { print_float(r); return 1; }
+        let float r2 = sqrt(144.0);
+        if (r2 > 11.99 && r2 < 12.01) { } else { print_float(r2); return 2; }
+        let float r3 = sqrt(0.25);
+        if (r3 > 0.499 && r3 < 0.501) { } else { print_float(r3); return 3; }
+        return 0;
+    }";
+    expect_ok(src, IsaKind::Sira32, 1, BootSpec::serial());
+}
+
+#[test]
+fn float_array_stencil_both_isas() {
+    let src = "global float v[64];
+    fn main() -> int {
+        let int i = 0;
+        for (i = 0; i < 64; i = i + 1) { v[i] = float(i); }
+        let float s = 0.0;
+        for (i = 1; i < 63; i = i + 1) {
+            s = s + (v[i - 1] + v[i + 1]) * 0.5 - v[i];
+        }
+        // Telescoping stencil sums to zero.
+        if (fabs(s) < 0.001) { return 0; }
+        print_float(s);
+        return 1;
+    }";
+    for isa in IsaKind::ALL {
+        expect_ok(src, isa, 1, BootSpec::serial());
+    }
+}
+
+#[test]
+fn omp_parallel_for_sums_correctly() {
+    let src = "global int partial[8];
+    global int order[8];
+    fn body(int lo, int hi) {
+        let int i = 0;
+        let int s = 0;
+        for (i = lo; i < hi; i = i + 1) { s = s + i; }
+        omp_critical_enter(1);
+        partial[0] = partial[0] + s;
+        omp_critical_exit(1);
+    }
+    fn main() -> int {
+        omp_parallel_for(fn_addr(body), 0, 1000);
+        if (partial[0] == 499500) { return 0; }
+        print_int(partial[0]);
+        return 1;
+    }";
+    for isa in IsaKind::ALL {
+        for (cores, threads) in [(1, 1), (2, 2), (4, 4)] {
+            expect_ok(src, isa, cores, BootSpec::omp(threads));
+        }
+    }
+}
+
+#[test]
+fn omp_float_reduction_with_critical() {
+    let src = "global float acc;
+    global float data[256];
+    fn body(int lo, int hi) {
+        let int i = 0;
+        let float s = 0.0;
+        for (i = lo; i < hi; i = i + 1) { s = s + data[i]; }
+        omp_critical_enter(7);
+        acc = acc + s;
+        omp_critical_exit(7);
+    }
+    fn main() -> int {
+        let int i = 0;
+        for (i = 0; i < 256; i = i + 1) { data[i] = 0.5; }
+        omp_parallel_for(fn_addr(body), 0, 256);
+        if (acc > 127.9 && acc < 128.1) { return 0; }
+        print_float(acc);
+        return 1;
+    }";
+    for isa in IsaKind::ALL {
+        expect_ok(src, isa, 2, BootSpec::omp(2));
+    }
+}
+
+#[test]
+fn omp_workers_actually_run_on_other_cores() {
+    let src = "global int sink[4];
+    fn body(int lo, int hi) {
+        let int i = 0;
+        let int s = 0;
+        for (i = lo; i < hi; i = i + 1) { s = s + i * i; }
+        sink[0] = sink[0] + 1;
+    }
+    fn main() -> int {
+        omp_parallel_for(fn_addr(body), 0, 40000);
+        return 0;
+    }";
+    let image = build_image(&[src], IsaKind::Sira64).unwrap();
+    let mut kernel = Kernel::boot(&image, 4, BootSpec::omp(4));
+    assert!(kernel.run(&Limits::default()).is_clean_exit());
+    let report = kernel.report();
+    let busy = report
+        .per_core_instructions
+        .iter()
+        .filter(|&&c| c > 1000)
+        .count();
+    assert!(busy >= 4, "all four cores should execute work: {:?}", report.per_core_instructions);
+}
+
+#[test]
+fn mpi_ring_pass() {
+    // Each rank sends its rank+1 to the next ring neighbour; rank 0
+    // verifies the accumulated total via reduce.
+    let src = "fn main() -> int {
+        let int r = mpi_rank();
+        let int n = mpi_size();
+        let int next = (r + 1) % n;
+        let int prev = (r + n - 1) % n;
+        mpi_send_i(r + 1, next, 5);
+        let int got = mpi_recv_i(prev, 5);
+        if (got != prev + 1) { return 2; }
+        let int total = mpi_reduce_sum_i(got);
+        if (r == 0) {
+            if (total != n * (n + 1) / 2) { print_int(total); return 1; }
+        }
+        return 0;
+    }";
+    for isa in IsaKind::ALL {
+        for ranks in [2u32, 4] {
+            expect_ok(src, isa, ranks as usize, BootSpec::mpi(ranks));
+        }
+    }
+}
+
+#[test]
+fn mpi_float_allreduce() {
+    let src = "fn main() -> int {
+        let float mine = float(mpi_rank() + 1) * 1.5;
+        let float total = mpi_allreduce_sum_f(mine);
+        // n=4: 1.5*(1+2+3+4) = 15
+        if (total > 14.99 && total < 15.01) { return 0; }
+        print_float(total);
+        return 1;
+    }";
+    for isa in IsaKind::ALL {
+        expect_ok(src, isa, 4, BootSpec::mpi(4));
+    }
+}
+
+#[test]
+fn mpi_bcast_and_barrier() {
+    let src = "fn main() -> int {
+        let int v = 0;
+        if (mpi_rank() == 0) { v = 777; }
+        let int got = mpi_bcast_i(v);
+        mpi_barrier();
+        if (got != 777) { return 1; }
+        return 0;
+    }";
+    for isa in IsaKind::ALL {
+        expect_ok(src, isa, 2, BootSpec::mpi(2));
+    }
+}
+
+#[test]
+fn mpi_array_slice_exchange() {
+    let src = "global float buf[32];
+    fn main() -> int {
+        let int r = mpi_rank();
+        let int i = 0;
+        if (r == 0) {
+            for (i = 0; i < 32; i = i + 1) { buf[i] = float(i) * 0.25; }
+            mpi_send_bytes(addr_of(buf) + 16 * sizeof_float(), 16 * sizeof_float(), 1, 3);
+            return 0;
+        }
+        mpi_recv_bytes(addr_of(buf), 16 * sizeof_float(), 0, 3);
+        // Received elements 16..32 of rank 0's buffer into 0..16 of ours.
+        let float s = 0.0;
+        for (i = 0; i < 16; i = i + 1) { s = s + buf[i]; }
+        // sum of 0.25*(16..31) = 0.25 * 376 = 94
+        if (s > 93.9 && s < 94.1) { return 0; }
+        print_float(s);
+        return 1;
+    }";
+    for isa in IsaKind::ALL {
+        expect_ok(src, isa, 2, BootSpec::mpi(2));
+    }
+}
+
+#[test]
+fn mpi_deadlock_on_missing_partner_is_hang() {
+    let src = "fn main() -> int {
+        if (mpi_rank() == 0) {
+            // Waits for a message rank 1 never sends.
+            return mpi_recv_i(1, 42) * 0;
+        }
+        return 0;
+    }";
+    let image = build_image(&[src], IsaKind::Sira64).unwrap();
+    let mut kernel = Kernel::boot(&image, 2, BootSpec::mpi(2));
+    let outcome = kernel.run(&Limits::default());
+    assert!(outcome.is_hang(), "{outcome}");
+}
+
+#[test]
+fn mpi_ranks_have_private_runtime_state() {
+    // Concurrent reductions with interleaved sends would corrupt a
+    // shared __mpi_ft; private data segments keep them independent.
+    let src = "fn main() -> int {
+        let int k = 0;
+        let float total = 0.0;
+        for (k = 0; k < 10; k = k + 1) {
+            total = mpi_allreduce_sum_f(float(mpi_rank() + k));
+        }
+        // last round: sum over ranks of (rank + 9), n=4 -> 6 + 36 = 42
+        if (total > 41.9 && total < 42.1) { return 0; }
+        return 1;
+    }";
+    expect_ok(src, IsaKind::Sira64, 4, BootSpec::mpi(4));
+}
+
+#[test]
+fn build_errors_carry_source_index() {
+    let err = build_image(&["fn main() -> int { return 0; }", "fn broken("], IsaKind::Sira64)
+        .unwrap_err();
+    match err {
+        fracas_rt::BuildError::Compile { source_index, .. } => assert_eq!(source_index, 1),
+        other => panic!("unexpected error {other}"),
+    }
+}
+
+#[test]
+fn runtime_objects_compile_for_both_isas() {
+    assert_eq!(fracas_rt::runtime_objects(IsaKind::Sira64).len(), 3);
+    assert_eq!(fracas_rt::runtime_objects(IsaKind::Sira32).len(), 5);
+}
+
+#[test]
+fn float_negation_and_fabs_sira32() {
+    expect_ok(
+        "fn main() -> int {
+            let float x = -3.5;
+            let float y = fabs(x);
+            let float z = -y;
+            if (y > 3.49 && y < 3.51 && z < -3.49 && z > -3.51) { return 0; }
+            print_float(y);
+            print_float(z);
+            return 1;
+        }",
+        IsaKind::Sira32,
+        1,
+        BootSpec::serial(),
+    );
+}
+
+#[test]
+fn global_float_scalars_both_isas() {
+    let src = "global float g;
+        fn bump() { g = g + 0.25; }
+        fn main() -> int {
+            let int i = 0;
+            for (i = 0; i < 8; i = i + 1) { bump(); }
+            if (int(g * 2.0) == 4) { return 0; }
+            return 1;
+        }";
+    for isa in IsaKind::ALL {
+        expect_ok(src, isa, 1, BootSpec::serial());
+    }
+}
+
+#[test]
+fn float_division_chain_sira32() {
+    // Repeated divides exercise the long-division softfloat path.
+    expect_ok(
+        "fn main() -> int {
+            let float x = 1000000.0;
+            let int i = 0;
+            for (i = 0; i < 10; i = i + 1) { x = x / 3.0; }
+            // 1e6 / 3^10 = 16.935...
+            if (x > 16.90 && x < 16.97) { return 0; }
+            print_float(x);
+            return 1;
+        }",
+        IsaKind::Sira32,
+        1,
+        BootSpec::serial(),
+    );
+}

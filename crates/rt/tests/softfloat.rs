@@ -1,0 +1,235 @@
+//! Correctness tests for the SIRA-32 softfloat library against host
+//! `f64` arithmetic. The library computes with a 24-bit mantissa, so
+//! arithmetic results are compared with float32-grade relative
+//! tolerance; comparisons and conversions are exact.
+
+use fracas_cpu::Machine;
+use fracas_isa::{link, Asm, IsaKind, Reg};
+use fracas_rt::softfloat;
+
+/// Runs `sym(a, b)` through the guest library, returning the raw result
+/// pair as u64 (hi:lo).
+fn run_binary(sym: &str, a: f64, b: f64) -> u64 {
+    let bits_a = a.to_bits();
+    let bits_b = b.to_bits();
+    let mut asm = Asm::new(IsaKind::Sira32);
+    asm.global_fn("_start");
+    asm.load_imm(Reg(0), bits_a & 0xffff_ffff);
+    asm.load_imm(Reg(1), bits_a >> 32);
+    asm.load_imm(Reg(2), bits_b & 0xffff_ffff);
+    asm.load_imm(Reg(3), bits_b >> 32);
+    asm.bl_sym(sym);
+    asm.halt();
+    let image = link(IsaKind::Sira32, &[asm.into_object(), softfloat()]).expect("link");
+    let mut m = Machine::boot_flat(&image, 1);
+    m.run_to_halt(100_000).expect("softfloat run");
+    (m.core(0).reg(Reg(1)) << 32) | m.core(0).reg(Reg(0))
+}
+
+fn run_op(sym: &str, a: f64, b: f64) -> f64 {
+    f64::from_bits(run_binary(sym, a, b))
+}
+
+fn run_cmp(a: f64, b: f64) -> i32 {
+    run_binary("__f64_cmp", a, b) as u32 as i32
+}
+
+fn run_fromint(i: i32) -> f64 {
+    let mut asm = Asm::new(IsaKind::Sira32);
+    asm.global_fn("_start");
+    asm.load_imm(Reg(0), u64::from(i as u32));
+    asm.bl_sym("__f64_fromint");
+    asm.halt();
+    let image = link(IsaKind::Sira32, &[asm.into_object(), softfloat()]).expect("link");
+    let mut m = Machine::boot_flat(&image, 1);
+    m.run_to_halt(100_000).expect("fromint run");
+    f64::from_bits((m.core(0).reg(Reg(1)) << 32) | m.core(0).reg(Reg(0)))
+}
+
+fn run_toint(a: f64) -> i32 {
+    run_binary("__f64_toint", a, 0.0) as u32 as i32
+}
+
+/// Float32-grade relative comparison.
+fn assert_close(got: f64, want: f64, what: &str) {
+    if want == 0.0 {
+        assert!(
+            got.abs() < 1e-30,
+            "{what}: got {got:e}, want zero"
+        );
+        return;
+    }
+    let rel = ((got - want) / want).abs();
+    assert!(
+        rel < 3e-6,
+        "{what}: got {got:.12e}, want {want:.12e} (rel {rel:.3e})"
+    );
+}
+
+const SAMPLES: [f64; 14] = [
+    0.0, 1.0, -1.0, 0.5, 2.0, 3.25, -7.75, 100.0, 1e6, -1e6, 1e-6, 0.1, 123456.789, -0.001953125,
+];
+
+#[test]
+fn addition_matches_host() {
+    for &a in &SAMPLES {
+        for &b in &SAMPLES {
+            assert_close(run_op("__f64_add", a, b), a + b, &format!("{a} + {b}"));
+        }
+    }
+}
+
+#[test]
+fn subtraction_matches_host() {
+    for &a in &SAMPLES {
+        for &b in &SAMPLES {
+            assert_close(run_op("__f64_sub", a, b), a - b, &format!("{a} - {b}"));
+        }
+    }
+}
+
+#[test]
+fn multiplication_matches_host() {
+    for &a in &SAMPLES {
+        for &b in &SAMPLES {
+            assert_close(run_op("__f64_mul", a, b), a * b, &format!("{a} * {b}"));
+        }
+    }
+}
+
+#[test]
+fn division_matches_host() {
+    for &a in &SAMPLES {
+        for &b in &SAMPLES {
+            if b == 0.0 {
+                continue;
+            }
+            assert_close(run_op("__f64_div", a, b), a / b, &format!("{a} / {b}"));
+        }
+    }
+}
+
+#[test]
+fn division_by_zero_gives_infinity() {
+    assert_eq!(run_op("__f64_div", 3.0, 0.0), f64::INFINITY);
+    assert_eq!(run_op("__f64_div", -3.0, 0.0), f64::NEG_INFINITY);
+    assert_eq!(run_op("__f64_div", 0.0, 5.0), 0.0);
+}
+
+#[test]
+fn cancellation_produces_zero() {
+    assert_eq!(run_op("__f64_sub", 42.5, 42.5), 0.0);
+    assert_eq!(run_op("__f64_add", 1.0, -1.0), 0.0);
+}
+
+#[test]
+fn magnitude_gap_keeps_larger_operand() {
+    // b is below the 24-bit alignment horizon of a.
+    assert_close(run_op("__f64_add", 1e9, 1e-9), 1e9, "1e9 + 1e-9");
+    assert_close(run_op("__f64_add", 1e-9, 1e9), 1e9, "1e-9 + 1e9");
+}
+
+#[test]
+fn compare_orders_correctly() {
+    let cases = [
+        (1.0, 2.0, -1),
+        (2.0, 1.0, 1),
+        (1.5, 1.5, 0),
+        (-1.0, 1.0, -1),
+        (1.0, -1.0, 1),
+        (-2.0, -1.0, -1),
+        (-1.0, -2.0, 1),
+        (0.0, 0.0, 0),
+        (-0.0, 0.0, 0),
+        (0.0, 1e-6, -1),
+        (-1e-6, 0.0, -1),
+        (1e300, 1e299, 1),
+    ];
+    for (a, b, want) in cases {
+        assert_eq!(run_cmp(a, b), want, "cmp({a}, {b})");
+    }
+}
+
+#[test]
+fn compare_flags_nan_as_unordered() {
+    assert_eq!(run_cmp(f64::NAN, 1.0), 2);
+    assert_eq!(run_cmp(1.0, f64::NAN), 2);
+    assert_eq!(run_cmp(f64::NAN, f64::NAN), 2);
+}
+
+#[test]
+fn fromint_is_exact_below_24_bits() {
+    for i in [0, 1, -1, 2, 7, -13, 1000, -123456, (1 << 23) - 1, -(1 << 23)] {
+        assert_eq!(run_fromint(i), f64::from(i), "fromint({i})");
+    }
+}
+
+#[test]
+fn fromint_truncates_above_24_bits() {
+    let got = run_fromint(0x7fff_ffff);
+    assert_close(got, 2147483647.0, "fromint(i32::MAX)");
+    assert_eq!(run_fromint(i32::MIN), -2147483648.0);
+}
+
+#[test]
+fn toint_truncates_toward_zero() {
+    let cases = [
+        (0.0, 0),
+        (0.75, 0),
+        (1.0, 1),
+        (1.99, 1),
+        (-1.99, -1),
+        (42.0, 42),
+        (-42.5, -42),
+        (123456.0, 123456),
+        (8388607.0, 8388607), // 2^23 - 1, exact in 24-bit form
+    ];
+    for (a, want) in cases {
+        assert_eq!(run_toint(a), want, "toint({a})");
+    }
+}
+
+#[test]
+fn toint_saturates() {
+    assert_eq!(run_toint(1e30), i32::MAX);
+    assert_eq!(run_toint(-1e30), -i32::MAX);
+    assert_eq!(run_toint(1e-30), 0);
+}
+
+#[test]
+fn random_walk_against_host() {
+    // A deterministic pseudo-random expression chain keeps the library
+    // honest on mixed magnitudes and signs.
+    let mut host = 1.0f64;
+    let mut guest = 1.0f64;
+    let mut state = 0x2545_f491_4f6c_dd1du64;
+    for step in 0..60 {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let operand = ((state >> 16) as i32 % 2000) as f64 / 16.0 + 0.25;
+        match state % 4 {
+            0 => {
+                host += operand;
+                guest = run_op("__f64_add", guest, operand);
+            }
+            1 => {
+                host -= operand;
+                guest = run_op("__f64_sub", guest, operand);
+            }
+            2 => {
+                host *= 1.0 + operand / 1024.0;
+                guest = run_op("__f64_mul", guest, run_op("__f64_add", 1.0, operand / 1024.0));
+            }
+            _ => {
+                host /= 1.0 + operand / 512.0;
+                guest = run_op("__f64_div", guest, run_op("__f64_add", 1.0, operand / 512.0));
+            }
+        }
+        let rel = ((guest - host) / host).abs();
+        assert!(
+            rel < 1e-4,
+            "diverged at step {step}: guest {guest:e} vs host {host:e}"
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Programming-model comparison (the paper's §4.2 in miniature): run the
+//! same application under OpenMP-like and MPI-like parallelisation on a
+//! dual-core model, compare masking rates, workload balance and the
+//! per-class mismatch.
+//!
+//! ```sh
+//! cargo run --release --example api_mismatch
+//! ```
+
+use fracas::mine::{mismatch_rows, Database};
+use fracas::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = CampaignConfig { faults: 120, ..CampaignConfig::default() };
+    let isa = IsaKind::Sira64;
+    let app = App::Cg;
+    let cores = 2;
+
+    println!("{app} on {cores} cores, {} faults per model ({isa})\n", config.faults);
+    let mut db = Database::new();
+    for model in [Model::Omp, Model::Mpi] {
+        let scenario = Scenario::new(app, model, cores, isa).expect("variant exists");
+        let result = fracas::run_scenario_campaign(&scenario, &config)?;
+        println!(
+            "{model}: masking {:.1} %, imbalance {:.1} %, API window {:.1} %, cycles {}",
+            result.tally.masking_rate() * 100.0,
+            result.profile.imbalance * 100.0,
+            result.profile.api_cycle_fraction * 100.0,
+            result.golden.cycles,
+        );
+        for class in Outcome::ALL {
+            println!("    {:<8} {:5.1} %", class.name(), result.tally.pct(class));
+        }
+        db.push(result);
+    }
+
+    println!();
+    for row in mismatch_rows(&db, isa) {
+        println!(
+            "mismatch (MPI - OMP) for {} x{}: {:.1} %  per-class {:?}",
+            row.app,
+            row.cores,
+            row.mismatch,
+            row.delta.map(|d| (d * 10.0).round() / 10.0),
+        );
+    }
+    println!(
+        "\nThe paper finds MPI masking higher in 38 of 44 comparisons: its ranks are\n\
+         independent processes with balanced work, while the OMP fork/join master\n\
+         serialises between regions and leaves cores idling in the kernel (§4.2.2)."
+    );
+    Ok(())
+}

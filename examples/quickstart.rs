@@ -1,0 +1,68 @@
+//! Quickstart: compile an FL program for both ISAs, boot it on the
+//! kernel, run a handful of bit flips and classify the outcomes.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use fracas::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A tiny guest program: sum the first 1000 squares and print the
+    // result. One source, two instruction sets.
+    let source = "
+        global int data[1000];
+        fn main() -> int {
+            let int i = 0;
+            let int sum = 0;
+            for (i = 0; i < 1000; i = i + 1) { data[i] = i * i; }
+            for (i = 0; i < 1000; i = i + 1) { sum = sum + data[i]; }
+            print_str(\"sum of squares: \");
+            print_int(sum);
+            print_char(10);
+            return 0;
+        }";
+
+    for isa in IsaKind::ALL {
+        println!("== {isa} ({}) ==", isa.analogue());
+
+        // Compile + link against the guest runtime, boot a single-core
+        // machine, run to completion.
+        let image = fracas::rt::build_image(&[source], isa)?;
+        let mut kernel = Kernel::boot(&image, 1, BootSpec::serial());
+        let outcome = kernel.run(&Limits::default());
+        let golden = kernel.report();
+        print!("{}", String::from_utf8_lossy(kernel.console()));
+        println!(
+            "golden: {outcome}, {} instructions, {} cycles",
+            golden.total_instructions(),
+            golden.cycles
+        );
+
+        // Inject ten uniform register bit flips and classify each one
+        // against the golden run.
+        let faults = fracas::inject::sample_faults(
+            isa,
+            1,
+            golden.cycles,
+            10,
+            &FaultSpace::default(),
+            2026,
+        );
+        for fault in faults {
+            let mut kernel = Kernel::boot(&image, 1, BootSpec::serial());
+            let limits = Limits { max_cycles: golden.cycles * 4, max_steps: u64::MAX };
+            if kernel
+                .run_until_core_cycle(fault.timing_core(), fault.cycle, &limits)
+                .is_none()
+            {
+                fault.apply(kernel.machine_mut());
+                kernel.run(&limits);
+            }
+            let outcome = fracas::inject::classify(&golden, &kernel.report());
+            println!("  {:<52} -> {outcome}", format!("{:?}", fault.target));
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,5 @@
+//! Workspace root crate: hosts the integration tests (`tests/`) and the
+//! runnable examples (`examples/`). The library surface simply re-exports
+//! the [`fracas`] facade.
+
+pub use fracas::*;
