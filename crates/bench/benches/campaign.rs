@@ -3,7 +3,10 @@
 //! job-packing argument) and the cache timing model's contribution.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use fracas::inject::{golden_run, run_campaign, CampaignConfig, Workload};
+use fracas::inject::{
+    golden_run, golden_run_with_checkpoints, inject_one, run_campaign, sample_faults,
+    CampaignConfig, CheckpointSet, Workload,
+};
 use fracas::kernel::{BootSpec, Kernel, Limits};
 use fracas::mem::CacheParams;
 use fracas::npb::{App, Model, Scenario};
@@ -31,12 +34,62 @@ fn bench_campaign_batching(c: &mut Criterion) {
             b.iter(|| {
                 let result = run_campaign(
                     &w,
-                    &CampaignConfig { faults: 12, batch, threads: 1, ..CampaignConfig::default() },
+                    &CampaignConfig {
+                        faults: 12,
+                        batch,
+                        threads: 1,
+                        ..CampaignConfig::default()
+                    },
                 );
                 black_box(result.tally.total())
             });
         });
     }
+    group.finish();
+}
+
+/// The injection engine's two replay strategies on the same fault list:
+/// resuming from golden-run checkpoints (with reconvergence pruning)
+/// versus replaying every injection from boot. The ratio of the two
+/// medians is the campaign speedup the checkpoint engine buys.
+fn bench_checkpoint_vs_boot_replay(c: &mut Criterion) {
+    // EP's golden run exceeds 100k cycles, so boot-replay pays the full
+    // prefix cost the checkpoint ladder exists to avoid.
+    let scenario = Scenario::new(App::Ep, Model::Serial, 1, fracas::isa::IsaKind::Sira64)
+        .expect("scenario exists");
+    let w = Workload::from_scenario(&scenario).expect("build");
+    let config = CampaignConfig::default();
+    let (golden, _, checkpoints) = golden_run_with_checkpoints(&w, config.checkpoints);
+    let faults = sample_faults(
+        w.image.isa,
+        w.cores as u32,
+        golden.cycles,
+        24,
+        &config.space,
+        config.seed,
+    );
+    let limits = Limits {
+        max_cycles: ((golden.cycles as f64 * config.watchdog_factor) as u64)
+            .max(golden.cycles + 100_000),
+        max_steps: (golden.total_instructions() * 8).max(1_000_000),
+    };
+    let boot_only = CheckpointSet::empty();
+    let mut group = c.benchmark_group("checkpoint_engine");
+    group.sample_size(10);
+    group.bench_function("resume", |b| {
+        b.iter(|| {
+            for f in &faults {
+                black_box(inject_one(&w, f, &checkpoints, &limits));
+            }
+        });
+    });
+    group.bench_function("boot_replay", |b| {
+        b.iter(|| {
+            for f in &faults {
+                black_box(inject_one(&w, f, &boot_only, &limits));
+            }
+        });
+    });
     group.finish();
 }
 
@@ -53,10 +106,17 @@ fn bench_cache_ablation(c: &mut Criterion) {
         ("paper_caches", CacheParams::paper()),
         (
             "zero_latency",
-            CacheParams { l2_hit_cycles: 0, mem_cycles: 0, ..CacheParams::paper() },
+            CacheParams {
+                l2_hit_cycles: 0,
+                mem_cycles: 0,
+                ..CacheParams::paper()
+            },
         ),
     ] {
-        let spec = BootSpec { cache, ..BootSpec::serial() };
+        let spec = BootSpec {
+            cache,
+            ..BootSpec::serial()
+        };
         let image = image.clone();
         group.bench_function(name, move |b| {
             b.iter(|| {
@@ -78,7 +138,11 @@ fn bench_quantum_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("quantum_ablation");
     group.sample_size(10);
     for quantum in [2_000u64, 20_000, 200_000] {
-        let spec = BootSpec { omp_threads: 4, quantum, ..BootSpec::serial() };
+        let spec = BootSpec {
+            omp_threads: 4,
+            quantum,
+            ..BootSpec::serial()
+        };
         let image = image.clone();
         group.bench_function(format!("quantum_{quantum}"), move |b| {
             b.iter(|| {
@@ -94,6 +158,7 @@ fn bench_quantum_ablation(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_golden, bench_campaign_batching, bench_cache_ablation, bench_quantum_ablation
+    targets = bench_golden, bench_campaign_batching, bench_checkpoint_vs_boot_replay,
+        bench_cache_ablation, bench_quantum_ablation
 }
 criterion_main!(benches);

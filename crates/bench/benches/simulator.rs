@@ -134,11 +134,8 @@ fn bench_float_paths(c: &mut Criterion) {
         let image = fracas::rt::build_image(&[src], isa).expect("build");
         group.bench_function(format!("fma200_{isa}"), |b| {
             b.iter(|| {
-                let mut kernel = fracas::kernel::Kernel::boot(
-                    &image,
-                    1,
-                    fracas::kernel::BootSpec::serial(),
-                );
+                let mut kernel =
+                    fracas::kernel::Kernel::boot(&image, 1, fracas::kernel::BootSpec::serial());
                 let outcome = kernel.run(&fracas::kernel::Limits::default());
                 assert!(outcome.is_clean_exit());
                 black_box(kernel.report().cycles)

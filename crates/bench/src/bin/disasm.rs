@@ -11,10 +11,7 @@ use fracas::npb::Scenario;
 fn main() {
     let mut args = std::env::args().skip(1);
     let id = args.next().unwrap_or_else(|| "is-ser-1-sira64".to_string());
-    let max: usize = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(120);
+    let max: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(120);
 
     let Some(key) = parse_id(&id) else {
         eprintln!("unparseable scenario id `{id}` (expected e.g. ft-mpi-4-sira64)");
@@ -32,10 +29,9 @@ fn main() {
         image.data_size(),
         image.entry
     );
-    let mut shown = 0usize;
     let mut last_fn = String::new();
     for (i, inst) in image.text.iter().enumerate() {
-        if shown >= max {
+        if i >= max {
             println!("... ({} more instructions)", image.text.len() - i);
             break;
         }
@@ -47,7 +43,6 @@ fn main() {
             }
         }
         println!("  {addr:#010x}:  {:08x}  {inst}", fracas::isa::encode(inst));
-        shown += 1;
     }
     println!("\ndata symbols (GB-relative):");
     let mut data: Vec<_> = image

@@ -10,7 +10,10 @@ use fracas::npb::Scenario;
 fn main() {
     let db = fracas_bench::ensure_db(&Scenario::all());
     println!("Branch composition per macro scenario (paper: 19.24/14.08/17.65/12.01 %)");
-    println!("{:<8} {:>12} {:>8} {:>10}", "Group", "Mean (%)", "Sigma", "Scenarios");
+    println!(
+        "{:<8} {:>12} {:>8} {:>10}",
+        "Group", "Mean (%)", "Sigma", "Scenarios"
+    );
     for s in composition_stats(&db) {
         println!(
             "{:<8} {:>12.2} {:>8.2} {:>10}",
@@ -28,7 +31,11 @@ fn main() {
             isa.reg_file().gpr_count,
             isa.reg_file().gpr_bits,
             if isa.fpr_count() > 0 {
-                format!(" + {} FPRs x {}b", isa.reg_file().fpr_count, isa.reg_file().fpr_bits)
+                format!(
+                    " + {} FPRs x {}b",
+                    isa.reg_file().fpr_count,
+                    isa.reg_file().fpr_bits
+                )
             } else {
                 String::new()
             }

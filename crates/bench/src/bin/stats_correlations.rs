@@ -39,6 +39,9 @@ fn main() {
     }
     println!("Strongest relationships overall:");
     for c in strongest(&all, 8) {
-        println!("  {:<26} ~ {:<7} r = {:+.2}  (n = {})", c.metric, c.rate, c.r, c.n);
+        println!(
+            "  {:<26} ~ {:<7} r = {:+.2}  (n = {})",
+            c.metric, c.rate, c.r, c.n
+        );
     }
 }

@@ -13,12 +13,21 @@ fn main() {
     println!("  MPI higher masking rate:   {}", s.mpi_wins);
     println!();
     println!("Workload balance, per-core instruction imbalance (paper: ~4% MPI, up to 16% OMP)");
-    println!("  MPI mean imbalance:        {:.1} %", s.mpi_imbalance * 100.0);
-    println!("  OMP mean imbalance:        {:.1} %", s.omp_imbalance * 100.0);
+    println!(
+        "  MPI mean imbalance:        {:.1} %",
+        s.mpi_imbalance * 100.0
+    );
+    println!(
+        "  OMP mean imbalance:        {:.1} %",
+        s.omp_imbalance * 100.0
+    );
     println!();
     println!("Execution time (paper: OMP ~16% shorter than MPI on average)");
     println!("  mean OMP/MPI cycle ratio:  {:.2}", s.omp_cycle_ratio);
     println!();
     println!("Vulnerability window (paper: < 23% worst case)");
-    println!("  max API cycle fraction:    {:.1} %", s.max_api_window * 100.0);
+    println!(
+        "  max API cycle fraction:    {:.1} %",
+        s.max_api_window * 100.0
+    );
 }

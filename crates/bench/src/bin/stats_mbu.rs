@@ -18,11 +18,14 @@ fn main() {
     );
     for isa in IsaKind::ALL {
         let scenario = Scenario::new(App::Mg, Model::Serial, 1, isa).expect("serial exists");
-        let workload = Workload::from_scenario(&scenario)
-            .unwrap_or_else(|e| panic!("{}: {e}", scenario.id()));
+        let workload =
+            Workload::from_scenario(&scenario).unwrap_or_else(|e| panic!("{}: {e}", scenario.id()));
         for width in [1u32, 2, 4] {
             let config = CampaignConfig {
-                space: FaultSpace { mbu_width: width, ..FaultSpace::default() },
+                space: FaultSpace {
+                    mbu_width: width,
+                    ..FaultSpace::default()
+                },
                 ..base.clone()
             };
             let result = run_campaign(&workload, &config);

@@ -21,7 +21,10 @@ fn main() {
         let workload = Workload::from_scenario(s).unwrap_or_else(|e| panic!("{}: {e}", s.id()));
         db.push(golden_only(&workload, 8000));
     }
-    eprintln!("golden runs took {:.1}s host time", started.elapsed().as_secs_f64());
+    eprintln!(
+        "golden runs took {:.1}s host time",
+        started.elapsed().as_secs_f64()
+    );
 
     println!("Table 1: NPB workload summary (guest time at 1 GHz, campaign at 8000 faults)");
     println!(

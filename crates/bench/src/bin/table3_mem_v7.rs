@@ -13,7 +13,12 @@ fn main() {
         for cores in [1u32, 2, 4] {
             if let Some(s) = Scenario::new(app, Model::Mpi, cores, isa) {
                 scenarios.push(s);
-                keys.push(Key { app, model: Model::Mpi, cores, isa });
+                keys.push(Key {
+                    app,
+                    model: Model::Mpi,
+                    cores,
+                    isa,
+                });
             }
         }
     }

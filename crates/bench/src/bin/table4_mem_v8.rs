@@ -18,7 +18,12 @@ fn main() {
         for cores in [1u32, 2, 4] {
             if let Some(s) = Scenario::new(app, model, cores, isa) {
                 scenarios.push(s);
-                keys.push(Key { app, model, cores, isa });
+                keys.push(Key {
+                    app,
+                    model,
+                    cores,
+                    isa,
+                });
             }
         }
     }

@@ -93,13 +93,20 @@ pub fn ensure_db(scenarios: &[Scenario]) -> Database {
         // Save incrementally so an interrupted run resumes.
         let _ = std::fs::write(&path, db.to_json_lines());
     }
-    eprintln!("campaigns done in {:.1}s -> {}", start.elapsed().as_secs_f64(), path.display());
+    eprintln!(
+        "campaigns done in {:.1}s -> {}",
+        start.elapsed().as_secs_f64(),
+        path.display()
+    );
     db
 }
 
 /// All scenarios of one ISA.
 pub fn scenarios_for_isa(isa: fracas::isa::IsaKind) -> Vec<Scenario> {
-    Scenario::all().into_iter().filter(|s| s.isa == isa).collect()
+    Scenario::all()
+        .into_iter()
+        .filter(|s| s.isa == isa)
+        .collect()
 }
 
 /// The subset of campaigns in `db` whose ids parse (all of them, in a

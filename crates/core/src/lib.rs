@@ -67,11 +67,11 @@ use fracas_rt::BuildError;
 pub mod prelude {
     pub use crate::{campaign_suite, run_scenario_campaign};
     pub use fracas_inject::{
-        golden_run, run_campaign, CampaignConfig, CampaignResult, Fault, FaultSpace,
-        FaultTarget, Outcome, Tally, Workload,
+        golden_run, golden_run_with_checkpoints, inject_one, run_campaign, CampaignConfig,
+        CampaignResult, CheckpointSet, Fault, FaultSpace, FaultTarget, Outcome, Tally, Workload,
     };
     pub use fracas_isa::IsaKind;
-    pub use fracas_kernel::{BootSpec, Kernel, Limits, RunOutcome};
+    pub use fracas_kernel::{BootSpec, Kernel, KernelSnapshot, Limits, RunOutcome};
     pub use fracas_mine::{Database, Key};
     pub use fracas_npb::{App, Model, Scenario};
 }
@@ -120,7 +120,11 @@ mod tests {
         let scenario = Scenario::new(App::Is, Model::Serial, 1, IsaKind::Sira64).unwrap();
         let result = crate::run_scenario_campaign(
             &scenario,
-            &CampaignConfig { faults: 10, threads: 1, ..CampaignConfig::default() },
+            &CampaignConfig {
+                faults: 10,
+                threads: 1,
+                ..CampaignConfig::default()
+            },
         )
         .unwrap();
         assert_eq!(result.tally.total(), 10);
@@ -138,19 +142,24 @@ mod tests {
         let mut seen = Vec::new();
         let db = crate::campaign_suite(
             &scenarios,
-            &CampaignConfig { faults: 5, threads: 1, ..CampaignConfig::default() },
+            &CampaignConfig {
+                faults: 5,
+                threads: 1,
+                ..CampaignConfig::default()
+            },
             |done, total, r| seen.push((done, total, r.id.clone())),
         )
         .unwrap();
         assert_eq!(db.len(), 2);
         assert_eq!(seen.len(), 2);
         assert_eq!(seen[0], (1, 2, "is-ser-1-sira64".to_string()));
-        assert!(db.get(Key {
-            app: App::Ep,
-            model: Model::Serial,
-            cores: 1,
-            isa: IsaKind::Sira64
-        })
-        .is_some());
+        assert!(db
+            .get(Key {
+                app: App::Ep,
+                model: Model::Serial,
+                cores: 1,
+                isa: IsaKind::Sira64
+            })
+            .is_some());
     }
 }

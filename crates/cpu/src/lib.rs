@@ -49,6 +49,6 @@ mod state;
 mod trap;
 
 pub use cost::CostModel;
-pub use machine::{Machine, RunError, StepResult};
+pub use machine::{Machine, MachineSnapshot, RunError, StepResult};
 pub use state::{Core, CoreContext, CoreStats, Flags};
 pub use trap::Trap;

@@ -1,8 +1,10 @@
 //! The multicore machine and its interpreter loop.
 
 use crate::{Core, CostModel, Flags, Trap};
-use fracas_isa::{AluOp, FpOp, FReg, Image, Inst, InstKind, IsaKind, Reg, Width};
-use fracas_mem::{Access, AccessKind, CacheParams, MemSystem, PermissionMap, Perms, PhysMem};
+use fracas_isa::{AluOp, FReg, FpOp, Image, Inst, InstKind, IsaKind, Reg, Width};
+use fracas_mem::{
+    Access, AccessKind, CacheParams, MemSnapshot, MemSystem, PageSet, PermissionMap, Perms, PhysMem,
+};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -111,6 +113,42 @@ pub struct Machine {
     /// Cache hierarchy (public for statistics readout).
     pub caches: MemSystem,
     profile: Option<FnProfile>,
+}
+
+/// A frozen copy of a [`Machine`] at one tick boundary, captured by
+/// [`Machine::snapshot`] and revived by [`Machine::restore`].
+///
+/// Physical memory is stored sparsely (nonzero pages only); everything
+/// else is a plain copy. Profiling state is excluded — see
+/// [`Machine::snapshot`] for the determinism argument.
+#[derive(Debug, Clone)]
+pub struct MachineSnapshot {
+    isa: IsaKind,
+    cost: CostModel,
+    text_words: Vec<u32>,
+    text: Vec<Option<Inst>>,
+    text_base: u32,
+    cores: Vec<Core>,
+    mem: MemSnapshot,
+    caches: MemSystem,
+}
+
+impl MachineSnapshot {
+    /// Local cycle clock of `core` at capture time (used by checkpoint
+    /// selection: a snapshot may serve a fault on `core` at cycle `c`
+    /// only when `core_cycles(core) < c`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn core_cycles(&self, core: usize) -> u64 {
+        self.cores[core].cycles()
+    }
+
+    /// The machine wall-clock (max over all core clocks) at capture time.
+    pub fn max_cycles(&self) -> u64 {
+        self.cores.iter().map(Core::cycles).max().unwrap_or(0)
+    }
 }
 
 impl Machine {
@@ -242,7 +280,12 @@ impl Machine {
             names.push(name.clone());
         }
         let cycles = vec![0; names.len()];
-        self.profile = Some(FnProfile { ranges, names, cycles, memo: vec![0; self.cores.len()] });
+        self.profile = Some(FnProfile {
+            ranges,
+            names,
+            cycles,
+            memo: vec![0; self.cores.len()],
+        });
     }
 
     /// Per-function cycle totals (empty unless profiling was enabled).
@@ -335,6 +378,89 @@ impl Machine {
         self.text_words.len() as u32
     }
 
+    /// The encoded instruction word at `index` (`None` out of range) —
+    /// inspection hook for text-fault tooling and tests.
+    pub fn text_word(&self, index: u32) -> Option<u32> {
+        self.text_words.get(index as usize).copied()
+    }
+
+    // ----- checkpoint / restore -------------------------------------------
+
+    /// Captures every piece of architectural and micro-architectural
+    /// state that execution depends on: cores (registers, flags, cycle
+    /// clocks, stats), the text section (both encodings — a prior text
+    /// fault must survive the round trip), sparse physical memory and
+    /// the full cache hierarchy.
+    ///
+    /// Profiling state is deliberately *not* captured: attribution
+    /// observes execution without influencing it, so a machine restored
+    /// without a profile replays the exact same cycle-by-cycle schedule.
+    pub fn snapshot(&self) -> MachineSnapshot {
+        MachineSnapshot {
+            isa: self.isa,
+            cost: self.cost,
+            text_words: self.text_words.clone(),
+            text: self.text.clone(),
+            text_base: self.text_base,
+            cores: self.cores.clone(),
+            mem: self.mem.snapshot(),
+            caches: self.caches.clone(),
+        }
+    }
+
+    /// Reconstructs a machine from a snapshot. The result is
+    /// bit-identical to the machine the snapshot was taken from, except
+    /// that profiling is disabled (see [`Machine::snapshot`]).
+    pub fn restore(snap: &MachineSnapshot) -> Machine {
+        Machine {
+            isa: snap.isa,
+            cost: snap.cost,
+            text_words: snap.text_words.clone(),
+            text: snap.text.clone(),
+            text_base: snap.text_base,
+            cores: snap.cores.clone(),
+            mem: snap.mem.restore(),
+            caches: snap.caches.clone(),
+            profile: None,
+        }
+    }
+
+    /// True when this machine's architectural and micro-architectural
+    /// state is identical to the state `snap` captured — same registers,
+    /// flags, clocks, stats, text, memory image and cache hierarchy.
+    /// Profiling state is ignored, matching what [`Machine::snapshot`]
+    /// captures: a profile observes execution without influencing it.
+    ///
+    /// Because one tick is a pure function of this state, equality here
+    /// (plus kernel-level equality) guarantees the two executions are
+    /// indistinguishable from this point on.
+    pub fn state_matches(&self, snap: &MachineSnapshot) -> bool {
+        self.isa == snap.isa
+            && self.cost == snap.cost
+            && self.text_base == snap.text_base
+            && self.cores == snap.cores
+            && self.caches == snap.caches
+            // The decoded `text` array is always re-derived from
+            // `text_words` (at construction and by `flip_text`), so
+            // comparing the raw words covers both and memcmps.
+            && self.text_words == snap.text_words
+            && self.mem.matches_snapshot(&snap.mem)
+    }
+
+    /// Like [`Machine::state_matches`], but physical memory is compared
+    /// only over `touched` (see [`PhysMem::matches_snapshot_within`] for
+    /// the soundness condition). Everything else is still compared in
+    /// full — registers, flags, clocks, stats, caches, text.
+    pub fn state_matches_within(&self, snap: &MachineSnapshot, touched: &PageSet) -> bool {
+        self.isa == snap.isa
+            && self.cost == snap.cost
+            && self.text_base == snap.text_base
+            && self.cores == snap.cores
+            && self.caches == snap.caches
+            && self.text_words == snap.text_words
+            && self.mem.matches_snapshot_within(&snap.mem, touched)
+    }
+
     // ----- interpreter ----------------------------------------------------
 
     /// Executes one instruction on `core` under the given process
@@ -365,7 +491,7 @@ impl Machine {
 
     fn step_inner(&mut self, core: usize, perm: &PermissionMap, pc: u32) -> StepResult {
         // --- fetch ---
-        if pc % 4 != 0 {
+        if !pc.is_multiple_of(4) {
             return StepResult::Trap(Trap::Mem(fracas_mem::MemError::Misaligned {
                 addr: pc,
                 align: 4,
@@ -472,7 +598,12 @@ impl Machine {
                 let f = sub_flags(a, imm as i64 as u64, bits);
                 self.cores[core].set_flags(f);
             }
-            InstKind::MovImm { rd, imm, shift, keep } => {
+            InstKind::MovImm {
+                rd,
+                imm,
+                shift,
+                keep,
+            } => {
                 let sh = u32::from(shift) * 16;
                 let v = if keep {
                     (self.cores[core].reg(rd) & !(0xffffu64 << sh)) | (u64::from(imm) << sh)
@@ -597,9 +728,19 @@ impl Machine {
                 let a = self.cores[core].freg_f64(fa);
                 let b = self.cores[core].freg_f64(fb);
                 let f = if a.is_nan() || b.is_nan() {
-                    Flags { n: false, z: false, c: true, v: true }
+                    Flags {
+                        n: false,
+                        z: false,
+                        c: true,
+                        v: true,
+                    }
                 } else {
-                    Flags { n: a < b, z: a == b, c: a >= b, v: false }
+                    Flags {
+                        n: a < b,
+                        z: a == b,
+                        c: a >= b,
+                        v: false,
+                    }
                 };
                 self.cores[core].set_flags(f);
                 self.cores[core].stats.fp_ops += 1;
@@ -758,7 +899,15 @@ impl Machine {
     /// supervisor call and [`RunError::StepLimit`] if `max_steps` runs out.
     pub fn run_to_halt(&mut self, max_steps: u64) -> Result<(), RunError> {
         let mut perm = PermissionMap::new(self.mem.size());
-        perm.map_range(0, self.mem.size(), Perms { read: true, write: true, exec: true });
+        perm.map_range(
+            0,
+            self.mem.size(),
+            Perms {
+                read: true,
+                write: true,
+                exec: true,
+            },
+        );
         for _ in 0..max_steps {
             let Some(core) = self.next_core() else {
                 return Ok(());
@@ -768,7 +917,10 @@ impl Machine {
                 StepResult::Halted => return Ok(()),
                 StepResult::Trap(t) => return Err(RunError::Trap(t)),
                 StepResult::Svc(num) => {
-                    return Err(RunError::UnhandledSvc { num, pc: self.cores[core].pc() })
+                    return Err(RunError::UnhandledSvc {
+                        num,
+                        pc: self.cores[core].pc(),
+                    })
                 }
             }
         }
@@ -777,7 +929,8 @@ impl Machine {
 }
 
 fn branch_target(pc: u32, off: i32) -> u32 {
-    pc.wrapping_add(4).wrapping_add((off as u32).wrapping_mul(4))
+    pc.wrapping_add(4)
+        .wrapping_add((off as u32).wrapping_mul(4))
 }
 
 fn mask(bits: u32) -> u64 {
@@ -955,8 +1108,24 @@ mod tests {
         let m = run(IsaKind::Sira32, |a| {
             a.movz(Reg(1), 5, 0);
             a.cmpi(Reg(1), 5);
-            a.inst_if(Cond::Eq, InstKind::MovImm { rd: Reg(2), imm: 1, shift: 0, keep: false });
-            a.inst_if(Cond::Ne, InstKind::MovImm { rd: Reg(3), imm: 1, shift: 0, keep: false });
+            a.inst_if(
+                Cond::Eq,
+                InstKind::MovImm {
+                    rd: Reg(2),
+                    imm: 1,
+                    shift: 0,
+                    keep: false,
+                },
+            );
+            a.inst_if(
+                Cond::Ne,
+                InstKind::MovImm {
+                    rd: Reg(3),
+                    imm: 1,
+                    shift: 0,
+                    keep: false,
+                },
+            );
         });
         assert_eq!(m.core(0).reg(Reg(2)), 1, "eq path executed");
         assert_eq!(m.core(0).reg(Reg(3)), 0, "ne path skipped");
@@ -1016,12 +1185,21 @@ mod tests {
     fn fp_pipeline_sira64() {
         let m = run(IsaKind::Sira64, |a| {
             a.load_imm(Reg(1), 9);
-            a.inst(InstKind::Scvtf { fd: FReg(0), rn: Reg(1) });
+            a.inst(InstKind::Scvtf {
+                fd: FReg(0),
+                rn: Reg(1),
+            });
             a.fp(FpOp::Fsqrt, FReg(1), FReg(0), FReg(0)); // 3.0
             a.load_imm(Reg(2), 2);
-            a.inst(InstKind::Scvtf { fd: FReg(2), rn: Reg(2) });
+            a.inst(InstKind::Scvtf {
+                fd: FReg(2),
+                rn: Reg(2),
+            });
             a.fp(FpOp::Fmul, FReg(3), FReg(1), FReg(2)); // 6.0
-            a.inst(InstKind::Fcvtzs { rd: Reg(3), fa: FReg(3) });
+            a.inst(InstKind::Fcvtzs {
+                rd: Reg(3),
+                fa: FReg(3),
+            });
         });
         assert_eq!(m.core(0).reg(Reg(3)), 6);
         assert!(m.core(0).stats().fp_ops >= 5);
@@ -1032,8 +1210,14 @@ mod tests {
         let m = run(IsaKind::Sira64, |a| {
             a.load_imm(Reg(1), 3);
             a.load_imm(Reg(2), 4);
-            a.inst(InstKind::Scvtf { fd: FReg(0), rn: Reg(1) });
-            a.inst(InstKind::Scvtf { fd: FReg(1), rn: Reg(2) });
+            a.inst(InstKind::Scvtf {
+                fd: FReg(0),
+                rn: Reg(1),
+            });
+            a.inst(InstKind::Scvtf {
+                fd: FReg(1),
+                rn: Reg(2),
+            });
             a.fcmp(FReg(0), FReg(1));
             // r5 = 1 if 3.0 < 4.0
             let skip = a.new_label();
@@ -1074,7 +1258,15 @@ mod tests {
         let mut m = Machine::boot_flat(&image, 1);
         // Execute the movz only.
         let mut perm = PermissionMap::new(m.mem.size());
-        perm.map_range(0, m.mem.size(), Perms { read: true, write: true, exec: true });
+        perm.map_range(
+            0,
+            m.mem.size(),
+            Perms {
+                read: true,
+                write: true,
+                exec: true,
+            },
+        );
         assert_eq!(m.step(0, &perm), StepResult::Executed);
         m.flip_gpr(0, 1, 3); // 100 ^ 8 = 108
         m.run_to_halt(10).unwrap();
@@ -1154,7 +1346,10 @@ mod tests {
         let report = m.profile_report();
         let busy = report["busy"];
         let start = report["_start"];
-        assert!(busy > start, "busy loop dominates: busy={busy} start={start}");
+        assert!(
+            busy > start,
+            "busy loop dominates: busy={busy} start={start}"
+        );
     }
 
     #[test]
@@ -1165,7 +1360,15 @@ mod tests {
         let image = link(IsaKind::Sira64, &[asm.into_object()]).unwrap();
         let mut m = Machine::boot_flat(&image, 1);
         let mut perm = PermissionMap::new(m.mem.size());
-        perm.map_range(0, m.mem.size(), Perms { read: true, write: true, exec: true });
+        perm.map_range(
+            0,
+            m.mem.size(),
+            Perms {
+                read: true,
+                write: true,
+                exec: true,
+            },
+        );
         assert_eq!(m.step(0, &perm), StepResult::Halted);
         assert!(m.core(0).is_halted());
         assert_eq!(m.next_core(), None);
@@ -1208,7 +1411,10 @@ mod text_fault_tests {
             m.flip_text(1, bit);
         }
         let err = m.run_to_halt(100).unwrap_err();
-        assert!(matches!(err, RunError::Trap(Trap::IllegalInst { .. })), "{err}");
+        assert!(
+            matches!(err, RunError::Trap(Trap::IllegalInst { .. })),
+            "{err}"
+        );
     }
 
     #[test]

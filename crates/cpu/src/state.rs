@@ -18,7 +18,10 @@ pub struct Flags {
 impl Flags {
     /// Packs the flags into the low 4 bits (N=8, Z=4, C=2, V=1).
     pub fn bits(self) -> u8 {
-        (u8::from(self.n) << 3) | (u8::from(self.z) << 2) | (u8::from(self.c) << 1) | u8::from(self.v)
+        (u8::from(self.n) << 3)
+            | (u8::from(self.z) << 2)
+            | (u8::from(self.c) << 1)
+            | u8::from(self.v)
     }
 
     /// Unpacks flags from the low 4 bits.
@@ -116,12 +119,17 @@ pub struct CoreContext {
 impl CoreContext {
     /// A zeroed context starting at `pc`.
     pub fn at_entry(pc: u32) -> CoreContext {
-        CoreContext { regs: [0; 32], fregs: [0; 32], pc, flags: Flags::default() }
+        CoreContext {
+            regs: [0; 32],
+            fregs: [0; 32],
+            pc,
+            flags: Flags::default(),
+        }
     }
 }
 
 /// One SIRA core: registers, flags, PC, local clock and counters.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Core {
     isa: IsaKind,
     /// Integer register file (SIRA-32 uses slots 0–15, 32-bit semantics).
@@ -315,7 +323,11 @@ mod tests {
     fn sira32_pc_register_semantics() {
         let mut c = Core::new(IsaKind::Sira32);
         c.set_pc(0x1000);
-        assert_eq!(c.reg(sira32::PC), 0x1004, "reading PC yields next-instruction address");
+        assert_eq!(
+            c.reg(sira32::PC),
+            0x1004,
+            "reading PC yields next-instruction address"
+        );
         c.set_reg(sira32::PC, 0x2000);
         assert_eq!(c.pc(), 0x2000);
     }
@@ -344,9 +356,15 @@ mod tests {
         b.set_reg(Reg(17), 1);
         assert_ne!(a.context_hash(), b.context_hash());
         b.set_reg(Reg(17), 0);
-        b.set_flags(Flags { n: true, ..Flags::default() });
+        b.set_flags(Flags {
+            n: true,
+            ..Flags::default()
+        });
         assert_ne!(a.context_hash(), b.context_hash());
-        a.set_flags(Flags { n: true, ..Flags::default() });
+        a.set_flags(Flags {
+            n: true,
+            ..Flags::default()
+        });
         assert_eq!(a.context_hash(), b.context_hash());
     }
 

@@ -1,7 +1,7 @@
 //! Campaign orchestration: golden runs, parallel injection jobs and the
 //! merged result database (workflow phases 1–4 of §3.2.3/§3.2.4).
 
-use crate::{classify, Fault, FaultSpace, Outcome};
+use crate::{classify, CheckpointSet, Fault, FaultSpace, Outcome};
 use fracas_isa::Image;
 use fracas_kernel::{BootSpec, Kernel, Limits, RunReport};
 use fracas_npb::Scenario;
@@ -82,6 +82,11 @@ pub struct CampaignConfig {
     /// Injection-job batch size (phase three packs several injections
     /// per job to amortise scheduling, like the paper's HPC batching).
     pub batch: usize,
+    /// Checkpoints captured during the golden run (between `checkpoints`
+    /// and `2 * checkpoints` evenly spaced snapshots; 0 disables
+    /// checkpointing and every injection replays from boot). Tunable via
+    /// `FRACAS_CHECKPOINTS`.
+    pub checkpoints: usize,
     /// The sampled fault space.
     pub space: FaultSpace,
 }
@@ -94,14 +99,15 @@ impl Default for CampaignConfig {
             watchdog_factor: 4.0,
             threads: 0,
             batch: 8,
+            checkpoints: 16,
             space: FaultSpace::default(),
         }
     }
 }
 
 impl CampaignConfig {
-    /// Reads `FRACAS_FAULTS`, `FRACAS_SEED` and `FRACAS_THREADS` from the
-    /// environment over the defaults.
+    /// Reads `FRACAS_FAULTS`, `FRACAS_SEED`, `FRACAS_THREADS` and
+    /// `FRACAS_CHECKPOINTS` from the environment over the defaults.
     pub fn from_env() -> CampaignConfig {
         let mut config = CampaignConfig::default();
         if let Some(v) = env_u64("FRACAS_FAULTS") {
@@ -112,6 +118,9 @@ impl CampaignConfig {
         }
         if let Some(v) = env_u64("FRACAS_THREADS") {
             config.threads = v as usize;
+        }
+        if let Some(v) = env_u64("FRACAS_CHECKPOINTS") {
+            config.checkpoints = v as usize;
         }
         config
     }
@@ -194,10 +203,7 @@ impl ProfileStats {
                 .sum();
             hit as f64 / attributed as f64
         };
-        let mut top: Vec<(String, u64)> = profile
-            .iter()
-            .map(|(n, c)| (n.clone(), *c))
-            .collect();
+        let mut top: Vec<(String, u64)> = profile.iter().map(|(n, c)| (n.clone(), *c)).collect();
         top.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         top.truncate(12);
         ProfileStats {
@@ -313,6 +319,11 @@ pub struct CampaignResult {
     pub seed: u64,
     /// Golden reference.
     pub golden: GoldenSummary,
+    /// Size of the sampled fault space in bits, including instruction
+    /// memory when [`FaultSpace::text`] is enabled (0 for golden-only
+    /// results, where no space was sampled).
+    #[serde(default)]
+    pub space_bits: u64,
     /// Golden-run profile (data-mining inputs).
     pub profile: ProfileStats,
     /// Per-class counts.
@@ -345,27 +356,59 @@ impl CampaignResult {
 /// Runs the golden execution (phase one), returning the full report and
 /// the per-function cycle profile.
 pub fn golden_run(workload: &Workload) -> (RunReport, HashMap<String, u64>) {
+    let (report, profile, _) = golden_run_with_checkpoints(workload, 0);
+    (report, profile)
+}
+
+/// [`golden_run`] extended with checkpoint capture: the single reference
+/// execution additionally records up to `2 * checkpoints` evenly spaced
+/// kernel snapshots for [`inject_one`] to resume from.
+pub fn golden_run_with_checkpoints(
+    workload: &Workload,
+    checkpoints: usize,
+) -> (RunReport, HashMap<String, u64>, CheckpointSet) {
     let mut kernel = workload.boot();
     kernel.machine_mut().enable_profiling(&workload.image);
-    let outcome = kernel.run(&Limits::default());
+    let (outcome, set) = CheckpointSet::capture(&mut kernel, checkpoints, &Limits::default());
     assert!(
         outcome.is_clean_exit(),
         "golden run of {} must be clean, got {outcome}",
         workload.id
     );
     let profile = kernel.machine().profile_report();
-    (kernel.report(), profile)
+    (kernel.report(), profile, set)
 }
 
-/// Executes one injection and classifies it.
-fn inject_one(workload: &Workload, fault: &Fault, golden: &RunReport, limits: &Limits) -> RunReport {
-    let mut kernel = workload.boot();
+/// Executes one injection: resumes from the latest checkpoint strictly
+/// before the fault cycle (falling back to a fresh boot when none
+/// qualifies), runs to the injection point, lands the flip and runs the
+/// workload out. If the faulty run's state re-equals a golden
+/// checkpoint shortly after injection ([`CheckpointSet::try_reconverge`]),
+/// the remainder is pruned and the golden report returned directly.
+/// With [`CheckpointSet::empty`] this is exactly the boot-and-replay
+/// path; all paths produce bit-identical reports.
+pub fn inject_one(
+    workload: &Workload,
+    fault: &Fault,
+    checkpoints: &CheckpointSet,
+    limits: &Limits,
+) -> RunReport {
+    let resumed_from = checkpoints.nearest_before(fault.timing_core(), fault.cycle);
+    let mut kernel = match resumed_from {
+        Some((_, snap)) => Kernel::restore(snap),
+        None => workload.boot(),
+    };
     let paused = kernel.run_until_core_cycle(fault.timing_core(), fault.cycle, limits);
     if paused.is_none() {
         fault.apply(kernel.machine_mut());
+        if fault.targets_ephemeral_state() {
+            let rung = resumed_from.map(|(i, _)| i);
+            if let Some(golden) = checkpoints.try_reconverge(&mut kernel, rung, limits) {
+                return golden;
+            }
+        }
         kernel.run(limits);
     }
-    let _ = golden;
     kernel.report()
 }
 
@@ -383,6 +426,7 @@ pub fn golden_only(workload: &Workload, planned_faults: usize) -> CampaignResult
             instructions: golden.total_instructions(),
             per_core_instructions: golden.per_core_instructions.clone(),
         },
+        space_bits: 0,
         profile: ProfileStats::from_run(&golden, &profile_map),
         tally: Tally::default(),
         records: Vec::new(),
@@ -392,7 +436,9 @@ pub fn golden_only(workload: &Workload, planned_faults: usize) -> CampaignResult
 /// Runs a full campaign: golden run, fault sampling, parallel batched
 /// injection, classification and merge.
 pub fn run_campaign(workload: &Workload, config: &CampaignConfig) -> CampaignResult {
-    let (golden, profile_map) = golden_run(workload);
+    let (golden, profile_map, checkpoints) =
+        golden_run_with_checkpoints(workload, config.checkpoints);
+    let checkpoints = Arc::new(checkpoints);
     let profile = ProfileStats::from_run(&golden, &profile_map);
 
     // Per-scenario seed stream: campaigns across scenarios differ even
@@ -412,7 +458,8 @@ pub fn run_campaign(workload: &Workload, config: &CampaignConfig) -> CampaignRes
     );
 
     let limits = Limits {
-        max_cycles: ((golden.cycles as f64 * config.watchdog_factor) as u64).max(golden.cycles + 100_000),
+        max_cycles: ((golden.cycles as f64 * config.watchdog_factor) as u64)
+            .max(golden.cycles + 100_000),
         max_steps: (golden.total_instructions() * 8).max(1_000_000),
     };
 
@@ -427,7 +474,10 @@ pub fn run_campaign(workload: &Workload, config: &CampaignConfig) -> CampaignRes
 
     std::thread::scope(|scope| {
         for _ in 0..threads.min(faults.len().max(1)) {
-            scope.spawn(|| loop {
+            let checkpoints = Arc::clone(&checkpoints);
+            let (faults, golden, limits) = (&faults, &golden, &limits);
+            let (slots, next_batch) = (&slots, &next_batch);
+            scope.spawn(move || loop {
                 let start = next_batch.fetch_add(batch, Ordering::Relaxed);
                 if start >= faults.len() {
                     break;
@@ -435,8 +485,8 @@ pub fn run_campaign(workload: &Workload, config: &CampaignConfig) -> CampaignRes
                 let end = (start + batch).min(faults.len());
                 let mut local = Vec::with_capacity(end - start);
                 for (i, fault) in faults[start..end].iter().enumerate() {
-                    let report = inject_one(workload, fault, &golden, &limits);
-                    let outcome = classify(&golden, &report);
+                    let report = inject_one(workload, fault, &checkpoints, limits);
+                    let outcome = classify(golden, &report);
                     local.push(InjectionRecord {
                         index: (start + i) as u32,
                         fault: *fault,
@@ -473,6 +523,11 @@ pub fn run_campaign(workload: &Workload, config: &CampaignConfig) -> CampaignRes
             instructions: golden.total_instructions(),
             per_core_instructions: golden.per_core_instructions.clone(),
         },
+        space_bits: config.space.total_bits_with_text(
+            workload.image.isa,
+            workload.cores as u32,
+            workload.image.text.len() as u32,
+        ),
         profile,
         tally,
         records,
@@ -495,7 +550,12 @@ mod tests {
     #[test]
     fn tally_percentages() {
         let mut t = Tally::default();
-        for o in [Outcome::Vanished, Outcome::Vanished, Outcome::Ut, Outcome::Hang] {
+        for o in [
+            Outcome::Vanished,
+            Outcome::Vanished,
+            Outcome::Ut,
+            Outcome::Hang,
+        ] {
             t.record(o);
         }
         assert_eq!(t.total(), 4);
@@ -523,6 +583,7 @@ mod tests {
                 instructions: 50,
                 per_core_instructions: vec![50],
             },
+            space_bits: 2048,
             profile: ProfileStats {
                 instructions: 50,
                 cycles: 100,
@@ -543,11 +604,18 @@ mod tests {
                 power_transitions: 0,
                 top_functions: Vec::new(),
             },
-            tally: Tally { vanished: 1, ..Tally::default() },
+            tally: Tally {
+                vanished: 1,
+                ..Tally::default()
+            },
             records: vec![InjectionRecord {
                 index: 0,
                 fault: Fault {
-                    target: crate::FaultTarget::Gpr { core: 0, reg: 1, bit: 2 },
+                    target: crate::FaultTarget::Gpr {
+                        core: 0,
+                        reg: 1,
+                        bit: 2,
+                    },
                     cycle: 42,
                     width: 1,
                 },

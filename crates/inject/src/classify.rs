@@ -27,8 +27,13 @@ pub enum Outcome {
 
 impl Outcome {
     /// All classes in the paper's stacking order.
-    pub const ALL: [Outcome; 5] =
-        [Outcome::Vanished, Outcome::Ona, Outcome::Omm, Outcome::Ut, Outcome::Hang];
+    pub const ALL: [Outcome; 5] = [
+        Outcome::Vanished,
+        Outcome::Ona,
+        Outcome::Omm,
+        Outcome::Ut,
+        Outcome::Hang,
+    ];
 
     /// Display name as used in the figures.
     pub fn name(self) -> &'static str {

@@ -81,6 +81,19 @@ impl Fault {
         }
     }
 
+    /// True when the fault strikes short-lived architectural state
+    /// (registers, flags) that the program routinely overwrites —
+    /// the targets worth probing for golden reconvergence. Memory and
+    /// text bits are long-lived: a flip there persists until (if ever)
+    /// that exact location is rewritten, so probing would pay full
+    /// state-compare cost with almost no chance of a match.
+    pub fn targets_ephemeral_state(&self) -> bool {
+        matches!(
+            self.target,
+            FaultTarget::Gpr { .. } | FaultTarget::Fpr { .. } | FaultTarget::Flag { .. }
+        )
+    }
+
     /// Applies the upset (all `width` adjacent bits) to a paused machine.
     /// Adjacent bits wrap within the struck word, as in a real
     /// single-word MBU.
@@ -126,12 +139,21 @@ impl Default for FaultSpace {
     /// The paper's register-file campaign: GPRs plus (on SIRA-64) the FP
     /// registers; no flags, no memory.
     fn default() -> FaultSpace {
-        FaultSpace { gpr: true, fpr: true, flags: false, mem: None, text: false, mbu_width: 1 }
+        FaultSpace {
+            gpr: true,
+            fpr: true,
+            flags: false,
+            mem: None,
+            text: false,
+            mbu_width: 1,
+        }
     }
 }
 
 impl FaultSpace {
-    /// Total injectable bits for an ISA on `cores` cores.
+    /// Total injectable bits for an ISA on `cores` cores, *excluding*
+    /// instruction memory (whose size depends on the workload, not the
+    /// processor model — see [`FaultSpace::total_bits_with_text`]).
     pub fn total_bits(&self, isa: IsaKind, cores: u32) -> u64 {
         let layout = isa.reg_file();
         let mut per_core = 0u64;
@@ -149,6 +171,19 @@ impl FaultSpace {
             total += u64::from(len) * 8;
         }
         total
+    }
+
+    /// Total injectable bits including the workload's instruction memory
+    /// when [`FaultSpace::text`] is enabled — the exact space
+    /// [`crate::sample_faults_with_text`] draws from, which campaign
+    /// reporting records as `space_bits`.
+    pub fn total_bits_with_text(&self, isa: IsaKind, cores: u32, text_words: u32) -> u64 {
+        let text_bits = if self.text {
+            u64::from(text_words) * 32
+        } else {
+            0
+        };
+        self.total_bits(isa, cores) + text_bits
     }
 }
 
@@ -182,7 +217,11 @@ pub fn sample_faults_with_text(
 ) -> Vec<Fault> {
     let mut rng = StdRng::seed_from_u64(seed);
     let layout = isa.reg_file();
-    let gpr_bits = if space.gpr { layout.gpr_total_bits() } else { 0 };
+    let gpr_bits = if space.gpr {
+        layout.gpr_total_bits()
+    } else {
+        0
+    };
     let fpr_bits = if space.fpr {
         u64::from(layout.fpr_count) * u64::from(layout.fpr_bits)
     } else {
@@ -191,8 +230,17 @@ pub fn sample_faults_with_text(
     let flag_bits = if space.flags { 4u64 } else { 0 };
     let per_core = gpr_bits + fpr_bits + flag_bits;
     let mem_bits = space.mem.map_or(0, |(_, len)| u64::from(len) * 8);
-    let text_bits = if space.text { u64::from(text_words) * 32 } else { 0 };
+    let text_bits = if space.text {
+        u64::from(text_words) * 32
+    } else {
+        0
+    };
     let total = per_core * u64::from(cores) + mem_bits + text_bits;
+    debug_assert_eq!(
+        total,
+        space.total_bits_with_text(isa, cores, text_words),
+        "sampler and reported space size must agree"
+    );
     assert!(total > 0, "empty fault space");
 
     (0..count)
@@ -216,17 +264,30 @@ pub fn sample_faults_with_text(
                         bit: (w % u64::from(layout.fpr_bits)) as u32,
                     }
                 } else {
-                    FaultTarget::Flag { core, which: (within - gpr_bits - fpr_bits) as u32 }
+                    FaultTarget::Flag {
+                        core,
+                        which: (within - gpr_bits - fpr_bits) as u32,
+                    }
                 }
             } else if pick < per_core * u64::from(cores) + mem_bits {
                 let w = pick - per_core * u64::from(cores);
                 let (base, _) = space.mem.expect("mem bits imply mem space");
-                FaultTarget::Mem { addr: base + (w / 8) as u32, bit: (w % 8) as u32 }
+                FaultTarget::Mem {
+                    addr: base + (w / 8) as u32,
+                    bit: (w % 8) as u32,
+                }
             } else {
                 let w = pick - per_core * u64::from(cores) - mem_bits;
-                FaultTarget::Text { word: (w / 32) as u32, bit: (w % 32) as u32 }
+                FaultTarget::Text {
+                    word: (w / 32) as u32,
+                    bit: (w % 32) as u32,
+                }
             };
-            Fault { target, cycle, width: space.mbu_width.max(1) }
+            Fault {
+                target,
+                cycle,
+                width: space.mbu_width.max(1),
+            }
         })
         .collect()
 }
@@ -241,8 +302,29 @@ mod tests {
         assert_eq!(space.total_bits(IsaKind::Sira32, 1), 512);
         assert_eq!(space.total_bits(IsaKind::Sira64, 1), 4096);
         assert_eq!(space.total_bits(IsaKind::Sira32, 4), 2048);
-        let gpr_only = FaultSpace { fpr: false, ..FaultSpace::default() };
+        let gpr_only = FaultSpace {
+            fpr: false,
+            ..FaultSpace::default()
+        };
         assert_eq!(gpr_only.total_bits(IsaKind::Sira64, 1), 2048);
+    }
+
+    #[test]
+    fn text_bits_count_only_when_enabled() {
+        let with_text = FaultSpace {
+            text: true,
+            ..FaultSpace::default()
+        };
+        assert_eq!(
+            with_text.total_bits_with_text(IsaKind::Sira64, 2, 100),
+            with_text.total_bits(IsaKind::Sira64, 2) + 100 * 32
+        );
+        // With text faults disabled the word count is irrelevant.
+        let space = FaultSpace::default();
+        assert_eq!(
+            space.total_bits_with_text(IsaKind::Sira64, 2, 100),
+            space.total_bits(IsaKind::Sira64, 2)
+        );
     }
 
     #[test]
@@ -312,7 +394,14 @@ mod tests {
 
     #[test]
     fn flags_included_when_enabled() {
-        let space = FaultSpace { gpr: false, fpr: false, flags: true, mem: None, text: false, mbu_width: 1 };
+        let space = FaultSpace {
+            gpr: false,
+            fpr: false,
+            flags: true,
+            mem: None,
+            text: false,
+            mbu_width: 1,
+        };
         let faults = sample_faults(IsaKind::Sira64, 2, 100, 50, &space, 3);
         assert!(faults
             .iter()

@@ -15,6 +15,10 @@
 //! * **Four-phase workflow** (§3.2.3): golden execution → fault-list
 //!   generation → (parallel, batched) injection jobs → a single merged
 //!   [`CampaignResult`] database.
+//! * **Checkpoint-and-restore**: the golden run captures evenly spaced
+//!   kernel snapshots ([`CheckpointSet`]); each injection resumes from
+//!   the latest one strictly before its fault cycle instead of
+//!   replaying from boot, bit-identically (gem5-style checkpointing).
 //! * **Distribution** (§3.2.4): jobs run on a work queue over
 //!   host threads; results are index-sorted, so a campaign is
 //!   deterministic for a given seed regardless of thread count.
@@ -36,12 +40,14 @@
 //! ```
 
 mod campaign;
+mod checkpoint;
 mod classify;
 mod fault;
 
 pub use campaign::{
-    golden_only, golden_run, run_campaign, CampaignConfig, CampaignResult, GoldenSummary,
-    InjectionRecord, ProfileStats, Tally, Workload,
+    golden_only, golden_run, golden_run_with_checkpoints, inject_one, run_campaign, CampaignConfig,
+    CampaignResult, GoldenSummary, InjectionRecord, ProfileStats, Tally, Workload,
 };
+pub use checkpoint::CheckpointSet;
 pub use classify::{classify, Outcome};
 pub use fault::{sample_faults, sample_faults_with_text, Fault, FaultSpace, FaultTarget};

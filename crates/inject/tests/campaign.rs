@@ -4,12 +4,22 @@ use fracas_inject::{run_campaign, CampaignConfig, Outcome, Workload};
 use fracas_isa::IsaKind;
 use fracas_npb::{App, Model, Scenario};
 
-fn campaign(app: App, model: Model, cores: u32, isa: IsaKind, faults: usize) -> fracas_inject::CampaignResult {
+fn campaign(
+    app: App,
+    model: Model,
+    cores: u32,
+    isa: IsaKind,
+    faults: usize,
+) -> fracas_inject::CampaignResult {
     let scenario = Scenario::new(app, model, cores, isa).expect("scenario exists");
     let workload = Workload::from_scenario(&scenario).expect("build");
     run_campaign(
         &workload,
-        &CampaignConfig { faults, threads: 1, ..CampaignConfig::default() },
+        &CampaignConfig {
+            faults,
+            threads: 1,
+            ..CampaignConfig::default()
+        },
     )
 }
 
@@ -44,11 +54,19 @@ fn thread_count_does_not_change_results() {
     let workload = Workload::from_scenario(&scenario).unwrap();
     let one = run_campaign(
         &workload,
-        &CampaignConfig { faults: 30, threads: 1, ..CampaignConfig::default() },
+        &CampaignConfig {
+            faults: 30,
+            threads: 1,
+            ..CampaignConfig::default()
+        },
     );
     let four = run_campaign(
         &workload,
-        &CampaignConfig { faults: 30, threads: 4, ..CampaignConfig::default() },
+        &CampaignConfig {
+            faults: 30,
+            threads: 4,
+            ..CampaignConfig::default()
+        },
     );
     assert_eq!(one, four);
 }
@@ -89,11 +107,21 @@ fn seeds_change_fault_lists() {
     let workload = Workload::from_scenario(&scenario).unwrap();
     let a = run_campaign(
         &workload,
-        &CampaignConfig { faults: 20, seed: 1, threads: 1, ..CampaignConfig::default() },
+        &CampaignConfig {
+            faults: 20,
+            seed: 1,
+            threads: 1,
+            ..CampaignConfig::default()
+        },
     );
     let b = run_campaign(
         &workload,
-        &CampaignConfig { faults: 20, seed: 2, threads: 1, ..CampaignConfig::default() },
+        &CampaignConfig {
+            faults: 20,
+            seed: 2,
+            threads: 1,
+            ..CampaignConfig::default()
+        },
     );
     assert_ne!(
         a.records.iter().map(|r| r.fault).collect::<Vec<_>>(),
@@ -136,7 +164,12 @@ fn text_faults_hit_instruction_memory() {
     };
     let result = run_campaign(
         &workload,
-        &CampaignConfig { faults: 40, threads: 1, space, ..CampaignConfig::default() },
+        &CampaignConfig {
+            faults: 40,
+            threads: 1,
+            space,
+            ..CampaignConfig::default()
+        },
     );
     assert_eq!(result.tally.total(), 40);
     for r in &result.records {

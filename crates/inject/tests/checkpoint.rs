@@ -1,0 +1,96 @@
+//! Checkpoint-and-restore differential tests: resuming an injection
+//! from a golden-run snapshot must be bit-identical to replaying from
+//! boot, across all three programming models.
+
+use fracas_inject::{
+    golden_run_with_checkpoints, inject_one, run_campaign, sample_faults, CampaignConfig,
+    CheckpointSet, Workload,
+};
+use fracas_isa::IsaKind;
+use fracas_kernel::Limits;
+use fracas_npb::{App, Model, Scenario};
+
+/// Compares checkpoint-resumed against boot-replayed injections for one
+/// scenario, fault by fault, on the full `RunReport` (console, memory
+/// and context hashes, cycles, per-core instruction counts, stats).
+fn assert_bit_identical(app: App, model: Model, cores: u32, faults: usize) {
+    let scenario = Scenario::new(app, model, cores, IsaKind::Sira64).unwrap();
+    let workload = Workload::from_scenario(&scenario).unwrap();
+    let (golden, _, checkpoints) = golden_run_with_checkpoints(&workload, 8);
+    assert!(
+        !checkpoints.is_empty(),
+        "{}: no checkpoints captured",
+        workload.id
+    );
+
+    let limits = Limits {
+        max_cycles: golden.cycles * 4,
+        max_steps: (golden.total_instructions() * 8).max(1_000_000),
+    };
+    let list = sample_faults(
+        workload.image.isa,
+        cores,
+        golden.cycles,
+        faults,
+        &fracas_inject::FaultSpace::default(),
+        0xC0FFEE,
+    );
+    let boot_only = CheckpointSet::empty();
+    let mut resumed = 0;
+    for fault in &list {
+        let via_checkpoint = inject_one(&workload, fault, &checkpoints, &limits);
+        let via_boot = inject_one(&workload, fault, &boot_only, &limits);
+        assert_eq!(
+            via_checkpoint, via_boot,
+            "{}: fault {fault:?} diverged between restore and boot-replay",
+            workload.id
+        );
+        if checkpoints
+            .nearest_before(fault.timing_core(), fault.cycle)
+            .is_some()
+        {
+            resumed += 1;
+        }
+    }
+    // The comparison is only meaningful if checkpoints actually served.
+    assert!(
+        resumed > 0,
+        "{}: no fault resumed from a checkpoint",
+        workload.id
+    );
+}
+
+#[test]
+fn serial_restore_is_bit_identical() {
+    assert_bit_identical(App::Is, Model::Serial, 1, 10);
+}
+
+#[test]
+fn omp_restore_is_bit_identical() {
+    assert_bit_identical(App::Is, Model::Omp, 2, 10);
+}
+
+#[test]
+fn mpi_restore_is_bit_identical() {
+    assert_bit_identical(App::Is, Model::Mpi, 2, 10);
+}
+
+#[test]
+fn campaign_results_match_boot_replay_exactly() {
+    let scenario = Scenario::new(App::Ep, Model::Serial, 1, IsaKind::Sira64).unwrap();
+    let workload = Workload::from_scenario(&scenario).unwrap();
+    let base = CampaignConfig {
+        faults: 25,
+        threads: 2,
+        ..CampaignConfig::default()
+    };
+    let with_checkpoints = run_campaign(&workload, &base);
+    let boot_replay = run_campaign(
+        &workload,
+        &CampaignConfig {
+            checkpoints: 0,
+            ..base
+        },
+    );
+    assert_eq!(with_checkpoints, boot_replay);
+}

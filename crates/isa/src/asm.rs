@@ -7,7 +7,7 @@
 
 use crate::inst::{AluOp, InstKind, Width};
 use crate::object::{Object, Reloc, Section, SymDef};
-use crate::{Cond, FpOp, FReg, Inst, IsaKind, Reg};
+use crate::{Cond, FReg, FpOp, Inst, IsaKind, Reg};
 
 /// A forward-referenceable label inside one object's text.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -171,7 +171,7 @@ impl Asm {
     }
 
     fn align_data(&mut self, align: usize) {
-        while self.data.len() % align != 0 {
+        while !self.data.len().is_multiple_of(align) {
             self.data.push(0);
         }
     }
@@ -260,12 +260,22 @@ impl Asm {
 
     /// `movz rd, #imm, lsl #(16*shift)`
     pub fn movz(&mut self, rd: Reg, imm: u16, shift: u8) {
-        self.inst(InstKind::MovImm { rd, imm, shift, keep: false });
+        self.inst(InstKind::MovImm {
+            rd,
+            imm,
+            shift,
+            keep: false,
+        });
     }
 
     /// `movk rd, #imm, lsl #(16*shift)`
     pub fn movk(&mut self, rd: Reg, imm: u16, shift: u8) {
-        self.inst(InstKind::MovImm { rd, imm, shift, keep: true });
+        self.inst(InstKind::MovImm {
+            rd,
+            imm,
+            shift,
+            keep: true,
+        });
     }
 
     /// `mov rd, rm`
@@ -296,55 +306,97 @@ impl Asm {
 
     /// Loads a word from `[rn + off]`.
     pub fn ld(&mut self, rd: Reg, rn: Reg, off: i16) {
-        self.inst(InstKind::Ld { width: Width::Word, rd, rn, off });
+        self.inst(InstKind::Ld {
+            width: Width::Word,
+            rd,
+            rn,
+            off,
+        });
     }
 
     /// Stores a word to `[rn + off]`.
     pub fn st(&mut self, rd: Reg, rn: Reg, off: i16) {
-        self.inst(InstKind::St { width: Width::Word, rd, rn, off });
+        self.inst(InstKind::St {
+            width: Width::Word,
+            rd,
+            rn,
+            off,
+        });
     }
 
     /// Loads a byte (zero-extended) from `[rn + off]`.
     pub fn ldb(&mut self, rd: Reg, rn: Reg, off: i16) {
-        self.inst(InstKind::Ld { width: Width::Byte, rd, rn, off });
+        self.inst(InstKind::Ld {
+            width: Width::Byte,
+            rd,
+            rn,
+            off,
+        });
     }
 
     /// Stores a byte to `[rn + off]`.
     pub fn stb(&mut self, rd: Reg, rn: Reg, off: i16) {
-        self.inst(InstKind::St { width: Width::Byte, rd, rn, off });
+        self.inst(InstKind::St {
+            width: Width::Byte,
+            rd,
+            rn,
+            off,
+        });
     }
 
     /// Loads a word from `[rn + rm]`.
     pub fn ldr(&mut self, rd: Reg, rn: Reg, rm: Reg) {
-        self.inst(InstKind::LdR { width: Width::Word, rd, rn, rm });
+        self.inst(InstKind::LdR {
+            width: Width::Word,
+            rd,
+            rn,
+            rm,
+        });
     }
 
     /// Stores a word to `[rn + rm]`.
     pub fn str(&mut self, rd: Reg, rn: Reg, rm: Reg) {
-        self.inst(InstKind::StR { width: Width::Word, rd, rn, rm });
+        self.inst(InstKind::StR {
+            width: Width::Word,
+            rd,
+            rn,
+            rm,
+        });
     }
 
     /// Unconditional branch to a label.
     pub fn b(&mut self, label: Label) {
-        self.fixups.push(Fixup::B { at: self.text.len(), label: label.0 });
+        self.fixups.push(Fixup::B {
+            at: self.text.len(),
+            label: label.0,
+        });
         self.inst(InstKind::B { off: 0 });
     }
 
     /// Conditional branch to a label.
     pub fn bc(&mut self, cond: Cond, label: Label) {
-        self.fixups.push(Fixup::B { at: self.text.len(), label: label.0 });
+        self.fixups.push(Fixup::B {
+            at: self.text.len(),
+            label: label.0,
+        });
         self.inst_if(cond, InstKind::B { off: 0 });
     }
 
     /// Call a local label.
     pub fn bl(&mut self, label: Label) {
-        self.fixups.push(Fixup::Bl { at: self.text.len(), label: label.0 });
+        self.fixups.push(Fixup::Bl {
+            at: self.text.len(),
+            label: label.0,
+        });
         self.inst(InstKind::Bl { off: 0 });
     }
 
     /// Call a (possibly external) symbol; resolved at link time.
     pub fn bl_sym(&mut self, name: &str) {
-        self.relocs.push(Reloc::Call { at: self.text.len() as u32, name: name.to_string() });
+        self.relocs.push(Reloc::Call {
+            at: self.text.len() as u32,
+            name: name.to_string(),
+        });
         self.inst(InstKind::Bl { off: 0 });
     }
 
@@ -369,7 +421,10 @@ impl Asm {
     /// the global base register.
     pub fn lea_data(&mut self, rd: Reg, name: &str) {
         let scratch = self.isa.scratch();
-        self.relocs.push(Reloc::DataOff { at: self.text.len() as u32, name: name.to_string() });
+        self.relocs.push(Reloc::DataOff {
+            at: self.text.len() as u32,
+            name: name.to_string(),
+        });
         self.movz(scratch, 0, 0);
         self.movk(scratch, 0, 1);
         self.add(rd, self.isa.gb(), scratch);
@@ -378,7 +433,10 @@ impl Asm {
     /// Loads `rd` with the absolute address of a text symbol (for function
     /// pointers passed to `spawn`/`parallel_for`).
     pub fn lea_text(&mut self, rd: Reg, name: &str) {
-        self.relocs.push(Reloc::TextAddr { at: self.text.len() as u32, name: name.to_string() });
+        self.relocs.push(Reloc::TextAddr {
+            at: self.text.len() as u32,
+            name: name.to_string(),
+        });
         self.movz(rd, 0, 0);
         self.movk(rd, 0, 1);
     }
@@ -399,7 +457,15 @@ impl Asm {
     ///
     /// Panics if any referenced label is unbound.
     pub fn into_object(self) -> Object {
-        let Asm { isa, mut text, data, defs, relocs, labels, fixups } = self;
+        let Asm {
+            isa,
+            mut text,
+            data,
+            defs,
+            relocs,
+            labels,
+            fixups,
+        } = self;
         for fixup in fixups {
             let (at, label) = match fixup {
                 Fixup::B { at, label } | Fixup::Bl { at, label } => (at, label),
@@ -411,7 +477,13 @@ impl Asm {
                 ref k => unreachable!("fixup at non-branch {k:?}"),
             }
         }
-        Object { isa: Some(isa), text, data, defs, relocs }
+        Object {
+            isa: Some(isa),
+            text,
+            data,
+            defs,
+            relocs,
+        }
     }
 }
 
@@ -481,6 +553,9 @@ mod tests {
         let obj = asm.into_object();
         let b = obj.defs.iter().find(|d| d.name == "b").unwrap();
         assert_eq!(b.offset % 8, 0);
-        assert_eq!(&obj.data[b.offset as usize..b.offset as usize + 8], &42u64.to_le_bytes());
+        assert_eq!(
+            &obj.data[b.offset as usize..b.offset as usize + 8],
+            &42u64.to_le_bytes()
+        );
     }
 }

@@ -82,7 +82,12 @@ pub fn encode(inst: &Inst) -> u32 {
         InstKind::Mvn { rd, rm } => (OP_MVN, r_form(rd.0, 0, rm.0)),
         InstKind::AluImm { op, rd, rn, imm } => (OP_ALU_I + op as u32, i_form(rd.0, rn.0, imm)),
         InstKind::CmpImm { rn, imm } => (OP_CMP_I, i_form(0, rn.0, imm)),
-        InstKind::MovImm { rd, imm, shift, keep } => (
+        InstKind::MovImm {
+            rd,
+            imm,
+            shift,
+            keep,
+        } => (
             OP_MOVIMM + u32::from(shift) * 2 + u32::from(keep),
             m_form(rd.0, imm),
         ),
@@ -171,7 +176,9 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
     let kind = match opcode {
         OP_NOP => InstKind::Nop,
         OP_HALT => InstKind::Halt,
-        OP_SVC => InstKind::Svc { imm: dec_imm16(word) },
+        OP_SVC => InstKind::Svc {
+            imm: dec_imm16(word),
+        },
         OP_RET => InstKind::Ret,
         o if (OP_ALU_R..OP_ALU_R + 12).contains(&o) => InstKind::Alu {
             op: AluOp::ALL[(o - OP_ALU_R) as usize],
@@ -179,16 +186,28 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
             rn: dec_rn(word),
             rm: dec_rm(word),
         },
-        OP_CMP => InstKind::Cmp { rn: dec_rn(word), rm: dec_rm(word) },
-        OP_MOV => InstKind::Mov { rd: dec_rd(word), rm: dec_rm(word) },
-        OP_MVN => InstKind::Mvn { rd: dec_rd(word), rm: dec_rm(word) },
+        OP_CMP => InstKind::Cmp {
+            rn: dec_rn(word),
+            rm: dec_rm(word),
+        },
+        OP_MOV => InstKind::Mov {
+            rd: dec_rd(word),
+            rm: dec_rm(word),
+        },
+        OP_MVN => InstKind::Mvn {
+            rd: dec_rd(word),
+            rm: dec_rm(word),
+        },
         o if (OP_ALU_I..OP_ALU_I + 12).contains(&o) => InstKind::AluImm {
             op: AluOp::ALL[(o - OP_ALU_I) as usize],
             rd: dec_rd(word),
             rn: dec_rn(word),
             imm: dec_imm11(word),
         },
-        OP_CMP_I => InstKind::CmpImm { rn: dec_rn(word), imm: dec_imm11(word) },
+        OP_CMP_I => InstKind::CmpImm {
+            rn: dec_rn(word),
+            imm: dec_imm11(word),
+        },
         o if (OP_MOVIMM..OP_MOVIMM + 8).contains(&o) => {
             let sel = o - OP_MOVIMM;
             InstKind::MovImm {
@@ -222,26 +241,69 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
             rn: dec_rn(word),
             rm: dec_rm(word),
         },
-        OP_B => InstKind::B { off: dec_off21(word) },
-        OP_BL => InstKind::Bl { off: dec_off21(word) },
+        OP_B => InstKind::B {
+            off: dec_off21(word),
+        },
+        OP_BL => InstKind::Bl {
+            off: dec_off21(word),
+        },
         OP_BLR => InstKind::Blr { rm: dec_rm(word) },
-        OP_SWP => InstKind::Swp { rd: dec_rd(word), rn: dec_rn(word), rm: dec_rm(word) },
-        OP_AMOADD => InstKind::AmoAdd { rd: dec_rd(word), rn: dec_rn(word), rm: dec_rm(word) },
+        OP_SWP => InstKind::Swp {
+            rd: dec_rd(word),
+            rn: dec_rn(word),
+            rm: dec_rm(word),
+        },
+        OP_AMOADD => InstKind::AmoAdd {
+            rd: dec_rd(word),
+            rn: dec_rn(word),
+            rm: dec_rm(word),
+        },
         o if (OP_FP..OP_FP + 8).contains(&o) => InstKind::Fp {
             op: FpOp::ALL[(o - OP_FP) as usize],
             fd: dec_fd(word),
             fa: dec_fa(word),
             fb: dec_fb(word),
         },
-        OP_FPCMP => InstKind::FpCmp { fa: dec_fa(word), fb: dec_fb(word) },
-        OP_FMOV_TO => InstKind::FMovToFp { fd: dec_fd(word), rn: dec_rn(word) },
-        OP_FMOV_FROM => InstKind::FMovFromFp { rd: dec_rd(word), fa: dec_fa(word) },
-        OP_FCVTZS => InstKind::Fcvtzs { rd: dec_rd(word), fa: dec_fa(word) },
-        OP_SCVTF => InstKind::Scvtf { fd: dec_fd(word), rn: dec_rn(word) },
-        OP_FLD => InstKind::FLd { fd: dec_fd(word), rn: dec_rn(word), off: dec_imm11(word) },
-        OP_FST => InstKind::FSt { fd: dec_fd(word), rn: dec_rn(word), off: dec_imm11(word) },
-        OP_FLD_R => InstKind::FLdR { fd: dec_fd(word), rn: dec_rn(word), rm: dec_rm(word) },
-        OP_FST_R => InstKind::FStR { fd: dec_fd(word), rn: dec_rn(word), rm: dec_rm(word) },
+        OP_FPCMP => InstKind::FpCmp {
+            fa: dec_fa(word),
+            fb: dec_fb(word),
+        },
+        OP_FMOV_TO => InstKind::FMovToFp {
+            fd: dec_fd(word),
+            rn: dec_rn(word),
+        },
+        OP_FMOV_FROM => InstKind::FMovFromFp {
+            rd: dec_rd(word),
+            fa: dec_fa(word),
+        },
+        OP_FCVTZS => InstKind::Fcvtzs {
+            rd: dec_rd(word),
+            fa: dec_fa(word),
+        },
+        OP_SCVTF => InstKind::Scvtf {
+            fd: dec_fd(word),
+            rn: dec_rn(word),
+        },
+        OP_FLD => InstKind::FLd {
+            fd: dec_fd(word),
+            rn: dec_rn(word),
+            off: dec_imm11(word),
+        },
+        OP_FST => InstKind::FSt {
+            fd: dec_fd(word),
+            rn: dec_rn(word),
+            off: dec_imm11(word),
+        },
+        OP_FLD_R => InstKind::FLdR {
+            fd: dec_fd(word),
+            rn: dec_rn(word),
+            rm: dec_rm(word),
+        },
+        OP_FST_R => InstKind::FStR {
+            fd: dec_fd(word),
+            rn: dec_rn(word),
+            rm: dec_rm(word),
+        },
         _ => return Err(DecodeError { word }),
     };
     Ok(Inst { cond, kind })
@@ -264,17 +326,49 @@ mod tests {
         roundtrip(Inst::new(InstKind::Ret));
         roundtrip(Inst::new(InstKind::Svc { imm: 0x1234 }));
         for op in AluOp::ALL {
-            roundtrip(Inst::new(InstKind::Alu { op, rd: Reg(3), rn: Reg(14), rm: Reg(31) }));
-            roundtrip(Inst::new(InstKind::AluImm { op, rd: Reg(1), rn: Reg(2), imm: -1024 }));
-            roundtrip(Inst::new(InstKind::AluImm { op, rd: Reg(1), rn: Reg(2), imm: 1023 }));
+            roundtrip(Inst::new(InstKind::Alu {
+                op,
+                rd: Reg(3),
+                rn: Reg(14),
+                rm: Reg(31),
+            }));
+            roundtrip(Inst::new(InstKind::AluImm {
+                op,
+                rd: Reg(1),
+                rn: Reg(2),
+                imm: -1024,
+            }));
+            roundtrip(Inst::new(InstKind::AluImm {
+                op,
+                rd: Reg(1),
+                rn: Reg(2),
+                imm: 1023,
+            }));
         }
-        roundtrip(Inst::new(InstKind::Cmp { rn: Reg(4), rm: Reg(5) }));
-        roundtrip(Inst::new(InstKind::CmpImm { rn: Reg(4), imm: -1 }));
-        roundtrip(Inst::new(InstKind::Mov { rd: Reg(0), rm: Reg(30) }));
-        roundtrip(Inst::new(InstKind::Mvn { rd: Reg(0), rm: Reg(30) }));
+        roundtrip(Inst::new(InstKind::Cmp {
+            rn: Reg(4),
+            rm: Reg(5),
+        }));
+        roundtrip(Inst::new(InstKind::CmpImm {
+            rn: Reg(4),
+            imm: -1,
+        }));
+        roundtrip(Inst::new(InstKind::Mov {
+            rd: Reg(0),
+            rm: Reg(30),
+        }));
+        roundtrip(Inst::new(InstKind::Mvn {
+            rd: Reg(0),
+            rm: Reg(30),
+        }));
         for shift in 0..4 {
             for keep in [false, true] {
-                roundtrip(Inst::new(InstKind::MovImm { rd: Reg(9), imm: 0xbeef, shift, keep }));
+                roundtrip(Inst::new(InstKind::MovImm {
+                    rd: Reg(9),
+                    imm: 0xbeef,
+                    shift,
+                    keep,
+                }));
             }
         }
     }
@@ -282,45 +376,112 @@ mod tests {
     #[test]
     fn roundtrip_memory_and_branches() {
         for width in [Width::Word, Width::Byte, Width::Half] {
-            roundtrip(Inst::new(InstKind::Ld { width, rd: Reg(1), rn: Reg(2), off: -8 }));
-            roundtrip(Inst::new(InstKind::St { width, rd: Reg(1), rn: Reg(2), off: 1016 }));
-            roundtrip(Inst::new(InstKind::LdR { width, rd: Reg(1), rn: Reg(2), rm: Reg(3) }));
-            roundtrip(Inst::new(InstKind::StR { width, rd: Reg(1), rn: Reg(2), rm: Reg(3) }));
+            roundtrip(Inst::new(InstKind::Ld {
+                width,
+                rd: Reg(1),
+                rn: Reg(2),
+                off: -8,
+            }));
+            roundtrip(Inst::new(InstKind::St {
+                width,
+                rd: Reg(1),
+                rn: Reg(2),
+                off: 1016,
+            }));
+            roundtrip(Inst::new(InstKind::LdR {
+                width,
+                rd: Reg(1),
+                rn: Reg(2),
+                rm: Reg(3),
+            }));
+            roundtrip(Inst::new(InstKind::StR {
+                width,
+                rd: Reg(1),
+                rn: Reg(2),
+                rm: Reg(3),
+            }));
         }
         roundtrip(Inst::new(InstKind::B { off: -(1 << 20) }));
         roundtrip(Inst::new(InstKind::B { off: (1 << 20) - 1 }));
         roundtrip(Inst::when(Cond::Ne, InstKind::B { off: -3 }));
         roundtrip(Inst::new(InstKind::Bl { off: 12345 }));
         roundtrip(Inst::new(InstKind::Blr { rm: Reg(7) }));
-        roundtrip(Inst::new(InstKind::Swp { rd: Reg(1), rn: Reg(2), rm: Reg(3) }));
-        roundtrip(Inst::new(InstKind::AmoAdd { rd: Reg(1), rn: Reg(2), rm: Reg(3) }));
+        roundtrip(Inst::new(InstKind::Swp {
+            rd: Reg(1),
+            rn: Reg(2),
+            rm: Reg(3),
+        }));
+        roundtrip(Inst::new(InstKind::AmoAdd {
+            rd: Reg(1),
+            rn: Reg(2),
+            rm: Reg(3),
+        }));
     }
 
     #[test]
     fn roundtrip_fp() {
         for op in FpOp::ALL {
-            roundtrip(Inst::new(InstKind::Fp { op, fd: FReg(31), fa: FReg(15), fb: FReg(1) }));
+            roundtrip(Inst::new(InstKind::Fp {
+                op,
+                fd: FReg(31),
+                fa: FReg(15),
+                fb: FReg(1),
+            }));
         }
-        roundtrip(Inst::new(InstKind::FpCmp { fa: FReg(0), fb: FReg(1) }));
-        roundtrip(Inst::new(InstKind::FMovToFp { fd: FReg(2), rn: Reg(3) }));
-        roundtrip(Inst::new(InstKind::FMovFromFp { rd: Reg(3), fa: FReg(2) }));
-        roundtrip(Inst::new(InstKind::Fcvtzs { rd: Reg(3), fa: FReg(2) }));
-        roundtrip(Inst::new(InstKind::Scvtf { fd: FReg(2), rn: Reg(3) }));
-        roundtrip(Inst::new(InstKind::FLd { fd: FReg(8), rn: Reg(31), off: 16 }));
-        roundtrip(Inst::new(InstKind::FSt { fd: FReg(8), rn: Reg(31), off: -16 }));
-        roundtrip(Inst::new(InstKind::FLdR { fd: FReg(8), rn: Reg(1), rm: Reg(2) }));
-        roundtrip(Inst::new(InstKind::FStR { fd: FReg(8), rn: Reg(1), rm: Reg(2) }));
+        roundtrip(Inst::new(InstKind::FpCmp {
+            fa: FReg(0),
+            fb: FReg(1),
+        }));
+        roundtrip(Inst::new(InstKind::FMovToFp {
+            fd: FReg(2),
+            rn: Reg(3),
+        }));
+        roundtrip(Inst::new(InstKind::FMovFromFp {
+            rd: Reg(3),
+            fa: FReg(2),
+        }));
+        roundtrip(Inst::new(InstKind::Fcvtzs {
+            rd: Reg(3),
+            fa: FReg(2),
+        }));
+        roundtrip(Inst::new(InstKind::Scvtf {
+            fd: FReg(2),
+            rn: Reg(3),
+        }));
+        roundtrip(Inst::new(InstKind::FLd {
+            fd: FReg(8),
+            rn: Reg(31),
+            off: 16,
+        }));
+        roundtrip(Inst::new(InstKind::FSt {
+            fd: FReg(8),
+            rn: Reg(31),
+            off: -16,
+        }));
+        roundtrip(Inst::new(InstKind::FLdR {
+            fd: FReg(8),
+            rn: Reg(1),
+            rm: Reg(2),
+        }));
+        roundtrip(Inst::new(InstKind::FStR {
+            fd: FReg(8),
+            rn: Reg(1),
+            rm: Reg(2),
+        }));
     }
 
     #[test]
     fn conditional_encodings() {
         for cond in Cond::ALL {
-            roundtrip(Inst::when(cond, InstKind::AluImm {
-                op: AluOp::Add,
-                rd: Reg(0),
-                rn: Reg(0),
-                imm: 1,
-            }));
+            roundtrip(Inst::when(
+                cond,
+                InstKind::AluImm {
+                    op: AluOp::Add,
+                    rd: Reg(0),
+                    rn: Reg(0),
+                    imm: 1,
+                },
+            ));
         }
     }
 
@@ -336,7 +497,10 @@ mod tests {
 
     #[test]
     fn imm11_sign_extension() {
-        let i = Inst::new(InstKind::CmpImm { rn: Reg(0), imm: -1 });
+        let i = Inst::new(InstKind::CmpImm {
+            rn: Reg(0),
+            imm: -1,
+        });
         let w = encode(&i);
         assert_eq!(w & 0x7ff, 0x7ff);
         assert_eq!(decode(w).unwrap(), i);

@@ -11,7 +11,9 @@ pub struct IsaError {
 
 impl IsaError {
     pub(crate) fn new(message: impl Into<String>) -> IsaError {
-        IsaError { message: message.into() }
+        IsaError {
+            message: message.into(),
+        }
     }
 }
 
@@ -46,7 +48,10 @@ pub enum LinkError {
     /// A symbol was defined more than once.
     Duplicate { name: String },
     /// An object targets a different ISA than the link request.
-    IsaMismatch { expected: &'static str, found: &'static str },
+    IsaMismatch {
+        expected: &'static str,
+        found: &'static str,
+    },
     /// No `_start` entry symbol was found.
     NoEntry,
     /// A relocation is malformed (e.g. patch site is not a movz/movk pair).
@@ -59,7 +64,10 @@ impl fmt::Display for LinkError {
             LinkError::Undefined { name } => write!(f, "undefined symbol `{name}`"),
             LinkError::Duplicate { name } => write!(f, "duplicate symbol `{name}`"),
             LinkError::IsaMismatch { expected, found } => {
-                write!(f, "isa mismatch: linking {expected} but object targets {found}")
+                write!(
+                    f,
+                    "isa mismatch: linking {expected} but object targets {found}"
+                )
             }
             LinkError::NoEntry => write!(f, "no `_start` entry symbol"),
             LinkError::BadReloc { name, detail } => {

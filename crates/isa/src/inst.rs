@@ -155,9 +155,19 @@ pub enum InstKind {
     /// Return: branch to the link register.
     Ret,
     /// Three-register ALU operation: `rd = rn <op> rm`.
-    Alu { op: AluOp, rd: Reg, rn: Reg, rm: Reg },
+    Alu {
+        op: AluOp,
+        rd: Reg,
+        rn: Reg,
+        rm: Reg,
+    },
     /// Immediate ALU operation: `rd = rn <op> imm` (signed 11-bit).
-    AluImm { op: AluOp, rd: Reg, rn: Reg, imm: i16 },
+    AluImm {
+        op: AluOp,
+        rd: Reg,
+        rn: Reg,
+        imm: i16,
+    },
     /// Compare registers and set NZCV: flags from `rn - rm`.
     Cmp { rn: Reg, rm: Reg },
     /// Compare register with a signed 11-bit immediate.
@@ -167,19 +177,44 @@ pub enum InstKind {
     /// With `keep == false` the rest of the register is zeroed (MOVZ);
     /// with `keep == true` the other bits are preserved (MOVK).
     /// `shift` ranges over `0..=1` on SIRA-32 and `0..=3` on SIRA-64.
-    MovImm { rd: Reg, imm: u16, shift: u8, keep: bool },
+    MovImm {
+        rd: Reg,
+        imm: u16,
+        shift: u8,
+        keep: bool,
+    },
     /// Register move: `rd = rm`.
     Mov { rd: Reg, rm: Reg },
     /// Bitwise NOT move: `rd = !rm`.
     Mvn { rd: Reg, rm: Reg },
     /// Load `rd` from `[rn + off]` (byte offset, signed 11-bit).
-    Ld { width: Width, rd: Reg, rn: Reg, off: i16 },
+    Ld {
+        width: Width,
+        rd: Reg,
+        rn: Reg,
+        off: i16,
+    },
     /// Store `rd` to `[rn + off]`.
-    St { width: Width, rd: Reg, rn: Reg, off: i16 },
+    St {
+        width: Width,
+        rd: Reg,
+        rn: Reg,
+        off: i16,
+    },
     /// Load `rd` from `[rn + rm]`.
-    LdR { width: Width, rd: Reg, rn: Reg, rm: Reg },
+    LdR {
+        width: Width,
+        rd: Reg,
+        rn: Reg,
+        rm: Reg,
+    },
     /// Store `rd` to `[rn + rm]`.
-    StR { width: Width, rd: Reg, rn: Reg, rm: Reg },
+    StR {
+        width: Width,
+        rd: Reg,
+        rn: Reg,
+        rm: Reg,
+    },
     /// Branch (conditional via the instruction's condition field).
     B { off: i32 },
     /// Branch and link: `lr = return address; pc += off`.
@@ -191,7 +226,12 @@ pub enum InstKind {
     /// Atomic fetch-and-add: `rd = [rn]; [rn] += rm` in one step.
     AmoAdd { rd: Reg, rn: Reg, rm: Reg },
     /// Hardware FP operation (SIRA-64 only).
-    Fp { op: FpOp, fd: FReg, fa: FReg, fb: FReg },
+    Fp {
+        op: FpOp,
+        fd: FReg,
+        fa: FReg,
+        fb: FReg,
+    },
     /// FP compare: set NZCV from `fa - fb` (unordered sets V).
     FpCmp { fa: FReg, fb: FReg },
     /// Move the raw bits of an integer register into an FP register.
@@ -227,7 +267,10 @@ pub struct Inst {
 impl Inst {
     /// An unconditional instruction.
     pub fn new(kind: InstKind) -> Inst {
-        Inst { cond: Cond::Al, kind }
+        Inst {
+            cond: Cond::Al,
+            kind,
+        }
     }
 
     /// A conditional instruction.
@@ -304,7 +347,12 @@ impl fmt::Display for Inst {
             }
             InstKind::Cmp { rn, rm } => write!(f, "cmp{c} {rn}, {rm}"),
             InstKind::CmpImm { rn, imm } => write!(f, "cmp{c} {rn}, #{imm}"),
-            InstKind::MovImm { rd, imm, shift, keep } => {
+            InstKind::MovImm {
+                rd,
+                imm,
+                shift,
+                keep,
+            } => {
                 let m = if keep { "movk" } else { "movz" };
                 if shift == 0 {
                     write!(f, "{m}{c} {rd}, #{imm}")
@@ -372,9 +420,20 @@ mod tests {
             rm: Reg(3),
         });
         assert_eq!(i.to_string(), "add r1, r2, r3");
-        let i = Inst::when(Cond::Eq, InstKind::Mov { rd: Reg(0), rm: Reg(4) });
+        let i = Inst::when(
+            Cond::Eq,
+            InstKind::Mov {
+                rd: Reg(0),
+                rm: Reg(4),
+            },
+        );
         assert_eq!(i.to_string(), "mov.eq r0, r4");
-        let i = Inst::new(InstKind::MovImm { rd: Reg(2), imm: 17, shift: 1, keep: true });
+        let i = Inst::new(InstKind::MovImm {
+            rd: Reg(2),
+            imm: 17,
+            shift: 1,
+            keep: true,
+        });
         assert_eq!(i.to_string(), "movk r2, #17, lsl #16");
     }
 
@@ -384,11 +443,24 @@ mod tests {
         assert!(b.is_branch() && !b.is_call() && !b.is_mem() && !b.is_fp());
         let bl = Inst::new(InstKind::Bl { off: 10 });
         assert!(bl.is_branch() && bl.is_call());
-        let ld = Inst::new(InstKind::Ld { width: Width::Word, rd: Reg(0), rn: Reg(1), off: 8 });
+        let ld = Inst::new(InstKind::Ld {
+            width: Width::Word,
+            rd: Reg(0),
+            rn: Reg(1),
+            off: 8,
+        });
         assert!(ld.is_mem() && !ld.is_fp());
-        let fld = Inst::new(InstKind::FLd { fd: FReg(0), rn: Reg(1), off: 8 });
+        let fld = Inst::new(InstKind::FLd {
+            fd: FReg(0),
+            rn: Reg(1),
+            off: 8,
+        });
         assert!(fld.is_mem() && fld.is_fp());
-        let amo = Inst::new(InstKind::AmoAdd { rd: Reg(0), rn: Reg(1), rm: Reg(2) });
+        let amo = Inst::new(InstKind::AmoAdd {
+            rd: Reg(0),
+            rn: Reg(1),
+            rm: Reg(2),
+        });
         assert!(amo.is_mem());
     }
 }

@@ -246,7 +246,9 @@ impl IsaKind {
             }
             InstKind::B { off } | InstKind::Bl { off } => {
                 if !(-(1 << 20)..(1 << 20)).contains(&off) {
-                    Err(IsaError::new(format!("branch offset {off} exceeds 21 bits")))
+                    Err(IsaError::new(format!(
+                        "branch offset {off} exceeds 21 bits"
+                    )))
                 } else {
                     Ok(())
                 }
@@ -299,7 +301,9 @@ impl fmt::Display for IsaKind {
 
 fn check_imm11(imm: i16) -> Result<(), IsaError> {
     if !(-1024..1024).contains(&imm) {
-        Err(IsaError::new(format!("immediate {imm} exceeds signed 11 bits")))
+        Err(IsaError::new(format!(
+            "immediate {imm} exceeds signed 11 bits"
+        )))
     } else {
         Ok(())
     }
@@ -338,7 +342,12 @@ mod tests {
     fn sira64_rejects_conditional_alu() {
         let inst = Inst::when(
             Cond::Eq,
-            InstKind::Alu { op: AluOp::Add, rd: Reg(0), rn: Reg(1), rm: Reg(2) },
+            InstKind::Alu {
+                op: AluOp::Add,
+                rd: Reg(0),
+                rn: Reg(1),
+                rm: Reg(2),
+            },
         );
         assert!(IsaKind::Sira64.validate(&inst).is_err());
         assert!(IsaKind::Sira32.validate(&inst).is_ok());
@@ -348,24 +357,45 @@ mod tests {
 
     #[test]
     fn register_range_checks() {
-        let inst = Inst::new(InstKind::Mov { rd: Reg(20), rm: Reg(0) });
+        let inst = Inst::new(InstKind::Mov {
+            rd: Reg(20),
+            rm: Reg(0),
+        });
         assert!(IsaKind::Sira32.validate(&inst).is_err());
         assert!(IsaKind::Sira64.validate(&inst).is_ok());
-        let inst = Inst::new(InstKind::Mov { rd: Reg(32), rm: Reg(0) });
+        let inst = Inst::new(InstKind::Mov {
+            rd: Reg(32),
+            rm: Reg(0),
+        });
         assert!(IsaKind::Sira64.validate(&inst).is_err());
     }
 
     #[test]
     fn mov_shift_limits() {
-        let inst = Inst::new(InstKind::MovImm { rd: Reg(0), imm: 1, shift: 2, keep: false });
+        let inst = Inst::new(InstKind::MovImm {
+            rd: Reg(0),
+            imm: 1,
+            shift: 2,
+            keep: false,
+        });
         assert!(IsaKind::Sira32.validate(&inst).is_err());
         assert!(IsaKind::Sira64.validate(&inst).is_ok());
     }
 
     #[test]
     fn imm11_limits() {
-        let ok = Inst::new(InstKind::AluImm { op: AluOp::Add, rd: Reg(0), rn: Reg(0), imm: 1023 });
-        let bad = Inst::new(InstKind::AluImm { op: AluOp::Add, rd: Reg(0), rn: Reg(0), imm: 1024 });
+        let ok = Inst::new(InstKind::AluImm {
+            op: AluOp::Add,
+            rd: Reg(0),
+            rn: Reg(0),
+            imm: 1023,
+        });
+        let bad = Inst::new(InstKind::AluImm {
+            op: AluOp::Add,
+            rd: Reg(0),
+            rn: Reg(0),
+            imm: 1024,
+        });
         assert!(IsaKind::Sira32.validate(&ok).is_ok());
         assert!(IsaKind::Sira32.validate(&bad).is_err());
     }

@@ -55,9 +55,9 @@ pub enum Reloc {
 impl Reloc {
     fn name(&self) -> &str {
         match self {
-            Reloc::Call { name, .. } | Reloc::TextAddr { name, .. } | Reloc::DataOff { name, .. } => {
-                name
-            }
+            Reloc::Call { name, .. }
+            | Reloc::TextAddr { name, .. }
+            | Reloc::DataOff { name, .. } => name,
         }
     }
 }
@@ -114,7 +114,11 @@ impl SymbolTable {
             .map(|(i, s)| (s.value, i))
             .collect();
         text_sorted.sort_unstable();
-        SymbolTable { symbols, text_sorted, by_name }
+        SymbolTable {
+            symbols,
+            text_sorted,
+            by_name,
+        }
     }
 
     /// Looks a symbol up by name.
@@ -177,16 +181,35 @@ impl Image {
 
 fn patch_pair(text: &mut [Inst], at: u32, value: u32, name: &str) -> Result<(), LinkError> {
     let at = at as usize;
-    let err = |detail: &str| LinkError::BadReloc { name: name.to_string(), detail: detail.into() };
+    let err = |detail: &str| LinkError::BadReloc {
+        name: name.to_string(),
+        detail: detail.into(),
+    };
     if at + 1 >= text.len() {
         return Err(err("patch site out of range"));
     }
     match (&mut text[at].kind, value as u16) {
-        (InstKind::MovImm { imm, keep: false, shift: 0, .. }, low) => *imm = low,
+        (
+            InstKind::MovImm {
+                imm,
+                keep: false,
+                shift: 0,
+                ..
+            },
+            low,
+        ) => *imm = low,
         _ => return Err(err("patch site is not a movz #0 instruction")),
     }
     match (&mut text[at + 1].kind, (value >> 16) as u16) {
-        (InstKind::MovImm { imm, keep: true, shift: 1, .. }, high) => *imm = high,
+        (
+            InstKind::MovImm {
+                imm,
+                keep: true,
+                shift: 1,
+                ..
+            },
+            high,
+        ) => *imm = high,
         _ => return Err(err("patch site +1 is not a movk lsl #16 instruction")),
     }
     Ok(())
@@ -213,12 +236,15 @@ pub fn link(isa: IsaKind, objects: &[Object]) -> Result<Image, LinkError> {
     for obj in objects {
         if let Some(found) = obj.isa {
             if found != isa {
-                return Err(LinkError::IsaMismatch { expected: isa.name(), found: found.name() });
+                return Err(LinkError::IsaMismatch {
+                    expected: isa.name(),
+                    found: found.name(),
+                });
             }
         }
         let text_off = text.len() as u32;
         // Align each object's data to 16 bytes so f64 arrays stay aligned.
-        while data.len() % 16 != 0 {
+        while !data.len().is_multiple_of(16) {
             data.push(0);
         }
         let data_off = data.len() as u32;
@@ -226,19 +252,34 @@ pub fn link(isa: IsaKind, objects: &[Object]) -> Result<Image, LinkError> {
         data.extend_from_slice(&obj.data);
         for def in &obj.defs {
             if seen.insert(def.name.clone(), ()).is_some() {
-                return Err(LinkError::Duplicate { name: def.name.clone() });
+                return Err(LinkError::Duplicate {
+                    name: def.name.clone(),
+                });
             }
             let value = match def.section {
                 Section::Text => TEXT_BASE + (text_off + def.offset) * 4,
                 Section::Data => data_off + def.offset,
             };
-            symbols.push(Symbol { name: def.name.clone(), section: def.section, value });
+            symbols.push(Symbol {
+                name: def.name.clone(),
+                section: def.section,
+                value,
+            });
         }
         for reloc in &obj.relocs {
             relocs.push(match reloc.clone() {
-                Reloc::Call { at, name } => Reloc::Call { at: at + text_off, name },
-                Reloc::TextAddr { at, name } => Reloc::TextAddr { at: at + text_off, name },
-                Reloc::DataOff { at, name } => Reloc::DataOff { at: at + text_off, name },
+                Reloc::Call { at, name } => Reloc::Call {
+                    at: at + text_off,
+                    name,
+                },
+                Reloc::TextAddr { at, name } => Reloc::TextAddr {
+                    at: at + text_off,
+                    name,
+                },
+                Reloc::DataOff { at, name } => Reloc::DataOff {
+                    at: at + text_off,
+                    name,
+                },
             });
         }
     }
@@ -246,9 +287,9 @@ pub fn link(isa: IsaKind, objects: &[Object]) -> Result<Image, LinkError> {
     let table = SymbolTable::build(symbols);
     for reloc in &relocs {
         let name = reloc.name();
-        let sym = table
-            .get(name)
-            .ok_or_else(|| LinkError::Undefined { name: name.to_string() })?;
+        let sym = table.get(name).ok_or_else(|| LinkError::Undefined {
+            name: name.to_string(),
+        })?;
         match reloc {
             Reloc::Call { at, .. } => {
                 if sym.section != Section::Text {
@@ -335,7 +376,12 @@ mod tests {
         a.global_fn("_start");
         a.bl_sym("missing");
         let err = link(IsaKind::Sira32, &[a.into_object()]).unwrap_err();
-        assert_eq!(err, LinkError::Undefined { name: "missing".into() });
+        assert_eq!(
+            err,
+            LinkError::Undefined {
+                name: "missing".into()
+            }
+        );
     }
 
     #[test]
@@ -347,7 +393,12 @@ mod tests {
         b.global_fn("_start");
         b.halt();
         let err = link(IsaKind::Sira32, &[a.into_object(), b.into_object()]).unwrap_err();
-        assert_eq!(err, LinkError::Duplicate { name: "_start".into() });
+        assert_eq!(
+            err,
+            LinkError::Duplicate {
+                name: "_start".into()
+            }
+        );
     }
 
     #[test]
@@ -384,7 +435,9 @@ mod tests {
         assert_eq!(table.value, 16);
         // The movz/movk pair was patched with the offset.
         match img.text[0].kind {
-            InstKind::MovImm { imm, keep: false, .. } => assert_eq!(imm, 16),
+            InstKind::MovImm {
+                imm, keep: false, ..
+            } => assert_eq!(imm, 16),
             ref k => panic!("expected movz, got {k:?}"),
         }
     }
@@ -399,9 +452,18 @@ mod tests {
         a.nop();
         let img = link(IsaKind::Sira64, &[a.into_object()]).unwrap();
         assert_eq!(img.symbols.function_at(TEXT_BASE).unwrap().name, "_start");
-        assert_eq!(img.symbols.function_at(TEXT_BASE + 4).unwrap().name, "_start");
-        assert_eq!(img.symbols.function_at(TEXT_BASE + 8).unwrap().name, "second");
-        assert_eq!(img.symbols.function_at(TEXT_BASE + 400).unwrap().name, "second");
+        assert_eq!(
+            img.symbols.function_at(TEXT_BASE + 4).unwrap().name,
+            "_start"
+        );
+        assert_eq!(
+            img.symbols.function_at(TEXT_BASE + 8).unwrap().name,
+            "second"
+        );
+        assert_eq!(
+            img.symbols.function_at(TEXT_BASE + 400).unwrap().name,
+            "second"
+        );
         assert!(img.symbols.function_at(TEXT_BASE - 4).is_none());
     }
 }

@@ -171,7 +171,13 @@ mod tests {
 
     #[test]
     fn abi_registers_disjoint_sira32() {
-        let special = [sira32::GB, sira32::SCRATCH, sira32::SP, sira32::LR, sira32::PC];
+        let special = [
+            sira32::GB,
+            sira32::SCRATCH,
+            sira32::SP,
+            sira32::LR,
+            sira32::PC,
+        ];
         for r in sira32::CALLEE_SAVED {
             assert!(!special.contains(&r));
             assert!(!sira32::CALLER_SAVED.contains(&r));

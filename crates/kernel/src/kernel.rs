@@ -4,9 +4,9 @@ use crate::abi;
 use crate::layout::{MemLayout, RegionAlloc};
 use crate::outcome::{RunOutcome, RunReport};
 use crate::proc::{BlockReason, Message, PendingRecv, Pid, Process, Thread, ThreadState, Tid};
-use fracas_cpu::{CoreContext, Machine, StepResult, Trap};
+use fracas_cpu::{CoreContext, Machine, MachineSnapshot, StepResult, Trap};
 use fracas_isa::{Image, Reg};
-use fracas_mem::{CacheParams, MemError, Perms};
+use fracas_mem::{CacheParams, MemError, PageSet, Perms};
 use std::collections::{HashMap, VecDeque};
 
 /// How much console output is retained verbatim (the total length and a
@@ -14,7 +14,7 @@ use std::collections::{HashMap, VecDeque};
 const CONSOLE_CAP: usize = 256 * 1024;
 
 /// Boot-time scenario configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BootSpec {
     /// Number of processes to start (the MPI world size; 1 for serial
     /// and OpenMP scenarios).
@@ -50,12 +50,18 @@ impl BootSpec {
 
     /// One process whose runtime forks `threads` OMP workers.
     pub fn omp(threads: u32) -> BootSpec {
-        BootSpec { omp_threads: threads.max(1), ..BootSpec::serial() }
+        BootSpec {
+            omp_threads: threads.max(1),
+            ..BootSpec::serial()
+        }
     }
 
     /// `ranks` message-passing processes.
     pub fn mpi(ranks: u32) -> BootSpec {
-        BootSpec { processes: ranks.max(1), ..BootSpec::serial() }
+        BootSpec {
+            processes: ranks.max(1),
+            ..BootSpec::serial()
+        }
     }
 }
 
@@ -70,11 +76,14 @@ pub struct Limits {
 
 impl Default for Limits {
     fn default() -> Limits {
-        Limits { max_cycles: u64::MAX / 4, max_steps: 4_000_000_000 }
+        Limits {
+            max_cycles: u64::MAX / 4,
+            max_steps: 4_000_000_000,
+        }
     }
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 struct LockState {
     held_by: Option<Tid>,
     waiters: VecDeque<Tid>,
@@ -100,6 +109,51 @@ pub struct Kernel {
     steps: u64,
     power_transitions: u64,
     finished: Option<RunOutcome>,
+}
+
+/// A frozen copy of a [`Kernel`] (and its machine) at one tick boundary,
+/// captured by [`Kernel::snapshot`] and revived by [`Kernel::restore`].
+///
+/// This is the unit the fault injector checkpoints: resuming from a
+/// snapshot replays the identical deterministic tick sequence the
+/// original run would have executed from that point.
+#[derive(Debug, Clone)]
+pub struct KernelSnapshot {
+    machine: MachineSnapshot,
+    spec: BootSpec,
+    alloc: RegionAlloc,
+    procs: Vec<Process>,
+    threads: Vec<Thread>,
+    ready: VecDeque<Tid>,
+    core_thread: Vec<Option<Tid>>,
+    dispatched_at: Vec<u64>,
+    msgs: Vec<Vec<Message>>,
+    barriers: HashMap<u32, Vec<Tid>>,
+    locks: HashMap<u32, LockState>,
+    console: Vec<u8>,
+    console_len: u64,
+    console_hash: u64,
+    steps: u64,
+    power_transitions: u64,
+    finished: Option<RunOutcome>,
+}
+
+impl KernelSnapshot {
+    /// Local cycle clock of `core` at capture time. A snapshot may serve
+    /// a fault targeting `core` at cycle `c` only when this is strictly
+    /// below `c` — otherwise the injection point has already passed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn core_cycles(&self, core: usize) -> u64 {
+        self.machine.core_cycles(core)
+    }
+
+    /// Machine wall-clock at capture time.
+    pub fn max_cycles(&self) -> u64 {
+        self.machine.max_cycles()
+    }
 }
 
 impl Kernel {
@@ -174,6 +228,10 @@ impl Kernel {
             finished: None,
         };
         kernel.fill_cores();
+        // Boot is deterministic, so the image/stack writes above are
+        // common to every run; dirty-page tracking starts at the first
+        // executed instruction (symmetric with a snapshot restore).
+        kernel.machine.mem.clear_dirty();
         kernel
     }
 
@@ -185,6 +243,12 @@ impl Kernel {
     /// Mutable machine access (fault injection).
     pub fn machine_mut(&mut self) -> &mut Machine {
         &mut self.machine
+    }
+
+    /// Scheduler ticks executed so far (the quantity [`Limits::max_steps`]
+    /// bounds).
+    pub fn steps(&self) -> u64 {
+        self.steps
     }
 
     /// The boot spec.
@@ -233,6 +297,137 @@ impl Kernel {
         }
     }
 
+    /// Runs until the machine wall-clock ([`Machine::max_cycles`])
+    /// reaches `cycle` (returns `None`, paused at a tick boundary) or the
+    /// run ends first (returns the outcome). This is the checkpoint
+    /// capturer's pacing loop.
+    pub fn run_until_machine_cycle(&mut self, cycle: u64, limits: &Limits) -> Option<RunOutcome> {
+        loop {
+            if let Some(done) = self.finished {
+                return Some(done);
+            }
+            if self.machine.max_cycles() >= cycle {
+                return None;
+            }
+            if let Some(done) = self.tick(limits) {
+                return Some(done);
+            }
+        }
+    }
+
+    // ----- checkpoint / restore -------------------------------------------
+
+    /// Captures the complete kernel state — machine, region allocator,
+    /// process table, threads, run queue, core bindings, message queues,
+    /// barriers, locks, console and accounting — at the current tick
+    /// boundary.
+    ///
+    /// Because [`Kernel::tick`] is the only unit of progress and is a
+    /// pure function of this state, restoring the snapshot and running
+    /// replays the exact tick sequence the original kernel would have
+    /// executed, producing bit-identical [`RunReport`]s.
+    pub fn snapshot(&self) -> KernelSnapshot {
+        KernelSnapshot {
+            machine: self.machine.snapshot(),
+            spec: self.spec,
+            alloc: self.alloc.clone(),
+            procs: self.procs.clone(),
+            threads: self.threads.clone(),
+            ready: self.ready.clone(),
+            core_thread: self.core_thread.clone(),
+            dispatched_at: self.dispatched_at.clone(),
+            msgs: self.msgs.clone(),
+            barriers: self.barriers.clone(),
+            locks: self.locks.clone(),
+            console: self.console.clone(),
+            console_len: self.console_len,
+            console_hash: self.console_hash,
+            steps: self.steps,
+            power_transitions: self.power_transitions,
+            finished: self.finished,
+        }
+    }
+
+    /// Reconstructs a kernel from a snapshot (profiling disabled — see
+    /// [`Machine::snapshot`]).
+    pub fn restore(snap: &KernelSnapshot) -> Kernel {
+        Kernel {
+            machine: Machine::restore(&snap.machine),
+            spec: snap.spec,
+            alloc: snap.alloc.clone(),
+            procs: snap.procs.clone(),
+            threads: snap.threads.clone(),
+            ready: snap.ready.clone(),
+            core_thread: snap.core_thread.clone(),
+            dispatched_at: snap.dispatched_at.clone(),
+            msgs: snap.msgs.clone(),
+            barriers: snap.barriers.clone(),
+            locks: snap.locks.clone(),
+            console: snap.console.clone(),
+            console_len: snap.console_len,
+            console_hash: snap.console_hash,
+            steps: snap.steps,
+            power_transitions: snap.power_transitions,
+            finished: snap.finished,
+        }
+    }
+
+    /// True when this kernel's complete state — machine and all
+    /// scheduler bookkeeping — is identical to the state `snap`
+    /// captured. Since [`Kernel::tick`] is a pure function of this
+    /// state, equality means the two executions are indistinguishable
+    /// from here on: same tick sequence, same final [`RunReport`].
+    ///
+    /// The injection engine uses this to prune runs whose fault has
+    /// provably vanished: once a faulty run's state re-equals a golden
+    /// checkpoint at the same point, its remainder *is* the golden
+    /// remainder and need not be executed.
+    pub fn state_matches(&self, snap: &KernelSnapshot) -> bool {
+        self.steps == snap.steps
+            && self.console_len == snap.console_len
+            && self.console_hash == snap.console_hash
+            && self.power_transitions == snap.power_transitions
+            && self.finished == snap.finished
+            && self.spec == snap.spec
+            && self.ready == snap.ready
+            && self.core_thread == snap.core_thread
+            && self.dispatched_at == snap.dispatched_at
+            && self.alloc == snap.alloc
+            && self.procs == snap.procs
+            && self.threads == snap.threads
+            && self.msgs == snap.msgs
+            && self.barriers == snap.barriers
+            && self.locks == snap.locks
+            && self.console == snap.console
+            && self.machine.state_matches(&snap.machine)
+    }
+
+    /// Like [`Kernel::state_matches`], but physical memory is compared
+    /// only over `touched` — the union of pages either execution could
+    /// have written since their last common state (tracked by
+    /// checkpoint capture and by `PhysMem` dirty bits). All scheduler
+    /// and machine state is still compared in full, so a match retains
+    /// the same replay guarantee at a fraction of the cost.
+    pub fn state_matches_within(&self, snap: &KernelSnapshot, touched: &PageSet) -> bool {
+        self.steps == snap.steps
+            && self.console_len == snap.console_len
+            && self.console_hash == snap.console_hash
+            && self.power_transitions == snap.power_transitions
+            && self.finished == snap.finished
+            && self.spec == snap.spec
+            && self.ready == snap.ready
+            && self.core_thread == snap.core_thread
+            && self.dispatched_at == snap.dispatched_at
+            && self.alloc == snap.alloc
+            && self.procs == snap.procs
+            && self.threads == snap.threads
+            && self.msgs == snap.msgs
+            && self.barriers == snap.barriers
+            && self.locks == snap.locks
+            && self.console == snap.console
+            && self.machine.state_matches_within(&snap.machine, touched)
+    }
+
     /// Executes one scheduling step; `Some` when the run ended.
     fn tick(&mut self, limits: &Limits) -> Option<RunOutcome> {
         if self.machine.max_cycles() >= limits.max_cycles {
@@ -243,7 +438,9 @@ impl Kernel {
         }
         let Some(core) = self.machine.next_core() else {
             let outcome = if self.live_threads() == 0 {
-                RunOutcome::Exited { code: self.aggregate_code() }
+                RunOutcome::Exited {
+                    code: self.aggregate_code(),
+                }
             } else {
                 RunOutcome::Deadlock
             };
@@ -262,7 +459,10 @@ impl Kernel {
             StepResult::Trap(trap) => Some(self.finish(RunOutcome::Trapped { trap, pid })),
             StepResult::Halted => {
                 let pc = self.machine.core(core).pc().wrapping_sub(4);
-                Some(self.finish(RunOutcome::Trapped { trap: Trap::Privileged { pc }, pid }))
+                Some(self.finish(RunOutcome::Trapped {
+                    trap: Trap::Privileged { pc },
+                    pid,
+                }))
             }
         }
     }
@@ -380,7 +580,8 @@ impl Kernel {
         }
         self.console_len += bytes.len() as u64;
         let room = CONSOLE_CAP.saturating_sub(self.console.len());
-        self.console.extend_from_slice(&bytes[..bytes.len().min(room)]);
+        self.console
+            .extend_from_slice(&bytes[..bytes.len().min(room)]);
     }
 
     // ----- syscalls -------------------------------------------------------
@@ -396,13 +597,17 @@ impl Kernel {
     #[allow(clippy::too_many_lines)]
     fn syscall(&mut self, core: usize, tid: Tid, num: u16) -> Option<RunOutcome> {
         let pid = self.threads[tid as usize].pid;
-        self.machine.core_mut(core).advance_kernel(self.spec.syscall_cost);
+        self.machine
+            .core_mut(core)
+            .advance_kernel(self.spec.syscall_cost);
         match num {
             abi::SYS_EXIT => {
                 let code = self.arg(core, 0) as u32 as i32;
                 self.kill_process(pid, code);
                 if self.procs.iter().all(|p| !p.is_alive()) {
-                    return Some(self.finish(RunOutcome::Exited { code: self.aggregate_code() }));
+                    return Some(self.finish(RunOutcome::Exited {
+                        code: self.aggregate_code(),
+                    }));
                 }
             }
             abi::SYS_WRITE => {
@@ -468,16 +673,21 @@ impl Kernel {
                 } else {
                     let payload = match self.copy_from_user(pid, ptr, len) {
                         Ok(p) => p,
-                        Err(trap) => {
-                            return Some(self.finish(RunOutcome::Trapped { trap, pid }))
-                        }
+                        Err(trap) => return Some(self.finish(RunOutcome::Trapped { trap, pid })),
                     };
                     self.machine
                         .core_mut(core)
                         .advance_kernel(u64::from(len) / 8);
                     let now = self.machine.core(core).cycles();
-                    if let Some(out) = self.deliver_or_queue(dest, Message { src: pid, tag, payload }, now)
-                    {
+                    if let Some(out) = self.deliver_or_queue(
+                        dest,
+                        Message {
+                            src: pid,
+                            tag,
+                            payload,
+                        },
+                        now,
+                    ) {
                         return Some(out);
                     }
                     self.set_ret(core, u64::from(len));
@@ -502,8 +712,12 @@ impl Kernel {
                         self.set_ret(core, n as u64);
                     }
                     None => {
-                        self.threads[tid as usize].pending_recv =
-                            Some(PendingRecv { src, tag, ptr, maxlen });
+                        self.threads[tid as usize].pending_recv = Some(PendingRecv {
+                            src,
+                            tag,
+                            ptr,
+                            maxlen,
+                        });
                         self.block_current(core, tid, BlockReason::Recv);
                     }
                 }
@@ -602,25 +816,23 @@ impl Kernel {
             abi::SYS_GETTID => self.set_ret(core, u64::from(tid)),
             _ => {
                 let pc = self.machine.core(core).pc().wrapping_sub(4);
-                return Some(
-                    self.finish(RunOutcome::Trapped { trap: Trap::IllegalInst { pc }, pid }),
-                );
+                return Some(self.finish(RunOutcome::Trapped {
+                    trap: Trap::IllegalInst { pc },
+                    pid,
+                }));
             }
         }
         None
     }
 
     fn spawn_thread(&mut self, pid: Pid, entry: u32, arg: u64, now: u64) -> u64 {
-        let stack = self.procs[pid as usize]
-            .free_stacks
-            .pop()
-            .or_else(|| {
-                let s = self.alloc.alloc_stack()?;
-                self.procs[pid as usize]
-                    .perm
-                    .map_range(s.0, s.1 - s.0, Perms::RW);
-                Some(s)
-            });
+        let stack = self.procs[pid as usize].free_stacks.pop().or_else(|| {
+            let s = self.alloc.alloc_stack()?;
+            self.procs[pid as usize]
+                .perm
+                .map_range(s.0, s.1 - s.0, Perms::RW);
+            Some(s)
+        });
         let Some(stack) = stack else {
             return u64::MAX;
         };
@@ -689,7 +901,9 @@ impl Kernel {
                 ThreadState::Blocked(reason) => self.cancel_block(tid, reason),
                 ThreadState::Exited { .. } => {}
             }
-            self.threads[tid as usize].state = ThreadState::Exited { ret: i64::from(code) };
+            self.threads[tid as usize].state = ThreadState::Exited {
+                ret: i64::from(code),
+            };
             self.wake_joiners(tid, i64::from(code));
         }
         self.fill_cores();
@@ -827,12 +1041,7 @@ mod tests {
     const R2: Reg = Reg(2);
     const R3: Reg = Reg(3);
 
-    fn boot(
-        isa: IsaKind,
-        cores: usize,
-        spec: BootSpec,
-        build: impl FnOnce(&mut Asm),
-    ) -> Kernel {
+    fn boot(isa: IsaKind, cores: usize, spec: BootSpec, build: impl FnOnce(&mut Asm)) -> Kernel {
         let mut asm = Asm::new(isa);
         asm.global_fn("_start");
         build(&mut asm);
@@ -906,7 +1115,10 @@ mod tests {
             exit0(a);
         });
         let outcome = k.run(&Limits::default());
-        assert!(matches!(outcome, RunOutcome::Trapped { pid: 0, .. }), "{outcome}");
+        assert!(
+            matches!(outcome, RunOutcome::Trapped { pid: 0, .. }),
+            "{outcome}"
+        );
         assert!(outcome.is_abnormal());
     }
 
@@ -916,7 +1128,10 @@ mod tests {
             let top = a.here();
             a.b(top);
         });
-        let outcome = k.run(&Limits { max_cycles: 50_000, max_steps: u64::MAX });
+        let outcome = k.run(&Limits {
+            max_cycles: 50_000,
+            max_steps: u64::MAX,
+        });
         assert_eq!(outcome, RunOutcome::CycleLimit);
         assert!(outcome.is_hang());
     }
@@ -939,7 +1154,10 @@ mod tests {
 
     #[test]
     fn two_threads_share_one_core_via_preemption() {
-        let spec = BootSpec { quantum: 500, ..BootSpec::serial() };
+        let spec = BootSpec {
+            quantum: 500,
+            ..BootSpec::serial()
+        };
         let mut k = boot(IsaKind::Sira64, 1, spec, |a| {
             a.lea_text(R0, "worker");
             a.movz(R1, 0, 0);
@@ -967,7 +1185,10 @@ mod tests {
         // Two workers each add 1000 to a shared counter under the kernel
         // lock, using load/add/store (racy without the lock's mutual
         // exclusion across preemption points).
-        let spec = BootSpec { quantum: 100, ..BootSpec::serial() };
+        let spec = BootSpec {
+            quantum: 100,
+            ..BootSpec::serial()
+        };
         let mut k = boot(IsaKind::Sira64, 2, spec, |a| {
             a.lea_text(R0, "adder");
             a.movz(R1, 0, 0);
@@ -1299,7 +1520,11 @@ mod extended_tests {
         });
         assert!(k.run(&Limits::default()).is_clean_exit());
         let report = k.report();
-        assert!(report.power_transitions >= 2, "{}", report.power_transitions);
+        assert!(
+            report.power_transitions >= 2,
+            "{}",
+            report.power_transitions
+        );
     }
 
     #[test]

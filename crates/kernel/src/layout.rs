@@ -31,7 +31,7 @@ impl Default for MemLayout {
 
 /// Bump allocator over the guest physical space: process regions grow
 /// upward from `region_base`, stacks grow downward from the top.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RegionAlloc {
     layout: MemLayout,
     next_region: u32,

@@ -51,7 +51,7 @@ mod layout;
 mod outcome;
 mod proc;
 
-pub use kernel::{BootSpec, Kernel, Limits};
+pub use kernel::{BootSpec, Kernel, KernelSnapshot, Limits};
 pub use layout::{MemLayout, RegionAlloc};
 pub use outcome::{RunOutcome, RunReport};
 pub use proc::{Pid, ThreadState, Tid};

@@ -44,8 +44,10 @@ impl RunOutcome {
 
     /// True for the paper's UT class (abnormal termination).
     pub fn is_abnormal(self) -> bool {
-        matches!(self, RunOutcome::Trapped { .. } | RunOutcome::Exited { code: 1.. })
-            || matches!(self, RunOutcome::Exited { code } if code < 0)
+        matches!(
+            self,
+            RunOutcome::Trapped { .. } | RunOutcome::Exited { code: 1.. }
+        ) || matches!(self, RunOutcome::Exited { code } if code < 0)
     }
 }
 

@@ -51,7 +51,7 @@ pub enum ThreadState {
 }
 
 /// A pending `recv` posted by a blocked thread.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PendingRecv {
     /// Wildcard-capable source rank.
     pub src: u32,
@@ -64,7 +64,7 @@ pub struct PendingRecv {
 }
 
 /// One kernel thread.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Thread {
     /// Owning process.
     pub pid: Pid,
@@ -82,7 +82,7 @@ pub struct Thread {
 }
 
 /// One kernel process.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Process {
     /// Page permissions for this process's view of memory.
     pub perm: PermissionMap,
@@ -109,7 +109,7 @@ impl Process {
 }
 
 /// An in-flight message.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Message {
     /// Sender's rank.
     pub src: u32,

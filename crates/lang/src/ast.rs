@@ -38,7 +38,10 @@ pub enum BinOp {
 impl BinOp {
     /// True for the six comparison operators (which yield `int` 0/1).
     pub fn is_cmp(self) -> bool {
-        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
     }
 }
 
@@ -81,17 +84,50 @@ pub enum ExprKind {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Stmt {
     /// `let ty name = init;` (missing init means zero).
-    Let { line: u32, ty: Ty, name: String, init: Option<Expr> },
+    Let {
+        line: u32,
+        ty: Ty,
+        name: String,
+        init: Option<Expr>,
+    },
     /// `name = value;`
-    Assign { line: u32, name: String, value: Expr },
+    Assign {
+        line: u32,
+        name: String,
+        value: Expr,
+    },
     /// `name[index] = value;`
-    AssignIndex { line: u32, name: String, index: Expr, value: Expr },
-    If { cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt> },
-    While { cond: Expr, body: Vec<Stmt> },
-    For { init: Box<Stmt>, cond: Expr, step: Box<Stmt>, body: Vec<Stmt> },
-    Return { line: u32, value: Option<Expr> },
-    Break { line: u32 },
-    Continue { line: u32 },
+    AssignIndex {
+        line: u32,
+        name: String,
+        index: Expr,
+        value: Expr,
+    },
+    If {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+    },
+    While {
+        cond: Expr,
+        body: Vec<Stmt>,
+    },
+    For {
+        init: Box<Stmt>,
+        cond: Expr,
+        step: Box<Stmt>,
+        body: Vec<Stmt>,
+    },
+    Return {
+        line: u32,
+        value: Option<Expr>,
+    },
+    Break {
+        line: u32,
+    },
+    Continue {
+        line: u32,
+    },
     ExprStmt(Expr),
 }
 
@@ -109,12 +145,27 @@ pub struct Func {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Item {
     /// `global ty name;` or `global ty name[len];`
-    Global { line: u32, ty: Ty, name: String, len: u32 },
+    Global {
+        line: u32,
+        ty: Ty,
+        name: String,
+        len: u32,
+    },
     Func(Func),
     /// `extern fn name(tys) -> ty;`
-    ExternFn { line: u32, name: String, params: Vec<Ty>, ret: Option<Ty> },
+    ExternFn {
+        line: u32,
+        name: String,
+        params: Vec<Ty>,
+        ret: Option<Ty>,
+    },
     /// `extern global ty name[len];`
-    ExternGlobal { line: u32, ty: Ty, name: String, len: u32 },
+    ExternGlobal {
+        line: u32,
+        ty: Ty,
+        name: String,
+        len: u32,
+    },
 }
 
 /// A parsed source file.

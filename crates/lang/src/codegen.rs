@@ -242,7 +242,7 @@ impl<'a> FnGen<'a> {
         }
         let temps_off = locals_off + (slot_locals.len() as i16) * 8;
         let mut frame = temps_off as usize + TEMP_SLOTS * 8;
-        if frame % 16 != 0 {
+        if !frame.is_multiple_of(16) {
             frame += 8;
         }
         assert!(
@@ -284,7 +284,10 @@ impl<'a> FnGen<'a> {
                 Ty::Float => match self.isa {
                     IsaKind::Sira64 => {
                         self.asm.movz(self.sa, 0, 0);
-                        self.asm.inst(InstKind::FMovToFp { fd: FReg(0), rn: self.sa });
+                        self.asm.inst(InstKind::FMovToFp {
+                            fd: FReg(0),
+                            rn: self.sa,
+                        });
                     }
                     IsaKind::Sira32 => {
                         self.asm.movz(Reg(0), 0, 0);
@@ -296,7 +299,11 @@ impl<'a> FnGen<'a> {
         let epilogue = self.epilogue;
         self.asm.bind(epilogue);
         self.epilogue_code();
-        assert!(self.ev.is_empty(), "expression stack imbalance in `{}`", f.name);
+        assert!(
+            self.ev.is_empty(),
+            "expression stack imbalance in `{}`",
+            f.name
+        );
     }
 
     fn prologue(&mut self, f: &Func) {
@@ -310,8 +317,11 @@ impl<'a> FnGen<'a> {
         let base = 1 + used_int.len();
         let used_fp = self.used_fp_homes.clone();
         for (i, d) in used_fp.iter().enumerate() {
-            self.asm
-                .inst(InstKind::FSt { fd: *d, rn: sp, off: ((base + i) * 8) as i16 });
+            self.asm.inst(InstKind::FSt {
+                fd: *d,
+                rn: sp,
+                off: ((base + i) * 8) as i16,
+            });
         }
         // Move arguments into their homes.
         match self.isa {
@@ -349,7 +359,11 @@ impl<'a> FnGen<'a> {
                             fps += 1;
                         }
                         (Ty::Float, Home::Slot(off)) => {
-                            self.asm.inst(InstKind::FSt { fd: FReg(fps), rn: sp, off });
+                            self.asm.inst(InstKind::FSt {
+                                fd: FReg(fps),
+                                rn: sp,
+                                off,
+                            });
                             fps += 1;
                         }
                         _ => unreachable!("home/type mismatch"),
@@ -368,8 +382,11 @@ impl<'a> FnGen<'a> {
         let base = 1 + used_int.len();
         let used_fp = self.used_fp_homes.clone();
         for (i, d) in used_fp.iter().enumerate() {
-            self.asm
-                .inst(InstKind::FLd { fd: *d, rn: sp, off: ((base + i) * 8) as i16 });
+            self.asm.inst(InstKind::FLd {
+                fd: *d,
+                rn: sp,
+                off: ((base + i) * 8) as i16,
+            });
         }
         self.asm.ld(self.isa.lr(), sp, 0);
         self.asm.addi(sp, sp, self.frame_bytes);
@@ -379,7 +396,11 @@ impl<'a> FnGen<'a> {
     // ----- expression-stack plumbing -------------------------------------
 
     fn slot_off(&self, depth: usize) -> i16 {
-        assert!(depth < TEMP_SLOTS, "expression too deep in `{}`", self.fn_name);
+        assert!(
+            depth < TEMP_SLOTS,
+            "expression too deep in `{}`",
+            self.fn_name
+        );
         self.temps_off + (depth as i16) * 8
     }
 
@@ -398,7 +419,10 @@ impl<'a> FnGen<'a> {
             let off = self.slot_off(d);
             self.asm.st(r, self.isa.sp(), off);
         }
-        self.ev.push(Ev { ty: Ty::Int, in_reg });
+        self.ev.push(Ev {
+            ty: Ty::Int,
+            in_reg,
+        });
     }
 
     fn begin_float(&self) -> FReg {
@@ -411,16 +435,26 @@ impl<'a> FnGen<'a> {
         let in_reg = fp_pool(self.isa).get(d).is_some();
         if !in_reg {
             let off = self.slot_off(d);
-            self.asm.inst(InstKind::FSt { fd: d_reg, rn: self.isa.sp(), off });
+            self.asm.inst(InstKind::FSt {
+                fd: d_reg,
+                rn: self.isa.sp(),
+                off,
+            });
         }
-        self.ev.push(Ev { ty: Ty::Float, in_reg });
+        self.ev.push(Ev {
+            ty: Ty::Float,
+            in_reg,
+        });
     }
 
     /// Pushes a float entry that lives in its slot (SIRA-32 convention);
     /// the caller must store both words to [`Self::slot_off`] of the new
     /// depth *before* calling this.
     fn push_float_slot(&mut self) {
-        self.ev.push(Ev { ty: Ty::Float, in_reg: false });
+        self.ev.push(Ev {
+            ty: Ty::Float,
+            in_reg: false,
+        });
     }
 
     /// Spills pool-resident entries to their canonical slots (required
@@ -435,8 +469,11 @@ impl<'a> FnGen<'a> {
             match self.ev[d].ty {
                 Ty::Int => self.asm.st(int_pool(self.isa)[d], sp, off),
                 Ty::Float => {
-                    self.asm
-                        .inst(InstKind::FSt { fd: fp_pool(self.isa)[d], rn: sp, off });
+                    self.asm.inst(InstKind::FSt {
+                        fd: fp_pool(self.isa)[d],
+                        rn: sp,
+                        off,
+                    });
                 }
             }
             self.ev[d].in_reg = false;
@@ -467,7 +504,11 @@ impl<'a> FnGen<'a> {
             fp_pool(self.isa)[d]
         } else {
             let off = self.slot_off(d);
-            self.asm.inst(InstKind::FLd { fd: want, rn: self.isa.sp(), off });
+            self.asm.inst(InstKind::FLd {
+                fd: want,
+                rn: self.isa.sp(),
+                off,
+            });
             want
         }
     }
@@ -521,7 +562,9 @@ impl<'a> FnGen<'a> {
                     self.store_global_scalar(name);
                 }
             }
-            Stmt::AssignIndex { name, index, value, .. } => {
+            Stmt::AssignIndex {
+                name, index, value, ..
+            } => {
                 self.eval(value);
                 self.eval(index);
                 let ty = self.info.globals[name].ty;
@@ -538,7 +581,11 @@ impl<'a> FnGen<'a> {
                     Ty::Float => match self.isa {
                         IsaKind::Sira64 => {
                             let v = self.pop_float(FP_SCRATCH_A);
-                            self.asm.inst(InstKind::FSt { fd: v, rn: self.sa, off: 0 });
+                            self.asm.inst(InstKind::FSt {
+                                fd: v,
+                                rn: self.sa,
+                                off: 0,
+                            });
                         }
                         IsaKind::Sira32 => {
                             let slot = self.pop_float_slot();
@@ -551,7 +598,11 @@ impl<'a> FnGen<'a> {
                     },
                 }
             }
-            Stmt::If { cond, then_body, else_body } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 let else_l = self.asm.new_label();
                 self.branch_false(cond, else_l);
                 self.gen_block(then_body);
@@ -575,7 +626,12 @@ impl<'a> FnGen<'a> {
                 self.asm.b(top);
                 self.asm.bind(end);
             }
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 self.gen_stmt(init);
                 let top = self.asm.here();
                 let end = self.asm.new_label();
@@ -698,7 +754,11 @@ impl<'a> FnGen<'a> {
                 IsaKind::Sira64 => {
                     let v = self.pop_float(FP_SCRATCH_A);
                     self.asm.lea_data(self.sa, name);
-                    self.asm.inst(InstKind::FSt { fd: v, rn: self.sa, off: 0 });
+                    self.asm.inst(InstKind::FSt {
+                        fd: v,
+                        rn: self.sa,
+                        off: 0,
+                    });
                 }
                 IsaKind::Sira32 => {
                     let slot = self.pop_float_slot();
@@ -801,7 +861,8 @@ impl<'a> FnGen<'a> {
                     self.softfloat_cmp(op, l, r);
                     let r0 = self.pop_int(self.sa);
                     self.asm.cmpi(r0, 0);
-                    self.asm.bc(if invert { Cond::Eq } else { Cond::Ne }, target);
+                    self.asm
+                        .bc(if invert { Cond::Eq } else { Cond::Ne }, target);
                 }
             },
         }
@@ -826,8 +887,15 @@ impl<'a> FnGen<'a> {
         let dest = self.begin_int();
         let set = |g: &mut Self, d: Reg, against: i16| {
             g.asm.cmpi(g.sa, against);
-            g.asm
-                .inst_if(Cond::Eq, InstKind::MovImm { rd: d, imm: 1, shift: 0, keep: false });
+            g.asm.inst_if(
+                Cond::Eq,
+                InstKind::MovImm {
+                    rd: d,
+                    imm: 1,
+                    shift: 0,
+                    keep: false,
+                },
+            );
         };
         match op {
             BinOp::Eq => {
@@ -838,8 +906,15 @@ impl<'a> FnGen<'a> {
                 // Unordered (2) counts as "not equal".
                 self.asm.movz(dest, 1, 0);
                 self.asm.cmpi(self.sa, 0);
-                self.asm
-                    .inst_if(Cond::Eq, InstKind::MovImm { rd: dest, imm: 0, shift: 0, keep: false });
+                self.asm.inst_if(
+                    Cond::Eq,
+                    InstKind::MovImm {
+                        rd: dest,
+                        imm: 0,
+                        shift: 0,
+                        keep: false,
+                    },
+                );
             }
             BinOp::Lt => {
                 self.asm.movz(dest, 0, 0);
@@ -872,11 +947,7 @@ impl<'a> FnGen<'a> {
         if let ExprKind::Call(name, args) = &e.kind {
             let is_void = match name.as_str() {
                 "print_int" | "print_float" | "print_char" | "print_str" => true,
-                _ => self
-                    .info
-                    .fns
-                    .get(name)
-                    .is_some_and(|sig| sig.ret.is_none()),
+                _ => self.info.fns.get(name).is_some_and(|sig| sig.ret.is_none()),
             };
             self.gen_call(name, args);
             return !is_void;
@@ -953,7 +1024,11 @@ impl<'a> FnGen<'a> {
                     Ty::Float => match self.isa {
                         IsaKind::Sira64 => {
                             let dest = self.begin_float();
-                            self.asm.inst(InstKind::FLd { fd: dest, rn: sp, off });
+                            self.asm.inst(InstKind::FLd {
+                                fd: dest,
+                                rn: sp,
+                                off,
+                            });
                             self.commit_float(dest);
                         }
                         IsaKind::Sira32 => {
@@ -982,7 +1057,11 @@ impl<'a> FnGen<'a> {
                 IsaKind::Sira64 => {
                     self.asm.lea_data(self.sa, name);
                     let dest = self.begin_float();
-                    self.asm.inst(InstKind::FLd { fd: dest, rn: self.sa, off: 0 });
+                    self.asm.inst(InstKind::FLd {
+                        fd: dest,
+                        rn: self.sa,
+                        off: 0,
+                    });
                     self.commit_float(dest);
                 }
                 IsaKind::Sira32 => {
@@ -1016,7 +1095,11 @@ impl<'a> FnGen<'a> {
             Ty::Float => match self.isa {
                 IsaKind::Sira64 => {
                     let dest = self.begin_float();
-                    self.asm.inst(InstKind::FLd { fd: dest, rn: self.sa, off: 0 });
+                    self.asm.inst(InstKind::FLd {
+                        fd: dest,
+                        rn: self.sa,
+                        off: 0,
+                    });
                     self.commit_float(dest);
                 }
                 IsaKind::Sira32 => {
@@ -1241,8 +1324,15 @@ impl<'a> FnGen<'a> {
         match self.isa {
             IsaKind::Sira32 => {
                 self.asm.movz(dest, 0, 0);
-                self.asm
-                    .inst_if(cond, InstKind::MovImm { rd: dest, imm: 1, shift: 0, keep: false });
+                self.asm.inst_if(
+                    cond,
+                    InstKind::MovImm {
+                        rd: dest,
+                        imm: 1,
+                        shift: 0,
+                        keep: false,
+                    },
+                );
             }
             IsaKind::Sira64 => {
                 let done = self.asm.new_label();
@@ -1274,7 +1364,9 @@ impl<'a> FnGen<'a> {
                 return;
             }
             "addr_of" => {
-                let ExprKind::Var(g) = &args[0].kind else { unreachable!("sema") };
+                let ExprKind::Var(g) = &args[0].kind else {
+                    unreachable!("sema")
+                };
                 let g = g.clone();
                 let dest = self.begin_int();
                 self.asm.lea_data(dest, &g);
@@ -1282,7 +1374,9 @@ impl<'a> FnGen<'a> {
                 return;
             }
             "fn_addr" => {
-                let ExprKind::Var(f) = &args[0].kind else { unreachable!("sema") };
+                let ExprKind::Var(f) = &args[0].kind else {
+                    unreachable!("sema")
+                };
                 let f = f.clone();
                 let dest = self.begin_int();
                 self.asm.lea_text(dest, &f);
@@ -1318,7 +1412,9 @@ impl<'a> FnGen<'a> {
                 return;
             }
             "print_str" => {
-                let ExprKind::Str(s) = &args[0].kind else { unreachable!("sema") };
+                let ExprKind::Str(s) = &args[0].kind else {
+                    unreachable!("sema")
+                };
                 let label = format!("__str_{}_{}", self.fn_name, self.str_count);
                 self.str_count += 1;
                 self.asm.data_bytes(&label, s.as_bytes());
@@ -1367,8 +1463,11 @@ impl<'a> FnGen<'a> {
                 }
                 self.spill_all();
                 let base = self.ev.len() - 3;
-                let (s0, s1, s2) =
-                    (self.slot_off(base), self.slot_off(base + 1), self.slot_off(base + 2));
+                let (s0, s1, s2) = (
+                    self.slot_off(base),
+                    self.slot_off(base + 1),
+                    self.slot_off(base + 2),
+                );
                 self.ev.truncate(base);
                 self.asm.ld(Reg(0), sp, s1);
                 self.asm.ld(Reg(1), sp, s2);
@@ -1382,7 +1481,9 @@ impl<'a> FnGen<'a> {
                 return;
             }
             _ if name.starts_with("syscall") && name.len() == 8 => {
-                let ExprKind::IntLit(num) = args[0].kind else { unreachable!("sema") };
+                let ExprKind::IntLit(num) = args[0].kind else {
+                    unreachable!("sema")
+                };
                 self.spill_all();
                 for a in &args[1..] {
                     self.eval(a);
@@ -1444,7 +1545,11 @@ impl<'a> FnGen<'a> {
                             ints += 1;
                         }
                         Ty::Float => {
-                            self.asm.inst(InstKind::FLd { fd: FReg(fps), rn: sp, off: *off });
+                            self.asm.inst(InstKind::FLd {
+                                fd: FReg(fps),
+                                rn: sp,
+                                off: *off,
+                            });
                             fps += 1;
                         }
                     }
@@ -1505,12 +1610,18 @@ fn collect_lets(stmts: &[Stmt], out: &mut Vec<(Ty, String)>) {
     for s in stmts {
         match s {
             Stmt::Let { ty, name, .. } => out.push((*ty, name.clone())),
-            Stmt::If { then_body, else_body, .. } => {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 collect_lets(then_body, out);
                 collect_lets(else_body, out);
             }
             Stmt::While { body, .. } => collect_lets(body, out),
-            Stmt::For { init, step, body, .. } => {
+            Stmt::For {
+                init, step, body, ..
+            } => {
                 collect_lets(std::slice::from_ref(init), out);
                 collect_lets(std::slice::from_ref(step), out);
                 collect_lets(body, out);

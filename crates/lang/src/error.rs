@@ -14,7 +14,10 @@ pub struct CompileError {
 
 impl CompileError {
     pub(crate) fn new(line: u32, message: impl Into<String>) -> CompileError {
-        CompileError { line, message: message.into() }
+        CompileError {
+            line,
+            message: message.into(),
+        }
     }
 }
 

@@ -117,14 +117,19 @@ pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
                     let text = &source[start + 2..i];
                     let v = i64::from_str_radix(text, 16)
                         .map_err(|_| err(line, "invalid hex literal"))?;
-                    tokens.push(Token { kind: Tok::Int(v), line });
+                    tokens.push(Token {
+                        kind: Tok::Int(v),
+                        line,
+                    });
                     continue;
                 }
                 while i < bytes.len() && bytes[i].is_ascii_digit() {
                     i += 1;
                 }
                 let mut is_float = false;
-                if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
                 {
                     is_float = true;
                     i += 1;
@@ -147,18 +152,24 @@ pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
                 }
                 let text = &source[start..i];
                 if is_float {
-                    let v: f64 = text.parse().map_err(|_| err(line, "invalid float literal"))?;
-                    tokens.push(Token { kind: Tok::Float(v), line });
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| err(line, "invalid float literal"))?;
+                    tokens.push(Token {
+                        kind: Tok::Float(v),
+                        line,
+                    });
                 } else {
                     let v: i64 = text.parse().map_err(|_| err(line, "invalid int literal"))?;
-                    tokens.push(Token { kind: Tok::Int(v), line });
+                    tokens.push(Token {
+                        kind: Tok::Int(v),
+                        line,
+                    });
                 }
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let word = &source[start..i];
@@ -212,7 +223,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
                         }
                     }
                 }
-                tokens.push(Token { kind: Tok::Str(s), line });
+                tokens.push(Token {
+                    kind: Tok::Str(s),
+                    line,
+                });
             }
             _ => {
                 let two = |a: u8, b: u8| c == a && bytes.get(i + 1) == Some(&b);
@@ -267,7 +281,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
             }
         }
     }
-    tokens.push(Token { kind: Tok::Eof, line });
+    tokens.push(Token {
+        kind: Tok::Eof,
+        line,
+    });
     Ok(tokens)
 }
 
@@ -298,7 +315,13 @@ mod tests {
     fn keywords_and_idents() {
         assert_eq!(
             kinds("fn foo int x_1"),
-            vec![Tok::Fn, Tok::Ident("foo".into()), Tok::TyInt, Tok::Ident("x_1".into()), Tok::Eof]
+            vec![
+                Tok::Fn,
+                Tok::Ident("foo".into()),
+                Tok::TyInt,
+                Tok::Ident("x_1".into()),
+                Tok::Eof
+            ]
         );
     }
 

@@ -90,7 +90,12 @@ impl<'a> Parser<'a> {
                 let name = self.ident("global name")?;
                 let len = self.opt_array_len()?;
                 self.expect(&Tok::Semi, "`;`")?;
-                Ok(Item::Global { line, ty, name, len })
+                Ok(Item::Global {
+                    line,
+                    ty,
+                    name,
+                    len,
+                })
             }
             Tok::Extern => {
                 self.bump();
@@ -113,7 +118,12 @@ impl<'a> Parser<'a> {
                         self.expect(&Tok::RParen, "`)`")?;
                         let ret = self.opt_ret()?;
                         self.expect(&Tok::Semi, "`;`")?;
-                        Ok(Item::ExternFn { line, name, params, ret })
+                        Ok(Item::ExternFn {
+                            line,
+                            name,
+                            params,
+                            ret,
+                        })
                     }
                     Tok::Global => {
                         self.bump();
@@ -121,7 +131,12 @@ impl<'a> Parser<'a> {
                         let name = self.ident("global name")?;
                         let len = self.opt_array_len()?;
                         self.expect(&Tok::Semi, "`;`")?;
-                        Ok(Item::ExternGlobal { line, ty, name, len })
+                        Ok(Item::ExternGlobal {
+                            line,
+                            ty,
+                            name,
+                            len,
+                        })
                     }
                     other => Err(self.err(format!("expected `fn` or `global`, found {other:?}"))),
                 }
@@ -146,7 +161,13 @@ impl<'a> Parser<'a> {
                 self.expect(&Tok::RParen, "`)`")?;
                 let ret = self.opt_ret()?;
                 let body = self.block()?;
-                Ok(Item::Func(Func { line, name, params, ret, body }))
+                Ok(Item::Func(Func {
+                    line,
+                    name,
+                    params,
+                    ret,
+                    body,
+                }))
             }
             other => Err(self.err(format!(
                 "expected `fn`, `global` or `extern`, found {other:?}"
@@ -205,7 +226,12 @@ impl<'a> Parser<'a> {
                     None
                 };
                 self.expect(&Tok::Semi, "`;`")?;
-                Ok(Stmt::Let { line, ty, name, init })
+                Ok(Stmt::Let {
+                    line,
+                    ty,
+                    name,
+                    init,
+                })
             }
             Tok::If => {
                 self.bump();
@@ -223,7 +249,11 @@ impl<'a> Parser<'a> {
                 } else {
                     Vec::new()
                 };
-                Ok(Stmt::If { cond, then_body, else_body })
+                Ok(Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                })
             }
             Tok::While => {
                 self.bump();
@@ -243,7 +273,12 @@ impl<'a> Parser<'a> {
                 let step = Box::new(self.simple_assign()?);
                 self.expect(&Tok::RParen, "`)`")?;
                 let body = self.block()?;
-                Ok(Stmt::For { init, cond, step, body })
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                })
             }
             Tok::Return => {
                 self.bump();
@@ -303,7 +338,12 @@ impl<'a> Parser<'a> {
                     self.bump();
                     self.bump();
                     let value = self.expr()?;
-                    return Ok(Stmt::AssignIndex { line, name, index, value });
+                    return Ok(Stmt::AssignIndex {
+                        line,
+                        name,
+                        index,
+                        value,
+                    });
                 }
                 self.pos = save;
             }
@@ -345,7 +385,10 @@ impl<'a> Parser<'a> {
             let line = self.line();
             self.bump();
             let rhs = self.binary(prec + 1)?;
-            lhs = Expr { line, kind: ExprKind::Bin(op, Box::new(lhs), Box::new(rhs)) };
+            lhs = Expr {
+                line,
+                kind: ExprKind::Bin(op, Box::new(lhs), Box::new(rhs)),
+            };
         }
         Ok(lhs)
     }
@@ -367,7 +410,10 @@ impl<'a> Parser<'a> {
             Tok::Bang => {
                 self.bump();
                 let e = self.unary()?;
-                Ok(Expr { line, kind: ExprKind::Un(UnOp::Not, Box::new(e)) })
+                Ok(Expr {
+                    line,
+                    kind: ExprKind::Un(UnOp::Not, Box::new(e)),
+                })
             }
             _ => self.postfix(),
         }
@@ -378,15 +424,24 @@ impl<'a> Parser<'a> {
         match self.peek().clone() {
             Tok::Int(v) => {
                 self.bump();
-                Ok(Expr { line, kind: ExprKind::IntLit(v) })
+                Ok(Expr {
+                    line,
+                    kind: ExprKind::IntLit(v),
+                })
             }
             Tok::Float(v) => {
                 self.bump();
-                Ok(Expr { line, kind: ExprKind::FloatLit(v) })
+                Ok(Expr {
+                    line,
+                    kind: ExprKind::FloatLit(v),
+                })
             }
             Tok::Str(s) => {
                 self.bump();
-                Ok(Expr { line, kind: ExprKind::Str(s) })
+                Ok(Expr {
+                    line,
+                    kind: ExprKind::Str(s),
+                })
             }
             Tok::LParen => {
                 self.bump();
@@ -400,7 +455,10 @@ impl<'a> Parser<'a> {
                 self.expect(&Tok::LParen, "`(` after cast type")?;
                 let e = self.expr()?;
                 self.expect(&Tok::RParen, "`)`")?;
-                Ok(Expr { line, kind: ExprKind::Cast(ty, Box::new(e)) })
+                Ok(Expr {
+                    line,
+                    kind: ExprKind::Cast(ty, Box::new(e)),
+                })
             }
             Tok::Ident(name) => {
                 self.bump();
@@ -419,15 +477,24 @@ impl<'a> Parser<'a> {
                             }
                         }
                         self.expect(&Tok::RParen, "`)`")?;
-                        Ok(Expr { line, kind: ExprKind::Call(name, args) })
+                        Ok(Expr {
+                            line,
+                            kind: ExprKind::Call(name, args),
+                        })
                     }
                     Tok::LBracket => {
                         self.bump();
                         let idx = self.expr()?;
                         self.expect(&Tok::RBracket, "`]`")?;
-                        Ok(Expr { line, kind: ExprKind::Index(name, Box::new(idx)) })
+                        Ok(Expr {
+                            line,
+                            kind: ExprKind::Index(name, Box::new(idx)),
+                        })
                     }
-                    _ => Ok(Expr { line, kind: ExprKind::Var(name) }),
+                    _ => Ok(Expr {
+                        line,
+                        kind: ExprKind::Var(name),
+                    }),
                 }
             }
             other => Err(self.err(format!("expected an expression, found {other:?}"))),
@@ -473,9 +540,20 @@ mod tests {
         );
         assert!(matches!(
             p.items[0],
-            Item::Global { ty: Ty::Float, len: 100, .. }
+            Item::Global {
+                ty: Ty::Float,
+                len: 100,
+                ..
+            }
         ));
-        assert!(matches!(p.items[1], Item::Global { ty: Ty::Int, len: 1, .. }));
+        assert!(matches!(
+            p.items[1],
+            Item::Global {
+                ty: Ty::Int,
+                len: 1,
+                ..
+            }
+        ));
         assert!(matches!(p.items[2], Item::ExternFn { .. }));
         assert!(matches!(p.items[3], Item::ExternGlobal { len: 4, .. }));
     }
@@ -484,11 +562,19 @@ mod tests {
     fn precedence() {
         let p = parse_src("fn f() -> int { return 1 + 2 * 3 < 4 && 5 == 5; }");
         let Item::Func(f) = &p.items[0] else { panic!() };
-        let Stmt::Return { value: Some(e), .. } = &f.body[0] else { panic!() };
+        let Stmt::Return { value: Some(e), .. } = &f.body[0] else {
+            panic!()
+        };
         // Top node must be &&.
-        let ExprKind::Bin(BinOp::LAnd, l, _) = &e.kind else { panic!("{e:?}") };
-        let ExprKind::Bin(BinOp::Lt, add, _) = &l.kind else { panic!() };
-        let ExprKind::Bin(BinOp::Add, _, mul) = &add.kind else { panic!() };
+        let ExprKind::Bin(BinOp::LAnd, l, _) = &e.kind else {
+            panic!("{e:?}")
+        };
+        let ExprKind::Bin(BinOp::Lt, add, _) = &l.kind else {
+            panic!()
+        };
+        let ExprKind::Bin(BinOp::Add, _, mul) = &add.kind else {
+            panic!()
+        };
         assert!(matches!(mul.kind, ExprKind::Bin(BinOp::Mul, _, _)));
     }
 
@@ -496,7 +582,9 @@ mod tests {
     fn negative_literals_fold() {
         let p = parse_src("fn f() -> float { return -2.5; }");
         let Item::Func(f) = &p.items[0] else { panic!() };
-        let Stmt::Return { value: Some(e), .. } = &f.body[0] else { panic!() };
+        let Stmt::Return { value: Some(e), .. } = &f.body[0] else {
+            panic!()
+        };
         assert_eq!(e.kind, ExprKind::FloatLit(-2.5));
     }
 

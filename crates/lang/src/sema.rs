@@ -73,10 +73,20 @@ pub fn check(program: &Program) -> Result<ProgramInfo, CompileError> {
     // Pass 1: collect signatures.
     for item in &program.items {
         match item {
-            Item::Global { line, ty, name, len } => {
+            Item::Global {
+                line,
+                ty,
+                name,
+                len,
+            } => {
                 declare_global(&mut info, *line, name, *ty, *len, false)?;
             }
-            Item::ExternGlobal { line, ty, name, len } => {
+            Item::ExternGlobal {
+                line,
+                ty,
+                name,
+                len,
+            } => {
                 declare_global(&mut info, *line, name, *ty, *len, true)?;
             }
             Item::Func(f) => {
@@ -87,8 +97,17 @@ pub fn check(program: &Program) -> Result<ProgramInfo, CompileError> {
                 };
                 declare_fn(&mut info, f.line, &f.name, sig)?;
             }
-            Item::ExternFn { line, name, params, ret } => {
-                let sig = FnSig { params: params.clone(), ret: *ret, external: true };
+            Item::ExternFn {
+                line,
+                name,
+                params,
+                ret,
+            } => {
+                let sig = FnSig {
+                    params: params.clone(),
+                    ret: *ret,
+                    external: true,
+                };
                 declare_fn(&mut info, *line, name, sig)?;
             }
         }
@@ -111,7 +130,10 @@ fn declare_global(
     external: bool,
 ) -> Result<(), CompileError> {
     if is_builtin(name) || info.fns.contains_key(name) {
-        return Err(err(line, format!("`{name}` conflicts with an existing name")));
+        return Err(err(
+            line,
+            format!("`{name}` conflicts with an existing name"),
+        ));
     }
     if info
         .globals
@@ -123,13 +145,25 @@ fn declare_global(
     Ok(())
 }
 
-fn declare_fn(info: &mut ProgramInfo, line: u32, name: &str, sig: FnSig) -> Result<(), CompileError> {
+fn declare_fn(
+    info: &mut ProgramInfo,
+    line: u32,
+    name: &str,
+    sig: FnSig,
+) -> Result<(), CompileError> {
     if is_builtin(name) || info.globals.contains_key(name) {
-        return Err(err(line, format!("`{name}` conflicts with an existing name")));
+        return Err(err(
+            line,
+            format!("`{name}` conflicts with an existing name"),
+        ));
     }
     // Enforce the portable argument-slot budget (SIRA-32 passes all
     // arguments in r0-r3; a float takes two slots).
-    let slots: u32 = sig.params.iter().map(|t| if *t == Ty::Float { 2 } else { 1 }).sum();
+    let slots: u32 = sig
+        .params
+        .iter()
+        .map(|t| if *t == Ty::Float { 2 } else { 1 })
+        .sum();
     if slots > 4 {
         return Err(err(
             line,
@@ -150,7 +184,12 @@ struct FnCtx<'a> {
 }
 
 fn check_fn(info: &ProgramInfo, f: &Func) -> Result<(), CompileError> {
-    let mut ctx = FnCtx { info, locals: HashMap::new(), ret: f.ret, loop_depth: 0 };
+    let mut ctx = FnCtx {
+        info,
+        locals: HashMap::new(),
+        ret: f.ret,
+        loop_depth: 0,
+    };
     for (ty, name) in &f.params {
         declare_local(&mut ctx, f.line, name, *ty)?;
     }
@@ -159,10 +198,16 @@ fn check_fn(info: &ProgramInfo, f: &Func) -> Result<(), CompileError> {
 
 fn declare_local(ctx: &mut FnCtx<'_>, line: u32, name: &str, ty: Ty) -> Result<(), CompileError> {
     if ctx.info.globals.contains_key(name) || ctx.info.fns.contains_key(name) || is_builtin(name) {
-        return Err(err(line, format!("local `{name}` shadows an existing name")));
+        return Err(err(
+            line,
+            format!("local `{name}` shadows an existing name"),
+        ));
     }
     if ctx.locals.insert(name.to_string(), ty).is_some() {
-        return Err(err(line, format!("local `{name}` declared twice in this function")));
+        return Err(err(
+            line,
+            format!("local `{name}` declared twice in this function"),
+        ));
     }
     Ok(())
 }
@@ -176,7 +221,12 @@ fn check_block(ctx: &mut FnCtx<'_>, stmts: &[Stmt]) -> Result<(), CompileError> 
 
 fn check_stmt(ctx: &mut FnCtx<'_>, stmt: &Stmt) -> Result<(), CompileError> {
     match stmt {
-        Stmt::Let { line, ty, name, init } => {
+        Stmt::Let {
+            line,
+            ty,
+            name,
+            init,
+        } => {
             if let Some(init) = init {
                 expect_ty(ctx, init, *ty)?;
             }
@@ -186,14 +236,23 @@ fn check_stmt(ctx: &mut FnCtx<'_>, stmt: &Stmt) -> Result<(), CompileError> {
             let ty = lvalue_scalar_ty(ctx, *line, name)?;
             expect_ty(ctx, value, ty)
         }
-        Stmt::AssignIndex { line, name, index, value } => {
+        Stmt::AssignIndex {
+            line,
+            name,
+            index,
+            value,
+        } => {
             let Some(g) = ctx.info.globals.get(name) else {
                 return Err(err(*line, format!("`{name}` is not a global array")));
             };
             expect_ty(ctx, index, Ty::Int)?;
             expect_ty(ctx, value, g.ty)
         }
-        Stmt::If { cond, then_body, else_body } => {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
             expect_ty(ctx, cond, Ty::Int)?;
             check_block(ctx, then_body)?;
             check_block(ctx, else_body)
@@ -205,7 +264,12 @@ fn check_stmt(ctx: &mut FnCtx<'_>, stmt: &Stmt) -> Result<(), CompileError> {
             ctx.loop_depth -= 1;
             r
         }
-        Stmt::For { init, cond, step, body } => {
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
             check_stmt(ctx, init)?;
             expect_ty(ctx, cond, Ty::Int)?;
             check_stmt(ctx, step)?;
@@ -276,8 +340,7 @@ fn check_expr(ctx: &FnCtx<'_>, e: &Expr) -> Result<Option<Ty>, CompileError> {
             Ok(Some(*ty))
         }
         ExprKind::Un(op, inner) => {
-            let ty = check_expr(ctx, inner)?
-                .ok_or_else(|| err(e.line, "void operand"))?;
+            let ty = check_expr(ctx, inner)?.ok_or_else(|| err(e.line, "void operand"))?;
             match op {
                 UnOp::Neg => Ok(Some(ty)),
                 UnOp::Not => {
@@ -293,7 +356,10 @@ fn check_expr(ctx: &FnCtx<'_>, e: &Expr) -> Result<Option<Ty>, CompileError> {
             let lt = check_expr(ctx, l)?.ok_or_else(|| err(e.line, "void operand"))?;
             let rt = check_expr(ctx, r)?.ok_or_else(|| err(e.line, "void operand"))?;
             if lt != rt {
-                return Err(err(e.line, format!("operand types differ: {lt:?} vs {rt:?}")));
+                return Err(err(
+                    e.line,
+                    format!("operand types differ: {lt:?} vs {rt:?}"),
+                ));
             }
             match op {
                 BinOp::Rem
@@ -379,7 +445,10 @@ fn check_call(
 
     if let Some((params, ret)) = builtin_sig(name) {
         if args.len() != params.len() {
-            return Err(err(line, format!("`{name}` takes {} arguments", params.len())));
+            return Err(err(
+                line,
+                format!("`{name}` takes {} arguments", params.len()),
+            ));
         }
         for (a, want) in args.iter().zip(params) {
             expect_ty(ctx, a, *want)?;
@@ -393,7 +462,11 @@ fn check_call(
     if args.len() != sig.params.len() {
         return Err(err(
             line,
-            format!("`{name}` takes {} arguments, got {}", sig.params.len(), args.len()),
+            format!(
+                "`{name}` takes {} arguments, got {}",
+                sig.params.len(),
+                args.len()
+            ),
         ));
     }
     for (a, want) in args.iter().zip(&sig.params) {
@@ -425,8 +498,14 @@ pub(crate) fn ty_of(e: &Expr, locals: &HashMap<String, Ty>, info: &ProgramInfo) 
             if op.is_cmp()
                 || matches!(
                     op,
-                    BinOp::LAnd | BinOp::LOr | BinOp::And | BinOp::Or | BinOp::Xor
-                        | BinOp::Shl | BinOp::Shr | BinOp::Rem
+                    BinOp::LAnd
+                        | BinOp::LOr
+                        | BinOp::And
+                        | BinOp::Or
+                        | BinOp::Xor
+                        | BinOp::Shl
+                        | BinOp::Shr
+                        | BinOp::Rem
                 )
             {
                 Ty::Int
@@ -436,11 +515,7 @@ pub(crate) fn ty_of(e: &Expr, locals: &HashMap<String, Ty>, info: &ProgramInfo) 
         }
         ExprKind::Call(name, _) => match name.as_str() {
             "sqrt" | "fabs" => Ty::Float,
-            _ => info
-                .fns
-                .get(name)
-                .and_then(|s| s.ret)
-                .unwrap_or(Ty::Int),
+            _ => info.fns.get(name).and_then(|s| s.ret).unwrap_or(Ty::Int),
         },
     }
 }

@@ -19,8 +19,14 @@ fn run_on(src: &str, isa: IsaKind) -> (RunOutcome, String) {
     let obj = compile(src, isa).unwrap_or_else(|e| panic!("compile ({isa}): {e}"));
     let image = link(isa, &[crt0(isa), obj]).unwrap_or_else(|e| panic!("link ({isa}): {e}"));
     let mut kernel = Kernel::boot(&image, 1, BootSpec::serial());
-    let outcome = kernel.run(&Limits { max_cycles: 500_000_000, max_steps: 500_000_000 });
-    (outcome, String::from_utf8_lossy(kernel.console()).into_owned())
+    let outcome = kernel.run(&Limits {
+        max_cycles: 500_000_000,
+        max_steps: 500_000_000,
+    });
+    (
+        outcome,
+        String::from_utf8_lossy(kernel.console()).into_owned(),
+    )
 }
 
 /// Runs on both ISAs and checks the exit code matches.
@@ -39,7 +45,11 @@ fn expect_code(src: &str, code: i32) {
 fn expect_console(src: &str, expected: &str) {
     for isa in IsaKind::ALL {
         let (outcome, console) = run_on(src, isa);
-        assert_eq!(outcome, RunOutcome::Exited { code: 0 }, "isa {isa}: {console}");
+        assert_eq!(
+            outcome,
+            RunOutcome::Exited { code: 0 },
+            "isa {isa}: {console}"
+        );
         assert_eq!(console, expected, "isa {isa}");
     }
 }
@@ -93,10 +103,7 @@ fn logical_short_circuit() {
 
 #[test]
 fn not_operator() {
-    expect_code(
-        "fn main() -> int { return !0 * 10 + !5 + !(3 < 2); }",
-        11,
-    );
+    expect_code("fn main() -> int { return !0 * 10 + !5 + !(3 < 2); }", 11);
 }
 
 #[test]
@@ -338,10 +345,7 @@ fn float_compare_forms_sira64() {
 #[test]
 fn division_by_zero_is_ut() {
     for isa in IsaKind::ALL {
-        let (outcome, _) = run_on(
-            "fn main() -> int { let int z = 0; return 10 / z; }",
-            isa,
-        );
+        let (outcome, _) = run_on("fn main() -> int { let int z = 0; return 10 / z; }", isa);
         assert!(
             matches!(outcome, RunOutcome::Trapped { .. }),
             "isa {isa}: {outcome}"
@@ -403,7 +407,10 @@ fn sira32_uses_conditional_execution_for_compares() {
         .filter(|i| i.cond != fracas_isa::Cond::Al && !i.is_branch())
         .count();
     assert!(conds32 > 0, "sira32 should conditionally execute");
-    assert_eq!(conds64, 0, "sira64 must not conditionally execute non-branches");
+    assert_eq!(
+        conds64, 0,
+        "sira64 must not conditionally execute non-branches"
+    );
 }
 
 #[test]
@@ -424,7 +431,9 @@ fn sira32_lowers_float_ops_to_calls() {
     let fp64 = o64.text.iter().filter(|i| i.is_fp()).count();
     assert!(fp64 > 0, "sira64 uses hardware FP");
     assert!(
-        !o64.relocs.iter().any(|r| matches!(r, fracas_isa::Reloc::Call { name, .. } if name.starts_with("__f64"))),
+        !o64.relocs.iter().any(
+            |r| matches!(r, fracas_isa::Reloc::Call { name, .. } if name.starts_with("__f64"))
+        ),
         "sira64 must not call softfloat"
     );
 }
@@ -469,7 +478,9 @@ fn o0_and_o1_agree_functionally() {
             let image = link(isa, &[crt0(isa), obj]).expect("links");
             let mut kernel = Kernel::boot(&image, 1, BootSpec::serial());
             let outcome = kernel.run(&Limits::default());
-            let RunOutcome::Exited { code } = outcome else { panic!("{isa}: {outcome}") };
+            let RunOutcome::Exited { code } = outcome else {
+                panic!("{isa}: {outcome}")
+            };
             codes.push(code);
         }
         assert_eq!(codes[0], codes[1], "{isa}: -O0 and -O1 must agree");

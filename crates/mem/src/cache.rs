@@ -95,14 +95,14 @@ enum Mesi {
     Shared,
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Line {
     tag: u32,
     state: Mesi,
     lru: u64,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct SetAssoc {
     sets: Vec<Vec<Line>>,
     ways: usize,
@@ -114,7 +114,10 @@ struct SetAssoc {
 impl SetAssoc {
     fn new(size: u32, ways: u32, line: u32) -> SetAssoc {
         let set_count = (size / line / ways).max(1);
-        assert!(set_count.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            set_count.is_power_of_two(),
+            "set count must be a power of two"
+        );
         SetAssoc {
             sets: vec![Vec::new(); set_count as usize],
             ways: ways as usize,
@@ -126,7 +129,10 @@ impl SetAssoc {
 
     fn index(&self, addr: u32) -> (usize, u32) {
         let block = addr >> self.set_shift;
-        ((block & self.set_mask) as usize, block >> self.set_mask.trailing_ones())
+        (
+            (block & self.set_mask) as usize,
+            block >> self.set_mask.trailing_ones(),
+        )
     }
 
     fn lookup(&mut self, addr: u32) -> Option<&mut Line> {
@@ -156,7 +162,11 @@ impl SetAssoc {
         } else {
             None
         };
-        set.push(Line { tag, state, lru: tick });
+        set.push(Line {
+            tag,
+            state,
+            lru: tick,
+        });
         evicted
     }
 
@@ -170,7 +180,7 @@ impl SetAssoc {
 
 /// The multicore cache hierarchy: one L1I + L1D pair per core and a
 /// shared L2, with MESI bookkeeping between the L1 data caches.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MemSystem {
     params: CacheParams,
     l1i: Vec<SetAssoc>,
@@ -297,7 +307,11 @@ impl MemSystem {
             return self.params.l2_hit_cycles;
         }
         self.l2_stats.misses += 1;
-        let state = if write { Mesi::Modified } else { Mesi::Exclusive };
+        let state = if write {
+            Mesi::Modified
+        } else {
+            Mesi::Exclusive
+        };
         if let Some(evicted) = self.l2.insert(addr, state) {
             if evicted.state == Mesi::Modified {
                 self.l2_stats.writebacks += 1;
@@ -351,7 +365,11 @@ mod tests {
         let mut m = MemSystem::new(1, small());
         assert_eq!(m.access(0, Access::DataRead, 0x1000), 48);
         assert_eq!(m.access(0, Access::DataRead, 0x1000), 0);
-        assert_eq!(m.access(0, Access::DataRead, 0x1020), 0, "same 64-byte line");
+        assert_eq!(
+            m.access(0, Access::DataRead, 0x1020),
+            0,
+            "same 64-byte line"
+        );
         assert_eq!(m.l1d_stats(0).hits, 2);
         assert_eq!(m.l1d_stats(0).misses, 1);
     }
@@ -421,7 +439,11 @@ mod tests {
 
     #[test]
     fn miss_ratio() {
-        let s = CacheStats { hits: 3, misses: 1, ..Default::default() };
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            ..Default::default()
+        };
         assert!((s.miss_ratio() - 0.25).abs() < 1e-12);
         assert_eq!(CacheStats::default().miss_ratio(), 0.0);
     }

@@ -34,7 +34,7 @@ mod phys;
 
 pub use cache::{Access, CacheParams, CacheStats, MemSystem};
 pub use perm::{AccessKind, PermissionMap, Perms, PAGE_SIZE};
-pub use phys::{MemError, PhysMem};
+pub use phys::{MemError, MemSnapshot, PageSet, PhysMem};
 
 /// Default physical memory size (64 MiB).
 pub const DEFAULT_MEM_SIZE: u32 = 64 << 20;

@@ -19,13 +19,29 @@ pub struct Perms {
 
 impl Perms {
     /// No access (unmapped).
-    pub const NONE: Perms = Perms { read: false, write: false, exec: false };
+    pub const NONE: Perms = Perms {
+        read: false,
+        write: false,
+        exec: false,
+    };
     /// Read-only data.
-    pub const R: Perms = Perms { read: true, write: false, exec: false };
+    pub const R: Perms = Perms {
+        read: true,
+        write: false,
+        exec: false,
+    };
     /// Read-write data.
-    pub const RW: Perms = Perms { read: true, write: true, exec: false };
+    pub const RW: Perms = Perms {
+        read: true,
+        write: true,
+        exec: false,
+    };
     /// Read-execute text.
-    pub const RX: Perms = Perms { read: true, write: false, exec: true };
+    pub const RX: Perms = Perms {
+        read: true,
+        write: false,
+        exec: true,
+    };
 
     /// Whether these permissions allow the given access kind.
     pub fn allows(self, kind: AccessKind) -> bool {
@@ -65,7 +81,7 @@ impl fmt::Display for AccessKind {
 /// through a register corrupted by a bit flip) produces a
 /// [`MemError::Protection`] fault, which the kernel delivers as a
 /// segmentation fault — the UT channel of the paper's §4.1.4.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PermissionMap {
     pages: Vec<Perms>,
 }
@@ -74,7 +90,9 @@ impl PermissionMap {
     /// Creates an all-unmapped permission map covering `mem_size` bytes.
     pub fn new(mem_size: u32) -> PermissionMap {
         let n = mem_size.div_ceil(PAGE_SIZE);
-        PermissionMap { pages: vec![Perms::NONE; n as usize] }
+        PermissionMap {
+            pages: vec![Perms::NONE; n as usize],
+        }
     }
 
     /// Grants `perms` to every page overlapping `[start, start + len)`.
@@ -125,7 +143,10 @@ impl PermissionMap {
         while page_addr <= end {
             let a = page_addr.min(u64::from(u32::MAX)) as u32;
             if !self.perms_at(a).allows(kind) {
-                return Err(MemError::Protection { addr: addr.max(a), kind });
+                return Err(MemError::Protection {
+                    addr: addr.max(a),
+                    kind,
+                });
             }
             page_addr += u64::from(PAGE_SIZE);
         }

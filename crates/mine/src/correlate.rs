@@ -78,7 +78,12 @@ pub fn correlation_matrix(
         let xs: Vec<f64> = selected.iter().map(|c| metric_value(c, metric)).collect();
         for rate in RATES {
             let ys: Vec<f64> = selected.iter().map(|c| rate_value(c, rate)).collect();
-            out.push(Correlation { metric, rate, r: pearson(&xs, &ys), n: selected.len() });
+            out.push(Correlation {
+                metric,
+                rate,
+                r: pearson(&xs, &ys),
+                n: selected.len(),
+            });
         }
     }
     out
@@ -107,6 +112,7 @@ mod tests {
                 instructions: 500,
                 per_core_instructions: vec![500],
             },
+            space_bits: 0,
             profile: ProfileStats {
                 instructions: 500,
                 cycles: 1000,
@@ -127,7 +133,11 @@ mod tests {
                 power_transitions: 1,
                 top_functions: Vec::new(),
             },
-            tally: Tally { vanished: 100 - ut, ut, ..Tally::default() },
+            tally: Tally {
+                vanished: 100 - ut,
+                ut,
+                ..Tally::default()
+            },
             records: Vec::new(),
         }
     }
@@ -159,9 +169,24 @@ mod tests {
     #[test]
     fn strongest_sorts_by_magnitude() {
         let matrix = vec![
-            Correlation { metric: "a", rate: "x", r: 0.2, n: 4 },
-            Correlation { metric: "b", rate: "y", r: -0.9, n: 4 },
-            Correlation { metric: "c", rate: "z", r: 0.5, n: 4 },
+            Correlation {
+                metric: "a",
+                rate: "x",
+                r: 0.2,
+                n: 4,
+            },
+            Correlation {
+                metric: "b",
+                rate: "y",
+                r: -0.9,
+                n: 4,
+            },
+            Correlation {
+                metric: "c",
+                rate: "z",
+                r: 0.5,
+                n: 4,
+            },
         ];
         let top = strongest(&matrix, 2);
         assert_eq!(top[0].metric, "b");

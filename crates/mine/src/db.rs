@@ -50,7 +50,12 @@ pub fn parse_id(id: &str) -> Option<Key> {
     if parts.next().is_some() {
         return None;
     }
-    Some(Key { app, model, cores, isa })
+    Some(Key {
+        app,
+        model,
+        cores,
+        isa,
+    })
 }
 
 /// The phase-four merged database: one [`CampaignResult`] per scenario.
@@ -92,9 +97,7 @@ impl Database {
 
     /// Looks a campaign up by scenario identity.
     pub fn get(&self, key: Key) -> Option<&CampaignResult> {
-        self.campaigns
-            .iter()
-            .find(|c| parse_id(&c.id) == Some(key))
+        self.campaigns.iter().find(|c| parse_id(&c.id) == Some(key))
     }
 
     /// Serialises the database as JSON lines (one campaign per line).
@@ -123,7 +126,9 @@ impl Database {
 
 impl FromIterator<CampaignResult> for Database {
     fn from_iter<I: IntoIterator<Item = CampaignResult>>(iter: I) -> Database {
-        Database { campaigns: iter.into_iter().collect() }
+        Database {
+            campaigns: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -39,7 +39,10 @@ impl RegisterCriticality {
 pub fn register_criticality(db: &Database, isa: IsaKind) -> Vec<RegisterCriticality> {
     let n = isa.gpr_count() as usize;
     let mut out: Vec<RegisterCriticality> = (0..n)
-        .map(|reg| RegisterCriticality { reg: reg as u32, ..Default::default() })
+        .map(|reg| RegisterCriticality {
+            reg: reg as u32,
+            ..Default::default()
+        })
         .collect();
     for c in db.iter() {
         if parse_id(&c.id).is_none_or(|k| k.isa != isa) {
@@ -73,7 +76,11 @@ mod tests {
         InjectionRecord {
             index: 0,
             fault: Fault {
-                target: FaultTarget::Gpr { core: 0, reg, bit: 0 },
+                target: FaultTarget::Gpr {
+                    core: 0,
+                    reg,
+                    bit: 0,
+                },
                 cycle: 0,
                 width: 1,
             },
@@ -94,6 +101,7 @@ mod tests {
                 instructions: 1,
                 per_core_instructions: vec![1],
             },
+            space_bits: 0,
             profile: ProfileStats {
                 instructions: 1,
                 cycles: 1,
@@ -126,7 +134,10 @@ mod tests {
         let crit = register_criticality(&db, IsaKind::Sira32);
         assert_eq!(crit.len(), 16);
         assert_eq!(crit[15].hits, 2);
-        assert!((crit[15].crash_rate() - 1.0).abs() < 1e-12, "PC is critical");
+        assert!(
+            (crit[15].crash_rate() - 1.0).abs() < 1e-12,
+            "PC is critical"
+        );
         assert_eq!(crit[4].hits, 2);
         assert_eq!(crit[4].crash_rate(), 0.0);
         // Nothing bleeds into the other ISA.

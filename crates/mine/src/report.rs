@@ -31,12 +31,25 @@ pub fn outcome_table(db: &Database, isa: IsaKind, model: Model) -> String {
         if fracas_npb::has_variant(app, Model::Serial) {
             rows.push((
                 "SER-1".to_string(),
-                Key { app, model: Model::Serial, cores: 1, isa },
+                Key {
+                    app,
+                    model: Model::Serial,
+                    cores: 1,
+                    isa,
+                },
             ));
         }
         for cores in [1u32, 2, 4] {
             if fracas_npb::available(app, model, cores) {
-                rows.push((format!("{tag}-{cores}"), Key { app, model, cores, isa }));
+                rows.push((
+                    format!("{tag}-{cores}"),
+                    Key {
+                        app,
+                        model,
+                        cores,
+                        isa,
+                    },
+                ));
             }
         }
         for (label, key) in rows {
@@ -89,8 +102,18 @@ pub fn mismatch_rows(db: &Database, isa: IsaKind) -> Vec<MismatchRow> {
                 continue;
             }
             let (Some(m), Some(o)) = (
-                db.get(Key { app, model: Model::Mpi, cores, isa }),
-                db.get(Key { app, model: Model::Omp, cores, isa }),
+                db.get(Key {
+                    app,
+                    model: Model::Mpi,
+                    cores,
+                    isa,
+                }),
+                db.get(Key {
+                    app,
+                    model: Model::Omp,
+                    cores,
+                    isa,
+                }),
             ) else {
                 continue;
             };
@@ -100,7 +123,12 @@ pub fn mismatch_rows(db: &Database, isa: IsaKind) -> Vec<MismatchRow> {
                 delta[i] = m.tally.pct(class) - o.tally.pct(class);
                 mismatch += delta[i].abs();
             }
-            rows.push(MismatchRow { app, cores, delta, mismatch });
+            rows.push(MismatchRow {
+                app,
+                cores,
+                delta,
+                mismatch,
+            });
         }
     }
     rows
@@ -160,13 +188,23 @@ pub fn hang_index_table(db: &Database, app: App) -> Vec<HangIndexRow> {
         (Model::Omp, IsaKind::Sira64, "OMP V8"),
     ] {
         let single = db
-            .get(Key { app, model, cores: 1, isa })
+            .get(Key {
+                app,
+                model,
+                cores: 1,
+                isa,
+            })
             .map(|c| c.profile.calls as f64 * c.profile.branches as f64);
         for cores in [1u32, 2, 4] {
             if !fracas_npb::available(app, model, cores) {
                 continue;
             }
-            let Some(c) = db.get(Key { app, model, cores, isa }) else {
+            let Some(c) = db.get(Key {
+                app,
+                model,
+                cores,
+                isa,
+            }) else {
                 continue;
             };
             let fb = c.profile.calls as f64 * c.profile.branches as f64;
@@ -251,9 +289,7 @@ pub fn composition_stats(db: &Database) -> Vec<CompositionStat> {
     .map(|(model, isa, group)| {
         let ratios: Vec<f64> = db
             .iter()
-            .filter(|c| {
-                parse_id(&c.id).is_some_and(|k| k.model == model && k.isa == isa)
-            })
+            .filter(|c| parse_id(&c.id).is_some_and(|k| k.model == model && k.isa == isa))
             .map(|c| c.profile.branch_ratio * 100.0)
             .collect();
         CompositionStat {
@@ -302,8 +338,18 @@ pub fn masking_comparison(db: &Database) -> MaskingSummary {
                     continue;
                 }
                 let (Some(m), Some(o)) = (
-                    db.get(Key { app, model: Model::Mpi, cores, isa }),
-                    db.get(Key { app, model: Model::Omp, cores, isa }),
+                    db.get(Key {
+                        app,
+                        model: Model::Mpi,
+                        cores,
+                        isa,
+                    }),
+                    db.get(Key {
+                        app,
+                        model: Model::Omp,
+                        cores,
+                        isa,
+                    }),
                 ) else {
                     continue;
                 };
@@ -411,6 +457,7 @@ mod tests {
                 instructions: 500_000,
                 per_core_instructions: vec![500_000],
             },
+            space_bits: 0,
             profile: ProfileStats {
                 instructions: 500_000,
                 cycles: 1_000_000,
@@ -437,7 +484,13 @@ mod tests {
     }
 
     fn tally(v: u64, ona: u64, omm: u64, ut: u64, hang: u64) -> Tally {
-        Tally { vanished: v, ona, omm, ut, hang }
+        Tally {
+            vanished: v,
+            ona,
+            omm,
+            ut,
+            hang,
+        }
     }
 
     #[test]
@@ -481,7 +534,12 @@ mod tests {
         )]);
         let rows = mem_table(
             &db,
-            &[Key { app: App::Mg, model: Model::Mpi, cores: 4, isa: IsaKind::Sira32 }],
+            &[Key {
+                app: App::Mg,
+                model: Model::Mpi,
+                cores: 4,
+                isa: IsaKind::Sira32,
+            }],
         );
         assert_eq!(rows.len(), 1);
         assert!((rows[0].survived_pct - 70.0).abs() < 1e-9);

@@ -23,23 +23,125 @@ pub struct TrendPoint {
 /// The embedded dataset, in chronological order.
 pub fn trend_rows() -> &'static [TrendPoint] {
     &[
-        TrendPoint { year: 1971, name: "Intel 4004", transistors: 2_300, cores: 1, node_nm: 10_000.0 },
-        TrendPoint { year: 1974, name: "Intel 8080", transistors: 4_500, cores: 1, node_nm: 6_000.0 },
-        TrendPoint { year: 1978, name: "Intel 8086", transistors: 29_000, cores: 1, node_nm: 3_000.0 },
-        TrendPoint { year: 1982, name: "Intel 80286", transistors: 134_000, cores: 1, node_nm: 1_500.0 },
-        TrendPoint { year: 1989, name: "Intel 80486", transistors: 1_180_000, cores: 1, node_nm: 1_000.0 },
-        TrendPoint { year: 1993, name: "Pentium", transistors: 3_100_000, cores: 1, node_nm: 800.0 },
-        TrendPoint { year: 1999, name: "AMD K7", transistors: 22_000_000, cores: 1, node_nm: 250.0 },
-        TrendPoint { year: 2005, name: "Athlon 64 X2", transistors: 233_000_000, cores: 2, node_nm: 90.0 },
-        TrendPoint { year: 2006, name: "Core 2 Quad", transistors: 582_000_000, cores: 4, node_nm: 65.0 },
-        TrendPoint { year: 2007, name: "POWER6", transistors: 790_000_000, cores: 2, node_nm: 65.0 },
-        TrendPoint { year: 2010, name: "SPARC T3", transistors: 1_000_000_000, cores: 16, node_nm: 40.0 },
-        TrendPoint { year: 2012, name: "Ivy Bridge (1st FinFET gen)", transistors: 1_400_000_000, cores: 4, node_nm: 22.0 },
-        TrendPoint { year: 2014, name: "Broadwell (2nd FinFET gen)", transistors: 1_900_000_000, cores: 4, node_nm: 14.0 },
-        TrendPoint { year: 2015, name: "SPARC M7", transistors: 10_000_000_000, cores: 32, node_nm: 20.0 },
-        TrendPoint { year: 2017, name: "Ryzen", transistors: 4_800_000_000, cores: 8, node_nm: 14.0 },
-        TrendPoint { year: 2017, name: "Xeon E7-8894", transistors: 7_200_000_000, cores: 24, node_nm: 14.0 },
-        TrendPoint { year: 2018, name: "Xeon Platinum (48-core boards)", transistors: 8_000_000_000, cores: 28, node_nm: 14.0 },
+        TrendPoint {
+            year: 1971,
+            name: "Intel 4004",
+            transistors: 2_300,
+            cores: 1,
+            node_nm: 10_000.0,
+        },
+        TrendPoint {
+            year: 1974,
+            name: "Intel 8080",
+            transistors: 4_500,
+            cores: 1,
+            node_nm: 6_000.0,
+        },
+        TrendPoint {
+            year: 1978,
+            name: "Intel 8086",
+            transistors: 29_000,
+            cores: 1,
+            node_nm: 3_000.0,
+        },
+        TrendPoint {
+            year: 1982,
+            name: "Intel 80286",
+            transistors: 134_000,
+            cores: 1,
+            node_nm: 1_500.0,
+        },
+        TrendPoint {
+            year: 1989,
+            name: "Intel 80486",
+            transistors: 1_180_000,
+            cores: 1,
+            node_nm: 1_000.0,
+        },
+        TrendPoint {
+            year: 1993,
+            name: "Pentium",
+            transistors: 3_100_000,
+            cores: 1,
+            node_nm: 800.0,
+        },
+        TrendPoint {
+            year: 1999,
+            name: "AMD K7",
+            transistors: 22_000_000,
+            cores: 1,
+            node_nm: 250.0,
+        },
+        TrendPoint {
+            year: 2005,
+            name: "Athlon 64 X2",
+            transistors: 233_000_000,
+            cores: 2,
+            node_nm: 90.0,
+        },
+        TrendPoint {
+            year: 2006,
+            name: "Core 2 Quad",
+            transistors: 582_000_000,
+            cores: 4,
+            node_nm: 65.0,
+        },
+        TrendPoint {
+            year: 2007,
+            name: "POWER6",
+            transistors: 790_000_000,
+            cores: 2,
+            node_nm: 65.0,
+        },
+        TrendPoint {
+            year: 2010,
+            name: "SPARC T3",
+            transistors: 1_000_000_000,
+            cores: 16,
+            node_nm: 40.0,
+        },
+        TrendPoint {
+            year: 2012,
+            name: "Ivy Bridge (1st FinFET gen)",
+            transistors: 1_400_000_000,
+            cores: 4,
+            node_nm: 22.0,
+        },
+        TrendPoint {
+            year: 2014,
+            name: "Broadwell (2nd FinFET gen)",
+            transistors: 1_900_000_000,
+            cores: 4,
+            node_nm: 14.0,
+        },
+        TrendPoint {
+            year: 2015,
+            name: "SPARC M7",
+            transistors: 10_000_000_000,
+            cores: 32,
+            node_nm: 20.0,
+        },
+        TrendPoint {
+            year: 2017,
+            name: "Ryzen",
+            transistors: 4_800_000_000,
+            cores: 8,
+            node_nm: 14.0,
+        },
+        TrendPoint {
+            year: 2017,
+            name: "Xeon E7-8894",
+            transistors: 7_200_000_000,
+            cores: 24,
+            node_nm: 14.0,
+        },
+        TrendPoint {
+            year: 2018,
+            name: "Xeon Platinum (48-core boards)",
+            transistors: 8_000_000_000,
+            cores: 28,
+            node_nm: 14.0,
+        },
     ]
 }
 

@@ -173,7 +173,12 @@ pub struct Scenario {
 impl Scenario {
     /// Creates a scenario if it exists in the suite.
     pub fn new(app: App, model: Model, cores: u32, isa: IsaKind) -> Option<Scenario> {
-        available(app, model, cores).then_some(Scenario { app, model, cores, isa })
+        available(app, model, cores).then_some(Scenario {
+            app,
+            model,
+            cores,
+            isa,
+        })
     }
 
     /// The full 130-scenario suite (65 per ISA), in (ISA, app, model,
@@ -196,7 +201,13 @@ impl Scenario {
 
     /// A stable identifier, e.g. `ft-mpi-4-sira64`.
     pub fn id(&self) -> String {
-        format!("{}-{}-{}-{}", self.app.name().to_lowercase(), self.model, self.cores, self.isa)
+        format!(
+            "{}-{}-{}-{}",
+            self.app.name().to_lowercase(),
+            self.model,
+            self.cores,
+            self.isa
+        )
     }
 
     /// The FL source of this scenario's program.
@@ -265,9 +276,8 @@ mod tests {
     #[test]
     fn paper_counts_per_model() {
         let all = Scenario::all();
-        let count = |m: Model, isa: IsaKind| {
-            all.iter().filter(|s| s.model == m && s.isa == isa).count()
-        };
+        let count =
+            |m: Model, isa: IsaKind| all.iter().filter(|s| s.model == m && s.isa == isa).count();
         // 10 serial, 10 OMP apps x 3 core counts, 9 MPI apps x 3 - 2.
         assert_eq!(count(Model::Serial, IsaKind::Sira64), 10);
         assert_eq!(count(Model::Omp, IsaKind::Sira64), 30);

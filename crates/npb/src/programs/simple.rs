@@ -69,9 +69,7 @@ fn ep_report() {
 
 pub fn ep(model: Model) -> String {
     let main = match model {
-        Model::Serial => {
-            "fn main() -> int { ep_chunk(0, 1024); ep_report(); return 0; }"
-        }
+        Model::Serial => "fn main() -> int { ep_chunk(0, 1024); ep_report(); return 0; }",
         Model::Omp => {
             "fn main() -> int {
                 omp_parallel_for(fn_addr(ep_chunk), 0, 1024);

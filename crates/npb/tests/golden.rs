@@ -8,15 +8,23 @@ use fracas_kernel::{BootSpec, Kernel, Limits, RunOutcome};
 use fracas_npb::{Model, Scenario};
 
 fn run_golden(s: &Scenario) -> (RunOutcome, String) {
-    let image = s.build().unwrap_or_else(|e| panic!("{}: build: {e}", s.id()));
+    let image = s
+        .build()
+        .unwrap_or_else(|e| panic!("{}: build: {e}", s.id()));
     let spec = BootSpec {
         processes: s.processes(),
         omp_threads: s.omp_threads(),
         ..BootSpec::serial()
     };
     let mut kernel = Kernel::boot(&image, s.cores as usize, spec);
-    let outcome = kernel.run(&Limits { max_cycles: 40_000_000_000, max_steps: 20_000_000_000 });
-    (outcome, String::from_utf8_lossy(kernel.console()).into_owned())
+    let outcome = kernel.run(&Limits {
+        max_cycles: 40_000_000_000,
+        max_steps: 20_000_000_000,
+    });
+    (
+        outcome,
+        String::from_utf8_lossy(kernel.console()).into_owned(),
+    )
 }
 
 fn assert_verified(s: &Scenario) {
@@ -36,7 +44,10 @@ fn assert_verified(s: &Scenario) {
 
 #[test]
 fn all_sira64_scenarios_verify() {
-    for s in Scenario::all().into_iter().filter(|s| s.isa == IsaKind::Sira64) {
+    for s in Scenario::all()
+        .into_iter()
+        .filter(|s| s.isa == IsaKind::Sira64)
+    {
         assert_verified(&s);
     }
 }
@@ -72,13 +83,8 @@ fn full_matrix_verifies() {
 
 #[test]
 fn golden_runs_are_deterministic() {
-    let s = Scenario::new(
-        fracas_npb::App::Mg,
-        Model::Omp,
-        2,
-        IsaKind::Sira64,
-    )
-    .expect("scenario exists");
+    let s = Scenario::new(fracas_npb::App::Mg, Model::Omp, 2, IsaKind::Sira64)
+        .expect("scenario exists");
     let image = s.build().unwrap();
     let spec = BootSpec {
         processes: s.processes(),

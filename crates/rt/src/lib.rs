@@ -71,7 +71,10 @@ pub enum BuildError {
 impl fmt::Display for BuildError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            BuildError::Compile { source_index, error } => {
+            BuildError::Compile {
+                source_index,
+                error,
+            } => {
                 write!(f, "source {source_index}: {error}")
             }
             BuildError::Link(e) => write!(f, "link: {e}"),
@@ -97,15 +100,12 @@ impl From<fracas_isa::LinkError> for BuildError {
 pub fn runtime_objects(isa: IsaKind) -> Vec<Object> {
     let mut objects = vec![crt0(isa)];
     for (name, src) in [("omp", OMP_RT), ("mpi", MPI_RT)] {
-        objects.push(
-            compile(src, isa).unwrap_or_else(|e| panic!("runtime source `{name}`: {e}")),
-        );
+        objects.push(compile(src, isa).unwrap_or_else(|e| panic!("runtime source `{name}`: {e}")));
     }
     if isa == IsaKind::Sira32 {
         objects.push(softfloat());
-        objects.push(
-            compile(SOFT_MATH, isa).unwrap_or_else(|e| panic!("runtime source `math`: {e}")),
-        );
+        objects
+            .push(compile(SOFT_MATH, isa).unwrap_or_else(|e| panic!("runtime source `math`: {e}")));
     }
     objects
 }
@@ -136,10 +136,12 @@ pub fn build_image_with(
     let mut objects = runtime_objects(isa);
     for (i, src) in sources.iter().enumerate() {
         let full = format!("{src}\n{FL_HEADER}");
-        objects.push(
-            fracas_lang::compile_with(&full, isa, opt)
-                .map_err(|error| BuildError::Compile { source_index: i, error })?,
-        );
+        objects.push(fracas_lang::compile_with(&full, isa, opt).map_err(|error| {
+            BuildError::Compile {
+                source_index: i,
+                error,
+            }
+        })?);
     }
     Ok(link(isa, &objects)?)
 }

@@ -48,7 +48,15 @@ fn epilogue(a: &mut Asm) {
 
 /// Conditionally set `rd = imm` (conditional execution).
 fn movi_if(a: &mut Asm, cond: Cond, rd: Reg, imm: u16) {
-    a.inst_if(cond, InstKind::MovImm { rd, imm, shift: 0, keep: false });
+    a.inst_if(
+        cond,
+        InstKind::MovImm {
+            rd,
+            imm,
+            shift: 0,
+            keep: false,
+        },
+    );
 }
 
 /// Unpacks the f64 in (`lo`,`hi`) into sign `s`, unbiased exponent `e`
@@ -192,7 +200,7 @@ fn emit_mul(a: &mut Asm) {
     unpack(a, R2, R3, R7, R1, R0);
     a.alu(AluOp::Eor, R4, R4, R7); // sign
     a.add(R5, R5, R1); // exponent
-    // 48-bit product of the 24-bit mantissas via Mul/Muh.
+                       // 48-bit product of the 24-bit mantissas via Mul/Muh.
     a.alu(AluOp::Mul, R2, R6, R0);
     a.alu(AluOp::Muh, R3, R6, R0);
     a.alui(AluOp::Lsl, R3, R3, 9);

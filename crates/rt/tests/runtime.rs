@@ -9,13 +9,23 @@ use fracas_rt::build_image;
 fn run(src: &str, isa: IsaKind, cores: usize, spec: BootSpec) -> (RunOutcome, String) {
     let image = build_image(&[src], isa).unwrap_or_else(|e| panic!("build ({isa}): {e}"));
     let mut kernel = Kernel::boot(&image, cores, spec);
-    let outcome = kernel.run(&Limits { max_cycles: 2_000_000_000, max_steps: 2_000_000_000 });
-    (outcome, String::from_utf8_lossy(kernel.console()).into_owned())
+    let outcome = kernel.run(&Limits {
+        max_cycles: 2_000_000_000,
+        max_steps: 2_000_000_000,
+    });
+    (
+        outcome,
+        String::from_utf8_lossy(kernel.console()).into_owned(),
+    )
 }
 
 fn expect_ok(src: &str, isa: IsaKind, cores: usize, spec: BootSpec) -> String {
     let (outcome, console) = run(src, isa, cores, spec);
-    assert_eq!(outcome, RunOutcome::Exited { code: 0 }, "isa {isa}: {console}");
+    assert_eq!(
+        outcome,
+        RunOutcome::Exited { code: 0 },
+        "isa {isa}: {console}"
+    );
     console
 }
 
@@ -157,7 +167,11 @@ fn omp_workers_actually_run_on_other_cores() {
         .iter()
         .filter(|&&c| c > 1000)
         .count();
-    assert!(busy >= 4, "all four cores should execute work: {:?}", report.per_core_instructions);
+    assert!(
+        busy >= 4,
+        "all four cores should execute work: {:?}",
+        report.per_core_instructions
+    );
 }
 
 #[test]
@@ -274,8 +288,11 @@ fn mpi_ranks_have_private_runtime_state() {
 
 #[test]
 fn build_errors_carry_source_index() {
-    let err = build_image(&["fn main() -> int { return 0; }", "fn broken("], IsaKind::Sira64)
-        .unwrap_err();
+    let err = build_image(
+        &["fn main() -> int { return 0; }", "fn broken("],
+        IsaKind::Sira64,
+    )
+    .unwrap_err();
     match err {
         fracas_rt::BuildError::Compile { source_index, .. } => assert_eq!(source_index, 1),
         other => panic!("unexpected error {other}"),

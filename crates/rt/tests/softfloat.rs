@@ -53,10 +53,7 @@ fn run_toint(a: f64) -> i32 {
 /// Float32-grade relative comparison.
 fn assert_close(got: f64, want: f64, what: &str) {
     if want == 0.0 {
-        assert!(
-            got.abs() < 1e-30,
-            "{what}: got {got:e}, want zero"
-        );
+        assert!(got.abs() < 1e-30, "{what}: got {got:e}, want zero");
         return;
     }
     let rel = ((got - want) / want).abs();
@@ -67,7 +64,20 @@ fn assert_close(got: f64, want: f64, what: &str) {
 }
 
 const SAMPLES: [f64; 14] = [
-    0.0, 1.0, -1.0, 0.5, 2.0, 3.25, -7.75, 100.0, 1e6, -1e6, 1e-6, 0.1, 123456.789, -0.001953125,
+    0.0,
+    1.0,
+    -1.0,
+    0.5,
+    2.0,
+    3.25,
+    -7.75,
+    100.0,
+    1e6,
+    -1e6,
+    1e-6,
+    0.1,
+    123456.789,
+    -0.001953125,
 ];
 
 #[test]
@@ -159,7 +169,18 @@ fn compare_flags_nan_as_unordered() {
 
 #[test]
 fn fromint_is_exact_below_24_bits() {
-    for i in [0, 1, -1, 2, 7, -13, 1000, -123456, (1 << 23) - 1, -(1 << 23)] {
+    for i in [
+        0,
+        1,
+        -1,
+        2,
+        7,
+        -13,
+        1000,
+        -123456,
+        (1 << 23) - 1,
+        -(1 << 23),
+    ] {
         assert_eq!(run_fromint(i), f64::from(i), "fromint({i})");
     }
 }
@@ -219,11 +240,19 @@ fn random_walk_against_host() {
             }
             2 => {
                 host *= 1.0 + operand / 1024.0;
-                guest = run_op("__f64_mul", guest, run_op("__f64_add", 1.0, operand / 1024.0));
+                guest = run_op(
+                    "__f64_mul",
+                    guest,
+                    run_op("__f64_add", 1.0, operand / 1024.0),
+                );
             }
             _ => {
                 host /= 1.0 + operand / 512.0;
-                guest = run_op("__f64_div", guest, run_op("__f64_add", 1.0, operand / 512.0));
+                guest = run_op(
+                    "__f64_div",
+                    guest,
+                    run_op("__f64_add", 1.0, operand / 512.0),
+                );
             }
         }
         let rel = ((guest - host) / host).abs();

@@ -11,12 +11,18 @@ use fracas::mine::{mismatch_rows, Database};
 use fracas::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let config = CampaignConfig { faults: 120, ..CampaignConfig::default() };
+    let config = CampaignConfig {
+        faults: 120,
+        ..CampaignConfig::default()
+    };
     let isa = IsaKind::Sira64;
     let app = App::Cg;
     let cores = 2;
 
-    println!("{app} on {cores} cores, {} faults per model ({isa})\n", config.faults);
+    println!(
+        "{app} on {cores} cores, {} faults per model ({isa})\n",
+        config.faults
+    );
     let mut db = Database::new();
     for model in [Model::Omp, Model::Mpi] {
         let scenario = Scenario::new(app, model, cores, isa).expect("variant exists");

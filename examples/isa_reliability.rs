@@ -10,13 +10,18 @@
 use fracas::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let config = CampaignConfig { faults: 120, ..CampaignConfig::default() };
+    let config = CampaignConfig {
+        faults: 120,
+        ..CampaignConfig::default()
+    };
 
-    println!("CG (conjugate gradient, FP-heavy) under {} faults per ISA\n", config.faults);
+    println!(
+        "CG (conjugate gradient, FP-heavy) under {} faults per ISA\n",
+        config.faults
+    );
     let mut rows = Vec::new();
     for isa in IsaKind::ALL {
-        let scenario =
-            Scenario::new(App::Cg, Model::Serial, 1, isa).expect("CG serial exists");
+        let scenario = Scenario::new(App::Cg, Model::Serial, 1, isa).expect("CG serial exists");
         let result = fracas::run_scenario_campaign(&scenario, &config)?;
         rows.push((isa, result));
     }
@@ -27,10 +32,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rows[0].0.analogue(),
         rows[1].0.analogue()
     );
-    let metric = |f: &dyn Fn(&CampaignResult) -> String, name: &str, rows: &[(IsaKind, CampaignResult)]| {
-        println!("{:<26} {:>14} {:>14}", name, f(&rows[0].1), f(&rows[1].1));
-    };
-    metric(&|r| r.golden.instructions.to_string(), "instructions", &rows);
+    let metric =
+        |f: &dyn Fn(&CampaignResult) -> String, name: &str, rows: &[(IsaKind, CampaignResult)]| {
+            println!("{:<26} {:>14} {:>14}", name, f(&rows[0].1), f(&rows[1].1));
+        };
+    metric(
+        &|r| r.golden.instructions.to_string(),
+        "instructions",
+        &rows,
+    );
     metric(&|r| r.golden.cycles.to_string(), "cycles", &rows);
     metric(
         &|r| format!("{:.1} %", r.profile.branch_ratio * 100.0),
@@ -64,8 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    let blowup =
-        rows[0].1.golden.instructions as f64 / rows[1].1.golden.instructions as f64;
+    let blowup = rows[0].1.golden.instructions as f64 / rows[1].1.golden.instructions as f64;
     println!(
         "\nThe ARMv7-like model executes {blowup:.1}x the instructions (software FP),\n\
          so a fixed particle fluence strikes it for far longer — the paper's MTBF\n\

@@ -11,7 +11,10 @@ use fracas::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let isa = IsaKind::Sira64;
-    let config = CampaignConfig { faults: 80, ..CampaignConfig::default() };
+    let config = CampaignConfig {
+        faults: 80,
+        ..CampaignConfig::default()
+    };
 
     // A small but varied slice of the suite.
     let scenarios: Vec<Scenario> = [

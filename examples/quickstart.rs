@@ -41,17 +41,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         // Inject ten uniform register bit flips and classify each one
         // against the golden run.
-        let faults = fracas::inject::sample_faults(
-            isa,
-            1,
-            golden.cycles,
-            10,
-            &FaultSpace::default(),
-            2026,
-        );
+        let faults =
+            fracas::inject::sample_faults(isa, 1, golden.cycles, 10, &FaultSpace::default(), 2026);
         for fault in faults {
             let mut kernel = Kernel::boot(&image, 1, BootSpec::serial());
-            let limits = Limits { max_cycles: golden.cycles * 4, max_steps: u64::MAX };
+            let limits = Limits {
+                max_cycles: golden.cycles * 4,
+                max_steps: u64::MAX,
+            };
             if kernel
                 .run_until_core_cycle(fault.timing_core(), fault.cycle, &limits)
                 .is_none()

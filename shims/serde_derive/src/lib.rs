@@ -1,0 +1,352 @@
+//! Derive macros for the serde shim.
+//!
+//! Hand-rolled over `proc_macro::TokenTree` (no `syn`/`quote`, so the
+//! shim stays dependency-free). Supports the shapes FRACAS uses:
+//! named-field structs, enums with unit and struct variants, and the
+//! field attributes `#[serde(default)]` / `#[serde(default = "path")]`.
+//! The generated representation matches real serde's externally-tagged
+//! JSON encoding.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// `None` — required field; `Some(None)` — `Default::default()`;
+/// `Some(Some(path))` — call `path()`.
+type FieldDefault = Option<Option<String>>;
+
+struct Field {
+    name: String,
+    default: FieldDefault,
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants.
+    fields: Option<Vec<Field>>,
+}
+
+enum Body {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+/// Derives `serde::Serialize` (shim data model).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, body) = parse_input(input);
+    let code = gen_serialize(&name, &body);
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (shim data model).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, body) = parse_input(input);
+    let code = gen_deserialize(&name, &body);
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+fn ident_of(tok: &TokenTree) -> Option<String> {
+    match tok {
+        TokenTree::Ident(id) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn is_punct(tok: &TokenTree, c: char) -> bool {
+    matches!(tok, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn parse_input(input: TokenStream) -> (String, Body) {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes and visibility.
+    while i < toks.len() {
+        if is_punct(&toks[i], '#') {
+            i += 2;
+        } else if ident_of(&toks[i]).as_deref() == Some("pub") {
+            i += 1;
+            if matches!(toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        } else {
+            break;
+        }
+    }
+    let kind = ident_of(&toks[i]).expect("struct or enum keyword");
+    i += 1;
+    let name = ident_of(&toks[i]).expect("type name");
+    i += 1;
+    // Skip generics (unused by FRACAS types, handled for robustness).
+    if i < toks.len() && is_punct(&toks[i], '<') {
+        let mut depth = 0i32;
+        while i < toks.len() {
+            if is_punct(&toks[i], '<') {
+                depth += 1;
+            } else if is_punct(&toks[i], '>') {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    let group = match &toks[i] {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => g.clone(),
+        other => panic!("serde shim derive supports only braced bodies, got {other:?}"),
+    };
+    let body = match kind.as_str() {
+        "struct" => Body::Struct(parse_fields(group.stream())),
+        "enum" => Body::Enum(parse_variants(group.stream())),
+        other => panic!("cannot derive serde traits for `{other}`"),
+    };
+    (name, body)
+}
+
+/// Parses `#[serde(default)]` / `#[serde(default = "path")]` from one
+/// attribute body (the tokens inside `#[...]`).
+fn parse_serde_default(attr: TokenStream) -> FieldDefault {
+    let toks: Vec<TokenTree> = attr.into_iter().collect();
+    if ident_of(toks.first()?).as_deref() != Some("serde") {
+        return None;
+    }
+    let inner: Vec<TokenTree> = match toks.get(1) {
+        Some(TokenTree::Group(g)) => g.stream().into_iter().collect(),
+        _ => return None,
+    };
+    if ident_of(inner.first()?).as_deref() != Some("default") {
+        return None;
+    }
+    if inner.len() >= 3 && is_punct(&inner[1], '=') {
+        let lit = inner[2].to_string();
+        let path = lit.trim_matches('"').to_string();
+        Some(Some(path))
+    } else {
+        Some(None)
+    }
+}
+
+fn parse_fields(ts: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut default: FieldDefault = None;
+        // Attributes and visibility before the field name.
+        loop {
+            if i >= toks.len() {
+                return fields;
+            }
+            if is_punct(&toks[i], '#') {
+                if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+                    if let Some(d) = parse_serde_default(g.stream()) {
+                        default = Some(d);
+                    }
+                }
+                i += 2;
+            } else if ident_of(&toks[i]).as_deref() == Some("pub") {
+                i += 1;
+                if matches!(toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        let name = ident_of(&toks[i]).expect("field name");
+        i += 1;
+        assert!(is_punct(&toks[i], ':'), "expected `:` after field `{name}`");
+        i += 1;
+        // Skip the type: to the next comma at angle-bracket depth zero.
+        let mut depth = 0i32;
+        while i < toks.len() {
+            if is_punct(&toks[i], '<') {
+                depth += 1;
+            } else if is_punct(&toks[i], '>') {
+                depth -= 1;
+            } else if is_punct(&toks[i], ',') && depth == 0 {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        while i < toks.len() && is_punct(&toks[i], '#') {
+            i += 2;
+        }
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_of(&toks[i]).expect("variant name");
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Some(parse_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde shim derive does not support tuple variants (`{name}`)")
+            }
+            _ => None,
+        };
+        if i < toks.len() {
+            assert!(
+                is_punct(&toks[i], ','),
+                "expected `,` after variant `{name}`"
+            );
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn serialize_fields_expr(fields: &[Field], access: &dyn Fn(&str) -> String) -> String {
+    let mut entries = String::new();
+    for f in fields {
+        entries.push_str(&format!(
+            "(\"{0}\".to_string(), ::serde::Serialize::to_value(&{1})),",
+            f.name,
+            access(&f.name)
+        ));
+    }
+    format!("::serde::Value::Object(vec![{entries}])")
+}
+
+fn gen_serialize(name: &str, body: &Body) -> String {
+    let body_code = match body {
+        Body::Struct(fields) => serialize_fields_expr(fields, &|f| format!("self.{f}")),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.fields {
+                    None => arms.push_str(&format!(
+                        "{name}::{0} => ::serde::Value::Str(\"{0}\".to_string()),",
+                        v.name
+                    )),
+                    Some(fields) => {
+                        let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let inner = serialize_fields_expr(fields, &|f| format!("(*{f})"));
+                        arms.push_str(&format!(
+                            "{name}::{0} {{ {1} }} => ::serde::Value::Object(vec![(\"{0}\".to_string(), {inner})]),",
+                            v.name,
+                            binders.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body_code} }}\n\
+         }}"
+    )
+}
+
+/// The expression filling one field from `entries` during deserialize.
+fn deserialize_field_expr(type_name: &str, f: &Field) -> String {
+    let missing = match &f.default {
+        None => format!(
+            "return ::core::result::Result::Err(::serde::DeError::custom(\
+                 \"missing field `{0}` in {type_name}\"))",
+            f.name
+        ),
+        Some(None) => "::core::default::Default::default()".to_string(),
+        Some(Some(path)) => format!("{path}()"),
+    };
+    format!(
+        "{0}: match ::serde::field(entries, \"{0}\") {{\n\
+             ::core::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+             ::core::option::Option::None => {missing},\n\
+         }},",
+        f.name
+    )
+}
+
+fn gen_deserialize(name: &str, body: &Body) -> String {
+    let body_code = match body {
+        Body::Struct(fields) => {
+            let fills: String = fields
+                .iter()
+                .map(|f| deserialize_field_expr(name, f))
+                .collect();
+            format!(
+                "let entries = v.as_object().ok_or_else(|| \
+                     ::serde::DeError::custom(\"expected object for {name}\"))?;\n\
+                 ::core::result::Result::Ok({name} {{ {fills} }})"
+            )
+        }
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut struct_arms = String::new();
+            for v in variants {
+                match &v.fields {
+                    None => unit_arms.push_str(&format!(
+                        "\"{0}\" => ::core::result::Result::Ok({name}::{0}),",
+                        v.name
+                    )),
+                    Some(fields) => {
+                        let fills: String = fields
+                            .iter()
+                            .map(|f| deserialize_field_expr(&format!("{name}::{}", v.name), f))
+                            .collect();
+                        struct_arms.push_str(&format!(
+                            "\"{0}\" => {{\n\
+                                 let entries = inner.as_object().ok_or_else(|| \
+                                     ::serde::DeError::custom(\"expected object for {name}::{0}\"))?;\n\
+                                 ::core::result::Result::Ok({name}::{0} {{ {fills} }})\n\
+                             }},",
+                            v.name
+                        ));
+                    }
+                }
+            }
+            let inner_binding = if struct_arms.is_empty() {
+                "_inner"
+            } else {
+                "inner"
+            };
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => ::core::result::Result::Err(::serde::DeError::custom(\
+                             format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                         let (tag, {inner_binding}) = &entries[0];\n\
+                         match tag.as_str() {{\n\
+                             {struct_arms}\n\
+                             other => ::core::result::Result::Err(::serde::DeError::custom(\
+                                 format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                         }}\n\
+                     }},\n\
+                     _ => ::core::result::Result::Err(::serde::DeError::custom(\
+                         \"expected variant tag for {name}\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) \
+                 -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                 {body_code}\n\
+             }}\n\
+         }}"
+    )
+}

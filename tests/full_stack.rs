@@ -61,7 +61,10 @@ fn critical_register_faults_have_critical_outcomes() {
     let scenario = Scenario::new(App::Is, Model::Serial, 1, IsaKind::Sira32).unwrap();
     let workload = Workload::from_scenario(&scenario).unwrap();
     let (golden, _) = golden_run(&workload);
-    let limits = Limits { max_cycles: golden.cycles * 4, max_steps: u64::MAX };
+    let limits = Limits {
+        max_cycles: golden.cycles * 4,
+        max_steps: u64::MAX,
+    };
 
     // Flip a high bit of SP (r13) mid-run.
     let mut kernel = Kernel::boot(&workload.image, 1, workload.spec);
@@ -97,7 +100,10 @@ fn late_faults_mask_more_often() {
     let scenario = Scenario::new(App::Ep, Model::Serial, 1, IsaKind::Sira64).unwrap();
     let workload = Workload::from_scenario(&scenario).unwrap();
     let (golden, _) = golden_run(&workload);
-    let limits = Limits { max_cycles: golden.cycles * 4, max_steps: u64::MAX };
+    let limits = Limits {
+        max_cycles: golden.cycles * 4,
+        max_steps: u64::MAX,
+    };
 
     let count_masked = |cycle: u64| -> usize {
         let faults =
@@ -105,9 +111,16 @@ fn late_faults_mask_more_often() {
         faults
             .iter()
             .filter(|f| {
-                let fault = Fault { target: f.target, cycle, width: 1 };
+                let fault = Fault {
+                    target: f.target,
+                    cycle,
+                    width: 1,
+                };
                 let mut kernel = Kernel::boot(&workload.image, 1, workload.spec);
-                if kernel.run_until_core_cycle(0, fault.cycle, &limits).is_none() {
+                if kernel
+                    .run_until_core_cycle(0, fault.cycle, &limits)
+                    .is_none()
+                {
                     fault.apply(kernel.machine_mut());
                     kernel.run(&limits);
                 }
@@ -121,7 +134,10 @@ fn late_faults_mask_more_often() {
         late >= early,
         "late faults should mask at least as often: early {early}, late {late}"
     );
-    assert!(late >= 20, "faults at the last cycles are mostly harmless: {late}");
+    assert!(
+        late >= 20,
+        "faults at the last cycles are mostly harmless: {late}"
+    );
 }
 
 /// Full campaign through the facade plus mining over it.
@@ -135,7 +151,11 @@ fn campaign_to_mining_pipeline() {
     .into_iter()
     .flatten()
     .collect();
-    let config = CampaignConfig { faults: 40, threads: 1, ..CampaignConfig::default() };
+    let config = CampaignConfig {
+        faults: 40,
+        threads: 1,
+        ..CampaignConfig::default()
+    };
     let db = fracas::campaign_suite(&scenarios, &config, |_, _, _| {}).unwrap();
 
     let rows = fracas::mine::mismatch_rows(&db, isa);

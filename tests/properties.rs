@@ -42,8 +42,14 @@ fn arb_kind() -> impl Strategy<Value = InstKind> {
             .prop_map(|(op, rd, rn, imm)| InstKind::AluImm { op, rd, rn, imm }),
         (arb_reg(), arb_reg()).prop_map(|(rn, rm)| InstKind::Cmp { rn, rm }),
         (arb_reg(), -1024i16..1024).prop_map(|(rn, imm)| InstKind::CmpImm { rn, imm }),
-        (arb_reg(), any::<u16>(), 0u8..4, any::<bool>())
-            .prop_map(|(rd, imm, shift, keep)| InstKind::MovImm { rd, imm, shift, keep }),
+        (arb_reg(), any::<u16>(), 0u8..4, any::<bool>()).prop_map(|(rd, imm, shift, keep)| {
+            InstKind::MovImm {
+                rd,
+                imm,
+                shift,
+                keep,
+            }
+        }),
         (arb_width(), arb_reg(), arb_reg(), -1024i16..1024)
             .prop_map(|(width, rd, rn, off)| InstKind::Ld { width, rd, rn, off }),
         (arb_width(), arb_reg(), arb_reg(), -1024i16..1024)
@@ -53,10 +59,12 @@ fn arb_kind() -> impl Strategy<Value = InstKind> {
         (-(1i32 << 20)..(1 << 20)).prop_map(|off| InstKind::B { off }),
         (-(1i32 << 20)..(1 << 20)).prop_map(|off| InstKind::Bl { off }),
         arb_reg().prop_map(|rm| InstKind::Blr { rm }),
-        (arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(rd, rn, rm)| InstKind::AmoAdd { rd, rn, rm }),
-        (arb_freg(), arb_reg(), -1024i16..1024)
-            .prop_map(|(fd, rn, off)| InstKind::FLd { fd, rn, off }),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rn, rm)| InstKind::AmoAdd { rd, rn, rm }),
+        (arb_freg(), arb_reg(), -1024i16..1024).prop_map(|(fd, rn, off)| InstKind::FLd {
+            fd,
+            rn,
+            off
+        }),
         (arb_freg(), arb_freg(), arb_freg()).prop_map(|(fd, fa, fb)| InstKind::Fp {
             op: fracas_isa::FpOp::Fmul,
             fd,
@@ -230,5 +238,59 @@ proptest! {
         m.flip_gpr(0, reg, bit);
         prop_assert_eq!(m.core(0).context_hash(), before);
         prop_assert_ne!(mid, before);
+    }
+}
+
+fn arb_fault_target() -> impl Strategy<Value = fracas_inject::FaultTarget> {
+    use fracas_inject::FaultTarget;
+    prop_oneof![
+        (0u32..2, 0u32..32, 0u32..64).prop_map(|(core, reg, bit)| FaultTarget::Gpr {
+            core,
+            reg,
+            bit
+        }),
+        (0u32..2, 0u32..32, 0u32..64).prop_map(|(core, reg, bit)| FaultTarget::Fpr {
+            core,
+            reg,
+            bit
+        }),
+        (0u32..2, 0u32..4).prop_map(|(core, which)| FaultTarget::Flag { core, which }),
+        (0u32..(1u32 << 21), 0u32..8).prop_map(|(addr, bit)| FaultTarget::Mem { addr, bit }),
+        (any::<u32>(), 0u32..32).prop_map(|(word, bit)| FaultTarget::Text { word, bit }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `Fault::apply` at width 1 is an involution for *every* target
+    /// variant: a second application restores the register contexts, the
+    /// memory state and the instruction memory bit-exactly.
+    #[test]
+    fn fault_apply_is_involution(target in arb_fault_target(), cycle in any::<u64>()) {
+        let mut asm = Asm::new(IsaKind::Sira64);
+        asm.global_fn("_start");
+        asm.load_imm(Reg(1), 0xdead_beef);
+        asm.halt();
+        let image = link(IsaKind::Sira64, &[asm.into_object()]).expect("link");
+        let mut m = Machine::boot_flat(&image, 2);
+        // Pin text faults inside the (tiny) image so they always land.
+        let target = match target {
+            fracas_inject::FaultTarget::Text { word, bit } => {
+                fracas_inject::FaultTarget::Text { word: word % m.text_len(), bit }
+            }
+            t => t,
+        };
+        let fault = fracas_inject::Fault { target, cycle, width: 1 };
+        let observe = |m: &Machine| {
+            let ctx: Vec<u64> = (0..m.core_count()).map(|i| m.core(i).context_hash()).collect();
+            let mem = m.mem.hash_range(0, 1 << 21).expect("hash range fits flat memory");
+            let text: Vec<u32> = (0..m.text_len()).map(|i| m.text_word(i).unwrap()).collect();
+            (ctx, mem, text)
+        };
+        let before = observe(&m);
+        fault.apply(&mut m);
+        fault.apply(&mut m);
+        prop_assert_eq!(observe(&m), before, "fault {:?} is not an involution", fault);
     }
 }
