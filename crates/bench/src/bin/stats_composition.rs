@@ -1,48 +1,13 @@
 //! §4.1.3: mean branch composition (branches as a share of executed
 //! instructions) and its standard deviation per macro scenario, plus the
 //! register-file fault-target spaces of §4.1.2.
+//!
+//! The report body lives in [`fracas_bench::reports::composition_report`]
+//! and is pinned by a golden-file test on a tiny fixed-seed campaign.
 
-use fracas::inject::FaultSpace;
-use fracas::isa::IsaKind;
-use fracas::mine::composition_stats;
 use fracas::npb::Scenario;
 
 fn main() {
     let db = fracas_bench::ensure_db(&Scenario::all());
-    println!("Branch composition per macro scenario (paper: 19.24/14.08/17.65/12.01 %)");
-    println!(
-        "{:<8} {:>12} {:>8} {:>10}",
-        "Group", "Mean (%)", "Sigma", "Scenarios"
-    );
-    for s in composition_stats(&db) {
-        println!(
-            "{:<8} {:>12.2} {:>8.2} {:>10}",
-            s.group, s.mean_branch_pct, s.sigma, s.scenarios
-        );
-    }
-    println!();
-    println!("Fault-target register-file spaces (4.1.2):");
-    let space = FaultSpace::default();
-    for isa in IsaKind::ALL {
-        println!(
-            "  {:<8} {:>6} bits/core ({} GPRs x {}b{})",
-            isa.name(),
-            space.total_bits(isa, 1),
-            isa.reg_file().gpr_count,
-            isa.reg_file().gpr_bits,
-            if isa.fpr_count() > 0 {
-                format!(
-                    " + {} FPRs x {}b",
-                    isa.reg_file().fpr_count,
-                    isa.reg_file().fpr_bits
-                )
-            } else {
-                String::new()
-            }
-        );
-    }
-    println!(
-        "  integer-file growth: {}x (paper: a factor of four)",
-        IsaKind::Sira64.reg_file().gpr_total_bits() / IsaKind::Sira32.reg_file().gpr_total_bits()
-    );
+    print!("{}", fracas_bench::reports::composition_report(&db));
 }

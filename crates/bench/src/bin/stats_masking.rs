@@ -1,33 +1,13 @@
 //! §4.2.2: masking-rate comparison over every MPI/OMP scenario pair,
 //! per-core workload balance and the parallelization-API vulnerability
 //! window.
+//!
+//! The report body lives in [`fracas_bench::reports::masking_report`]
+//! and is pinned by a golden-file test on a tiny fixed-seed campaign.
 
-use fracas::mine::masking_comparison;
 use fracas::npb::Scenario;
 
 fn main() {
     let db = fracas_bench::ensure_db(&Scenario::all());
-    let s = masking_comparison(&db);
-    println!("Masking comparison over MPI/OMP pairs (paper: MPI wins 38 of 44)");
-    println!("  comparable pairs:          {}", s.pairs);
-    println!("  MPI higher masking rate:   {}", s.mpi_wins);
-    println!();
-    println!("Workload balance, per-core instruction imbalance (paper: ~4% MPI, up to 16% OMP)");
-    println!(
-        "  MPI mean imbalance:        {:.1} %",
-        s.mpi_imbalance * 100.0
-    );
-    println!(
-        "  OMP mean imbalance:        {:.1} %",
-        s.omp_imbalance * 100.0
-    );
-    println!();
-    println!("Execution time (paper: OMP ~16% shorter than MPI on average)");
-    println!("  mean OMP/MPI cycle ratio:  {:.2}", s.omp_cycle_ratio);
-    println!();
-    println!("Vulnerability window (paper: < 23% worst case)");
-    println!(
-        "  max API cycle fraction:    {:.1} %",
-        s.max_api_window * 100.0
-    );
+    print!("{}", fracas_bench::reports::masking_report(&db));
 }

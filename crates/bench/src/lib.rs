@@ -2,27 +2,52 @@
 //!
 //! Every `src/bin/*` target regenerates one of the paper's tables or
 //! figures. They share a campaign database so the expensive injection
-//! work runs once:
+//! work runs once, and all of them drive the fleet orchestrator
+//! ([`fracas::inject::run_fleet`]): one shared worker pool over every
+//! missing scenario, a streaming record sink for crash-safe mid-campaign
+//! resume, per-workload progress lines and optional statistical early
+//! stopping.
 //!
 //! * `FRACAS_DB` (default `fracas_campaigns.jsonl`) — the JSON-lines
-//!   database file. [`ensure_db`] loads it, runs campaigns only for
-//!   scenarios not yet covered, and saves it back.
+//!   database file. [`ensure_db`] loads it, sweeps the scenarios not yet
+//!   covered, and saves it back.
+//! * `FRACAS_SINK` (default `<db>.wal`) — the in-flight record sink; a
+//!   killed sweep resumes from it bit-identically and it is deleted once
+//!   the database is saved.
 //! * `FRACAS_FAULTS` — injections per scenario (default 60; the paper
 //!   used 8,000 on a 5,000-core cluster).
+//! * `FRACAS_EPSILON` — Wilson-interval early-stop half-width as a
+//!   proportion (default 0 = off; see
+//!   [`fracas::inject::FleetConfig::from_env`]).
 //! * `FRACAS_SEED`, `FRACAS_THREADS` — see
 //!   [`fracas::inject::CampaignConfig::from_env`].
 
-use fracas::inject::{CampaignConfig, CampaignResult};
+use fracas::inject::{CampaignConfig, CampaignResult, FleetConfig, Workload};
 use fracas::mine::{parse_id, Database};
 use fracas::npb::Scenario;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
+
+pub mod reports;
 
 /// The database path from `FRACAS_DB` (default `fracas_campaigns.jsonl`
 /// in the working directory).
 pub fn db_path() -> PathBuf {
     std::env::var_os("FRACAS_DB")
         .map_or_else(|| PathBuf::from("fracas_campaigns.jsonl"), PathBuf::from)
+}
+
+/// The in-flight record-sink path from `FRACAS_SINK` (default: the
+/// database path with a `.wal` suffix appended).
+pub fn sink_path() -> PathBuf {
+    std::env::var_os("FRACAS_SINK").map_or_else(
+        || {
+            let mut p = db_path().into_os_string();
+            p.push(".wal");
+            PathBuf::from(p)
+        },
+        PathBuf::from,
+    )
 }
 
 /// The campaign configuration from the environment, with the harness
@@ -35,8 +60,20 @@ pub fn config() -> CampaignConfig {
     config
 }
 
-/// Loads the shared database, runs campaigns for any of `scenarios` not
-/// yet present (printing progress), appends them and saves the file.
+/// The sweep configuration from the environment: [`config`] plus the
+/// ε/confidence knobs, with progress lines enabled.
+pub fn fleet_config() -> FleetConfig {
+    FleetConfig {
+        campaign: config(),
+        progress: true,
+        ..FleetConfig::from_env()
+    }
+}
+
+/// Loads the shared database, sweeps any of `scenarios` not yet present
+/// through the fleet orchestrator (one shared worker pool, record sink
+/// at [`sink_path`], progress on stderr), appends the results and saves
+/// the file.
 ///
 /// # Panics
 ///
@@ -44,13 +81,29 @@ pub fn config() -> CampaignConfig {
 /// unreadable/corrupt — both indicate a broken installation rather than
 /// user input.
 pub fn ensure_db(scenarios: &[Scenario]) -> Database {
-    let path = db_path();
-    let mut db = match std::fs::read_to_string(&path) {
+    run_sweep(scenarios, &fleet_config(), &db_path(), &sink_path())
+}
+
+/// The orchestrated sweep behind [`ensure_db`] with explicit paths and
+/// configuration (the `sweep` binary's entry point): loads `db_path`,
+/// fleet-runs the missing scenarios with crash-safe resume through
+/// `sink`, saves the merged database and removes the consumed sink.
+///
+/// # Panics
+///
+/// Panics if a bundled scenario fails to build, the database file is
+/// corrupt, or the sink file cannot be created.
+pub fn run_sweep(
+    scenarios: &[Scenario],
+    config: &FleetConfig,
+    db_path: &Path,
+    sink: &Path,
+) -> Database {
+    let mut db = match std::fs::read_to_string(db_path) {
         Ok(text) => Database::from_json_lines(&text)
-            .unwrap_or_else(|e| panic!("corrupt database {}: {e}", path.display())),
+            .unwrap_or_else(|e| panic!("corrupt database {}: {e}", db_path.display())),
         Err(_) => Database::new(),
     };
-    let config = config();
     let missing: Vec<&Scenario> = scenarios
         .iter()
         .filter(|s| {
@@ -67,36 +120,50 @@ pub fn ensure_db(scenarios: &[Scenario]) -> Database {
         return db;
     }
     eprintln!(
-        "running {} campaign(s) at {} faults each (cached: {})",
+        "sweeping {} campaign(s) at {} faults each (cached: {}, ε = {}, sink: {})",
         missing.len(),
-        config.faults,
-        db.len()
+        config.campaign.faults,
+        db.len(),
+        config.epsilon,
+        sink.display()
     );
     let start = Instant::now();
-    for (i, scenario) in missing.iter().enumerate() {
-        let t = Instant::now();
-        let result = fracas::run_scenario_campaign(scenario, &config)
-            .unwrap_or_else(|e| panic!("{}: {e}", scenario.id()));
+    let workloads: Vec<Workload> = missing
+        .iter()
+        .map(|s| Workload::from_scenario(s).unwrap_or_else(|e| panic!("{}: {e}", s.id())))
+        .collect();
+    let results = fracas::inject::run_fleet_with_sink(&workloads, config, sink)
+        .unwrap_or_else(|e| panic!("sink {}: {e}", sink.display()));
+    let total = results.len();
+    for (i, result) in results.into_iter().enumerate() {
         eprintln!(
-            "  [{}/{}] {} in {:.1}s  (V {:.0}% O {:.0}% M {:.0}% U {:.0}% H {:.0}%)",
+            "  [{}/{total}] {}  (V {:.0}% O {:.0}% M {:.0}% U {:.0}% H {:.0}%{})",
             i + 1,
-            missing.len(),
             result.id,
-            t.elapsed().as_secs_f64(),
             result.tally.pct(fracas::inject::Outcome::Vanished),
             result.tally.pct(fracas::inject::Outcome::Ona),
             result.tally.pct(fracas::inject::Outcome::Omm),
             result.tally.pct(fracas::inject::Outcome::Ut),
             result.tally.pct(fracas::inject::Outcome::Hang),
+            if result.tally.anomaly > 0 {
+                format!(
+                    " A {:.0}%",
+                    result.tally.pct(fracas::inject::Outcome::Anomaly)
+                )
+            } else {
+                String::new()
+            },
         );
         db.push(result);
-        // Save incrementally so an interrupted run resumes.
-        let _ = std::fs::write(&path, db.to_json_lines());
     }
+    std::fs::write(db_path, db.to_json_lines())
+        .unwrap_or_else(|e| panic!("write {}: {e}", db_path.display()));
+    // The sink's records are now owned by the database.
+    let _ = std::fs::remove_file(sink);
     eprintln!(
-        "campaigns done in {:.1}s -> {}",
+        "sweep done in {:.1}s -> {}",
         start.elapsed().as_secs_f64(),
-        path.display()
+        db_path.display()
     );
     db
 }

@@ -1,0 +1,103 @@
+//! Pure report formatting for the `stats_*` binaries.
+//!
+//! The binaries print whatever these functions return, and the
+//! golden-file tests snapshot the same strings on a tiny fixed-seed
+//! campaign — so a refactor of the bins (or of the orchestrator feeding
+//! them) cannot silently change published numbers.
+
+use fracas::inject::FaultSpace;
+use fracas::isa::IsaKind;
+use fracas::mine::{composition_stats, masking_comparison, Database};
+use std::fmt::Write as _;
+
+/// The §4.1.3 branch-composition report plus the §4.1.2 register-file
+/// fault-target spaces (the body of `stats_composition`).
+pub fn composition_report(db: &Database) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Branch composition per macro scenario (paper: 19.24/14.08/17.65/12.01 %)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} {:>12} {:>8} {:>10}",
+        "Group", "Mean (%)", "Sigma", "Scenarios"
+    );
+    for s in composition_stats(db) {
+        let _ = writeln!(
+            out,
+            "{:<8} {:>12.2} {:>8.2} {:>10}",
+            s.group, s.mean_branch_pct, s.sigma, s.scenarios
+        );
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "Fault-target register-file spaces (4.1.2):");
+    let space = FaultSpace::default();
+    for isa in IsaKind::ALL {
+        let _ = writeln!(
+            out,
+            "  {:<8} {:>6} bits/core ({} GPRs x {}b{})",
+            isa.name(),
+            space.total_bits(isa, 1),
+            isa.reg_file().gpr_count,
+            isa.reg_file().gpr_bits,
+            if isa.fpr_count() > 0 {
+                format!(
+                    " + {} FPRs x {}b",
+                    isa.reg_file().fpr_count,
+                    isa.reg_file().fpr_bits
+                )
+            } else {
+                String::new()
+            }
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  integer-file growth: {}x (paper: a factor of four)",
+        IsaKind::Sira64.reg_file().gpr_total_bits() / IsaKind::Sira32.reg_file().gpr_total_bits()
+    );
+    out
+}
+
+/// The §4.2.2 masking / balance / vulnerability-window report (the body
+/// of `stats_masking`).
+pub fn masking_report(db: &Database) -> String {
+    let s = masking_comparison(db);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Masking comparison over MPI/OMP pairs (paper: MPI wins 38 of 44)"
+    );
+    let _ = writeln!(out, "  comparable pairs:          {}", s.pairs);
+    let _ = writeln!(out, "  MPI higher masking rate:   {}", s.mpi_wins);
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "Workload balance, per-core instruction imbalance (paper: ~4% MPI, up to 16% OMP)"
+    );
+    let _ = writeln!(
+        out,
+        "  MPI mean imbalance:        {:.1} %",
+        s.mpi_imbalance * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "  OMP mean imbalance:        {:.1} %",
+        s.omp_imbalance * 100.0
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "Execution time (paper: OMP ~16% shorter than MPI on average)"
+    );
+    let _ = writeln!(out, "  mean OMP/MPI cycle ratio:  {:.2}", s.omp_cycle_ratio);
+    let _ = writeln!(out);
+    let _ = writeln!(out, "Vulnerability window (paper: < 23% worst case)");
+    let _ = writeln!(
+        out,
+        "  max API cycle fraction:    {:.1} %",
+        s.max_api_window * 100.0
+    );
+    out
+}

@@ -1,0 +1,79 @@
+//! Golden-file (snapshot) tests for the `stats_composition` and
+//! `stats_masking` report bodies on a tiny fixed-seed campaign.
+//!
+//! The campaign is deterministic (fixed seed, schedule-invariant
+//! orchestrator), so these snapshots pin the full formatting *and* the
+//! numbers: a bin or orchestrator refactor that silently changes
+//! published output fails here. Regenerate intentionally with
+//! `FRACAS_BLESS=1 cargo test -p fracas-bench --test golden_stats`.
+
+use fracas::inject::{run_fleet, CampaignConfig, FleetConfig, Workload};
+use fracas::mine::Database;
+use fracas::npb::{App, Model, Scenario};
+use fracas::prelude::IsaKind;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+/// The fixture sweep: one serial + one OMP + one MPI scenario, so both
+/// reports have real composition groups and a comparable MPI/OMP pair.
+fn fixture_db() -> &'static Database {
+    static DB: OnceLock<Database> = OnceLock::new();
+    DB.get_or_init(|| {
+        let workloads: Vec<Workload> = [
+            Scenario::new(App::Is, Model::Serial, 1, IsaKind::Sira64),
+            Scenario::new(App::Is, Model::Omp, 2, IsaKind::Sira64),
+            Scenario::new(App::Is, Model::Mpi, 2, IsaKind::Sira64),
+        ]
+        .into_iter()
+        .map(|s| Workload::from_scenario(&s.expect("scenario exists")).expect("build"))
+        .collect();
+        // Explicit configuration: the snapshot must not move with
+        // FRACAS_* environment overrides.
+        let config = FleetConfig {
+            campaign: CampaignConfig {
+                faults: 12,
+                seed: 0xF_ACA5,
+                ..CampaignConfig::default()
+            },
+            ..FleetConfig::default()
+        };
+        Database::from_campaigns(run_fleet(&workloads, &config))
+    })
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn assert_matches_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("FRACAS_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir");
+        std::fs::write(&path, actual).expect("bless golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); bless with FRACAS_BLESS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its golden snapshot; if intentional, re-bless with FRACAS_BLESS=1"
+    );
+}
+
+#[test]
+fn composition_report_matches_golden_file() {
+    let report = fracas_bench::reports::composition_report(fixture_db());
+    assert_matches_golden("composition.txt", &report);
+}
+
+#[test]
+fn masking_report_matches_golden_file() {
+    let report = fracas_bench::reports::masking_report(fixture_db());
+    assert_matches_golden("masking.txt", &report);
+}

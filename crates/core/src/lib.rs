@@ -58,17 +58,20 @@ pub use fracas_mine as mine;
 pub use fracas_npb as npb;
 pub use fracas_rt as rt;
 
-use fracas_inject::{run_campaign, CampaignConfig, CampaignResult, Workload};
+use fracas_inject::{
+    run_campaign, run_fleet, CampaignConfig, CampaignResult, FleetConfig, Workload,
+};
 use fracas_mine::Database;
 use fracas_npb::Scenario;
 use fracas_rt::BuildError;
 
 /// The most commonly used types, for glob import.
 pub mod prelude {
-    pub use crate::{campaign_suite, run_scenario_campaign};
+    pub use crate::{campaign_suite, run_scenario_campaign, sweep_scenarios};
     pub use fracas_inject::{
-        golden_run, golden_run_with_checkpoints, inject_one, run_campaign, CampaignConfig,
-        CampaignResult, CheckpointSet, Fault, FaultSpace, FaultTarget, Outcome, Tally, Workload,
+        golden_run, golden_run_with_checkpoints, inject_one, run_campaign, run_fleet,
+        run_fleet_with_sink, CampaignConfig, CampaignResult, CheckpointSet, Fault, FaultSpace,
+        FaultTarget, FleetConfig, Outcome, RecordSink, Tally, Workload,
     };
     pub use fracas_isa::IsaKind;
     pub use fracas_kernel::{BootSpec, Kernel, KernelSnapshot, Limits, RunOutcome};
@@ -90,9 +93,34 @@ pub fn run_scenario_campaign(
     Ok(run_campaign(&workload, config))
 }
 
+/// Sweeps a set of scenarios through the fleet orchestrator — one
+/// shared worker pool across every workload's golden run, checkpoint
+/// ladder and injection batches — and merges the results into a
+/// [`Database`]. With `config.epsilon == 0` this is byte-identical to
+/// [`campaign_suite`], only faster on multicore hosts; for streaming
+/// records and crash-safe resume, build the workloads yourself and call
+/// [`fracas_inject::run_fleet_with_sink`].
+///
+/// # Errors
+///
+/// Returns the first [`BuildError`] encountered while building the
+/// scenario images.
+pub fn sweep_scenarios(
+    scenarios: &[Scenario],
+    config: &FleetConfig,
+) -> Result<Database, BuildError> {
+    let workloads = scenarios
+        .iter()
+        .map(Workload::from_scenario)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Database::from_campaigns(run_fleet(&workloads, config)))
+}
+
 /// Runs campaigns over a set of scenarios and merges them into a
 /// [`Database`] (the paper's phase-four single database). `progress` is
-/// called after each scenario with (done, total, &result).
+/// called after each scenario with (done, total, &result). The fleet
+/// variant of this — shared worker pool, early stopping, resume — is
+/// [`sweep_scenarios`].
 ///
 /// # Errors
 ///
@@ -161,5 +189,30 @@ mod tests {
                 isa: IsaKind::Sira64
             })
             .is_some());
+    }
+
+    #[test]
+    fn sweep_scenarios_matches_campaign_suite_byte_for_byte() {
+        let scenarios: Vec<Scenario> = [
+            Scenario::new(App::Is, Model::Serial, 1, IsaKind::Sira64),
+            Scenario::new(App::Ep, Model::Serial, 1, IsaKind::Sira64),
+        ]
+        .into_iter()
+        .flatten()
+        .collect();
+        let campaign = CampaignConfig {
+            faults: 8,
+            ..CampaignConfig::default()
+        };
+        let suite = crate::campaign_suite(&scenarios, &campaign, |_, _, _| {}).unwrap();
+        let sweep = crate::sweep_scenarios(
+            &scenarios,
+            &FleetConfig {
+                campaign,
+                ..FleetConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(sweep.to_json_lines(), suite.to_json_lines());
     }
 }

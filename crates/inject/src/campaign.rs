@@ -142,8 +142,9 @@ pub struct GoldenSummary {
 }
 
 /// Software/µarch profile of the golden run — the campaign's side of the
-/// §3.4 data-mining inputs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// §3.4 data-mining inputs. The all-zero [`Default`] is the profile of a
+/// workload whose golden run failed.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ProfileStats {
     /// Retired instructions.
     pub instructions: u64,
@@ -189,7 +190,7 @@ pub struct ProfileStats {
 }
 
 impl ProfileStats {
-    fn from_run(report: &RunReport, profile: &HashMap<String, u64>) -> ProfileStats {
+    pub(crate) fn from_run(report: &RunReport, profile: &HashMap<String, u64>) -> ProfileStats {
         let total = report.total_stats();
         let attributed: u64 = profile.values().sum();
         let frac = |pred: &dyn Fn(&str) -> bool| -> f64 {
@@ -259,6 +260,11 @@ pub struct Tally {
     pub ut: u64,
     /// Watchdog or deadlock.
     pub hang: u64,
+    /// Host-side injection-job failure (worker panic) — a harness
+    /// anomaly, not a guest outcome. Absent from pre-orchestrator
+    /// databases, hence the serde default.
+    #[serde(default)]
+    pub anomaly: u64,
 }
 
 impl Tally {
@@ -270,12 +276,13 @@ impl Tally {
             Outcome::Omm => self.omm += 1,
             Outcome::Ut => self.ut += 1,
             Outcome::Hang => self.hang += 1,
+            Outcome::Anomaly => self.anomaly += 1,
         }
     }
 
     /// Total injections.
     pub fn total(&self) -> u64 {
-        self.vanished + self.ona + self.omm + self.ut + self.hang
+        self.vanished + self.ona + self.omm + self.ut + self.hang + self.anomaly
     }
 
     /// Count for one class.
@@ -286,6 +293,7 @@ impl Tally {
             Outcome::Omm => self.omm,
             Outcome::Ut => self.ut,
             Outcome::Hang => self.hang,
+            Outcome::Anomaly => self.anomaly,
         }
     }
 
@@ -305,6 +313,35 @@ impl Tally {
         } else {
             (self.vanished + self.ona) as f64 / self.total() as f64
         }
+    }
+
+    /// Half-width of the Wilson score interval for one class proportion
+    /// at critical value `z` (e.g. 1.96 for 95% confidence), as a
+    /// proportion in `[0, 1]`. Returns 1.0 for an empty tally, so "not
+    /// yet converged" is the natural reading of a fresh campaign.
+    ///
+    /// The orchestrator's early stopping halts a workload once every
+    /// class half-width drops below the configured ε.
+    pub fn wilson_half_width(&self, outcome: Outcome, z: f64) -> f64 {
+        let n = self.total();
+        if n == 0 {
+            return 1.0;
+        }
+        let n = n as f64;
+        let p = self.count(outcome) as f64 / n;
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt()
+    }
+
+    /// The widest Wilson half-width over every class (including the
+    /// harness [`Outcome::Anomaly`] class) — the quantity the ε knob is
+    /// compared against.
+    pub fn max_wilson_half_width(&self, z: f64) -> f64 {
+        Outcome::ALL_WITH_ANOMALY
+            .into_iter()
+            .map(|o| self.wilson_half_width(o, z))
+            .fold(0.0, f64::max)
     }
 }
 
@@ -433,87 +470,64 @@ pub fn golden_only(workload: &Workload, planned_faults: usize) -> CampaignResult
     }
 }
 
-/// Runs a full campaign: golden run, fault sampling, parallel batched
-/// injection, classification and merge.
-pub fn run_campaign(workload: &Workload, config: &CampaignConfig) -> CampaignResult {
-    let (golden, profile_map, checkpoints) =
-        golden_run_with_checkpoints(workload, config.checkpoints);
-    let checkpoints = Arc::new(checkpoints);
-    let profile = ProfileStats::from_run(&golden, &profile_map);
+/// Derives the per-workload fault-sampling seed from the base campaign
+/// seed: campaigns across scenarios differ even with the same base seed.
+pub(crate) fn campaign_seed(id: &str, base: u64) -> u64 {
+    base.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(fnv(id.as_bytes()))
+}
 
-    // Per-scenario seed stream: campaigns across scenarios differ even
-    // with the same base seed.
-    let seed = config
-        .seed
-        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-        .wrapping_add(fnv(workload.id.as_bytes()));
-    let faults = crate::sample_faults_with_text(
+/// Samples the fault list for a workload (phase two), exactly as
+/// [`run_campaign`] does — the orchestrator shares this so its
+/// databases stay byte-identical.
+pub(crate) fn campaign_faults(
+    workload: &Workload,
+    config: &CampaignConfig,
+    golden_cycles: u64,
+) -> Vec<Fault> {
+    crate::sample_faults_with_text(
         workload.image.isa,
         workload.cores as u32,
-        golden.cycles,
+        golden_cycles,
         config.faults,
         &config.space,
-        seed,
+        campaign_seed(&workload.id, config.seed),
         workload.image.text.len() as u32,
-    );
+    )
+}
 
-    let limits = Limits {
+/// The faulty-run watchdog limits derived from the golden reference.
+pub(crate) fn campaign_limits(golden: &RunReport, config: &CampaignConfig) -> Limits {
+    Limits {
         max_cycles: ((golden.cycles as f64 * config.watchdog_factor) as u64)
             .max(golden.cycles + 100_000),
         max_steps: (golden.total_instructions() * 8).max(1_000_000),
-    };
+    }
+}
 
-    let threads = if config.threads == 0 {
+/// Resolves `threads: 0` to the host's available parallelism.
+pub(crate) fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
         std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
     } else {
-        config.threads
-    };
-    let batch = config.batch.max(1);
-    let slots: Mutex<Vec<Option<InjectionRecord>>> = Mutex::new(vec![None; faults.len()]);
-    let next_batch = AtomicUsize::new(0);
+        threads
+    }
+}
 
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(faults.len().max(1)) {
-            let checkpoints = Arc::clone(&checkpoints);
-            let (faults, golden, limits) = (&faults, &golden, &limits);
-            let (slots, next_batch) = (&slots, &next_batch);
-            scope.spawn(move || loop {
-                let start = next_batch.fetch_add(batch, Ordering::Relaxed);
-                if start >= faults.len() {
-                    break;
-                }
-                let end = (start + batch).min(faults.len());
-                let mut local = Vec::with_capacity(end - start);
-                for (i, fault) in faults[start..end].iter().enumerate() {
-                    let report = inject_one(workload, fault, &checkpoints, limits);
-                    let outcome = classify(golden, &report);
-                    local.push(InjectionRecord {
-                        index: (start + i) as u32,
-                        fault: *fault,
-                        outcome,
-                        cycles: report.cycles,
-                        instructions: report.total_instructions(),
-                    });
-                }
-                let mut slots = slots.lock().expect("no poisoned lock");
-                for record in local {
-                    slots[record.index as usize] = Some(record);
-                }
-            });
-        }
-    });
-
-    let records: Vec<InjectionRecord> = slots
-        .into_inner()
-        .expect("no poisoned lock")
-        .into_iter()
-        .map(|r| r.expect("every slot filled"))
-        .collect();
+/// Assembles the merged database from the campaign's pieces — shared by
+/// [`run_campaign`] and the fleet orchestrator so both serialise the
+/// identical structure.
+pub(crate) fn assemble_result(
+    workload: &Workload,
+    config: &CampaignConfig,
+    golden: &RunReport,
+    profile: ProfileStats,
+    records: Vec<InjectionRecord>,
+) -> CampaignResult {
     let mut tally = Tally::default();
     for r in &records {
         tally.record(r.outcome);
     }
-
     CampaignResult {
         id: workload.id.clone(),
         faults: config.faults,
@@ -532,6 +546,128 @@ pub fn run_campaign(workload: &Workload, config: &CampaignConfig) -> CampaignRes
         tally,
         records,
     }
+}
+
+/// Runs one injection through `injector` with host-panic isolation: a
+/// panicking worker yields an [`Outcome::Anomaly`] record (zero cycles
+/// and instructions) instead of aborting the campaign and losing every
+/// completed record.
+pub(crate) fn inject_record(
+    injector: &dyn Fn(&Fault) -> RunReport,
+    golden: &RunReport,
+    fault: &Fault,
+    index: usize,
+) -> InjectionRecord {
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| injector(fault)));
+    match caught {
+        Ok(report) => InjectionRecord {
+            index: index as u32,
+            fault: *fault,
+            outcome: classify(golden, &report),
+            cycles: report.cycles,
+            instructions: report.total_instructions(),
+        },
+        Err(panic) => {
+            eprintln!(
+                "injection {index} panicked ({}); recording Anomaly",
+                panic_message(panic.as_ref())
+            );
+            InjectionRecord {
+                index: index as u32,
+                fault: *fault,
+                outcome: Outcome::Anomaly,
+                cycles: 0,
+                instructions: 0,
+            }
+        }
+    }
+}
+
+pub(crate) fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    panic
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| panic.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
+}
+
+/// Runs a full campaign: golden run, fault sampling, parallel batched
+/// injection, classification and merge.
+pub fn run_campaign(workload: &Workload, config: &CampaignConfig) -> CampaignResult {
+    run_campaign_with(workload, config, &|workload, fault, checkpoints, limits| {
+        inject_one(workload, fault, checkpoints, limits)
+    })
+}
+
+/// The injection primitive a campaign or fleet drives: produces the
+/// faulty [`RunReport`] for one fault. Production code always uses
+/// [`inject_one`]; tests substitute misbehaving injectors to exercise
+/// the panic-isolation path.
+pub type Injector = dyn Fn(&Workload, &Fault, &CheckpointSet, &Limits) -> RunReport + Sync;
+
+/// [`run_campaign`] with an explicit injection primitive (exposed for
+/// the fault-handling and differential test suites).
+pub fn run_campaign_with(
+    workload: &Workload,
+    config: &CampaignConfig,
+    injector: &Injector,
+) -> CampaignResult {
+    let (golden, profile_map, checkpoints) =
+        golden_run_with_checkpoints(workload, config.checkpoints);
+    let checkpoints = Arc::new(checkpoints);
+    let profile = ProfileStats::from_run(&golden, &profile_map);
+    let faults = campaign_faults(workload, config, golden.cycles);
+    let limits = campaign_limits(&golden, config);
+
+    let threads = resolve_threads(config.threads);
+    let batch = config.batch.max(1);
+    let slots: Mutex<Vec<Option<InjectionRecord>>> = Mutex::new(vec![None; faults.len()]);
+    let next_batch = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(faults.len().max(1)) {
+            let checkpoints = Arc::clone(&checkpoints);
+            let (faults, golden, limits) = (&faults, &golden, &limits);
+            let (slots, next_batch) = (&slots, &next_batch);
+            scope.spawn(move || loop {
+                let start = next_batch.fetch_add(batch, Ordering::Relaxed);
+                if start >= faults.len() {
+                    break;
+                }
+                let end = (start + batch).min(faults.len());
+                let mut local = Vec::with_capacity(end - start);
+                for (i, fault) in faults[start..end].iter().enumerate() {
+                    let one = |f: &Fault| injector(workload, f, &checkpoints, limits);
+                    local.push(inject_record(&one, golden, fault, start + i));
+                }
+                let mut slots = slots.lock().expect("no poisoned lock");
+                for record in local {
+                    slots[record.index as usize] = Some(record);
+                }
+            });
+        }
+    });
+
+    // Every slot is filled in the normal case (per-injection panics are
+    // already downgraded to Anomaly records); a slot can only stay empty
+    // if a worker thread died outside the isolated region, so backfill
+    // those as anomalies too rather than losing the whole campaign.
+    let records: Vec<InjectionRecord> = slots
+        .into_inner()
+        .expect("no poisoned lock")
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| {
+            r.unwrap_or(InjectionRecord {
+                index: i as u32,
+                fault: faults[i],
+                outcome: Outcome::Anomaly,
+                cycles: 0,
+                instructions: 0,
+            })
+        })
+        .collect();
+    assemble_result(workload, config, &golden, profile, records)
 }
 
 fn fnv(bytes: &[u8]) -> u64 {

@@ -23,16 +23,32 @@ pub enum Outcome {
     /// The application does not finish (watchdog or deadlock) and needs
     /// preemptive removal.
     Hang,
+    /// The injection job itself failed on the host (a worker panic): a
+    /// harness defect, not a guest outcome. Kept as its own class so one
+    /// bad injection cannot poison a whole campaign or sweep.
+    Anomaly,
 }
 
 impl Outcome {
-    /// All classes in the paper's stacking order.
+    /// The paper's five guest classes in the figures' stacking order
+    /// ([`Outcome::Anomaly`] is a harness artifact and excluded; use
+    /// [`Outcome::ALL_WITH_ANOMALY`] to cover every variant).
     pub const ALL: [Outcome; 5] = [
         Outcome::Vanished,
         Outcome::Ona,
         Outcome::Omm,
         Outcome::Ut,
         Outcome::Hang,
+    ];
+
+    /// Every variant, including the harness-side [`Outcome::Anomaly`].
+    pub const ALL_WITH_ANOMALY: [Outcome; 6] = [
+        Outcome::Vanished,
+        Outcome::Ona,
+        Outcome::Omm,
+        Outcome::Ut,
+        Outcome::Hang,
+        Outcome::Anomaly,
     ];
 
     /// Display name as used in the figures.
@@ -43,6 +59,7 @@ impl Outcome {
             Outcome::Omm => "OMM",
             Outcome::Ut => "UT",
             Outcome::Hang => "Hang",
+            Outcome::Anomaly => "Anomaly",
         }
     }
 

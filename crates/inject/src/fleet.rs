@@ -1,0 +1,699 @@
+//! The fleet orchestrator: one shared job pool for a whole sweep.
+//!
+//! [`run_campaign`](crate::run_campaign) serves exactly one workload per
+//! call; the paper's evaluation is a *sweep* — 64 scenario × ISA ×
+//! core-count configurations, 1,040,000 injections, on an HPC cluster.
+//! This module makes the sweep itself the first-class unit:
+//!
+//! * **Shared work pool.** All jobs of a sweep — golden runs (with their
+//!   checkpoint ladders) and injection batches of *every* workload — are
+//!   claimed from one pool by one set of worker threads. A worker that
+//!   finishes workload A's batches steals workload B's instead of going
+//!   idle, so the sweep's tail is a single workload's tail, not the sum
+//!   of per-campaign tails.
+//! * **Streaming record sink with crash-safe resume.** Completed
+//!   injection records stream to an append-only JSONL file
+//!   ([`RecordSink`]). On restart the sink is replayed: already-completed
+//!   injection indices are skipped and only the remainder runs. Replayed
+//!   and freshly computed records are indistinguishable because every
+//!   injection is deterministic in (seed, index).
+//! * **Statistical early stopping.** With `epsilon > 0` a workload stops
+//!   once every outcome-class proportion's Wilson confidence half-width
+//!   drops below ε ([`Tally::wilson_half_width`]). The check runs over
+//!   the *committed prefix* of the record list (records 0..k with no
+//!   holes), so the stopping index is a pure function of the fault list
+//!   — byte-identical across thread counts, batch sizes and resumes.
+//!   The default ε = 0 disables stopping and reproduces
+//!   [`run_campaign`](crate::run_campaign) byte-for-byte.
+//! * **Panic isolation.** A panicking injection job becomes an
+//!   [`Outcome::Anomaly`] record; a panicking golden run marks only that
+//!   workload as failed. Neither poisons the rest of the sweep.
+
+use crate::campaign::{
+    assemble_result, campaign_faults, campaign_limits, golden_run_with_checkpoints, inject_one,
+    inject_record, panic_message, resolve_threads, CampaignConfig, CampaignResult, GoldenSummary,
+    InjectionRecord, Injector, ProfileStats, Tally, Workload,
+};
+use crate::{CheckpointSet, Fault, Outcome};
+use fracas_kernel::{Limits, RunReport};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Sweep-level configuration: the per-workload campaign parameters plus
+/// the orchestrator's early-stopping and progress knobs.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Per-workload campaign parameters (seed, fault budget, fault
+    /// space, watchdog, checkpoints, worker threads, batch size).
+    pub campaign: CampaignConfig,
+    /// Early-stopping threshold on the widest per-class Wilson
+    /// confidence half-width, as a proportion in `[0, 1]`. `0.0`
+    /// (default) disables early stopping, preserving byte-identical
+    /// [`run_campaign`](crate::run_campaign) results.
+    pub epsilon: f64,
+    /// Critical value of the confidence interval (default 1.96 ≙ 95%).
+    pub z: f64,
+    /// Minimum committed injections before early stopping may trigger,
+    /// so tiny prefixes with degenerate intervals cannot stop a
+    /// campaign (default 50).
+    pub min_samples: usize,
+    /// Emit per-workload progress lines (injections/sec, ETA, running
+    /// tally) to stderr.
+    pub progress: bool,
+}
+
+impl Default for FleetConfig {
+    fn default() -> FleetConfig {
+        FleetConfig {
+            campaign: CampaignConfig::default(),
+            epsilon: 0.0,
+            z: 1.96,
+            min_samples: 50,
+            progress: false,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Reads the campaign knobs ([`CampaignConfig::from_env`]) plus
+    /// `FRACAS_EPSILON`, `FRACAS_Z` and `FRACAS_MIN_SAMPLES` from the
+    /// environment over the defaults.
+    pub fn from_env() -> FleetConfig {
+        let mut config = FleetConfig {
+            campaign: CampaignConfig::from_env(),
+            ..FleetConfig::default()
+        };
+        if let Some(v) = env_f64("FRACAS_EPSILON") {
+            config.epsilon = v;
+        }
+        if let Some(v) = env_f64("FRACAS_Z") {
+            config.z = v;
+        }
+        if let Some(v) = env_f64("FRACAS_MIN_SAMPLES") {
+            config.min_samples = v as usize;
+        }
+        config
+    }
+}
+
+fn env_f64(name: &str) -> Option<f64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// One line of the sink file: an injection record tagged with its
+/// workload id.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SinkLine {
+    /// Workload id the record belongs to.
+    w: String,
+    /// The completed injection record.
+    r: InjectionRecord,
+}
+
+/// The sink-file header: a fingerprint of every campaign parameter that
+/// influences record *values* (seed, fault budget, watchdog, fault
+/// space). A sink whose fingerprint mismatches the current sweep is
+/// discarded instead of resumed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SinkHeader {
+    /// Configuration fingerprint (FNV over the value-relevant knobs).
+    fp: u64,
+}
+
+fn config_fingerprint(config: &CampaignConfig) -> u64 {
+    let key = format!(
+        "seed={};faults={};watchdog={};space={:?}",
+        config.seed,
+        config.faults,
+        config.watchdog_factor.to_bits(),
+        config.space,
+    );
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key.as_bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Append-only JSONL stream of completed injection records, giving a
+/// sweep crash-safe resume: every finished batch is flushed to disk, and
+/// a restarted sweep replays the file instead of re-running the work.
+///
+/// A torn trailing line (the signature of a mid-write kill) is
+/// tolerated: replay stops at the first malformed line.
+pub struct RecordSink {
+    file: Option<Mutex<std::io::BufWriter<std::fs::File>>>,
+    preloaded: HashMap<String, Vec<InjectionRecord>>,
+}
+
+impl RecordSink {
+    /// A sink that neither persists nor replays anything (plain
+    /// in-memory sweeps).
+    pub fn disabled() -> RecordSink {
+        RecordSink {
+            file: None,
+            preloaded: HashMap::new(),
+        }
+    }
+
+    /// Opens (or creates) the sink file at `path` for the given
+    /// campaign configuration.
+    ///
+    /// An existing file whose header fingerprint matches `config` is
+    /// replayed for resume and then appended to; a mismatching or
+    /// unreadable file is truncated and restarted, because its records
+    /// were produced under different sampling parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from opening or creating the file.
+    pub fn open(path: &Path, config: &CampaignConfig) -> std::io::Result<RecordSink> {
+        let fingerprint = config_fingerprint(config);
+        let mut preloaded: HashMap<String, Vec<InjectionRecord>> = HashMap::new();
+        let mut resume = false;
+        if let Ok(text) = std::fs::read_to_string(path) {
+            let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+            let header: Option<SinkHeader> =
+                lines.next().and_then(|l| serde_json::from_str(l).ok());
+            if header.is_some_and(|h| h.fp == fingerprint) {
+                resume = true;
+                for line in lines {
+                    // A torn tail from a crash parses as an error: stop
+                    // replaying there and re-run the remainder.
+                    let Ok(parsed) = serde_json::from_str::<SinkLine>(line) else {
+                        break;
+                    };
+                    preloaded.entry(parsed.w).or_default().push(parsed.r);
+                }
+            }
+        }
+        let mut file = if resume {
+            std::fs::OpenOptions::new().append(true).open(path)?
+        } else {
+            let mut f = std::fs::File::create(path)?;
+            writeln!(
+                f,
+                "{}",
+                serde_json::to_string(&SinkHeader { fp: fingerprint })
+                    .expect("SinkHeader serialises")
+            )?;
+            f
+        };
+        file.flush()?;
+        Ok(RecordSink {
+            file: Some(Mutex::new(std::io::BufWriter::new(file))),
+            preloaded,
+        })
+    }
+
+    /// Records replayed from disk for one workload (resume input).
+    fn preloaded(&self, id: &str) -> &[InjectionRecord] {
+        self.preloaded.get(id).map_or(&[], Vec::as_slice)
+    }
+
+    /// Appends freshly completed records, flushed so a kill at any later
+    /// instant cannot lose them.
+    fn append(&self, id: &str, records: &[InjectionRecord]) {
+        let Some(file) = &self.file else {
+            return;
+        };
+        let mut out = String::new();
+        for r in records {
+            let line = SinkLine {
+                w: id.to_string(),
+                r: *r,
+            };
+            out.push_str(&serde_json::to_string(&line).expect("SinkLine serialises"));
+            out.push('\n');
+        }
+        let mut file = file.lock().expect("no poisoned sink lock");
+        let _ = file.write_all(out.as_bytes());
+        let _ = file.flush();
+    }
+}
+
+/// Everything the golden job of one workload produces: the reference
+/// report and profile, the checkpoint ladder, the sampled fault list and
+/// the watchdog limits for the injection batches that follow.
+struct GoldenJob {
+    report: RunReport,
+    profile: ProfileStats,
+    checkpoints: Arc<CheckpointSet>,
+    faults: Vec<Fault>,
+    limits: Limits,
+}
+
+/// Record slots and the early-stopping prefix state of one workload
+/// (everything that must mutate atomically together).
+struct Slots {
+    records: Vec<Option<InjectionRecord>>,
+    /// Length of the hole-free prefix of `records`.
+    committed: usize,
+    /// Outcome tally over exactly that prefix — the early-stop input.
+    prefix: Tally,
+}
+
+const NOT_STOPPED: usize = usize::MAX;
+
+/// Shared per-workload state the worker pool operates on.
+struct WorkloadState<'w> {
+    workload: &'w Workload,
+    golden_claimed: AtomicBool,
+    /// `None` until the golden job ran; `Some(None)` if it panicked.
+    golden: OnceLock<Option<GoldenJob>>,
+    slots: Mutex<Slots>,
+    next_batch: AtomicUsize,
+    /// Committed index at which early stopping triggered
+    /// ([`NOT_STOPPED`] otherwise). Monotone: written once.
+    stop_at: AtomicUsize,
+    /// Set when the golden job finishes (progress-rate reference).
+    injections_started: OnceLock<Instant>,
+    /// Injections executed by this process (excludes sink replays), so
+    /// the progress rate reflects live work even on resume.
+    injected: AtomicUsize,
+    last_progress: Mutex<Instant>,
+}
+
+impl WorkloadState<'_> {
+    fn new(workload: &Workload) -> WorkloadState<'_> {
+        WorkloadState {
+            workload,
+            golden_claimed: AtomicBool::new(false),
+            golden: OnceLock::new(),
+            slots: Mutex::new(Slots {
+                records: Vec::new(),
+                committed: 0,
+                prefix: Tally::default(),
+            }),
+            next_batch: AtomicUsize::new(0),
+            stop_at: AtomicUsize::new(NOT_STOPPED),
+            injections_started: OnceLock::new(),
+            injected: AtomicUsize::new(0),
+            last_progress: Mutex::new(Instant::now()),
+        }
+    }
+
+    fn stop_at(&self) -> usize {
+        self.stop_at.load(Ordering::Relaxed)
+    }
+}
+
+/// Advances the committed prefix over newly filled slots, updating the
+/// prefix tally and evaluating the early-stop predicate after *every*
+/// committed record. Because the prefix is consumed strictly in index
+/// order, the first index satisfying the predicate — and therefore the
+/// entire early-stopped record set — is independent of thread count,
+/// batch size and resume boundaries.
+fn advance_commit(slots: &mut Slots, config: &FleetConfig, stop_at: &AtomicUsize) {
+    while let Some(Some(record)) = slots.records.get(slots.committed) {
+        slots.prefix.record(record.outcome);
+        slots.committed += 1;
+        if config.epsilon > 0.0
+            && slots.committed >= config.min_samples.max(1)
+            && stop_at.load(Ordering::Relaxed) == NOT_STOPPED
+            && slots.prefix.max_wilson_half_width(config.z) < config.epsilon
+        {
+            stop_at.store(slots.committed, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Runs a sweep over `workloads` on one shared worker pool, returning
+/// one [`CampaignResult`] per workload (input order). With the default
+/// `epsilon = 0` every database is byte-identical to running
+/// [`run_campaign`](crate::run_campaign) per workload with
+/// `config.campaign`.
+pub fn run_fleet(workloads: &[Workload], config: &FleetConfig) -> Vec<CampaignResult> {
+    run_fleet_with(workloads, config, &mut RecordSink::disabled(), &inject_one)
+}
+
+/// [`run_fleet`] streaming records through (and resuming from) the sink
+/// file at `path`. Kill the process at any point and re-invoke with the
+/// same path and configuration: completed injections are replayed from
+/// disk and the final databases are bit-identical to an uninterrupted
+/// sweep.
+///
+/// # Errors
+///
+/// Returns any I/O error from opening or creating the sink file.
+pub fn run_fleet_with_sink(
+    workloads: &[Workload],
+    config: &FleetConfig,
+    path: &Path,
+) -> std::io::Result<Vec<CampaignResult>> {
+    let mut sink = RecordSink::open(path, &config.campaign)?;
+    Ok(run_fleet_with(workloads, config, &mut sink, &inject_one))
+}
+
+/// The orchestrator core with an explicit injection primitive and sink
+/// (exposed for the panic-isolation and differential test suites;
+/// production entry points are [`run_fleet`] / [`run_fleet_with_sink`]).
+pub fn run_fleet_with(
+    workloads: &[Workload],
+    config: &FleetConfig,
+    sink: &mut RecordSink,
+    injector: &Injector,
+) -> Vec<CampaignResult> {
+    let states: Vec<WorkloadState> = workloads.iter().map(WorkloadState::new).collect();
+    let threads = resolve_threads(config.campaign.threads);
+    let sweep_started = Instant::now();
+
+    std::thread::scope(|scope| {
+        for worker in 0..threads {
+            let (states, sink) = (&states, &*sink);
+            scope.spawn(move || worker_loop(states, config, sink, injector, worker));
+        }
+    });
+
+    let elapsed = sweep_started.elapsed().as_secs_f64();
+    let results: Vec<CampaignResult> = states
+        .into_iter()
+        .map(|state| finish_workload(state, config))
+        .collect();
+    if config.progress {
+        let injections: u64 = results.iter().map(|r| r.tally.total()).sum();
+        eprintln!(
+            "sweep: {} workload(s), {injections} injections in {elapsed:.1}s ({:.1} inj/s)",
+            results.len(),
+            injections as f64 / elapsed.max(1e-9),
+        );
+    }
+    results
+}
+
+/// One worker of the shared pool: repeatedly claims the next available
+/// job — a pending golden run or an injection batch of *any* workload —
+/// until no workload can produce further work.
+fn worker_loop(
+    states: &[WorkloadState],
+    config: &FleetConfig,
+    sink: &RecordSink,
+    injector: &Injector,
+    worker: usize,
+) {
+    let batch = config.campaign.batch.max(1);
+    loop {
+        let mut golden_in_flight = false;
+        let mut claimed = false;
+        for k in 0..states.len() {
+            // Stagger each worker's scan start so they fan out across
+            // workloads instead of contending on the first one.
+            let state = &states[(k + worker) % states.len()];
+            if state.golden.get().is_none() {
+                if state.golden_claimed.swap(true, Ordering::AcqRel) {
+                    // Another worker is booting this golden run; its
+                    // batches will appear shortly.
+                    golden_in_flight = true;
+                    continue;
+                }
+                run_golden_job(state, config, sink);
+                claimed = true;
+                break;
+            }
+            let Some(Some(golden)) = state.golden.get() else {
+                continue; // golden failed: nothing to inject
+            };
+            let stop_at = state.stop_at();
+            let start = state.next_batch.fetch_add(batch, Ordering::Relaxed);
+            if start >= golden.faults.len().min(stop_at) {
+                continue;
+            }
+            run_injection_batch(state, golden, config, sink, injector, start, batch);
+            claimed = true;
+            break;
+        }
+        if claimed {
+            continue;
+        }
+        if !golden_in_flight {
+            return; // no claimable work anywhere, none forthcoming
+        }
+        std::thread::yield_now();
+    }
+}
+
+/// Executes one workload's golden job (reference run + checkpoint
+/// ladder + fault sampling), isolating panics to this workload.
+fn run_golden_job(state: &WorkloadState, config: &FleetConfig, sink: &RecordSink) {
+    let campaign = &config.campaign;
+    let job = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let (report, profile_map, checkpoints) =
+            golden_run_with_checkpoints(state.workload, campaign.checkpoints);
+        let profile = ProfileStats::from_run(&report, &profile_map);
+        let faults = campaign_faults(state.workload, campaign, report.cycles);
+        let limits = campaign_limits(&report, campaign);
+        GoldenJob {
+            report,
+            profile,
+            checkpoints: Arc::new(checkpoints),
+            faults,
+            limits,
+        }
+    }));
+    let job = match job {
+        Ok(job) => Some(job),
+        Err(panic) => {
+            eprintln!(
+                "[{}] golden run panicked ({}); marking workload failed",
+                state.workload.id,
+                panic_message(panic.as_ref())
+            );
+            None
+        }
+    };
+    if let Some(job) = &job {
+        let preloaded = sink.preloaded(&state.workload.id);
+        let mut slots = state.slots.lock().expect("no poisoned slots lock");
+        slots.records = vec![None; job.faults.len()];
+        for record in preloaded {
+            if let Some(slot) = slots.records.get_mut(record.index as usize) {
+                *slot = Some(*record);
+            }
+        }
+        advance_commit(&mut slots, config, &state.stop_at);
+    }
+    state
+        .golden
+        .set(job)
+        .map_err(|_| ())
+        .expect("golden set once");
+    let _ = state.injections_started.set(Instant::now());
+}
+
+/// Executes one injection batch `[start, start + batch)`, skipping
+/// indices already replayed from the sink, then commits the records,
+/// streams the new ones to the sink and emits progress.
+fn run_injection_batch(
+    state: &WorkloadState,
+    golden: &GoldenJob,
+    config: &FleetConfig,
+    sink: &RecordSink,
+    injector: &Injector,
+    start: usize,
+    batch: usize,
+) {
+    let end = (start + batch).min(golden.faults.len());
+    let have: Vec<bool> = {
+        let slots = state.slots.lock().expect("no poisoned slots lock");
+        slots.records[start..end]
+            .iter()
+            .map(Option::is_some)
+            .collect()
+    };
+    let mut fresh = Vec::with_capacity(end - start);
+    for (i, fault) in golden.faults[start..end].iter().enumerate() {
+        if have[i] {
+            continue;
+        }
+        let one = |f: &Fault| injector(state.workload, f, &golden.checkpoints, &golden.limits);
+        fresh.push(inject_record(&one, &golden.report, fault, start + i));
+    }
+    let (committed, prefix) = {
+        let mut slots = state.slots.lock().expect("no poisoned slots lock");
+        for record in &fresh {
+            slots.records[record.index as usize] = Some(*record);
+        }
+        advance_commit(&mut slots, config, &state.stop_at);
+        (slots.committed, slots.prefix)
+    };
+    state.injected.fetch_add(fresh.len(), Ordering::Relaxed);
+    sink.append(&state.workload.id, &fresh);
+    if config.progress {
+        emit_progress(state, golden, committed, prefix);
+    }
+}
+
+/// Prints a per-workload progress line (rate, ETA, running tally), at
+/// most once a second per workload plus once at completion.
+fn emit_progress(state: &WorkloadState, golden: &GoldenJob, committed: usize, prefix: Tally) {
+    let goal = golden.faults.len().min(state.stop_at());
+    let done = committed >= goal;
+    {
+        let mut last = state
+            .last_progress
+            .lock()
+            .expect("no poisoned progress lock");
+        if !done && last.elapsed().as_secs_f64() < 1.0 {
+            return;
+        }
+        *last = Instant::now();
+    }
+    let elapsed = state
+        .injections_started
+        .get()
+        .map_or(0.0, |t| t.elapsed().as_secs_f64());
+    let rate = state.injected.load(Ordering::Relaxed) as f64 / elapsed.max(1e-9);
+    let eta = (goal.saturating_sub(committed)) as f64 / rate.max(1e-9);
+    eprintln!(
+        "  [{}] {committed}/{goal} {rate:.1} inj/s ETA {eta:.1}s  V {} O {} M {} U {} H {} A {}{}",
+        state.workload.id,
+        prefix.vanished,
+        prefix.ona,
+        prefix.omm,
+        prefix.ut,
+        prefix.hang,
+        prefix.anomaly,
+        if done { "  done" } else { "" },
+    );
+}
+
+/// Assembles one workload's final database after the pool drained:
+/// truncates to the early-stop point when one was set, backfills any
+/// hole left by a worker dying outside the isolated region as an
+/// anomaly, and recomputes the tally from the surviving records.
+fn finish_workload(state: WorkloadState, config: &FleetConfig) -> CampaignResult {
+    let Some(Some(golden)) = state.golden.into_inner() else {
+        return failed_result(state.workload, &config.campaign);
+    };
+    let stop_at = state.stop_at.load(Ordering::Relaxed);
+    let slots = state.slots.into_inner().expect("no poisoned slots lock");
+    let keep = golden.faults.len().min(stop_at);
+    let records: Vec<InjectionRecord> = slots
+        .records
+        .into_iter()
+        .take(keep)
+        .enumerate()
+        .map(|(i, r)| {
+            r.unwrap_or(InjectionRecord {
+                index: i as u32,
+                fault: golden.faults[i],
+                outcome: Outcome::Anomaly,
+                cycles: 0,
+                instructions: 0,
+            })
+        })
+        .collect();
+    assemble_result(
+        state.workload,
+        &config.campaign,
+        &golden.report,
+        golden.profile,
+        records,
+    )
+}
+
+/// The database of a workload whose golden run failed: zero reference
+/// data, every requested injection tallied as an anomaly.
+fn failed_result(workload: &Workload, config: &CampaignConfig) -> CampaignResult {
+    CampaignResult {
+        id: workload.id.clone(),
+        faults: config.faults,
+        seed: config.seed,
+        golden: GoldenSummary {
+            cycles: 0,
+            instructions: 0,
+            per_core_instructions: Vec::new(),
+        },
+        space_bits: 0,
+        profile: ProfileStats::default(),
+        tally: Tally {
+            anomaly: config.faults as u64,
+            ..Tally::default()
+        },
+        records: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_disables_early_stopping() {
+        let c = FleetConfig::default();
+        assert_eq!(c.epsilon, 0.0);
+        assert!((c.z - 1.96).abs() < 1e-12);
+        assert_eq!(c.min_samples, 50);
+    }
+
+    #[test]
+    fn fingerprint_tracks_value_relevant_knobs_only() {
+        let base = CampaignConfig::default();
+        let same = CampaignConfig {
+            threads: 7,
+            batch: 3,
+            checkpoints: 0,
+            ..base.clone()
+        };
+        assert_eq!(config_fingerprint(&base), config_fingerprint(&same));
+        let reseeded = CampaignConfig {
+            seed: base.seed + 1,
+            ..base.clone()
+        };
+        assert_ne!(config_fingerprint(&base), config_fingerprint(&reseeded));
+        let resized = CampaignConfig {
+            faults: base.faults + 1,
+            ..base
+        };
+        assert_ne!(config_fingerprint(&base), config_fingerprint(&resized));
+    }
+
+    #[test]
+    fn advance_commit_is_prefix_deterministic() {
+        let config = FleetConfig {
+            epsilon: 0.9,
+            min_samples: 3,
+            ..FleetConfig::default()
+        };
+        let record = |i: u32| InjectionRecord {
+            index: i,
+            fault: Fault {
+                target: crate::FaultTarget::Gpr {
+                    core: 0,
+                    reg: 0,
+                    bit: 0,
+                },
+                cycle: 0,
+                width: 1,
+            },
+            outcome: Outcome::Vanished,
+            cycles: 1,
+            instructions: 1,
+        };
+        // Out-of-order arrival: the commit point only advances over the
+        // hole-free prefix, and the stop index lands on the first
+        // committed record satisfying the predicate.
+        let stop_at = AtomicUsize::new(NOT_STOPPED);
+        let mut slots = Slots {
+            records: vec![None, None, None, None],
+            committed: 0,
+            prefix: Tally::default(),
+        };
+        slots.records[2] = Some(record(2));
+        slots.records[3] = Some(record(3));
+        advance_commit(&mut slots, &config, &stop_at);
+        assert_eq!(slots.committed, 0);
+        assert_eq!(stop_at.load(Ordering::Relaxed), NOT_STOPPED);
+        slots.records[0] = Some(record(0));
+        slots.records[1] = Some(record(1));
+        advance_commit(&mut slots, &config, &stop_at);
+        assert_eq!(slots.committed, 4);
+        assert_eq!(stop_at.load(Ordering::Relaxed), 3);
+    }
+}

@@ -43,11 +43,14 @@ mod campaign;
 mod checkpoint;
 mod classify;
 mod fault;
+mod fleet;
 
 pub use campaign::{
-    golden_only, golden_run, golden_run_with_checkpoints, inject_one, run_campaign, CampaignConfig,
-    CampaignResult, GoldenSummary, InjectionRecord, ProfileStats, Tally, Workload,
+    golden_only, golden_run, golden_run_with_checkpoints, inject_one, run_campaign,
+    run_campaign_with, CampaignConfig, CampaignResult, GoldenSummary, InjectionRecord, Injector,
+    ProfileStats, Tally, Workload,
 };
 pub use checkpoint::CheckpointSet;
 pub use classify::{classify, Outcome};
 pub use fault::{sample_faults, sample_faults_with_text, Fault, FaultSpace, FaultTarget};
+pub use fleet::{run_fleet, run_fleet_with, run_fleet_with_sink, FleetConfig, RecordSink};

@@ -1,0 +1,63 @@
+//! Property test: campaign determinism over the scheduling knobs.
+//!
+//! The fleet orchestrator's resume and early-stop logic both rest on one
+//! invariant: a campaign's database is a pure function of (workload,
+//! seed, fault budget) — host thread count and batch size only change
+//! wall-clock, never a byte of the result. This suite drives the full
+//! `threads ∈ {1, 2, 8} × batch ∈ {1, 7, 64}` matrix against a fixed
+//! single-threaded reference.
+
+use fracas_inject::{run_campaign, CampaignConfig, CampaignResult, Workload};
+use fracas_isa::IsaKind;
+use fracas_npb::{App, Model, Scenario};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+const FAULTS: usize = 18;
+
+fn reference() -> &'static (Workload, String) {
+    static REF: OnceLock<(Workload, String)> = OnceLock::new();
+    REF.get_or_init(|| {
+        let scenario = Scenario::new(App::Is, Model::Serial, 1, IsaKind::Sira64).unwrap();
+        let workload = Workload::from_scenario(&scenario).unwrap();
+        let result = run_campaign(
+            &workload,
+            &CampaignConfig {
+                faults: FAULTS,
+                threads: 1,
+                batch: 1,
+                ..CampaignConfig::default()
+            },
+        );
+        let json = result.to_json();
+        (workload, json)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(9))]
+
+    /// Same seed and fault budget ⇒ byte-identical JSON database, for
+    /// every combination of worker-thread count and batch size.
+    #[test]
+    fn campaign_database_is_schedule_invariant(
+        threads in prop_oneof![Just(1usize), Just(2), Just(8)],
+        batch in prop_oneof![Just(1usize), Just(7), Just(64)],
+    ) {
+        let (workload, expected) = reference();
+        let result = run_campaign(
+            workload,
+            &CampaignConfig {
+                faults: FAULTS,
+                threads,
+                batch,
+                ..CampaignConfig::default()
+            },
+        );
+        let got = result.to_json();
+        prop_assert_eq!(&got, expected, "threads={} batch={}", threads, batch);
+        // And the database round-trips losslessly.
+        let back = CampaignResult::from_json(&got).expect("parses");
+        prop_assert_eq!(back.to_json(), got);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests for `Tally` invariants under arbitrary outcome
+//! sequences: class percentages partition 100%, counts stay consistent
+//! with `record`/`total`, the masking rate is a proportion, and the
+//! Wilson half-widths the orchestrator's early stopping relies on are
+//! well-behaved (bounded, and shrinking in n).
+
+use fracas_inject::{Outcome, Tally};
+use proptest::prelude::*;
+
+fn outcome_strategy() -> impl Strategy<Value = Outcome> {
+    prop_oneof![
+        Just(Outcome::Vanished),
+        Just(Outcome::Ona),
+        Just(Outcome::Omm),
+        Just(Outcome::Ut),
+        Just(Outcome::Hang),
+        Just(Outcome::Anomaly),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn tally_invariants_hold_for_arbitrary_sequences(
+        outcomes in proptest::collection::vec(outcome_strategy(), 0..300),
+    ) {
+        let mut tally = Tally::default();
+        for &o in &outcomes {
+            tally.record(o);
+        }
+        prop_assert_eq!(tally.total(), outcomes.len() as u64);
+
+        // Per-class counts match the raw sequence, and the class counts
+        // partition the total.
+        let mut count_sum = 0;
+        let mut pct_sum = 0.0;
+        for class in Outcome::ALL_WITH_ANOMALY {
+            let expected = outcomes.iter().filter(|&&o| o == class).count() as u64;
+            prop_assert_eq!(tally.count(class), expected);
+            count_sum += tally.count(class);
+            pct_sum += tally.pct(class);
+            prop_assert!(tally.pct(class) >= 0.0 && tally.pct(class) <= 100.0);
+        }
+        prop_assert_eq!(count_sum, tally.total());
+        if tally.total() > 0 {
+            prop_assert!((pct_sum - 100.0).abs() < 1e-9, "pct sum {}", pct_sum);
+        } else {
+            prop_assert_eq!(pct_sum, 0.0);
+        }
+
+        // Masking rate is a proportion and equals its definition.
+        let masking = tally.masking_rate();
+        prop_assert!((0.0..=1.0).contains(&masking));
+        if tally.total() > 0 {
+            let expected =
+                (tally.vanished + tally.ona) as f64 / tally.total() as f64;
+            prop_assert!((masking - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn wilson_half_widths_are_bounded_and_shrink(
+        outcomes in proptest::collection::vec(outcome_strategy(), 1..300),
+        z_milli in 500u64..4000,
+    ) {
+        let z = z_milli as f64 / 1000.0;
+        let mut tally = Tally::default();
+        for &o in &outcomes {
+            tally.record(o);
+        }
+        for class in Outcome::ALL_WITH_ANOMALY {
+            let half = tally.wilson_half_width(class, z);
+            prop_assert!(half > 0.0 && half <= 1.0, "{}: {}", class, half);
+            // Interval shrinks when the same proportion is observed at
+            // 4x the sample size.
+            let mut bigger = tally;
+            bigger.vanished *= 4;
+            bigger.ona *= 4;
+            bigger.omm *= 4;
+            bigger.ut *= 4;
+            bigger.hang *= 4;
+            bigger.anomaly *= 4;
+            prop_assert!(bigger.wilson_half_width(class, z) < half);
+        }
+        // The early-stop predicate input is the worst class.
+        let max = tally.max_wilson_half_width(z);
+        for class in Outcome::ALL_WITH_ANOMALY {
+            prop_assert!(max >= tally.wilson_half_width(class, z));
+        }
+    }
+
+    /// An empty tally reports "not converged" (half-width 1) so early
+    /// stopping can never trigger before data exists.
+    #[test]
+    fn empty_tally_is_unconverged(z_milli in 500u64..4000) {
+        let z = z_milli as f64 / 1000.0;
+        let tally = Tally::default();
+        for class in Outcome::ALL_WITH_ANOMALY {
+            prop_assert_eq!(tally.wilson_half_width(class, z), 1.0);
+        }
+        prop_assert_eq!(tally.max_wilson_half_width(z), 1.0);
+    }
+}

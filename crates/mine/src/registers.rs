@@ -58,7 +58,9 @@ pub fn register_criticality(db: &Database, isa: IsaKind) -> Vec<RegisterCritical
                 Outcome::Vanished | Outcome::Ona => slot.masked += 1,
                 Outcome::Ut => slot.ut += 1,
                 Outcome::Hang => slot.hang += 1,
-                Outcome::Omm => {}
+                // OMM counts as a hit but neither masked nor a crash;
+                // harness anomalies are not guest behaviour at all.
+                Outcome::Omm | Outcome::Anomaly => {}
             }
         }
     }

@@ -490,6 +490,7 @@ mod tests {
             omm,
             ut,
             hang,
+            anomaly: 0,
         }
     }
 
