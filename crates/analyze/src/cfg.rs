@@ -1,0 +1,277 @@
+//! Control-flow recovery over an assembled text section.
+//!
+//! Reconstructs basic blocks and their successor edges from the decoded
+//! instruction stream of a linked [`fracas_isa::Image`], for both ISAs:
+//!
+//! * **Direct branches** — `b`/`bl` targets are PC-relative word
+//!   offsets (`target = idx + 1 + off`), known statically.
+//! * **Conditional execution** — on SIRA-32 *any* instruction may be
+//!   predicated. A predicated `b` gets both the target and the
+//!   fall-through edge; other predicated instructions do not end a
+//!   block (an annulled instruction simply falls through).
+//! * **Indirect control flow** — `blr`, `ret`, and (SIRA-32 only)
+//!   instructions whose destination register is r15/PC end a block with
+//!   statically unknown successors. Such blocks are flagged
+//!   [`BasicBlock::indirect`] and the liveness analysis
+//!   over-approximates their exit state as everything-live, the
+//!   standard conservative treatment for unresolved branch targets.
+//!
+//! Out-of-range direct targets (possible only in hand-built images; the
+//! linker rejects them) are dropped from the successor list rather than
+//! panicking, erring toward fewer edges on inputs the interpreter would
+//! trap on anyway.
+
+use fracas_isa::{Cond, Inst, InstKind, IsaKind, Reg};
+
+/// Half-open instruction-index range `[start, end)` plus recovered
+/// control-flow edges.
+#[derive(Debug, Clone)]
+pub struct BasicBlock {
+    /// Index of the first instruction of the block.
+    pub start: usize,
+    /// One past the last instruction of the block.
+    pub end: usize,
+    /// Successor *block* indices (direct edges only).
+    pub succs: Vec<usize>,
+    /// True when the block's terminator has statically unknown
+    /// successors (`blr`, `ret`, a PC write, or falling off the end of
+    /// the text section).
+    pub indirect: bool,
+}
+
+/// The recovered control-flow graph of one text section.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// ISA the text was assembled for.
+    pub isa: IsaKind,
+    /// Basic blocks in ascending address order.
+    pub blocks: Vec<BasicBlock>,
+    /// Block index of each instruction (`block_of[i]` contains `i`).
+    pub block_of: Vec<usize>,
+}
+
+/// True when `inst` writes the architected PC through its destination
+/// register (SIRA-32 register 15) — an indirect branch in disguise.
+pub fn writes_pc(isa: IsaKind, inst: &Inst) -> bool {
+    if isa != IsaKind::Sira32 {
+        return false;
+    }
+    let pc = Reg(15);
+    match inst.kind {
+        InstKind::Alu { rd, .. }
+        | InstKind::AluImm { rd, .. }
+        | InstKind::MovImm { rd, .. }
+        | InstKind::Mov { rd, .. }
+        | InstKind::Mvn { rd, .. }
+        | InstKind::Ld { rd, .. }
+        | InstKind::LdR { rd, .. }
+        | InstKind::Swp { rd, .. }
+        | InstKind::AmoAdd { rd, .. }
+        | InstKind::FMovFromFp { rd, .. }
+        | InstKind::Fcvtzs { rd, .. } => rd == pc,
+        _ => false,
+    }
+}
+
+/// Classification of an instruction's effect on block structure.
+enum Terminator {
+    /// Ordinary instruction: control always falls through.
+    None,
+    /// Direct branch to `target` (instruction index); `fall` when the
+    /// fall-through edge also exists (conditional branch or call
+    /// return).
+    Direct { target: Option<usize>, fall: bool },
+    /// Indirect branch (`blr`/`ret`/PC write): unknown successors, plus
+    /// the fall-through edge when predicated (annulled = not taken).
+    Indirect { fall: bool },
+    /// `halt`: no successors.
+    Halt,
+}
+
+fn terminator(isa: IsaKind, idx: usize, len: usize, inst: &Inst) -> Terminator {
+    let target = |off: i32| {
+        let t = idx as i64 + 1 + i64::from(off);
+        (t >= 0 && (t as usize) < len).then_some(t as usize)
+    };
+    match inst.kind {
+        InstKind::B { off } => Terminator::Direct {
+            target: target(off),
+            fall: inst.cond != Cond::Al,
+        },
+        // A call comes back: the fall-through instruction is reachable
+        // (via the callee's `ret`), so keep both edges.
+        InstKind::Bl { off } => Terminator::Direct {
+            target: target(off),
+            fall: true,
+        },
+        InstKind::Blr { .. } | InstKind::Ret => Terminator::Indirect {
+            fall: inst.cond != Cond::Al,
+        },
+        InstKind::Halt => Terminator::Halt,
+        _ if writes_pc(isa, inst) => Terminator::Indirect {
+            fall: inst.cond != Cond::Al,
+        },
+        _ => Terminator::None,
+    }
+}
+
+impl Cfg {
+    /// Recovers basic blocks and successor edges from a decoded text
+    /// section.
+    pub fn recover(isa: IsaKind, text: &[Inst]) -> Cfg {
+        let len = text.len();
+        // Pass 1: block leaders — entry, branch targets, and the
+        // instruction after every terminator.
+        let mut leader = vec![false; len];
+        if len > 0 {
+            leader[0] = true;
+        }
+        for (idx, inst) in text.iter().enumerate() {
+            match terminator(isa, idx, len, inst) {
+                Terminator::None => {}
+                t => {
+                    if idx + 1 < len {
+                        leader[idx + 1] = true;
+                    }
+                    if let Terminator::Direct {
+                        target: Some(t), ..
+                    } = t
+                    {
+                        leader[t] = true;
+                    }
+                }
+            }
+        }
+        // Pass 2: cut blocks at leaders.
+        let mut blocks: Vec<BasicBlock> = Vec::new();
+        let mut block_of = vec![0usize; len];
+        for idx in 0..len {
+            if leader[idx] {
+                blocks.push(BasicBlock {
+                    start: idx,
+                    end: idx,
+                    succs: Vec::new(),
+                    indirect: false,
+                });
+            }
+            let b = blocks.len() - 1;
+            block_of[idx] = b;
+            blocks[b].end = idx + 1;
+        }
+        // Pass 3: successor edges from each block's last instruction.
+        // A fall-through edge past the end of the text section counts
+        // as an unknown continuation (indirect).
+        for b in 0..blocks.len() {
+            let last = blocks[b].end - 1;
+            let fall_edge = (blocks[b].end < len).then(|| block_of[blocks[b].end]);
+            let (mut succs, mut indirect) = (Vec::new(), false);
+            let add_fall = |succs: &mut Vec<usize>, indirect: &mut bool| match fall_edge {
+                Some(s) => succs.push(s),
+                None => *indirect = true,
+            };
+            match terminator(isa, last, len, &text[last]) {
+                Terminator::None => add_fall(&mut succs, &mut indirect),
+                Terminator::Direct { target, fall } => {
+                    match target {
+                        Some(t) => succs.push(block_of[t]),
+                        None => indirect = true,
+                    }
+                    if fall {
+                        add_fall(&mut succs, &mut indirect);
+                    }
+                }
+                Terminator::Indirect { fall } => {
+                    indirect = true;
+                    if fall {
+                        add_fall(&mut succs, &mut indirect);
+                    }
+                }
+                Terminator::Halt => {}
+            }
+            succs.sort_unstable();
+            succs.dedup();
+            blocks[b].succs = succs;
+            blocks[b].indirect = indirect;
+        }
+        Cfg {
+            isa,
+            blocks,
+            block_of,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(off: i32) -> Inst {
+        Inst::new(InstKind::B { off })
+    }
+
+    fn nop() -> Inst {
+        Inst::new(InstKind::Nop)
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let text = vec![nop(), nop(), Inst::new(InstKind::Halt)];
+        let cfg = Cfg::recover(IsaKind::Sira64, &text);
+        assert_eq!(cfg.blocks.len(), 1);
+        assert_eq!(cfg.blocks[0].succs, Vec::<usize>::new());
+        assert!(!cfg.blocks[0].indirect);
+    }
+
+    #[test]
+    fn conditional_branch_has_two_successors() {
+        // 0: nop ; 1: b.eq +1 (-> 3) ; 2: nop (fall) ; 3: halt
+        let text = vec![
+            nop(),
+            Inst::when(Cond::Eq, InstKind::B { off: 1 }),
+            nop(),
+            Inst::new(InstKind::Halt),
+        ];
+        let cfg = Cfg::recover(IsaKind::Sira32, &text);
+        assert_eq!(cfg.blocks.len(), 3);
+        let first = &cfg.blocks[cfg.block_of[0]];
+        let mut succs = first.succs.clone();
+        succs.sort_unstable();
+        assert_eq!(succs, vec![cfg.block_of[2], cfg.block_of[3]]);
+    }
+
+    #[test]
+    fn backward_branch_splits_its_target() {
+        // 0: nop ; 1: nop ; 2: b -3 (-> 0)
+        let text = vec![nop(), nop(), b(-3)];
+        let cfg = Cfg::recover(IsaKind::Sira64, &text);
+        assert_eq!(cfg.blocks.len(), 1);
+        assert_eq!(cfg.blocks[0].succs, vec![0]);
+    }
+
+    #[test]
+    fn sira32_pc_write_is_indirect() {
+        let text = vec![
+            Inst::new(InstKind::Mov {
+                rd: Reg(15),
+                rm: Reg(0),
+            }),
+            nop(),
+            Inst::new(InstKind::Halt),
+        ];
+        let cfg = Cfg::recover(IsaKind::Sira32, &text);
+        assert!(cfg.blocks[0].indirect);
+        assert_eq!(cfg.blocks[0].succs, Vec::<usize>::new());
+        // On SIRA-64 the same bit pattern is an ordinary move.
+        let cfg64 = Cfg::recover(IsaKind::Sira64, &text);
+        assert!(!cfg64.blocks[0].indirect);
+    }
+
+    #[test]
+    fn ret_ends_a_block_with_unknown_successors() {
+        let text = vec![nop(), Inst::new(InstKind::Ret), nop()];
+        let cfg = Cfg::recover(IsaKind::Sira64, &text);
+        let first = &cfg.blocks[cfg.block_of[1]];
+        assert!(first.indirect);
+        assert!(first.succs.is_empty());
+    }
+}

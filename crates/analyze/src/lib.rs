@@ -1,0 +1,46 @@
+//! `fracas-analyze` — static liveness/ACE analysis and trace-exact
+//! fault-space pruning for FRACAS campaigns.
+//!
+//! The crate answers one question two ways: *which register bits, at
+//! which moments, provably cannot matter?*
+//!
+//! 1. **Statically** ([`mod@cfg`] → [`liveness`] → [`avf`]): recover the
+//!    control-flow graph of an assembled text section, solve backward
+//!    may-liveness over GPRs, FPRs and the NZCV flags, and fold the
+//!    solution over the golden run's committed-PC trace into
+//!    per-register **dead windows** and a **static AVF estimate** — the
+//!    classical ACE bound on how often a register's bits are
+//!    architecturally required. This feeds the `stats_avf` report,
+//!    which correlates the bound against dynamic register criticality
+//!    measured by fault injection.
+//! 2. **Dynamically** ([`prune`]): a per-workload oracle that replays
+//!    the golden event trace exactly — commits, context saves,
+//!    dispatches, kernel context writes — and decides individual fault
+//!    outcomes without execution wherever the flipped bits provably die
+//!    (`Vanished`) or provably survive unread until exit
+//!    (`SilentResidue` → ONA). This is what `fracas-inject`'s
+//!    `prune_dead` mode uses: static dead windows alone are unsound
+//!    under a context-switching kernel (a dead register still gets
+//!    copied into a thread's saved context and may resurface
+//!    elsewhere), so the static side estimates and the dynamic side
+//!    decides.
+//!
+//! Soundness is asymmetric by design, and [`usedef`] is the keeper of
+//! the contract: USE sets may over-approximate (a spurious use only
+//! makes the oracle abstain and the AVF bound looser — real execution
+//! takes over), but DEF sets list only registers *completely*
+//! overwritten on every execution of the instruction (a spurious def
+//! would prune a live fault). Everything above inherits its guarantees
+//! from that asymmetry.
+
+pub mod avf;
+pub mod cfg;
+pub mod liveness;
+pub mod prune;
+pub mod usedef;
+
+pub use avf::{dead_windows, static_avf, StaticAvf};
+pub use cfg::{writes_pc, BasicBlock, Cfg};
+pub use liveness::{all_regs, Liveness};
+pub use prune::{PruneOracle, PruneTarget, PruneVerdict};
+pub use usedef::{cond_reads, use_def, RegSet, UseDef, FLAG_ALL, FLAG_C, FLAG_N, FLAG_V, FLAG_Z};

@@ -1,0 +1,239 @@
+//! Backward may-liveness over the recovered CFG.
+//!
+//! Computes, for every instruction, the set of GPRs, FPRs and NZCV
+//! flags that *may* be read before being fully redefined on some path
+//! from that instruction — the complement is the per-instruction
+//! **provably-dead** set: a bit flipped in a dead register at that
+//! program point cannot influence any architectural outcome of the
+//! program's own code.
+//!
+//! Conservatism (always toward *live*, never toward *dead*):
+//!
+//! * **Kernel boundaries.** `svc` may read every GPR (arguments, exit
+//!   codes) — everything becomes live across it.
+//! * **Calls and returns.** `bl`/`blr`/`ret` are treated as
+//!   everything-live barriers rather than doing an interprocedural
+//!   analysis: callee-saved conventions are a compiler artifact the
+//!   analyzer refuses to trust.
+//! * **Indirect blocks and program exit** ([`BasicBlock::indirect`],
+//!   blocks without successors) get an everything-live exit state.
+//! * **Predication.** A conditional definition may be annulled, so on
+//!   SIRA-32 a predicated instruction's defs do not kill liveness; its
+//!   uses (including the condition's flag reads) still generate.
+//!
+//! The transfer function is the classical `live_in = uses ∪ (live_out ∖
+//! defs)` over [`crate::usedef`]'s sets, iterated to a fixpoint with a
+//! reverse-postorder-free worklist (the lattice is finite and the
+//! transfer monotone, so termination is immediate).
+
+use crate::cfg::{BasicBlock, Cfg};
+use crate::usedef::{use_def, RegSet, FLAG_ALL};
+use fracas_isa::{Cond, Inst, InstKind, IsaKind};
+
+/// The everything-live top element for `isa` (all architected GPRs and
+/// FPRs, all four flags).
+pub fn all_regs(isa: IsaKind) -> RegSet {
+    let bits = |n: u32| {
+        if n >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << n) - 1
+        }
+    };
+    RegSet {
+        gprs: bits(isa.gpr_count()),
+        fprs: bits(isa.fpr_count()),
+        flags: FLAG_ALL,
+    }
+}
+
+/// True when liveness must give up at `inst` and assume everything is
+/// live (kernel entry, call, return, indirect PC write, halt).
+fn is_barrier(isa: IsaKind, inst: &Inst) -> bool {
+    matches!(
+        inst.kind,
+        InstKind::Svc { .. }
+            | InstKind::Bl { .. }
+            | InstKind::Blr { .. }
+            | InstKind::Ret
+            | InstKind::Halt
+    ) || crate::cfg::writes_pc(isa, inst)
+}
+
+/// Per-instruction liveness solution over one text section.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    isa: IsaKind,
+    /// `live_in[i]`: registers that may be read before redefinition on
+    /// some path starting at instruction `i`.
+    live_in: Vec<RegSet>,
+}
+
+impl Liveness {
+    /// Solves backward may-liveness over `cfg`'s text section.
+    pub fn compute(cfg: &Cfg, text: &[Inst]) -> Liveness {
+        let isa = cfg.isa;
+        let top = all_regs(isa);
+        let n = cfg.blocks.len();
+        let mut block_in: Vec<RegSet> = vec![RegSet::EMPTY; n];
+        let mut live_in: Vec<RegSet> = vec![RegSet::EMPTY; text.len()];
+        // Chaotic iteration to fixpoint: the lattice height is small
+        // (one bit per register) and block counts are in the hundreds,
+        // so a simple sweep loop converges in a handful of passes.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in (0..n).rev() {
+                let block = &cfg.blocks[b];
+                let mut live = block_exit(block, &block_in, top);
+                for idx in (block.start..block.end).rev() {
+                    live = transfer(isa, &text[idx], live, top);
+                    live_in[idx] = live;
+                }
+                if live != block_in[b] {
+                    block_in[b] = live;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { isa, live_in }
+    }
+
+    /// Registers that may be read before redefinition starting at
+    /// instruction `idx` (everything-live for out-of-range indices —
+    /// the caller fell off the analyzed text).
+    pub fn live_in(&self, idx: usize) -> RegSet {
+        self.live_in
+            .get(idx)
+            .copied()
+            .unwrap_or_else(|| all_regs(self.isa))
+    }
+
+    /// The provably-dead complement of [`Liveness::live_in`].
+    pub fn dead_at(&self, idx: usize) -> RegSet {
+        all_regs(self.isa).minus(self.live_in(idx))
+    }
+}
+
+/// A block's live-out: union over successor live-ins, top when the
+/// terminator is indirect or the block has no successors (program
+/// exit).
+fn block_exit(block: &BasicBlock, block_in: &[RegSet], top: RegSet) -> RegSet {
+    if block.indirect || block.succs.is_empty() {
+        return top;
+    }
+    let mut live = RegSet::EMPTY;
+    for &s in &block.succs {
+        live = live.union(block_in[s]);
+    }
+    live
+}
+
+/// One instruction's backward transfer.
+fn transfer(isa: IsaKind, inst: &Inst, live_out: RegSet, top: RegSet) -> RegSet {
+    if is_barrier(isa, inst) {
+        return top;
+    }
+    let ud = use_def(isa, inst);
+    let mut uses = ud.uses;
+    if ud.uses_all_gprs {
+        uses.gprs = top.gprs;
+    }
+    if inst.cond == Cond::Al {
+        uses.union(live_out.minus(ud.defs))
+    } else {
+        // The definition may be annulled: it cannot kill.
+        uses.union(live_out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fracas_isa::{AluOp, Reg};
+
+    fn addi(rd: u8, rn: u8) -> Inst {
+        Inst::new(InstKind::AluImm {
+            op: AluOp::Add,
+            rd: Reg(rd),
+            rn: Reg(rn),
+            imm: 1,
+        })
+    }
+
+    fn solve(isa: IsaKind, text: &[Inst]) -> Liveness {
+        Liveness::compute(&Cfg::recover(isa, text), text)
+    }
+
+    #[test]
+    fn dead_until_first_write_live_before_read() {
+        // 0: r1 = r2 + 1 ; 1: r3 = r1 + 1 ; 2: halt
+        let text = vec![addi(1, 2), addi(3, 1), Inst::new(InstKind::Halt)];
+        let lv = solve(IsaKind::Sira64, &text);
+        // Before inst 0, r1 is about to be overwritten: dead.
+        assert!(lv.dead_at(0).gprs & (1 << 1) != 0);
+        // r2 is read by inst 0: live.
+        assert!(lv.live_in(0).gprs & (1 << 2) != 0);
+        // Between the write and the read, r1 is live.
+        assert!(lv.live_in(1).gprs & (1 << 1) != 0);
+    }
+
+    #[test]
+    fn loops_keep_loop_carried_registers_live() {
+        // 0: r1 = r1 + 1 ; 1: b -2 (-> 0)
+        let text = vec![addi(1, 1), Inst::new(InstKind::B { off: -2 })];
+        let lv = solve(IsaKind::Sira64, &text);
+        assert!(lv.live_in(0).gprs & (1 << 1) != 0);
+    }
+
+    #[test]
+    fn predicated_defs_do_not_kill() {
+        // 0: cmp r0, #0 ; 1: r1 = r2 + 1 (eq) ; 2: r4 = r1 + 1 ; 3: halt
+        let text = vec![
+            Inst::new(InstKind::CmpImm { rn: Reg(0), imm: 0 }),
+            Inst::when(
+                Cond::Eq,
+                InstKind::AluImm {
+                    op: AluOp::Add,
+                    rd: Reg(1),
+                    rn: Reg(2),
+                    imm: 1,
+                },
+            ),
+            addi(4, 1),
+            Inst::new(InstKind::Halt),
+        ];
+        let lv = solve(IsaKind::Sira32, &text);
+        // r1 flows around the annullable def: live before inst 1.
+        assert!(lv.live_in(1).gprs & (1 << 1) != 0);
+        // The unconditional variant kills it.
+        let mut text2 = text.clone();
+        text2[1] = addi(1, 2);
+        let lv2 = solve(IsaKind::Sira32, &text2);
+        assert!(lv2.dead_at(1).gprs & (1 << 1) != 0);
+    }
+
+    #[test]
+    fn svc_makes_everything_live() {
+        let text = vec![Inst::new(InstKind::Svc { imm: 0 }), addi(1, 2)];
+        let lv = solve(IsaKind::Sira64, &text);
+        assert_eq!(lv.live_in(0), all_regs(IsaKind::Sira64));
+    }
+
+    #[test]
+    fn flags_die_at_recomparison() {
+        // 0: cmp r0, #0 ; 1: cmp r1, #0 ; 2: b.eq 0 ; 3: halt
+        let text = vec![
+            Inst::new(InstKind::CmpImm { rn: Reg(0), imm: 0 }),
+            Inst::new(InstKind::CmpImm { rn: Reg(1), imm: 0 }),
+            Inst::when(Cond::Eq, InstKind::B { off: -3 }),
+            Inst::new(InstKind::Halt),
+        ];
+        let lv = solve(IsaKind::Sira64, &text);
+        // Flags written by inst 0 are never read before inst 1
+        // rewrites all four: dead at inst 1's entry.
+        assert_eq!(lv.dead_at(1).flags, FLAG_ALL);
+        // But live at inst 2's entry (the b.eq reads Z).
+        assert!(lv.live_in(2).flags & crate::usedef::FLAG_Z != 0);
+    }
+}

@@ -1,0 +1,646 @@
+//! The trace-exact fault-pruning oracle.
+//!
+//! Given the golden run's event trace, decides — **without executing
+//! anything** — the outcome of an ephemeral-state fault (GPR, FPR, NZCV
+//! flag, or the SIRA-32 architected PC) whenever that outcome is
+//! provable, and abstains otherwise. `fracas-inject`'s `prune_dead`
+//! campaign mode short-circuits provable injections and runs the rest
+//! for real; a pruned campaign's records are byte-identical to a full
+//! campaign's.
+//!
+//! # Why a dynamic oracle and not the static dead windows?
+//!
+//! [`crate::avf::dead_windows`] is sound for the program's *own*
+//! dataflow, but a campaign injects underneath a kernel that context
+//! switches: a dead-by-liveness register may still be copied into a
+//! thread's saved context by a preemption and resurface on another core
+//! far outside the static window. The oracle therefore replays the
+//! *exact* golden event stream — commits, context saves, dispatches and
+//! kernel context writes — and tracks where the flipped bits physically
+//! travel. The static analysis supplies the per-workload AVF estimates
+//! (`stats_avf`); this module supplies the prune *decisions*.
+//!
+//! # Taint walk
+//!
+//! A fault at `(core, cycle)` lands at the first tick boundary where
+//! `core`'s clock reaches `cycle` — exactly where the injector's
+//! `run_until_core_cycle` pauses a replay. From the following tick on,
+//! the flipped register's location set is tracked:
+//!
+//! * **commit on a tainted core** — if the instruction (or its
+//!   condition, or the fetch for a PC fault) may *read* the target, the
+//!   oracle abstains: the fault may propagate, only real execution can
+//!   classify it. If the instruction fully *overwrites* the target, the
+//!   core's taint dies. Reads are over-approximated (an `svc` reads
+//!   every GPR), overwrites are exact — see [`crate::usedef`].
+//! * **save** — the core's (possibly tainted) register file is copied
+//!   into the thread's saved context: the thread becomes tainted too.
+//! * **dispatch** — the core's register file is fully overwritten by
+//!   the thread's saved context: the core's taint becomes the thread's,
+//!   and the stale saved copy dies.
+//! * **kernel context write** — the kernel overwrites a blocked
+//!   thread's saved `r0`; an `r0` fault parked in that context dies.
+//!
+//! If no taint remains, the fault provably [vanishes](PruneVerdict::Vanished);
+//! if the walk reaches the end of the trace with a *core* still tainted,
+//! the flipped bits sit untouched in a register at exit — never read, so
+//! timing, memory and console are golden, but the exit context hash
+//! differs: provably an [ONA](PruneVerdict::SilentResidue). Taint that
+//! survives only in a saved thread context is invisible to the exit
+//! report (only physical cores are hashed) and vanishes. The SIRA-32 PC
+//! is the one exception: it is excluded from the context hash, so PC
+//! residue also vanishes.
+//!
+//! A fault whose core never reaches `cycle` before the workload exits
+//! is never applied by the injector at all and trivially vanishes.
+
+use crate::usedef::{use_def, RegSet, UseDef};
+use fracas_cpu::{ExecTrace, TraceKind};
+use fracas_isa::{Inst, IsaKind};
+
+/// The architectural location a fault flips (already folded to one
+/// register: the injector's multi-bit upsets wrap within a register).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PruneTarget {
+    /// Integer register `reg` (on SIRA-32, `reg < 15`; register 15 is
+    /// [`PruneTarget::Pc`]).
+    Gpr {
+        /// Register index.
+        reg: u32,
+    },
+    /// Floating-point register `reg`.
+    Fpr {
+        /// Register index.
+        reg: u32,
+    },
+    /// One or more NZCV flags, as a [`crate::usedef::FLAG_N`]-style
+    /// mask.
+    Flags {
+        /// Flag mask.
+        mask: u8,
+    },
+    /// The SIRA-32 architected PC (register 15).
+    Pc,
+}
+
+impl PruneTarget {
+    /// The target as a use/def-comparable register set (`Pc` is empty:
+    /// it is matched by the fetch rule, not by masks).
+    fn as_set(self) -> RegSet {
+        match self {
+            PruneTarget::Gpr { reg } => RegSet {
+                gprs: 1 << reg,
+                ..RegSet::EMPTY
+            },
+            PruneTarget::Fpr { reg } => RegSet {
+                fprs: 1 << reg,
+                ..RegSet::EMPTY
+            },
+            PruneTarget::Flags { mask } => RegSet {
+                flags: mask,
+                ..RegSet::EMPTY
+            },
+            PruneTarget::Pc => RegSet::EMPTY,
+        }
+    }
+}
+
+/// A proven outcome for a pruned fault. The pruned run's timing is the
+/// golden run's (no divergence ever occurs), so the injector can
+/// synthesize the full record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PruneVerdict {
+    /// The flipped bits are overwritten (or never materialize): the
+    /// run is indistinguishable from golden. Classifies as Vanished.
+    Vanished,
+    /// The flipped bits survive, unread, in a physical register until
+    /// exit: output and timing are golden but the exit context hash
+    /// differs. Classifies as ONA.
+    SilentResidue,
+}
+
+/// One pre-digested trace event (use/def masks resolved once at oracle
+/// construction so each per-fault walk is mask arithmetic only).
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Executed commit with its use/def summary.
+    Exec {
+        core: u32,
+        uses: RegSet,
+        defs: RegSet,
+        uses_all_gprs: bool,
+    },
+    /// Annulled commit: reads only its condition's flags (and the
+    /// fetch PC).
+    Skip {
+        core: u32,
+        cond_flags: u8,
+    },
+    Dispatch {
+        core: u32,
+        tid: u32,
+    },
+    Save {
+        core: u32,
+        tid: u32,
+    },
+    CtxWrite {
+        tid: u32,
+    },
+}
+
+impl Op {
+    fn core(self) -> Option<u32> {
+        match self {
+            Op::Exec { core, .. }
+            | Op::Skip { core, .. }
+            | Op::Dispatch { core, .. }
+            | Op::Save { core, .. } => Some(core),
+            Op::CtxWrite { .. } => None,
+        }
+    }
+}
+
+/// Per-chunk summary for skip-ahead: a chunk of commits that cannot
+/// read or write the target on any core leaves the taint state
+/// untouched and is stepped over wholesale.
+#[derive(Debug, Clone, Copy, Default)]
+struct Chunk {
+    uses: RegSet,
+    defs: RegSet,
+    uses_all_gprs: bool,
+    /// Any scheduling event (dispatch/save/ctx-write) in the chunk.
+    sched: bool,
+    /// Cores with at least one commit in the chunk.
+    commit_cores: u64,
+}
+
+const CHUNK: usize = 1024;
+
+/// The pruning decision procedure for one workload (one golden trace).
+#[derive(Debug, Clone)]
+pub struct PruneOracle {
+    ops: Vec<Op>,
+    /// Tick of each op (ops are tick-ordered).
+    ticks: Vec<u64>,
+    chunks: Vec<Chunk>,
+    /// Per core: `(end-of-tick cycle, op index)` of every commit,
+    /// dispatch and save on that core, cycle-sorted (clocks are
+    /// monotone).
+    landings: Vec<Vec<(u64, u32)>>,
+    start_cycles: Vec<u64>,
+    tid_count: usize,
+}
+
+impl PruneOracle {
+    /// Digests a golden trace against its decoded text section.
+    /// `text[i]` is the instruction at `text_base + 4 * i` (the golden
+    /// image's text is never corrupted mid-run: text faults are not
+    /// prunable and never reach the oracle).
+    pub fn new(isa: IsaKind, text: &[Inst], text_base: u32, trace: &ExecTrace) -> PruneOracle {
+        let mut ops = Vec::with_capacity(trace.events.len());
+        let mut ticks = Vec::with_capacity(trace.events.len());
+        let mut landings: Vec<Vec<(u64, u32)>> = vec![Vec::new(); trace.start_cycles.len()];
+        let mut tid_count = 0usize;
+        for ev in &trace.events {
+            let idx = ops.len() as u32;
+            let op = match ev.kind {
+                TraceKind::Commit { pc, skipped } => {
+                    let text_idx = (pc.wrapping_sub(text_base) / 4) as usize;
+                    let inst = text.get(text_idx);
+                    if skipped {
+                        Op::Skip {
+                            core: ev.core,
+                            cond_flags: inst.map_or(crate::usedef::FLAG_ALL, |i| {
+                                crate::usedef::cond_reads(i.cond)
+                            }),
+                        }
+                    } else {
+                        // A commit outside the known text (impossible in
+                        // a golden run) degrades to a read-everything
+                        // barrier: the oracle abstains on any live taint.
+                        let ud = inst.map_or(
+                            UseDef {
+                                uses: crate::liveness::all_regs(isa),
+                                defs: RegSet::EMPTY,
+                                uses_all_gprs: true,
+                            },
+                            |i| use_def(isa, i),
+                        );
+                        Op::Exec {
+                            core: ev.core,
+                            uses: ud.uses,
+                            defs: ud.defs,
+                            uses_all_gprs: ud.uses_all_gprs,
+                        }
+                    }
+                }
+                TraceKind::Dispatch { tid } => Op::Dispatch { core: ev.core, tid },
+                TraceKind::Save { tid } => Op::Save { core: ev.core, tid },
+                TraceKind::CtxWrite { tid } => Op::CtxWrite { tid },
+            };
+            if let Op::Dispatch { tid, .. } | Op::Save { tid, .. } | Op::CtxWrite { tid } = op {
+                tid_count = tid_count.max(tid as usize + 1);
+            }
+            if op.core().is_some() {
+                landings[ev.core as usize].push((ev.cycle, idx));
+            }
+            ops.push(op);
+            ticks.push(ev.tick);
+        }
+        let chunks = ops
+            .chunks(CHUNK)
+            .map(|ops| {
+                let mut c = Chunk::default();
+                for op in ops {
+                    match *op {
+                        Op::Exec {
+                            core,
+                            uses,
+                            defs,
+                            uses_all_gprs,
+                        } => {
+                            c.uses = c.uses.union(uses);
+                            c.defs = c.defs.union(defs);
+                            c.uses_all_gprs |= uses_all_gprs;
+                            c.commit_cores |= 1 << core.min(63);
+                        }
+                        Op::Skip { core, cond_flags } => {
+                            c.uses.flags |= cond_flags;
+                            c.commit_cores |= 1 << core.min(63);
+                        }
+                        Op::Dispatch { .. } | Op::Save { .. } | Op::CtxWrite { .. } => {
+                            c.sched = true
+                        }
+                    }
+                }
+                c
+            })
+            .collect();
+        PruneOracle {
+            ops,
+            ticks,
+            chunks,
+            landings,
+            start_cycles: trace.start_cycles.clone(),
+            tid_count,
+        }
+    }
+
+    /// Decides the outcome of flipping `target` on `core` at `cycle`,
+    /// or `None` when the fault may propagate and must run for real.
+    /// Abstention is always sound; a `Some` verdict is exact.
+    pub fn verdict(&self, core: usize, target: PruneTarget, cycle: u64) -> Option<PruneVerdict> {
+        if core >= self.start_cycles.len() {
+            return None;
+        }
+        // Where does the fault land? The injector pauses its replay at
+        // the first tick boundary where `core`'s clock >= `cycle`;
+        // taint propagation starts with the *next* tick.
+        let start = if self.start_cycles[core] >= cycle {
+            0
+        } else {
+            let landings = &self.landings[core];
+            let i = landings.partition_point(|&(c, _)| c < cycle);
+            let Some(&(_, op_idx)) = landings.get(i) else {
+                // The workload exits before `core` ever reaches
+                // `cycle`: the injector's replay finishes unpaused and
+                // the fault is never applied.
+                return Some(PruneVerdict::Vanished);
+            };
+            let tick = self.ticks[op_idx as usize];
+            self.ticks.partition_point(|&t| t <= tick)
+        };
+        self.walk(start, core, target)
+    }
+
+    /// The taint walk from op index `start`.
+    fn walk(&self, start: usize, core: usize, target: PruneTarget) -> Option<PruneVerdict> {
+        let tset = target.as_set();
+        let is_pc = target == PruneTarget::Pc;
+        let clears_saved_r0 = matches!(target, PruneTarget::Gpr { reg: 0 });
+        let mut tainted_cores: u64 = 1 << core.min(63);
+        let mut tainted_tids = vec![false; self.tid_count];
+        let mut any_tid_taint = false;
+        let mut i = start;
+        while i < self.ops.len() {
+            // Skip-ahead: a whole chunk of commits that cannot touch
+            // the target (and contains no scheduling events) leaves
+            // the taint state unchanged.
+            if i.is_multiple_of(CHUNK) {
+                while i + CHUNK <= self.ops.len() {
+                    let c = &self.chunks[i / CHUNK];
+                    if c.sched {
+                        break;
+                    }
+                    let touches = if is_pc {
+                        // Every fetch reads the PC: only chunks with no
+                        // commits on tainted cores are transparent.
+                        c.commit_cores & tainted_cores != 0
+                    } else {
+                        c.uses.union(c.defs).intersects(tset) || (c.uses_all_gprs && tset.gprs != 0)
+                    };
+                    if touches {
+                        break;
+                    }
+                    i += CHUNK;
+                }
+                if i >= self.ops.len() {
+                    break;
+                }
+            }
+            match self.ops[i] {
+                Op::Exec {
+                    core,
+                    uses,
+                    defs,
+                    uses_all_gprs,
+                } => {
+                    if tainted_cores & (1 << core.min(63)) != 0 {
+                        if is_pc {
+                            return None; // the fetch read the flipped PC
+                        }
+                        if uses.intersects(tset) || (uses_all_gprs && tset.gprs != 0) {
+                            return None; // may propagate: run for real
+                        }
+                        if tset.minus(defs) == RegSet::EMPTY {
+                            tainted_cores &= !(1 << core.min(63));
+                        }
+                    }
+                }
+                Op::Skip { core, cond_flags } => {
+                    if tainted_cores & (1 << core.min(63)) != 0 {
+                        if is_pc {
+                            return None;
+                        }
+                        if cond_flags & tset.flags != 0 {
+                            return None;
+                        }
+                    }
+                }
+                Op::Dispatch { core, tid } => {
+                    let t = tainted_tids.get(tid as usize).copied().unwrap_or(false);
+                    if t {
+                        tainted_cores |= 1 << core.min(63);
+                        tainted_tids[tid as usize] = false;
+                        any_tid_taint = tainted_tids.iter().any(|&b| b);
+                    } else {
+                        tainted_cores &= !(1 << core.min(63));
+                    }
+                }
+                Op::Save { core, tid } => {
+                    if tainted_cores & (1 << core.min(63)) != 0 {
+                        tainted_tids[tid as usize] = true;
+                        any_tid_taint = true;
+                    } else if tainted_tids[tid as usize] {
+                        tainted_tids[tid as usize] = false;
+                        any_tid_taint = tainted_tids.iter().any(|&b| b);
+                    }
+                }
+                Op::CtxWrite { tid } => {
+                    if clears_saved_r0 && tainted_tids[tid as usize] {
+                        tainted_tids[tid as usize] = false;
+                        any_tid_taint = tainted_tids.iter().any(|&b| b);
+                    }
+                }
+            }
+            if tainted_cores == 0 && !any_tid_taint {
+                return Some(PruneVerdict::Vanished);
+            }
+            i += 1;
+        }
+        if tainted_cores != 0 && !is_pc {
+            // Untouched residue in a physical register at exit: the
+            // context hash differs, nothing else does.
+            Some(PruneVerdict::SilentResidue)
+        } else {
+            // Residue only in saved thread contexts (never hashed) or
+            // in the SIRA-32 PC (excluded from the hash): invisible.
+            Some(PruneVerdict::Vanished)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fracas_cpu::TraceEvent;
+    use fracas_isa::{AluOp, InstKind, Reg};
+
+    const BASE: u32 = 0x1000;
+
+    fn trace(start: Vec<u64>, events: Vec<TraceEvent>) -> ExecTrace {
+        let mut t = ExecTrace::default();
+        t.events = events;
+        t.start_cycles = start;
+        t
+    }
+
+    fn commit(core: u32, tick: u64, cycle: u64, idx: u32) -> TraceEvent {
+        TraceEvent {
+            core,
+            tick,
+            cycle,
+            kind: TraceKind::Commit {
+                pc: BASE + 4 * idx,
+                skipped: false,
+            },
+        }
+    }
+
+    fn sched(core: u32, tick: u64, cycle: u64, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            core,
+            tick,
+            cycle,
+            kind,
+        }
+    }
+
+    fn addi(rd: u8, rn: u8) -> Inst {
+        Inst::new(InstKind::AluImm {
+            op: AluOp::Add,
+            rd: Reg(rd),
+            rn: Reg(rn),
+            imm: 1,
+        })
+    }
+
+    #[test]
+    fn overwritten_before_read_vanishes() {
+        // r1 = r2 + 1 at the first traced commit: an r1 fault applied
+        // before it is overwritten; an r2 fault is read.
+        let text = vec![addi(1, 2), Inst::new(InstKind::Halt)];
+        let tr = trace(vec![10], vec![commit(0, 0, 20, 0), commit(0, 1, 30, 1)]);
+        let oracle = PruneOracle::new(IsaKind::Sira64, &text, BASE, &tr);
+        assert_eq!(
+            oracle.verdict(0, PruneTarget::Gpr { reg: 1 }, 5),
+            Some(PruneVerdict::Vanished)
+        );
+        assert_eq!(oracle.verdict(0, PruneTarget::Gpr { reg: 2 }, 5), None);
+    }
+
+    #[test]
+    fn unread_residue_is_silent() {
+        // Nothing ever touches r7: the flip sits in the register file
+        // until exit and perturbs only the context hash.
+        let text = vec![addi(1, 2), Inst::new(InstKind::Halt)];
+        let tr = trace(vec![10], vec![commit(0, 0, 20, 0)]);
+        let oracle = PruneOracle::new(IsaKind::Sira64, &text, BASE, &tr);
+        assert_eq!(
+            oracle.verdict(0, PruneTarget::Gpr { reg: 7 }, 5),
+            Some(PruneVerdict::SilentResidue)
+        );
+    }
+
+    #[test]
+    fn fault_beyond_the_last_cycle_never_lands() {
+        let text = vec![addi(1, 2)];
+        let tr = trace(vec![10], vec![commit(0, 0, 20, 0)]);
+        let oracle = PruneOracle::new(IsaKind::Sira64, &text, BASE, &tr);
+        assert_eq!(
+            oracle.verdict(0, PruneTarget::Gpr { reg: 2 }, 1_000_000),
+            Some(PruneVerdict::Vanished)
+        );
+    }
+
+    #[test]
+    fn taint_lands_after_the_crossing_tick() {
+        // The r2-reading commit is the crossing event itself (cycle 20
+        // >= fault cycle 20): the injector pauses *at* that boundary
+        // and the flip lands after the tick, so the read at tick 0
+        // does not see it; the def of r2 at tick 1 clears it.
+        let text = vec![addi(1, 2), addi(2, 1), Inst::new(InstKind::Halt)];
+        let tr = trace(
+            vec![10],
+            vec![
+                commit(0, 0, 20, 0),
+                commit(0, 1, 30, 1),
+                commit(0, 2, 40, 2),
+            ],
+        );
+        let oracle = PruneOracle::new(IsaKind::Sira64, &text, BASE, &tr);
+        assert_eq!(
+            oracle.verdict(0, PruneTarget::Gpr { reg: 2 }, 20),
+            Some(PruneVerdict::Vanished)
+        );
+    }
+
+    #[test]
+    fn taint_follows_save_and_dispatch() {
+        // Core 0 is tainted, saved into tid 1, tid 1 dispatched onto
+        // core 1 where the register is read: abstain.
+        let text = vec![addi(1, 2), Inst::new(InstKind::Halt)];
+        let tr = trace(
+            vec![10, 10],
+            vec![
+                sched(0, 0, 20, TraceKind::Save { tid: 1 }),
+                sched(1, 1, 25, TraceKind::Dispatch { tid: 1 }),
+                commit(1, 2, 30, 0),
+            ],
+        );
+        let oracle = PruneOracle::new(IsaKind::Sira64, &text, BASE, &tr);
+        assert_eq!(oracle.verdict(0, PruneTarget::Gpr { reg: 2 }, 5), None);
+        // A dispatch of a *clean* thread onto the tainted core kills
+        // the core's taint instead.
+        let tr2 = trace(
+            vec![10, 10],
+            vec![
+                sched(0, 0, 20, TraceKind::Dispatch { tid: 3 }),
+                commit(0, 1, 30, 0),
+            ],
+        );
+        let oracle2 = PruneOracle::new(IsaKind::Sira64, &text, BASE, &tr2);
+        assert_eq!(
+            oracle2.verdict(0, PruneTarget::Gpr { reg: 2 }, 5),
+            Some(PruneVerdict::Vanished)
+        );
+    }
+
+    #[test]
+    fn taint_parked_in_a_saved_context_is_invisible_at_exit() {
+        // Saved into tid 1 which is never dispatched again: the flip
+        // lives only in a context block the exit hash never covers.
+        let text = vec![addi(1, 2), Inst::new(InstKind::Halt)];
+        let tr = trace(
+            vec![10],
+            vec![
+                sched(0, 0, 20, TraceKind::Save { tid: 1 }),
+                sched(0, 1, 25, TraceKind::Dispatch { tid: 0 }),
+                commit(0, 2, 30, 1),
+            ],
+        );
+        let oracle = PruneOracle::new(IsaKind::Sira64, &text, BASE, &tr);
+        assert_eq!(
+            oracle.verdict(0, PruneTarget::Gpr { reg: 2 }, 5),
+            Some(PruneVerdict::Vanished)
+        );
+    }
+
+    #[test]
+    fn kernel_ctx_write_clears_a_parked_r0_fault() {
+        // An r0 fault saved into blocked tid 1 dies when the kernel
+        // overwrites the saved r0 with a completion value, even though
+        // tid 1 later runs and reads r0.
+        let text = vec![addi(1, 0), Inst::new(InstKind::Halt)];
+        let tr = trace(
+            vec![10, 10],
+            vec![
+                sched(0, 0, 20, TraceKind::Save { tid: 1 }),
+                sched(0, 1, 24, TraceKind::Dispatch { tid: 0 }),
+                sched(0, 2, 25, TraceKind::CtxWrite { tid: 1 }),
+                sched(1, 3, 28, TraceKind::Dispatch { tid: 1 }),
+                commit(1, 4, 32, 0),
+            ],
+        );
+        let oracle = PruneOracle::new(IsaKind::Sira64, &text, BASE, &tr);
+        assert_eq!(
+            oracle.verdict(0, PruneTarget::Gpr { reg: 0 }, 5),
+            Some(PruneVerdict::Vanished)
+        );
+        // The same shape with r1 (not covered by ctx writes) abstains.
+        let text2 = vec![addi(0, 1), Inst::new(InstKind::Halt)];
+        let oracle2 = PruneOracle::new(IsaKind::Sira64, &text2, BASE, &tr);
+        assert_eq!(oracle2.verdict(0, PruneTarget::Gpr { reg: 1 }, 5), None);
+    }
+
+    #[test]
+    fn pc_fault_aborts_on_any_commit_but_residue_vanishes() {
+        let text = vec![addi(1, 2), Inst::new(InstKind::Halt)];
+        let tr = trace(vec![10], vec![commit(0, 0, 20, 0), commit(0, 1, 30, 1)]);
+        let oracle = PruneOracle::new(IsaKind::Sira32, &text, BASE, &tr);
+        // Any later fetch reads the flipped PC: abstain.
+        assert_eq!(oracle.verdict(0, PruneTarget::Pc, 5), None);
+        // A PC flip after the last commit is excluded from the exit
+        // context hash: vanished.
+        let tr2 = trace(vec![10], vec![commit(0, 0, 20, 0)]);
+        let oracle2 = PruneOracle::new(IsaKind::Sira32, &text, BASE, &tr2);
+        assert_eq!(
+            oracle2.verdict(0, PruneTarget::Pc, 20),
+            Some(PruneVerdict::Vanished)
+        );
+    }
+
+    #[test]
+    fn flag_faults_track_condition_reads() {
+        // cmp r0, #0 defs all flags: a flag fault before it vanishes.
+        let text = vec![
+            Inst::new(InstKind::CmpImm { rn: Reg(0), imm: 0 }),
+            Inst::new(InstKind::Halt),
+        ];
+        let tr = trace(vec![10], vec![commit(0, 0, 20, 0), commit(0, 1, 30, 1)]);
+        let oracle = PruneOracle::new(IsaKind::Sira64, &text, BASE, &tr);
+        assert_eq!(
+            oracle.verdict(
+                0,
+                PruneTarget::Flags {
+                    mask: FLAG_ALL_MASK
+                },
+                5
+            ),
+            Some(PruneVerdict::Vanished)
+        );
+    }
+
+    use crate::usedef::FLAG_ALL as FLAG_ALL_MASK;
+}

@@ -1,4 +1,4 @@
-//! Extension: single-word multiple-bit upsets (the paper's ref. [13],
+//! Extension: single-word multiple-bit upsets (the paper's ref. \[13\],
 //! Johansson et al.) — outcome severity as the upset width grows from
 //! the paper's SBU model to 2- and 4-bit adjacent upsets.
 //!

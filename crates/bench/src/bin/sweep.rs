@@ -6,7 +6,7 @@
 //! ```text
 //! sweep [--isa sira32|sira64] [--model ser|omp|mpi] [--app bt|cg|...]
 //!       [--cores N] [--faults N] [--epsilon E] [--threads N] [--seed N]
-//!       [--db PATH] [--sink PATH]
+//!       [--db PATH] [--sink PATH] [--prune-dead]
 //! ```
 //!
 //! Kill it at any point and re-run with the same arguments: completed
@@ -30,12 +30,14 @@ struct Args {
     seed: Option<u64>,
     db: Option<PathBuf>,
     sink: Option<PathBuf>,
+    prune_dead: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: sweep [--isa sira32|sira64] [--model ser|omp|mpi] [--app NAME] [--cores N]\n\
-         \u{20}            [--faults N] [--epsilon E] [--threads N] [--seed N] [--db PATH] [--sink PATH]"
+         \u{20}            [--faults N] [--epsilon E] [--threads N] [--seed N] [--db PATH] [--sink PATH]\n\
+         \u{20}            [--prune-dead]"
     );
     exit(2)
 }
@@ -52,6 +54,7 @@ fn parse_args() -> Args {
         seed: None,
         db: None,
         sink: None,
+        prune_dead: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -102,6 +105,9 @@ fn parse_args() -> Args {
             "--seed" => args.seed = Some(parse_or_usage(&value(), "--seed")),
             "--db" => args.db = Some(PathBuf::from(value())),
             "--sink" => args.sink = Some(PathBuf::from(value())),
+            // Short-circuit provably-masked injections; the database is
+            // byte-identical with or without this flag, only faster.
+            "--prune-dead" => args.prune_dead = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -144,6 +150,9 @@ fn main() {
     }
     if let Some(v) = args.seed {
         config.campaign.seed = v;
+    }
+    if args.prune_dead {
+        config.campaign.prune_dead = true;
     }
     let db_path = args.db.unwrap_or_else(fracas_bench::db_path);
     let sink = args.sink.unwrap_or_else(|| {

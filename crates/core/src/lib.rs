@@ -24,6 +24,7 @@
 //! | [`lang`] | `fracas-lang` | the FL compiler (both backends) |
 //! | [`rt`] | `fracas-rt` | crt0, softfloat, OMP and MPI guest runtimes |
 //! | [`npb`] | `fracas-npb` | the 29 NPB-T programs / 130 scenarios |
+//! | [`analyze`] | `fracas-analyze` | CFG recovery, liveness, static AVF, prune oracle |
 //! | [`inject`] | `fracas-inject` | fault model, campaigns, classification |
 //! | [`mine`] | `fracas-mine` | statistics and table/figure mining |
 //!
@@ -48,6 +49,7 @@
 //! # }
 //! ```
 
+pub use fracas_analyze as analyze;
 pub use fracas_cpu as cpu;
 pub use fracas_inject as inject;
 pub use fracas_isa as isa;

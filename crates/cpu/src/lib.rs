@@ -20,6 +20,10 @@
 //! * **Fault hooks** — [`Machine::flip_gpr`], [`Machine::flip_fpr`],
 //!   [`Machine::flip_flag`] and [`Machine::flip_mem`] implement the
 //!   single-bit-upset fault model of §3.2.1.
+//! * **Golden-run tracing** — [`Machine::enable_trace`] records the
+//!   committed-PC and context-switch event stream ([`trace`]) that
+//!   `fracas-analyze` turns into dead-register windows and static AVF
+//!   estimates.
 //!
 //! ## Example
 //!
@@ -46,9 +50,11 @@
 mod cost;
 mod machine;
 mod state;
+pub mod trace;
 mod trap;
 
 pub use cost::CostModel;
 pub use machine::{Machine, MachineSnapshot, RunError, StepResult};
 pub use state::{Core, CoreContext, CoreStats, Flags};
+pub use trace::{ExecTrace, TraceEvent, TraceKind};
 pub use trap::Trap;

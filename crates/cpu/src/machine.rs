@@ -1,5 +1,6 @@
 //! The multicore machine and its interpreter loop.
 
+use crate::trace::{ExecTrace, TraceKind};
 use crate::{Core, CostModel, Flags, Trap};
 use fracas_isa::{AluOp, FReg, FpOp, Image, Inst, InstKind, IsaKind, Reg, Width};
 use fracas_mem::{
@@ -113,6 +114,10 @@ pub struct Machine {
     /// Cache hierarchy (public for statistics readout).
     pub caches: MemSystem,
     profile: Option<FnProfile>,
+    /// Golden-run event trace, `None` unless [`Machine::enable_trace`]
+    /// was called. An observer like `profile`: it never influences
+    /// execution and is excluded from snapshots.
+    trace: Option<ExecTrace>,
 }
 
 /// A frozen copy of a [`Machine`] at one tick boundary, captured by
@@ -168,6 +173,7 @@ impl Machine {
             mem: PhysMem::new(mem_size),
             caches: MemSystem::new(cores, cache),
             profile: None,
+            trace: None,
         }
     }
 
@@ -301,6 +307,57 @@ impl Machine {
         }
     }
 
+    // ----- golden-run tracing (fracas-analyze input) ---------------------
+
+    /// Enables commit/schedule event tracing (see [`crate::trace`]).
+    /// Like profiling, tracing observes execution without influencing
+    /// it and is excluded from snapshots, so a traced golden run stays
+    /// bit-identical to an untraced one.
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(ExecTrace::new(
+            self.cores.iter().map(Core::cycles).collect(),
+        ));
+    }
+
+    /// Takes the accumulated trace, disabling tracing (`None` if
+    /// tracing was never enabled).
+    pub fn take_trace(&mut self) -> Option<ExecTrace> {
+        self.trace.take()
+    }
+
+    /// Records a context restore onto `core` (kernel dispatch hook).
+    pub fn trace_dispatch(&mut self, core: usize, tid: u32) {
+        if let Some(t) = &mut self.trace {
+            t.push(core as u32, TraceKind::Dispatch { tid });
+        }
+    }
+
+    /// Records a context save from `core` into thread `tid` (kernel
+    /// block/preempt/yield hook).
+    pub fn trace_save(&mut self, core: usize, tid: u32) {
+        if let Some(t) = &mut self.trace {
+            t.push(core as u32, TraceKind::Save { tid });
+        }
+    }
+
+    /// Records a kernel write into blocked thread `tid`'s saved `r0`.
+    /// The event has no meaningful core; consumers order it by tick.
+    pub fn trace_ctx_write(&mut self, tid: u32) {
+        if let Some(t) = &mut self.trace {
+            t.push(0, TraceKind::CtxWrite { tid });
+        }
+    }
+
+    /// Closes the current kernel tick: stamps the tick's events with
+    /// the per-core end-of-tick cycle clocks (see [`crate::trace`] for
+    /// why stamping happens at the boundary).
+    pub fn trace_tick_end(&mut self) {
+        if let Some(t) = &mut self.trace {
+            let cores = &self.cores;
+            t.end_tick(|core| cores[core as usize].cycles());
+        }
+    }
+
     // ----- fault injection hooks (§3.2.1 fault model) --------------------
 
     /// Flips one bit of an integer register. On SIRA-32, register 15 is
@@ -422,6 +479,7 @@ impl Machine {
             mem: snap.mem.restore(),
             caches: snap.caches.clone(),
             profile: None,
+            trace: None,
         }
     }
 
@@ -475,6 +533,11 @@ impl Machine {
         }
         let pc = self.cores[core].pc();
         let cycles_before = self.cores[core].cycles();
+        // Retirement counters (executed and annulled), not the cycle
+        // clock: traps roll `instructions` back, so a delta here is
+        // exactly "one instruction committed".
+        let instructions_before = self.cores[core].stats.instructions;
+        let skipped_before = self.cores[core].stats.cond_skipped;
 
         let result = self.step_inner(core, perm, pc);
 
@@ -483,6 +546,15 @@ impl Machine {
             if delta > 0 {
                 if let Some(p) = &mut self.profile {
                     p.attribute(core, pc, delta);
+                }
+            }
+        }
+        if self.trace.is_some() {
+            let stats = &self.cores[core].stats;
+            let skipped = stats.cond_skipped > skipped_before;
+            if skipped || stats.instructions > instructions_before {
+                if let Some(t) = &mut self.trace {
+                    t.push(core as u32, TraceKind::Commit { pc, skipped });
                 }
             }
         }

@@ -1,0 +1,136 @@
+//! Golden-run execution tracing: the committed-PC / scheduling event
+//! stream consumed by `fracas-analyze`.
+//!
+//! Tracing is an *observer* in exactly the sense profiling is
+//! ([`Machine::enable_profiling`](crate::Machine::enable_profiling)): it
+//! records what execution did without influencing a single cycle, it is
+//! excluded from snapshots, and a machine restored from a snapshot
+//! replays the identical schedule with tracing off. That property is
+//! what lets a campaign trace the golden run once and keep every
+//! checkpoint bit-identical to an untraced campaign.
+//!
+//! The stream records four kinds of events:
+//!
+//! * a **commit** — one instruction retired (including conditionally
+//!   *skipped* instructions, which retire reading only their condition
+//!   flags), stamped with its PC;
+//! * a **dispatch** — the kernel overwrote a core's entire register
+//!   file, flags and PC with a thread's saved context;
+//! * a **save** — the kernel copied a core's context into a thread's
+//!   saved context;
+//! * a **context write** — the kernel stored a syscall completion value
+//!   into a *blocked* thread's saved `r0`.
+//!
+//! Every event carries the kernel tick it happened in and the acting
+//! core's local cycle clock at the *end* of that tick. End-of-tick
+//! stamping matters: syscall cost is added to a core's clock after the
+//! `Svc` commit of the same tick, and the injector's pause predicate
+//! (`run_until_core_cycle`) observes clocks only at tick boundaries.
+//! Stamping events with the boundary value makes "first event on core
+//! `k` with `cycle >= c`" coincide exactly with where a replayed run
+//! pauses to inject a fault at `(k, c)`.
+
+/// What one traced event records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// One instruction retired at `pc`. `skipped` marks a conditional
+    /// instruction whose predicate evaluated false: it retires after
+    /// reading only its condition flags and writes no register.
+    Commit {
+        /// Program counter of the retired instruction.
+        pc: u32,
+        /// True when the predicate failed and the instruction was
+        /// annulled (reads condition flags only, writes nothing).
+        skipped: bool,
+    },
+    /// The kernel restored thread `tid`'s saved context onto the core:
+    /// the full register file, FP registers, flags and PC were
+    /// overwritten.
+    Dispatch {
+        /// Thread whose context now runs on the core.
+        tid: u32,
+    },
+    /// The kernel saved the core's context into thread `tid`'s context
+    /// block (block, preemption or yield).
+    Save {
+        /// Thread whose saved context now holds the core's state.
+        tid: u32,
+    },
+    /// The kernel wrote a syscall completion value into *blocked*
+    /// thread `tid`'s saved `r0` (barrier release, lock handoff, join
+    /// wake-up, message delivery).
+    CtxWrite {
+        /// Thread whose saved `r0` was overwritten.
+        tid: u32,
+    },
+}
+
+/// One event of a golden-run trace. See the module docs for the
+/// stamping discipline.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceEvent {
+    /// Core the event happened on. For [`TraceKind::CtxWrite`] the
+    /// field is a placeholder (0): the write lands in a thread's saved
+    /// context, not on any core, and consumers must key such events by
+    /// tick order only.
+    pub core: u32,
+    /// Kernel tick index (0-based from trace enablement) the event
+    /// belongs to. Events of one tick appear in program order.
+    pub tick: u64,
+    /// `core`'s local cycle clock at the end of the event's tick.
+    pub cycle: u64,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// The recorded event stream of one (golden) run.
+#[derive(Debug, Clone, Default)]
+pub struct ExecTrace {
+    /// All events, in global tick order (and program order within one
+    /// tick).
+    pub events: Vec<TraceEvent>,
+    /// Per-core cycle clocks at the instant tracing was enabled (end of
+    /// boot). A fault cycle at or below `start_cycles[k]` landed before
+    /// the first traced event of core `k`.
+    pub start_cycles: Vec<u64>,
+    /// Tick index assigned to the next completed tick.
+    cur_tick: u64,
+    /// Index of the first event of the still-open tick.
+    tick_start: usize,
+}
+
+impl ExecTrace {
+    /// A trace primed with the given per-core start clocks.
+    pub(crate) fn new(start_cycles: Vec<u64>) -> ExecTrace {
+        ExecTrace {
+            events: Vec::new(),
+            start_cycles,
+            cur_tick: 0,
+            tick_start: 0,
+        }
+    }
+
+    /// Appends an event to the open tick with a provisional stamp;
+    /// [`ExecTrace::end_tick`] overwrites it with the boundary values.
+    pub(crate) fn push(&mut self, core: u32, kind: TraceKind) {
+        self.events.push(TraceEvent {
+            core,
+            tick: 0,
+            cycle: 0,
+            kind,
+        });
+    }
+
+    /// Closes the open tick: stamps its events with the tick index and
+    /// the per-core end-of-tick clocks supplied by `clock`.
+    pub(crate) fn end_tick(&mut self, clock: impl Fn(u32) -> u64) {
+        if self.tick_start < self.events.len() {
+            for ev in &mut self.events[self.tick_start..] {
+                ev.tick = self.cur_tick;
+                ev.cycle = clock(ev.core);
+            }
+            self.tick_start = self.events.len();
+        }
+        self.cur_tick += 1;
+    }
+}

@@ -89,6 +89,15 @@ pub struct CampaignConfig {
     pub checkpoints: usize,
     /// The sampled fault space.
     pub space: FaultSpace,
+    /// Classify injections that land in a provably-dead window without
+    /// executing them (the `--prune-dead` mode): the golden run is
+    /// additionally traced and the `fracas-analyze` oracle decides
+    /// per-fault outcomes wherever the flipped bits provably die or
+    /// provably survive unread. Pruning never changes a single record —
+    /// databases are byte-identical with the mode on or off — so the
+    /// knob is deliberately excluded from orchestrator fingerprints.
+    /// Tunable via `FRACAS_PRUNE_DEAD`.
+    pub prune_dead: bool,
 }
 
 impl Default for CampaignConfig {
@@ -101,13 +110,15 @@ impl Default for CampaignConfig {
             batch: 8,
             checkpoints: 16,
             space: FaultSpace::default(),
+            prune_dead: false,
         }
     }
 }
 
 impl CampaignConfig {
-    /// Reads `FRACAS_FAULTS`, `FRACAS_SEED`, `FRACAS_THREADS` and
-    /// `FRACAS_CHECKPOINTS` from the environment over the defaults.
+    /// Reads `FRACAS_FAULTS`, `FRACAS_SEED`, `FRACAS_THREADS`,
+    /// `FRACAS_CHECKPOINTS` and `FRACAS_PRUNE_DEAD` from the
+    /// environment over the defaults.
     pub fn from_env() -> CampaignConfig {
         let mut config = CampaignConfig::default();
         if let Some(v) = env_u64("FRACAS_FAULTS") {
@@ -121,6 +132,9 @@ impl CampaignConfig {
         }
         if let Some(v) = env_u64("FRACAS_CHECKPOINTS") {
             config.checkpoints = v as usize;
+        }
+        if let Some(v) = env_u64("FRACAS_PRUNE_DEAD") {
+            config.prune_dead = v != 0;
         }
         config
     }
@@ -367,6 +381,12 @@ pub struct CampaignResult {
     pub tally: Tally,
     /// Every injection's record.
     pub records: Vec<InjectionRecord>,
+    /// Injections whose outcome the static/trace analysis proved without
+    /// executing them ([`CampaignConfig::prune_dead`]). A run-time
+    /// statistic, deliberately *not* serialized: pruning never changes a
+    /// record, so databases stay byte-identical with the mode on or off.
+    #[serde(skip)]
+    pub pruned: u64,
 }
 
 impl CampaignResult {
@@ -404,8 +424,37 @@ pub fn golden_run_with_checkpoints(
     workload: &Workload,
     checkpoints: usize,
 ) -> (RunReport, HashMap<String, u64>, CheckpointSet) {
+    let (report, profile, set, _) = golden_run_traced(workload, checkpoints, false);
+    (report, profile, set)
+}
+
+/// [`golden_run`] extended with execution tracing: additionally returns
+/// the committed-instruction / scheduler event trace of the reference
+/// run, for offline analyses (static AVF, the `stats_avf` report).
+pub fn golden_trace(workload: &Workload) -> (RunReport, fracas_cpu::ExecTrace) {
+    let (report, _, _, trace) = golden_run_traced(workload, 0, true);
+    (report, trace.expect("tracing was enabled"))
+}
+
+/// [`golden_run_with_checkpoints`] with optional execution tracing for
+/// the [`CampaignConfig::prune_dead`] oracle. Tracing is a pure
+/// observer (excluded from snapshots), so the report, profile and every
+/// checkpoint are bit-identical whether `trace` is on or off.
+pub(crate) fn golden_run_traced(
+    workload: &Workload,
+    checkpoints: usize,
+    trace: bool,
+) -> (
+    RunReport,
+    HashMap<String, u64>,
+    CheckpointSet,
+    Option<fracas_cpu::ExecTrace>,
+) {
     let mut kernel = workload.boot();
     kernel.machine_mut().enable_profiling(&workload.image);
+    if trace {
+        kernel.machine_mut().enable_trace();
+    }
     let (outcome, set) = CheckpointSet::capture(&mut kernel, checkpoints, &Limits::default());
     assert!(
         outcome.is_clean_exit(),
@@ -413,7 +462,43 @@ pub fn golden_run_with_checkpoints(
         workload.id
     );
     let profile = kernel.machine().profile_report();
-    (kernel.report(), profile, set)
+    let trace = kernel.machine_mut().take_trace();
+    (kernel.report(), profile, set, trace)
+}
+
+/// The per-fault prune table for a campaign: `table[i]` is the proven
+/// outcome of fault `i`, or `None` when it must be injected for real.
+/// Empty when pruning is off. Shared by [`run_campaign_with`] and the
+/// fleet orchestrator so both prune identically.
+pub(crate) fn campaign_prune_table(
+    workload: &Workload,
+    config: &CampaignConfig,
+    trace: Option<&fracas_cpu::ExecTrace>,
+    faults: &[Fault],
+) -> Vec<Option<Outcome>> {
+    if !config.prune_dead {
+        return Vec::new();
+    }
+    let trace = trace.expect("prune_dead golden runs are traced");
+    crate::prune::prune_table(workload, trace, faults)
+}
+
+/// Synthesizes the record of a pruned injection: the fault provably
+/// never diverges the run, so cycles and instructions are the golden
+/// run's own. Byte-identical to what executing the fault would record.
+pub(crate) fn pruned_record(
+    golden: &RunReport,
+    fault: &Fault,
+    index: usize,
+    outcome: Outcome,
+) -> InjectionRecord {
+    InjectionRecord {
+        index: index as u32,
+        fault: *fault,
+        outcome,
+        cycles: golden.cycles,
+        instructions: golden.total_instructions(),
+    }
 }
 
 /// Executes one injection: resumes from the latest checkpoint strictly
@@ -467,6 +552,7 @@ pub fn golden_only(workload: &Workload, planned_faults: usize) -> CampaignResult
         profile: ProfileStats::from_run(&golden, &profile_map),
         tally: Tally::default(),
         records: Vec::new(),
+        pruned: 0,
     }
 }
 
@@ -523,6 +609,7 @@ pub(crate) fn assemble_result(
     golden: &RunReport,
     profile: ProfileStats,
     records: Vec<InjectionRecord>,
+    pruned: u64,
 ) -> CampaignResult {
     let mut tally = Tally::default();
     for r in &records {
@@ -545,6 +632,7 @@ pub(crate) fn assemble_result(
         profile,
         tally,
         records,
+        pruned,
     }
 }
 
@@ -612,12 +700,15 @@ pub fn run_campaign_with(
     config: &CampaignConfig,
     injector: &Injector,
 ) -> CampaignResult {
-    let (golden, profile_map, checkpoints) =
-        golden_run_with_checkpoints(workload, config.checkpoints);
+    let (golden, profile_map, checkpoints, trace) =
+        golden_run_traced(workload, config.checkpoints, config.prune_dead);
     let checkpoints = Arc::new(checkpoints);
     let profile = ProfileStats::from_run(&golden, &profile_map);
     let faults = campaign_faults(workload, config, golden.cycles);
     let limits = campaign_limits(&golden, config);
+    let verdicts = campaign_prune_table(workload, config, trace.as_ref(), &faults);
+    drop(trace);
+    let pruned = verdicts.iter().flatten().count() as u64;
 
     let threads = resolve_threads(config.threads);
     let batch = config.batch.max(1);
@@ -628,7 +719,7 @@ pub fn run_campaign_with(
         for _ in 0..threads.min(faults.len().max(1)) {
             let checkpoints = Arc::clone(&checkpoints);
             let (faults, golden, limits) = (&faults, &golden, &limits);
-            let (slots, next_batch) = (&slots, &next_batch);
+            let (slots, next_batch, verdicts) = (&slots, &next_batch, &verdicts);
             scope.spawn(move || loop {
                 let start = next_batch.fetch_add(batch, Ordering::Relaxed);
                 if start >= faults.len() {
@@ -637,6 +728,10 @@ pub fn run_campaign_with(
                 let end = (start + batch).min(faults.len());
                 let mut local = Vec::with_capacity(end - start);
                 for (i, fault) in faults[start..end].iter().enumerate() {
+                    if let Some(Some(outcome)) = verdicts.get(start + i) {
+                        local.push(pruned_record(golden, fault, start + i, *outcome));
+                        continue;
+                    }
                     let one = |f: &Fault| injector(workload, f, &checkpoints, limits);
                     local.push(inject_record(&one, golden, fault, start + i));
                 }
@@ -667,7 +762,7 @@ pub fn run_campaign_with(
             })
         })
         .collect();
-    assemble_result(workload, config, &golden, profile, records)
+    assemble_result(workload, config, &golden, profile, records, pruned)
 }
 
 fn fnv(bytes: &[u8]) -> u64 {
@@ -759,6 +854,7 @@ mod tests {
                 cycles: 101,
                 instructions: 50,
             }],
+            pruned: 0,
         };
         let json = result.to_json();
         let back = CampaignResult::from_json(&json).unwrap();

@@ -162,7 +162,7 @@ impl CheckpointSet {
     }
 
     /// Golden-reconvergence pruning: advances the freshly injected
-    /// `kernel` to the next [`RECONVERGE_PROBES`] checkpoint marks and
+    /// `kernel` to the next `RECONVERGE_PROBES` checkpoint marks and
     /// compares its complete state against the golden snapshot captured
     /// at each mark. On a match the fault has provably left no trace —
     /// the continuation is by determinism the golden continuation — so

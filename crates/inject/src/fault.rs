@@ -65,7 +65,7 @@ pub struct Fault {
     pub cycle: u64,
     /// Number of *adjacent* bits upset starting at the target bit —
     /// 1 for the paper's SBU model; >1 models the single-word
-    /// multiple-bit upsets of its ref. [13] (Johansson et al.).
+    /// multiple-bit upsets of its ref. \[13\] (Johansson et al.).
     #[serde(default = "default_width")]
     pub width: u32,
 }
@@ -130,7 +130,7 @@ pub struct FaultSpace {
     /// Instruction-memory faults (bit flips in encoded text words).
     pub text: bool,
     /// Adjacent bits upset per fault (1 = SBU; >1 = single-word MBU,
-    /// ref. [13] of the paper).
+    /// ref. \[13\] of the paper).
     #[serde(default = "default_width")]
     pub mbu_width: u32,
 }

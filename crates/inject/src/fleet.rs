@@ -30,9 +30,9 @@
 //!   workload as failed. Neither poisons the rest of the sweep.
 
 use crate::campaign::{
-    assemble_result, campaign_faults, campaign_limits, golden_run_with_checkpoints, inject_one,
-    inject_record, panic_message, resolve_threads, CampaignConfig, CampaignResult, GoldenSummary,
-    InjectionRecord, Injector, ProfileStats, Tally, Workload,
+    assemble_result, campaign_faults, campaign_limits, campaign_prune_table, golden_run_traced,
+    inject_one, inject_record, panic_message, pruned_record, resolve_threads, CampaignConfig,
+    CampaignResult, GoldenSummary, InjectionRecord, Injector, ProfileStats, Tally, Workload,
 };
 use crate::{CheckpointSet, Fault, Outcome};
 use fracas_kernel::{Limits, RunReport};
@@ -247,6 +247,10 @@ struct GoldenJob {
     checkpoints: Arc<CheckpointSet>,
     faults: Vec<Fault>,
     limits: Limits,
+    /// Per-fault prune verdicts ([`CampaignConfig::prune_dead`]):
+    /// `verdicts[i]` short-circuits fault `i` without execution. Empty
+    /// when pruning is off.
+    verdicts: Vec<Option<Outcome>>,
 }
 
 /// Record slots and the early-stopping prefix state of one workload
@@ -443,17 +447,19 @@ fn worker_loop(
 fn run_golden_job(state: &WorkloadState, config: &FleetConfig, sink: &RecordSink) {
     let campaign = &config.campaign;
     let job = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        let (report, profile_map, checkpoints) =
-            golden_run_with_checkpoints(state.workload, campaign.checkpoints);
+        let (report, profile_map, checkpoints, trace) =
+            golden_run_traced(state.workload, campaign.checkpoints, campaign.prune_dead);
         let profile = ProfileStats::from_run(&report, &profile_map);
         let faults = campaign_faults(state.workload, campaign, report.cycles);
         let limits = campaign_limits(&report, campaign);
+        let verdicts = campaign_prune_table(state.workload, campaign, trace.as_ref(), &faults);
         GoldenJob {
             report,
             profile,
             checkpoints: Arc::new(checkpoints),
             faults,
             limits,
+            verdicts,
         }
     }));
     let job = match job {
@@ -509,6 +515,10 @@ fn run_injection_batch(
     let mut fresh = Vec::with_capacity(end - start);
     for (i, fault) in golden.faults[start..end].iter().enumerate() {
         if have[i] {
+            continue;
+        }
+        if let Some(Some(outcome)) = golden.verdicts.get(start + i) {
+            fresh.push(pruned_record(&golden.report, fault, start + i, *outcome));
             continue;
         }
         let one = |f: &Fault| injector(state.workload, f, &golden.checkpoints, &golden.limits);
@@ -589,12 +599,20 @@ fn finish_workload(state: WorkloadState, config: &FleetConfig) -> CampaignResult
             })
         })
         .collect();
+    // The prune statistic counts decided faults within the kept range —
+    // a pure function of the fault list, so it matches across thread
+    // counts and resumes even when some records were replayed from disk.
+    let pruned = golden.verdicts[..keep.min(golden.verdicts.len())]
+        .iter()
+        .flatten()
+        .count() as u64;
     assemble_result(
         state.workload,
         &config.campaign,
         &golden.report,
         golden.profile,
         records,
+        pruned,
     )
 }
 
@@ -617,6 +635,7 @@ fn failed_result(workload: &Workload, config: &CampaignConfig) -> CampaignResult
             ..Tally::default()
         },
         records: Vec::new(),
+        pruned: 0,
     }
 }
 

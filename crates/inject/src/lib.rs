@@ -19,6 +19,10 @@
 //!   kernel snapshots ([`CheckpointSet`]); each injection resumes from
 //!   the latest one strictly before its fault cycle instead of
 //!   replaying from boot, bit-identically (gem5-style checkpointing).
+//! * **Provably-masked pruning**: with [`CampaignConfig::prune_dead`],
+//!   a trace-exact dead-value oracle (`fracas-analyze`) classifies
+//!   injections whose bit is overwritten before ever being read —
+//!   without executing them, and byte-identically to the full campaign.
 //! * **Distribution** (§3.2.4): jobs run on a work queue over
 //!   host threads; results are index-sorted, so a campaign is
 //!   deterministic for a given seed regardless of thread count.
@@ -44,9 +48,10 @@ mod checkpoint;
 mod classify;
 mod fault;
 mod fleet;
+mod prune;
 
 pub use campaign::{
-    golden_only, golden_run, golden_run_with_checkpoints, inject_one, run_campaign,
+    golden_only, golden_run, golden_run_with_checkpoints, golden_trace, inject_one, run_campaign,
     run_campaign_with, CampaignConfig, CampaignResult, GoldenSummary, InjectionRecord, Injector,
     ProfileStats, Tally, Workload,
 };

@@ -1,0 +1,162 @@
+//! `--prune-dead` campaign support: mapping sampled faults onto the
+//! `fracas-analyze` oracle and synthesizing records for provable
+//! outcomes.
+//!
+//! The contract this module upholds is *byte-identity*: a pruned
+//! campaign's record stream must equal the unpruned campaign's, record
+//! for record. That works because a fault the oracle decides provably
+//! never diverges the execution — the faulty run commits the golden
+//! instruction stream on the golden schedule, so its cycle and
+//! instruction counts are the golden run's and its classification is
+//! exactly the verdict ([`PruneVerdict::Vanished`] → `Vanished`,
+//! [`PruneVerdict::SilentResidue`] → ONA: same output, same memory,
+//! same counts, different exit context hash). Faults the oracle
+//! abstains on (and every memory or text fault, which outlive register
+//! lifetimes) run through the ordinary checkpoint-ladder injector.
+
+use crate::campaign::Workload;
+use crate::{Fault, FaultTarget, Outcome};
+use fracas_analyze::{PruneOracle, PruneTarget, PruneVerdict};
+use fracas_cpu::ExecTrace;
+use fracas_isa::IsaKind;
+
+/// The oracle-facing view of a sampled fault: the struck core and the
+/// architectural location, with the injector's wrapping rules
+/// (`reg % gpr_count`, SIRA-32 register 15 = PC, multi-bit flag upsets
+/// spreading over `(which + i) % 4`) applied. `None` for targets the
+/// oracle does not model: memory and text bits, and SIRA-32 FP
+/// registers (present in the machine but outside both the ISA and the
+/// exit context hash — not worth a dedicated verdict path).
+pub(crate) fn prune_target(isa: IsaKind, fault: &Fault) -> Option<(usize, PruneTarget)> {
+    match fault.target {
+        FaultTarget::Gpr { core, reg, .. } => {
+            let target = match isa {
+                IsaKind::Sira32 if reg % 16 == 15 => PruneTarget::Pc,
+                IsaKind::Sira32 => PruneTarget::Gpr { reg: reg % 16 },
+                IsaKind::Sira64 => PruneTarget::Gpr { reg: reg % 32 },
+            };
+            Some((core as usize, target))
+        }
+        FaultTarget::Fpr { core, reg, .. } => match isa {
+            IsaKind::Sira32 => None,
+            IsaKind::Sira64 => Some((core as usize, PruneTarget::Fpr { reg: reg % 32 })),
+        },
+        FaultTarget::Flag { core, which } => {
+            let mut mask = 0u8;
+            for i in 0..fault.width.max(1) {
+                mask |= 1 << ((which + i) % 4);
+            }
+            Some((core as usize, PruneTarget::Flags { mask }))
+        }
+        FaultTarget::Mem { .. } | FaultTarget::Text { .. } => None,
+    }
+}
+
+/// Decides the whole fault list against one golden trace: `table[i]` is
+/// the proven outcome of `faults[i]`, or `None` when it must run for
+/// real. Computed once per workload so the trace (which can dwarf the
+/// checkpoint set) is dropped before injection starts, and so the
+/// prune decisions are independent of worker scheduling.
+pub(crate) fn prune_table(
+    workload: &Workload,
+    trace: &ExecTrace,
+    faults: &[Fault],
+) -> Vec<Option<Outcome>> {
+    let image = &workload.image;
+    let oracle = PruneOracle::new(image.isa, &image.text, image.text_base, trace);
+    faults
+        .iter()
+        .map(|fault| {
+            let (core, target) = prune_target(image.isa, fault)?;
+            oracle
+                .verdict(core, target, fault.cycle)
+                .map(|verdict| match verdict {
+                    PruneVerdict::Vanished => Outcome::Vanished,
+                    PruneVerdict::SilentResidue => Outcome::Ona,
+                })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_indices_wrap_like_the_injector() {
+        let f = |target| Fault {
+            target,
+            cycle: 0,
+            width: 1,
+        };
+        // SIRA-32: reg 15 (and 31, which wraps onto it) is the PC.
+        let pc = FaultTarget::Gpr {
+            core: 1,
+            reg: 31,
+            bit: 0,
+        };
+        assert_eq!(
+            prune_target(IsaKind::Sira32, &f(pc)),
+            Some((1, PruneTarget::Pc))
+        );
+        let r17 = FaultTarget::Gpr {
+            core: 0,
+            reg: 17,
+            bit: 5,
+        };
+        assert_eq!(
+            prune_target(IsaKind::Sira32, &f(r17)),
+            Some((0, PruneTarget::Gpr { reg: 1 }))
+        );
+        assert_eq!(
+            prune_target(IsaKind::Sira64, &f(r17)),
+            Some((0, PruneTarget::Gpr { reg: 17 }))
+        );
+    }
+
+    #[test]
+    fn flag_upsets_spread_their_width() {
+        // A width-2 upset at V (3) wraps onto N (0).
+        let fault = Fault {
+            target: FaultTarget::Flag { core: 0, which: 3 },
+            cycle: 0,
+            width: 2,
+        };
+        assert_eq!(
+            prune_target(IsaKind::Sira64, &fault),
+            Some((
+                0,
+                PruneTarget::Flags {
+                    mask: fracas_analyze::FLAG_V | fracas_analyze::FLAG_N
+                }
+            ))
+        );
+    }
+
+    #[test]
+    fn long_lived_and_unmodelled_targets_abstain() {
+        let f = |target| Fault {
+            target,
+            cycle: 0,
+            width: 1,
+        };
+        assert_eq!(
+            prune_target(IsaKind::Sira64, &f(FaultTarget::Mem { addr: 0, bit: 0 })),
+            None
+        );
+        assert_eq!(
+            prune_target(IsaKind::Sira64, &f(FaultTarget::Text { word: 0, bit: 0 })),
+            None
+        );
+        let fpr = FaultTarget::Fpr {
+            core: 0,
+            reg: 2,
+            bit: 0,
+        };
+        assert_eq!(prune_target(IsaKind::Sira32, &f(fpr)), None);
+        assert_eq!(
+            prune_target(IsaKind::Sira64, &f(fpr)),
+            Some((0, PruneTarget::Fpr { reg: 2 }))
+        );
+    }
+}

@@ -322,7 +322,7 @@ impl Kernel {
     /// barriers, locks, console and accounting — at the current tick
     /// boundary.
     ///
-    /// Because [`Kernel::tick`] is the only unit of progress and is a
+    /// Because `Kernel::tick` is the only unit of progress and is a
     /// pure function of this state, restoring the snapshot and running
     /// replays the exact tick sequence the original kernel would have
     /// executed, producing bit-identical [`RunReport`]s.
@@ -374,7 +374,7 @@ impl Kernel {
 
     /// True when this kernel's complete state — machine and all
     /// scheduler bookkeeping — is identical to the state `snap`
-    /// captured. Since [`Kernel::tick`] is a pure function of this
+    /// captured. Since `Kernel::tick` is a pure function of this
     /// state, equality means the two executions are indistinguishable
     /// from here on: same tick sequence, same final [`RunReport`].
     ///
@@ -430,6 +430,15 @@ impl Kernel {
 
     /// Executes one scheduling step; `Some` when the run ended.
     fn tick(&mut self, limits: &Limits) -> Option<RunOutcome> {
+        let done = self.tick_inner(limits);
+        // Close the trace tick *after* every kernel-side cost of this
+        // step landed on the core clocks, so traced events carry the
+        // same boundary values `run_until_core_cycle` pauses on.
+        self.machine.trace_tick_end();
+        done
+    }
+
+    fn tick_inner(&mut self, limits: &Limits) -> Option<RunOutcome> {
         if self.machine.max_cycles() >= limits.max_cycles {
             return Some(self.finish(RunOutcome::CycleLimit));
         }
@@ -507,6 +516,7 @@ impl Kernel {
         c.set_halted(false);
         self.core_thread[core] = Some(tid);
         self.dispatched_at[core] = self.machine.core(core).cycles();
+        self.machine.trace_dispatch(core, tid);
     }
 
     /// Places ready threads on parked cores (lowest-clock cores first).
@@ -535,6 +545,7 @@ impl Kernel {
     /// Saves the current thread and schedules something else on `core`.
     fn block_current(&mut self, core: usize, tid: Tid, reason: BlockReason) {
         let ctx = self.machine.core(core).save_context();
+        self.machine.trace_save(core, tid);
         let thread = &mut self.threads[tid as usize];
         thread.ctx = ctx;
         thread.state = ThreadState::Blocked(reason);
@@ -561,6 +572,7 @@ impl Kernel {
             return;
         }
         let ctx = self.machine.core(core).save_context();
+        self.machine.trace_save(core, tid);
         let thread = &mut self.threads[tid as usize];
         thread.ctx = ctx;
         thread.state = ThreadState::Ready;
@@ -734,6 +746,7 @@ impl Kernel {
                     for w in woken {
                         if w != tid {
                             self.threads[w as usize].ctx.regs[0] = 0;
+                            self.machine.trace_ctx_write(w);
                             self.make_ready(w, now);
                         }
                     }
@@ -760,6 +773,7 @@ impl Kernel {
                         if let Some(next) = lock.waiters.pop_front() {
                             lock.held_by = Some(next);
                             self.threads[next as usize].ctx.regs[0] = 0;
+                            self.machine.trace_ctx_write(next);
                             self.make_ready(next, now);
                         } else {
                             lock.held_by = None;
@@ -777,6 +791,7 @@ impl Kernel {
                 if !self.ready.is_empty() {
                     let now = self.machine.core(core).cycles();
                     let ctx = self.machine.core(core).save_context();
+                    self.machine.trace_save(core, tid);
                     let thread = &mut self.threads[tid as usize];
                     thread.ctx = ctx;
                     thread.state = ThreadState::Ready;
@@ -876,6 +891,7 @@ impl Kernel {
             .collect();
         for j in joiners {
             self.threads[j as usize].ctx.regs[0] = ret as u64;
+            self.machine.trace_ctx_write(j);
             self.make_ready(j, now);
         }
     }
@@ -929,6 +945,7 @@ impl Kernel {
                 }
                 if let Some(next) = wake {
                     self.threads[next as usize].ctx.regs[0] = 0;
+                    self.machine.trace_ctx_write(next);
                     self.make_ready(next, now);
                 }
             }
@@ -955,6 +972,7 @@ impl Kernel {
                 }
                 self.threads[rtid as usize].pending_recv = None;
                 self.threads[rtid as usize].ctx.regs[0] = n as u64;
+                self.machine.trace_ctx_write(rtid);
                 self.make_ready(rtid, now);
                 None
             }

@@ -47,11 +47,13 @@ mod ast;
 mod codegen;
 mod error;
 mod lexer;
+mod lint;
 mod parser;
 mod sema;
 
 pub use ast::{BinOp, Expr, Func, Item, Program, Stmt, Ty, UnOp};
 pub use error::CompileError;
+pub use lint::{check_warnings, Warning};
 pub use sema::ProgramInfo;
 
 use fracas_isa::{IsaKind, Object};
@@ -107,4 +109,16 @@ pub fn check(source: &str) -> Result<Program, CompileError> {
     let program = parser::parse(&tokens)?;
     sema::check(&program)?;
     Ok(program)
+}
+
+/// [`check`] plus the unused-write lint: parses, type-checks and
+/// returns any dead-write warnings (never an error by themselves).
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for lexical, syntactic and semantic errors.
+pub fn check_with_warnings(source: &str) -> Result<(Program, Vec<Warning>), CompileError> {
+    let program = check(source)?;
+    let warnings = lint::check_warnings(&program);
+    Ok((program, warnings))
 }

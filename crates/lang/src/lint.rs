@@ -1,0 +1,406 @@
+//! The unused-write lint: the `fracas-analyze` backward-liveness
+//! lattice applied at the AST level. A write to a `let`-declared local
+//! whose value is provably never read — overwritten or falling out of
+//! scope first — is dead code in the guest program and usually a bug in
+//! a benchmark port.
+//!
+//! The pass mirrors the binary-level analysis: a backward may-liveness
+//! walk over each function body, joining at `if`, iterating loops to a
+//! fixpoint, and treating `break`/`continue` as making every local live
+//! (the jump target is not modelled, so the lint must not guess).
+//! Globals and parameters are never reported: a global write is
+//! observable after the function returns, and parameter writes are a
+//! deliberate idiom in the bundled benchmarks. Dead *literal* `let`
+//! initializers are also exempt — FL has no init-free declaration
+//! syntax, so `let int i = 0;` ahead of a rewriting loop is a
+//! declaration, not a lost computation.
+
+use crate::ast::{Expr, ExprKind, Func, Item, Program, Stmt};
+use std::collections::HashSet;
+
+/// One dead-write diagnostic. Warnings never block compilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Warning {
+    /// Source line of the dead write.
+    pub line: u32,
+    /// The local whose assigned value is never read.
+    pub name: String,
+}
+
+impl std::fmt::Display for Warning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "line {}: value assigned to `{}` is never read",
+            self.line, self.name
+        )
+    }
+}
+
+/// Runs the unused-write lint over every function of a checked program,
+/// returning warnings in source-line order.
+pub fn check_warnings(program: &Program) -> Vec<Warning> {
+    let mut warnings = Vec::new();
+    for item in &program.items {
+        if let Item::Func(f) = item {
+            lint_fn(f, &mut warnings);
+        }
+    }
+    warnings.sort_by(|a, b| (a.line, &a.name).cmp(&(b.line, &b.name)));
+    warnings
+}
+
+fn lint_fn(f: &Func, warnings: &mut Vec<Warning>) {
+    let mut lets = HashSet::new();
+    collect_lets(&f.body, &mut lets);
+    let mut tracked = lets.clone();
+    tracked.extend(f.params.iter().map(|(_, name)| name.clone()));
+    let mut linter = Linter {
+        lets: &lets,
+        tracked: &tracked,
+        warnings,
+    };
+    // Nothing is live at function exit; returns reset the set anyway.
+    linter.block(&f.body, HashSet::new(), true);
+}
+
+/// Every `let`-declared name in a body (names are function-unique, so a
+/// flat set is exact).
+fn collect_lets(stmts: &[Stmt], out: &mut HashSet<String>) {
+    for s in stmts {
+        match s {
+            Stmt::Let { name, .. } => {
+                out.insert(name.clone());
+            }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                collect_lets(then_body, out);
+                collect_lets(else_body, out);
+            }
+            Stmt::While { body, .. } => collect_lets(body, out),
+            Stmt::For {
+                init, step, body, ..
+            } => {
+                collect_lets(std::slice::from_ref(init), out);
+                collect_lets(std::slice::from_ref(step), out);
+                collect_lets(body, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A literal (possibly negated) initializer. FL has no plain
+/// declarations, so `let int i = 0;` followed by a loop that rewrites
+/// `i` is the idiomatic spelling of a declaration — a dead literal
+/// init is a placeholder, not a lost computation, and is never
+/// reported.
+fn trivial_init(e: &Expr) -> bool {
+    match &e.kind {
+        ExprKind::IntLit(_) | ExprKind::FloatLit(_) => true,
+        ExprKind::Un(crate::ast::UnOp::Neg, inner) => trivial_init(inner),
+        _ => false,
+    }
+}
+
+/// Adds every variable an expression reads.
+fn uses(e: &Expr, live: &mut HashSet<String>) {
+    match &e.kind {
+        ExprKind::Var(name) => {
+            live.insert(name.clone());
+        }
+        ExprKind::Index(_, idx) => uses(idx, live),
+        ExprKind::Bin(_, l, r) => {
+            uses(l, live);
+            uses(r, live);
+        }
+        ExprKind::Un(_, inner) | ExprKind::Cast(_, inner) => uses(inner, live),
+        ExprKind::Call(_, args) => {
+            for a in args {
+                uses(a, live);
+            }
+        }
+        ExprKind::IntLit(_) | ExprKind::FloatLit(_) | ExprKind::Str(_) => {}
+    }
+}
+
+struct Linter<'a> {
+    /// `let`-declared locals — the only names the lint reports.
+    lets: &'a HashSet<String>,
+    /// All locals (params included): the ⊤ element used at jumps.
+    tracked: &'a HashSet<String>,
+    warnings: &'a mut Vec<Warning>,
+}
+
+impl Linter<'_> {
+    /// Backward liveness over a block: `live` is the live-out set, the
+    /// return value the live-in set. Warnings fire only when `report`
+    /// is set, so loop-fixpoint iterations stay silent.
+    fn block(
+        &mut self,
+        stmts: &[Stmt],
+        mut live: HashSet<String>,
+        report: bool,
+    ) -> HashSet<String> {
+        for s in stmts.iter().rev() {
+            live = self.stmt(s, live, report);
+        }
+        live
+    }
+
+    fn stmt(&mut self, s: &Stmt, mut live: HashSet<String>, report: bool) -> HashSet<String> {
+        match s {
+            Stmt::Let {
+                line, name, init, ..
+            } => {
+                if let Some(e) = init {
+                    if report && !trivial_init(e) && !live.contains(name) {
+                        self.warnings.push(Warning {
+                            line: *line,
+                            name: name.clone(),
+                        });
+                    }
+                }
+                live.remove(name);
+                if let Some(e) = init {
+                    uses(e, &mut live);
+                }
+                live
+            }
+            Stmt::Assign { line, name, value } => {
+                // Global writes are observable past the function and
+                // parameter writes are idiomatic; only `let` locals can
+                // hold a provably dead value.
+                if self.lets.contains(name) {
+                    if report && !live.contains(name) {
+                        self.warnings.push(Warning {
+                            line: *line,
+                            name: name.clone(),
+                        });
+                    }
+                    live.remove(name);
+                }
+                uses(value, &mut live);
+                live
+            }
+            Stmt::AssignIndex { index, value, .. } => {
+                uses(index, &mut live);
+                uses(value, &mut live);
+                live
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let then_in = self.block(then_body, live.clone(), report);
+                let mut live = self.block(else_body, live, report);
+                live.extend(then_in);
+                uses(cond, &mut live);
+                live
+            }
+            Stmt::While { cond, body } => self.loop_live(cond, body, None, live, report),
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                let head = self.loop_live(cond, body, Some(step), live, report);
+                self.stmt(init, head, report)
+            }
+            Stmt::Return { value, .. } => {
+                let mut live = HashSet::new();
+                if let Some(v) = value {
+                    uses(v, &mut live);
+                }
+                live
+            }
+            // The jump target is not modelled: make everything live so
+            // no write between the jump and its target is reported.
+            Stmt::Break { .. } | Stmt::Continue { .. } => self.tracked.clone(),
+            Stmt::ExprStmt(e) => {
+                uses(e, &mut live);
+                live
+            }
+        }
+    }
+
+    /// Live-in of a loop (`while`, or `for` minus its init): iterate
+    /// body ++ step to a fixpoint over the loop-head set, then replay
+    /// the body once for reporting against the stable set.
+    fn loop_live(
+        &mut self,
+        cond: &Expr,
+        body: &[Stmt],
+        step: Option<&Stmt>,
+        exit: HashSet<String>,
+        report: bool,
+    ) -> HashSet<String> {
+        let mut head = exit.clone();
+        uses(cond, &mut head);
+        loop {
+            let step_in = match step {
+                Some(s) => self.stmt(s, head.clone(), false),
+                None => head.clone(),
+            };
+            let body_in = self.block(body, step_in, false);
+            let mut next = exit.clone();
+            uses(cond, &mut next);
+            next.extend(body_in);
+            if next == head {
+                break;
+            }
+            head = next;
+        }
+        if report {
+            let step_in = match step {
+                Some(s) => self.stmt(s, head.clone(), true),
+                None => head.clone(),
+            };
+            self.block(body, step_in, true);
+        }
+        head
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    /// Lints a source snippet and renders the warnings — the snapshot
+    /// the tests compare against.
+    fn snapshot(src: &str) -> Vec<String> {
+        let program = parse(&lex(src).unwrap()).unwrap();
+        crate::sema::check(&program).unwrap();
+        check_warnings(&program)
+            .iter()
+            .map(Warning::to_string)
+            .collect()
+    }
+
+    #[test]
+    fn straight_line_dead_writes() {
+        let warnings = snapshot(
+            "fn f(int n) -> int {\n\
+             let int x = n * 2;\n\
+             x = n + 1;\n\
+             let int dead = 0;\n\
+             dead = n - 1;\n\
+             return x;\n\
+             }",
+        );
+        assert_eq!(
+            warnings,
+            [
+                "line 2: value assigned to `x` is never read",
+                "line 5: value assigned to `dead` is never read",
+            ]
+        );
+    }
+
+    #[test]
+    fn loops_keep_carried_values_live() {
+        // `s` flows around the back edge; `i` is read by cond and step;
+        // the literal placeholder inits are exempt by design.
+        let warnings = snapshot(
+            "fn main() -> int {\n\
+             let int s = 0;\n\
+             let int i = 0;\n\
+             for (i = 0; i < 4; i = i + 1) { s = s + i; }\n\
+             return s;\n\
+             }",
+        );
+        assert!(warnings.is_empty(), "{warnings:?}");
+    }
+
+    #[test]
+    fn branch_join_is_a_may_read() {
+        // Read on one arm only: the write before the `if` is live.
+        let warnings = snapshot(
+            "fn main() -> int {\n\
+             let int x = 1;\n\
+             if (x > 0) { print_int(x); } else { x = 3; }\n\
+             return x;\n\
+             }",
+        );
+        assert!(warnings.is_empty(), "{warnings:?}");
+    }
+
+    #[test]
+    fn overwrite_on_both_arms_kills() {
+        let warnings = snapshot(
+            "fn f(int c) -> int {\n\
+             let int x = c * 5;\n\
+             if (c) { x = 2; } else { x = 3; }\n\
+             return x;\n\
+             }",
+        );
+        assert_eq!(warnings, ["line 2: value assigned to `x` is never read"]);
+    }
+
+    #[test]
+    fn breaks_suppress_the_lint() {
+        // The value written before `break` is consumed after the loop;
+        // the jump is not modelled, so nothing may be reported.
+        let warnings = snapshot(
+            "fn main() -> int {\n\
+             let int x = 0;\n\
+             while (1) { x = 7; break; }\n\
+             return x;\n\
+             }",
+        );
+        assert!(warnings.is_empty(), "{warnings:?}");
+    }
+
+    #[test]
+    fn globals_and_params_are_exempt() {
+        let warnings = snapshot(
+            "global int g;\n\
+             fn f(int p) { g = 1; p = 2; }\n\
+             fn main() -> int { f(0); return g; }",
+        );
+        assert!(warnings.is_empty(), "{warnings:?}");
+    }
+
+    #[test]
+    fn dead_store_into_a_loop_body_is_found() {
+        let warnings = snapshot(
+            "fn main() -> int {\n\
+             let int i = 0;\n\
+             let int t = 0;\n\
+             while (i < 3) {\n\
+             t = i * 2;\n\
+             i = i + 1;\n\
+             }\n\
+             return i;\n\
+             }",
+        );
+        assert_eq!(warnings, ["line 5: value assigned to `t` is never read"]);
+    }
+
+    #[test]
+    fn bundled_benchmarks_are_lint_clean() {
+        // The NPB-T sources ship through this compiler; the lint must
+        // not fire on them (they are the canary for false positives).
+        let src = "global float grid[64];
+             fn init(int n) {
+                 let int i = 0;
+                 for (i = 0; i < n; i = i + 1) { grid[i] = float(i) * 2.0; }
+             }
+             fn main() -> int {
+                 init(64);
+                 let float s = 0.0;
+                 let int i = 0;
+                 while (i < 64) { s = s + grid[i]; i = i + 1; }
+                 if (s > 1000.0) { return 0; }
+                 return 1;
+             }";
+        assert!(snapshot(src).is_empty());
+    }
+}

@@ -333,7 +333,7 @@ impl PhysMem {
     }
 }
 
-/// A set of [`SNAP_PAGE`]-sized page indices, stored as a bitmap. Used
+/// A set of `SNAP_PAGE`-sized page indices, stored as a bitmap. Used
 /// for dirty-page tracking and for bounding snapshot comparisons.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PageSet {

@@ -139,6 +139,7 @@ mod tests {
                 ..Tally::default()
             },
             records: Vec::new(),
+            pruned: 0,
         }
     }
 

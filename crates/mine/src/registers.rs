@@ -131,6 +131,7 @@ mod tests {
                 record(4, Outcome::Vanished),
                 record(4, Outcome::Ona),
             ],
+            pruned: 0,
         };
         let db = Database::from_campaigns(vec![result]);
         let crit = register_criticality(&db, IsaKind::Sira32);

@@ -480,6 +480,7 @@ mod tests {
             },
             tally,
             records: Vec::new(),
+            pruned: 0,
         }
     }
 

@@ -1,0 +1,49 @@
+//! Warning-snapshot over the real corpus: the unused-write lint runs on
+//! every bundled NPB-T program and the snapshot is *empty*. Any new
+//! warning means either a genuine dead store crept into a benchmark
+//! port or the lint grew a false positive — both are PR blockers.
+
+use fracas_lang::check_with_warnings;
+use std::collections::BTreeSet;
+
+#[test]
+fn bundled_programs_have_no_dead_writes() {
+    // One source per (app, model) — the ISA does not change the FL text.
+    let mut seen = BTreeSet::new();
+    let mut snapshot = Vec::new();
+    for scenario in fracas_npb::Scenario::all() {
+        if !seen.insert((scenario.app, scenario.model)) {
+            continue;
+        }
+        // The runtime API header is what `build_image` appends before
+        // compiling; sema needs it for the OMP/MPI declarations.
+        let source = format!("{}\n{}", scenario.source(), fracas_rt::FL_HEADER);
+        let (_, warnings) = check_with_warnings(&source)
+            .unwrap_or_else(|e| panic!("{} fails sema: {e}", scenario.id()));
+        for w in warnings {
+            snapshot.push(format!("{:?}/{:?}: {w}", scenario.app, scenario.model));
+        }
+    }
+    // The guest runtimes themselves are part of every image.
+    for (name, src) in [("omp", fracas_rt::OMP_RT), ("mpi", fracas_rt::MPI_RT)] {
+        let (_, warnings) =
+            check_with_warnings(src).unwrap_or_else(|e| panic!("runtime `{name}` fails sema: {e}"));
+        for w in warnings {
+            snapshot.push(format!("rt/{name}: {w}"));
+        }
+    }
+    assert!(
+        snapshot.is_empty(),
+        "dead writes in bundled programs:\n{}",
+        snapshot.join("\n")
+    );
+}
+
+#[test]
+fn lint_still_fires_on_a_seeded_dead_store() {
+    // Guard against the canary passing because the lint went silent.
+    let (_, warnings) =
+        check_with_warnings("fn f(int n) -> int { let int x = n * 2; x = n; return x; }").unwrap();
+    assert_eq!(warnings.len(), 1);
+    assert_eq!(warnings[0].name, "x");
+}

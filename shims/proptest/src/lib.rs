@@ -357,7 +357,7 @@ pub mod collection {
     use super::strategy::Strategy;
     use super::*;
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Clone)]
     pub struct VecStrategy<S> {
         elem: S,

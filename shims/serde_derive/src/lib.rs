@@ -3,7 +3,8 @@
 //! Hand-rolled over `proc_macro::TokenTree` (no `syn`/`quote`, so the
 //! shim stays dependency-free). Supports the shapes FRACAS uses:
 //! named-field structs, enums with unit and struct variants, and the
-//! field attributes `#[serde(default)]` / `#[serde(default = "path")]`.
+//! field attributes `#[serde(default)]` / `#[serde(default = "path")]`
+//! / `#[serde(skip)]` (omitted on serialize, defaulted on deserialize).
 //! The generated representation matches real serde's externally-tagged
 //! JSON encoding.
 
@@ -16,6 +17,8 @@ type FieldDefault = Option<Option<String>>;
 struct Field {
     name: String,
     default: FieldDefault,
+    /// `#[serde(skip)]`: never serialized, always defaulted.
+    skip: bool,
 }
 
 struct Variant {
@@ -105,9 +108,16 @@ fn parse_input(input: TokenStream) -> (String, Body) {
     (name, body)
 }
 
-/// Parses `#[serde(default)]` / `#[serde(default = "path")]` from one
-/// attribute body (the tokens inside `#[...]`).
-fn parse_serde_default(attr: TokenStream) -> FieldDefault {
+/// A recognised field attribute.
+enum FieldAttr {
+    Default(Option<String>),
+    Skip,
+}
+
+/// Parses `#[serde(default)]` / `#[serde(default = "path")]` /
+/// `#[serde(skip)]` from one attribute body (the tokens inside
+/// `#[...]`).
+fn parse_serde_attr(attr: TokenStream) -> Option<FieldAttr> {
     let toks: Vec<TokenTree> = attr.into_iter().collect();
     if ident_of(toks.first()?).as_deref() != Some("serde") {
         return None;
@@ -116,15 +126,18 @@ fn parse_serde_default(attr: TokenStream) -> FieldDefault {
         Some(TokenTree::Group(g)) => g.stream().into_iter().collect(),
         _ => return None,
     };
-    if ident_of(inner.first()?).as_deref() != Some("default") {
-        return None;
-    }
-    if inner.len() >= 3 && is_punct(&inner[1], '=') {
-        let lit = inner[2].to_string();
-        let path = lit.trim_matches('"').to_string();
-        Some(Some(path))
-    } else {
-        Some(None)
+    match ident_of(inner.first()?).as_deref() {
+        Some("skip") => Some(FieldAttr::Skip),
+        Some("default") => {
+            if inner.len() >= 3 && is_punct(&inner[1], '=') {
+                let lit = inner[2].to_string();
+                let path = lit.trim_matches('"').to_string();
+                Some(FieldAttr::Default(Some(path)))
+            } else {
+                Some(FieldAttr::Default(None))
+            }
+        }
+        _ => None,
     }
 }
 
@@ -134,6 +147,7 @@ fn parse_fields(ts: TokenStream) -> Vec<Field> {
     let mut i = 0;
     while i < toks.len() {
         let mut default: FieldDefault = None;
+        let mut skip = false;
         // Attributes and visibility before the field name.
         loop {
             if i >= toks.len() {
@@ -141,8 +155,10 @@ fn parse_fields(ts: TokenStream) -> Vec<Field> {
             }
             if is_punct(&toks[i], '#') {
                 if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
-                    if let Some(d) = parse_serde_default(g.stream()) {
-                        default = Some(d);
+                    match parse_serde_attr(g.stream()) {
+                        Some(FieldAttr::Default(d)) => default = Some(d),
+                        Some(FieldAttr::Skip) => skip = true,
+                        None => {}
                     }
                 }
                 i += 2;
@@ -173,7 +189,11 @@ fn parse_fields(ts: TokenStream) -> Vec<Field> {
             }
             i += 1;
         }
-        fields.push(Field { name, default });
+        fields.push(Field {
+            name,
+            default,
+            skip,
+        });
     }
     fields
 }
@@ -216,6 +236,9 @@ fn parse_variants(ts: TokenStream) -> Vec<Variant> {
 fn serialize_fields_expr(fields: &[Field], access: &dyn Fn(&str) -> String) -> String {
     let mut entries = String::new();
     for f in fields {
+        if f.skip {
+            continue;
+        }
         entries.push_str(&format!(
             "(\"{0}\".to_string(), ::serde::Serialize::to_value(&{1})),",
             f.name,
@@ -259,6 +282,9 @@ fn gen_serialize(name: &str, body: &Body) -> String {
 
 /// The expression filling one field from `entries` during deserialize.
 fn deserialize_field_expr(type_name: &str, f: &Field) -> String {
+    if f.skip {
+        return format!("{}: ::core::default::Default::default(),", f.name);
+    }
     let missing = match &f.default {
         None => format!(
             "return ::core::result::Result::Err(::serde::DeError::custom(\
