@@ -21,7 +21,8 @@
 //! panicking, erring toward fewer edges on inputs the interpreter would
 //! trap on anyway.
 
-use fracas_isa::{Cond, Inst, InstKind, IsaKind, Reg};
+use fracas_isa::effects::{CtrlFlow, Effects};
+use fracas_isa::{Cond, Inst, IsaKind};
 
 /// Half-open instruction-index range `[start, end)` plus recovered
 /// control-flow edges.
@@ -52,25 +53,10 @@ pub struct Cfg {
 
 /// True when `inst` writes the architected PC through its destination
 /// register (SIRA-32 register 15) — an indirect branch in disguise.
+/// Projected from the declared [`Effects`] rather than a local
+/// destination-register match.
 pub fn writes_pc(isa: IsaKind, inst: &Inst) -> bool {
-    if isa != IsaKind::Sira32 {
-        return false;
-    }
-    let pc = Reg(15);
-    match inst.kind {
-        InstKind::Alu { rd, .. }
-        | InstKind::AluImm { rd, .. }
-        | InstKind::MovImm { rd, .. }
-        | InstKind::Mov { rd, .. }
-        | InstKind::Mvn { rd, .. }
-        | InstKind::Ld { rd, .. }
-        | InstKind::LdR { rd, .. }
-        | InstKind::Swp { rd, .. }
-        | InstKind::AmoAdd { rd, .. }
-        | InstKind::FMovFromFp { rd, .. }
-        | InstKind::Fcvtzs { rd, .. } => rd == pc,
-        _ => false,
-    }
+    Effects::of(isa, inst).pc_def
 }
 
 /// Classification of an instruction's effect on block structure.
@@ -93,25 +79,24 @@ fn terminator(isa: IsaKind, idx: usize, len: usize, inst: &Inst) -> Terminator {
         let t = idx as i64 + 1 + i64::from(off);
         (t >= 0 && (t as usize) < len).then_some(t as usize)
     };
-    match inst.kind {
-        InstKind::B { off } => Terminator::Direct {
+    match Effects::of(isa, inst).ctrl {
+        CtrlFlow::Relative { off, link: false } => Terminator::Direct {
             target: target(off),
             fall: inst.cond != Cond::Al,
         },
         // A call comes back: the fall-through instruction is reachable
         // (via the callee's `ret`), so keep both edges.
-        InstKind::Bl { off } => Terminator::Direct {
+        CtrlFlow::Relative { off, link: true } => Terminator::Direct {
             target: target(off),
             fall: true,
         },
-        InstKind::Blr { .. } | InstKind::Ret => Terminator::Indirect {
+        // `blr`/`ret` and SIRA-32 PC writes: unknown successors.
+        CtrlFlow::Indirect { .. } => Terminator::Indirect {
             fall: inst.cond != Cond::Al,
         },
-        InstKind::Halt => Terminator::Halt,
-        _ if writes_pc(isa, inst) => Terminator::Indirect {
-            fall: inst.cond != Cond::Al,
-        },
-        _ => Terminator::None,
+        CtrlFlow::Halt => Terminator::Halt,
+        // `svc` returns to the next instruction once serviced.
+        CtrlFlow::Fall | CtrlFlow::Svc => Terminator::None,
     }
 }
 
@@ -204,6 +189,7 @@ impl Cfg {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fracas_isa::{InstKind, Reg};
 
     fn b(off: i32) -> Inst {
         Inst::new(InstKind::B { off })

@@ -25,13 +25,20 @@
 //!    elsewhere), so the static side estimates and the dynamic side
 //!    decides.
 //!
-//! Soundness is asymmetric by design, and [`usedef`] is the keeper of
-//! the contract: USE sets may over-approximate (a spurious use only
-//! makes the oracle abstain and the AVF bound looser — real execution
-//! takes over), but DEF sets list only registers *completely*
-//! overwritten on every execution of the instruction (a spurious def
-//! would prune a live fault). Everything above inherits its guarantees
-//! from that asymmetry.
+//! Soundness is asymmetric by design: USE sets may over-approximate (a
+//! spurious use only makes the oracle abstain and the AVF bound looser
+//! — real execution takes over), but DEF sets list only registers
+//! *completely* overwritten on every execution of the instruction (a
+//! spurious def would prune a live fault). Since PR 4 the keeper of
+//! that contract is no longer a hand-written match in this crate:
+//! [`usedef`] and [`mod@cfg`] are thin projections of the declarative
+//! effects layer in [`fracas_isa::effects`] — the same table the
+//! interpreter is conformance-checked against at runtime
+//! (`FRACAS_CHECK_EFFECTS=1` in `fracas-cpu`). The analyzer's model of
+//! the machine and the machine itself are therefore provably the same
+//! model, not two matches that happen to agree; everything above
+//! inherits its guarantees from that single table's asymmetric
+//! contract.
 
 pub mod avf;
 pub mod cfg;

@@ -28,7 +28,8 @@
 
 use crate::cfg::{BasicBlock, Cfg};
 use crate::usedef::{use_def, RegSet, FLAG_ALL};
-use fracas_isa::{Cond, Inst, InstKind, IsaKind};
+use fracas_isa::effects::Effects;
+use fracas_isa::{Cond, Inst, IsaKind};
 
 /// The everything-live top element for `isa` (all architected GPRs and
 /// FPRs, all four flags).
@@ -48,16 +49,10 @@ pub fn all_regs(isa: IsaKind) -> RegSet {
 }
 
 /// True when liveness must give up at `inst` and assume everything is
-/// live (kernel entry, call, return, indirect PC write, halt).
+/// live (kernel entry, call, return, indirect PC write, halt) —
+/// projected from the declared control-flow kind.
 fn is_barrier(isa: IsaKind, inst: &Inst) -> bool {
-    matches!(
-        inst.kind,
-        InstKind::Svc { .. }
-            | InstKind::Bl { .. }
-            | InstKind::Blr { .. }
-            | InstKind::Ret
-            | InstKind::Halt
-    ) || crate::cfg::writes_pc(isa, inst)
+    Effects::of(isa, inst).is_barrier()
 }
 
 /// Per-instruction liveness solution over one text section.
@@ -150,7 +145,7 @@ fn transfer(isa: IsaKind, inst: &Inst, live_out: RegSet, top: RegSet) -> RegSet 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fracas_isa::{AluOp, Reg};
+    use fracas_isa::{AluOp, InstKind, Reg};
 
     fn addi(rd: u8, rn: u8) -> Inst {
         Inst::new(InstKind::AluImm {

@@ -1,105 +1,27 @@
-//! Per-instruction register use/definition sets.
+//! Per-instruction register use/definition sets — a thin projection of
+//! the declarative effects layer ([`fracas_isa::effects`]).
 //!
-//! The one table both halves of the analyzer are built on: the static
-//! backward liveness ([`crate::liveness`]) consumes it per basic-block
-//! instruction, the dynamic prune oracle ([`crate::prune`]) consumes it
-//! per committed trace event.
+//! The static backward liveness ([`crate::liveness`]) consumes it per
+//! basic-block instruction, the dynamic prune oracle ([`crate::prune`])
+//! consumes it per committed trace event. Since PR 4 the sets are no
+//! longer declared here: [`use_def`] projects the uses/defs halves of
+//! [`Effects`], the single `InstKind` table the interpreter itself is
+//! conformance-checked against (`FRACAS_CHECK_EFFECTS=1`), so "the
+//! analyzer's model agrees with the machine" is a machine-checked
+//! invariant rather than two matches that happen to line up.
 //!
-//! The soundness contract is asymmetric, because the two directions of
-//! error have different costs for the pruning oracle:
-//!
-//! * **`uses` may over-approximate.** A spurious use only makes the
-//!   oracle abort and fall back to real execution — conservative but
-//!   correct. `Svc` is the extreme case: the kernel may read any
-//!   argument register and writes the return register, so it is
-//!   modelled as reading *every* GPR ([`UseDef::uses_all_gprs`]).
-//! * **`defs` must be exact full-register overwrites.** A definition
-//!   kills a pending fault without executing it, so `defs` contains a
-//!   register only when the instruction unconditionally rewrites all of
-//!   its bits (every `set_reg`/`set_freg` in the interpreter writes the
-//!   full architectural register, including zero-extending sub-word
-//!   loads). `MovImm { keep: true }` reads the register it writes and
-//!   therefore appears in `uses` as well, which aborts first; flag
-//!   definitions only come from `Cmp`/`CmpImm`/`FpCmp`, which write all
-//!   four NZCV bits.
-//!
-//! On SIRA-32 register 15 is the architected PC: writes to it are
-//! branches, not GPR definitions, so bit 15 is stripped from `defs.gprs`
-//! (reads of it stay in `uses.gprs`, harmlessly — PC faults are handled
-//! by the fetch rule, not by the GPR masks).
+//! The soundness contract is unchanged and now documented with the
+//! table it constrains (see [`fracas_isa::effects`]): **`uses` may
+//! over-approximate** (a spurious use only makes the oracle abstain and
+//! fall back to real execution), while **`defs` must be exact
+//! full-register overwrites** (a spurious def would prune a live
+//! fault). On SIRA-32, writes to r15 are branches, not GPR definitions,
+//! so bit 15 never appears in `defs.gprs`.
 
-use fracas_isa::{Cond, Inst, InstKind, IsaKind};
+use fracas_isa::effects::Effects;
+use fracas_isa::{Inst, IsaKind};
 
-/// NZCV mask bits, aligned with `Machine::flip_flag`'s `which` index
-/// (`1 << which`).
-pub const FLAG_N: u8 = 1 << 0;
-/// Zero flag.
-pub const FLAG_Z: u8 = 1 << 1;
-/// Carry flag.
-pub const FLAG_C: u8 = 1 << 2;
-/// Overflow flag.
-pub const FLAG_V: u8 = 1 << 3;
-/// All four NZCV flags.
-pub const FLAG_ALL: u8 = FLAG_N | FLAG_Z | FLAG_C | FLAG_V;
-
-/// The NZCV bits a condition code reads to decide whether it holds.
-pub fn cond_reads(cond: Cond) -> u8 {
-    match cond {
-        Cond::Al => 0,
-        Cond::Eq | Cond::Ne => FLAG_Z,
-        Cond::Lt | Cond::Ge => FLAG_N | FLAG_V,
-        Cond::Le | Cond::Gt => FLAG_Z | FLAG_N | FLAG_V,
-        Cond::Lo | Cond::Hs => FLAG_C,
-        Cond::Ls | Cond::Hi => FLAG_C | FLAG_Z,
-        Cond::Mi | Cond::Pl => FLAG_N,
-    }
-}
-
-/// A set of architectural registers: GPR and FPR index bitmasks plus an
-/// NZCV mask.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct RegSet {
-    /// GPR indices as a bitmask (bit `i` = register `i`).
-    pub gprs: u32,
-    /// FPR indices as a bitmask.
-    pub fprs: u32,
-    /// NZCV flags as a [`FLAG_N`]-style mask.
-    pub flags: u8,
-}
-
-impl RegSet {
-    /// The empty set.
-    pub const EMPTY: RegSet = RegSet {
-        gprs: 0,
-        fprs: 0,
-        flags: 0,
-    };
-
-    /// Set union.
-    #[must_use]
-    pub fn union(self, other: RegSet) -> RegSet {
-        RegSet {
-            gprs: self.gprs | other.gprs,
-            fprs: self.fprs | other.fprs,
-            flags: self.flags | other.flags,
-        }
-    }
-
-    /// True when the sets share any register or flag.
-    pub fn intersects(self, other: RegSet) -> bool {
-        self.gprs & other.gprs != 0 || self.fprs & other.fprs != 0 || self.flags & other.flags != 0
-    }
-
-    /// Set difference (`self` minus `other`).
-    #[must_use]
-    pub fn minus(self, other: RegSet) -> RegSet {
-        RegSet {
-            gprs: self.gprs & !other.gprs,
-            fprs: self.fprs & !other.fprs,
-            flags: self.flags & !other.flags,
-        }
-    }
-}
+pub use fracas_isa::effects::{cond_reads, RegSet, FLAG_ALL, FLAG_C, FLAG_N, FLAG_V, FLAG_Z};
 
 /// Use/definition summary of one instruction (condition reads
 /// included).
@@ -114,139 +36,22 @@ pub struct UseDef {
     pub uses_all_gprs: bool,
 }
 
-fn gpr(r: fracas_isa::Reg) -> RegSet {
-    RegSet {
-        gprs: 1 << r.index(),
-        ..RegSet::EMPTY
-    }
-}
-
-fn fpr(f: fracas_isa::FReg) -> RegSet {
-    RegSet {
-        fprs: 1 << f.index(),
-        ..RegSet::EMPTY
-    }
-}
-
-fn flags(mask: u8) -> RegSet {
-    RegSet {
-        flags: mask,
-        ..RegSet::EMPTY
-    }
-}
-
-/// The use/def sets of `inst` *when it executes* (predicate holds). An
-/// annulled conditional instruction reads only [`cond_reads`] of its
-/// condition and defines nothing.
+/// The use/def sets of `inst` *when it executes* (predicate holds),
+/// projected from [`Effects::of`]. An annulled conditional instruction
+/// reads only [`cond_reads`] of its condition and defines nothing.
 pub fn use_def(isa: IsaKind, inst: &Inst) -> UseDef {
-    let mut ud = UseDef::default();
-    ud.uses.flags |= cond_reads(inst.cond);
-    match inst.kind {
-        InstKind::Nop | InstKind::Halt | InstKind::B { .. } => {}
-        InstKind::Svc { .. } => ud.uses_all_gprs = true,
-        InstKind::Ret => ud.uses = ud.uses.union(gpr(isa.lr())),
-        InstKind::Alu { rd, rn, rm, .. } => {
-            ud.uses = ud.uses.union(gpr(rn)).union(gpr(rm));
-            ud.defs = ud.defs.union(gpr(rd));
-        }
-        InstKind::AluImm { rd, rn, .. } => {
-            ud.uses = ud.uses.union(gpr(rn));
-            ud.defs = ud.defs.union(gpr(rd));
-        }
-        InstKind::Cmp { rn, rm } => {
-            ud.uses = ud.uses.union(gpr(rn)).union(gpr(rm));
-            ud.defs = ud.defs.union(flags(FLAG_ALL));
-        }
-        InstKind::CmpImm { rn, .. } => {
-            ud.uses = ud.uses.union(gpr(rn));
-            ud.defs = ud.defs.union(flags(FLAG_ALL));
-        }
-        InstKind::MovImm { rd, keep, .. } => {
-            if keep {
-                ud.uses = ud.uses.union(gpr(rd));
-            }
-            ud.defs = ud.defs.union(gpr(rd));
-        }
-        InstKind::Mov { rd, rm } | InstKind::Mvn { rd, rm } => {
-            ud.uses = ud.uses.union(gpr(rm));
-            ud.defs = ud.defs.union(gpr(rd));
-        }
-        InstKind::Ld { rd, rn, .. } => {
-            ud.uses = ud.uses.union(gpr(rn));
-            ud.defs = ud.defs.union(gpr(rd));
-        }
-        InstKind::St { rd, rn, .. } => {
-            ud.uses = ud.uses.union(gpr(rd)).union(gpr(rn));
-        }
-        InstKind::LdR { rd, rn, rm, .. } => {
-            ud.uses = ud.uses.union(gpr(rn)).union(gpr(rm));
-            ud.defs = ud.defs.union(gpr(rd));
-        }
-        InstKind::StR { rd, rn, rm, .. } => {
-            ud.uses = ud.uses.union(gpr(rd)).union(gpr(rn)).union(gpr(rm));
-        }
-        InstKind::Bl { .. } => {
-            ud.defs = ud.defs.union(gpr(isa.lr()));
-        }
-        InstKind::Blr { rm } => {
-            ud.uses = ud.uses.union(gpr(rm));
-            ud.defs = ud.defs.union(gpr(isa.lr()));
-        }
-        InstKind::Swp { rd, rn, rm } | InstKind::AmoAdd { rd, rn, rm } => {
-            ud.uses = ud.uses.union(gpr(rn)).union(gpr(rm));
-            ud.defs = ud.defs.union(gpr(rd));
-        }
-        InstKind::Fp { fd, fa, fb, .. } => {
-            // The interpreter reads both sources even for unary ops.
-            ud.uses = ud.uses.union(fpr(fa)).union(fpr(fb));
-            ud.defs = ud.defs.union(fpr(fd));
-        }
-        InstKind::FpCmp { fa, fb } => {
-            ud.uses = ud.uses.union(fpr(fa)).union(fpr(fb));
-            ud.defs = ud.defs.union(flags(FLAG_ALL));
-        }
-        InstKind::FMovToFp { fd, rn } => {
-            ud.uses = ud.uses.union(gpr(rn));
-            ud.defs = ud.defs.union(fpr(fd));
-        }
-        InstKind::FMovFromFp { rd, fa } => {
-            ud.uses = ud.uses.union(fpr(fa));
-            ud.defs = ud.defs.union(gpr(rd));
-        }
-        InstKind::Fcvtzs { rd, fa } => {
-            ud.uses = ud.uses.union(fpr(fa));
-            ud.defs = ud.defs.union(gpr(rd));
-        }
-        InstKind::Scvtf { fd, rn } => {
-            ud.uses = ud.uses.union(gpr(rn));
-            ud.defs = ud.defs.union(fpr(fd));
-        }
-        InstKind::FLd { fd, rn, .. } => {
-            ud.uses = ud.uses.union(gpr(rn));
-            ud.defs = ud.defs.union(fpr(fd));
-        }
-        InstKind::FSt { fd, rn, .. } => {
-            ud.uses = ud.uses.union(fpr(fd)).union(gpr(rn));
-        }
-        InstKind::FLdR { fd, rn, rm } => {
-            ud.uses = ud.uses.union(gpr(rn)).union(gpr(rm));
-            ud.defs = ud.defs.union(fpr(fd));
-        }
-        InstKind::FStR { fd, rn, rm } => {
-            ud.uses = ud.uses.union(fpr(fd)).union(gpr(rn)).union(gpr(rm));
-        }
+    let fx = Effects::of(isa, inst);
+    UseDef {
+        uses: fx.uses,
+        defs: fx.defs,
+        uses_all_gprs: fx.uses_all_gprs,
     }
-    if isa == IsaKind::Sira32 {
-        // r15 is the PC: writing it is a branch, not a GPR definition.
-        ud.defs.gprs &= !(1 << 15);
-    }
-    ud
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fracas_isa::{AluOp, Reg, Width};
+    use fracas_isa::{AluOp, Cond, InstKind, Reg, Width};
 
     #[test]
     fn movimm_keep_reads_its_destination() {

@@ -1,0 +1,94 @@
+//! Interpreter-throughput baseline: times the EP golden run and records
+//! committed guest instructions per host second in
+//! `BENCH_interpreter.json`, seeding the perf trajectory for later
+//! optimisation PRs.
+//!
+//! ```text
+//! bench_interpreter [--isa sira32|sira64] [--model ser|omp|mpi] [--app NAME]
+//!                   [--cores N] [--reps N] [--out PATH]
+//! ```
+//!
+//! Defaults to `--app ep` (both ISAs, every model/core count): EP is
+//! embarrassingly parallel with a tiny memory footprint, so its golden
+//! run is interpreter-bound and the steps/sec figure tracks raw
+//! dispatch cost rather than cache modelling. Each selected scenario is
+//! golden-run `--reps` times (default 3) and the best rate is kept —
+//! standard practice for wall-clock microbenchmarks, where the minimum
+//! is the least noisy estimator. The effect checker is forced off so
+//! the number measures the production fast path.
+
+use fracas::inject::{golden_run, Workload};
+use fracas::npb::App;
+use fracas_bench::cli::{Parser, ScenarioFilter};
+use std::time::Instant;
+
+const USAGE: &str = "bench_interpreter [--isa sira32|sira64] [--model ser|omp|mpi] [--app NAME]\n\
+     \u{20}                 [--cores N] [--reps N] [--out PATH]";
+
+fn main() {
+    // Measure the production fast path even under a CI environment
+    // that exports the checker knob.
+    std::env::remove_var("FRACAS_CHECK_EFFECTS");
+    let mut filter = ScenarioFilter::default();
+    let mut reps: usize = 3;
+    let mut out = String::from("BENCH_interpreter.json");
+    let mut p = Parser::new(USAGE);
+    while let Some(flag) = p.next_flag() {
+        if filter.accept(&mut p, &flag) {
+            continue;
+        }
+        match flag.as_str() {
+            "--reps" => reps = p.parsed(&flag),
+            "--out" => out = p.value(&flag),
+            other => p.unknown(other),
+        }
+    }
+    if filter.app.is_none() {
+        filter.app = Some(App::Ep);
+    }
+    let scenarios = filter.scenarios();
+    let reps = reps.max(1);
+
+    let mut rows = Vec::new();
+    let (mut total_insts, mut total_secs) = (0u64, 0f64);
+    for s in &scenarios {
+        let workload = Workload::from_scenario(s).unwrap_or_else(|e| panic!("{}: {e}", s.id()));
+        let mut best: Option<(u64, f64)> = None;
+        for _ in 0..reps {
+            let start = Instant::now();
+            let (report, _) = golden_run(&workload);
+            let secs = start.elapsed().as_secs_f64();
+            let insts = report.total_instructions();
+            if best.is_none_or(|(_, b)| secs < b) {
+                best = Some((insts, secs));
+            }
+        }
+        let (insts, secs) = best.expect("reps >= 1");
+        let rate = insts as f64 / secs;
+        eprintln!(
+            "  {}: {insts} instructions in {secs:.3}s = {:.2} Minst/s",
+            s.id(),
+            rate / 1e6
+        );
+        total_insts += insts;
+        total_secs += secs;
+        rows.push(format!(
+            "    {{\"scenario\": \"{}\", \"instructions\": {insts}, \"seconds\": {secs:.6}, \"steps_per_sec\": {:.0}}}",
+            s.id(),
+            rate
+        ));
+    }
+    let aggregate = total_insts as f64 / total_secs;
+    // Hand-rolled JSON: two scalar fields and an array of flat records.
+    let json = format!(
+        "{{\n  \"bench\": \"interpreter_golden_run\",\n  \"reps\": {reps},\n  \
+         \"aggregate_steps_per_sec\": {aggregate:.0},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!(
+        "interpreter: {:.2} Minst/s aggregate over {} scenario(s) -> {out}",
+        aggregate / 1e6,
+        scenarios.len()
+    );
+}

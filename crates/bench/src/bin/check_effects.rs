@@ -1,0 +1,59 @@
+//! Conformance gate: golden-runs scenarios with the runtime effect
+//! checker enabled (`FRACAS_CHECK_EFFECTS=1`) and fails on the first
+//! divergence between the interpreter and the declared
+//! `fracas_isa::effects` table.
+//!
+//! ```text
+//! check_effects [--isa sira32|sira64] [--model ser|omp|mpi] [--app NAME] [--cores N]
+//! ```
+//!
+//! Every committed instruction of every selected golden execution is
+//! verified — register/flag writes, PC update, trap class, cycle charge
+//! and event counters — so a clean exit here is the dynamic half of the
+//! proof that the prune oracle and the machine share one model (the
+//! static half is the read-perturbation differential in
+//! `crates/isa/tests/effects_props.rs`). CI runs one NPB corpus pass
+//! per ISA; locally, run it unfiltered for the full 130-scenario sweep.
+//! A violation panics with the offending instruction and address.
+
+use fracas::inject::{golden_run, Workload};
+use fracas_bench::cli::{Parser, ScenarioFilter};
+use std::time::Instant;
+
+const USAGE: &str =
+    "check_effects [--isa sira32|sira64] [--model ser|omp|mpi] [--app NAME] [--cores N]";
+
+fn main() {
+    // Before any machine is constructed, so the cached env default
+    // turns checking on for every golden run below.
+    std::env::set_var("FRACAS_CHECK_EFFECTS", "1");
+    let mut filter = ScenarioFilter::default();
+    let mut p = Parser::new(USAGE);
+    while let Some(flag) = p.next_flag() {
+        if !filter.accept(&mut p, &flag) {
+            p.unknown(&flag);
+        }
+    }
+    let scenarios = filter.scenarios();
+    eprintln!("effect-checking {} golden execution(s)...", scenarios.len());
+    let start = Instant::now();
+    let mut checked: u64 = 0;
+    for (i, s) in scenarios.iter().enumerate() {
+        let workload = Workload::from_scenario(s).unwrap_or_else(|e| panic!("{}: {e}", s.id()));
+        let (report, _) = golden_run(&workload);
+        let n = report.total_instructions();
+        checked += n;
+        eprintln!(
+            "  [{}/{}] {}: {} instructions conform",
+            i + 1,
+            scenarios.len(),
+            s.id(),
+            n
+        );
+    }
+    println!(
+        "effects conformance: {checked} instructions across {} scenario(s), 0 violations ({:.1}s)",
+        scenarios.len(),
+        start.elapsed().as_secs_f64()
+    );
+}

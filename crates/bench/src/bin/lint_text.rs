@@ -1,0 +1,66 @@
+//! Binary-level dead-write lint over linked NPB images: runs
+//! `fracas_lang::check_text_warnings` (CFG + liveness projections of
+//! `fracas_isa::effects`) on every selected scenario's text section and
+//! reports emitted-but-provably-dead register writes.
+//!
+//! ```text
+//! lint_text [--isa sira32|sira64] [--model ser|omp|mpi] [--app NAME] [--cores N]
+//!           [--max N] [--verbose]
+//! ```
+//!
+//! The corpus is not warning-free: the O1 backend materialises FL's
+//! mandatory literal `let` initializers even when a loop init
+//! immediately rewrites the register (1,598 such movs across all 130
+//! images at the time of writing — the same pattern the AST lint
+//! exempts by design). `--max N` turns the run into a regression gate:
+//! exit 1 when the total exceeds the recorded budget, so new dead
+//! writes cannot slip into the backend unnoticed.
+
+use fracas::inject::Workload;
+use fracas::lang::check_text_warnings;
+use fracas_bench::cli::{Parser, ScenarioFilter};
+
+const USAGE: &str = "lint_text [--isa sira32|sira64] [--model ser|omp|mpi] [--app NAME] \
+     [--cores N] [--max N] [--verbose]";
+
+fn main() {
+    let mut filter = ScenarioFilter::default();
+    let mut max: Option<usize> = None;
+    let mut verbose = false;
+    let mut p = Parser::new(USAGE);
+    while let Some(flag) = p.next_flag() {
+        if filter.accept(&mut p, &flag) {
+            continue;
+        }
+        match flag.as_str() {
+            "--max" => max = Some(p.parsed(&flag)),
+            "--verbose" => verbose = true,
+            other => p.unknown(other),
+        }
+    }
+    let scenarios = filter.scenarios();
+    let mut total = 0usize;
+    let mut linted = 0usize;
+    for s in &scenarios {
+        let workload = Workload::from_scenario(s).unwrap_or_else(|e| panic!("{}: {e}", s.id()));
+        let warnings = check_text_warnings(s.isa, &workload.image.text);
+        linted += 1;
+        if !warnings.is_empty() {
+            println!("{}: {} dead write(s)", s.id(), warnings.len());
+            if verbose {
+                for w in &warnings {
+                    println!("  {w}");
+                }
+            }
+            total += warnings.len();
+        }
+    }
+    println!("text lint: {total} dead write(s) across {linted} image(s)");
+    if let Some(budget) = max {
+        if total > budget {
+            println!("budget exceeded: {total} > {budget}");
+            std::process::exit(1);
+        }
+        println!("within budget ({total} <= {budget})");
+    }
+}

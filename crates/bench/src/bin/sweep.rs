@@ -14,152 +14,18 @@
 //! bit-identical to an uninterrupted sweep. Environment knobs
 //! (`FRACAS_FAULTS`, `FRACAS_EPSILON`, ...) supply defaults; flags win.
 
-use fracas::isa::IsaKind;
-use fracas::npb::{App, Model, Scenario};
-use std::path::PathBuf;
-use std::process::exit;
+use fracas_bench::cli::SweepOpts;
 
-struct Args {
-    isa: Option<IsaKind>,
-    model: Option<Model>,
-    app: Option<App>,
-    cores: Option<u32>,
-    faults: Option<usize>,
-    epsilon: Option<f64>,
-    threads: Option<usize>,
-    seed: Option<u64>,
-    db: Option<PathBuf>,
-    sink: Option<PathBuf>,
-    prune_dead: bool,
-}
-
-fn usage() -> ! {
-    eprintln!(
-        "usage: sweep [--isa sira32|sira64] [--model ser|omp|mpi] [--app NAME] [--cores N]\n\
-         \u{20}            [--faults N] [--epsilon E] [--threads N] [--seed N] [--db PATH] [--sink PATH]\n\
-         \u{20}            [--prune-dead]"
-    );
-    exit(2)
-}
-
-fn parse_args() -> Args {
-    let mut args = Args {
-        isa: None,
-        model: None,
-        app: None,
-        cores: None,
-        faults: None,
-        epsilon: None,
-        threads: None,
-        seed: None,
-        db: None,
-        sink: None,
-        prune_dead: false,
-    };
-    let mut it = std::env::args().skip(1);
-    while let Some(flag) = it.next() {
-        let mut value = || {
-            it.next().unwrap_or_else(|| {
-                eprintln!("missing value for {flag}");
-                usage()
-            })
-        };
-        match flag.as_str() {
-            "--isa" => {
-                args.isa = Some(match value().as_str() {
-                    "sira32" => IsaKind::Sira32,
-                    "sira64" => IsaKind::Sira64,
-                    other => {
-                        eprintln!("unknown ISA {other}");
-                        usage()
-                    }
-                });
-            }
-            "--model" => {
-                args.model = Some(match value().as_str() {
-                    "ser" | "serial" => Model::Serial,
-                    "omp" => Model::Omp,
-                    "mpi" => Model::Mpi,
-                    other => {
-                        eprintln!("unknown model {other}");
-                        usage()
-                    }
-                });
-            }
-            "--app" => {
-                let name = value().to_uppercase();
-                args.app = Some(
-                    App::ALL
-                        .into_iter()
-                        .find(|a| a.name() == name)
-                        .unwrap_or_else(|| {
-                            eprintln!("unknown app {name}");
-                            usage()
-                        }),
-                );
-            }
-            "--cores" => args.cores = Some(parse_or_usage(&value(), "--cores")),
-            "--faults" => args.faults = Some(parse_or_usage(&value(), "--faults")),
-            "--epsilon" => args.epsilon = Some(parse_or_usage(&value(), "--epsilon")),
-            "--threads" => args.threads = Some(parse_or_usage(&value(), "--threads")),
-            "--seed" => args.seed = Some(parse_or_usage(&value(), "--seed")),
-            "--db" => args.db = Some(PathBuf::from(value())),
-            "--sink" => args.sink = Some(PathBuf::from(value())),
-            // Short-circuit provably-masked injections; the database is
-            // byte-identical with or without this flag, only faster.
-            "--prune-dead" => args.prune_dead = true,
-            "--help" | "-h" => usage(),
-            other => {
-                eprintln!("unknown flag {other}");
-                usage()
-            }
-        }
-    }
-    args
-}
-
-fn parse_or_usage<T: std::str::FromStr>(text: &str, flag: &str) -> T {
-    text.parse().unwrap_or_else(|_| {
-        eprintln!("bad value {text:?} for {flag}");
-        usage()
-    })
-}
+const USAGE: &str = "sweep [--isa sira32|sira64] [--model ser|omp|mpi] [--app NAME] [--cores N]\n\
+     \u{20}            [--faults N] [--epsilon E] [--threads N] [--seed N] [--db PATH] [--sink PATH]\n\
+     \u{20}            [--prune-dead]";
 
 fn main() {
-    let args = parse_args();
-    let scenarios: Vec<Scenario> = Scenario::all()
-        .into_iter()
-        .filter(|s| args.isa.is_none_or(|isa| s.isa == isa))
-        .filter(|s| args.model.is_none_or(|m| s.model == m))
-        .filter(|s| args.app.is_none_or(|a| s.app == a))
-        .filter(|s| args.cores.is_none_or(|c| s.cores == c))
-        .collect();
-    if scenarios.is_empty() {
-        eprintln!("no scenario matches the given filters");
-        exit(1);
-    }
-    let mut config = fracas_bench::fleet_config();
-    if let Some(v) = args.faults {
-        config.campaign.faults = v;
-    }
-    if let Some(v) = args.epsilon {
-        config.epsilon = v;
-    }
-    if let Some(v) = args.threads {
-        config.campaign.threads = v;
-    }
-    if let Some(v) = args.seed {
-        config.campaign.seed = v;
-    }
-    if args.prune_dead {
-        config.campaign.prune_dead = true;
-    }
-    let db_path = args.db.unwrap_or_else(fracas_bench::db_path);
-    let sink = args.sink.unwrap_or_else(|| {
-        let mut p = db_path.clone().into_os_string();
-        p.push(".wal");
-        PathBuf::from(p)
-    });
+    let opts = SweepOpts::parse(USAGE);
+    let scenarios = opts.filter.scenarios();
+    let config = opts.fleet_config();
+    let db_path = opts.db_path();
+    let sink = opts.sink_path(&db_path);
     let db = fracas_bench::run_sweep(&scenarios, &config, &db_path, &sink);
     println!(
         "database covers {} campaign(s) -> {}",

@@ -28,6 +28,7 @@ use fracas::npb::Scenario;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
+pub mod cli;
 pub mod reports;
 
 /// The database path from `FRACAS_DB` (default `fracas_campaigns.jsonl`

@@ -1,5 +1,6 @@
 //! Instruction timing models.
 
+use fracas_isa::effects::CostClass;
 use fracas_isa::IsaKind;
 
 /// Per-instruction-class cycle costs for one CPU model.
@@ -74,6 +75,31 @@ impl CostModel {
         match isa {
             IsaKind::Sira32 => CostModel::a9(),
             IsaKind::Sira64 => CostModel::a72(),
+        }
+    }
+
+    /// Cycles charged for one instruction of the given static cost
+    /// class — the entire per-instruction charge except the two dynamic
+    /// surcharges (cache-miss penalties and the taken-branch redirect
+    /// cost), which the interpreter adds separately.
+    ///
+    /// Specialised instructions charge the base issue cost plus the
+    /// amount by which their unit cost exceeds it (so a `mul` cheaper
+    /// than `base` still costs `base`); atomics and FP ops charge their
+    /// unit cost fully on top of issue; a supervisor call's trap
+    /// entry/exit overhead replaces the base cost entirely.
+    pub fn charge(&self, class: CostClass) -> u32 {
+        match class {
+            CostClass::Base => self.base,
+            CostClass::Mul => self.base + self.mul - self.base.min(self.mul),
+            CostClass::Div => self.base + self.div - self.base.min(self.div),
+            CostClass::Mem => self.base + self.mem - self.base.min(self.mem),
+            CostClass::Atomic => self.base + self.mem,
+            CostClass::FpAdd => self.base + self.fp_add,
+            CostClass::FpMul => self.base + self.fp_mul,
+            CostClass::FpDiv => self.base + self.fp_div,
+            CostClass::FpSqrt => self.base + self.fp_sqrt,
+            CostClass::Svc => self.svc,
         }
     }
 }

@@ -47,6 +47,7 @@
 //! # }
 //! ```
 
+mod check;
 mod cost;
 mod machine;
 mod state;

@@ -2,6 +2,7 @@
 
 use crate::trace::{ExecTrace, TraceKind};
 use crate::{Core, CostModel, Flags, Trap};
+use fracas_isa::effects;
 use fracas_isa::{AluOp, FReg, FpOp, Image, Inst, InstKind, IsaKind, Reg, Width};
 use fracas_mem::{
     Access, AccessKind, CacheParams, MemSnapshot, MemSystem, PageSet, PermissionMap, Perms, PhysMem,
@@ -118,6 +119,11 @@ pub struct Machine {
     /// was called. An observer like `profile`: it never influences
     /// execution and is excluded from snapshots.
     trace: Option<ExecTrace>,
+    /// Per-step effects conformance checking (see [`crate::check`]).
+    /// Initialised from `FRACAS_CHECK_EFFECTS`; an observer like
+    /// `profile`/`trace`, so it is excluded from snapshots and state
+    /// comparison and never influences execution.
+    check_effects: bool,
 }
 
 /// A frozen copy of a [`Machine`] at one tick boundary, captured by
@@ -174,6 +180,7 @@ impl Machine {
             caches: MemSystem::new(cores, cache),
             profile: None,
             trace: None,
+            check_effects: crate::check::enabled_from_env(),
         }
     }
 
@@ -210,6 +217,20 @@ impl Machine {
     /// Replaces the timing model (used by timing-sensitivity ablations).
     pub fn set_cost_model(&mut self, cost: CostModel) {
         self.cost = cost;
+    }
+
+    /// True when per-step effects conformance checking is on.
+    pub fn effect_check(&self) -> bool {
+        self.check_effects
+    }
+
+    /// Turns per-step effects conformance checking on or off,
+    /// overriding the `FRACAS_CHECK_EFFECTS` environment default. When
+    /// on, every executed instruction is verified against its declared
+    /// [`fracas_isa::Effects`] (see the `check` module); a divergence
+    /// panics. Checking observes execution without influencing it.
+    pub fn set_effect_check(&mut self, on: bool) {
+        self.check_effects = on;
     }
 
     /// Number of cores.
@@ -480,6 +501,7 @@ impl Machine {
             caches: snap.caches.clone(),
             profile: None,
             trace: None,
+            check_effects: crate::check::enabled_from_env(),
         }
     }
 
@@ -592,6 +614,24 @@ impl Machine {
             return StepResult::Executed;
         }
 
+        if self.check_effects {
+            // Capture the pre-state *after* fetch and condition
+            // handling so the fetch-cache penalty is excluded from the
+            // checker's cycle accounting.
+            let pre = self.cores[core].clone();
+            let result = self.exec(core, perm, pc, inst, holds);
+            crate::check::verify(&crate::check::StepObs {
+                isa: self.isa,
+                cost: self.cost,
+                pre: &pre,
+                post: &self.cores[core],
+                inst: &inst,
+                pc,
+                cond_holds: holds,
+                result,
+            });
+            return result;
+        }
         self.exec(core, perm, pc, inst, holds)
     }
 
@@ -621,7 +661,10 @@ impl Machine {
             }};
         }
 
-        let mut cycles = u64::from(cost.base);
+        // The whole static charge comes from the declared cost class;
+        // the arms below add only the dynamic surcharges (taken-branch
+        // redirects; cache penalties go in via the load/store helpers).
+        let mut cycles = u64::from(cost.charge(effects::cost_class(&inst.kind)));
 
         match inst.kind {
             InstKind::Nop => {}
@@ -633,7 +676,7 @@ impl Machine {
             InstKind::Svc { imm } => {
                 let c = &mut self.cores[core];
                 c.stats.svcs += 1;
-                c.cycles += u64::from(cost.svc);
+                c.cycles += cycles;
                 return StepResult::Svc(imm);
             }
             InstKind::Ret => {
@@ -648,7 +691,6 @@ impl Machine {
                     Some(v) => self.cores[core].set_reg(rd, v),
                     None => trap!(Trap::DivByZero { pc }),
                 }
-                cycles += u64::from(alu_extra(op, cost));
             }
             InstKind::AluImm { op, rd, rn, imm } => {
                 let a = self.cores[core].reg(rn);
@@ -657,7 +699,6 @@ impl Machine {
                     Some(v) => self.cores[core].set_reg(rd, v),
                     None => trap!(Trap::DivByZero { pc }),
                 }
-                cycles += u64::from(alu_extra(op, cost));
             }
             InstKind::Cmp { rn, rm } => {
                 let a = self.cores[core].reg(rn);
@@ -698,7 +739,6 @@ impl Machine {
                     Ok(v) => self.cores[core].set_reg(rd, v),
                     Err(t) => trap!(t),
                 }
-                cycles += u64::from(cost.mem - cost.base.min(cost.mem));
             }
             InstKind::St { width, rd, rn, off } => {
                 let addr = (self.cores[core].reg(rn) as u32).wrapping_add(off as i32 as u32);
@@ -706,7 +746,6 @@ impl Machine {
                 if let Err(t) = self.store(core, perm, width, addr, v) {
                     trap!(t);
                 }
-                cycles += u64::from(cost.mem - cost.base.min(cost.mem));
             }
             InstKind::LdR { width, rd, rn, rm } => {
                 let addr =
@@ -715,7 +754,6 @@ impl Machine {
                     Ok(v) => self.cores[core].set_reg(rd, v),
                     Err(t) => trap!(t),
                 }
-                cycles += u64::from(cost.mem - cost.base.min(cost.mem));
             }
             InstKind::StR { width, rd, rn, rm } => {
                 let addr =
@@ -724,7 +762,6 @@ impl Machine {
                 if let Err(t) = self.store(core, perm, width, addr, v) {
                     trap!(t);
                 }
-                cycles += u64::from(cost.mem - cost.base.min(cost.mem));
             }
             InstKind::B { off } => {
                 let c = &mut self.cores[core];
@@ -762,7 +799,6 @@ impl Machine {
                     }
                     Err(t) => trap!(t),
                 }
-                cycles += u64::from(cost.mem);
             }
             InstKind::AmoAdd { rd, rn, rm } => {
                 let addr = self.cores[core].reg(rn) as u32;
@@ -777,7 +813,6 @@ impl Machine {
                     }
                     Err(t) => trap!(t),
                 }
-                cycles += u64::from(cost.mem);
             }
             InstKind::Fp { op, fd, fa, fb } => {
                 let a = self.cores[core].freg_f64(fa);
@@ -794,7 +829,6 @@ impl Machine {
                 };
                 self.cores[core].set_freg_f64(fd, v);
                 self.cores[core].stats.fp_ops += 1;
-                cycles += u64::from(fp_extra(op, cost));
             }
             InstKind::FpCmp { fa, fb } => {
                 let a = self.cores[core].freg_f64(fa);
@@ -816,7 +850,6 @@ impl Machine {
                 };
                 self.cores[core].set_flags(f);
                 self.cores[core].stats.fp_ops += 1;
-                cycles += u64::from(cost.fp_add);
             }
             InstKind::FMovToFp { fd, rn } => {
                 let v = self.cores[core].reg(rn);
@@ -834,13 +867,11 @@ impl Machine {
                 let v = if a.is_nan() { 0 } else { a as i64 };
                 self.cores[core].set_reg(rd, v as u64);
                 self.cores[core].stats.fp_ops += 1;
-                cycles += u64::from(cost.fp_add);
             }
             InstKind::Scvtf { fd, rn } => {
                 let v = self.cores[core].reg(rn) as i64;
                 self.cores[core].set_freg_f64(fd, v as f64);
                 self.cores[core].stats.fp_ops += 1;
-                cycles += u64::from(cost.fp_add);
             }
             InstKind::FLd { fd, rn, off } => {
                 let addr = (self.cores[core].reg(rn) as u32).wrapping_add(off as i32 as u32);
@@ -849,7 +880,6 @@ impl Machine {
                     Err(t) => trap!(t),
                 }
                 self.cores[core].stats.fp_ops += 1;
-                cycles += u64::from(cost.mem - cost.base.min(cost.mem));
             }
             InstKind::FSt { fd, rn, off } => {
                 let addr = (self.cores[core].reg(rn) as u32).wrapping_add(off as i32 as u32);
@@ -858,7 +888,6 @@ impl Machine {
                     trap!(t);
                 }
                 self.cores[core].stats.fp_ops += 1;
-                cycles += u64::from(cost.mem - cost.base.min(cost.mem));
             }
             InstKind::FLdR { fd, rn, rm } => {
                 let addr =
@@ -868,7 +897,6 @@ impl Machine {
                     Err(t) => trap!(t),
                 }
                 self.cores[core].stats.fp_ops += 1;
-                cycles += u64::from(cost.mem - cost.base.min(cost.mem));
             }
             InstKind::FStR { fd, rn, rm } => {
                 let addr =
@@ -878,7 +906,6 @@ impl Machine {
                     trap!(t);
                 }
                 self.cores[core].stats.fp_ops += 1;
-                cycles += u64::from(cost.mem - cost.base.min(cost.mem));
             }
         }
 
@@ -1075,23 +1102,6 @@ fn alu_exec(op: AluOp, a: u64, b: u64, bits: u32) -> Option<u64> {
         }
     };
     Some(v & m)
-}
-
-fn alu_extra(op: AluOp, cost: CostModel) -> u32 {
-    match op {
-        AluOp::Mul | AluOp::Muh => cost.mul - cost.base.min(cost.mul),
-        AluOp::Sdiv | AluOp::Srem => cost.div - cost.base.min(cost.div),
-        _ => 0,
-    }
-}
-
-fn fp_extra(op: FpOp, cost: CostModel) -> u32 {
-    match op {
-        FpOp::Fadd | FpOp::Fsub | FpOp::Fneg | FpOp::Fabs | FpOp::Fmov => cost.fp_add,
-        FpOp::Fmul => cost.fp_mul,
-        FpOp::Fdiv => cost.fp_div,
-        FpOp::Fsqrt => cost.fp_sqrt,
-    }
 }
 
 /// NZCV from `a - b` at the given width.

@@ -46,6 +46,15 @@ fn ep_sira32_prunes_identically() {
 fn ep_sira64_prunes_identically() {
     let pruned = differential(App::Ep, IsaKind::Sira64, 50);
     assert!(pruned.pruned > 0, "no fault was decided statically");
+    // The exact skip set is part of the PR 4 refactor contract: the
+    // oracle now consumes use/def sets projected from
+    // `fracas_isa::effects`, and this scenario must short-circuit the
+    // same 33 of 50 faults the hand-written match pruned (the PR 3
+    // baseline). A change here means the projection moved the oracle.
+    assert_eq!(
+        pruned.pruned, 33,
+        "EP/SIRA-64 skip set drifted from the 33/50 baseline"
+    );
 }
 
 #[test]

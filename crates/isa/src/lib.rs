@@ -37,15 +37,18 @@
 
 mod asm;
 mod cond;
+pub mod effects;
 mod encode;
 mod error;
 mod inst;
 mod isa;
 mod object;
 mod reg;
+pub mod sample;
 
 pub use asm::{Asm, Label};
 pub use cond::Cond;
+pub use effects::{CostClass, CtrlFlow, Effects, MemEffect, RegSet, TrapClass};
 pub use encode::{decode, encode};
 pub use error::{DecodeError, IsaError, LinkError};
 pub use inst::{AluOp, FpOp, Inst, InstKind, Width};

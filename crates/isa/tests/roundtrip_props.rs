@@ -1,145 +1,13 @@
 //! Encode/decode round-trip property: every *valid* instruction of
 //! either ISA survives `decode(encode(inst)) == inst` exactly. The
-//! generator draws raw entropy and maps it onto the valid instruction
-//! space (in-range registers, 11-bit immediates, 21-bit branch offsets,
-//! per-ISA condition and FP rules), then cross-checks itself against
-//! `IsaKind::validate` so the property cannot silently shrink its
-//! domain.
+//! shared `fracas_isa::sample` generator draws raw entropy and maps it
+//! onto the valid instruction space (in-range registers, 11-bit
+//! immediates, 21-bit branch offsets, per-ISA condition and FP rules);
+//! this property cross-checks it against `IsaKind::validate` so the
+//! generator cannot silently shrink its domain.
 
-use fracas_isa::{decode, encode, AluOp, Cond, FReg, FpOp, Inst, InstKind, IsaKind, Reg, Width};
+use fracas_isa::{decode, encode, sample, IsaKind};
 use proptest::prelude::*;
-
-fn gpr(isa: IsaKind, x: u64) -> Reg {
-    Reg((x % u64::from(isa.gpr_count())) as u8)
-}
-
-fn fpr(isa: IsaKind, x: u64) -> FReg {
-    // SIRA-32 has no FPRs; the FP kinds are never selected there, so
-    // the placeholder register is never used.
-    FReg((x % u64::from(isa.fpr_count().max(1))) as u8)
-}
-
-fn imm11(x: u64) -> i16 {
-    ((x % 2048) as i16) - 1024
-}
-
-fn off21(x: u64) -> i32 {
-    ((x % (1 << 21)) as i32) - (1 << 20)
-}
-
-fn width(x: u64) -> Width {
-    [Width::Word, Width::Byte, Width::Half][(x % 3) as usize]
-}
-
-/// Deterministically maps four entropy words onto one valid
-/// instruction for `isa`. SIRA-32 never draws the FP kinds (20..30)
-/// and conditionalises anything; SIRA-64 draws all kinds but keeps the
-/// condition on branches only.
-fn build(isa: IsaKind, sel: u64, a: u64, b: u64, c: u64) -> Inst {
-    let n_kinds = match isa {
-        IsaKind::Sira32 => 20,
-        IsaKind::Sira64 => 30,
-    };
-    let rd = gpr(isa, a);
-    let rn = gpr(isa, b);
-    let rm = gpr(isa, c);
-    let fd = fpr(isa, a);
-    let fa = fpr(isa, b);
-    let fb = fpr(isa, c);
-    let kind = match sel % n_kinds {
-        0 => InstKind::Nop,
-        1 => InstKind::Halt,
-        2 => InstKind::Svc {
-            imm: (a % 0x1_0000) as u16,
-        },
-        3 => InstKind::Ret,
-        4 => InstKind::Alu {
-            op: AluOp::ALL[(sel / n_kinds % 12) as usize],
-            rd,
-            rn,
-            rm,
-        },
-        5 => InstKind::AluImm {
-            op: AluOp::ALL[(sel / n_kinds % 12) as usize],
-            rd,
-            rn,
-            imm: imm11(c),
-        },
-        6 => InstKind::Cmp { rn, rm },
-        7 => InstKind::CmpImm { rn, imm: imm11(c) },
-        8 => InstKind::MovImm {
-            rd,
-            imm: (b % 0x1_0000) as u16,
-            shift: (c % (u64::from(isa.max_mov_shift()) + 1)) as u8,
-            keep: a % 2 == 1,
-        },
-        9 => InstKind::Mov { rd, rm },
-        10 => InstKind::Mvn { rd, rm },
-        11 => InstKind::Ld {
-            width: width(sel / n_kinds),
-            rd,
-            rn,
-            off: imm11(c),
-        },
-        12 => InstKind::St {
-            width: width(sel / n_kinds),
-            rd,
-            rn,
-            off: imm11(c),
-        },
-        13 => InstKind::LdR {
-            width: width(sel / n_kinds),
-            rd,
-            rn,
-            rm,
-        },
-        14 => InstKind::StR {
-            width: width(sel / n_kinds),
-            rd,
-            rn,
-            rm,
-        },
-        15 => InstKind::B { off: off21(a) },
-        16 => InstKind::Bl { off: off21(a) },
-        17 => InstKind::Blr { rm },
-        18 => InstKind::Swp { rd, rn, rm },
-        19 => InstKind::AmoAdd { rd, rn, rm },
-        20 => InstKind::Fp {
-            op: FpOp::ALL[(sel / n_kinds % 8) as usize],
-            fd,
-            fa,
-            fb,
-        },
-        21 => InstKind::FpCmp { fa, fb },
-        22 => InstKind::FMovToFp { fd, rn },
-        23 => InstKind::FMovFromFp { rd, fa },
-        24 => InstKind::Fcvtzs { rd, fa },
-        25 => InstKind::Scvtf { fd, rn },
-        26 => InstKind::FLd {
-            fd,
-            rn,
-            off: imm11(c),
-        },
-        27 => InstKind::FSt {
-            fd,
-            rn,
-            off: imm11(c),
-        },
-        28 => InstKind::FLdR { fd, rn, rm },
-        _ => InstKind::FStR { fd, rn, rm },
-    };
-    let cond = match isa {
-        IsaKind::Sira32 => Cond::ALL[(c % 13) as usize],
-        IsaKind::Sira64 => {
-            if matches!(kind, InstKind::B { .. }) {
-                Cond::ALL[(c % 13) as usize]
-            } else {
-                Cond::Al
-            }
-        }
-    };
-    Inst { cond, kind }
-}
 
 fn roundtrip(
     isa: IsaKind,
@@ -148,7 +16,7 @@ fn roundtrip(
     b: u64,
     c: u64,
 ) -> Result<(), proptest::test_runner::TestCaseError> {
-    let inst = build(isa, sel, a, b, c);
+    let inst = sample::inst(isa, sel, a, b, c);
     prop_assert!(
         isa.validate(&inst).is_ok(),
         "generator produced an invalid instruction for {isa}: {inst} ({:?})",

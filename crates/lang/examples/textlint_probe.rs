@@ -1,0 +1,24 @@
+//! Developer probe: dump the compiled text of a snippet with per-index
+//! text-lint verdicts (used while tuning the binary-level lint).
+use fracas_isa::IsaKind;
+use fracas_lang::{check_text_warnings, compile_with, OptLevel};
+
+fn main() {
+    let src = "fn main() -> int {
+                 let int s = 0;
+                 let int i = 0;
+                 for (i = 0; i < 8; i = i + 1) { s = s + i; }
+                 return s;
+             }";
+    for isa in [IsaKind::Sira32, IsaKind::Sira64] {
+        for opt in [OptLevel::O0, OptLevel::O1] {
+            let obj = compile_with(src, isa, opt).unwrap();
+            let warnings = check_text_warnings(isa, &obj.text);
+            println!("== {isa} {opt:?} ({} warnings) ==", warnings.len());
+            for (i, inst) in obj.text.iter().enumerate() {
+                let dead = warnings.iter().any(|w| w.index == i);
+                println!("  {i:3}: {inst}{}", if dead { "   <-- dead" } else { "" });
+            }
+        }
+    }
+}

@@ -53,7 +53,7 @@ mod sema;
 
 pub use ast::{BinOp, Expr, Func, Item, Program, Stmt, Ty, UnOp};
 pub use error::CompileError;
-pub use lint::{check_warnings, Warning};
+pub use lint::{check_text_warnings, check_warnings, TextWarning, Warning};
 pub use sema::ProgramInfo;
 
 use fracas_isa::{IsaKind, Object};

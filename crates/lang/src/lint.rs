@@ -14,8 +14,20 @@
 //! initializers are also exempt — FL has no init-free declaration
 //! syntax, so `let int i = 0;` ahead of a rewriting loop is a
 //! declaration, not a lost computation.
+//!
+//! A second, binary-level pass ([`check_text_warnings`]) runs the same
+//! question over *emitted* code: `fracas-analyze`'s CFG recovery and
+//! backward liveness — both projections of the declarative
+//! [`fracas_isa::effects`] table — flag instructions whose every
+//! defined register is provably dead at the next instruction. The
+//! AST lint catches dead source, this one catches dead codegen; both
+//! lean on the single effects layer rather than a private register
+//! model.
 
 use crate::ast::{Expr, ExprKind, Func, Item, Program, Stmt};
+use fracas_analyze::{use_def, Cfg, Liveness};
+use fracas_isa::effects::{CtrlFlow, Effects, MemEffect, TrapClass};
+use fracas_isa::{Cond, Inst, IsaKind};
 use std::collections::HashSet;
 
 /// One dead-write diagnostic. Warnings never block compilation.
@@ -267,6 +279,77 @@ impl Linter<'_> {
     }
 }
 
+/// One binary-level dead-write diagnostic: an emitted instruction whose
+/// every defined register is provably never read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextWarning {
+    /// Instruction index into the linted text section.
+    pub index: usize,
+    /// Rendered instruction (for the diagnostic line).
+    pub inst: String,
+}
+
+impl std::fmt::Display for TextWarning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "text+{}: `{}` writes only provably-dead registers",
+            self.index, self.inst
+        )
+    }
+}
+
+/// The unused-write lint over *emitted* code: recovers the CFG and
+/// backward liveness of `text` (both projections of
+/// [`fracas_isa::effects`]) and reports every instruction that
+///
+/// * executes unconditionally and falls through (so its one successor's
+///   live-in is exactly its live-out),
+/// * has no memory, trap or control side effect (the write is its whole
+///   observable behaviour), and
+/// * defines at least one register — all of which are dead at the next
+///   instruction.
+///
+/// Such an instruction is a codegen no-op: deleting it cannot change
+/// any architectural outcome. The O0 backend is text-lint-clean across
+/// the bundled NPB corpus; O1 has one known benign pattern — FL's
+/// mandatory literal `let` initializers materialise as a
+/// `movz`/`mov` pair even when a loop init immediately rewrites the
+/// register (the AST lint exempts exactly these by design, see
+/// `trivial_init`). The `lint_text` bench binary holds the corpus to
+/// its measured budget so any *new* dead write is a backend
+/// regression, not guest-program noise.
+#[must_use]
+pub fn check_text_warnings(isa: IsaKind, text: &[Inst]) -> Vec<TextWarning> {
+    let liveness = Liveness::compute(&Cfg::recover(isa, text), text);
+    let mut warnings = Vec::new();
+    for (i, inst) in text.iter().enumerate() {
+        let fx = Effects::of(isa, inst);
+        if inst.cond != Cond::Al
+            || fx.ctrl != CtrlFlow::Fall
+            || fx.mem != MemEffect::None
+            || fx.trap != TrapClass::None
+            || i + 1 >= text.len()
+        {
+            continue;
+        }
+        // use_def and Effects share one table; the projection keeps the
+        // two lints' vocabularies aligned.
+        let defs = use_def(isa, inst).defs;
+        if defs.gprs == 0 && defs.fprs == 0 {
+            continue;
+        }
+        let live = liveness.live_in(i + 1);
+        if defs.gprs & live.gprs == 0 && defs.fprs & live.fprs == 0 {
+            warnings.push(TextWarning {
+                index: i,
+                inst: inst.to_string(),
+            });
+        }
+    }
+    warnings
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -382,6 +465,115 @@ mod tests {
              }",
         );
         assert_eq!(warnings, ["line 5: value assigned to `t` is never read"]);
+    }
+
+    #[test]
+    fn text_lint_flags_an_overwritten_compute() {
+        use fracas_isa::{AluOp, InstKind, Reg};
+        // 0: r1 = r2 + 1 (dead: rewritten before any read)
+        // 1: r1 = r3 + 2 ; 2: halt
+        let text = vec![
+            Inst::new(InstKind::AluImm {
+                op: AluOp::Add,
+                rd: Reg(1),
+                rn: Reg(2),
+                imm: 1,
+            }),
+            Inst::new(InstKind::AluImm {
+                op: AluOp::Add,
+                rd: Reg(1),
+                rn: Reg(3),
+                imm: 2,
+            }),
+            Inst::new(InstKind::Halt),
+        ];
+        let warnings = check_text_warnings(IsaKind::Sira64, &text);
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert_eq!(warnings[0].index, 0);
+        // The overwriting instruction feeds the everything-live halt
+        // boundary (program exit): not reported.
+    }
+
+    #[test]
+    fn text_lint_keeps_loop_carried_and_stored_values() {
+        use fracas_isa::{AluOp, InstKind, Reg, Width};
+        // 0: r1 = r1 + 1 ; 1: st r1 -> [r2] ; 2: b -3 (-> 0)
+        // The store reads r1; the loop carries it; a store has a memory
+        // effect so it is never itself a candidate.
+        let text = vec![
+            Inst::new(InstKind::AluImm {
+                op: AluOp::Add,
+                rd: Reg(1),
+                rn: Reg(1),
+                imm: 1,
+            }),
+            Inst::new(InstKind::St {
+                width: Width::Word,
+                rd: Reg(1),
+                rn: Reg(2),
+                off: 0,
+            }),
+            Inst::new(InstKind::B { off: -3 }),
+        ];
+        assert!(check_text_warnings(IsaKind::Sira64, &text).is_empty());
+    }
+
+    #[test]
+    fn text_lint_skips_predicated_writes() {
+        use fracas_isa::{AluOp, Cond, InstKind, Reg};
+        // A predicated def may be annulled: its liveness cannot kill,
+        // and the lint must not call it dead even when overwritten.
+        let text = vec![
+            Inst::new(InstKind::CmpImm { rn: Reg(0), imm: 0 }),
+            Inst::when(
+                Cond::Eq,
+                InstKind::AluImm {
+                    op: AluOp::Add,
+                    rd: Reg(1),
+                    rn: Reg(2),
+                    imm: 1,
+                },
+            ),
+            Inst::new(InstKind::AluImm {
+                op: AluOp::Add,
+                rd: Reg(1),
+                rn: Reg(3),
+                imm: 2,
+            }),
+            Inst::new(InstKind::Halt),
+        ];
+        assert!(check_text_warnings(IsaKind::Sira32, &text).is_empty());
+    }
+
+    #[test]
+    fn compiled_sources_hold_the_dead_write_budget() {
+        // O0 spills every local to the stack: no dead register writes.
+        // O1 has exactly one known benign pattern — the mandatory
+        // literal `let` initializer is materialised into the promoted
+        // register even when the `for` init immediately rewrites it
+        // (the AST lint exempts the same inits via `trivial_init`).
+        // Anything beyond that one `mov` is a backend regression.
+        let src = "fn main() -> int {
+                 let int s = 0;
+                 let int i = 0;
+                 for (i = 0; i < 8; i = i + 1) { s = s + i; }
+                 return s;
+             }";
+        for isa in [IsaKind::Sira32, IsaKind::Sira64] {
+            let at_o0 = crate::compile_with(src, isa, crate::OptLevel::O0).unwrap();
+            assert!(
+                check_text_warnings(isa, &at_o0.text).is_empty(),
+                "[{isa}] O0 must be text-lint-clean"
+            );
+            let at_o1 = crate::compile_with(src, isa, crate::OptLevel::O1).unwrap();
+            let warnings = check_text_warnings(isa, &at_o1.text);
+            assert_eq!(warnings.len(), 1, "[{isa}] {warnings:?}");
+            assert!(
+                warnings[0].inst.starts_with("mov "),
+                "[{isa}] expected the literal-init mov, got {}",
+                warnings[0]
+            );
+        }
     }
 
     #[test]
