@@ -20,12 +20,33 @@
 //! travel. The static analysis supplies the per-workload AVF estimates
 //! (`stats_avf`); this module supplies the prune *decisions*.
 //!
-//! # Taint walk
+//! # Landing semantics
 //!
 //! A fault at `(core, cycle)` lands at the first tick boundary where
 //! `core`'s clock reaches `cycle` — exactly where the injector's
-//! `run_until_core_cycle` pauses a replay. From the following tick on,
-//! the flipped register's location set is tracked:
+//! `run_until_core_cycle` pauses a replay. Two edge cases make the
+//! fault unapplicable, and both must prune as
+//! [`PruneVerdict::Vanished`]:
+//!
+//! * the core never reaches `cycle` before the workload exits — the
+//!   replay finishes unpaused; and
+//! * the crossing tick **is the run-ending tick**. The injector's pause
+//!   loop checks the kernel's `finished` flag *before* the clock
+//!   predicate, so when the boundary that first satisfies the clock is
+//!   also the boundary that ends the run, the replay reports completion
+//!   and the flip is never applied. Every tick of a clean golden run
+//!   emits at least one trace event (the acting core's commit), so "no
+//!   ops remain after the crossing tick" detects exactly this case.
+//!   Missing it was the historical `ep-omp-1-sira64` record-169 bug:
+//!   the walk started past the end of the trace, saw the injected
+//!   register "survive untouched" and reported residue for a fault
+//!   real execution never even landed.
+//!
+//! # Taint walk
+//!
+//! From the tick after the landing, the flipped register's location set
+//! (`Taint`: a physical-core mask plus the kernel's per-thread saved
+//! contexts) is tracked through the golden event stream:
 //!
 //! * **commit on a tainted core** — if the instruction (or its
 //!   condition, or the fetch for a PC fault) may *read* the target, the
@@ -34,7 +55,9 @@
 //!   core's taint dies. Reads are over-approximated (an `svc` reads
 //!   every GPR), overwrites are exact — see [`crate::usedef`].
 //! * **save** — the core's (possibly tainted) register file is copied
-//!   into the thread's saved context: the thread becomes tainted too.
+//!   into the thread's saved context: the spill slot inherits the
+//!   core's taint state exactly (tainted core taints it, clean core
+//!   scrubs a previously tainted slot).
 //! * **dispatch** — the core's register file is fully overwritten by
 //!   the thread's saved context: the core's taint becomes the thread's,
 //!   and the stale saved copy dies.
@@ -47,12 +70,9 @@
 //! timing, memory and console are golden, but the exit context hash
 //! differs: provably an [ONA](PruneVerdict::SilentResidue). Taint that
 //! survives only in a saved thread context is invisible to the exit
-//! report (only physical cores are hashed) and vanishes. The SIRA-32 PC
-//! is the one exception: it is excluded from the context hash, so PC
-//! residue also vanishes.
-//!
-//! A fault whose core never reaches `cycle` before the workload exits
-//! is never applied by the injector at all and trivially vanishes.
+//! report (the context hash covers physical cores only, never kernel
+//! spill slots) and vanishes. The SIRA-32 PC is the one exception: it
+//! is excluded from the context hash, so PC residue also vanishes.
 
 use crate::usedef::{use_def, RegSet, UseDef};
 use fracas_cpu::{ExecTrace, TraceKind};
@@ -177,6 +197,65 @@ struct Chunk {
 
 const CHUNK: usize = 1024;
 
+/// The live locations of the flipped bits during a walk: a mask of
+/// tainted physical cores plus the kernel's per-thread saved contexts
+/// (spill slots). The walk ends as soon as both are empty.
+#[derive(Debug)]
+struct Taint {
+    /// Physical cores whose register file holds the flip.
+    cores: u64,
+    /// Saved thread contexts holding a copy of the flip.
+    tids: Vec<bool>,
+    /// Number of set entries in `tids`.
+    parked: usize,
+}
+
+impl Taint {
+    fn new(core: usize, tid_count: usize) -> Taint {
+        Taint {
+            cores: 1 << core.min(63),
+            tids: vec![false; tid_count],
+            parked: 0,
+        }
+    }
+
+    fn core_is_tainted(&self, core: u32) -> bool {
+        self.cores & (1 << core.min(63)) != 0
+    }
+
+    fn clear_core(&mut self, core: u32) {
+        self.cores &= !(1 << core.min(63));
+    }
+
+    fn taint_core(&mut self, core: u32) {
+        self.cores |= 1 << core.min(63);
+    }
+
+    fn tid_is_tainted(&self, tid: u32) -> bool {
+        self.tids.get(tid as usize).copied().unwrap_or(false)
+    }
+
+    /// Sets thread `tid`'s spill slot to `tainted` (a context save
+    /// fully overwrites the slot, so a clean save also scrubs it).
+    fn set_tid(&mut self, tid: u32, tainted: bool) {
+        let Some(slot) = self.tids.get_mut(tid as usize) else {
+            return;
+        };
+        if *slot != tainted {
+            *slot = tainted;
+            if tainted {
+                self.parked += 1;
+            } else {
+                self.parked -= 1;
+            }
+        }
+    }
+
+    fn is_clear(&self) -> bool {
+        self.cores == 0 && self.parked == 0
+    }
+}
+
 /// The pruning decision procedure for one workload (one golden trace).
 #[derive(Debug, Clone)]
 pub struct PruneOracle {
@@ -298,6 +377,8 @@ impl PruneOracle {
         // the first tick boundary where `core`'s clock >= `cycle`;
         // taint propagation starts with the *next* tick.
         let start = if self.start_cycles[core] >= cycle {
+            // Applied before the trace's first tick; the run cannot
+            // already be finished there.
             0
         } else {
             let landings = &self.landings[core];
@@ -309,19 +390,26 @@ impl PruneOracle {
                 return Some(PruneVerdict::Vanished);
             };
             let tick = self.ticks[op_idx as usize];
-            self.ticks.partition_point(|&t| t <= tick)
+            let start = self.ticks.partition_point(|&t| t <= tick);
+            if start >= self.ops.len() {
+                // The crossing tick is the run-ending tick: the
+                // injector's pause loop observes the finished flag
+                // before the clock predicate, so the fault is never
+                // applied (see the module docs' landing semantics).
+                return Some(PruneVerdict::Vanished);
+            }
+            start
         };
         self.walk(start, core, target)
     }
 
-    /// The taint walk from op index `start`.
+    /// The taint walk from op index `start` (which the caller has
+    /// verified is inside the trace: the fault was really applied).
     fn walk(&self, start: usize, core: usize, target: PruneTarget) -> Option<PruneVerdict> {
         let tset = target.as_set();
         let is_pc = target == PruneTarget::Pc;
         let clears_saved_r0 = matches!(target, PruneTarget::Gpr { reg: 0 });
-        let mut tainted_cores: u64 = 1 << core.min(63);
-        let mut tainted_tids = vec![false; self.tid_count];
-        let mut any_tid_taint = false;
+        let mut taint = Taint::new(core, self.tid_count);
         let mut i = start;
         while i < self.ops.len() {
             // Skip-ahead: a whole chunk of commits that cannot touch
@@ -336,7 +424,7 @@ impl PruneOracle {
                     let touches = if is_pc {
                         // Every fetch reads the PC: only chunks with no
                         // commits on tainted cores are transparent.
-                        c.commit_cores & tainted_cores != 0
+                        c.commit_cores & taint.cores != 0
                     } else {
                         c.uses.union(c.defs).intersects(tset) || (c.uses_all_gprs && tset.gprs != 0)
                     };
@@ -356,7 +444,7 @@ impl PruneOracle {
                     defs,
                     uses_all_gprs,
                 } => {
-                    if tainted_cores & (1 << core.min(63)) != 0 {
+                    if taint.core_is_tainted(core) {
                         if is_pc {
                             return None; // the fetch read the flipped PC
                         }
@@ -364,12 +452,12 @@ impl PruneOracle {
                             return None; // may propagate: run for real
                         }
                         if tset.minus(defs) == RegSet::EMPTY {
-                            tainted_cores &= !(1 << core.min(63));
+                            taint.clear_core(core);
                         }
                     }
                 }
                 Op::Skip { core, cond_flags } => {
-                    if tainted_cores & (1 << core.min(63)) != 0 {
+                    if taint.core_is_tainted(core) {
                         if is_pc {
                             return None;
                         }
@@ -379,37 +467,33 @@ impl PruneOracle {
                     }
                 }
                 Op::Dispatch { core, tid } => {
-                    let t = tainted_tids.get(tid as usize).copied().unwrap_or(false);
-                    if t {
-                        tainted_cores |= 1 << core.min(63);
-                        tainted_tids[tid as usize] = false;
-                        any_tid_taint = tainted_tids.iter().any(|&b| b);
+                    // The core's file is fully overwritten by the
+                    // thread's saved context: the core inherits the
+                    // spill slot's taint and the stale copy dies.
+                    if taint.tid_is_tainted(tid) {
+                        taint.taint_core(core);
+                        taint.set_tid(tid, false);
                     } else {
-                        tainted_cores &= !(1 << core.min(63));
+                        taint.clear_core(core);
                     }
                 }
                 Op::Save { core, tid } => {
-                    if tainted_cores & (1 << core.min(63)) != 0 {
-                        tainted_tids[tid as usize] = true;
-                        any_tid_taint = true;
-                    } else if tainted_tids[tid as usize] {
-                        tainted_tids[tid as usize] = false;
-                        any_tid_taint = tainted_tids.iter().any(|&b| b);
-                    }
+                    // The spill slot becomes an exact copy of the
+                    // core's file, tainted or scrubbed alike.
+                    taint.set_tid(tid, taint.core_is_tainted(core));
                 }
                 Op::CtxWrite { tid } => {
-                    if clears_saved_r0 && tainted_tids[tid as usize] {
-                        tainted_tids[tid as usize] = false;
-                        any_tid_taint = tainted_tids.iter().any(|&b| b);
+                    if clears_saved_r0 {
+                        taint.set_tid(tid, false);
                     }
                 }
             }
-            if tainted_cores == 0 && !any_tid_taint {
+            if taint.is_clear() {
                 return Some(PruneVerdict::Vanished);
             }
             i += 1;
         }
-        if tainted_cores != 0 && !is_pc {
+        if taint.cores != 0 && !is_pc {
             // Untouched residue in a physical register at exit: the
             // context hash differs, nothing else does.
             Some(PruneVerdict::SilentResidue)
@@ -501,6 +585,30 @@ mod tests {
         assert_eq!(
             oracle.verdict(0, PruneTarget::Gpr { reg: 2 }, 1_000_000),
             Some(PruneVerdict::Vanished)
+        );
+    }
+
+    #[test]
+    fn fault_crossing_on_the_run_ending_tick_never_applies() {
+        // The first boundary where the core's clock reaches the fault
+        // cycle is the boundary that ends the run: the injector's pause
+        // loop sees `finished` before the clock predicate and never
+        // applies the flip, so even a never-touched register vanishes.
+        // (The historical ep-omp-1-sira64 record-169 misclassification:
+        // the walk used to start past the end of the trace and report
+        // SilentResidue.)
+        let text = vec![addi(1, 2), Inst::new(InstKind::Halt)];
+        let tr = trace(vec![10], vec![commit(0, 0, 20, 0), commit(0, 1, 30, 1)]);
+        let oracle = PruneOracle::new(IsaKind::Sira64, &text, BASE, &tr);
+        assert_eq!(
+            oracle.verdict(0, PruneTarget::Gpr { reg: 7 }, 25),
+            Some(PruneVerdict::Vanished)
+        );
+        // One tick earlier the fault really lands and the residue is
+        // visible at exit.
+        assert_eq!(
+            oracle.verdict(0, PruneTarget::Gpr { reg: 7 }, 15),
+            Some(PruneVerdict::SilentResidue)
         );
     }
 

@@ -187,13 +187,17 @@ pub struct SweepOpts {
     /// `--prune-dead`: short-circuit provably-masked injections (the
     /// database is byte-identical with or without it, only faster).
     pub prune_dead: bool,
+    /// `--oracle-audit R`: with `--prune-dead`, also execute a
+    /// deterministic fraction `R` of the pruned faults for real and fail
+    /// the sweep on any oracle-vs-execution mismatch.
+    pub oracle_audit: Option<f64>,
 }
 
 impl SweepOpts {
     /// The usage fragment for the campaign flags (append to
     /// [`FILTER_USAGE`]).
     pub const USAGE: &'static str = "[--faults N] [--epsilon E] [--threads N] [--seed N] \
-         [--db PATH] [--sink PATH] [--prune-dead]";
+         [--db PATH] [--sink PATH] [--prune-dead] [--oracle-audit R]";
 
     /// Parses the process arguments, accepting the filter flags and the
     /// campaign overrides.
@@ -213,6 +217,7 @@ impl SweepOpts {
                 "--db" => opts.db = Some(PathBuf::from(p.value(&flag))),
                 "--sink" => opts.sink = Some(PathBuf::from(p.value(&flag))),
                 "--prune-dead" => opts.prune_dead = true,
+                "--oracle-audit" => opts.oracle_audit = Some(p.parsed(&flag)),
                 other => p.unknown(other),
             }
         }
@@ -238,6 +243,9 @@ impl SweepOpts {
         }
         if self.prune_dead {
             config.campaign.prune_dead = true;
+        }
+        if let Some(v) = self.oracle_audit {
+            config.campaign.oracle_audit = v;
         }
         config
     }

@@ -19,6 +19,10 @@
 //! * `FRACAS_EPSILON` — Wilson-interval early-stop half-width as a
 //!   proportion (default 0 = off; see
 //!   [`fracas::inject::FleetConfig::from_env`]).
+//! * `FRACAS_ORACLE_AUDIT` — with `--prune-dead`, the fraction of
+//!   oracle-pruned faults to also execute for real and diff against the
+//!   oracle's verdict (default 0 = off); any mismatch aborts the sweep
+//!   before the database is saved.
 //! * `FRACAS_SEED`, `FRACAS_THREADS` — see
 //!   [`fracas::inject::CampaignConfig::from_env`].
 
@@ -135,6 +139,24 @@ pub fn run_sweep(
         .collect();
     let results = fracas::inject::run_fleet_with_sink(&workloads, config, sink)
         .unwrap_or_else(|e| panic!("sink {}: {e}", sink.display()));
+    // Oracle audits gate the save: a mismatch means the prune oracle
+    // synthesized a wrong record, so persisting the database (or
+    // consuming the sink) would cache corrupt results.
+    let mut mismatches = 0usize;
+    for report in results.iter().filter_map(|r| r.audit.as_ref()) {
+        eprintln!("  oracle audit {}", report.summary());
+        for entry in report.mismatches() {
+            eprintln!(
+                "    MISMATCH {} record {}: oracle {:?}, execution {:?}",
+                report.id, entry.index, entry.oracle, entry.executed
+            );
+            mismatches += 1;
+        }
+    }
+    assert!(
+        mismatches == 0,
+        "oracle audit found {mismatches} mismatch(es); database not saved"
+    );
     let total = results.len();
     for (i, result) in results.into_iter().enumerate() {
         eprintln!(

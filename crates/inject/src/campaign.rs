@@ -98,6 +98,15 @@ pub struct CampaignConfig {
     /// knob is deliberately excluded from orchestrator fingerprints.
     /// Tunable via `FRACAS_PRUNE_DEAD`.
     pub prune_dead: bool,
+    /// Oracle-audit sampling rate in `[0, 1]` (`FRACAS_ORACLE_AUDIT`):
+    /// with [`CampaignConfig::prune_dead`] on, this fraction of the
+    /// oracle-pruned faults is *also* executed for real and the
+    /// classified outcome diffed against the verdict
+    /// ([`crate::OracleAuditReport`]). The audited execution never
+    /// replaces the pruned record — databases stay byte-identical at
+    /// any rate — it only feeds the report. `0.0` (default) disables
+    /// auditing; without `prune_dead` there is nothing to audit.
+    pub oracle_audit: f64,
 }
 
 impl Default for CampaignConfig {
@@ -111,14 +120,15 @@ impl Default for CampaignConfig {
             checkpoints: 16,
             space: FaultSpace::default(),
             prune_dead: false,
+            oracle_audit: 0.0,
         }
     }
 }
 
 impl CampaignConfig {
     /// Reads `FRACAS_FAULTS`, `FRACAS_SEED`, `FRACAS_THREADS`,
-    /// `FRACAS_CHECKPOINTS` and `FRACAS_PRUNE_DEAD` from the
-    /// environment over the defaults.
+    /// `FRACAS_CHECKPOINTS`, `FRACAS_PRUNE_DEAD` and
+    /// `FRACAS_ORACLE_AUDIT` from the environment over the defaults.
     pub fn from_env() -> CampaignConfig {
         let mut config = CampaignConfig::default();
         if let Some(v) = env_u64("FRACAS_FAULTS") {
@@ -136,11 +146,24 @@ impl CampaignConfig {
         if let Some(v) = env_u64("FRACAS_PRUNE_DEAD") {
             config.prune_dead = v != 0;
         }
+        if let Some(v) = env_f64("FRACAS_ORACLE_AUDIT") {
+            config.oracle_audit = v;
+        }
         config
+    }
+
+    /// Whether this configuration audits anything: a nonzero sampling
+    /// rate only matters when pruning produces verdicts to audit.
+    pub(crate) fn audits(&self) -> bool {
+        self.prune_dead && self.oracle_audit > 0.0
     }
 }
 
 fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+pub(crate) fn env_f64(name: &str) -> Option<f64> {
     std::env::var(name).ok()?.trim().parse().ok()
 }
 
@@ -387,6 +410,12 @@ pub struct CampaignResult {
     /// record, so databases stay byte-identical with the mode on or off.
     #[serde(skip)]
     pub pruned: u64,
+    /// The oracle-audit report ([`CampaignConfig::oracle_audit`]):
+    /// `None` unless auditing was enabled. Like [`CampaignResult::pruned`]
+    /// a run-time statistic, not serialized — auditing never changes a
+    /// record either.
+    #[serde(skip)]
+    pub audit: Option<crate::OracleAuditReport>,
 }
 
 impl CampaignResult {
@@ -553,6 +582,7 @@ pub fn golden_only(workload: &Workload, planned_faults: usize) -> CampaignResult
         tally: Tally::default(),
         records: Vec::new(),
         pruned: 0,
+        audit: None,
     }
 }
 
@@ -565,8 +595,10 @@ pub(crate) fn campaign_seed(id: &str, base: u64) -> u64 {
 
 /// Samples the fault list for a workload (phase two), exactly as
 /// [`run_campaign`] does — the orchestrator shares this so its
-/// databases stay byte-identical.
-pub(crate) fn campaign_faults(
+/// databases stay byte-identical. Public so differential suites can
+/// reconstruct a campaign's exact fault list from its golden cycle
+/// count.
+pub fn campaign_faults(
     workload: &Workload,
     config: &CampaignConfig,
     golden_cycles: u64,
@@ -610,6 +642,7 @@ pub(crate) fn assemble_result(
     profile: ProfileStats,
     records: Vec<InjectionRecord>,
     pruned: u64,
+    audit: Option<crate::OracleAuditReport>,
 ) -> CampaignResult {
     let mut tally = Tally::default();
     for r in &records {
@@ -633,6 +666,7 @@ pub(crate) fn assemble_result(
         tally,
         records,
         pruned,
+        audit,
     }
 }
 
@@ -709,17 +743,19 @@ pub fn run_campaign_with(
     let verdicts = campaign_prune_table(workload, config, trace.as_ref(), &faults);
     drop(trace);
     let pruned = verdicts.iter().flatten().count() as u64;
+    let audit_seed = campaign_seed(&workload.id, config.seed);
 
     let threads = resolve_threads(config.threads);
     let batch = config.batch.max(1);
     let slots: Mutex<Vec<Option<InjectionRecord>>> = Mutex::new(vec![None; faults.len()]);
+    let audits: Mutex<Vec<crate::AuditEntry>> = Mutex::new(Vec::new());
     let next_batch = AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
         for _ in 0..threads.min(faults.len().max(1)) {
             let checkpoints = Arc::clone(&checkpoints);
             let (faults, golden, limits) = (&faults, &golden, &limits);
-            let (slots, next_batch, verdicts) = (&slots, &next_batch, &verdicts);
+            let (slots, next_batch, verdicts, audits) = (&slots, &next_batch, &verdicts, &audits);
             scope.spawn(move || loop {
                 let start = next_batch.fetch_add(batch, Ordering::Relaxed);
                 if start >= faults.len() {
@@ -727,19 +763,49 @@ pub fn run_campaign_with(
                 }
                 let end = (start + batch).min(faults.len());
                 let mut local = Vec::with_capacity(end - start);
+                let mut local_audits = Vec::new();
                 for (i, fault) in faults[start..end].iter().enumerate() {
+                    let one = |f: &Fault| injector(workload, f, &checkpoints, limits);
                     if let Some(Some(outcome)) = verdicts.get(start + i) {
                         local.push(pruned_record(golden, fault, start + i, *outcome));
+                        if config.audits()
+                            && crate::audit_selected(audit_seed, start + i, config.oracle_audit)
+                        {
+                            // Execute the pruned fault for real and diff
+                            // the outcome; the record above stays the
+                            // synthesized one either way.
+                            let executed = inject_record(&one, golden, fault, start + i);
+                            local_audits.push(crate::AuditEntry {
+                                index: (start + i) as u32,
+                                oracle: *outcome,
+                                executed: executed.outcome,
+                            });
+                        }
                         continue;
                     }
-                    let one = |f: &Fault| injector(workload, f, &checkpoints, limits);
                     local.push(inject_record(&one, golden, fault, start + i));
                 }
                 let mut slots = slots.lock().expect("no poisoned lock");
                 for record in local {
                     slots[record.index as usize] = Some(record);
                 }
+                drop(slots);
+                if !local_audits.is_empty() {
+                    audits
+                        .lock()
+                        .expect("no poisoned lock")
+                        .append(&mut local_audits);
+                }
             });
+        }
+    });
+    let audit = config.audits().then(|| {
+        let mut entries = audits.into_inner().expect("no poisoned lock");
+        entries.sort_by_key(|e| e.index);
+        crate::OracleAuditReport {
+            id: workload.id.clone(),
+            rate: config.oracle_audit,
+            entries,
         }
     });
 
@@ -762,7 +828,7 @@ pub fn run_campaign_with(
             })
         })
         .collect();
-    assemble_result(workload, config, &golden, profile, records, pruned)
+    assemble_result(workload, config, &golden, profile, records, pruned, audit)
 }
 
 fn fnv(bytes: &[u8]) -> u64 {
@@ -855,6 +921,7 @@ mod tests {
                 instructions: 50,
             }],
             pruned: 0,
+            audit: None,
         };
         let json = result.to_json();
         let back = CampaignResult::from_json(&json).unwrap();

@@ -29,10 +29,12 @@
 //!   [`Outcome::Anomaly`] record; a panicking golden run marks only that
 //!   workload as failed. Neither poisons the rest of the sweep.
 
+use crate::audit::{audit_selected, AuditEntry, OracleAuditReport};
 use crate::campaign::{
-    assemble_result, campaign_faults, campaign_limits, campaign_prune_table, golden_run_traced,
-    inject_one, inject_record, panic_message, pruned_record, resolve_threads, CampaignConfig,
-    CampaignResult, GoldenSummary, InjectionRecord, Injector, ProfileStats, Tally, Workload,
+    assemble_result, campaign_faults, campaign_limits, campaign_prune_table, campaign_seed,
+    golden_run_traced, inject_one, inject_record, panic_message, pruned_record, resolve_threads,
+    CampaignConfig, CampaignResult, GoldenSummary, InjectionRecord, Injector, ProfileStats, Tally,
+    Workload,
 };
 use crate::{CheckpointSet, Fault, Outcome};
 use fracas_kernel::{Limits, RunReport};
@@ -101,24 +103,31 @@ impl FleetConfig {
     }
 }
 
-fn env_f64(name: &str) -> Option<f64> {
-    std::env::var(name).ok()?.trim().parse().ok()
-}
+use crate::campaign::env_f64;
 
-/// One line of the sink file: an injection record tagged with its
-/// workload id.
+/// One line of the sink file: an injection record or an oracle-audit
+/// entry, tagged with its workload id. An audited pruned fault emits
+/// its audit line immediately *before* its record line in the same
+/// flushed write, so a torn tail can lose the record but never a
+/// record's audit entry — the resume invariant the audit report's
+/// bit-identity rests on.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct SinkLine {
-    /// Workload id the record belongs to.
+    /// Workload id the line belongs to.
     w: String,
-    /// The completed injection record.
-    r: InjectionRecord,
+    /// A completed injection record.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    r: Option<InjectionRecord>,
+    /// A completed oracle-audit entry.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    a: Option<AuditEntry>,
 }
 
 /// The sink-file header: a fingerprint of every campaign parameter that
 /// influences record *values* (seed, fault budget, watchdog, fault
-/// space). A sink whose fingerprint mismatches the current sweep is
-/// discarded instead of resumed.
+/// space) — plus the effective oracle-audit rate, which influences the
+/// sink's audit lines. A sink whose fingerprint mismatches the current
+/// sweep is discarded instead of resumed.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct SinkHeader {
     /// Configuration fingerprint (FNV over the value-relevant knobs).
@@ -126,8 +135,17 @@ struct SinkHeader {
 }
 
 fn config_fingerprint(config: &CampaignConfig) -> u64 {
+    // `prune_dead` alone never changes a record, so toggling it keeps
+    // the fingerprint (and a half-finished sink) valid. Auditing adds
+    // entries the resumed report must replay, so the *effective* rate
+    // (zero unless pruning is on) is part of the key.
+    let audit = if config.audits() {
+        config.oracle_audit.to_bits()
+    } else {
+        0
+    };
     let key = format!(
-        "seed={};faults={};watchdog={};space={:?}",
+        "seed={};faults={};watchdog={};space={:?};audit={audit}",
         config.seed,
         config.faults,
         config.watchdog_factor.to_bits(),
@@ -150,6 +168,7 @@ fn config_fingerprint(config: &CampaignConfig) -> u64 {
 pub struct RecordSink {
     file: Option<Mutex<std::io::BufWriter<std::fs::File>>>,
     preloaded: HashMap<String, Vec<InjectionRecord>>,
+    preloaded_audits: HashMap<String, Vec<AuditEntry>>,
 }
 
 impl RecordSink {
@@ -159,6 +178,7 @@ impl RecordSink {
         RecordSink {
             file: None,
             preloaded: HashMap::new(),
+            preloaded_audits: HashMap::new(),
         }
     }
 
@@ -176,6 +196,7 @@ impl RecordSink {
     pub fn open(path: &Path, config: &CampaignConfig) -> std::io::Result<RecordSink> {
         let fingerprint = config_fingerprint(config);
         let mut preloaded: HashMap<String, Vec<InjectionRecord>> = HashMap::new();
+        let mut preloaded_audits: HashMap<String, Vec<AuditEntry>> = HashMap::new();
         let mut resume = false;
         if let Ok(text) = std::fs::read_to_string(path) {
             let mut lines = text.lines().filter(|l| !l.trim().is_empty());
@@ -189,7 +210,12 @@ impl RecordSink {
                     let Ok(parsed) = serde_json::from_str::<SinkLine>(line) else {
                         break;
                     };
-                    preloaded.entry(parsed.w).or_default().push(parsed.r);
+                    if let Some(r) = parsed.r {
+                        preloaded.entry(parsed.w.clone()).or_default().push(r);
+                    }
+                    if let Some(a) = parsed.a {
+                        preloaded_audits.entry(parsed.w).or_default().push(a);
+                    }
                 }
             }
         }
@@ -209,6 +235,7 @@ impl RecordSink {
         Ok(RecordSink {
             file: Some(Mutex::new(std::io::BufWriter::new(file))),
             preloaded,
+            preloaded_audits,
         })
     }
 
@@ -217,20 +244,37 @@ impl RecordSink {
         self.preloaded.get(id).map_or(&[], Vec::as_slice)
     }
 
-    /// Appends freshly completed records, flushed so a kill at any later
-    /// instant cannot lose them.
-    fn append(&self, id: &str, records: &[InjectionRecord]) {
+    /// Audit entries replayed from disk for one workload.
+    fn preloaded_audits(&self, id: &str) -> &[AuditEntry] {
+        self.preloaded_audits.get(id).map_or(&[], Vec::as_slice)
+    }
+
+    /// Appends freshly completed records (each optionally preceded by
+    /// its audit entry, in the same write) and flushes, so a kill at
+    /// any later instant cannot lose them — and can never keep a record
+    /// while losing its audit entry.
+    fn append(&self, id: &str, batch: &[(Option<AuditEntry>, InjectionRecord)]) {
         let Some(file) = &self.file else {
             return;
         };
         let mut out = String::new();
-        for r in records {
-            let line = SinkLine {
-                w: id.to_string(),
-                r: *r,
-            };
-            out.push_str(&serde_json::to_string(&line).expect("SinkLine serialises"));
+        let mut push = |line: &SinkLine| {
+            out.push_str(&serde_json::to_string(line).expect("SinkLine serialises"));
             out.push('\n');
+        };
+        for (audit, r) in batch {
+            if let Some(a) = audit {
+                push(&SinkLine {
+                    w: id.to_string(),
+                    r: None,
+                    a: Some(*a),
+                });
+            }
+            push(&SinkLine {
+                w: id.to_string(),
+                r: Some(*r),
+                a: None,
+            });
         }
         let mut file = file.lock().expect("no poisoned sink lock");
         let _ = file.write_all(out.as_bytes());
@@ -251,12 +295,19 @@ struct GoldenJob {
     /// `verdicts[i]` short-circuits fault `i` without execution. Empty
     /// when pruning is off.
     verdicts: Vec<Option<Outcome>>,
+    /// The per-workload campaign seed, from which
+    /// [`audit_selected`] derives the audited subset of pruned faults.
+    audit_seed: u64,
 }
 
 /// Record slots and the early-stopping prefix state of one workload
 /// (everything that must mutate atomically together).
 struct Slots {
     records: Vec<Option<InjectionRecord>>,
+    /// Per-fault oracle-audit entries (`None` for unaudited indices);
+    /// keyed by index so a resume's replayed entry and a re-run's fresh
+    /// entry (identical by determinism) dedupe naturally.
+    audits: Vec<Option<AuditEntry>>,
     /// Length of the hole-free prefix of `records`.
     committed: usize,
     /// Outcome tally over exactly that prefix — the early-stop input.
@@ -292,6 +343,7 @@ impl WorkloadState<'_> {
             golden: OnceLock::new(),
             slots: Mutex::new(Slots {
                 records: Vec::new(),
+                audits: Vec::new(),
                 committed: 0,
                 prefix: Tally::default(),
             }),
@@ -460,6 +512,7 @@ fn run_golden_job(state: &WorkloadState, config: &FleetConfig, sink: &RecordSink
             faults,
             limits,
             verdicts,
+            audit_seed: campaign_seed(&state.workload.id, campaign.seed),
         }
     }));
     let job = match job {
@@ -477,9 +530,15 @@ fn run_golden_job(state: &WorkloadState, config: &FleetConfig, sink: &RecordSink
         let preloaded = sink.preloaded(&state.workload.id);
         let mut slots = state.slots.lock().expect("no poisoned slots lock");
         slots.records = vec![None; job.faults.len()];
+        slots.audits = vec![None; job.faults.len()];
         for record in preloaded {
             if let Some(slot) = slots.records.get_mut(record.index as usize) {
                 *slot = Some(*record);
+            }
+        }
+        for entry in sink.preloaded_audits(&state.workload.id) {
+            if let Some(slot) = slots.audits.get_mut(entry.index as usize) {
+                *slot = Some(*entry);
             }
         }
         advance_commit(&mut slots, config, &state.stop_at);
@@ -504,6 +563,7 @@ fn run_injection_batch(
     start: usize,
     batch: usize,
 ) {
+    let campaign = &config.campaign;
     let end = (start + batch).min(golden.faults.len());
     let have: Vec<bool> = {
         let slots = state.slots.lock().expect("no poisoned slots lock");
@@ -512,22 +572,40 @@ fn run_injection_batch(
             .map(Option::is_some)
             .collect()
     };
-    let mut fresh = Vec::with_capacity(end - start);
+    // Fresh records, each paired with its audit entry when the index is
+    // an audited pruned fault. Replayed records keep their replayed
+    // audit entries (the sink writes an audit line strictly before its
+    // record line, so a surviving record implies a surviving entry).
+    let mut fresh: Vec<(Option<AuditEntry>, InjectionRecord)> = Vec::with_capacity(end - start);
     for (i, fault) in golden.faults[start..end].iter().enumerate() {
         if have[i] {
             continue;
         }
+        let one = |f: &Fault| injector(state.workload, f, &golden.checkpoints, &golden.limits);
         if let Some(Some(outcome)) = golden.verdicts.get(start + i) {
-            fresh.push(pruned_record(&golden.report, fault, start + i, *outcome));
+            let record = pruned_record(&golden.report, fault, start + i, *outcome);
+            let audit = (campaign.audits()
+                && audit_selected(golden.audit_seed, start + i, campaign.oracle_audit))
+            .then(|| {
+                let executed = inject_record(&one, &golden.report, fault, start + i);
+                AuditEntry {
+                    index: (start + i) as u32,
+                    oracle: *outcome,
+                    executed: executed.outcome,
+                }
+            });
+            fresh.push((audit, record));
             continue;
         }
-        let one = |f: &Fault| injector(state.workload, f, &golden.checkpoints, &golden.limits);
-        fresh.push(inject_record(&one, &golden.report, fault, start + i));
+        fresh.push((None, inject_record(&one, &golden.report, fault, start + i)));
     }
     let (committed, prefix) = {
         let mut slots = state.slots.lock().expect("no poisoned slots lock");
-        for record in &fresh {
+        for (audit, record) in &fresh {
             slots.records[record.index as usize] = Some(*record);
+            if let Some(entry) = audit {
+                slots.audits[entry.index as usize] = Some(*entry);
+            }
         }
         advance_commit(&mut slots, config, &state.stop_at);
         (slots.committed, slots.prefix)
@@ -606,6 +684,14 @@ fn finish_workload(state: WorkloadState, config: &FleetConfig) -> CampaignResult
         .iter()
         .flatten()
         .count() as u64;
+    // Like `pruned`, the report covers only the kept prefix, so an
+    // early-stopped campaign's report matches across resumes even when
+    // workers audited past the stop point before it was set.
+    let audit = config.campaign.audits().then(|| OracleAuditReport {
+        id: state.workload.id.clone(),
+        rate: config.campaign.oracle_audit,
+        entries: slots.audits.iter().take(keep).flatten().copied().collect(),
+    });
     assemble_result(
         state.workload,
         &config.campaign,
@@ -613,6 +699,7 @@ fn finish_workload(state: WorkloadState, config: &FleetConfig) -> CampaignResult
         golden.profile,
         records,
         pruned,
+        audit,
     )
 }
 
@@ -636,6 +723,7 @@ fn failed_result(workload: &Workload, config: &CampaignConfig) -> CampaignResult
         },
         records: Vec::new(),
         pruned: 0,
+        audit: None,
     }
 }
 
@@ -668,9 +756,27 @@ mod tests {
         assert_ne!(config_fingerprint(&base), config_fingerprint(&reseeded));
         let resized = CampaignConfig {
             faults: base.faults + 1,
-            ..base
+            ..base.clone()
         };
         assert_ne!(config_fingerprint(&base), config_fingerprint(&resized));
+        // The audit rate only bites when auditing is effective (prune on,
+        // rate > 0): a rate set without pruning keeps the fingerprint, so
+        // toggling `--prune-dead` alone still resumes the same sink.
+        let idle_audit = CampaignConfig {
+            oracle_audit: 0.25,
+            ..base.clone()
+        };
+        assert_eq!(config_fingerprint(&base), config_fingerprint(&idle_audit));
+        let pruned = CampaignConfig {
+            prune_dead: true,
+            ..base.clone()
+        };
+        let audited = CampaignConfig {
+            prune_dead: true,
+            oracle_audit: 0.25,
+            ..base
+        };
+        assert_ne!(config_fingerprint(&pruned), config_fingerprint(&audited));
     }
 
     #[test]
@@ -701,6 +807,7 @@ mod tests {
         let stop_at = AtomicUsize::new(NOT_STOPPED);
         let mut slots = Slots {
             records: vec![None, None, None, None],
+            audits: Vec::new(),
             committed: 0,
             prefix: Tally::default(),
         };

@@ -23,6 +23,11 @@
 //!   a trace-exact dead-value oracle (`fracas-analyze`) classifies
 //!   injections whose bit is overwritten before ever being read —
 //!   without executing them, and byte-identically to the full campaign.
+//! * **Sampled oracle auditing**: with [`CampaignConfig::oracle_audit`]
+//!   (`FRACAS_ORACLE_AUDIT=<rate>`) a deterministic, seed-derived
+//!   fraction of the pruned faults is *also* executed for real and the
+//!   classified outcome diffed against the oracle's verdict
+//!   ([`OracleAuditReport`]); a mismatch fails the sweep.
 //! * **Distribution** (§3.2.4): jobs run on a work queue over
 //!   host threads; results are index-sorted, so a campaign is
 //!   deterministic for a given seed regardless of thread count.
@@ -43,6 +48,7 @@
 //! # }
 //! ```
 
+mod audit;
 mod campaign;
 mod checkpoint;
 mod classify;
@@ -50,12 +56,14 @@ mod fault;
 mod fleet;
 mod prune;
 
+pub use audit::{audit_selected, AuditEntry, OracleAuditReport};
 pub use campaign::{
-    golden_only, golden_run, golden_run_with_checkpoints, golden_trace, inject_one, run_campaign,
-    run_campaign_with, CampaignConfig, CampaignResult, GoldenSummary, InjectionRecord, Injector,
-    ProfileStats, Tally, Workload,
+    campaign_faults, golden_only, golden_run, golden_run_with_checkpoints, golden_trace,
+    inject_one, run_campaign, run_campaign_with, CampaignConfig, CampaignResult, GoldenSummary,
+    InjectionRecord, Injector, ProfileStats, Tally, Workload,
 };
 pub use checkpoint::CheckpointSet;
 pub use classify::{classify, Outcome};
 pub use fault::{sample_faults, sample_faults_with_text, Fault, FaultSpace, FaultTarget};
 pub use fleet::{run_fleet, run_fleet_with, run_fleet_with_sink, FleetConfig, RecordSink};
+pub use prune::prune_table;

@@ -56,8 +56,10 @@ pub(crate) fn prune_target(isa: IsaKind, fault: &Fault) -> Option<(usize, PruneT
 /// the proven outcome of `faults[i]`, or `None` when it must run for
 /// real. Computed once per workload so the trace (which can dwarf the
 /// checkpoint set) is dropped before injection starts, and so the
-/// prune decisions are independent of worker scheduling.
-pub(crate) fn prune_table(
+/// prune decisions are independent of worker scheduling. Public so the
+/// differential and conservativeness suites can derive the expected
+/// skip set from the oracle itself instead of hard-coding counts.
+pub fn prune_table(
     workload: &Workload,
     trace: &ExecTrace,
     faults: &[Fault],

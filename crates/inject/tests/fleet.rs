@@ -148,6 +148,77 @@ fn sweep_resumes_bit_identically_from_truncated_sink() {
 }
 
 #[test]
+fn audit_report_survives_kill_and_resume_bit_identically() {
+    let workloads = vec![
+        workload(App::Ep, Model::Serial, 1, IsaKind::Sira64),
+        workload(App::Is, Model::Serial, 1, IsaKind::Sira64),
+    ];
+    let config = FleetConfig {
+        campaign: CampaignConfig {
+            faults: 50,
+            prune_dead: true,
+            oracle_audit: 0.5,
+            ..CampaignConfig::default()
+        },
+        ..FleetConfig::default()
+    };
+    let path = temp_sink("audit-resume");
+    let _ = std::fs::remove_file(&path);
+    let full = run_fleet_with_sink(&workloads, &config, &path).expect("sink opens");
+    let full_reports: Vec<_> = full.iter().map(|r| r.audit.clone()).collect();
+    for report in full_reports.iter().map(|r| r.as_ref().expect("audit on")) {
+        assert!(
+            !report.entries.is_empty(),
+            "{}: rate 0.5 over a pruning scenario must audit something",
+            report.id
+        );
+        assert_eq!(report.mismatch_count(), 0, "{}", report.summary());
+        // Entries arrive index-sorted and deduplicated.
+        for pair in report.entries.windows(2) {
+            assert!(pair[0].index < pair[1].index);
+        }
+    }
+    // Auditing never touches the record stream: the database equals an
+    // unaudited pruned sweep's.
+    let unaudited = run_fleet(
+        &workloads,
+        &FleetConfig {
+            campaign: CampaignConfig {
+                oracle_audit: 0.0,
+                ..config.campaign.clone()
+            },
+            ..config.clone()
+        },
+    );
+    for (a, b) in full.iter().zip(&unaudited) {
+        assert_eq!(a.to_json(), b.to_json(), "{}: audit perturbed the db", a.id);
+    }
+
+    // Kill mid-sweep: keep the header and the first half of the lines
+    // plus a torn tail, then resume. The resumed audit report must be
+    // bit-identical to the uninterrupted run's — replayed entries come
+    // from the sink, the rest are re-derived from the same seed.
+    let text = std::fs::read_to_string(&path).expect("sink readable");
+    let lines: Vec<&str> = text.lines().collect();
+    let mut truncated: String = lines[..lines.len() / 2]
+        .iter()
+        .map(|l| format!("{l}\n"))
+        .collect();
+    truncated.push_str(&lines[lines.len() / 2][..7]);
+    std::fs::write(&path, truncated).expect("truncate sink");
+    let resumed = run_fleet_with_sink(&workloads, &config, &path).expect("sink reopens");
+    for (a, b) in full.iter().zip(&resumed) {
+        assert_eq!(a.to_json(), b.to_json(), "{}: records diverged", a.id);
+    }
+    let resumed_reports: Vec<_> = resumed.iter().map(|r| r.audit.clone()).collect();
+    assert_eq!(
+        resumed_reports, full_reports,
+        "resumed audit report must be bit-identical"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn sink_with_stale_fingerprint_is_discarded() {
     let workloads = vec![workload(App::Is, Model::Serial, 1, IsaKind::Sira64)];
     let config = FleetConfig {

