@@ -1,37 +1,109 @@
 //! Interpreter-throughput baseline: times the EP golden run and records
 //! committed guest instructions per host second in
-//! `BENCH_interpreter.json`, seeding the perf trajectory for later
-//! optimisation PRs.
+//! `BENCH_interpreter.json`.
 //!
 //! ```text
 //! bench_interpreter [--isa sira32|sira64] [--model ser|omp|mpi] [--app NAME]
-//!                   [--cores N] [--reps N] [--out PATH]
+//!                   [--cores N] [--reps N] [--min-ms N] [--out PATH]
+//!                   [--gate PATH]
 //! ```
 //!
 //! Defaults to `--app ep` (both ISAs, every model/core count): EP is
 //! embarrassingly parallel with a tiny memory footprint, so its golden
 //! run is interpreter-bound and the steps/sec figure tracks raw
-//! dispatch cost rather than cache modelling. Each selected scenario is
-//! golden-run `--reps` times (default 3) and the best rate is kept —
-//! standard practice for wall-clock microbenchmarks, where the minimum
-//! is the least noisy estimator. The effect checker is forced off so
-//! the number measures the production fast path.
+//! dispatch cost rather than cache modelling.
+//!
+//! Measurement protocol (the trustworthy-throughput half of the bench):
+//!
+//! - **Minimum wall time per repetition.** A single short golden run is
+//!   dominated by timer granularity and scheduling noise; each rep
+//!   repeats the golden run until at least `--min-ms` (default 250)
+//!   of wall time has accumulated and reports the aggregate rate.
+//! - **Warmup rep discarded.** The first rep pays one-time costs (page
+//!   faults, frequency ramp, cold caches) and is thrown away.
+//! - **Median of reps.** The median of `--reps` (default 5) measured
+//!   reps is kept — robust against a stray descheduling spike in either
+//!   direction, unlike best-of (optimistic) or mean (skewed by tails).
+//! - **Provenance stamping.** The JSON records the git revision and
+//!   rustc version that produced it, so a committed baseline can be
+//!   audited ("what exactly produced this 18.4 Minst/s?").
+//!
+//! The effect checker is forced off so the number measures the
+//! production fast path. With `--gate PATH` the run compares its
+//! aggregate against the `aggregate_steps_per_sec` recorded in an
+//! earlier JSON (the committed baseline) and fails — exit code 1 —
+//! on a regression of more than 10%, giving CI a perf trend gate.
 
 use fracas::inject::{golden_run, Workload};
 use fracas::npb::App;
 use fracas_bench::cli::{Parser, ScenarioFilter};
+use std::process::Command;
 use std::time::Instant;
 
 const USAGE: &str = "bench_interpreter [--isa sira32|sira64] [--model ser|omp|mpi] [--app NAME]\n\
-     \u{20}                 [--cores N] [--reps N] [--out PATH]";
+     \u{20}                 [--cores N] [--reps N] [--min-ms N] [--out PATH] [--gate PATH]";
+
+/// Largest tolerated drop of `aggregate_steps_per_sec` vs the gate
+/// baseline before the run fails.
+const GATE_TOLERANCE: f64 = 0.10;
+
+/// One measured repetition: golden-runs the workload until `min_ms` of
+/// wall time has accumulated, returning (instructions, seconds).
+fn one_rep(workload: &Workload, min_ms: u64) -> (u64, f64) {
+    let mut insts = 0u64;
+    let start = Instant::now();
+    loop {
+        let (report, _) = golden_run(workload);
+        insts += report.total_instructions();
+        let secs = start.elapsed().as_secs_f64();
+        if secs * 1e3 >= min_ms as f64 {
+            return (insts, secs);
+        }
+    }
+}
+
+/// First line of a command's stdout, or "unknown" if it cannot run
+/// (e.g. no git binary or not a work tree — the bench still works).
+fn probe(cmd: &str, args: &[&str]) -> String {
+    Command::new(cmd)
+        .args(args)
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| {
+            String::from_utf8(o.stdout)
+                .ok()
+                .and_then(|s| s.lines().next().map(str::to_owned))
+        })
+        .unwrap_or_else(|| String::from("unknown"))
+}
+
+/// Pulls `"aggregate_steps_per_sec": <number>` out of a baseline JSON
+/// without a full parser (the file is produced by this binary).
+fn baseline_rate(path: &str) -> f64 {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let key = "\"aggregate_steps_per_sec\":";
+    let at = text
+        .find(key)
+        .unwrap_or_else(|| panic!("{path}: no {key} field"));
+    let rest = text[at + key.len()..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end]
+        .parse()
+        .unwrap_or_else(|e| panic!("{path}: bad {key} value: {e}"))
+}
 
 fn main() {
     // Measure the production fast path even under a CI environment
     // that exports the checker knob.
     std::env::remove_var("FRACAS_CHECK_EFFECTS");
     let mut filter = ScenarioFilter::default();
-    let mut reps: usize = 3;
+    let mut reps: usize = 5;
+    let mut min_ms: u64 = 250;
     let mut out = String::from("BENCH_interpreter.json");
+    let mut gate: Option<String> = None;
     let mut p = Parser::new(USAGE);
     while let Some(flag) = p.next_flag() {
         if filter.accept(&mut p, &flag) {
@@ -39,7 +111,9 @@ fn main() {
         }
         match flag.as_str() {
             "--reps" => reps = p.parsed(&flag),
+            "--min-ms" => min_ms = p.parsed(&flag),
             "--out" => out = p.value(&flag),
+            "--gate" => gate = Some(p.value(&flag)),
             other => p.unknown(other),
         }
     }
@@ -53,35 +127,36 @@ fn main() {
     let (mut total_insts, mut total_secs) = (0u64, 0f64);
     for s in &scenarios {
         let workload = Workload::from_scenario(s).unwrap_or_else(|e| panic!("{}: {e}", s.id()));
-        let mut best: Option<(u64, f64)> = None;
-        for _ in 0..reps {
-            let start = Instant::now();
-            let (report, _) = golden_run(&workload);
-            let secs = start.elapsed().as_secs_f64();
-            let insts = report.total_instructions();
-            if best.is_none_or(|(_, b)| secs < b) {
-                best = Some((insts, secs));
-            }
-        }
-        let (insts, secs) = best.expect("reps >= 1");
+        // Warmup rep: same work as a measured rep, result discarded.
+        let _ = one_rep(&workload, min_ms);
+        let mut measured: Vec<(u64, f64)> = (0..reps).map(|_| one_rep(&workload, min_ms)).collect();
+        measured.sort_by(|a, b| {
+            let ra = a.0 as f64 / a.1;
+            let rb = b.0 as f64 / b.1;
+            ra.partial_cmp(&rb).expect("rates are finite")
+        });
+        let (insts, secs) = measured[measured.len() / 2];
         let rate = insts as f64 / secs;
         eprintln!(
-            "  {}: {insts} instructions in {secs:.3}s = {:.2} Minst/s",
+            "  {}: {insts} instructions in {secs:.3}s = {:.2} Minst/s (median of {reps})",
             s.id(),
             rate / 1e6
         );
         total_insts += insts;
         total_secs += secs;
         rows.push(format!(
-            "    {{\"scenario\": \"{}\", \"instructions\": {insts}, \"seconds\": {secs:.6}, \"steps_per_sec\": {:.0}}}",
-            s.id(),
-            rate
+            "    {{\"scenario\": \"{}\", \"instructions\": {insts}, \"seconds\": {secs:.6}, \"steps_per_sec\": {rate:.0}}}",
+            s.id()
         ));
     }
     let aggregate = total_insts as f64 / total_secs;
-    // Hand-rolled JSON: two scalar fields and an array of flat records.
+    let git_rev = probe("git", &["rev-parse", "--short", "HEAD"]);
+    let rustc = probe("rustc", &["--version"]);
+    // Hand-rolled JSON: scalar provenance fields and an array of flat
+    // per-scenario records.
     let json = format!(
-        "{{\n  \"bench\": \"interpreter_golden_run\",\n  \"reps\": {reps},\n  \
+        "{{\n  \"bench\": \"interpreter_golden_run\",\n  \"git_rev\": \"{git_rev}\",\n  \
+         \"rustc\": \"{rustc}\",\n  \"reps\": {reps},\n  \"min_ms\": {min_ms},\n  \
          \"aggregate_steps_per_sec\": {aggregate:.0},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );
@@ -91,4 +166,25 @@ fn main() {
         aggregate / 1e6,
         scenarios.len()
     );
+
+    if let Some(base_path) = gate {
+        let base = baseline_rate(&base_path);
+        let floor = base * (1.0 - GATE_TOLERANCE);
+        if aggregate < floor {
+            eprintln!(
+                "REGRESSION: {:.2} Minst/s is below the gate floor {:.2} Minst/s \
+                 (baseline {:.2} from {base_path})",
+                aggregate / 1e6,
+                floor / 1e6,
+                base / 1e6
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "gate: {:.2} Minst/s >= floor {:.2} Minst/s (baseline {:.2} from {base_path})",
+            aggregate / 1e6,
+            floor / 1e6,
+            base / 1e6
+        );
+    }
 }

@@ -27,6 +27,15 @@
 //! Checking observes execution without influencing it (like profiling
 //! and tracing), so a checked run retires the exact same
 //! cycle-by-cycle schedule as an unchecked one — it is only slower.
+//!
+//! The checker needs structured [`fracas_isa::Inst`] values to look up
+//! declared effects, which the predecoded production path never
+//! materialises; a checked run therefore executes on the reference
+//! interpreter (`step_ref`, the pre-predecode path kept verbatim).
+//! That is sound because the two paths are pinned step-for-step
+//! identical by the predecode differential suite (see DESIGN.md
+//! §3.3b), so a conformance pass over the reference path certifies the
+//! production path too.
 
 use crate::{Core, CostModel, StepResult, Trap};
 use fracas_isa::effects::{

@@ -88,6 +88,11 @@ impl CostModel {
     /// than `base` still costs `base`); atomics and FP ops charge their
     /// unit cost fully on top of issue; a supervisor call's trap
     /// entry/exit overhead replaces the base cost entirely.
+    ///
+    /// The production interpreter does not call this per step: the
+    /// machine prefolds `charge` over every class into a dense table
+    /// at construction (and again on `set_cost_model`), and each
+    /// predecoded instruction carries its class as an index into it.
     pub fn charge(&self, class: CostClass) -> u32 {
         match class {
             CostClass::Base => self.base,

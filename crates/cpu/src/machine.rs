@@ -2,7 +2,8 @@
 
 use crate::trace::{ExecTrace, TraceKind};
 use crate::{Core, CostModel, Flags, Trap};
-use fracas_isa::effects;
+use fracas_isa::effects::{self, CostClass};
+use fracas_isa::lower::{self, DecodedInst, Op};
 use fracas_isa::{AluOp, FReg, FpOp, Image, Inst, InstKind, IsaKind, Reg, Width};
 use fracas_mem::{
     Access, AccessKind, CacheParams, MemSnapshot, MemSystem, PageSet, PermissionMap, Perms, PhysMem,
@@ -10,6 +11,7 @@ use fracas_mem::{
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 /// Default flat-boot physical memory size (16 MiB).
 const FLAT_MEM_SIZE: u32 = 16 << 20;
@@ -43,8 +45,15 @@ pub enum RunError {
         /// The calling PC.
         pc: u32,
     },
-    /// The step budget ran out before `halt`.
-    StepLimit,
+    /// The step budget ran out before `halt`. Carries enough context
+    /// to diagnose a hang without a re-run under trace.
+    StepLimit {
+        /// Total instructions retired across all cores when the
+        /// budget ran out.
+        instructions: u64,
+        /// Each core's PC at the moment the budget ran out.
+        pcs: Vec<u32>,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -54,7 +63,16 @@ impl fmt::Display for RunError {
             RunError::UnhandledSvc { num, pc } => {
                 write!(f, "unhandled svc #{num} at {pc:#010x} (no kernel attached)")
             }
-            RunError::StepLimit => write!(f, "step limit reached before halt"),
+            RunError::StepLimit { instructions, pcs } => {
+                write!(
+                    f,
+                    "step limit reached before halt ({instructions} instructions retired; core PCs:"
+                )?;
+                for (i, pc) in pcs.iter().enumerate() {
+                    write!(f, "{}{pc:#010x}", if i == 0 { " " } else { ", " })?;
+                }
+                write!(f, ")")
+            }
         }
     }
 }
@@ -104,11 +122,17 @@ pub struct Machine {
     cost: CostModel,
     /// Encoded instruction words (the injectable instruction memory).
     text_words: Vec<u32>,
-    /// Decode cache over `text_words`; an entry is `None` when an
-    /// instruction-memory fault corrupted the word into something that
-    /// no longer decodes or violates the ISA.
-    text: Vec<Option<Inst>>,
+    /// Predecoded table over `text_words` (see [`fracas_isa::lower`]):
+    /// one dense 16-byte slot per word, kept coherent by
+    /// [`Machine::patch_text_word`]. A word that no longer decodes or
+    /// violates the ISA lowers to [`Op::Illegal`] and traps at fetch.
+    /// Shared by `Arc` so snapshot/restore is O(1); mutation goes
+    /// through copy-on-write.
+    dtext: Arc<Vec<DecodedInst>>,
     text_base: u32,
+    /// Cycle charge per [`CostClass`] discriminant, prefolded from
+    /// `cost` so the hot loop charges with one array load.
+    charge: [u32; CostClass::COUNT],
     cores: Vec<Core>,
     /// Physical memory (public: the kernel and the injector manipulate it).
     pub mem: PhysMem,
@@ -124,6 +148,12 @@ pub struct Machine {
     /// `profile`/`trace`, so it is excluded from snapshots and state
     /// comparison and never influences execution.
     check_effects: bool,
+    /// Force the structured-[`Inst`] reference interpreter instead of
+    /// the predecoded fast path (see [`Machine::set_reference_exec`]).
+    /// A differential-testing hook, excluded from snapshots and state
+    /// comparison: both paths are architecturally identical, which is
+    /// exactly what the differential tests prove.
+    ref_exec: bool,
 }
 
 /// A frozen copy of a [`Machine`] at one tick boundary, captured by
@@ -137,7 +167,11 @@ pub struct MachineSnapshot {
     isa: IsaKind,
     cost: CostModel,
     text_words: Vec<u32>,
-    text: Vec<Option<Inst>>,
+    /// The predecoded table travels with the snapshot by `Arc`, so
+    /// capturing and restoring costs one reference count — and a text
+    /// fault landed before the capture (a re-lowered slot) survives
+    /// the round trip without re-deriving anything.
+    dtext: Arc<Vec<DecodedInst>>,
     text_base: u32,
     cores: Vec<Core>,
     mem: MemSnapshot,
@@ -169,18 +203,30 @@ impl Machine {
     /// (kernel's) job, since each process gets its own copy.
     pub fn new(image: &Image, cores: usize, mem_size: u32, cache: CacheParams) -> Machine {
         let text_words: Vec<u32> = image.text.iter().map(fracas_isa::encode).collect();
+        let cost = CostModel::for_isa(image.isa);
+        let dtext: Vec<DecodedInst> = image
+            .text
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| {
+                let pc = image.text_base.wrapping_add((i as u32).wrapping_mul(4));
+                lower::lower(image.isa, pc, Some(inst))
+            })
+            .collect();
         Machine {
             isa: image.isa,
-            cost: CostModel::for_isa(image.isa),
-            text: image.text.iter().map(|i| Some(*i)).collect(),
+            cost,
+            dtext: Arc::new(dtext),
             text_words,
             text_base: image.text_base,
+            charge: charge_table(&cost),
             cores: (0..cores).map(|_| Core::new(image.isa)).collect(),
             mem: PhysMem::new(mem_size),
             caches: MemSystem::new(cores, cache),
             profile: None,
             trace: None,
             check_effects: crate::check::enabled_from_env(),
+            ref_exec: false,
         }
     }
 
@@ -217,6 +263,7 @@ impl Machine {
     /// Replaces the timing model (used by timing-sensitivity ablations).
     pub fn set_cost_model(&mut self, cost: CostModel) {
         self.cost = cost;
+        self.charge = charge_table(&cost);
     }
 
     /// True when per-step effects conformance checking is on.
@@ -231,6 +278,24 @@ impl Machine {
     /// panics. Checking observes execution without influencing it.
     pub fn set_effect_check(&mut self, on: bool) {
         self.check_effects = on;
+    }
+
+    /// True when the structured-[`Inst`] reference interpreter is
+    /// forced instead of the predecoded fast path.
+    pub fn reference_exec(&self) -> bool {
+        self.ref_exec
+    }
+
+    /// Forces (or releases) the structured-[`Inst`] reference
+    /// interpreter: every step decodes its word on demand and runs the
+    /// original wide-match execution path instead of dispatching on
+    /// the predecoded table. Architecturally the two paths are
+    /// identical — the differential test suite steps them in lockstep
+    /// — so this is purely a verification hook (it is also the path
+    /// the `FRACAS_CHECK_EFFECTS` conformance checker observes, since
+    /// the checker needs the structured instruction).
+    pub fn set_reference_exec(&mut self, on: bool) {
+        self.ref_exec = on;
     }
 
     /// Number of cores.
@@ -263,7 +328,7 @@ impl Machine {
 
     /// Byte size of the text section.
     pub fn text_bytes(&self) -> u32 {
-        (self.text.len() as u32) * 4
+        (self.text_words.len() as u32) * 4
     }
 
     /// The runnable core with the smallest local cycle count (ties break
@@ -281,6 +346,106 @@ impl Machine {
     /// clock; used for watchdogs and Table 1's simulation-time figures).
     pub fn max_cycles(&self) -> u64 {
         self.cores.iter().map(Core::cycles).max().unwrap_or(0)
+    }
+
+    /// One-pass scheduling probe: [`Machine::max_cycles`] and
+    /// [`Machine::next_core`] fused, plus the elected core's *election
+    /// cap* — the cycle count at which [`Machine::next_core`] would
+    /// stop electing it. While the elected core's clock stays strictly
+    /// below the cap, re-running the election is guaranteed to pick the
+    /// same core, which is what lets the kernel batch consecutive
+    /// steps into one [`Machine::run_burst`] without perturbing the
+    /// schedule: core `i` wins while `cy_i < cy_j` for every lower id
+    /// `j` and `cy_i <= cy_j` for every higher id (ties go to the
+    /// lowest id), i.e. while `cy_i < min_j(cy_j + (j > i))`.
+    pub fn schedule_probe(&self) -> (u64, Option<(usize, u64)>) {
+        let mut wall = 0u64;
+        let mut best: Option<(u64, usize)> = None;
+        // Second-lowest runnable clock, kept as a *conservative* cap:
+        // the exact election boundary is `min_j(cy_j + (j > i))`, and
+        // using the raw second minimum only errs one cycle low, which
+        // at worst ends a burst one step early (the re-election then
+        // picks the same core) — it can never extend one.
+        let mut cap = u64::MAX;
+        for (i, c) in self.cores.iter().enumerate() {
+            let cy = c.cycles();
+            wall = wall.max(cy);
+            if c.is_halted() {
+                continue;
+            }
+            // Strict `<` on ascending ids keeps the lowest-id winner
+            // among ties, matching `next_core`.
+            match best {
+                Some((bc, _)) if cy >= bc => cap = cap.min(cy),
+                _ => {
+                    if let Some((bc, _)) = best {
+                        cap = cap.min(bc);
+                    }
+                    best = Some((cy, i));
+                }
+            }
+        }
+        (wall, best.map(|(_, i)| (i, cap)))
+    }
+
+    /// Executes up to `budget` instructions on `core`, stopping early
+    /// the moment a step yields anything but
+    /// [`StepResult::Executed`] or the core's cycle clock reaches
+    /// `cycle_cap`. Returns the number of steps taken (at least one)
+    /// and the last step's result.
+    ///
+    /// This is purely a dispatch-overhead optimisation: every
+    /// individual step is a full [`Machine::step`], so a burst of `n`
+    /// steps leaves the machine in exactly the state `n` single steps
+    /// would. Callers pick `cycle_cap` so that nothing *between* steps
+    /// could have mattered (scheduler election, preemption quantum,
+    /// watchdogs, injection fences). When tracing is enabled the
+    /// budget degrades to one step so tick boundaries stay per-step.
+    pub fn run_burst(
+        &mut self,
+        core: usize,
+        perm: &PermissionMap,
+        budget: u64,
+        cycle_cap: u64,
+    ) -> (u64, StepResult) {
+        let budget = if self.trace.is_some() {
+            1
+        } else {
+            budget.max(1)
+        };
+        // With every per-step observer off (no profile, no trace, no
+        // conformance checker, not in reference mode) the `step`
+        // wrapper's pre/post bookkeeping is dead weight; drive the
+        // fast path directly. One step of either loop is
+        // state-identical to one `Machine::step` call.
+        let plain = self.profile.is_none() && !self.check_effects && !self.ref_exec;
+        let mut n = 0u64;
+        if plain && budget > 1 {
+            loop {
+                if self.cores[core].is_halted() {
+                    return (n + 1, StepResult::Halted);
+                }
+                let pc = self.cores[core].pc();
+                let r = self.step_fast(core, perm, pc);
+                n += 1;
+                if !matches!(r, StepResult::Executed)
+                    || n >= budget
+                    || self.cores[core].cycles() >= cycle_cap
+                {
+                    return (n, r);
+                }
+            }
+        }
+        loop {
+            let r = self.step(core, perm);
+            n += 1;
+            if !matches!(r, StepResult::Executed)
+                || n >= budget
+                || self.cores[core].cycles() >= cycle_cap
+            {
+                return (n, r);
+            }
+        }
     }
 
     /// Total retired instructions over all cores.
@@ -437,18 +602,33 @@ impl Machine {
     }
 
     /// Flips one bit of instruction memory. The corrupted word is
-    /// re-decoded; if it no longer decodes, executing it raises an
-    /// illegal-instruction trap (modelling an uncorrected I-cache/IMEM
-    /// upset).
+    /// re-decoded and its predecode slot re-lowered; if it no longer
+    /// decodes, executing it raises an illegal-instruction trap
+    /// (modelling an uncorrected I-cache/IMEM upset).
     pub fn flip_text(&mut self, word_index: u32, bit: u32) {
-        let Some(word) = self.text_words.get_mut(word_index as usize) else {
+        if let Some(word) = self.text_words.get(word_index as usize) {
+            self.patch_text_word(word_index, word ^ (1 << (bit % 32)));
+        }
+    }
+
+    /// Overwrites one instruction word, keeping the predecoded table
+    /// coherent: the affected slot is re-lowered from the new word
+    /// (the coherence rule of [`fracas_isa::lower`]). A word that no
+    /// longer decodes or fails ISA validation lowers to
+    /// [`Op::Illegal`] and traps at fetch. Out-of-range indices are
+    /// ignored. The decoded table is copy-on-write, so a patch never
+    /// disturbs snapshots sharing the pre-patch table.
+    pub fn patch_text_word(&mut self, word_index: u32, word: u32) {
+        let Some(slot) = self.text_words.get_mut(word_index as usize) else {
             return;
         };
-        *word ^= 1 << (bit % 32);
+        *slot = word;
         let isa = self.isa;
-        self.text[word_index as usize] = fracas_isa::decode(*word)
+        let pc = self.text_base.wrapping_add(word_index.wrapping_mul(4));
+        let inst = fracas_isa::decode(word)
             .ok()
             .filter(|inst| isa.validate(inst).is_ok());
+        Arc::make_mut(&mut self.dtext)[word_index as usize] = lower::lower(isa, pc, inst.as_ref());
     }
 
     /// Number of instruction words in the text section.
@@ -478,7 +658,7 @@ impl Machine {
             isa: self.isa,
             cost: self.cost,
             text_words: self.text_words.clone(),
-            text: self.text.clone(),
+            dtext: Arc::clone(&self.dtext),
             text_base: self.text_base,
             cores: self.cores.clone(),
             mem: self.mem.snapshot(),
@@ -494,14 +674,16 @@ impl Machine {
             isa: snap.isa,
             cost: snap.cost,
             text_words: snap.text_words.clone(),
-            text: snap.text.clone(),
+            dtext: Arc::clone(&snap.dtext),
             text_base: snap.text_base,
+            charge: charge_table(&snap.cost),
             cores: snap.cores.clone(),
             mem: snap.mem.restore(),
             caches: snap.caches.clone(),
             profile: None,
             trace: None,
             check_effects: crate::check::enabled_from_env(),
+            ref_exec: false,
         }
     }
 
@@ -520,8 +702,10 @@ impl Machine {
             && self.text_base == snap.text_base
             && self.cores == snap.cores
             && self.caches == snap.caches
-            // The decoded `text` array is always re-derived from
-            // `text_words` (at construction and by `flip_text`), so
+            // The predecoded `dtext` table is a pure function of
+            // `text_words` (re-lowered at construction and by
+            // `patch_text_word`; the differential suite proves
+            // lowering-from-`Inst` and lowering-from-word agree), so
             // comparing the raw words covers both and memcmps.
             && self.text_words == snap.text_words
             && self.mem.matches_snapshot(&snap.mem)
@@ -550,18 +734,26 @@ impl Machine {
     ///
     /// Panics if `core` is out of range.
     pub fn step(&mut self, core: usize, perm: &PermissionMap) -> StepResult {
-        if self.cores[core].is_halted() {
+        let c = &self.cores[core];
+        if c.is_halted() {
             return StepResult::Halted;
         }
-        let pc = self.cores[core].pc();
-        let cycles_before = self.cores[core].cycles();
+        let pc = c.pc();
+        let cycles_before = c.cycles();
         // Retirement counters (executed and annulled), not the cycle
         // clock: traps roll `instructions` back, so a delta here is
         // exactly "one instruction committed".
-        let instructions_before = self.cores[core].stats.instructions;
-        let skipped_before = self.cores[core].stats.cond_skipped;
+        let instructions_before = c.stats.instructions;
+        let skipped_before = c.stats.cond_skipped;
 
-        let result = self.step_inner(core, perm, pc);
+        // The predecoded fast path is the production interpreter; the
+        // structured-`Inst` reference path serves the conformance
+        // checker (which needs the `Inst`) and differential testing.
+        let result = if self.check_effects || self.ref_exec {
+            self.step_ref(core, perm, pc)
+        } else {
+            self.step_fast(core, perm, pc)
+        };
 
         if self.profile.is_some() {
             let delta = self.cores[core].cycles() - cycles_before;
@@ -583,7 +775,23 @@ impl Machine {
         result
     }
 
-    fn step_inner(&mut self, core: usize, perm: &PermissionMap, pc: u32) -> StepResult {
+    /// Decodes the text slot at `idx` on demand from its raw word
+    /// (`None` if the word does not decode or fails ISA validation) —
+    /// the reference path's equivalent of the predecoded table, and
+    /// guaranteed to agree with it because lowering is a pure function
+    /// of the decoded word (proved by the encode/decode round-trip
+    /// property plus the predecode differential suite).
+    fn decode_slot(&self, idx: usize) -> Option<Inst> {
+        let word = *self.text_words.get(idx)?;
+        let inst = fracas_isa::decode(word).ok()?;
+        self.isa.validate(&inst).ok()?;
+        Some(inst)
+    }
+
+    /// The structured-[`Inst`] reference interpreter: the pre-predecode
+    /// step path, retained verbatim for the conformance checker and as
+    /// the oracle of the differential tests.
+    fn step_ref(&mut self, core: usize, perm: &PermissionMap, pc: u32) -> StepResult {
         // --- fetch ---
         if !pc.is_multiple_of(4) {
             return StepResult::Trap(Trap::Mem(fracas_mem::MemError::Misaligned {
@@ -595,7 +803,7 @@ impl Machine {
             return StepResult::Trap(Trap::Mem(e));
         }
         let idx = (pc.wrapping_sub(self.text_base) / 4) as usize;
-        let Some(Some(inst)) = self.text.get(idx).copied() else {
+        let Some(inst) = self.decode_slot(idx) else {
             return StepResult::Trap(Trap::IllegalInst { pc });
         };
         let fetch_penalty = self.caches.access(core, Access::Fetch, pc);
@@ -633,6 +841,372 @@ impl Machine {
             return result;
         }
         self.exec(core, perm, pc, inst, holds)
+    }
+
+    /// The production interpreter step: dispatches on the predecoded
+    /// [`DecodedInst`] table. Architecturally identical to
+    /// [`Machine::step_ref`] — same trap ordering (alignment, then
+    /// execute permission, then illegal-instruction, then the fetch
+    /// cache access), same annul accounting, same cycle charges.
+    fn step_fast(&mut self, core: usize, perm: &PermissionMap, pc: u32) -> StepResult {
+        // --- fetch ---
+        if !pc.is_multiple_of(4) {
+            return StepResult::Trap(Trap::Mem(fracas_mem::MemError::Misaligned {
+                addr: pc,
+                align: 4,
+            }));
+        }
+        if let Err(e) = perm.check(pc, 4, AccessKind::Execute) {
+            return StepResult::Trap(Trap::Mem(e));
+        }
+        let idx = (pc.wrapping_sub(self.text_base) / 4) as usize;
+        let Some(&d) = self.dtext.get(idx) else {
+            return StepResult::Trap(Trap::IllegalInst { pc });
+        };
+        if d.op == Op::Illegal {
+            return StepResult::Trap(Trap::IllegalInst { pc });
+        }
+        let fetch_penalty = self.caches.access(core, Access::Fetch, pc);
+        let base = u64::from(self.cost.base);
+        let cr = &mut self.cores[core];
+        cr.stats.miss_cycles += u64::from(fetch_penalty);
+        cr.cycles += u64::from(fetch_penalty);
+
+        // --- conditional execution: one shift through the predecoded
+        // NZCV truth table (branches carry `ALWAYS` here and gate the
+        // redirect through `take_mask` instead) ---
+        if (d.exec_mask >> cr.flags.bits()) & 1 == 0 {
+            cr.stats.cond_skipped += 1;
+            cr.cycles += base;
+            cr.set_pc(pc.wrapping_add(4));
+            return StepResult::Executed;
+        }
+        self.exec_fast(core, perm, pc, d)
+    }
+
+    /// Executes one predecoded instruction whose condition held.
+    #[allow(clippy::too_many_lines)]
+    fn exec_fast(
+        &mut self,
+        core: usize,
+        perm: &PermissionMap,
+        pc: u32,
+        d: DecodedInst,
+    ) -> StepResult {
+        let bits = if self.isa == IsaKind::Sira32 { 32 } else { 64 };
+        let next = pc.wrapping_add(4);
+        let branch_taken = u64::from(self.cost.branch_taken);
+        // The whole static charge comes from the prefolded cost-class
+        // table; the arms below add only the dynamic surcharges
+        // (taken-branch redirects; cache penalties go in via the
+        // `data_load`/`data_store` helpers).
+        let mut cycles = u64::from(self.charge[usize::from(d.cost)]);
+        // Split borrows once, so the hot loop never re-indexes `self`
+        // per operand access.
+        let mem = &mut self.mem;
+        let caches = &mut self.caches;
+        let cr = &mut self.cores[core];
+
+        // Default PC advance; branch arms override. Ordered before
+        // operand reads so a SIRA-32 `r15` read observes the
+        // architected `pc + 8`, exactly as the reference path does.
+        cr.set_pc(next);
+        cr.stats.instructions += 1;
+
+        macro_rules! trap {
+            ($t:expr) => {{
+                // Roll back: a trapped instruction does not retire.
+                cr.set_pc(pc);
+                cr.stats.instructions -= 1;
+                return StepResult::Trap($t);
+            }};
+        }
+
+        macro_rules! alu_rr {
+            ($op:expr) => {{
+                let a = cr.reg(Reg(d.b));
+                let b = cr.reg(Reg(d.c));
+                match alu_exec($op, a, b, bits) {
+                    Some(v) => cr.set_reg(Reg(d.a), v),
+                    None => trap!(Trap::DivByZero { pc }),
+                }
+            }};
+        }
+        macro_rules! alu_ri {
+            ($op:expr) => {{
+                let a = cr.reg(Reg(d.b));
+                let b = d.imm as i64 as u64;
+                match alu_exec($op, a, b, bits) {
+                    Some(v) => cr.set_reg(Reg(d.a), v),
+                    None => trap!(Trap::DivByZero { pc }),
+                }
+            }};
+        }
+        macro_rules! ld {
+            ($bytes:expr, $addr:expr) => {{
+                match data_load(cr, mem, caches, core, perm, $bytes, $addr) {
+                    Ok(v) => cr.set_reg(Reg(d.a), v),
+                    Err(t) => trap!(t),
+                }
+            }};
+        }
+        macro_rules! st {
+            ($bytes:expr, $addr:expr) => {{
+                let v = cr.reg(Reg(d.a));
+                if let Err(t) = data_store(cr, mem, caches, core, perm, $bytes, $addr, v) {
+                    trap!(t);
+                }
+            }};
+        }
+        macro_rules! addr_imm {
+            () => {
+                (cr.reg(Reg(d.b)) as u32).wrapping_add(d.imm as u32)
+            };
+        }
+        macro_rules! addr_reg {
+            () => {
+                (cr.reg(Reg(d.b)) as u32).wrapping_add(cr.reg(Reg(d.c)) as u32)
+            };
+        }
+        macro_rules! fp2 {
+            (|$x:ident, $y:ident| $e:expr) => {{
+                let $x = cr.freg_f64(FReg(d.b));
+                let $y = cr.freg_f64(FReg(d.c));
+                cr.set_freg_f64(FReg(d.a), $e);
+                cr.stats.fp_ops += 1;
+            }};
+        }
+        macro_rules! fp1 {
+            (|$x:ident| $e:expr) => {{
+                let $x = cr.freg_f64(FReg(d.b));
+                cr.set_freg_f64(FReg(d.a), $e);
+                cr.stats.fp_ops += 1;
+            }};
+        }
+
+        match d.op {
+            // Defensive: illegal slots trap at fetch in `step_fast`.
+            Op::Illegal => trap!(Trap::IllegalInst { pc }),
+            Op::Nop => {}
+            Op::Halt => {
+                cr.cycles += cycles;
+                cr.set_halted(true);
+                return StepResult::Halted;
+            }
+            Op::Svc => {
+                cr.stats.svcs += 1;
+                cr.cycles += cycles;
+                return StepResult::Svc(d.imm as u16);
+            }
+            Op::Ret => {
+                let lr = cr.reg(Reg(d.a));
+                cr.set_pc(lr as u32);
+                cycles += branch_taken;
+            }
+
+            Op::AddR => alu_rr!(AluOp::Add),
+            Op::SubR => alu_rr!(AluOp::Sub),
+            Op::MulR => alu_rr!(AluOp::Mul),
+            Op::SdivR => alu_rr!(AluOp::Sdiv),
+            Op::SremR => alu_rr!(AluOp::Srem),
+            Op::AndR => alu_rr!(AluOp::And),
+            Op::OrrR => alu_rr!(AluOp::Orr),
+            Op::EorR => alu_rr!(AluOp::Eor),
+            Op::LslR => alu_rr!(AluOp::Lsl),
+            Op::LsrR => alu_rr!(AluOp::Lsr),
+            Op::AsrR => alu_rr!(AluOp::Asr),
+            Op::MuhR => alu_rr!(AluOp::Muh),
+
+            Op::AddI => alu_ri!(AluOp::Add),
+            Op::SubI => alu_ri!(AluOp::Sub),
+            Op::MulI => alu_ri!(AluOp::Mul),
+            Op::SdivI => alu_ri!(AluOp::Sdiv),
+            Op::SremI => alu_ri!(AluOp::Srem),
+            Op::AndI => alu_ri!(AluOp::And),
+            Op::OrrI => alu_ri!(AluOp::Orr),
+            Op::EorI => alu_ri!(AluOp::Eor),
+            Op::LslI => alu_ri!(AluOp::Lsl),
+            Op::LsrI => alu_ri!(AluOp::Lsr),
+            Op::AsrI => alu_ri!(AluOp::Asr),
+            Op::MuhI => alu_ri!(AluOp::Muh),
+
+            Op::Cmp => {
+                let a = cr.reg(Reg(d.a));
+                let b = cr.reg(Reg(d.b));
+                cr.set_flags(sub_flags(a, b, bits));
+            }
+            Op::CmpI => {
+                let a = cr.reg(Reg(d.a));
+                cr.set_flags(sub_flags(a, d.imm as i64 as u64, bits));
+            }
+            Op::MovZ => {
+                cr.set_reg(Reg(d.a), (d.imm as u64) << u32::from(d.c));
+            }
+            Op::MovK => {
+                let sh = u32::from(d.c);
+                let v = (cr.reg(Reg(d.a)) & !(0xffffu64 << sh)) | ((d.imm as u64) << sh);
+                cr.set_reg(Reg(d.a), v);
+            }
+            Op::Mov => {
+                let v = cr.reg(Reg(d.b));
+                cr.set_reg(Reg(d.a), v);
+            }
+            Op::Mvn => {
+                let v = !cr.reg(Reg(d.b));
+                cr.set_reg(Reg(d.a), v);
+            }
+
+            Op::Ld1 => ld!(1, addr_imm!()),
+            Op::Ld4 => ld!(4, addr_imm!()),
+            Op::Ld8 => ld!(8, addr_imm!()),
+            Op::St1 => st!(1, addr_imm!()),
+            Op::St4 => st!(4, addr_imm!()),
+            Op::St8 => st!(8, addr_imm!()),
+            Op::LdR1 => ld!(1, addr_reg!()),
+            Op::LdR4 => ld!(4, addr_reg!()),
+            Op::LdR8 => ld!(8, addr_reg!()),
+            Op::StR1 => st!(1, addr_reg!()),
+            Op::StR4 => st!(4, addr_reg!()),
+            Op::StR8 => st!(8, addr_reg!()),
+
+            Op::B => {
+                cr.stats.branches += 1;
+                if (d.take_mask >> cr.flags.bits()) & 1 == 1 {
+                    cr.stats.branches_taken += 1;
+                    cr.set_pc(d.imm as u32);
+                    cycles += branch_taken;
+                }
+            }
+            Op::Bl => {
+                cr.stats.calls += 1;
+                cr.set_reg(Reg(d.a), u64::from(next));
+                cr.set_pc(d.imm as u32);
+                cycles += branch_taken;
+            }
+            Op::Blr => {
+                let target = cr.reg(Reg(d.b)) as u32;
+                cr.stats.calls += 1;
+                cr.set_reg(Reg(d.a), u64::from(next));
+                cr.set_pc(target);
+                cycles += branch_taken;
+            }
+            Op::Swp => {
+                let addr = cr.reg(Reg(d.b)) as u32;
+                let new = cr.reg(Reg(d.c));
+                let abytes = if bits == 32 { 4 } else { 8 };
+                match data_load(cr, mem, caches, core, perm, abytes, addr) {
+                    Ok(old) => {
+                        if let Err(t) = data_store(cr, mem, caches, core, perm, abytes, addr, new) {
+                            trap!(t);
+                        }
+                        cr.set_reg(Reg(d.a), old);
+                    }
+                    Err(t) => trap!(t),
+                }
+            }
+            Op::AmoAdd => {
+                let addr = cr.reg(Reg(d.b)) as u32;
+                let delta = cr.reg(Reg(d.c));
+                let abytes = if bits == 32 { 4 } else { 8 };
+                match data_load(cr, mem, caches, core, perm, abytes, addr) {
+                    Ok(old) => {
+                        let sum = old.wrapping_add(delta);
+                        if let Err(t) = data_store(cr, mem, caches, core, perm, abytes, addr, sum) {
+                            trap!(t);
+                        }
+                        cr.set_reg(Reg(d.a), old);
+                    }
+                    Err(t) => trap!(t),
+                }
+            }
+
+            Op::Fadd => fp2!(|x, y| x + y),
+            Op::Fsub => fp2!(|x, y| x - y),
+            Op::Fmul => fp2!(|x, y| x * y),
+            Op::Fdiv => fp2!(|x, y| x / y),
+            Op::Fneg => fp1!(|x| -x),
+            Op::Fabs => fp1!(|x| x.abs()),
+            Op::Fsqrt => fp1!(|x| x.sqrt()),
+            Op::Fmov => fp1!(|x| x),
+            Op::FpCmp => {
+                let a = cr.freg_f64(FReg(d.a));
+                let b = cr.freg_f64(FReg(d.b));
+                let f = if a.is_nan() || b.is_nan() {
+                    Flags {
+                        n: false,
+                        z: false,
+                        c: true,
+                        v: true,
+                    }
+                } else {
+                    Flags {
+                        n: a < b,
+                        z: a == b,
+                        c: a >= b,
+                        v: false,
+                    }
+                };
+                cr.set_flags(f);
+                cr.stats.fp_ops += 1;
+            }
+            Op::FMovToFp => {
+                let v = cr.reg(Reg(d.b));
+                cr.set_freg(FReg(d.a), v);
+                cr.stats.fp_ops += 1;
+            }
+            Op::FMovFromFp => {
+                let v = cr.freg(FReg(d.b));
+                cr.set_reg(Reg(d.a), v);
+                cr.stats.fp_ops += 1;
+            }
+            Op::Fcvtzs => {
+                let a = cr.freg_f64(FReg(d.b));
+                // Saturating convert, NaN -> 0 (ARM semantics).
+                let v = if a.is_nan() { 0 } else { a as i64 };
+                cr.set_reg(Reg(d.a), v as u64);
+                cr.stats.fp_ops += 1;
+            }
+            Op::Scvtf => {
+                let v = cr.reg(Reg(d.b)) as i64;
+                cr.set_freg_f64(FReg(d.a), v as f64);
+                cr.stats.fp_ops += 1;
+            }
+            Op::FLd => {
+                let addr = addr_imm!();
+                match data_load(cr, mem, caches, core, perm, 8, addr) {
+                    Ok(v) => cr.set_freg(FReg(d.a), v),
+                    Err(t) => trap!(t),
+                }
+                cr.stats.fp_ops += 1;
+            }
+            Op::FSt => {
+                let addr = addr_imm!();
+                let v = cr.freg(FReg(d.a));
+                if let Err(t) = data_store(cr, mem, caches, core, perm, 8, addr, v) {
+                    trap!(t);
+                }
+                cr.stats.fp_ops += 1;
+            }
+            Op::FLdR => {
+                let addr = addr_reg!();
+                match data_load(cr, mem, caches, core, perm, 8, addr) {
+                    Ok(v) => cr.set_freg(FReg(d.a), v),
+                    Err(t) => trap!(t),
+                }
+                cr.stats.fp_ops += 1;
+            }
+            Op::FStR => {
+                let addr = addr_reg!();
+                let v = cr.freg(FReg(d.a));
+                if let Err(t) = data_store(cr, mem, caches, core, perm, 8, addr, v) {
+                    trap!(t);
+                }
+                cr.stats.fp_ops += 1;
+            }
+        }
+
+        cr.cycles += cycles;
+        StepResult::Executed
     }
 
     #[allow(clippy::too_many_lines)]
@@ -1023,8 +1597,75 @@ impl Machine {
                 }
             }
         }
-        Err(RunError::StepLimit)
+        Err(RunError::StepLimit {
+            instructions: self.total_instructions(),
+            pcs: self.cores.iter().map(Core::pc).collect(),
+        })
     }
+}
+
+/// Prefolds the per-class cycle charge into a dense table indexed by
+/// the [`CostClass`] discriminant (what `DecodedInst::cost` stores).
+fn charge_table(cost: &CostModel) -> [u32; CostClass::COUNT] {
+    let mut t = [0u32; CostClass::COUNT];
+    for class in CostClass::ALL {
+        t[class as usize] = cost.charge(class);
+    }
+    t
+}
+
+/// Fast-path data load: identical access sequence to the reference
+/// path's `Machine::load` — permission check, memory read, cache
+/// access, stats — but over split borrows so `exec_fast` holds its
+/// per-core state across the call. `bytes` is a constant at every
+/// non-atomic call site, so the width match folds away.
+#[inline]
+fn data_load(
+    cr: &mut Core,
+    mem: &PhysMem,
+    caches: &mut MemSystem,
+    core: usize,
+    perm: &PermissionMap,
+    bytes: u32,
+    addr: u32,
+) -> Result<u64, Trap> {
+    perm.check(addr, bytes, AccessKind::Read)?;
+    let v = match bytes {
+        1 => u64::from(mem.read_u8(addr)?),
+        4 => u64::from(mem.read_u32(addr)?),
+        _ => mem.read_u64(addr)?,
+    };
+    let penalty = caches.access(core, Access::DataRead, addr);
+    cr.stats.loads += 1;
+    cr.stats.miss_cycles += u64::from(penalty);
+    cr.cycles += u64::from(penalty);
+    Ok(v)
+}
+
+/// Fast-path data store; see [`data_load`].
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn data_store(
+    cr: &mut Core,
+    mem: &mut PhysMem,
+    caches: &mut MemSystem,
+    core: usize,
+    perm: &PermissionMap,
+    bytes: u32,
+    addr: u32,
+    value: u64,
+) -> Result<(), Trap> {
+    perm.check(addr, bytes, AccessKind::Write)?;
+    match bytes {
+        1 => mem.write_u8(addr, value as u8)?,
+        4 => mem.write_u32(addr, value as u32)?,
+        _ => mem.write_u64(addr, value)?,
+    }
+    let penalty = caches.access(core, Access::DataWrite, addr);
+    cr.stats.stores += 1;
+    cr.stats.miss_cycles += u64::from(penalty);
+    cr.cycles += u64::from(penalty);
+    Ok(())
 }
 
 fn branch_target(pc: u32, off: i32) -> u32 {

@@ -129,23 +129,30 @@ impl CoreContext {
 }
 
 /// One SIRA core: registers, flags, PC, local clock and counters.
+///
+/// Laid out hot-first (`repr(C)` fixes the declaration order): the
+/// fields every committed instruction touches — PC, flags, halt bit,
+/// cycle clock and the leading stats counters — pack into the first
+/// cache line, so the interpreter's commit path stays within one line
+/// and the register files are pulled in only by operand access.
 #[derive(Debug, Clone, PartialEq)]
+#[repr(C)]
 pub struct Core {
-    isa: IsaKind,
-    /// Integer register file (SIRA-32 uses slots 0–15, 32-bit semantics).
-    pub(crate) regs: [u64; 32],
-    /// FP register file (SIRA-64 only).
-    pub(crate) fregs: [u64; 32],
     /// Program counter (byte address).
     pub(crate) pc: u32,
     /// NZCV flags.
     pub(crate) flags: Flags,
-    /// Local cycle clock.
-    pub(crate) cycles: u64,
     /// Set when the core executed `halt` (bare-metal) or is parked.
     pub(crate) halted: bool,
+    isa: IsaKind,
+    /// Local cycle clock.
+    pub(crate) cycles: u64,
     /// Event counters.
     pub(crate) stats: CoreStats,
+    /// Integer register file (SIRA-32 uses slots 0–15, 32-bit semantics).
+    pub(crate) regs: [u64; 32],
+    /// FP register file (SIRA-64 only).
+    pub(crate) fregs: [u64; 32],
 }
 
 impl Core {

@@ -67,7 +67,7 @@ pub enum TraceKind {
 
 /// One event of a golden-run trace. See the module docs for the
 /// stamping discipline.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Core the event happened on. For [`TraceKind::CtxWrite`] the
     /// field is a placeholder (0): the write lands in a thread's saved
@@ -84,7 +84,7 @@ pub struct TraceEvent {
 }
 
 /// The recorded event stream of one (golden) run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExecTrace {
     /// All events, in global tick order (and program order within one
     /// tick).

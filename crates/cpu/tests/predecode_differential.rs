@@ -1,0 +1,386 @@
+//! Differential proof obligations for the predecoded interpreter.
+//!
+//! The production step path dispatches on the dense [`DecodedInst`]
+//! table; the reference path re-decodes the raw text word and executes
+//! the structured `Inst` (the pre-predecode interpreter, kept verbatim).
+//! These tests pin the two paths together step-for-step:
+//!
+//! - randomized programs (via `fracas_isa::sample`) run in lockstep on a
+//!   fast machine and a reference machine, comparing the step result and
+//!   the *entire* architectural core state after every instruction;
+//! - a directed program per ISA walks every structural corner the
+//!   sampler only hits probabilistically (annulled conditionals, taken
+//!   and untaken conditional branches, call/return, atomics, the FP
+//!   unit);
+//! - a property test patches arbitrary words into text and checks that
+//!   re-lowering (the fast path's patch coherence) agrees with
+//!   decode-from-words (the reference path's fetch) — including words
+//!   that do not decode at all;
+//! - snapshot/restore must isolate text patches (the predecoded table is
+//!   copy-on-write shared between snapshots).
+
+use fracas_cpu::{Machine, StepResult};
+use fracas_isa::{
+    encode, sample, AluOp, Cond, FpOp, Image, Inst, InstKind, IsaKind, Reg, SymbolTable, Width,
+};
+use fracas_mem::{PermissionMap, Perms};
+use proptest::prelude::*;
+
+/// Flat-boot memory size; must match `Machine::boot_flat`.
+const FLAT_MEM: u32 = 16 << 20;
+const TEXT_BASE: u32 = 0x1000;
+
+fn image(isa: IsaKind, text: Vec<Inst>) -> Image {
+    Image {
+        isa,
+        text_base: TEXT_BASE,
+        text,
+        data_template: vec![0u8; 64],
+        entry: TEXT_BASE,
+        symbols: SymbolTable::default(),
+    }
+}
+
+/// Every page readable/writable/executable: random programs load and
+/// store through whatever garbage their registers hold, and the point
+/// here is path equivalence, not protection.
+fn rwx() -> PermissionMap {
+    let mut p = PermissionMap::new(FLAT_MEM);
+    p.map_range(
+        0,
+        FLAT_MEM,
+        Perms {
+            read: true,
+            write: true,
+            exec: true,
+        },
+    );
+    p
+}
+
+/// Runs `text` on a fast-path machine and a reference-path machine in
+/// lockstep. After every single step the results and the full core
+/// state (registers, flags, PC, cycle clock, stats) must be identical.
+fn lockstep(isa: IsaKind, text: Vec<Inst>, max_steps: usize) {
+    let img = image(isa, text);
+    let perm = rwx();
+    let mut fast = Machine::boot_flat(&img, 1);
+    let mut reference = Machine::boot_flat(&img, 1);
+    reference.set_reference_exec(true);
+    for step in 0..max_steps {
+        let rf = fast.step(0, &perm);
+        let rr = reference.step(0, &perm);
+        assert_eq!(rf, rr, "step {step}: result diverged ({isa})");
+        assert_eq!(
+            fast.core(0),
+            reference.core(0),
+            "step {step}: core state diverged ({isa})"
+        );
+        if rf != StepResult::Executed {
+            break; // Both stopped identically (trap/svc/halt).
+        }
+    }
+}
+
+/// Splitmix64: cheap deterministic entropy so the sampled programs are
+/// reproducible without any RNG dependency.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Randomized programs from the fault-space sampler's instruction
+/// generator: every decodable instruction form, wild control flow, wild
+/// addresses — whatever happens, both paths must agree on it.
+#[test]
+fn randomized_programs_match_reference() {
+    for isa in IsaKind::ALL {
+        for seed in 0..40u64 {
+            let mut s = seed ^ 0xf00d_0000;
+            let len = 48 + (mix(&mut s) % 80) as usize;
+            let mut text: Vec<Inst> = (0..len)
+                .map(|_| sample::inst(isa, mix(&mut s), mix(&mut s), mix(&mut s), mix(&mut s)))
+                .collect();
+            text.push(Inst::new(InstKind::Halt));
+            lockstep(isa, text, 2_000);
+        }
+    }
+}
+
+/// Hand-built program exercising each structural corner deterministically.
+#[allow(clippy::vec_init_then_push)]
+fn directed_program(isa: IsaKind) -> Vec<Inst> {
+    let gb = isa.gb();
+    let r = |n: u8| Reg(n);
+    let mut t = Vec::new();
+
+    // Immediates, moves, the whole ALU (register and immediate forms).
+    t.push(Inst::new(InstKind::MovImm {
+        rd: r(1),
+        imm: 0x0012,
+        shift: 0,
+        keep: false,
+    }));
+    t.push(Inst::new(InstKind::MovImm {
+        rd: r(1),
+        imm: 0x0034,
+        shift: 1,
+        keep: true,
+    }));
+    t.push(Inst::new(InstKind::Mov { rd: r(2), rm: r(1) }));
+    t.push(Inst::new(InstKind::Mvn { rd: r(3), rm: r(1) }));
+    for op in AluOp::ALL {
+        t.push(Inst::new(InstKind::Alu {
+            op,
+            rd: r(4),
+            rn: r(1),
+            rm: r(2), // nonzero: division is well-defined
+        }));
+        t.push(Inst::new(InstKind::AluImm {
+            op,
+            rd: r(5),
+            rn: r(1),
+            imm: 3,
+        }));
+    }
+
+    // Flag-setting compares, then conditional execution. SIRA-32 allows
+    // a condition on anything (the annul path); SIRA-64 only on B.
+    t.push(Inst::new(InstKind::Cmp { rn: r(1), rm: r(2) })); // equal -> Z
+    t.push(Inst::new(InstKind::CmpImm { rn: r(1), imm: 5 })); // not equal
+    if isa == IsaKind::Sira32 {
+        // Annulled (Eq does not hold) and executed (Ne holds) forms.
+        t.push(Inst::when(
+            Cond::Eq,
+            InstKind::AluImm {
+                op: AluOp::ALL[0],
+                rd: r(6),
+                rn: r(1),
+                imm: 7,
+            },
+        ));
+        t.push(Inst::when(
+            Cond::Ne,
+            InstKind::AluImm {
+                op: AluOp::ALL[0],
+                rd: r(6),
+                rn: r(1),
+                imm: 7,
+            },
+        ));
+    }
+    // Untaken conditional branch (falls through), then a taken one that
+    // skips a poison instruction.
+    t.push(Inst::when(Cond::Eq, InstKind::B { off: 8 }));
+    t.push(Inst::when(Cond::Ne, InstKind::B { off: 8 }));
+    t.push(Inst::new(InstKind::MovImm {
+        rd: r(6),
+        imm: 0xdead,
+        shift: 0,
+        keep: false,
+    })); // skipped by the taken branch above
+
+    // Loads and stores, every width, immediate and register offsets.
+    for width in [Width::Word, Width::Half, Width::Byte] {
+        t.push(Inst::new(InstKind::St {
+            width,
+            rd: r(1),
+            rn: gb,
+            off: 8,
+        }));
+        t.push(Inst::new(InstKind::Ld {
+            width,
+            rd: r(7),
+            rn: gb,
+            off: 8,
+        }));
+    }
+    t.push(Inst::new(InstKind::MovImm {
+        rd: r(8),
+        imm: 16,
+        shift: 0,
+        keep: false,
+    }));
+    t.push(Inst::new(InstKind::StR {
+        width: Width::Word,
+        rd: r(2),
+        rn: gb,
+        rm: r(8),
+    }));
+    t.push(Inst::new(InstKind::LdR {
+        width: Width::Word,
+        rd: r(7),
+        rn: gb,
+        rm: r(8),
+    }));
+
+    // Atomics.
+    t.push(Inst::new(InstKind::Swp {
+        rd: r(7),
+        rn: gb,
+        rm: r(1),
+    }));
+    t.push(Inst::new(InstKind::AmoAdd {
+        rd: r(7),
+        rn: gb,
+        rm: r(2),
+    }));
+
+    // Call and return: bl to the ret island, then b over it.
+    let bl_at = t.len();
+    t.push(Inst::new(InstKind::Bl { off: 12 })); // -> bl_at+3 (ret)
+    t.push(Inst::new(InstKind::B { off: 12 })); // bl_at+1 -> bl_at+4
+    t.push(Inst::new(InstKind::MovImm {
+        rd: r(6),
+        imm: 0xdead,
+        shift: 0,
+        keep: false,
+    })); // never reached
+    t.push(Inst::new(InstKind::Ret)); // bl_at+3
+                                      // Indirect call through a register to the same ret island.
+    let ret_addr = TEXT_BASE + 4 * (bl_at as u32 + 3);
+    t.push(Inst::new(InstKind::MovImm {
+        rd: r(8),
+        imm: ret_addr as u16,
+        shift: 0,
+        keep: false,
+    }));
+    t.push(Inst::new(InstKind::Blr { rm: r(8) }));
+
+    // FP unit (SIRA-64 only): raw moves, conversions, the whole ALU,
+    // compares, and FP loads/stores.
+    if isa == IsaKind::Sira64 {
+        use fracas_isa::FReg;
+        let f = |n: u8| FReg(n);
+        t.push(Inst::new(InstKind::Scvtf { fd: f(1), rn: r(1) }));
+        t.push(Inst::new(InstKind::Scvtf { fd: f(2), rn: r(2) }));
+        t.push(Inst::new(InstKind::FMovToFp { fd: f(3), rn: r(3) }));
+        t.push(Inst::new(InstKind::FMovFromFp { rd: r(9), fa: f(1) }));
+        for op in FpOp::ALL {
+            t.push(Inst::new(InstKind::Fp {
+                op,
+                fd: f(4),
+                fa: f(1),
+                fb: f(2),
+            }));
+        }
+        t.push(Inst::new(InstKind::FpCmp { fa: f(1), fb: f(2) }));
+        t.push(Inst::new(InstKind::FpCmp { fa: f(3), fb: f(3) })); // NaN bits: unordered
+        t.push(Inst::new(InstKind::FSt {
+            fd: f(1),
+            rn: gb,
+            off: 24,
+        }));
+        t.push(Inst::new(InstKind::FLd {
+            fd: f(5),
+            rn: gb,
+            off: 24,
+        }));
+        t.push(Inst::new(InstKind::FStR {
+            fd: f(2),
+            rn: gb,
+            rm: r(8),
+        }));
+        t.push(Inst::new(InstKind::FLdR {
+            fd: f(6),
+            rn: gb,
+            rm: r(8),
+        }));
+    }
+
+    t.push(Inst::new(InstKind::Nop));
+    t.push(Inst::new(InstKind::Halt));
+    t
+}
+
+#[test]
+fn directed_coverage_matches_reference() {
+    for isa in IsaKind::ALL {
+        lockstep(isa, directed_program(isa), 10_000);
+    }
+}
+
+/// Patching text must keep the predecoded table coherent: executing the
+/// patched slot on the fast path must match the reference path, which
+/// decodes the raw word at fetch time. `word` ranges over *all* 32-bit
+/// values, so undecodable and ISA-invalid encodings are covered too
+/// (both paths must report the same illegal-instruction trap).
+fn check_patch(isa: IsaKind, slot: u32, word: u32) {
+    let mut text = vec![Inst::new(InstKind::Nop); 10];
+    text.push(Inst::new(InstKind::Halt));
+    let img = image(isa, text);
+    let perm = rwx();
+    let mut fast = Machine::boot_flat(&img, 1);
+    let mut reference = Machine::boot_flat(&img, 1);
+    reference.set_reference_exec(true);
+    fast.patch_text_word(slot, word);
+    reference.patch_text_word(slot, word);
+    assert_eq!(fast.text_word(slot), reference.text_word(slot));
+    for step in 0..64 {
+        let rf = fast.step(0, &perm);
+        let rr = reference.step(0, &perm);
+        assert_eq!(rf, rr, "step {step}: patched word {word:#010x} ({isa})");
+        assert_eq!(
+            fast.core(0),
+            reference.core(0),
+            "step {step}: patched word {word:#010x} ({isa})"
+        );
+        if rf != StepResult::Executed {
+            break;
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn patched_text_matches_on_demand_decode(word in any::<u32>(), slot in 0u32..10) {
+        for isa in IsaKind::ALL {
+            check_patch(isa, slot, word);
+        }
+    }
+}
+
+/// Snapshots share the predecoded table copy-on-write; a patch after
+/// the snapshot must not leak into machines restored from it.
+#[test]
+fn snapshot_isolates_text_patches() {
+    for isa in IsaKind::ALL {
+        let text = vec![
+            Inst::new(InstKind::MovImm {
+                rd: Reg(1),
+                imm: 7,
+                shift: 0,
+                keep: false,
+            }),
+            Inst::new(InstKind::Halt),
+        ];
+        let img = image(isa, text);
+        let perm = rwx();
+        let mut m = Machine::boot_flat(&img, 1);
+        let snap = m.snapshot();
+
+        // Patch slot 0 to load 42 instead of 7, after the snapshot.
+        let patched = encode(&Inst::new(InstKind::MovImm {
+            rd: Reg(1),
+            imm: 42,
+            shift: 0,
+            keep: false,
+        }));
+        m.patch_text_word(0, patched);
+        while m.step(0, &perm) == StepResult::Executed {}
+        assert_eq!(m.core(0).reg(Reg(1)), 42, "patched machine runs new text");
+
+        // The restored machine must still run the original program.
+        let mut restored = Machine::restore(&snap);
+        assert!(restored.state_matches(&snap));
+        while restored.step(0, &perm) == StepResult::Executed {}
+        assert_eq!(
+            restored.core(0).reg(Reg(1)),
+            7,
+            "snapshot must be isolated from later text patches ({isa})"
+        );
+    }
+}

@@ -181,9 +181,10 @@ pub enum TrapClass {
 /// dynamic surcharges: cache-miss penalties and the taken-branch
 /// redirect cost.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
 pub enum CostClass {
     /// A simple ALU/move/compare/branch instruction: the base cost.
-    Base,
+    Base = 0,
     /// Integer multiply (`mul`/`muh`).
     Mul,
     /// Integer divide/remainder.
@@ -203,6 +204,26 @@ pub enum CostClass {
     /// Supervisor call (trap entry/exit overhead replaces the base
     /// cost).
     Svc,
+}
+
+impl CostClass {
+    /// All cost classes, in discriminant order (so
+    /// `ALL[class as usize] == class` — the predecoded interpreter
+    /// indexes its charge table by the raw discriminant).
+    pub const ALL: [CostClass; CostClass::COUNT] = [
+        CostClass::Base,
+        CostClass::Mul,
+        CostClass::Div,
+        CostClass::Mem,
+        CostClass::Atomic,
+        CostClass::FpAdd,
+        CostClass::FpMul,
+        CostClass::FpDiv,
+        CostClass::FpSqrt,
+        CostClass::Svc,
+    ];
+    /// Number of cost classes (charge-table length).
+    pub const COUNT: usize = 10;
 }
 
 /// The static cost class of an instruction kind (ISA-independent).

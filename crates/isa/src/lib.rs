@@ -42,6 +42,7 @@ mod encode;
 mod error;
 mod inst;
 mod isa;
+pub mod lower;
 mod object;
 mod reg;
 pub mod sample;

@@ -1,0 +1,669 @@
+//! Predecode lowering: from [`Inst`] to the dense, cache-friendly
+//! [`DecodedInst`] form the interpreter hot loop dispatches on.
+//!
+//! The interpreter used to re-interrogate the structured [`Inst`] every
+//! step: an `Option<Inst>` fetch, a condition evaluation through
+//! [`Cond::holds`], a cost-class lookup through
+//! [`effects::cost_class`], a per-ISA width resolution and a wide match
+//! over 30 enum-of-structs variants. All of that is static per text
+//! word, so this module hoists it into a one-time lowering pass:
+//!
+//! * **operands pre-split** — destination/source register indices land
+//!   in three flat bytes (`a`/`b`/`c`), with per-op meaning documented
+//!   on [`Op`];
+//! * **widths pre-resolved** — `ld`/`st` lower to byte-width-specific
+//!   opcodes ([`Op::Ld4`] vs [`Op::Ld8`]), so the hot loop never asks
+//!   the ISA how wide a `Width::Word` is;
+//! * **branch targets pre-computed** — `b`/`bl` store the absolute
+//!   target, not a word offset relative to the slot's PC;
+//! * **conditions pre-evaluated** — the 13-way [`Cond`] enum becomes a
+//!   16-bit truth table over the NZCV nibble ([`cond_mask`]), so the
+//!   per-step check is one shift-and-test;
+//! * **cost classes pre-charged** — the [`effects::cost_class`] index
+//!   is stored so the interpreter charges cycles with one array load.
+//!
+//! A [`DecodedInst`] is exactly 16 bytes, so four instructions share a
+//! 64-byte cache line and a straight-line run of text costs one line
+//! fill per four slots.
+//!
+//! **Coherence rule:** the decoded table is a pure function of
+//! `(isa, pc, decoded word)`. Whoever mutates a text word (fault
+//! injection, self-modifying text) must re-lower exactly the affected
+//! slot with [`lower`]; a word that no longer decodes or validates
+//! lowers to [`Op::Illegal`], which the interpreter turns into an
+//! illegal-instruction trap at fetch. `fracas-cpu` enforces this
+//! through its `patch_text_word`, and the differential test suite
+//! proves lowering-from-`Inst` and lowering-from-word agree.
+
+use crate::effects;
+use crate::{Cond, Inst, InstKind, IsaKind, Width};
+
+/// Predecoded operation selector.
+///
+/// Register-vs-immediate forms and per-ISA memory widths are distinct
+/// variants so the interpreter match arms are monomorphic. Operand
+/// conventions (see [`DecodedInst`]): `a` is the written register
+/// (`rd`/`fd`, or the link register for calls/`ret`), `b` the first
+/// source, `c` the second source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Op {
+    /// A word that does not decode or validate; traps at fetch.
+    Illegal = 0,
+    /// No operation.
+    Nop,
+    /// Stop the core.
+    Halt,
+    /// Supervisor call; `imm` holds the service number.
+    Svc,
+    /// Branch to the link register (`a` = link register index).
+    Ret,
+
+    /// `a = b + c` (registers).
+    AddR,
+    /// `a = b - c`.
+    SubR,
+    /// `a = b * c` (low half).
+    MulR,
+    /// `a = b / c` (signed; traps on zero).
+    SdivR,
+    /// `a = b % c` (signed; traps on zero).
+    SremR,
+    /// `a = b & c`.
+    AndR,
+    /// `a = b | c`.
+    OrrR,
+    /// `a = b ^ c`.
+    EorR,
+    /// `a = b << c`.
+    LslR,
+    /// `a = b >> c` (logical).
+    LsrR,
+    /// `a = b >> c` (arithmetic).
+    AsrR,
+    /// `a = high half of b * c` (unsigned).
+    MuhR,
+
+    /// `a = b + imm`.
+    AddI,
+    /// `a = b - imm`.
+    SubI,
+    /// `a = b * imm`.
+    MulI,
+    /// `a = b / imm` (signed; traps on zero).
+    SdivI,
+    /// `a = b % imm` (signed; traps on zero).
+    SremI,
+    /// `a = b & imm`.
+    AndI,
+    /// `a = b | imm`.
+    OrrI,
+    /// `a = b ^ imm`.
+    EorI,
+    /// `a = b << imm`.
+    LslI,
+    /// `a = b >> imm` (logical).
+    LsrI,
+    /// `a = b >> imm` (arithmetic).
+    AsrI,
+    /// `a = high half of b * imm` (unsigned).
+    MuhI,
+
+    /// Set NZCV from `a - b` (both registers).
+    Cmp,
+    /// Set NZCV from `a - imm`.
+    CmpI,
+    /// `a = imm << c` (MOVZ; `c` is the pre-scaled bit shift).
+    MovZ,
+    /// Insert `imm` into `a` at bit `c`, keeping other bits (MOVK).
+    MovK,
+    /// `a = b`.
+    Mov,
+    /// `a = !b`.
+    Mvn,
+
+    /// Load 1 byte, zero-extended: `a = [b + imm]`.
+    Ld1,
+    /// Load 4 bytes, zero-extended.
+    Ld4,
+    /// Load 8 bytes.
+    Ld8,
+    /// Store 1 byte: `[b + imm] = a`.
+    St1,
+    /// Store 4 bytes.
+    St4,
+    /// Store 8 bytes.
+    St8,
+    /// Load 1 byte, register offset: `a = [b + c]`.
+    LdR1,
+    /// Load 4 bytes, register offset.
+    LdR4,
+    /// Load 8 bytes, register offset.
+    LdR8,
+    /// Store 1 byte, register offset: `[b + c] = a`.
+    StR1,
+    /// Store 4 bytes, register offset.
+    StR4,
+    /// Store 8 bytes, register offset.
+    StR8,
+
+    /// Branch to the absolute target in `imm` (condition via
+    /// `take_mask`).
+    B,
+    /// Branch-and-link to `imm` (`a` = link register index).
+    Bl,
+    /// Branch-and-link to register `b` (`a` = link register index).
+    Blr,
+    /// Atomic swap: `a = [b]; [b] = c`.
+    Swp,
+    /// Atomic fetch-and-add: `a = [b]; [b] += c`.
+    AmoAdd,
+
+    /// `a = b + c` (FP registers).
+    Fadd,
+    /// `a = b - c` (FP).
+    Fsub,
+    /// `a = b * c` (FP).
+    Fmul,
+    /// `a = b / c` (FP).
+    Fdiv,
+    /// `a = -b` (FP).
+    Fneg,
+    /// `a = |b|` (FP).
+    Fabs,
+    /// `a = sqrt(b)` (FP).
+    Fsqrt,
+    /// `a = b` (FP register move).
+    Fmov,
+    /// Set NZCV from FP compare of `a` and `b`.
+    FpCmp,
+    /// FP register `a` = raw bits of integer register `b`.
+    FMovToFp,
+    /// Integer register `a` = raw bits of FP register `b`.
+    FMovFromFp,
+    /// `a = (int) fp b` (round toward zero, NaN -> 0).
+    Fcvtzs,
+    /// `fp a = (float) int b`.
+    Scvtf,
+    /// FP load: `a = [b + imm]` (8 bytes).
+    FLd,
+    /// FP store: `[b + imm] = a`.
+    FSt,
+    /// FP load, register offset: `a = [b + c]`.
+    FLdR,
+    /// FP store, register offset: `[b + c] = a`.
+    FStR,
+}
+
+/// Condition mask meaning "execute under any NZCV state".
+pub const ALWAYS: u16 = 0xffff;
+
+/// One predecoded text slot: 16 bytes, four per cache line.
+///
+/// Operand conventions (`a`/`b`/`c` are register-file indices):
+///
+/// * `a` — the register the instruction writes (`rd`/`fd`), or the
+///   link register for `bl`/`blr`/`ret`, or the first compare source;
+/// * `b` — the first source (`rn`/`fa`), or the indirect branch
+///   target for `blr`, or the second compare source;
+/// * `c` — the second source (`rm`/`fb`), or the pre-scaled bit shift
+///   (`shift * 16`) for `movz`/`movk`;
+/// * `imm` — the sign-extended immediate (byte offset for memory
+///   ops), the **absolute** branch target for `b`/`bl`, or the
+///   service number for `svc`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(C)]
+pub struct DecodedInst {
+    /// Immediate / absolute branch target / svc number (see above).
+    pub imm: i32,
+    /// NZCV truth table gating execution: bit `f` set means the
+    /// instruction executes when the packed flags nibble equals `f`.
+    /// [`ALWAYS`] for unconditional instructions *and* for `b` (an
+    /// untaken conditional branch still executes — it retires and
+    /// counts in the branch stats; `take_mask` gates the redirect).
+    pub exec_mask: u16,
+    /// NZCV truth table gating the *redirect* of a conditional `b`;
+    /// zero for every other op.
+    pub take_mask: u16,
+    /// Operation selector.
+    pub op: Op,
+    /// Operand `a` (see struct docs).
+    pub a: u8,
+    /// Operand `b`.
+    pub b: u8,
+    /// Operand `c`.
+    pub c: u8,
+    /// Static cost-class index ([`effects::CostClass`] as `u8`),
+    /// pointing into the interpreter's precomputed charge table.
+    pub cost: u8,
+}
+
+impl DecodedInst {
+    /// The lowering of a word that no longer decodes or validates.
+    pub const ILLEGAL: DecodedInst = DecodedInst {
+        imm: 0,
+        exec_mask: 0,
+        take_mask: 0,
+        op: Op::Illegal,
+        a: 0,
+        b: 0,
+        c: 0,
+        cost: 0,
+    };
+}
+
+/// The 16-entry truth table of `cond` over packed NZCV nibbles.
+///
+/// Bit `f` of the result is the value of [`Cond::holds`] for the
+/// flag assignment `n = f & 8, z = f & 4, c = f & 2, v = f & 1` —
+/// the same packing as `Flags::bits()` in `fracas-cpu`, so the
+/// interpreter tests conditions with `(mask >> flags.bits()) & 1`.
+pub fn cond_mask(cond: Cond) -> u16 {
+    let mut m = 0u16;
+    for f in 0..16u16 {
+        if cond.holds(f & 8 != 0, f & 4 != 0, f & 2 != 0, f & 1 != 0) {
+            m |= 1 << f;
+        }
+    }
+    m
+}
+
+/// Register-form ALU opcodes indexed by `AluOp as usize`.
+const ALU_R: [Op; 12] = [
+    Op::AddR,
+    Op::SubR,
+    Op::MulR,
+    Op::SdivR,
+    Op::SremR,
+    Op::AndR,
+    Op::OrrR,
+    Op::EorR,
+    Op::LslR,
+    Op::LsrR,
+    Op::AsrR,
+    Op::MuhR,
+];
+
+/// Immediate-form ALU opcodes indexed by `AluOp as usize`.
+const ALU_I: [Op; 12] = [
+    Op::AddI,
+    Op::SubI,
+    Op::MulI,
+    Op::SdivI,
+    Op::SremI,
+    Op::AndI,
+    Op::OrrI,
+    Op::EorI,
+    Op::LslI,
+    Op::LsrI,
+    Op::AsrI,
+    Op::MuhI,
+];
+
+/// FP opcodes indexed by `FpOp as usize`.
+const FP_OPS: [Op; 8] = [
+    Op::Fadd,
+    Op::Fsub,
+    Op::Fmul,
+    Op::Fdiv,
+    Op::Fneg,
+    Op::Fabs,
+    Op::Fsqrt,
+    Op::Fmov,
+];
+
+/// Byte-selected load opcode (immediate-offset form).
+fn ld_op(bytes: u32) -> Op {
+    match bytes {
+        1 => Op::Ld1,
+        4 => Op::Ld4,
+        _ => Op::Ld8,
+    }
+}
+
+/// Byte-selected store opcode (immediate-offset form).
+fn st_op(bytes: u32) -> Op {
+    match bytes {
+        1 => Op::St1,
+        4 => Op::St4,
+        _ => Op::St8,
+    }
+}
+
+/// Byte-selected load opcode (register-offset form).
+fn ldr_op(bytes: u32) -> Op {
+    match bytes {
+        1 => Op::LdR1,
+        4 => Op::LdR4,
+        _ => Op::LdR8,
+    }
+}
+
+/// Byte-selected store opcode (register-offset form).
+fn str_op(bytes: u32) -> Op {
+    match bytes {
+        1 => Op::StR1,
+        4 => Op::StR4,
+        _ => Op::StR8,
+    }
+}
+
+/// The absolute target of a word-offset branch in the slot at `pc` —
+/// the same arithmetic the interpreter used to do per step.
+fn branch_target(pc: u32, off: i32) -> u32 {
+    pc.wrapping_add(4)
+        .wrapping_add((off as u32).wrapping_mul(4))
+}
+
+/// Lowers the instruction occupying the text slot at `pc` into its
+/// predecoded form. `None` (a word that does not decode or fails ISA
+/// validation) lowers to [`DecodedInst::ILLEGAL`].
+#[allow(clippy::too_many_lines)]
+pub fn lower(isa: IsaKind, pc: u32, inst: Option<&Inst>) -> DecodedInst {
+    let Some(inst) = inst else {
+        return DecodedInst::ILLEGAL;
+    };
+    let mut d = DecodedInst {
+        imm: 0,
+        exec_mask: cond_mask(inst.cond),
+        take_mask: 0,
+        op: Op::Nop,
+        a: 0,
+        b: 0,
+        c: 0,
+        cost: effects::cost_class(&inst.kind) as u8,
+    };
+    let w = |width: Width| isa.width_bytes(width);
+    match inst.kind {
+        InstKind::Nop => {}
+        InstKind::Halt => d.op = Op::Halt,
+        InstKind::Svc { imm } => {
+            d.op = Op::Svc;
+            d.imm = i32::from(imm);
+        }
+        InstKind::Ret => {
+            d.op = Op::Ret;
+            d.a = isa.lr().0;
+        }
+        InstKind::Alu { op, rd, rn, rm } => {
+            d.op = ALU_R[op as usize];
+            d.a = rd.0;
+            d.b = rn.0;
+            d.c = rm.0;
+        }
+        InstKind::AluImm { op, rd, rn, imm } => {
+            d.op = ALU_I[op as usize];
+            d.a = rd.0;
+            d.b = rn.0;
+            d.imm = i32::from(imm);
+        }
+        InstKind::Cmp { rn, rm } => {
+            d.op = Op::Cmp;
+            d.a = rn.0;
+            d.b = rm.0;
+        }
+        InstKind::CmpImm { rn, imm } => {
+            d.op = Op::CmpI;
+            d.a = rn.0;
+            d.imm = i32::from(imm);
+        }
+        InstKind::MovImm {
+            rd,
+            imm,
+            shift,
+            keep,
+        } => {
+            d.op = if keep { Op::MovK } else { Op::MovZ };
+            d.a = rd.0;
+            d.c = shift * 16;
+            d.imm = i32::from(imm);
+        }
+        InstKind::Mov { rd, rm } => {
+            d.op = Op::Mov;
+            d.a = rd.0;
+            d.b = rm.0;
+        }
+        InstKind::Mvn { rd, rm } => {
+            d.op = Op::Mvn;
+            d.a = rd.0;
+            d.b = rm.0;
+        }
+        InstKind::Ld { width, rd, rn, off } => {
+            d.op = ld_op(w(width));
+            d.a = rd.0;
+            d.b = rn.0;
+            d.imm = i32::from(off);
+        }
+        InstKind::St { width, rd, rn, off } => {
+            d.op = st_op(w(width));
+            d.a = rd.0;
+            d.b = rn.0;
+            d.imm = i32::from(off);
+        }
+        InstKind::LdR { width, rd, rn, rm } => {
+            d.op = ldr_op(w(width));
+            d.a = rd.0;
+            d.b = rn.0;
+            d.c = rm.0;
+        }
+        InstKind::StR { width, rd, rn, rm } => {
+            d.op = str_op(w(width));
+            d.a = rd.0;
+            d.b = rn.0;
+            d.c = rm.0;
+        }
+        InstKind::B { off } => {
+            d.op = Op::B;
+            // A conditional branch always *executes* (retires and
+            // counts in branch stats); the condition gates the
+            // redirect only.
+            d.take_mask = d.exec_mask;
+            d.exec_mask = ALWAYS;
+            d.imm = branch_target(pc, off) as i32;
+        }
+        InstKind::Bl { off } => {
+            d.op = Op::Bl;
+            d.a = isa.lr().0;
+            d.imm = branch_target(pc, off) as i32;
+        }
+        InstKind::Blr { rm } => {
+            d.op = Op::Blr;
+            d.a = isa.lr().0;
+            d.b = rm.0;
+        }
+        InstKind::Swp { rd, rn, rm } => {
+            d.op = Op::Swp;
+            d.a = rd.0;
+            d.b = rn.0;
+            d.c = rm.0;
+        }
+        InstKind::AmoAdd { rd, rn, rm } => {
+            d.op = Op::AmoAdd;
+            d.a = rd.0;
+            d.b = rn.0;
+            d.c = rm.0;
+        }
+        InstKind::Fp { op, fd, fa, fb } => {
+            d.op = FP_OPS[op as usize];
+            d.a = fd.0;
+            d.b = fa.0;
+            d.c = fb.0;
+        }
+        InstKind::FpCmp { fa, fb } => {
+            d.op = Op::FpCmp;
+            d.a = fa.0;
+            d.b = fb.0;
+        }
+        InstKind::FMovToFp { fd, rn } => {
+            d.op = Op::FMovToFp;
+            d.a = fd.0;
+            d.b = rn.0;
+        }
+        InstKind::FMovFromFp { rd, fa } => {
+            d.op = Op::FMovFromFp;
+            d.a = rd.0;
+            d.b = fa.0;
+        }
+        InstKind::Fcvtzs { rd, fa } => {
+            d.op = Op::Fcvtzs;
+            d.a = rd.0;
+            d.b = fa.0;
+        }
+        InstKind::Scvtf { fd, rn } => {
+            d.op = Op::Scvtf;
+            d.a = fd.0;
+            d.b = rn.0;
+        }
+        InstKind::FLd { fd, rn, off } => {
+            d.op = Op::FLd;
+            d.a = fd.0;
+            d.b = rn.0;
+            d.imm = i32::from(off);
+        }
+        InstKind::FSt { fd, rn, off } => {
+            d.op = Op::FSt;
+            d.a = fd.0;
+            d.b = rn.0;
+            d.imm = i32::from(off);
+        }
+        InstKind::FLdR { fd, rn, rm } => {
+            d.op = Op::FLdR;
+            d.a = fd.0;
+            d.b = rn.0;
+            d.c = rm.0;
+        }
+        InstKind::FStR { fd, rn, rm } => {
+            d.op = Op::FStR;
+            d.a = fd.0;
+            d.b = rn.0;
+            d.c = rm.0;
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FReg, Reg};
+
+    #[test]
+    fn decoded_inst_is_16_bytes() {
+        assert_eq!(std::mem::size_of::<DecodedInst>(), 16);
+    }
+
+    #[test]
+    fn cond_masks_match_holds_truth_table() {
+        for cond in Cond::ALL {
+            let m = cond_mask(cond);
+            for f in 0..16u16 {
+                let expect = cond.holds(f & 8 != 0, f & 4 != 0, f & 2 != 0, f & 1 != 0);
+                assert_eq!(
+                    (m >> f) & 1 == 1,
+                    expect,
+                    "{cond:?} disagrees at flags nibble {f:#x}"
+                );
+            }
+        }
+        assert_eq!(cond_mask(Cond::Al), ALWAYS);
+    }
+
+    #[test]
+    fn branch_targets_are_precomputed_absolute() {
+        let pc = 0x1010;
+        let d = lower(
+            IsaKind::Sira32,
+            pc,
+            Some(&Inst::when(Cond::Eq, InstKind::B { off: -3 })),
+        );
+        assert_eq!(d.op, Op::B);
+        assert_eq!(d.imm as u32, pc.wrapping_add(4).wrapping_sub(12));
+        // Conditional branches always execute; the condition gates the
+        // redirect.
+        assert_eq!(d.exec_mask, ALWAYS);
+        assert_eq!(d.take_mask, cond_mask(Cond::Eq));
+
+        let d = lower(
+            IsaKind::Sira64,
+            pc,
+            Some(&Inst::new(InstKind::Bl { off: 5 })),
+        );
+        assert_eq!(d.op, Op::Bl);
+        assert_eq!(d.imm as u32, pc.wrapping_add(4).wrapping_add(20));
+        assert_eq!(d.a, IsaKind::Sira64.lr().0);
+    }
+
+    #[test]
+    fn word_widths_resolve_per_isa() {
+        let ld = |isa| {
+            lower(
+                isa,
+                0,
+                Some(&Inst::new(InstKind::Ld {
+                    width: Width::Word,
+                    rd: Reg(1),
+                    rn: Reg(2),
+                    off: 8,
+                })),
+            )
+            .op
+        };
+        assert_eq!(ld(IsaKind::Sira32), Op::Ld4);
+        assert_eq!(ld(IsaKind::Sira64), Op::Ld8);
+        let half = lower(
+            IsaKind::Sira64,
+            0,
+            Some(&Inst::new(InstKind::St {
+                width: Width::Half,
+                rd: Reg(1),
+                rn: Reg(2),
+                off: 0,
+            })),
+        );
+        assert_eq!(half.op, Op::St4);
+        let byte = lower(
+            IsaKind::Sira32,
+            0,
+            Some(&Inst::new(InstKind::LdR {
+                width: Width::Byte,
+                rd: Reg(1),
+                rn: Reg(2),
+                rm: Reg(3),
+            })),
+        );
+        assert_eq!(byte.op, Op::LdR1);
+    }
+
+    #[test]
+    fn undecodable_word_lowers_to_illegal() {
+        let d = lower(IsaKind::Sira32, 0x2000, None);
+        assert_eq!(d.op, Op::Illegal);
+        assert_eq!(d.exec_mask, 0);
+    }
+
+    #[test]
+    fn cost_class_is_prefolded() {
+        let d = lower(
+            IsaKind::Sira64,
+            0,
+            Some(&Inst::new(InstKind::Fp {
+                op: crate::FpOp::Fsqrt,
+                fd: FReg(0),
+                fa: FReg(1),
+                fb: FReg(0),
+            })),
+        );
+        assert_eq!(d.cost, effects::CostClass::FpSqrt as u8);
+        let d = lower(
+            IsaKind::Sira32,
+            0,
+            Some(&Inst::new(InstKind::Alu {
+                op: crate::AluOp::Sdiv,
+                rd: Reg(0),
+                rn: Reg(1),
+                rm: Reg(2),
+            })),
+        );
+        assert_eq!(d.cost, effects::CostClass::Div as u8);
+    }
+}

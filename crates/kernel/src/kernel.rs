@@ -83,6 +83,22 @@ impl Default for Limits {
     }
 }
 
+/// A pacing fence for the `run_until_*` loops: caps how far a
+/// dispatch burst may advance a core's clock so the outer loop
+/// observes the machine at exactly the same tick boundary a
+/// single-step schedule would have paused on.
+#[derive(Debug, Clone, Copy)]
+enum Fence {
+    /// No pacing: run freely (plain [`Kernel::run`]).
+    None,
+    /// Pause once the given core's clock reaches the cycle
+    /// ([`Kernel::run_until_core_cycle`], the injection point).
+    Core(usize, u64),
+    /// Pause once the machine wall clock reaches the cycle
+    /// ([`Kernel::run_until_machine_cycle`], checkpoint pacing).
+    Wall(u64),
+}
+
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 struct LockState {
     held_by: Option<Tid>,
@@ -109,6 +125,20 @@ pub struct Kernel {
     steps: u64,
     power_transitions: u64,
     finished: Option<RunOutcome>,
+    /// Dense mirror of each core's cycle clock, the scheduler's
+    /// election input. Purely a derived cache (never snapshotted or
+    /// compared): rebuilt from the machine whenever `sched_dirty`,
+    /// and updated incrementally after each burst — a burst ending in
+    /// plain execution changes nothing but the stepped core's clock,
+    /// so the other entries stay exact without re-reading the cores.
+    sched_cycles: Vec<u64>,
+    /// Mirror of `!core.is_halted()` (same caching discipline).
+    sched_live: Vec<bool>,
+    /// Set whenever anything other than a plain executed burst may
+    /// have touched a core clock or halt bit: boot, restore, outside
+    /// access through [`Kernel::machine_mut`], syscalls, traps,
+    /// preemption, thread dispatch.
+    sched_dirty: bool,
 }
 
 /// A frozen copy of a [`Kernel`] (and its machine) at one tick boundary,
@@ -226,6 +256,9 @@ impl Kernel {
             steps: 0,
             power_transitions: 0,
             finished: None,
+            sched_cycles: vec![0; cores],
+            sched_live: vec![false; cores],
+            sched_dirty: true,
         };
         kernel.fill_cores();
         // Boot is deterministic, so the image/stack writes above are
@@ -242,6 +275,8 @@ impl Kernel {
 
     /// Mutable machine access (fault injection).
     pub fn machine_mut(&mut self) -> &mut Machine {
+        // The caller may change clocks or halt bits arbitrarily.
+        self.sched_dirty = true;
         &mut self.machine
     }
 
@@ -268,7 +303,7 @@ impl Kernel {
             if let Some(done) = self.finished {
                 return done;
             }
-            if let Some(done) = self.tick(limits) {
+            if let Some(done) = self.tick(limits, Fence::None) {
                 return done;
             }
         }
@@ -291,7 +326,7 @@ impl Kernel {
             if self.machine.core(core).cycles() >= cycle {
                 return None;
             }
-            if let Some(done) = self.tick(limits) {
+            if let Some(done) = self.tick(limits, Fence::Core(core, cycle)) {
                 return Some(done);
             }
         }
@@ -309,7 +344,7 @@ impl Kernel {
             if self.machine.max_cycles() >= cycle {
                 return None;
             }
-            if let Some(done) = self.tick(limits) {
+            if let Some(done) = self.tick(limits, Fence::Wall(cycle)) {
                 return Some(done);
             }
         }
@@ -369,6 +404,9 @@ impl Kernel {
             steps: snap.steps,
             power_transitions: snap.power_transitions,
             finished: snap.finished,
+            sched_cycles: vec![0; snap.core_thread.len()],
+            sched_live: vec![false; snap.core_thread.len()],
+            sched_dirty: true,
         }
     }
 
@@ -429,8 +467,8 @@ impl Kernel {
     }
 
     /// Executes one scheduling step; `Some` when the run ended.
-    fn tick(&mut self, limits: &Limits) -> Option<RunOutcome> {
-        let done = self.tick_inner(limits);
+    fn tick(&mut self, limits: &Limits, fence: Fence) -> Option<RunOutcome> {
+        let done = self.tick_inner(limits, fence);
         // Close the trace tick *after* every kernel-side cost of this
         // step landed on the core clocks, so traced events carry the
         // same boundary values `run_until_core_cycle` pauses on.
@@ -438,14 +476,41 @@ impl Kernel {
         done
     }
 
-    fn tick_inner(&mut self, limits: &Limits) -> Option<RunOutcome> {
-        if self.machine.max_cycles() >= limits.max_cycles {
+    fn tick_inner(&mut self, limits: &Limits, fence: Fence) -> Option<RunOutcome> {
+        if self.sched_dirty {
+            self.refresh_sched();
+        }
+        // Core election over the dense clock mirror — the same rule as
+        // `Machine::next_core` (lowest clock wins, ties to the lowest
+        // id) plus the conservative election cap of
+        // `Machine::schedule_probe` (the raw second-lowest runnable
+        // clock: at worst one cycle short of the exact boundary, which
+        // only ends a burst a step early, never late).
+        let mut wall = 0u64;
+        let mut best: Option<(u64, usize)> = None;
+        let mut elect_cap = u64::MAX;
+        for (i, &cy) in self.sched_cycles.iter().enumerate() {
+            wall = wall.max(cy);
+            if !self.sched_live[i] {
+                continue;
+            }
+            match best {
+                Some((bc, _)) if cy >= bc => elect_cap = elect_cap.min(cy),
+                _ => {
+                    if let Some((bc, _)) = best {
+                        elect_cap = elect_cap.min(bc);
+                    }
+                    best = Some((cy, i));
+                }
+            }
+        }
+        if wall >= limits.max_cycles {
             return Some(self.finish(RunOutcome::CycleLimit));
         }
         if self.steps >= limits.max_steps {
             return Some(self.finish(RunOutcome::StepLimit));
         }
-        let Some(core) = self.machine.next_core() else {
+        let Some((_, core)) = best else {
             let outcome = if self.live_threads() == 0 {
                 RunOutcome::Exited {
                     code: self.aggregate_code(),
@@ -457,14 +522,45 @@ impl Kernel {
         };
         let tid = self.core_thread[core].expect("running core must host a thread");
         let pid = self.threads[tid as usize].pid;
-        let result = self.machine.step(core, &self.procs[pid as usize].perm);
-        self.steps += 1;
+        // Burst cap: the core may keep stepping, without the kernel
+        // looking in between, until the first cycle count at which any
+        // between-step kernel action could fire — losing the election,
+        // exhausting its preemption quantum (which only matters while
+        // the ready queue is non-empty, and the queue can only grow
+        // via syscalls, which end the burst), tripping the cycle
+        // watchdog, or crossing a pacing fence. Every skipped
+        // kernel visit is provably a no-op, so an n-step burst is
+        // state-identical to n single-step ticks.
+        let mut cap = elect_cap.min(limits.max_cycles);
+        if !self.ready.is_empty() {
+            cap = cap.min(self.dispatched_at[core].saturating_add(self.spec.quantum));
+        }
+        match fence {
+            Fence::Core(c, f) if c == core => cap = cap.min(f),
+            Fence::Wall(f) => cap = cap.min(f),
+            Fence::Core(..) | Fence::None => {}
+        }
+        let budget = limits.max_steps - self.steps;
+        let (n, result) = self
+            .machine
+            .run_burst(core, &self.procs[pid as usize].perm, budget, cap);
+        self.steps += n;
+        // A burst only advances the stepped core's clock; fold that
+        // back into the mirror. Anything beyond plain execution
+        // (preemption, syscalls, traps) can move other clocks or halt
+        // bits, so those paths mark the mirror dirty instead.
+        self.sched_cycles[core] = self.machine.core(core).cycles();
         match result {
             StepResult::Executed => {
-                self.maybe_preempt(core, tid);
+                if self.maybe_preempt(core, tid) {
+                    self.sched_dirty = true;
+                }
                 None
             }
-            StepResult::Svc(num) => self.syscall(core, tid, num),
+            StepResult::Svc(num) => {
+                self.sched_dirty = true;
+                self.syscall(core, tid, num)
+            }
             StepResult::Trap(trap) => Some(self.finish(RunOutcome::Trapped { trap, pid })),
             StepResult::Halted => {
                 let pc = self.machine.core(core).pc().wrapping_sub(4);
@@ -474,6 +570,16 @@ impl Kernel {
                 }))
             }
         }
+    }
+
+    /// Rebuilds the scheduler's clock/halt mirror from the machine.
+    fn refresh_sched(&mut self) {
+        for i in 0..self.sched_cycles.len() {
+            let c = self.machine.core(i);
+            self.sched_cycles[i] = c.cycles();
+            self.sched_live[i] = !c.is_halted();
+        }
+        self.sched_dirty = false;
     }
 
     fn finish(&mut self, outcome: RunOutcome) -> RunOutcome {
@@ -563,13 +669,14 @@ impl Kernel {
         }
     }
 
-    fn maybe_preempt(&mut self, core: usize, tid: Tid) {
+    /// Returns whether a preemption (context switch) happened.
+    fn maybe_preempt(&mut self, core: usize, tid: Tid) -> bool {
         if self.ready.is_empty() {
-            return;
+            return false;
         }
         let now = self.machine.core(core).cycles();
         if now - self.dispatched_at[core] < self.spec.quantum {
-            return;
+            return false;
         }
         let ctx = self.machine.core(core).save_context();
         self.machine.trace_save(core, tid);
@@ -581,6 +688,7 @@ impl Kernel {
         let next = self.ready.pop_front().expect("checked non-empty");
         self.core_thread[core] = None;
         self.dispatch(core, next);
+        true
     }
 
     // ----- console --------------------------------------------------------

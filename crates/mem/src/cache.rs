@@ -102,9 +102,26 @@ struct Line {
     lru: u64,
 }
 
+/// Tag sentinel marking an empty way. Real tags are
+/// `addr >> (line_bits + set_bits)` with at least one bit shifted
+/// out, so they can never be `u32::MAX`.
+const INVALID_TAG: u32 = u32::MAX;
+
+/// A set-associative tag store, laid out as one dense
+/// `set_count * ways` slab (set `s` owns `lines[s*ways..(s+1)*ways]`)
+/// so a lookup touches a single contiguous run of 12-byte entries —
+/// this sits on the interpreter's per-instruction fetch path, where
+/// the previous vec-of-vecs layout cost a dependent pointer chase per
+/// access.
+///
+/// Replacement semantics are unchanged from the vec-of-vecs model:
+/// fills prefer an empty way, otherwise evict the least recently used
+/// (LRU stamps come from a strictly increasing per-cache tick, so the
+/// minimum is unique and the victim choice cannot depend on way
+/// order).
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct SetAssoc {
-    sets: Vec<Vec<Line>>,
+    lines: Box<[Line]>,
     ways: usize,
     set_shift: u32,
     set_mask: u32,
@@ -118,8 +135,13 @@ impl SetAssoc {
             set_count.is_power_of_two(),
             "set count must be a power of two"
         );
+        let empty = Line {
+            tag: INVALID_TAG,
+            state: Mesi::Shared,
+            lru: 0,
+        };
         SetAssoc {
-            sets: vec![Vec::new(); set_count as usize],
+            lines: vec![empty; (set_count * ways) as usize].into_boxed_slice(),
             ways: ways as usize,
             set_shift: line.trailing_zeros(),
             set_mask: set_count - 1,
@@ -135,11 +157,14 @@ impl SetAssoc {
         )
     }
 
+    #[inline]
     fn lookup(&mut self, addr: u32) -> Option<&mut Line> {
         self.tick += 1;
         let tick = self.tick;
         let (set, tag) = self.index(addr);
-        let line = self.sets[set].iter_mut().find(|l| l.tag == tag)?;
+        let line = self.lines[set * self.ways..(set + 1) * self.ways]
+            .iter_mut()
+            .find(|l| l.tag == tag)?;
         line.lru = tick;
         Some(line)
     }
@@ -148,33 +173,39 @@ impl SetAssoc {
     fn insert(&mut self, addr: u32, state: Mesi) -> Option<Line> {
         self.tick += 1;
         let tick = self.tick;
-        let ways = self.ways;
         let (set, tag) = self.index(addr);
-        let set = &mut self.sets[set];
-        let evicted = if set.len() == ways {
-            let victim = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, l)| l.lru)
-                .map(|(i, _)| i)
-                .expect("non-empty set");
-            Some(set.swap_remove(victim))
-        } else {
-            None
+        let set = &mut self.lines[set * self.ways..(set + 1) * self.ways];
+        let (slot, evicted) = match set.iter().position(|l| l.tag == INVALID_TAG) {
+            Some(empty) => (empty, None),
+            None => {
+                let victim = set
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, l)| l.lru)
+                    .map(|(i, _)| i)
+                    .expect("non-empty set");
+                (victim, Some(set[victim]))
+            }
         };
-        set.push(Line {
+        set[slot] = Line {
             tag,
             state,
             lru: tick,
-        });
+        };
         evicted
     }
 
     fn remove(&mut self, addr: u32) -> Option<Line> {
         let (set, tag) = self.index(addr);
-        let set = &mut self.sets[set];
+        let set = &mut self.lines[set * self.ways..(set + 1) * self.ways];
         let i = set.iter().position(|l| l.tag == tag)?;
-        Some(set.swap_remove(i))
+        let line = set[i];
+        set[i] = Line {
+            tag: INVALID_TAG,
+            state: Mesi::Shared,
+            lru: 0,
+        };
+        Some(line)
     }
 }
 
@@ -189,6 +220,17 @@ pub struct MemSystem {
     l1i_stats: Vec<CacheStats>,
     l1d_stats: Vec<CacheStats>,
     l2_stats: CacheStats,
+    /// Per-core line address (`addr >> line_bits`) of the most recent
+    /// instruction fetch, or `u32::MAX` when unknown. Because the L1I
+    /// is touched only by its own core's fetches (data snoops and
+    /// invalidations act on the L1D side) and an L1I hit costs zero
+    /// extra cycles, a repeat fetch to the same line can be answered
+    /// without walking the tag store: the line is still resident, the
+    /// answer is "hit, penalty 0", and skipping the intermediate LRU
+    /// stamps cannot change any future eviction — no other L1I access
+    /// interleaves with the repeats, so the line's relative recency
+    /// against every other line is unchanged.
+    fetch_line: Vec<u32>,
 }
 
 impl MemSystem {
@@ -206,6 +248,7 @@ impl MemSystem {
             l1i_stats: vec![CacheStats::default(); cores],
             l1d_stats: vec![CacheStats::default(); cores],
             l2_stats: CacheStats::default(),
+            fetch_line: vec![u32::MAX; cores],
         }
     }
 
@@ -225,6 +268,7 @@ impl MemSystem {
     /// # Panics
     ///
     /// Panics if `core` is out of range.
+    #[inline]
     pub fn access(&mut self, core: usize, access: Access, addr: u32) -> u32 {
         match access {
             Access::Fetch => self.access_l1i(core, addr),
@@ -233,7 +277,16 @@ impl MemSystem {
         }
     }
 
+    #[inline]
     fn access_l1i(&mut self, core: usize, addr: u32) -> u32 {
+        // Same-line repeat fetch: resident by construction (see
+        // `fetch_line`), hit with zero penalty.
+        let line = addr >> self.params.line.trailing_zeros();
+        if self.fetch_line[core] == line {
+            self.l1i_stats[core].hits += 1;
+            return 0;
+        }
+        self.fetch_line[core] = line;
         if self.l1i[core].lookup(addr).is_some() {
             self.l1i_stats[core].hits += 1;
             return 0;

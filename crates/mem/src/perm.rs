@@ -137,8 +137,25 @@ impl PermissionMap {
     ///
     /// [`MemError::Protection`] naming the faulting address if any page
     /// in the range denies the access.
+    #[inline]
     pub fn check(&self, addr: u32, len: u32, kind: AccessKind) -> Result<(), MemError> {
         let end = u64::from(addr) + u64::from(len.max(1)) - 1;
+        // Fast path: the access is contained in one page (every fetch
+        // and almost every data access — straddles only arise from
+        // fault-corrupted addresses).
+        let first = (addr / PAGE_SIZE) as usize;
+        if end < (first as u64 + 1) * u64::from(PAGE_SIZE) {
+            let perms = self.pages.get(first).copied().unwrap_or(Perms::NONE);
+            if perms.allows(kind) {
+                return Ok(());
+            }
+            return Err(MemError::Protection { addr, kind });
+        }
+        self.check_slow(addr, end, kind)
+    }
+
+    /// Page-walking check for accesses that straddle a page boundary.
+    fn check_slow(&self, addr: u32, end: u64, kind: AccessKind) -> Result<(), MemError> {
         let mut page_addr = u64::from(addr / PAGE_SIZE) * u64::from(PAGE_SIZE);
         while page_addr <= end {
             let a = page_addr.min(u64::from(u32::MAX)) as u32;

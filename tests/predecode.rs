@@ -1,0 +1,65 @@
+//! End-to-end differential check of the predecoded interpreter on the
+//! real NPB workloads: a full kernel run on the production (predecoded)
+//! path must be *trace-identical* to the same run on the structured-
+//! `Inst` reference path — same outcome, same report (cycles, retired
+//! instructions, register context, memory hash, console bytes), and the
+//! same golden-run event trace, commit by commit.
+//!
+//! With tracing enabled the machine executes tick-by-tick on both
+//! kernels, so any per-instruction divergence (cycle charge, annul
+//! accounting, trap ordering) shows up as a trace or report mismatch
+//! rather than being averaged away.
+
+use fracas::prelude::*;
+
+fn run_both_ways(scenario: &Scenario) {
+    let workload = Workload::from_scenario(scenario).expect("workload builds");
+
+    let mut fast = Kernel::boot(&workload.image, scenario.cores as usize, workload.spec);
+    fast.machine_mut().enable_trace();
+    let out_fast = fast.run(&Limits::default());
+
+    let mut reference = Kernel::boot(&workload.image, scenario.cores as usize, workload.spec);
+    reference.machine_mut().set_reference_exec(true);
+    reference.machine_mut().enable_trace();
+    let out_ref = reference.run(&Limits::default());
+
+    assert_eq!(out_fast, out_ref, "outcome diverged: {scenario}");
+    assert!(out_fast.is_clean_exit(), "golden run must exit cleanly");
+    assert_eq!(
+        fast.report(),
+        reference.report(),
+        "run report diverged: {scenario}"
+    );
+    assert_eq!(
+        fast.machine_mut().take_trace(),
+        reference.machine_mut().take_trace(),
+        "commit trace diverged: {scenario}"
+    );
+}
+
+/// Serial EP on both ISAs: the throughput benchmark's own workload.
+#[test]
+fn ep_serial_trace_identical_both_isas() {
+    for isa in IsaKind::ALL {
+        let scenario = Scenario::new(App::Ep, Model::Serial, 1, isa).unwrap();
+        run_both_ways(&scenario);
+    }
+}
+
+/// Multicore MPI IS: exercises preemption, syscalls and atomics
+/// interleaving with the burst dispatcher on both ISAs.
+#[test]
+fn is_mpi_trace_identical_both_isas() {
+    for isa in IsaKind::ALL {
+        let scenario = Scenario::new(App::Is, Model::Mpi, 2, isa).unwrap();
+        run_both_ways(&scenario);
+    }
+}
+
+/// OpenMP FT on SIRA-64: the FP-heavy corner of the corpus.
+#[test]
+fn ft_omp_trace_identical() {
+    let scenario = Scenario::new(App::Ft, Model::Omp, 2, IsaKind::Sira64).unwrap();
+    run_both_ways(&scenario);
+}
