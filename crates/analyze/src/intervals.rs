@@ -1,0 +1,393 @@
+//! Def→use interval fingerprinting: the equivalence-class layer over
+//! the prune oracle's digested golden trace.
+//!
+//! Two faults flipping the *same bits of the same register on the same
+//! core* are outcome-equivalent whenever they land in the same **def→use
+//! interval** — the maximal run of trace ops during which nothing on
+//! the struck core reads, overwrites or moves the target. The argument
+//! is the taint walk's own invariant run backwards: while the flip sits
+//! untouched in core `k`'s register file, the machine's *architectural
+//! state at the first op that interacts with the target* is independent
+//! of where inside the interval the flip landed (no intervening op
+//! observed or modified the flipped register, and golden replay is
+//! deterministic). From that op onward the two injected runs are the
+//! same run, so outcome, cycle count and instruction count all
+//! coincide — the representative's record is byte-identical to every
+//! member's, not merely statistically interchangeable.
+//!
+//! Interval boundaries for a target `t` struck on core `k` are exactly
+//! the ops the walk reacts to while the taint is still
+//! `{cores: 1<<k}`:
+//!
+//! * an executed commit on `k` whose uses **or defs** intersect `t` (or
+//!   any commit on `k` for a PC target, or an `svc`-style
+//!   `uses_all_gprs` commit when `t` has GPR bits);
+//! * an annulled commit on `k` whose condition reads a flag of `t`;
+//! * a **dispatch or save on `k`** — these move or overwrite the whole
+//!   register file, so the flip's itinerary (and hence everything
+//!   after) depends on which side of the event it landed.
+//!
+//! A kernel `CtxWrite` is *not* a boundary: it touches a blocked
+//! thread's saved context, never a physical core's file. Note defs are
+//! boundaries here even though a def inside the walk merely clears
+//! taint: two faults straddling a def of `t` have different outcomes
+//! (one is overwritten, one survives into the next interval), so the
+//! def ends the class.
+//!
+//! The public key is [`Fingerprint`]:
+//!
+//! * faults the oracle fully decides ([`PruneVerdict`]) collapse into
+//!   one class per verdict — every decided fault of a workload
+//!   synthesizes the same golden-timing record, so a single
+//!   representative (or none: the verdict itself suffices) covers all
+//!   of them;
+//! * live (abstained) faults carry the landing interval id plus a
+//!   context hash of the ops at the interval's end. The interval id
+//!   separates classes *exactly* (the argument above); the context hash
+//!   recurs across loop iterations that end at the same static code
+//!   position, which is what the cross-interval merge tier keys on
+//!   (same context, different iteration — *not* exact, so the sampled
+//!   member audit is its backstop).
+//!
+//! `fracas-inject`'s `ClassPlan` consumes these keys: one member per
+//! class executes, the rest synthesize the representative's record with
+//! their own fault coordinates. The sampled `--oracle-audit` layer
+//! re-executes members for real and fails the sweep on any
+//! representative/member divergence, so the exactness argument above is
+//! continuously machine-checked, not just proved in a doc comment.
+
+use crate::prune::{Chunk, Landing, Op, PruneOracle, PruneTarget, PruneVerdict, CHUNK};
+use crate::usedef::RegSet;
+
+/// The number of trailing-context ops folded into a live fingerprint's
+/// hash. Eight is enough to distinguish unrelated intervals that happen
+/// to share an interacting op while keeping the hash cheap.
+const CONTEXT_WINDOW: usize = 8;
+
+/// The interval half of an equivalence-class key. The fingerprint
+/// deliberately carries **no fault coordinates** — callers key classes
+/// on `(core, target, bit, width, fingerprint)` themselves (or on a
+/// coarsened bit class, for the audit-backstopped merge tiers), so the
+/// same fingerprint serves both the exact and the heuristic keyings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fingerprint {
+    /// The oracle proves the outcome without execution; all faults of a
+    /// workload sharing a verdict share a (synthesized, golden-timing)
+    /// record.
+    Decided(PruneVerdict),
+    /// The fault must run for real. Same `(core, target, bit, width)`
+    /// coordinates + same landing `interval` ⇒ identical record
+    /// (exact); same coordinates + same `context` ⇒ heuristically
+    /// equivalent (audit-backstopped).
+    Live {
+        /// Index of the interval-ending op (the first op at or after
+        /// the landing that interacts with the target on the struck
+        /// core), or `ops.len()` when nothing ever interacts.
+        interval: u32,
+        /// FNV-1a hash of the `CONTEXT_WINDOW` ops ending the
+        /// interval (and nothing else — coordinates are the caller's
+        /// job). Two intervals ending at the same static code position
+        /// with the same upcoming interacting ops — e.g. successive
+        /// iterations of the same loop — hash equal.
+        context: u64,
+    },
+}
+
+/// FNV-1a, the same cheap deterministic hash the campaign seeds use.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.u64(v as u64);
+    }
+}
+
+fn hash_regset(h: &mut Fnv, s: RegSet) {
+    h.u32(s.gprs);
+    h.u32(s.fprs);
+    h.u32(s.flags as u32);
+}
+
+fn hash_op(h: &mut Fnv, op: Op) {
+    match op {
+        Op::Exec {
+            core,
+            uses,
+            defs,
+            uses_all_gprs,
+            pc,
+            ctrl,
+        } => {
+            h.u32(1);
+            h.u32(core);
+            hash_regset(h, uses);
+            hash_regset(h, defs);
+            h.u32(uses_all_gprs as u32);
+            h.u32(pc);
+            h.u32(ctrl as u32);
+        }
+        Op::Skip {
+            core,
+            cond_flags,
+            pc,
+        } => {
+            h.u32(2);
+            h.u32(core);
+            h.u32(cond_flags as u32);
+            h.u32(pc);
+        }
+        Op::Dispatch { core, tid } => {
+            h.u32(3);
+            h.u32(core);
+            h.u32(tid);
+        }
+        Op::Save { core, tid } => {
+            h.u32(4);
+            h.u32(core);
+            h.u32(tid);
+        }
+        Op::CtxWrite { tid } => {
+            h.u32(5);
+            h.u32(tid);
+        }
+    }
+}
+
+/// Does `op` interact with `target` while the flip sits (only) on core
+/// `k`'s register file? These are exactly the interval boundaries — see
+/// the module docs.
+fn interacts(op: Op, core: u32, tset: RegSet, is_pc: bool) -> bool {
+    match op {
+        Op::Exec {
+            core: c,
+            uses,
+            defs,
+            uses_all_gprs,
+            ..
+        } => {
+            c == core
+                && (is_pc || uses.union(defs).intersects(tset) || (uses_all_gprs && tset.gprs != 0))
+        }
+        Op::Skip {
+            core: c,
+            cond_flags,
+            ..
+        } => c == core && (is_pc || cond_flags & tset.flags != 0),
+        Op::Dispatch { core: c, .. } | Op::Save { core: c, .. } => c == core,
+        Op::CtxWrite { .. } => false,
+    }
+}
+
+/// Can any op of `chunk` interact with `target` on `core`? Over-
+/// approximate (chunk summaries have no per-core masks beyond
+/// `commit_cores`); a `false` skips the whole chunk.
+fn chunk_interacts(chunk: &Chunk, core: u32, tset: RegSet, is_pc: bool) -> bool {
+    if chunk.sched {
+        return true;
+    }
+    if chunk.commit_cores & (1 << core.min(63)) == 0 {
+        return false;
+    }
+    if is_pc {
+        return true;
+    }
+    chunk.uses.union(chunk.defs).intersects(tset) || (chunk.uses_all_gprs && tset.gprs != 0)
+}
+
+impl PruneOracle {
+    /// Index of the first op at or after `start` that interacts with
+    /// `target` on `core`, or `ops.len()` when none does.
+    fn interval_end(&self, start: usize, core: u32, target: PruneTarget) -> usize {
+        let tset = target.as_set();
+        let is_pc = target == PruneTarget::Pc;
+        let mut i = start;
+        while i < self.ops.len() {
+            if i.is_multiple_of(CHUNK) {
+                while i + CHUNK <= self.ops.len()
+                    && !chunk_interacts(&self.chunks[i / CHUNK], core, tset, is_pc)
+                {
+                    i += CHUNK;
+                }
+                if i >= self.ops.len() {
+                    break;
+                }
+            }
+            if interacts(self.ops[i], core, tset, is_pc) {
+                return i;
+            }
+            i += 1;
+        }
+        self.ops.len()
+    }
+
+    /// The interval fingerprint of striking `target` on `core` at
+    /// `cycle`. `None` only for a core the golden trace never saw (such
+    /// faults are singletons anyway).
+    ///
+    /// Combined with the fault coordinates by the caller: same
+    /// `(core, target, bit, width)` + same fingerprint ⇒ identical
+    /// injection record (outcome, cycles, instructions) — exact for
+    /// [`Fingerprint::Decided`] by the oracle's soundness proof, exact
+    /// for [`Fingerprint::Live`] compared by `interval`, heuristic
+    /// (audit-backstopped) compared by `context` alone.
+    pub fn fingerprint(&self, core: usize, target: PruneTarget, cycle: u64) -> Option<Fingerprint> {
+        let start = match self.landing(core, cycle)? {
+            Landing::Unapplied => return Some(Fingerprint::Decided(PruneVerdict::Vanished)),
+            Landing::At(start) => start,
+        };
+        if let Some(v) = self.walk(start, core, target) {
+            return Some(Fingerprint::Decided(v));
+        }
+        let end = self.interval_end(start, core as u32, target);
+        let mut h = Fnv::new();
+        // The window is anchored at the interval's *end* so that every
+        // landing inside the interval hashes the same ops; ticks,
+        // cycles and op indices are deliberately excluded (they differ
+        // per landing and per loop iteration — which is exactly what
+        // lets contexts recur across iterations).
+        for &op in &self.ops[end..(end + CONTEXT_WINDOW).min(self.ops.len())] {
+            hash_op(&mut h, op);
+        }
+        Some(Fingerprint::Live {
+            interval: end as u32,
+            context: h.0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fracas_cpu::{ExecTrace, TraceEvent, TraceKind};
+    use fracas_isa::{AluOp, Inst, InstKind, IsaKind, Reg};
+
+    const BASE: u32 = 0x1000;
+
+    fn trace(start: Vec<u64>, events: Vec<TraceEvent>) -> ExecTrace {
+        let mut t = ExecTrace::default();
+        t.events = events;
+        t.start_cycles = start;
+        t
+    }
+
+    fn commit(core: u32, tick: u64, cycle: u64, idx: u32) -> TraceEvent {
+        TraceEvent {
+            core,
+            tick,
+            cycle,
+            kind: TraceKind::Commit {
+                pc: BASE + 4 * idx,
+                skipped: false,
+            },
+        }
+    }
+
+    fn addi(rd: u8, rn: u8) -> Inst {
+        Inst::new(InstKind::AluImm {
+            op: AluOp::Add,
+            rd: Reg(rd),
+            rn: Reg(rn),
+            imm: 1,
+        })
+    }
+
+    /// r3 = r3 + 1 three times, then halt: an r3 fault is live, and the
+    /// interval it lands in is delimited by the r3-reading commits.
+    fn oracle() -> PruneOracle {
+        let text = vec![
+            addi(3, 3),
+            addi(3, 3),
+            addi(3, 3),
+            Inst::new(InstKind::Halt),
+        ];
+        let tr = trace(
+            vec![10],
+            vec![
+                commit(0, 0, 20, 0),
+                commit(0, 1, 30, 1),
+                commit(0, 2, 40, 2),
+                commit(0, 3, 50, 3),
+            ],
+        );
+        PruneOracle::new(IsaKind::Sira64, &text, BASE, &tr)
+    }
+
+    const R3: PruneTarget = PruneTarget::Gpr { reg: 3 };
+
+    #[test]
+    fn same_interval_same_fingerprint() {
+        let o = oracle();
+        // Cycles 21..=30 both land at the tick-1 boundary... cycle 21
+        // and 25 cross at the same boundary (first cycle >= c is 30's
+        // predecessor tick): both start after tick 0's commit.
+        let a = o.fingerprint(0, R3, 21).unwrap();
+        let b = o.fingerprint(0, R3, 25).unwrap();
+        assert_eq!(a, b);
+        assert!(matches!(a, Fingerprint::Live { .. }));
+    }
+
+    #[test]
+    fn different_interval_different_fingerprint() {
+        let o = oracle();
+        let a = o.fingerprint(0, R3, 11).unwrap();
+        let b = o.fingerprint(0, R3, 21).unwrap();
+        assert_ne!(a, b);
+        // The straight-line adds share no context either: the windows
+        // start at different interval-ending ops with different PCs.
+        let (Fingerprint::Live { context: ca, .. }, Fingerprint::Live { context: cb, .. }) = (a, b)
+        else {
+            panic!("r3 faults mid-run are live: {a:?} {b:?}");
+        };
+        assert_ne!(ca, cb);
+    }
+
+    #[test]
+    fn decided_faults_collapse_by_verdict() {
+        let o = oracle();
+        // r9 is never touched: SilentResidue everywhere it lands.
+        let t = PruneTarget::Gpr { reg: 9 };
+        let a = o.fingerprint(0, t, 15).unwrap();
+        let b = o.fingerprint(0, t, 35).unwrap();
+        assert_eq!(a, Fingerprint::Decided(PruneVerdict::SilentResidue));
+        assert_eq!(a, b);
+        // Beyond the last cycle: never lands, Vanished.
+        assert_eq!(
+            o.fingerprint(0, t, 1_000_000).unwrap(),
+            Fingerprint::Decided(PruneVerdict::Vanished)
+        );
+    }
+
+    #[test]
+    fn fingerprint_agrees_with_verdict() {
+        let o = oracle();
+        for reg in 0..16u32 {
+            let t = PruneTarget::Gpr { reg };
+            for cycle in [5u64, 15, 21, 25, 31, 41, 51, 100] {
+                let v = o.verdict(0, t, cycle);
+                let f = o.fingerprint(0, t, cycle).unwrap();
+                match (v, f) {
+                    (Some(v), Fingerprint::Decided(d)) => assert_eq!(v, d),
+                    (None, Fingerprint::Live { .. }) => {}
+                    (v, f) => panic!("verdict {v:?} vs fingerprint {f:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_core_is_none() {
+        let o = oracle();
+        assert_eq!(o.fingerprint(7, R3, 21), None);
+    }
+}

@@ -42,12 +42,14 @@
 
 pub mod avf;
 pub mod cfg;
+pub mod intervals;
 pub mod liveness;
 pub mod prune;
 pub mod usedef;
 
 pub use avf::{dead_windows, static_avf, StaticAvf};
 pub use cfg::{writes_pc, BasicBlock, Cfg};
+pub use intervals::Fingerprint;
 pub use liveness::{all_regs, Liveness};
 pub use prune::{PruneOracle, PruneTarget, PruneVerdict};
 pub use usedef::{cond_reads, use_def, RegSet, UseDef, FLAG_ALL, FLAG_C, FLAG_N, FLAG_V, FLAG_Z};

@@ -52,8 +52,11 @@
 //!   condition, or the fetch for a PC fault) may *read* the target, the
 //!   oracle abstains: the fault may propagate, only real execution can
 //!   classify it. If the instruction fully *overwrites* the target, the
-//!   core's taint dies. Reads are over-approximated (an `svc` reads
-//!   every GPR), overwrites are exact — see [`crate::usedef`].
+//!   core's taint dies. Reads may over-approximate, overwrites are
+//!   exact — see [`crate::usedef`]. An `svc` with a known service
+//!   number uses the kernel's precise ABI (`svc_regs`: it reads only
+//!   its argument registers and r0 is overwritten by never-blocking
+//!   services); an unknown number degrades to reading every GPR.
 //! * **save** — the core's (possibly tainted) register file is copied
 //!   into the thread's saved context: the spill slot inherits the
 //!   core's taint state exactly (tainted core taints it, clean core
@@ -74,13 +77,13 @@
 //! spill slots) and vanishes. The SIRA-32 PC is the one exception: it
 //! is excluded from the context hash, so PC residue also vanishes.
 
-use crate::usedef::{use_def, RegSet, UseDef};
+use crate::usedef::RegSet;
 use fracas_cpu::{ExecTrace, TraceKind};
-use fracas_isa::{Inst, IsaKind};
+use fracas_isa::{CtrlFlow, Effects, Inst, InstKind, IsaKind};
 
 /// The architectural location a fault flips (already folded to one
 /// register: the injector's multi-bit upsets wrap within a register).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PruneTarget {
     /// Integer register `reg` (on SIRA-32, `reg < 15`; register 15 is
     /// [`PruneTarget::Pc`]).
@@ -106,7 +109,7 @@ pub enum PruneTarget {
 impl PruneTarget {
     /// The target as a use/def-comparable register set (`Pc` is empty:
     /// it is matched by the fetch rule, not by masks).
-    fn as_set(self) -> RegSet {
+    pub(crate) fn as_set(self) -> RegSet {
         match self {
             PruneTarget::Gpr { reg } => RegSet {
                 gprs: 1 << reg,
@@ -128,7 +131,7 @@ impl PruneTarget {
 /// A proven outcome for a pruned fault. The pruned run's timing is the
 /// golden run's (no divergence ever occurs), so the injector can
 /// synthesize the full record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PruneVerdict {
     /// The flipped bits are overwritten (or never materialize): the
     /// run is indistinguishable from golden. Classifies as Vanished.
@@ -140,21 +143,28 @@ pub enum PruneVerdict {
 }
 
 /// One pre-digested trace event (use/def masks resolved once at oracle
-/// construction so each per-fault walk is mask arithmetic only).
+/// construction so each per-fault walk is mask arithmetic only). The
+/// committed PC and control-flow class ride along for the def→use
+/// interval fingerprints ([`crate::intervals`]); the walk itself never
+/// reads them.
 #[derive(Debug, Clone, Copy)]
-enum Op {
+pub(crate) enum Op {
     /// Executed commit with its use/def summary.
     Exec {
         core: u32,
         uses: RegSet,
         defs: RegSet,
         uses_all_gprs: bool,
+        pc: u32,
+        /// Control-flow class of the instruction (see [`ctrl_class`]).
+        ctrl: u8,
     },
     /// Annulled commit: reads only its condition's flags (and the
     /// fetch PC).
     Skip {
         core: u32,
         cond_flags: u8,
+        pc: u32,
     },
     Dispatch {
         core: u32,
@@ -167,6 +177,73 @@ enum Op {
     CtxWrite {
         tid: u32,
     },
+}
+
+/// A small dense encoding of [`CtrlFlow`] for interval-context hashing:
+/// two instructions whose control leaves the PC the same way share a
+/// class even when branch offsets differ.
+pub(crate) fn ctrl_class(ctrl: CtrlFlow) -> u8 {
+    match ctrl {
+        CtrlFlow::Fall => 0,
+        CtrlFlow::Relative { link: false, .. } => 1,
+        CtrlFlow::Relative { link: true, .. } => 2,
+        CtrlFlow::Indirect { link: false } => 3,
+        CtrlFlow::Indirect { link: true } => 4,
+        CtrlFlow::Svc => 5,
+        CtrlFlow::Halt => 6,
+    }
+}
+
+/// The `ctrl` value of a commit outside the known text (the
+/// read-everything barrier case).
+pub(crate) const CTRL_UNKNOWN: u8 = 7;
+
+/// The precise register effects of one `svc`, replacing the declarative
+/// layer's read-every-GPR over-approximation during oracle digestion:
+/// `(gpr use mask, defines r0)`. `None` keeps the conservative model
+/// (an unknown service number — a golden run would have trapped).
+///
+/// The table mirrors the kernel's `syscall` handler exactly — each
+/// service reads only its `arg()` registers (r0..r3) and the only
+/// register any service writes is r0 via `set_ret`. "Defines r0" is
+/// claimed *only* for services that call `set_ret` on every non-trap
+/// path without ever blocking; a service that can block (`join`,
+/// `recv`, `barrier`, `lock`) parks the caller and delivers its return
+/// value through a context save/kernel-context-write sequence the walk
+/// already models, so its direct defs stay empty. The numbers are
+/// pinned against `fracas_kernel::abi` by a unit test.
+fn svc_regs(isa: IsaKind, imm: u16) -> Option<(u32, bool)> {
+    Some(match imm {
+        // exit, thread_exit, lock, write_int, write_ch: read r0 only.
+        0 | 4 | 11 | 15 | 17 => (0b0001, false),
+        // sbrk, unlock: read r0, always return into r0.
+        2 | 12 => (0b0001, true),
+        // write, spawn: read r0..r1, always return into r0.
+        1 | 3 => (0b0011, true),
+        // barrier: reads r0..r1, may block.
+        10 => (0b0011, false),
+        // join: reads the target tid, may block.
+        5 => (0b0001, false),
+        // send: reads r0..r3, always returns into r0.
+        8 => (0b1111, true),
+        // recv: reads r0..r3, may block.
+        9 => (0b1111, false),
+        // rank, size, time, nthreads, gettid: pure returns into r0.
+        6 | 7 | 13 | 18 | 19 => (0, true),
+        // yield: touches no registers at all (saves are traced).
+        14 => (0, false),
+        // write_flt: the f64 payload is r0, split across r0..r1 on
+        // SIRA-32.
+        16 => (
+            if isa == IsaKind::Sira32 {
+                0b0011
+            } else {
+                0b0001
+            },
+            false,
+        ),
+        _ => return None,
+    })
 }
 
 impl Op {
@@ -185,17 +262,17 @@ impl Op {
 /// read or write the target on any core leaves the taint state
 /// untouched and is stepped over wholesale.
 #[derive(Debug, Clone, Copy, Default)]
-struct Chunk {
-    uses: RegSet,
-    defs: RegSet,
-    uses_all_gprs: bool,
+pub(crate) struct Chunk {
+    pub(crate) uses: RegSet,
+    pub(crate) defs: RegSet,
+    pub(crate) uses_all_gprs: bool,
     /// Any scheduling event (dispatch/save/ctx-write) in the chunk.
-    sched: bool,
+    pub(crate) sched: bool,
     /// Cores with at least one commit in the chunk.
-    commit_cores: u64,
+    pub(crate) commit_cores: u64,
 }
 
-const CHUNK: usize = 1024;
+pub(crate) const CHUNK: usize = 1024;
 
 /// The live locations of the flipped bits during a walk: a mask of
 /// tainted physical cores plus the kernel's per-thread saved contexts
@@ -259,16 +336,29 @@ impl Taint {
 /// The pruning decision procedure for one workload (one golden trace).
 #[derive(Debug, Clone)]
 pub struct PruneOracle {
-    ops: Vec<Op>,
+    pub(crate) ops: Vec<Op>,
     /// Tick of each op (ops are tick-ordered).
     ticks: Vec<u64>,
-    chunks: Vec<Chunk>,
+    pub(crate) chunks: Vec<Chunk>,
     /// Per core: `(end-of-tick cycle, op index)` of every commit,
     /// dispatch and save on that core, cycle-sorted (clocks are
     /// monotone).
     landings: Vec<Vec<(u64, u32)>>,
     start_cycles: Vec<u64>,
     tid_count: usize,
+}
+
+/// Where a fault at `(core, cycle)` physically lands in the golden
+/// trace (see the module docs' landing semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Landing {
+    /// The injector's replay finishes before the flip is ever applied
+    /// (core never reaches `cycle`, or the crossing tick is the
+    /// run-ending tick): provably [`PruneVerdict::Vanished`].
+    Unapplied,
+    /// The flip is applied; taint propagation starts at op index `.0`
+    /// (the first op of the tick *after* the crossing tick).
+    At(usize),
 }
 
 impl PruneOracle {
@@ -293,24 +383,42 @@ impl PruneOracle {
                             cond_flags: inst.map_or(crate::usedef::FLAG_ALL, |i| {
                                 crate::usedef::cond_reads(i.cond)
                             }),
+                            pc,
+                        }
+                    } else if let Some(i) = inst {
+                        let fx = Effects::of(isa, i);
+                        let mut uses = fx.uses;
+                        let mut defs = fx.defs;
+                        let mut uses_all_gprs = fx.uses_all_gprs;
+                        if let InstKind::Svc { imm } = i.kind {
+                            if let Some((arg_mask, rets)) = svc_regs(isa, imm) {
+                                // Precise kernel ABI: drop the
+                                // read-every-GPR barrier (flag/FPR
+                                // halves — condition reads — survive).
+                                uses.gprs |= arg_mask;
+                                defs.gprs |= u32::from(rets);
+                                uses_all_gprs = false;
+                            }
+                        }
+                        Op::Exec {
+                            core: ev.core,
+                            uses,
+                            defs,
+                            uses_all_gprs,
+                            pc,
+                            ctrl: ctrl_class(fx.ctrl),
                         }
                     } else {
                         // A commit outside the known text (impossible in
                         // a golden run) degrades to a read-everything
                         // barrier: the oracle abstains on any live taint.
-                        let ud = inst.map_or(
-                            UseDef {
-                                uses: crate::liveness::all_regs(isa),
-                                defs: RegSet::EMPTY,
-                                uses_all_gprs: true,
-                            },
-                            |i| use_def(isa, i),
-                        );
                         Op::Exec {
                             core: ev.core,
-                            uses: ud.uses,
-                            defs: ud.defs,
-                            uses_all_gprs: ud.uses_all_gprs,
+                            uses: crate::liveness::all_regs(isa),
+                            defs: RegSet::EMPTY,
+                            uses_all_gprs: true,
+                            pc,
+                            ctrl: CTRL_UNKNOWN,
                         }
                     }
                 }
@@ -338,13 +446,16 @@ impl PruneOracle {
                             uses,
                             defs,
                             uses_all_gprs,
+                            ..
                         } => {
                             c.uses = c.uses.union(uses);
                             c.defs = c.defs.union(defs);
                             c.uses_all_gprs |= uses_all_gprs;
                             c.commit_cores |= 1 << core.min(63);
                         }
-                        Op::Skip { core, cond_flags } => {
+                        Op::Skip {
+                            core, cond_flags, ..
+                        } => {
                             c.uses.flags |= cond_flags;
                             c.commit_cores |= 1 << core.min(63);
                         }
@@ -366,46 +477,57 @@ impl PruneOracle {
         }
     }
 
+    /// Where a fault at `(core, cycle)` lands, or `None` for a core the
+    /// trace never saw. The injector pauses its replay at the first
+    /// tick boundary where `core`'s clock >= `cycle`; taint propagation
+    /// starts with the *next* tick.
+    pub(crate) fn landing(&self, core: usize, cycle: u64) -> Option<Landing> {
+        if core >= self.start_cycles.len() {
+            return None;
+        }
+        if self.start_cycles[core] >= cycle {
+            // Applied before the trace's first tick; the run cannot
+            // already be finished there.
+            return Some(Landing::At(0));
+        }
+        let landings = &self.landings[core];
+        let i = landings.partition_point(|&(c, _)| c < cycle);
+        let Some(&(_, op_idx)) = landings.get(i) else {
+            // The workload exits before `core` ever reaches `cycle`:
+            // the injector's replay finishes unpaused and the fault is
+            // never applied.
+            return Some(Landing::Unapplied);
+        };
+        let tick = self.ticks[op_idx as usize];
+        let start = self.ticks.partition_point(|&t| t <= tick);
+        if start >= self.ops.len() {
+            // The crossing tick is the run-ending tick: the injector's
+            // pause loop observes the finished flag before the clock
+            // predicate, so the fault is never applied (see the module
+            // docs' landing semantics).
+            return Some(Landing::Unapplied);
+        }
+        Some(Landing::At(start))
+    }
+
     /// Decides the outcome of flipping `target` on `core` at `cycle`,
     /// or `None` when the fault may propagate and must run for real.
     /// Abstention is always sound; a `Some` verdict is exact.
     pub fn verdict(&self, core: usize, target: PruneTarget, cycle: u64) -> Option<PruneVerdict> {
-        if core >= self.start_cycles.len() {
-            return None;
+        match self.landing(core, cycle)? {
+            Landing::Unapplied => Some(PruneVerdict::Vanished),
+            Landing::At(start) => self.walk(start, core, target),
         }
-        // Where does the fault land? The injector pauses its replay at
-        // the first tick boundary where `core`'s clock >= `cycle`;
-        // taint propagation starts with the *next* tick.
-        let start = if self.start_cycles[core] >= cycle {
-            // Applied before the trace's first tick; the run cannot
-            // already be finished there.
-            0
-        } else {
-            let landings = &self.landings[core];
-            let i = landings.partition_point(|&(c, _)| c < cycle);
-            let Some(&(_, op_idx)) = landings.get(i) else {
-                // The workload exits before `core` ever reaches
-                // `cycle`: the injector's replay finishes unpaused and
-                // the fault is never applied.
-                return Some(PruneVerdict::Vanished);
-            };
-            let tick = self.ticks[op_idx as usize];
-            let start = self.ticks.partition_point(|&t| t <= tick);
-            if start >= self.ops.len() {
-                // The crossing tick is the run-ending tick: the
-                // injector's pause loop observes the finished flag
-                // before the clock predicate, so the fault is never
-                // applied (see the module docs' landing semantics).
-                return Some(PruneVerdict::Vanished);
-            }
-            start
-        };
-        self.walk(start, core, target)
     }
 
     /// The taint walk from op index `start` (which the caller has
     /// verified is inside the trace: the fault was really applied).
-    fn walk(&self, start: usize, core: usize, target: PruneTarget) -> Option<PruneVerdict> {
+    pub(crate) fn walk(
+        &self,
+        start: usize,
+        core: usize,
+        target: PruneTarget,
+    ) -> Option<PruneVerdict> {
         let tset = target.as_set();
         let is_pc = target == PruneTarget::Pc;
         let clears_saved_r0 = matches!(target, PruneTarget::Gpr { reg: 0 });
@@ -443,6 +565,7 @@ impl PruneOracle {
                     uses,
                     defs,
                     uses_all_gprs,
+                    ..
                 } => {
                     if taint.core_is_tainted(core) {
                         if is_pc {
@@ -456,7 +579,9 @@ impl PruneOracle {
                         }
                     }
                 }
-                Op::Skip { core, cond_flags } => {
+                Op::Skip {
+                    core, cond_flags, ..
+                } => {
                     if taint.core_is_tainted(core) {
                         if is_pc {
                             return None;
@@ -751,4 +876,102 @@ mod tests {
     }
 
     use crate::usedef::FLAG_ALL as FLAG_ALL_MASK;
+
+    /// Pins the [`svc_regs`] service numbers to the kernel's published
+    /// ABI, and its register claims to the handler's shape: arguments
+    /// are a prefix of r0..r3, the only writable register is r0.
+    #[test]
+    fn svc_regs_match_the_kernel_abi() {
+        use fracas_kernel::abi;
+        for isa in [IsaKind::Sira32, IsaKind::Sira64] {
+            // Read r0 only, no return value.
+            for n in [
+                abi::SYS_EXIT,
+                abi::SYS_THREAD_EXIT,
+                abi::SYS_LOCK,
+                abi::SYS_WRITE_INT,
+                abi::SYS_WRITE_CH,
+            ] {
+                assert_eq!(svc_regs(isa, n), Some((0b0001, false)), "svc {n}");
+            }
+            // Read r0, return into r0.
+            for n in [abi::SYS_SBRK, abi::SYS_UNLOCK] {
+                assert_eq!(svc_regs(isa, n), Some((0b0001, true)), "svc {n}");
+            }
+            // Read r0..r1, return into r0.
+            for n in [abi::SYS_WRITE, abi::SYS_SPAWN] {
+                assert_eq!(svc_regs(isa, n), Some((0b0011, true)), "svc {n}");
+            }
+            assert_eq!(svc_regs(isa, abi::SYS_BARRIER), Some((0b0011, false)));
+            assert_eq!(svc_regs(isa, abi::SYS_JOIN), Some((0b0001, false)));
+            assert_eq!(svc_regs(isa, abi::SYS_SEND), Some((0b1111, true)));
+            assert_eq!(svc_regs(isa, abi::SYS_RECV), Some((0b1111, false)));
+            // Pure returns.
+            for n in [
+                abi::SYS_RANK,
+                abi::SYS_SIZE,
+                abi::SYS_TIME,
+                abi::SYS_NTHREADS,
+                abi::SYS_GETTID,
+            ] {
+                assert_eq!(svc_regs(isa, n), Some((0, true)), "svc {n}");
+            }
+            assert_eq!(svc_regs(isa, abi::SYS_YIELD), Some((0, false)));
+            // Unknown services keep the conservative model.
+            assert_eq!(svc_regs(isa, 999), None);
+        }
+        // The split f64 payload of write_flt.
+        assert_eq!(
+            svc_regs(IsaKind::Sira32, abi::SYS_WRITE_FLT),
+            Some((0b0011, false))
+        );
+        assert_eq!(
+            svc_regs(IsaKind::Sira64, abi::SYS_WRITE_FLT),
+            Some((0b0001, false))
+        );
+    }
+
+    #[test]
+    fn svc_is_not_a_register_barrier() {
+        // svc #15 (write_int) reads r0 only: a flipped r5 sails through
+        // it into silent residue, a flipped r0 is read and abstains.
+        let text = vec![
+            Inst::new(InstKind::Svc { imm: 15 }),
+            Inst::new(InstKind::Halt),
+        ];
+        let tr = trace(vec![10], vec![commit(0, 0, 20, 0), commit(0, 1, 30, 1)]);
+        let oracle = PruneOracle::new(IsaKind::Sira64, &text, BASE, &tr);
+        assert_eq!(
+            oracle.verdict(0, PruneTarget::Gpr { reg: 5 }, 5),
+            Some(PruneVerdict::SilentResidue)
+        );
+        assert_eq!(oracle.verdict(0, PruneTarget::Gpr { reg: 0 }, 5), None);
+    }
+
+    #[test]
+    fn never_blocking_svc_overwrites_its_return_register() {
+        // svc #13 (time) reads nothing and always writes r0: a flipped
+        // r0 dies at the syscall.
+        let text = vec![
+            Inst::new(InstKind::Svc { imm: 13 }),
+            Inst::new(InstKind::Halt),
+        ];
+        let tr = trace(vec![10], vec![commit(0, 0, 20, 0), commit(0, 1, 30, 1)]);
+        let oracle = PruneOracle::new(IsaKind::Sira64, &text, BASE, &tr);
+        assert_eq!(
+            oracle.verdict(0, PruneTarget::Gpr { reg: 0 }, 5),
+            Some(PruneVerdict::Vanished)
+        );
+    }
+
+    #[test]
+    fn unknown_svc_stays_a_read_barrier() {
+        let text = vec![
+            Inst::new(InstKind::Svc { imm: 999 }),
+            Inst::new(InstKind::Halt),
+        ];
+        let tr = trace(vec![10], vec![commit(0, 0, 20, 0), commit(0, 1, 30, 1)]);
+        let oracle = PruneOracle::new(IsaKind::Sira64, &text, BASE, &tr);
+        assert_eq!(oracle.verdict(0, PruneTarget::Gpr { reg: 5 }, 5), None);
+    }
 }

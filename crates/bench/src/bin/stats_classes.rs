@@ -1,0 +1,110 @@
+//! Plan-side collapse report for `--prune-classes`: per-scenario
+//! equivalence-class statistics over the sampled fault list — executed
+//! fraction, collapse factor, decided/live/member/singleton breakdown
+//! and unmodeled-target counts — without running a single injection
+//! (each scenario costs one traced golden run).
+//!
+//! ```text
+//! stats_classes [--isa ...] [--model ...] [--app NAME] [--cores N]
+//!               [--faults N] [--seed N] [--gate F]
+//! ```
+//!
+//! `--gate F` turns the report into a CI check: exit 1 unless the
+//! aggregate executed fraction over the selected scenarios is ≤ `F`.
+//! The paper-facing acceptance bar is `--app EP --gate 0.5`: class
+//! pruning must execute at most half of the sampled faults across the
+//! EP programming-model × ISA matrix.
+
+use fracas::inject::{campaign_faults, class_plan, golden_trace, ClassStats, Workload};
+use fracas_bench::cli::{Parser, ScenarioFilter};
+use std::time::Instant;
+
+const USAGE: &str = "stats_classes [--isa sira32|sira64] [--model ser|omp|mpi] [--app NAME] \
+     [--cores N] [--faults N] [--seed N] [--gate F]";
+
+fn main() {
+    let mut filter = ScenarioFilter::default();
+    let mut faults: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut gate: Option<f64> = None;
+    let mut p = Parser::new(USAGE);
+    while let Some(flag) = p.next_flag() {
+        if filter.accept(&mut p, &flag) {
+            continue;
+        }
+        match flag.as_str() {
+            "--faults" => faults = Some(p.parsed(&flag)),
+            "--seed" => seed = Some(p.parsed(&flag)),
+            "--gate" => gate = Some(p.parsed(&flag)),
+            other => p.unknown(other),
+        }
+    }
+    let mut config = fracas_bench::config();
+    if let Some(v) = faults {
+        config.faults = v;
+    }
+    if let Some(v) = seed {
+        config.seed = v;
+    }
+    let scenarios = filter.scenarios();
+    eprintln!(
+        "class-planning {} scenario(s) at {} faults each (seed {})...",
+        scenarios.len(),
+        config.faults,
+        config.seed
+    );
+    let start = Instant::now();
+    println!(
+        "{:<22} {:>5} {:>5} {:>5} {:>5} {:>5} {:>6} {:>9} {:>9}",
+        "scenario", "flts", "dec", "live", "mem", "sing", "unmod", "executed", "collapse"
+    );
+    let mut total = ClassStats::default();
+    for s in &scenarios {
+        let workload = Workload::from_scenario(s).unwrap_or_else(|e| panic!("{}: {e}", s.id()));
+        let (report, trace) = golden_trace(&workload);
+        let sampled = campaign_faults(&workload, &config, report.cycles);
+        let stats = class_plan(&workload, &trace, &sampled).stats();
+        println!(
+            "{:<22} {:>5} {:>5} {:>5} {:>5} {:>5} {:>6} {:>8.1}% {:>8.1}x",
+            s.id(),
+            stats.faults,
+            stats.decided,
+            stats.live_classes,
+            stats.members,
+            stats.singletons,
+            stats.unmodeled.total(),
+            stats.executed_fraction() * 100.0,
+            stats.collapse_factor()
+        );
+        total.faults += stats.faults;
+        total.decided += stats.decided;
+        total.live_classes += stats.live_classes;
+        total.members += stats.members;
+        total.singletons += stats.singletons;
+        total.unmodeled.sira32_fpr += stats.unmodeled.sira32_fpr;
+        total.unmodeled.mem += stats.unmodeled.mem;
+        total.unmodeled.text += stats.unmodeled.text;
+    }
+    println!(
+        "{:<22} {:>5} {:>5} {:>5} {:>5} {:>5} {:>6} {:>8.1}% {:>8.1}x",
+        "TOTAL",
+        total.faults,
+        total.decided,
+        total.live_classes,
+        total.members,
+        total.singletons,
+        total.unmodeled.total(),
+        total.executed_fraction() * 100.0,
+        total.collapse_factor()
+    );
+    eprintln!("planned in {:.1}s", start.elapsed().as_secs_f64());
+    if let Some(bar) = gate {
+        let fraction = total.executed_fraction();
+        assert!(
+            fraction <= bar,
+            "class-collapse gate failed: executed fraction {:.3} > {bar}",
+            fraction
+        );
+        println!("gate ok: executed fraction {fraction:.3} <= {bar}");
+    }
+}

@@ -3,7 +3,8 @@
 //! Every table/figure/tool binary accepts the same scenario-selection
 //! vocabulary (`--isa`, `--model`, `--app`, `--cores`) and the sweep
 //! family adds campaign knobs (`--faults`, `--epsilon`, `--threads`,
-//! `--seed`, `--db`, `--sink`, `--prune-dead`). This module keeps the
+//! `--seed`, `--db`, `--sink`, `--prune-dead`, `--prune-classes`). This
+//! module keeps the
 //! parsing in one place so the binaries stay single-screen `main`s:
 //!
 //! * [`Parser`] — a minimal flag walker with uniform `usage:` / bad
@@ -187,9 +188,15 @@ pub struct SweepOpts {
     /// `--prune-dead`: short-circuit provably-masked injections (the
     /// database is byte-identical with or without it, only faster).
     pub prune_dead: bool,
-    /// `--oracle-audit R`: with `--prune-dead`, also execute a
-    /// deterministic fraction `R` of the pruned faults for real and fail
-    /// the sweep on any oracle-vs-execution mismatch.
+    /// `--prune-classes`: collapse the fault list into interval-keyed
+    /// equivalence classes and execute one representative per class
+    /// (byte-identical database, fewer executions; composes with
+    /// `--prune-dead`).
+    pub prune_classes: bool,
+    /// `--oracle-audit R`: with `--prune-dead` or `--prune-classes`,
+    /// also execute a deterministic fraction `R` of the synthesized
+    /// records (pruned faults and class members) for real and fail the
+    /// sweep on any oracle-vs-execution mismatch.
     pub oracle_audit: Option<f64>,
 }
 
@@ -197,7 +204,7 @@ impl SweepOpts {
     /// The usage fragment for the campaign flags (append to
     /// [`FILTER_USAGE`]).
     pub const USAGE: &'static str = "[--faults N] [--epsilon E] [--threads N] [--seed N] \
-         [--db PATH] [--sink PATH] [--prune-dead] [--oracle-audit R]";
+         [--db PATH] [--sink PATH] [--prune-dead] [--prune-classes] [--oracle-audit R]";
 
     /// Parses the process arguments, accepting the filter flags and the
     /// campaign overrides.
@@ -217,6 +224,7 @@ impl SweepOpts {
                 "--db" => opts.db = Some(PathBuf::from(p.value(&flag))),
                 "--sink" => opts.sink = Some(PathBuf::from(p.value(&flag))),
                 "--prune-dead" => opts.prune_dead = true,
+                "--prune-classes" => opts.prune_classes = true,
                 "--oracle-audit" => opts.oracle_audit = Some(p.parsed(&flag)),
                 other => p.unknown(other),
             }
@@ -243,6 +251,9 @@ impl SweepOpts {
         }
         if self.prune_dead {
             config.campaign.prune_dead = true;
+        }
+        if self.prune_classes {
+            config.campaign.prune_classes = true;
         }
         if let Some(v) = self.oracle_audit {
             config.campaign.oracle_audit = v;

@@ -19,10 +19,15 @@
 //! * `FRACAS_EPSILON` — Wilson-interval early-stop half-width as a
 //!   proportion (default 0 = off; see
 //!   [`fracas::inject::FleetConfig::from_env`]).
-//! * `FRACAS_ORACLE_AUDIT` — with `--prune-dead`, the fraction of
-//!   oracle-pruned faults to also execute for real and diff against the
-//!   oracle's verdict (default 0 = off); any mismatch aborts the sweep
-//!   before the database is saved.
+//! * `FRACAS_PRUNE_CLASSES` — collapse each campaign's fault list into
+//!   interval-keyed equivalence classes and execute one representative
+//!   per class (default 0 = off; the database stays byte-identical, see
+//!   `fracas::inject::class_plan`).
+//! * `FRACAS_ORACLE_AUDIT` — with `--prune-dead` or `--prune-classes`,
+//!   the fraction of synthesized records (oracle-pruned faults and
+//!   class members) to also execute for real and diff against the
+//!   synthesized outcome (default 0 = off); any mismatch aborts the
+//!   sweep before the database is saved.
 //! * `FRACAS_SEED`, `FRACAS_THREADS` — see
 //!   [`fracas::inject::CampaignConfig::from_env`].
 
@@ -142,6 +147,31 @@ pub fn run_sweep(
     // Oracle audits gate the save: a mismatch means the prune oracle
     // synthesized a wrong record, so persisting the database (or
     // consuming the sink) would cache corrupt results.
+    // Class-collapse accounting: how much of each fault list actually
+    // executed, and how many targets fell outside the oracle's model.
+    for result in &results {
+        if let Some(stats) = result.classes {
+            let unmodeled = stats.unmodeled.breakdown();
+            eprintln!(
+                "  classes {}: {}/{} executed ({:.0}%, collapse {:.1}x; \
+                 {} decided, {} live classes, {} members, {} singletons{})",
+                result.id,
+                stats.executed(),
+                stats.faults,
+                stats.executed_fraction() * 100.0,
+                stats.collapse_factor(),
+                stats.decided,
+                stats.live_classes,
+                stats.members,
+                stats.singletons,
+                if unmodeled.is_empty() {
+                    String::new()
+                } else {
+                    format!("; unmodeled: {unmodeled}")
+                },
+            );
+        }
+    }
     let mut mismatches = 0usize;
     for report in results.iter().filter_map(|r| r.audit.as_ref()) {
         eprintln!("  oracle audit {}", report.summary());

@@ -60,6 +60,14 @@ pub struct OracleAuditReport {
     pub rate: f64,
     /// Audited entries in fault-index order.
     pub entries: Vec<AuditEntry>,
+    /// Faults whose targets the prune oracle does not model at all
+    /// (SIRA-32 FPRs, memory, text — see `fracas_inject::Unmodeled`):
+    /// they always execute for real, so nothing is auditable about
+    /// them, but the report says how many fell outside the model
+    /// instead of letting them vanish into the abstain path. Absent
+    /// from pre-bucket reports, hence the serde default.
+    #[serde(default)]
+    pub unmodeled: u32,
 }
 
 impl OracleAuditReport {
@@ -74,14 +82,17 @@ impl OracleAuditReport {
         self.mismatches().count()
     }
 
-    /// One-line human summary (`<id>: N audited, M mismatch(es)`).
+    /// One-line human summary
+    /// (`<id>: N audited, M mismatch(es), U unmodeled`). The
+    /// `audited, M mismatch` prefix is load-bearing: CI greps for it.
     #[must_use]
     pub fn summary(&self) -> String {
         format!(
-            "{}: {} audited, {} mismatch(es)",
+            "{}: {} audited, {} mismatch(es), {} unmodeled",
             self.id,
             self.entries.len(),
-            self.mismatch_count()
+            self.mismatch_count(),
+            self.unmodeled,
         )
     }
 }
@@ -169,8 +180,12 @@ mod tests {
                     executed: Outcome::Vanished,
                 },
             ],
+            unmodeled: 4,
         };
         assert_eq!(report.mismatch_count(), 1);
-        assert_eq!(report.summary(), "x: 2 audited, 1 mismatch(es)");
+        assert_eq!(
+            report.summary(),
+            "x: 2 audited, 1 mismatch(es), 4 unmodeled"
+        );
     }
 }

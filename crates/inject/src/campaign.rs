@@ -9,7 +9,7 @@ use fracas_rt::BuildError;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// A bootable workload: the unit a campaign runs against.
 #[derive(Debug, Clone)]
@@ -98,14 +98,29 @@ pub struct CampaignConfig {
     /// knob is deliberately excluded from orchestrator fingerprints.
     /// Tunable via `FRACAS_PRUNE_DEAD`.
     pub prune_dead: bool,
+    /// Collapse the fault space into def→use interval equivalence
+    /// classes (the `--prune-classes` mode): oracle-decided faults
+    /// synthesize their verdict exactly as [`CampaignConfig::prune_dead`]
+    /// does, and live faults sharing coordinates and a landing interval
+    /// execute one representative whose record every member reuses.
+    /// Synthesis is exact (see `fracas_analyze::intervals`), so
+    /// databases stay byte-identical with the mode on or off — like
+    /// `prune_dead`, it is excluded from orchestrator fingerprints
+    /// except where auditing makes the sink's audit lines differ.
+    /// Tunable via `FRACAS_PRUNE_CLASSES`.
+    pub prune_classes: bool,
     /// Oracle-audit sampling rate in `[0, 1]` (`FRACAS_ORACLE_AUDIT`):
     /// with [`CampaignConfig::prune_dead`] on, this fraction of the
     /// oracle-pruned faults is *also* executed for real and the
     /// classified outcome diffed against the verdict
-    /// ([`crate::OracleAuditReport`]). The audited execution never
-    /// replaces the pruned record — databases stay byte-identical at
-    /// any rate — it only feeds the report. `0.0` (default) disables
-    /// auditing; without `prune_dead` there is nothing to audit.
+    /// ([`crate::OracleAuditReport`]). With
+    /// [`CampaignConfig::prune_classes`] the same fraction of
+    /// non-representative class members is executed and diffed against
+    /// their representative's classification. The audited execution
+    /// never replaces a synthesized record — databases stay
+    /// byte-identical at any rate — it only feeds the report. `0.0`
+    /// (default) disables auditing; without a prune mode there is
+    /// nothing to audit.
     pub oracle_audit: f64,
 }
 
@@ -120,6 +135,7 @@ impl Default for CampaignConfig {
             checkpoints: 16,
             space: FaultSpace::default(),
             prune_dead: false,
+            prune_classes: false,
             oracle_audit: 0.0,
         }
     }
@@ -127,8 +143,9 @@ impl Default for CampaignConfig {
 
 impl CampaignConfig {
     /// Reads `FRACAS_FAULTS`, `FRACAS_SEED`, `FRACAS_THREADS`,
-    /// `FRACAS_CHECKPOINTS`, `FRACAS_PRUNE_DEAD` and
-    /// `FRACAS_ORACLE_AUDIT` from the environment over the defaults.
+    /// `FRACAS_CHECKPOINTS`, `FRACAS_PRUNE_DEAD`,
+    /// `FRACAS_PRUNE_CLASSES` and `FRACAS_ORACLE_AUDIT` from the
+    /// environment over the defaults.
     pub fn from_env() -> CampaignConfig {
         let mut config = CampaignConfig::default();
         if let Some(v) = env_u64("FRACAS_FAULTS") {
@@ -146,6 +163,9 @@ impl CampaignConfig {
         if let Some(v) = env_u64("FRACAS_PRUNE_DEAD") {
             config.prune_dead = v != 0;
         }
+        if let Some(v) = env_u64("FRACAS_PRUNE_CLASSES") {
+            config.prune_classes = v != 0;
+        }
         if let Some(v) = env_f64("FRACAS_ORACLE_AUDIT") {
             config.oracle_audit = v;
         }
@@ -153,9 +173,15 @@ impl CampaignConfig {
     }
 
     /// Whether this configuration audits anything: a nonzero sampling
-    /// rate only matters when pruning produces verdicts to audit.
+    /// rate only matters when a prune mode produces claims to audit.
     pub(crate) fn audits(&self) -> bool {
-        self.prune_dead && self.oracle_audit > 0.0
+        (self.prune_dead || self.prune_classes) && self.oracle_audit > 0.0
+    }
+
+    /// Whether the golden run needs an execution trace (any prune mode
+    /// replays it through the oracle).
+    pub(crate) fn traces(&self) -> bool {
+        self.prune_dead || self.prune_classes
     }
 }
 
@@ -282,6 +308,13 @@ pub struct InjectionRecord {
     pub cycles: u64,
     /// Faulty-run retired instructions.
     pub instructions: u64,
+    /// Index of the class representative this record was synthesized
+    /// from ([`CampaignConfig::prune_classes`]); `None` for executed
+    /// and verdict-synthesized records. A run-time marker for weighted
+    /// tallies, deliberately *not* serialized: class synthesis is
+    /// exact, so databases stay byte-identical with the mode on or off.
+    #[serde(skip)]
+    pub rep: Option<u32>,
 }
 
 /// Per-class injection counts.
@@ -307,13 +340,20 @@ pub struct Tally {
 impl Tally {
     /// Adds one outcome.
     pub fn record(&mut self, outcome: Outcome) {
+        self.record_weighted(outcome, 1);
+    }
+
+    /// Adds one outcome with a class weight (a representative standing
+    /// for `weight` equivalent faults — see
+    /// [`crate::classes::weighted_tally`]).
+    pub fn record_weighted(&mut self, outcome: Outcome, weight: u64) {
         match outcome {
-            Outcome::Vanished => self.vanished += 1,
-            Outcome::Ona => self.ona += 1,
-            Outcome::Omm => self.omm += 1,
-            Outcome::Ut => self.ut += 1,
-            Outcome::Hang => self.hang += 1,
-            Outcome::Anomaly => self.anomaly += 1,
+            Outcome::Vanished => self.vanished += weight,
+            Outcome::Ona => self.ona += weight,
+            Outcome::Omm => self.omm += weight,
+            Outcome::Ut => self.ut += weight,
+            Outcome::Hang => self.hang += weight,
+            Outcome::Anomaly => self.anomaly += weight,
         }
     }
 
@@ -416,6 +456,12 @@ pub struct CampaignResult {
     /// record either.
     #[serde(skip)]
     pub audit: Option<crate::OracleAuditReport>,
+    /// Equivalence-class collapse statistics
+    /// ([`CampaignConfig::prune_classes`]): `None` unless class pruning
+    /// was enabled. Run-time only, like [`CampaignResult::pruned`] —
+    /// class synthesis never changes a record.
+    #[serde(skip)]
+    pub classes: Option<crate::ClassStats>,
 }
 
 impl CampaignResult {
@@ -495,21 +541,53 @@ pub(crate) fn golden_run_traced(
     (kernel.report(), profile, set, trace)
 }
 
-/// The per-fault prune table for a campaign: `table[i]` is the proven
-/// outcome of fault `i`, or `None` when it must be injected for real.
-/// Empty when pruning is off. Shared by [`run_campaign_with`] and the
-/// fleet orchestrator so both prune identically.
-pub(crate) fn campaign_prune_table(
+/// Everything a campaign's prune modes decided about its fault list:
+/// the verdict table (dead-value short circuits), the optional
+/// equivalence-class plan and the unmodeled-target accounting. Shared
+/// by [`run_campaign_with`] and the fleet orchestrator so both prune
+/// identically.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CampaignPlan {
+    /// `verdicts[i]` short-circuits fault `i` without execution. Empty
+    /// when every prune mode is off.
+    pub(crate) verdicts: Vec<Option<Outcome>>,
+    /// The class plan ([`CampaignConfig::prune_classes`]).
+    pub(crate) classes: Option<crate::ClassPlan>,
+    /// Faults whose targets the oracle does not model (always executed
+    /// for real; surfaced by the audit report).
+    pub(crate) unmodeled: crate::UnmodeledCounts,
+}
+
+/// Builds the [`CampaignPlan`] for a campaign. With
+/// [`CampaignConfig::prune_classes`] the verdict table is the class
+/// plan's own decided table — byte-identical to what
+/// [`CampaignConfig::prune_dead`] alone computes, which is what keeps
+/// the dead-value subset stable under composition.
+pub(crate) fn campaign_plan(
     workload: &Workload,
     config: &CampaignConfig,
     trace: Option<&fracas_cpu::ExecTrace>,
     faults: &[Fault],
-) -> Vec<Option<Outcome>> {
-    if !config.prune_dead {
-        return Vec::new();
+) -> CampaignPlan {
+    if config.prune_classes {
+        let trace = trace.expect("prune_classes golden runs are traced");
+        let plan = crate::classes::class_plan(workload, trace, faults);
+        CampaignPlan {
+            verdicts: plan.decided.clone(),
+            unmodeled: plan.stats().unmodeled,
+            classes: Some(plan),
+        }
+    } else if config.prune_dead {
+        let trace = trace.expect("prune_dead golden runs are traced");
+        let (verdicts, unmodeled) = crate::prune::prune_plan(workload, trace, faults);
+        CampaignPlan {
+            verdicts,
+            classes: None,
+            unmodeled,
+        }
+    } else {
+        CampaignPlan::default()
     }
-    let trace = trace.expect("prune_dead golden runs are traced");
-    crate::prune::prune_table(workload, trace, faults)
 }
 
 /// Synthesizes the record of a pruned injection: the fault provably
@@ -527,6 +605,7 @@ pub(crate) fn pruned_record(
         outcome,
         cycles: golden.cycles,
         instructions: golden.total_instructions(),
+        rep: None,
     }
 }
 
@@ -583,6 +662,7 @@ pub fn golden_only(workload: &Workload, planned_faults: usize) -> CampaignResult
         records: Vec::new(),
         pruned: 0,
         audit: None,
+        classes: None,
     }
 }
 
@@ -635,6 +715,7 @@ pub(crate) fn resolve_threads(threads: usize) -> usize {
 /// Assembles the merged database from the campaign's pieces — shared by
 /// [`run_campaign`] and the fleet orchestrator so both serialise the
 /// identical structure.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn assemble_result(
     workload: &Workload,
     config: &CampaignConfig,
@@ -643,6 +724,7 @@ pub(crate) fn assemble_result(
     records: Vec<InjectionRecord>,
     pruned: u64,
     audit: Option<crate::OracleAuditReport>,
+    classes: Option<crate::ClassStats>,
 ) -> CampaignResult {
     let mut tally = Tally::default();
     for r in &records {
@@ -667,6 +749,7 @@ pub(crate) fn assemble_result(
         records,
         pruned,
         audit,
+        classes,
     }
 }
 
@@ -688,6 +771,7 @@ pub(crate) fn inject_record(
             outcome: classify(golden, &report),
             cycles: report.cycles,
             instructions: report.total_instructions(),
+            rep: None,
         },
         Err(panic) => {
             eprintln!(
@@ -700,6 +784,7 @@ pub(crate) fn inject_record(
                 outcome: Outcome::Anomaly,
                 cycles: 0,
                 instructions: 0,
+                rep: None,
             }
         }
     }
@@ -735,14 +820,14 @@ pub fn run_campaign_with(
     injector: &Injector,
 ) -> CampaignResult {
     let (golden, profile_map, checkpoints, trace) =
-        golden_run_traced(workload, config.checkpoints, config.prune_dead);
+        golden_run_traced(workload, config.checkpoints, config.traces());
     let checkpoints = Arc::new(checkpoints);
     let profile = ProfileStats::from_run(&golden, &profile_map);
     let faults = campaign_faults(workload, config, golden.cycles);
     let limits = campaign_limits(&golden, config);
-    let verdicts = campaign_prune_table(workload, config, trace.as_ref(), &faults);
+    let plan = campaign_plan(workload, config, trace.as_ref(), &faults);
     drop(trace);
-    let pruned = verdicts.iter().flatten().count() as u64;
+    let pruned = plan.verdicts.iter().flatten().count() as u64;
     let audit_seed = campaign_seed(&workload.id, config.seed);
 
     let threads = resolve_threads(config.threads);
@@ -750,12 +835,19 @@ pub fn run_campaign_with(
     let slots: Mutex<Vec<Option<InjectionRecord>>> = Mutex::new(vec![None; faults.len()]);
     let audits: Mutex<Vec<crate::AuditEntry>> = Mutex::new(Vec::new());
     let next_batch = AtomicUsize::new(0);
+    // One cell per fault index; only representative indices are ever
+    // initialized. `get_or_init` lets whichever worker first needs a
+    // representative (its own batch, or a member's batch racing ahead)
+    // execute it exactly once.
+    let cells: Vec<OnceLock<InjectionRecord>> =
+        (0..faults.len()).map(|_| OnceLock::new()).collect();
 
     std::thread::scope(|scope| {
         for _ in 0..threads.min(faults.len().max(1)) {
             let checkpoints = Arc::clone(&checkpoints);
             let (faults, golden, limits) = (&faults, &golden, &limits);
-            let (slots, next_batch, verdicts, audits) = (&slots, &next_batch, &verdicts, &audits);
+            let (slots, next_batch, plan, audits) = (&slots, &next_batch, &plan, &audits);
+            let cells = &cells;
             scope.spawn(move || loop {
                 let start = next_batch.fetch_add(batch, Ordering::Relaxed);
                 if start >= faults.len() {
@@ -766,7 +858,7 @@ pub fn run_campaign_with(
                 let mut local_audits = Vec::new();
                 for (i, fault) in faults[start..end].iter().enumerate() {
                     let one = |f: &Fault| injector(workload, f, &checkpoints, limits);
-                    if let Some(Some(outcome)) = verdicts.get(start + i) {
+                    if let Some(Some(outcome)) = plan.verdicts.get(start + i) {
                         local.push(pruned_record(golden, fault, start + i, *outcome));
                         if config.audits()
                             && crate::audit_selected(audit_seed, start + i, config.oracle_audit)
@@ -780,6 +872,30 @@ pub fn run_campaign_with(
                                 oracle: *outcome,
                                 executed: executed.outcome,
                             });
+                        }
+                        continue;
+                    }
+                    if let Some(classes) = &plan.classes {
+                        let rep = classes.rep[start + i] as usize;
+                        let rep_record = cells[rep]
+                            .get_or_init(|| inject_record(&one, golden, &faults[rep], rep));
+                        if rep == start + i {
+                            local.push(*rep_record);
+                        } else {
+                            local.push(crate::classes::member_record(rep_record, fault, start + i));
+                            if config.audits()
+                                && crate::audit_selected(audit_seed, start + i, config.oracle_audit)
+                            {
+                                // Execute the member for real and diff
+                                // its classification against the
+                                // representative's claim.
+                                let executed = inject_record(&one, golden, fault, start + i);
+                                local_audits.push(crate::AuditEntry {
+                                    index: (start + i) as u32,
+                                    oracle: rep_record.outcome,
+                                    executed: executed.outcome,
+                                });
+                            }
                         }
                         continue;
                     }
@@ -806,8 +922,10 @@ pub fn run_campaign_with(
             id: workload.id.clone(),
             rate: config.oracle_audit,
             entries,
+            unmodeled: plan.unmodeled.total(),
         }
     });
+    let class_stats = plan.classes.as_ref().map(crate::ClassPlan::stats);
 
     // Every slot is filled in the normal case (per-injection panics are
     // already downgraded to Anomaly records); a slot can only stay empty
@@ -825,10 +943,20 @@ pub fn run_campaign_with(
                 outcome: Outcome::Anomaly,
                 cycles: 0,
                 instructions: 0,
+                rep: None,
             })
         })
         .collect();
-    assemble_result(workload, config, &golden, profile, records, pruned, audit)
+    assemble_result(
+        workload,
+        config,
+        &golden,
+        profile,
+        records,
+        pruned,
+        audit,
+        class_stats,
+    )
 }
 
 fn fnv(bytes: &[u8]) -> u64 {
@@ -919,9 +1047,11 @@ mod tests {
                 outcome: Outcome::Vanished,
                 cycles: 101,
                 instructions: 50,
+                rep: None,
             }],
             pruned: 0,
             audit: None,
+            classes: None,
         };
         let json = result.to_json();
         let back = CampaignResult::from_json(&json).unwrap();

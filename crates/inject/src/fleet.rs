@@ -31,10 +31,10 @@
 
 use crate::audit::{audit_selected, AuditEntry, OracleAuditReport};
 use crate::campaign::{
-    assemble_result, campaign_faults, campaign_limits, campaign_prune_table, campaign_seed,
+    assemble_result, campaign_faults, campaign_limits, campaign_plan, campaign_seed,
     golden_run_traced, inject_one, inject_record, panic_message, pruned_record, resolve_threads,
-    CampaignConfig, CampaignResult, GoldenSummary, InjectionRecord, Injector, ProfileStats, Tally,
-    Workload,
+    CampaignConfig, CampaignPlan, CampaignResult, GoldenSummary, InjectionRecord, Injector,
+    ProfileStats, Tally, Workload,
 };
 use crate::{CheckpointSet, Fault, Outcome};
 use fracas_kernel::{Limits, RunReport};
@@ -135,17 +135,20 @@ struct SinkHeader {
 }
 
 fn config_fingerprint(config: &CampaignConfig) -> u64 {
-    // `prune_dead` alone never changes a record, so toggling it keeps
-    // the fingerprint (and a half-finished sink) valid. Auditing adds
-    // entries the resumed report must replay, so the *effective* rate
-    // (zero unless pruning is on) is part of the key.
+    // `prune_dead` / `prune_classes` alone never change a record, so
+    // toggling them keeps the fingerprint (and a half-finished sink)
+    // valid. Auditing adds entries the resumed report must replay, so
+    // the *effective* rate (zero unless a prune mode is on) is part of
+    // the key — and under auditing the class mode is too, because class
+    // mode audits member faults the dead-value mode never would.
     let audit = if config.audits() {
         config.oracle_audit.to_bits()
     } else {
         0
     };
+    let classes = config.audits() && config.prune_classes;
     let key = format!(
-        "seed={};faults={};watchdog={};space={:?};audit={audit}",
+        "seed={};faults={};watchdog={};space={:?};audit={audit};classes={classes}",
         config.seed,
         config.faults,
         config.watchdog_factor.to_bits(),
@@ -291,10 +294,16 @@ struct GoldenJob {
     checkpoints: Arc<CheckpointSet>,
     faults: Vec<Fault>,
     limits: Limits,
-    /// Per-fault prune verdicts ([`CampaignConfig::prune_dead`]):
-    /// `verdicts[i]` short-circuits fault `i` without execution. Empty
-    /// when pruning is off.
-    verdicts: Vec<Option<Outcome>>,
+    /// Everything the prune modes decided about the fault list: the
+    /// verdict table, the optional equivalence-class plan and the
+    /// unmodeled-target counts. Default (all-empty) when pruning is off.
+    plan: CampaignPlan,
+    /// One write-once slot per fault index holding the executed record
+    /// of a class representative ([`CampaignConfig::prune_classes`]):
+    /// whichever worker first needs a representative — for its own
+    /// record or to synthesize a member's — executes it exactly once,
+    /// so the class layer needs no scheduling of its own.
+    cells: Vec<OnceLock<InjectionRecord>>,
     /// The per-workload campaign seed, from which
     /// [`audit_selected`] derives the audited subset of pruned faults.
     audit_seed: u64,
@@ -500,18 +509,20 @@ fn run_golden_job(state: &WorkloadState, config: &FleetConfig, sink: &RecordSink
     let campaign = &config.campaign;
     let job = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let (report, profile_map, checkpoints, trace) =
-            golden_run_traced(state.workload, campaign.checkpoints, campaign.prune_dead);
+            golden_run_traced(state.workload, campaign.checkpoints, campaign.traces());
         let profile = ProfileStats::from_run(&report, &profile_map);
         let faults = campaign_faults(state.workload, campaign, report.cycles);
         let limits = campaign_limits(&report, campaign);
-        let verdicts = campaign_prune_table(state.workload, campaign, trace.as_ref(), &faults);
+        let plan = campaign_plan(state.workload, campaign, trace.as_ref(), &faults);
+        let cells = (0..faults.len()).map(|_| OnceLock::new()).collect();
         GoldenJob {
             report,
             profile,
             checkpoints: Arc::new(checkpoints),
             faults,
             limits,
-            verdicts,
+            plan,
+            cells,
             audit_seed: campaign_seed(&state.workload.id, campaign.seed),
         }
     }));
@@ -532,8 +543,24 @@ fn run_golden_job(state: &WorkloadState, config: &FleetConfig, sink: &RecordSink
         slots.records = vec![None; job.faults.len()];
         slots.audits = vec![None; job.faults.len()];
         for record in preloaded {
-            if let Some(slot) = slots.records.get_mut(record.index as usize) {
-                *slot = Some(*record);
+            let i = record.index as usize;
+            let mut record = *record;
+            // The sink never persists the in-memory `rep` marker;
+            // reconstruct it from the plan so resumed results match
+            // fresh ones field-for-field, and seed the representative
+            // cells so members never re-execute a replayed
+            // representative.
+            if let Some(classes) = &job.plan.classes {
+                if let Some(&rep) = classes.rep.get(i) {
+                    if rep as usize == i {
+                        let _ = job.cells[i].set(record);
+                    } else {
+                        record.rep = Some(rep);
+                    }
+                }
+            }
+            if let Some(slot) = slots.records.get_mut(i) {
+                *slot = Some(record);
             }
         }
         for entry in sink.preloaded_audits(&state.workload.id) {
@@ -582,7 +609,7 @@ fn run_injection_batch(
             continue;
         }
         let one = |f: &Fault| injector(state.workload, f, &golden.checkpoints, &golden.limits);
-        if let Some(Some(outcome)) = golden.verdicts.get(start + i) {
+        if let Some(Some(outcome)) = golden.plan.verdicts.get(start + i) {
             let record = pruned_record(&golden.report, fault, start + i, *outcome);
             let audit = (campaign.audits()
                 && audit_selected(golden.audit_seed, start + i, campaign.oracle_audit))
@@ -595,6 +622,37 @@ fn run_injection_batch(
                 }
             });
             fresh.push((audit, record));
+            continue;
+        }
+        if let Some(classes) = &golden.plan.classes {
+            // Class mode: execute the class representative (at most
+            // once, via its cell) and synthesize members from it. The
+            // representative's index never exceeds the member's, so an
+            // early-stopped prefix always contains every representative
+            // its members cite.
+            let rep = classes.rep[start + i] as usize;
+            let rep_record = golden.cells[rep]
+                .get_or_init(|| inject_record(&one, &golden.report, &golden.faults[rep], rep));
+            if rep == start + i {
+                fresh.push((None, *rep_record));
+            } else {
+                let record = crate::classes::member_record(rep_record, fault, start + i);
+                // Member-sampling audit: execute this member for real
+                // and diff its classified outcome against the
+                // representative's — the execution-validated backstop of
+                // the interval-exactness claim.
+                let audit = (campaign.audits()
+                    && audit_selected(golden.audit_seed, start + i, campaign.oracle_audit))
+                .then(|| {
+                    let executed = inject_record(&one, &golden.report, fault, start + i);
+                    AuditEntry {
+                        index: (start + i) as u32,
+                        oracle: rep_record.outcome,
+                        executed: executed.outcome,
+                    }
+                });
+                fresh.push((audit, record));
+            }
             continue;
         }
         fresh.push((None, inject_record(&one, &golden.report, fault, start + i)));
@@ -674,13 +732,15 @@ fn finish_workload(state: WorkloadState, config: &FleetConfig) -> CampaignResult
                 outcome: Outcome::Anomaly,
                 cycles: 0,
                 instructions: 0,
+                rep: None,
             })
         })
         .collect();
     // The prune statistic counts decided faults within the kept range —
     // a pure function of the fault list, so it matches across thread
     // counts and resumes even when some records were replayed from disk.
-    let pruned = golden.verdicts[..keep.min(golden.verdicts.len())]
+    let verdicts = &golden.plan.verdicts;
+    let pruned = verdicts[..keep.min(verdicts.len())]
         .iter()
         .flatten()
         .count() as u64;
@@ -691,7 +751,9 @@ fn finish_workload(state: WorkloadState, config: &FleetConfig) -> CampaignResult
         id: state.workload.id.clone(),
         rate: config.campaign.oracle_audit,
         entries: slots.audits.iter().take(keep).flatten().copied().collect(),
+        unmodeled: golden.plan.unmodeled.total(),
     });
+    let classes = golden.plan.classes.as_ref().map(|c| c.stats_prefix(keep));
     assemble_result(
         state.workload,
         &config.campaign,
@@ -700,6 +762,7 @@ fn finish_workload(state: WorkloadState, config: &FleetConfig) -> CampaignResult
         records,
         pruned,
         audit,
+        classes,
     )
 }
 
@@ -724,6 +787,7 @@ fn failed_result(workload: &Workload, config: &CampaignConfig) -> CampaignResult
         records: Vec::new(),
         pruned: 0,
         audit: None,
+        classes: None,
     }
 }
 
@@ -774,9 +838,30 @@ mod tests {
         let audited = CampaignConfig {
             prune_dead: true,
             oracle_audit: 0.25,
-            ..base
+            ..base.clone()
         };
         assert_ne!(config_fingerprint(&pruned), config_fingerprint(&audited));
+        // Same story for class pruning: the mode alone never changes a
+        // record, but under auditing it changes which faults get audit
+        // lines, so the sink must not be resumed across the toggle.
+        let classed = CampaignConfig {
+            prune_classes: true,
+            ..base.clone()
+        };
+        assert_eq!(config_fingerprint(&base), config_fingerprint(&classed));
+        let classed_audited = CampaignConfig {
+            prune_classes: true,
+            oracle_audit: 0.25,
+            ..base
+        };
+        assert_ne!(
+            config_fingerprint(&audited),
+            config_fingerprint(&classed_audited)
+        );
+        assert_ne!(
+            config_fingerprint(&classed),
+            config_fingerprint(&classed_audited)
+        );
     }
 
     #[test]
@@ -800,6 +885,7 @@ mod tests {
             outcome: Outcome::Vanished,
             cycles: 1,
             instructions: 1,
+            rep: None,
         };
         // Out-of-order arrival: the commit point only advances over the
         // hole-free prefix, and the stop index lands on the first

@@ -51,6 +51,7 @@
 mod audit;
 mod campaign;
 mod checkpoint;
+mod classes;
 mod classify;
 mod fault;
 mod fleet;
@@ -63,7 +64,8 @@ pub use campaign::{
     InjectionRecord, Injector, ProfileStats, Tally, Workload,
 };
 pub use checkpoint::CheckpointSet;
+pub use classes::{class_plan, weighted_tally, ClassPlan, ClassStats};
 pub use classify::{classify, Outcome};
 pub use fault::{sample_faults, sample_faults_with_text, Fault, FaultSpace, FaultTarget};
 pub use fleet::{run_fleet, run_fleet_with, run_fleet_with_sink, FleetConfig, RecordSink};
-pub use prune::prune_table;
+pub use prune::{prune_plan, prune_table, prune_target, Unmodeled, UnmodeledCounts};

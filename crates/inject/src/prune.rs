@@ -20,14 +20,42 @@ use fracas_analyze::{PruneOracle, PruneTarget, PruneVerdict};
 use fracas_cpu::ExecTrace;
 use fracas_isa::IsaKind;
 
+/// Why a fault target is outside the oracle's model. Such faults always
+/// run for real (and form singleton classes under `--prune-classes`);
+/// the bucket exists so prune/audit accounting can *say so* instead of
+/// silently falling through — historically SIRA-32 FPR faults pruned as
+/// `None` indistinguishably from oracle abstentions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Unmodeled {
+    /// A SIRA-32 FP register: present in the machine (softfloat spills)
+    /// but outside both the ISA's architected state and the exit
+    /// context hash, so the oracle has no verdict path for it.
+    Sira32Fpr,
+    /// A data-memory bit: memory lifetimes outlive register lifetimes
+    /// and the trace does not carry addresses.
+    Mem,
+    /// A text bit: corrupted instructions invalidate the digested
+    /// golden text the oracle replays.
+    Text,
+}
+
+impl Unmodeled {
+    /// Stable display name (audit reports, stats bins).
+    pub fn name(self) -> &'static str {
+        match self {
+            Unmodeled::Sira32Fpr => "sira32-fpr",
+            Unmodeled::Mem => "mem",
+            Unmodeled::Text => "text",
+        }
+    }
+}
+
 /// The oracle-facing view of a sampled fault: the struck core and the
 /// architectural location, with the injector's wrapping rules
 /// (`reg % gpr_count`, SIRA-32 register 15 = PC, multi-bit flag upsets
-/// spreading over `(which + i) % 4`) applied. `None` for targets the
-/// oracle does not model: memory and text bits, and SIRA-32 FP
-/// registers (present in the machine but outside both the ISA and the
-/// exit context hash — not worth a dedicated verdict path).
-pub(crate) fn prune_target(isa: IsaKind, fault: &Fault) -> Option<(usize, PruneTarget)> {
+/// spreading over `(which + i) % 4`) applied. `Err` for targets the
+/// oracle does not model — see [`Unmodeled`].
+pub fn prune_target(isa: IsaKind, fault: &Fault) -> Result<(usize, PruneTarget), Unmodeled> {
     match fault.target {
         FaultTarget::Gpr { core, reg, .. } => {
             let target = match isa {
@@ -35,41 +63,96 @@ pub(crate) fn prune_target(isa: IsaKind, fault: &Fault) -> Option<(usize, PruneT
                 IsaKind::Sira32 => PruneTarget::Gpr { reg: reg % 16 },
                 IsaKind::Sira64 => PruneTarget::Gpr { reg: reg % 32 },
             };
-            Some((core as usize, target))
+            Ok((core as usize, target))
         }
         FaultTarget::Fpr { core, reg, .. } => match isa {
-            IsaKind::Sira32 => None,
-            IsaKind::Sira64 => Some((core as usize, PruneTarget::Fpr { reg: reg % 32 })),
+            IsaKind::Sira32 => Err(Unmodeled::Sira32Fpr),
+            IsaKind::Sira64 => Ok((core as usize, PruneTarget::Fpr { reg: reg % 32 })),
         },
         FaultTarget::Flag { core, which } => {
             let mut mask = 0u8;
             for i in 0..fault.width.max(1) {
                 mask |= 1 << ((which + i) % 4);
             }
-            Some((core as usize, PruneTarget::Flags { mask }))
+            Ok((core as usize, PruneTarget::Flags { mask }))
         }
-        FaultTarget::Mem { .. } | FaultTarget::Text { .. } => None,
+        FaultTarget::Mem { .. } => Err(Unmodeled::Mem),
+        FaultTarget::Text { .. } => Err(Unmodeled::Text),
+    }
+}
+
+/// Per-campaign tallies of faults outside the oracle's model, keyed by
+/// [`Unmodeled`] reason. Surfaced by the audit report and the stats
+/// bins so "ran for real" and "could not even be considered" stay
+/// distinguishable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UnmodeledCounts {
+    /// SIRA-32 FP register faults.
+    pub sira32_fpr: u32,
+    /// Data-memory faults.
+    pub mem: u32,
+    /// Text faults.
+    pub text: u32,
+}
+
+impl UnmodeledCounts {
+    /// Bumps the bucket for `reason`.
+    pub fn record(&mut self, reason: Unmodeled) {
+        match reason {
+            Unmodeled::Sira32Fpr => self.sira32_fpr += 1,
+            Unmodeled::Mem => self.mem += 1,
+            Unmodeled::Text => self.text += 1,
+        }
+    }
+
+    /// Total faults outside the model.
+    pub fn total(&self) -> u32 {
+        self.sira32_fpr + self.mem + self.text
+    }
+
+    /// `"3 sira32-fpr + 2 mem"`-style breakdown (empty when zero).
+    pub fn breakdown(&self) -> String {
+        let mut parts = Vec::new();
+        for (n, u) in [
+            (self.sira32_fpr, Unmodeled::Sira32Fpr),
+            (self.mem, Unmodeled::Mem),
+            (self.text, Unmodeled::Text),
+        ] {
+            if n > 0 {
+                parts.push(format!("{n} {}", u.name()));
+            }
+        }
+        parts.join(" + ")
     }
 }
 
 /// Decides the whole fault list against one golden trace: `table[i]` is
 /// the proven outcome of `faults[i]`, or `None` when it must run for
-/// real. Computed once per workload so the trace (which can dwarf the
-/// checkpoint set) is dropped before injection starts, and so the
-/// prune decisions are independent of worker scheduling. Public so the
-/// differential and conservativeness suites can derive the expected
-/// skip set from the oracle itself instead of hard-coding counts.
-pub fn prune_table(
+/// real — either because the oracle abstained or because the target is
+/// [`Unmodeled`] (the counts distinguish the two). Computed once per
+/// workload so the trace (which can dwarf the checkpoint set) is
+/// dropped before injection starts, and so the prune decisions are
+/// independent of worker scheduling. Public so the differential and
+/// conservativeness suites can derive the expected skip set from the
+/// oracle itself instead of hard-coding counts.
+pub fn prune_plan(
     workload: &Workload,
     trace: &ExecTrace,
     faults: &[Fault],
-) -> Vec<Option<Outcome>> {
+) -> (Vec<Option<Outcome>>, UnmodeledCounts) {
     let image = &workload.image;
     let oracle = PruneOracle::new(image.isa, &image.text, image.text_base, trace);
-    faults
+    let mut unmodeled = UnmodeledCounts::default();
+    let table = faults
         .iter()
         .map(|fault| {
-            let (core, target) = prune_target(image.isa, fault)?;
+            let (core, target) = match prune_target(image.isa, fault) {
+                Ok(t) => t,
+                Err(reason) => {
+                    unmodeled.record(reason);
+                    return None;
+                }
+            };
             oracle
                 .verdict(core, target, fault.cycle)
                 .map(|verdict| match verdict {
@@ -77,7 +160,18 @@ pub fn prune_table(
                     PruneVerdict::SilentResidue => Outcome::Ona,
                 })
         })
-        .collect()
+        .collect();
+    (table, unmodeled)
+}
+
+/// [`prune_plan`] without the unmodeled accounting (the historical
+/// interface the differential suites use).
+pub fn prune_table(
+    workload: &Workload,
+    trace: &ExecTrace,
+    faults: &[Fault],
+) -> Vec<Option<Outcome>> {
+    prune_plan(workload, trace, faults).0
 }
 
 #[cfg(test)]
@@ -99,7 +193,7 @@ mod tests {
         };
         assert_eq!(
             prune_target(IsaKind::Sira32, &f(pc)),
-            Some((1, PruneTarget::Pc))
+            Ok((1, PruneTarget::Pc))
         );
         let r17 = FaultTarget::Gpr {
             core: 0,
@@ -108,11 +202,11 @@ mod tests {
         };
         assert_eq!(
             prune_target(IsaKind::Sira32, &f(r17)),
-            Some((0, PruneTarget::Gpr { reg: 1 }))
+            Ok((0, PruneTarget::Gpr { reg: 1 }))
         );
         assert_eq!(
             prune_target(IsaKind::Sira64, &f(r17)),
-            Some((0, PruneTarget::Gpr { reg: 17 }))
+            Ok((0, PruneTarget::Gpr { reg: 17 }))
         );
     }
 
@@ -126,7 +220,7 @@ mod tests {
         };
         assert_eq!(
             prune_target(IsaKind::Sira64, &fault),
-            Some((
+            Ok((
                 0,
                 PruneTarget::Flags {
                     mask: fracas_analyze::FLAG_V | fracas_analyze::FLAG_N
@@ -136,7 +230,7 @@ mod tests {
     }
 
     #[test]
-    fn long_lived_and_unmodelled_targets_abstain() {
+    fn long_lived_and_unmodelled_targets_report_their_reason() {
         let f = |target| Fault {
             target,
             cycle: 0,
@@ -144,21 +238,39 @@ mod tests {
         };
         assert_eq!(
             prune_target(IsaKind::Sira64, &f(FaultTarget::Mem { addr: 0, bit: 0 })),
-            None
+            Err(Unmodeled::Mem)
         );
         assert_eq!(
             prune_target(IsaKind::Sira64, &f(FaultTarget::Text { word: 0, bit: 0 })),
-            None
+            Err(Unmodeled::Text)
         );
+        // The SIRA-32 FPR regression: a machine-present but ISA-absent
+        // register must land in an explicit bucket, not vanish into the
+        // abstain path.
         let fpr = FaultTarget::Fpr {
             core: 0,
             reg: 2,
             bit: 0,
         };
-        assert_eq!(prune_target(IsaKind::Sira32, &f(fpr)), None);
+        assert_eq!(
+            prune_target(IsaKind::Sira32, &f(fpr)),
+            Err(Unmodeled::Sira32Fpr)
+        );
         assert_eq!(
             prune_target(IsaKind::Sira64, &f(fpr)),
-            Some((0, PruneTarget::Fpr { reg: 2 }))
+            Ok((0, PruneTarget::Fpr { reg: 2 }))
         );
+    }
+
+    #[test]
+    fn unmodeled_counts_accumulate_and_describe_themselves() {
+        let mut c = UnmodeledCounts::default();
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.breakdown(), "");
+        c.record(Unmodeled::Sira32Fpr);
+        c.record(Unmodeled::Sira32Fpr);
+        c.record(Unmodeled::Mem);
+        assert_eq!(c.total(), 3);
+        assert_eq!(c.breakdown(), "2 sira32-fpr + 1 mem");
     }
 }

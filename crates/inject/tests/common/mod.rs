@@ -1,0 +1,99 @@
+//! Shared test fixture: the generated lock/loop mini-kernel used by the
+//! oracle-conservativeness and class-differential suites. Small enough
+//! to inject hundreds of faults in seconds, adversarial enough (more
+//! threads than cores, tiny preemption quanta) to exercise context
+//! switches, spill slots and scheduler boundaries.
+
+use fracas_inject::Workload;
+use fracas_isa::{link, Asm, Cond, IsaKind, Reg};
+use fracas_kernel::{abi, BootSpec};
+use std::sync::Arc;
+
+const R0: Reg = Reg(0);
+const R1: Reg = Reg(1);
+const R2: Reg = Reg(2);
+const R3: Reg = Reg(3);
+const R4: Reg = Reg(4);
+
+/// Builds the mini-kernel: `workers` threads each bump a shared counter
+/// `iters` times (under the kernel lock when `locked`), preempted by
+/// `quantum`; `_start` joins them all, prints the counter (externally
+/// visible state for classification) and exits 0.
+pub fn build_workload(
+    isa: IsaKind,
+    cores: usize,
+    workers: u16,
+    iters: u64,
+    locked: bool,
+    quantum: u64,
+) -> Workload {
+    let mut a = Asm::new(isa);
+    a.global_fn("_start");
+    // Spawn workers, parking each tid in registers 5..8 — valid on both
+    // ISAs (SIRA-32 has r0..r14 + PC).
+    for w in 0..workers {
+        a.lea_text(R0, "worker");
+        a.movz(R1, w, 0);
+        a.svc(abi::SYS_SPAWN);
+        a.mov(Reg(5 + w as u8), R0);
+    }
+    for w in 0..workers {
+        a.mov(R0, Reg(5 + w as u8));
+        a.svc(abi::SYS_JOIN);
+    }
+    a.lea_data(R1, "counter");
+    a.ld(R0, R1, 0);
+    a.svc(abi::SYS_WRITE_INT);
+    a.movz(R0, 0, 0);
+    a.svc(abi::SYS_EXIT);
+
+    a.global_fn("worker");
+    a.load_imm(R2, iters);
+    // Sentinels: defined once at entry, read only at exit, so each
+    // worker's run window is one long def→use interval — the live-class
+    // fuel uniform cycle sampling needs to produce multi-member classes
+    // (short-interval registers like the loop counter almost never
+    // collect two uniform draws).
+    a.movz(Reg(9), 0x5A17, 0);
+    a.movz(Reg(10), 0x0103, 0);
+    let done = a.new_label();
+    let top = a.here();
+    a.cmpi(R2, 0);
+    a.bc(Cond::Eq, done);
+    if locked {
+        a.lea_data(R0, "counter");
+        a.svc(abi::SYS_LOCK);
+    }
+    a.lea_data(R3, "counter");
+    a.ld(R4, R3, 0);
+    a.addi(R4, R4, 1);
+    a.st(R4, R3, 0);
+    if locked {
+        a.lea_data(R0, "counter");
+        a.svc(abi::SYS_UNLOCK);
+    }
+    a.subi(R2, R2, 1);
+    a.b(top);
+    a.bind(done);
+    // Print the sentinels: corruption anywhere in their interval is
+    // externally visible, so same-interval same-bit faults classify
+    // identically and non-trivially.
+    a.mov(R0, Reg(9));
+    a.svc(abi::SYS_WRITE_INT);
+    a.mov(R0, Reg(10));
+    a.svc(abi::SYS_WRITE_INT);
+    a.movz(R0, 0, 0);
+    a.svc(abi::SYS_THREAD_EXIT);
+    a.data_zero("counter", 8);
+
+    let image = link(isa, &[a.into_object()]).expect("mini-kernel links");
+    Workload {
+        id: format!("mini-{isa:?}-c{cores}-w{workers}-i{iters}-l{locked}-q{quantum}"),
+        image: Arc::new(image),
+        cores,
+        spec: BootSpec {
+            quantum,
+            ..BootSpec::serial()
+        },
+    }
+}

@@ -11,92 +11,17 @@
 //! the taint walk is easiest to get wrong — and checks every decided
 //! fault against a real execution.
 
+mod common;
+
+use common::build_workload;
 use fracas_inject::{
     classify, golden_run_with_checkpoints, golden_trace, inject_one, prune_table, Fault,
     FaultTarget, Workload,
 };
-use fracas_isa::{link, Asm, Cond, IsaKind, Reg};
-use fracas_kernel::{abi, BootSpec, Limits};
+use fracas_isa::IsaKind;
+use fracas_kernel::Limits;
 use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
-use std::sync::Arc;
-
-const R0: Reg = Reg(0);
-const R1: Reg = Reg(1);
-const R2: Reg = Reg(2);
-const R3: Reg = Reg(3);
-const R4: Reg = Reg(4);
-
-/// The generated mini-kernel: `workers` threads each bump a shared
-/// counter `iters` times (under the kernel lock when `locked`), with a
-/// busy loop long enough to be preempted by a small quantum; `_start`
-/// joins them all and exits with the counter value.
-fn build_workload(
-    isa: IsaKind,
-    cores: usize,
-    workers: u16,
-    iters: u64,
-    locked: bool,
-    quantum: u64,
-) -> Workload {
-    let mut a = Asm::new(isa);
-    a.global_fn("_start");
-    // Spawn workers, parking each tid in registers 5..8 — valid on both
-    // ISAs (SIRA-32 has r0..r14 + PC).
-    for w in 0..workers {
-        a.lea_text(R0, "worker");
-        a.movz(R1, w, 0);
-        a.svc(abi::SYS_SPAWN);
-        a.mov(Reg(5 + w as u8), R0);
-    }
-    for w in 0..workers {
-        a.mov(R0, Reg(5 + w as u8));
-        a.svc(abi::SYS_JOIN);
-    }
-    // Print the counter (externally visible state for classification),
-    // then exit 0 — the campaign requires a clean golden run.
-    a.lea_data(R1, "counter");
-    a.ld(R0, R1, 0);
-    a.svc(abi::SYS_WRITE_INT);
-    a.movz(R0, 0, 0);
-    a.svc(abi::SYS_EXIT);
-
-    a.global_fn("worker");
-    a.load_imm(R2, iters);
-    let done = a.new_label();
-    let top = a.here();
-    a.cmpi(R2, 0);
-    a.bc(Cond::Eq, done);
-    if locked {
-        a.lea_data(R0, "counter");
-        a.svc(abi::SYS_LOCK);
-    }
-    a.lea_data(R3, "counter");
-    a.ld(R4, R3, 0);
-    a.addi(R4, R4, 1);
-    a.st(R4, R3, 0);
-    if locked {
-        a.lea_data(R0, "counter");
-        a.svc(abi::SYS_UNLOCK);
-    }
-    a.subi(R2, R2, 1);
-    a.b(top);
-    a.bind(done);
-    a.movz(R0, 0, 0);
-    a.svc(abi::SYS_THREAD_EXIT);
-    a.data_zero("counter", 8);
-
-    let image = link(isa, &[a.into_object()]).expect("mini-kernel links");
-    Workload {
-        id: format!("mini-{isa:?}-c{cores}-w{workers}-i{iters}-l{locked}-q{quantum}"),
-        image: Arc::new(image),
-        cores,
-        spec: BootSpec {
-            quantum,
-            ..BootSpec::serial()
-        },
-    }
-}
 
 /// One raw fault draw, mapped onto a concrete [`Fault`] once the golden
 /// cycle count is known.

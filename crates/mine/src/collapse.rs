@@ -1,0 +1,136 @@
+//! Class-collapse mining: weighted outcome tallies and aggregate
+//! collapse accounting over class-pruned campaign results.
+//!
+//! A `prune_classes` campaign executes one representative per
+//! equivalence class and synthesizes the member records, marking each
+//! member with its representative index at run time (the marker is not
+//! serialized — the database itself is byte-identical to a full
+//! campaign). The miners here honor those markers: outcome proportions,
+//! masking rates and Wilson half-widths are computed from a **weighted**
+//! tally in which each representative stands for its whole class, so
+//! every statistic matches what the full campaign would report — by the
+//! exactness argument in `fracas_analyze::intervals`, *exactly*, not
+//! approximately.
+
+use fracas_inject::{weighted_tally, CampaignResult, ClassStats, Outcome, Tally};
+
+/// The class-weighted tally of one campaign: identical to
+/// `result.tally` (class synthesis is exact), but recomputed from the
+/// records so in-memory member markers are honored even on a record
+/// subset (e.g. an early-stopped prefix).
+#[must_use]
+pub fn weighted_outcome_tally(result: &CampaignResult) -> Tally {
+    weighted_tally(&result.records)
+}
+
+/// Wilson half-width of one outcome proportion under class weighting —
+/// the early-stop/confidence statistic over the weighted counts.
+#[must_use]
+pub fn weighted_wilson_half_width(result: &CampaignResult, outcome: Outcome, z: f64) -> f64 {
+    weighted_outcome_tally(result).wilson_half_width(outcome, z)
+}
+
+/// Aggregate collapse accounting across many class-pruned campaigns
+/// (the EXPERIMENTS.md "class-collapse factor" table's bottom row).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CollapseSummary {
+    /// Campaigns that carried class statistics.
+    pub campaigns: usize,
+    /// Summed per-campaign class statistics.
+    pub stats: ClassStats,
+}
+
+impl CollapseSummary {
+    /// Executed share of all sampled faults, in `[0, 1]`.
+    #[must_use]
+    pub fn executed_fraction(&self) -> f64 {
+        self.stats.executed_fraction()
+    }
+
+    /// Faults represented per execution.
+    #[must_use]
+    pub fn collapse_factor(&self) -> f64 {
+        self.stats.collapse_factor()
+    }
+}
+
+/// Sums the class statistics of every result that carries them (i.e.
+/// ran with `prune_classes`); `campaigns` counts only those.
+#[must_use]
+pub fn collapse_summary<'a, I>(results: I) -> CollapseSummary
+where
+    I: IntoIterator<Item = &'a CampaignResult>,
+{
+    let mut out = CollapseSummary::default();
+    for stats in results.into_iter().filter_map(|r| r.classes) {
+        out.campaigns += 1;
+        out.stats.faults += stats.faults;
+        out.stats.decided += stats.decided;
+        out.stats.live_classes += stats.live_classes;
+        out.stats.members += stats.members;
+        out.stats.singletons += stats.singletons;
+        out.stats.unmodeled.sira32_fpr += stats.unmodeled.sira32_fpr;
+        out.stats.unmodeled.mem += stats.unmodeled.mem;
+        out.stats.unmodeled.text += stats.unmodeled.text;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fracas_inject::{run_campaign, CampaignConfig, Workload};
+    use fracas_isa::IsaKind;
+    use fracas_npb::{App, Model, Scenario};
+
+    fn classed_result() -> CampaignResult {
+        let scenario = Scenario::new(App::Ep, Model::Serial, 1, IsaKind::Sira64).expect("scenario");
+        let w = Workload::from_scenario(&scenario).expect("build");
+        run_campaign(
+            &w,
+            &CampaignConfig {
+                faults: 40,
+                prune_classes: true,
+                ..CampaignConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn weighted_tally_and_wilson_match_the_plain_campaign_statistics() {
+        let result = classed_result();
+        // Exactness: the weighted view recomputed from rep markers is
+        // the campaign's own (full-fidelity) tally, so every derived
+        // statistic — proportions, masking, Wilson widths — agrees.
+        let weighted = weighted_outcome_tally(&result);
+        assert_eq!(weighted, result.tally);
+        for outcome in Outcome::ALL_WITH_ANOMALY {
+            assert_eq!(
+                weighted_wilson_half_width(&result, outcome, 1.96),
+                result.tally.wilson_half_width(outcome, 1.96)
+            );
+        }
+    }
+
+    #[test]
+    fn collapse_summary_sums_class_stats_and_skips_unclassed_results() {
+        let classed = classed_result();
+        let scenario = Scenario::new(App::Ep, Model::Serial, 1, IsaKind::Sira64).expect("scenario");
+        let w = Workload::from_scenario(&scenario).expect("build");
+        let plain = run_campaign(
+            &w,
+            &CampaignConfig {
+                faults: 10,
+                ..CampaignConfig::default()
+            },
+        );
+        let one = collapse_summary([&classed, &plain]);
+        assert_eq!(one.campaigns, 1);
+        assert_eq!(one.stats, classed.classes.expect("classed"));
+        let two = collapse_summary([&classed, &classed, &plain]);
+        assert_eq!(two.campaigns, 2);
+        assert_eq!(two.stats.faults, 80);
+        assert_eq!(two.stats.executed_fraction(), one.stats.executed_fraction());
+        assert!(two.collapse_factor() >= 1.0);
+    }
+}

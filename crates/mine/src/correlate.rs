@@ -141,6 +141,7 @@ mod tests {
             records: Vec::new(),
             pruned: 0,
             audit: None,
+            classes: None,
         }
     }
 

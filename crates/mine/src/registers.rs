@@ -89,6 +89,7 @@ mod tests {
             outcome,
             cycles: 1,
             instructions: 1,
+            rep: None,
         }
     }
 
@@ -133,6 +134,7 @@ mod tests {
             ],
             pruned: 0,
             audit: None,
+            classes: None,
         };
         let db = Database::from_campaigns(vec![result]);
         let crit = register_criticality(&db, IsaKind::Sira32);

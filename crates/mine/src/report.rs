@@ -482,6 +482,7 @@ mod tests {
             records: Vec::new(),
             pruned: 0,
             audit: None,
+            classes: None,
         }
     }
 
