@@ -63,7 +63,10 @@ fn interval_set(
         TraceKind::Save { .. } => Some(all_regs(isa)),
         // A dispatch overwrites the whole register file.
         TraceKind::Dispatch { .. } => Some(RegSet::EMPTY),
-        TraceKind::CtxWrite { .. } => None,
+        // Neither touches a register file: context writes land in a
+        // blocked thread's spill slot, text patches in instruction
+        // memory.
+        TraceKind::CtxWrite { .. } | TraceKind::TextPatch { .. } => None,
     }
 }
 

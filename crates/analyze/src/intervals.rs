@@ -242,6 +242,26 @@ impl PruneOracle {
     /// for [`Fingerprint::Live`] compared by `interval`, heuristic
     /// (audit-backstopped) compared by `context` alone.
     pub fn fingerprint(&self, core: usize, target: PruneTarget, cycle: u64) -> Option<Fingerprint> {
+        if let PruneTarget::Text { word, mask } = target {
+            // Text faults key on the first fetch of the corrupted word —
+            // the exact analogue of the register interval end (see
+            // [`crate::textfault`]): between the landing and that fetch
+            // nothing can observe the flip, so every member of the class
+            // replays the representative's record byte for byte. The
+            // context hash rides along for symmetry; it cannot merge
+            // classes the interval would keep apart (the key compares
+            // both fields).
+            return match self.text_outcome(word, mask, cycle) {
+                crate::textfault::TextOutcome::Decided(v) => Some(Fingerprint::Decided(v)),
+                crate::textfault::TextOutcome::Live(end) => Some(Fingerprint::Live {
+                    interval: end as u32,
+                    context: self.context_hash(end),
+                }),
+                // A self-patched word must not be classed at all: the
+                // caller surfaces it as an `Unmodeled::Text` singleton.
+                crate::textfault::TextOutcome::Undecidable => None,
+            };
+        }
         let start = match self.landing(core, cycle)? {
             Landing::Unapplied => return Some(Fingerprint::Decided(PruneVerdict::Vanished)),
             Landing::At(start) => start,
@@ -250,19 +270,24 @@ impl PruneOracle {
             return Some(Fingerprint::Decided(v));
         }
         let end = self.interval_end(start, core as u32, target);
-        let mut h = Fnv::new();
-        // The window is anchored at the interval's *end* so that every
-        // landing inside the interval hashes the same ops; ticks,
-        // cycles and op indices are deliberately excluded (they differ
-        // per landing and per loop iteration — which is exactly what
-        // lets contexts recur across iterations).
-        for &op in &self.ops[end..(end + CONTEXT_WINDOW).min(self.ops.len())] {
-            hash_op(&mut h, op);
-        }
         Some(Fingerprint::Live {
             interval: end as u32,
-            context: h.0,
+            context: self.context_hash(end),
         })
+    }
+
+    /// FNV-1a over the `CONTEXT_WINDOW` ops starting at `end` — the
+    /// context half of a live fingerprint. The window is anchored at the
+    /// interval's *end* so that every landing inside the interval hashes
+    /// the same ops; ticks, cycles and op indices are deliberately
+    /// excluded (they differ per landing and per loop iteration — which
+    /// is exactly what lets contexts recur across iterations).
+    pub(crate) fn context_hash(&self, end: usize) -> u64 {
+        let mut h = Fnv::new();
+        for &op in &self.ops[end.min(self.ops.len())..(end + CONTEXT_WINDOW).min(self.ops.len())] {
+            hash_op(&mut h, op);
+        }
+        h.0
     }
 }
 

@@ -25,6 +25,14 @@
 //!    elsewhere), so the static side estimates and the dynamic side
 //!    decides.
 //!
+//! Since PR 8 the same oracle also decides **instruction-memory**
+//! faults ([`textfault`]): a text-bit flip's only observable channel is
+//! instruction fetch of the struck word, so decode equivalence plus
+//! trace fetch-reachability prove most text flips Vanished outright,
+//! and the first corrupted fetch serves as an exact interval
+//! fingerprint for the rest. The [`mod@cfg`] layer doubles as the
+//! static cross-check of fetch reachability.
+//!
 //! Soundness is asymmetric by design: USE sets may over-approximate (a
 //! spurious use only makes the oracle abstain and the AVF bound looser
 //! — real execution takes over), but DEF sets list only registers
@@ -45,6 +53,7 @@ pub mod cfg;
 pub mod intervals;
 pub mod liveness;
 pub mod prune;
+pub mod textfault;
 pub mod usedef;
 
 pub use avf::{dead_windows, static_avf, StaticAvf};
@@ -52,4 +61,5 @@ pub use cfg::{writes_pc, BasicBlock, Cfg};
 pub use intervals::Fingerprint;
 pub use liveness::{all_regs, Liveness};
 pub use prune::{PruneOracle, PruneTarget, PruneVerdict};
+pub use textfault::{analyze_text, cfg_reachable_words, flip_class, FlipClass, TextComposition};
 pub use usedef::{cond_reads, use_def, RegSet, UseDef, FLAG_ALL, FLAG_C, FLAG_N, FLAG_V, FLAG_Z};

@@ -104,11 +104,24 @@ pub enum PruneTarget {
     },
     /// The SIRA-32 architected PC (register 15).
     Pc,
+    /// `mask` bits of encoded instruction word `word` (the injector's
+    /// multi-bit text upsets wrap within the struck word, so one XOR
+    /// mask captures any width). Decided by the decode-differential
+    /// layer in [`crate::textfault`], not by the taint walk: a text
+    /// flip's only observable channel is instruction fetch of that
+    /// word.
+    Text {
+        /// Text-word index.
+        word: u32,
+        /// XOR mask applied to the encoded word.
+        mask: u32,
+    },
 }
 
 impl PruneTarget {
     /// The target as a use/def-comparable register set (`Pc` is empty:
-    /// it is matched by the fetch rule, not by masks).
+    /// it is matched by the fetch rule, not by masks; `Text` never
+    /// reaches the mask-driven walk at all).
     pub(crate) fn as_set(self) -> RegSet {
         match self {
             PruneTarget::Gpr { reg } => RegSet {
@@ -123,7 +136,7 @@ impl PruneTarget {
                 flags: mask,
                 ..RegSet::EMPTY
             },
-            PruneTarget::Pc => RegSet::EMPTY,
+            PruneTarget::Pc | PruneTarget::Text { .. } => RegSet::EMPTY,
         }
     }
 }
@@ -346,6 +359,24 @@ pub struct PruneOracle {
     landings: Vec<Vec<(u64, u32)>>,
     start_cycles: Vec<u64>,
     tid_count: usize,
+    /// ISA the text was assembled for (decode-differential analysis).
+    pub(crate) isa: IsaKind,
+    /// The encoded text section, word for word what the machine boots
+    /// with (`encode` of each decoded instruction — the machine builds
+    /// its `text_words` the same way).
+    pub(crate) words: Vec<u32>,
+    /// Base address of the text section.
+    pub(crate) text_base: u32,
+    /// Words the golden run itself overwrote ([`TraceKind::TextPatch`]):
+    /// the digested text is stale for them, so every text-fault verdict
+    /// on such a word is void (see [`crate::textfault`]).
+    pub(crate) patched_words: std::collections::HashSet<u32>,
+    /// Lazily built fetch index: text-word index → sorted op indices of
+    /// every commit (executed *or* annulled — annulled instructions
+    /// fetch and predecode before their condition is evaluated) at that
+    /// word's PC, on any core. Built on first text query so
+    /// register-only campaigns pay nothing.
+    pub(crate) fetch_index: std::sync::OnceLock<std::collections::HashMap<u32, Vec<u32>>>,
 }
 
 /// Where a fault at `(core, cycle)` physically lands in the golden
@@ -363,15 +394,25 @@ pub(crate) enum Landing {
 
 impl PruneOracle {
     /// Digests a golden trace against its decoded text section.
-    /// `text[i]` is the instruction at `text_base + 4 * i` (the golden
-    /// image's text is never corrupted mid-run: text faults are not
-    /// prunable and never reach the oracle).
+    /// `text[i]` is the instruction at `text_base + 4 * i`. Words the
+    /// traced run itself patched ([`TraceKind::TextPatch`]) are
+    /// remembered so the decode-differential layer can abstain on them;
+    /// the bundled workloads never self-patch, so the set is empty for
+    /// every real golden run.
     pub fn new(isa: IsaKind, text: &[Inst], text_base: u32, trace: &ExecTrace) -> PruneOracle {
         let mut ops = Vec::with_capacity(trace.events.len());
         let mut ticks = Vec::with_capacity(trace.events.len());
         let mut landings: Vec<Vec<(u64, u32)>> = vec![Vec::new(); trace.start_cycles.len()];
         let mut tid_count = 0usize;
+        let mut patched_words = std::collections::HashSet::new();
         for ev in &trace.events {
+            // A text patch contributes no op: the register analyses and
+            // every op/tick/landing index stay exactly as they were
+            // before the event existed.
+            if let TraceKind::TextPatch { word } = ev.kind {
+                patched_words.insert(word);
+                continue;
+            }
             let idx = ops.len() as u32;
             let op = match ev.kind {
                 TraceKind::Commit { pc, skipped } => {
@@ -425,6 +466,7 @@ impl PruneOracle {
                 TraceKind::Dispatch { tid } => Op::Dispatch { core: ev.core, tid },
                 TraceKind::Save { tid } => Op::Save { core: ev.core, tid },
                 TraceKind::CtxWrite { tid } => Op::CtxWrite { tid },
+                TraceKind::TextPatch { .. } => unreachable!("filtered above"),
             };
             if let Op::Dispatch { tid, .. } | Op::Save { tid, .. } | Op::CtxWrite { tid } = op {
                 tid_count = tid_count.max(tid as usize + 1);
@@ -474,6 +516,11 @@ impl PruneOracle {
             landings,
             start_cycles: trace.start_cycles.clone(),
             tid_count,
+            isa,
+            words: text.iter().map(fracas_isa::encode).collect(),
+            text_base,
+            patched_words,
+            fetch_index: std::sync::OnceLock::new(),
         }
     }
 
@@ -514,6 +561,18 @@ impl PruneOracle {
     /// or `None` when the fault may propagate and must run for real.
     /// Abstention is always sound; a `Some` verdict is exact.
     pub fn verdict(&self, core: usize, target: PruneTarget, cycle: u64) -> Option<PruneVerdict> {
+        if let PruneTarget::Text { word, mask } = target {
+            // Text faults are decided by the decode-differential layer
+            // (fetch reachability + decode equivalence), never by the
+            // register taint walk. Live and undecidable outcomes both
+            // abstain here; callers that need to distinguish them check
+            // [`PruneOracle::text_patched`] first.
+            return match self.text_outcome(word, mask, cycle) {
+                crate::textfault::TextOutcome::Decided(v) => Some(v),
+                crate::textfault::TextOutcome::Live(_)
+                | crate::textfault::TextOutcome::Undecidable => None,
+            };
+        }
         match self.landing(core, cycle)? {
             Landing::Unapplied => Some(PruneVerdict::Vanished),
             Landing::At(start) => self.walk(start, core, target),

@@ -1,32 +1,40 @@
 //! Plan-side collapse report for `--prune-classes`: per-scenario
 //! equivalence-class statistics over the sampled fault list — executed
 //! fraction, collapse factor, decided/live/member/singleton breakdown
-//! and unmodeled-target counts — without running a single injection
-//! (each scenario costs one traced golden run).
+//! and per-reason unmodeled-target counts — without running a single
+//! injection (each scenario costs one traced golden run).
 //!
 //! ```text
 //! stats_classes [--isa ...] [--model ...] [--app NAME] [--cores N]
-//!               [--faults N] [--seed N] [--gate F]
+//!               [--faults N] [--seed N] [--text-faults] [--gate F]
 //! ```
 //!
 //! `--gate F` turns the report into a CI check: exit 1 unless the
 //! aggregate executed fraction over the selected scenarios is ≤ `F`.
 //! The paper-facing acceptance bar is `--app EP --gate 0.5`: class
 //! pruning must execute at most half of the sampled faults across the
-//! EP programming-model × ISA matrix.
+//! EP programming-model × ISA matrix. With `--text-faults` the sampled
+//! space is instruction-memory bits instead of registers, and the gate
+//! checks the decode-differential collapse (`--app EP --gate 0.6`).
 
-use fracas::inject::{campaign_faults, class_plan, golden_trace, ClassStats, Workload};
+use fracas::inject::{campaign_faults, class_plan, golden_trace, FaultSpace, Workload};
+use fracas::mine::CollapseSummary;
 use fracas_bench::cli::{Parser, ScenarioFilter};
 use std::time::Instant;
 
 const USAGE: &str = "stats_classes [--isa sira32|sira64] [--model ser|omp|mpi] [--app NAME] \
-     [--cores N] [--faults N] [--seed N] [--gate F]";
+     [--cores N] [--faults N] [--seed N] [--text-faults] [--gate F]";
 
+const HEADER: &str =
+    "scenario                 flts   dec  live   mem  sing  fpr32 umem utxt  executed  collapse";
+
+#[allow(clippy::too_many_lines)]
 fn main() {
     let mut filter = ScenarioFilter::default();
     let mut faults: Option<usize> = None;
     let mut seed: Option<u64> = None;
     let mut gate: Option<f64> = None;
+    let mut text_faults = false;
     let mut p = Parser::new(USAGE);
     while let Some(flag) = p.next_flag() {
         if filter.accept(&mut p, &flag) {
@@ -36,6 +44,7 @@ fn main() {
             "--faults" => faults = Some(p.parsed(&flag)),
             "--seed" => seed = Some(p.parsed(&flag)),
             "--gate" => gate = Some(p.parsed(&flag)),
+            "--text-faults" => text_faults = true,
             other => p.unknown(other),
         }
     }
@@ -46,54 +55,59 @@ fn main() {
     if let Some(v) = seed {
         config.seed = v;
     }
+    if text_faults {
+        config.space = FaultSpace {
+            gpr: false,
+            fpr: false,
+            flags: false,
+            mem: None,
+            text: true,
+            mbu_width: 1,
+        };
+    }
     let scenarios = filter.scenarios();
     eprintln!(
-        "class-planning {} scenario(s) at {} faults each (seed {})...",
+        "class-planning {} scenario(s) at {} {} faults each (seed {})...",
         scenarios.len(),
         config.faults,
+        if text_faults { "text" } else { "register" },
         config.seed
     );
     let start = Instant::now();
-    println!(
-        "{:<22} {:>5} {:>5} {:>5} {:>5} {:>5} {:>6} {:>9} {:>9}",
-        "scenario", "flts", "dec", "live", "mem", "sing", "unmod", "executed", "collapse"
-    );
-    let mut total = ClassStats::default();
+    println!("{HEADER}");
+    let mut total = CollapseSummary::default();
     for s in &scenarios {
         let workload = Workload::from_scenario(s).unwrap_or_else(|e| panic!("{}: {e}", s.id()));
         let (report, trace) = golden_trace(&workload);
         let sampled = campaign_faults(&workload, &config, report.cycles);
         let stats = class_plan(&workload, &trace, &sampled).stats();
         println!(
-            "{:<22} {:>5} {:>5} {:>5} {:>5} {:>5} {:>6} {:>8.1}% {:>8.1}x",
+            "{:<22} {:>6} {:>5} {:>5} {:>5} {:>5} {:>6} {:>4} {:>4} {:>8.1}% {:>8.1}x",
             s.id(),
             stats.faults,
             stats.decided,
             stats.live_classes,
             stats.members,
             stats.singletons,
-            stats.unmodeled.total(),
+            stats.unmodeled.sira32_fpr,
+            stats.unmodeled.mem,
+            stats.unmodeled.text,
             stats.executed_fraction() * 100.0,
             stats.collapse_factor()
         );
-        total.faults += stats.faults;
-        total.decided += stats.decided;
-        total.live_classes += stats.live_classes;
-        total.members += stats.members;
-        total.singletons += stats.singletons;
-        total.unmodeled.sira32_fpr += stats.unmodeled.sira32_fpr;
-        total.unmodeled.mem += stats.unmodeled.mem;
-        total.unmodeled.text += stats.unmodeled.text;
+        total.add(&stats);
     }
     println!(
-        "{:<22} {:>5} {:>5} {:>5} {:>5} {:>5} {:>6} {:>8.1}% {:>8.1}x",
+        "{:<22} {:>6} {:>5} {:>5} {:>5} {:>5} {:>6} {:>4} {:>4} {:>8.1}% {:>8.1}x",
         "TOTAL",
-        total.faults,
-        total.decided,
-        total.live_classes,
-        total.members,
-        total.singletons,
-        total.unmodeled.total(),
+        total.stats.faults,
+        total.stats.decided,
+        total.stats.live_classes,
+        total.stats.members,
+        total.stats.singletons,
+        total.stats.unmodeled.sira32_fpr,
+        total.stats.unmodeled.mem,
+        total.stats.unmodeled.text,
         total.executed_fraction() * 100.0,
         total.collapse_factor()
     );
@@ -105,6 +119,15 @@ fn main() {
             "class-collapse gate failed: executed fraction {:.3} > {bar}",
             fraction
         );
-        println!("gate ok: executed fraction {fraction:.3} <= {bar}");
+        let unmodeled = total.stats.unmodeled.breakdown();
+        println!(
+            "gate ok: executed fraction {fraction:.3} <= {bar} (decided {:.3}{})",
+            total.decided_fraction(),
+            if unmodeled.is_empty() {
+                String::new()
+            } else {
+                format!(", unmodeled {unmodeled}")
+            }
+        );
     }
 }

@@ -198,13 +198,18 @@ pub struct SweepOpts {
     /// records (pruned faults and class members) for real and fail the
     /// sweep on any oracle-vs-execution mismatch.
     pub oracle_audit: Option<f64>,
+    /// `--text-faults`: sample the instruction-memory fault space
+    /// (text-word bits) instead of the architectural-register default —
+    /// the decode-differential campaign axis.
+    pub text_faults: bool,
 }
 
 impl SweepOpts {
     /// The usage fragment for the campaign flags (append to
     /// [`FILTER_USAGE`]).
     pub const USAGE: &'static str = "[--faults N] [--epsilon E] [--threads N] [--seed N] \
-         [--db PATH] [--sink PATH] [--prune-dead] [--prune-classes] [--oracle-audit R]";
+         [--db PATH] [--sink PATH] [--prune-dead] [--prune-classes] [--oracle-audit R] \
+         [--text-faults]";
 
     /// Parses the process arguments, accepting the filter flags and the
     /// campaign overrides.
@@ -226,6 +231,7 @@ impl SweepOpts {
                 "--prune-dead" => opts.prune_dead = true,
                 "--prune-classes" => opts.prune_classes = true,
                 "--oracle-audit" => opts.oracle_audit = Some(p.parsed(&flag)),
+                "--text-faults" => opts.text_faults = true,
                 other => p.unknown(other),
             }
         }
@@ -257,6 +263,16 @@ impl SweepOpts {
         }
         if let Some(v) = self.oracle_audit {
             config.campaign.oracle_audit = v;
+        }
+        if self.text_faults {
+            config.campaign.space = fracas::inject::FaultSpace {
+                gpr: false,
+                fpr: false,
+                flags: false,
+                mem: None,
+                text: true,
+                mbu_width: 1,
+            };
         }
         config
     }

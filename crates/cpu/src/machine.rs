@@ -618,11 +618,21 @@ impl Machine {
     /// [`Op::Illegal`] and traps at fetch. Out-of-range indices are
     /// ignored. The decoded table is copy-on-write, so a patch never
     /// disturbs snapshots sharing the pre-patch table.
+    ///
+    /// If golden-run tracing is on, the patch is recorded as a
+    /// [`TraceKind::TextPatch`] event so the static text-fault analysis
+    /// in `fracas-analyze` can refuse to decide faults on self-patched
+    /// words (its digested text no longer matches what execution
+    /// fetched). Injection replays run untraced, so applying a text
+    /// fault never records anything.
     pub fn patch_text_word(&mut self, word_index: u32, word: u32) {
         let Some(slot) = self.text_words.get_mut(word_index as usize) else {
             return;
         };
         *slot = word;
+        if let Some(t) = &mut self.trace {
+            t.push(0, TraceKind::TextPatch { word: word_index });
+        }
         let isa = self.isa;
         let pc = self.text_base.wrapping_add(word_index.wrapping_mul(4));
         let inst = fracas_isa::decode(word)
@@ -2148,6 +2158,40 @@ mod text_fault_tests {
         m.flip_text(0, 3);
         m.run_to_halt(100).expect("still decodable");
         assert_eq!(m.core(0).reg(Reg(0)), 7 ^ 8);
+    }
+
+    #[test]
+    fn patching_text_while_traced_records_the_word() {
+        let image = nop_image();
+        let mut m = Machine::boot_flat(&image, 1);
+        m.enable_trace();
+        m.flip_text(1, 30);
+        m.patch_text_word(2, 0xdead_beef);
+        m.trace_tick_end();
+        let trace = m.take_trace().expect("tracing was on");
+        let patched: Vec<u32> = trace
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceKind::TextPatch { word } => Some(word),
+                _ => None,
+            })
+            .collect();
+        // Both the bit flip and the whole-word overwrite route through
+        // `patch_text_word`, so both words are reported to the static
+        // text-fault analysis.
+        assert_eq!(patched, vec![1, 2]);
+    }
+
+    #[test]
+    fn untraced_patches_record_nothing() {
+        // Injection replays run untraced: applying a text fault must
+        // not allocate or grow a trace.
+        let image = nop_image();
+        let mut m = Machine::boot_flat(&image, 1);
+        m.flip_text(1, 30);
+        m.patch_text_word(2, 0xdead_beef);
+        assert!(m.take_trace().is_none());
     }
 
     #[test]

@@ -61,13 +61,19 @@ pub struct OracleAuditReport {
     /// Audited entries in fault-index order.
     pub entries: Vec<AuditEntry>,
     /// Faults whose targets the prune oracle does not model at all
-    /// (SIRA-32 FPRs, memory, text — see `fracas_inject::Unmodeled`):
-    /// they always execute for real, so nothing is auditable about
-    /// them, but the report says how many fell outside the model
-    /// instead of letting them vanish into the abstain path. Absent
-    /// from pre-bucket reports, hence the serde default.
+    /// (SIRA-32 FPRs, memory, self-patched text — see
+    /// `fracas_inject::Unmodeled`): they always execute for real, so
+    /// nothing is auditable about them, but the report says how many
+    /// fell outside the model instead of letting them vanish into the
+    /// abstain path. Absent from pre-bucket reports, hence the serde
+    /// default.
     #[serde(default)]
     pub unmodeled: u32,
+    /// Per-reason breakdown of `unmodeled` (sira32-fpr / mem / text).
+    /// Absent from reports written before the buckets existed, hence
+    /// the serde default.
+    #[serde(default)]
+    pub buckets: crate::UnmodeledCounts,
 }
 
 impl OracleAuditReport {
@@ -83,17 +89,23 @@ impl OracleAuditReport {
     }
 
     /// One-line human summary
-    /// (`<id>: N audited, M mismatch(es), U unmodeled`). The
-    /// `audited, M mismatch` prefix is load-bearing: CI greps for it.
+    /// (`<id>: N audited, M mismatch(es), U unmodeled (breakdown)`).
+    /// The `audited, M mismatch` prefix is load-bearing: CI greps for
+    /// it. The parenthesized per-reason breakdown appears only when the
+    /// buckets are nonzero, keeping legacy reports' summaries stable.
     #[must_use]
     pub fn summary(&self) -> String {
-        format!(
+        let mut line = format!(
             "{}: {} audited, {} mismatch(es), {} unmodeled",
             self.id,
             self.entries.len(),
             self.mismatch_count(),
             self.unmodeled,
-        )
+        );
+        if self.buckets.total() > 0 {
+            line.push_str(&format!(" ({})", self.buckets.breakdown()));
+        }
+        line
     }
 }
 
@@ -181,11 +193,25 @@ mod tests {
                 },
             ],
             unmodeled: 4,
+            buckets: crate::UnmodeledCounts::default(),
         };
         assert_eq!(report.mismatch_count(), 1);
+        // Zero buckets (legacy reports deserialized without the field)
+        // keep the historical summary byte for byte.
         assert_eq!(
             report.summary(),
             "x: 2 audited, 1 mismatch(es), 4 unmodeled"
+        );
+        // Populated buckets append the per-reason breakdown after the
+        // CI-grepped prefix.
+        let mut bucketed = report.clone();
+        bucketed.buckets.record(crate::Unmodeled::Mem);
+        bucketed.buckets.record(crate::Unmodeled::Mem);
+        bucketed.buckets.record(crate::Unmodeled::Sira32Fpr);
+        bucketed.buckets.record(crate::Unmodeled::Text);
+        assert_eq!(
+            bucketed.summary(),
+            "x: 2 audited, 1 mismatch(es), 4 unmodeled (1 sira32-fpr + 2 mem + 1 text)"
         );
     }
 }

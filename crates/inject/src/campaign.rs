@@ -923,6 +923,7 @@ pub fn run_campaign_with(
             rate: config.oracle_audit,
             entries,
             unmodeled: plan.unmodeled.total(),
+            buckets: plan.unmodeled,
         }
     });
     let class_stats = plan.classes.as_ref().map(crate::ClassPlan::stats);

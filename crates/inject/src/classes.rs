@@ -195,6 +195,16 @@ pub fn class_plan(workload: &Workload, trace: &ExecTrace, faults: &[Fault]) -> C
                 continue;
             }
         };
+        if let PruneTarget::Text { word, .. } = target {
+            if oracle.text_patched(word) {
+                // Self-patched word: outside the decode-differential
+                // model, so it must execute alone — classing it against
+                // a stale image text could merge genuinely different
+                // outcomes.
+                classes.push(FaultClass::Singleton(Some(Unmodeled::Text)));
+                continue;
+            }
+        }
         let (bit, width) = bit_coords(fault);
         match oracle.fingerprint(core, target, fault.cycle) {
             None => classes.push(FaultClass::Singleton(None)),

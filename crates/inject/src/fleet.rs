@@ -752,6 +752,7 @@ fn finish_workload(state: WorkloadState, config: &FleetConfig) -> CampaignResult
         rate: config.campaign.oracle_audit,
         entries: slots.audits.iter().take(keep).flatten().copied().collect(),
         unmodeled: golden.plan.unmodeled.total(),
+        buckets: golden.plan.unmodeled,
     });
     let classes = golden.plan.classes.as_ref().map(|c| c.stats_prefix(keep));
     assemble_result(

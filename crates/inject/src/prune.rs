@@ -11,8 +11,12 @@
 //! exactly the verdict ([`PruneVerdict::Vanished`] → `Vanished`,
 //! [`PruneVerdict::SilentResidue`] → ONA: same output, same memory,
 //! same counts, different exit context hash). Faults the oracle
-//! abstains on (and every memory or text fault, which outlive register
-//! lifetimes) run through the ordinary checkpoint-ladder injector.
+//! abstains on (and every memory fault — memory lifetimes outlive
+//! register lifetimes and the trace carries no addresses) run through
+//! the ordinary checkpoint-ladder injector. Text faults are decided by
+//! the oracle's decode-differential layer (`fracas_analyze::textfault`)
+//! since PR 8; only words the golden run itself overwrites remain
+//! outside the model.
 
 use crate::campaign::Workload;
 use crate::{Fault, FaultTarget, Outcome};
@@ -34,8 +38,12 @@ pub enum Unmodeled {
     /// A data-memory bit: memory lifetimes outlive register lifetimes
     /// and the trace does not carry addresses.
     Mem,
-    /// A text bit: corrupted instructions invalidate the digested
-    /// golden text the oracle replays.
+    /// A text bit of a word the golden run itself overwrote
+    /// (self-patching code): the digested image text is stale for that
+    /// word, so the decode-differential layer abstains unconditionally.
+    /// Every *other* text bit is fully modeled since PR 8; the bundled
+    /// workloads never self-patch, so this bucket is empty for every
+    /// real campaign.
     Text,
 }
 
@@ -77,7 +85,17 @@ pub fn prune_target(isa: IsaKind, fault: &Fault) -> Result<(usize, PruneTarget),
             Ok((core as usize, PruneTarget::Flags { mask }))
         }
         FaultTarget::Mem { .. } => Err(Unmodeled::Mem),
-        FaultTarget::Text { .. } => Err(Unmodeled::Text),
+        FaultTarget::Text { word, bit } => {
+            // `Fault::apply` calls `flip_text(word, bit + i)` per upset
+            // bit and `flip_text` wraps the bit index within the word,
+            // so any width folds to one XOR mask on one word. Text
+            // faults always time against core 0.
+            let mut mask = 0u32;
+            for i in 0..fault.width.max(1) {
+                mask |= 1 << ((bit + i) % 32);
+            }
+            Ok((0, PruneTarget::Text { word, mask }))
+        }
     }
 }
 
@@ -85,7 +103,7 @@ pub fn prune_target(isa: IsaKind, fault: &Fault) -> Result<(usize, PruneTarget),
 /// [`Unmodeled`] reason. Surfaced by the audit report and the stats
 /// bins so "ran for real" and "could not even be considered" stay
 /// distinguishable.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct UnmodeledCounts {
     /// SIRA-32 FP register faults.
     pub sira32_fpr: u32,
@@ -153,6 +171,15 @@ pub fn prune_plan(
                     return None;
                 }
             };
+            if let PruneTarget::Text { word, .. } = target {
+                if oracle.text_patched(word) {
+                    // Self-patched word: the one text case the
+                    // decode-differential layer cannot model. Runs for
+                    // real, counted separately from oracle abstentions.
+                    unmodeled.record(Unmodeled::Text);
+                    return None;
+                }
+            }
             oracle
                 .verdict(core, target, fault.cycle)
                 .map(|verdict| match verdict {
@@ -240,10 +267,6 @@ mod tests {
             prune_target(IsaKind::Sira64, &f(FaultTarget::Mem { addr: 0, bit: 0 })),
             Err(Unmodeled::Mem)
         );
-        assert_eq!(
-            prune_target(IsaKind::Sira64, &f(FaultTarget::Text { word: 0, bit: 0 })),
-            Err(Unmodeled::Text)
-        );
         // The SIRA-32 FPR regression: a machine-present but ISA-absent
         // register must land in an explicit bucket, not vanish into the
         // abstain path.
@@ -259,6 +282,43 @@ mod tests {
         assert_eq!(
             prune_target(IsaKind::Sira64, &f(fpr)),
             Ok((0, PruneTarget::Fpr { reg: 2 }))
+        );
+    }
+
+    #[test]
+    fn text_targets_fold_their_width_into_one_mask() {
+        // A text fault maps onto the decode-differential oracle: one
+        // word, one XOR mask, timed against core 0. Multi-bit upsets
+        // wrap within the word exactly like `Machine::flip_text`.
+        let single = Fault {
+            target: FaultTarget::Text { word: 7, bit: 3 },
+            cycle: 0,
+            width: 1,
+        };
+        assert_eq!(
+            prune_target(IsaKind::Sira64, &single),
+            Ok((
+                0,
+                PruneTarget::Text {
+                    word: 7,
+                    mask: 0b1000
+                }
+            ))
+        );
+        let wrapping = Fault {
+            target: FaultTarget::Text { word: 2, bit: 31 },
+            cycle: 0,
+            width: 2,
+        };
+        assert_eq!(
+            prune_target(IsaKind::Sira32, &wrapping),
+            Ok((
+                0,
+                PruneTarget::Text {
+                    word: 2,
+                    mask: (1 << 31) | 1
+                }
+            ))
         );
     }
 

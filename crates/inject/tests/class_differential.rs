@@ -12,8 +12,9 @@ mod common;
 
 use common::build_workload;
 use fracas_inject::{
-    campaign_faults, class_plan, golden_trace, run_campaign, run_fleet_with_sink, weighted_tally,
-    CampaignConfig, CampaignResult, Fault, FaultSpace, FaultTarget, FleetConfig, Workload,
+    campaign_faults, class_plan, golden_trace, prune_plan, run_campaign, run_fleet_with_sink,
+    weighted_tally, CampaignConfig, CampaignResult, Fault, FaultSpace, FaultTarget, FleetConfig,
+    Workload,
 };
 use fracas_isa::IsaKind;
 use fracas_npb::{App, Model, Scenario};
@@ -191,12 +192,14 @@ fn mini_kernel_members_collapse_and_audit_cleanly() {
     assert_eq!(report.mismatch_count(), 0, "{}", report.summary());
 }
 
-/// SIRA-32 FPR faults, memory faults and text faults are outside the
-/// oracle's model: with text faults enabled they must surface in the
-/// `Unmodeled` accounting — singled out in the class statistics and
-/// counted by the audit report — rather than silently degrade.
+/// Text faults are first-class since PR 8: a mixed register+text
+/// campaign decides and classes its text draws like any register fault
+/// (zero `Unmodeled` residue — the bundled workloads never self-patch),
+/// and the sampled audit layer re-executes a subset of the pruned text
+/// faults against the decode-differential verdicts with zero
+/// mismatches.
 #[test]
-fn unmodeled_targets_surface_in_stats_and_audit_report() {
+fn text_faults_are_modeled_and_audit_cleanly() {
     let w = workload(App::Ep, Model::Serial, 1, IsaKind::Sira64);
     let config = FleetConfig {
         campaign: CampaignConfig {
@@ -211,30 +214,99 @@ fn unmodeled_targets_surface_in_stats_and_audit_report() {
         },
         ..FleetConfig::default()
     };
-    let path = temp_sink("unmodeled");
+    let path = temp_sink("text-modeled");
     let _ = std::fs::remove_file(&path);
     let results = run_fleet_with_sink(&[w], &config, &path).expect("sink opens");
     let _ = std::fs::remove_file(&path);
     let stats = results[0].classes.expect("class stats present");
-    assert!(
-        stats.unmodeled.text > 0,
-        "60 uniform draws over a text-enabled space hit no text word: {stats:?}"
-    );
+    // EP's text dwarfs its register file, so uniform draws over the
+    // mixed space are overwhelmingly text faults — and every one of
+    // them is now inside the model.
     assert_eq!(
         stats.unmodeled.total(),
-        stats.unmodeled.text,
-        "only text targets are unmodeled in this space: {stats:?}"
+        0,
+        "text faults must not land in the unmodeled buckets: {stats:?}"
     );
-    // Unmodeled singletons executed for real: they never synthesize.
-    assert!(stats.singletons >= stats.unmodeled.text);
-    let report = results[0].audit.as_ref().expect("audit enabled");
-    assert_eq!(report.unmodeled, stats.unmodeled.total());
     assert!(
-        report.summary().contains("unmodeled"),
-        "{}",
+        stats.decided > 0,
+        "no text fault was statically decided: {stats:?}"
+    );
+    assert!(stats.executed() < stats.faults, "{stats:?}");
+    let report = results[0].audit.as_ref().expect("audit enabled");
+    assert_eq!(report.unmodeled, 0);
+    assert_eq!(report.buckets.total(), 0);
+    assert!(
+        !report.entries.is_empty(),
+        "rate 0.25 must audit some pruned text faults: {}",
         report.summary()
     );
     assert_eq!(report.mismatch_count(), 0, "{}", report.summary());
+}
+
+/// The text-only differential on both ISAs: a `prune_classes` text-bit
+/// campaign produces a byte-identical database to the full campaign
+/// while statically deciding a substantial share of the flips.
+#[test]
+fn ep_text_only_classes_match_full_campaign() {
+    for isa in [IsaKind::Sira64, IsaKind::Sira32] {
+        let w = workload(App::Ep, Model::Serial, 1, isa);
+        let config = CampaignConfig {
+            faults: 120,
+            space: FaultSpace {
+                gpr: false,
+                fpr: false,
+                flags: false,
+                mem: None,
+                text: true,
+                mbu_width: 1,
+            },
+            ..CampaignConfig::default()
+        };
+        let classed = differential(&w, &config);
+        let stats = classed.classes.expect("class stats present");
+        assert!(stats.decided > 0, "{}: {stats:?}", w.id);
+        assert_eq!(stats.unmodeled.total(), 0, "{}: {stats:?}", w.id);
+    }
+}
+
+/// The one genuinely undecidable text case (satellite regression): a
+/// word the traced run itself overwrites must invalidate every static
+/// verdict for it — it runs for real as an `Unmodeled::Text` singleton,
+/// in both the prune table and the class plan, while unpatched words
+/// keep their verdicts.
+#[test]
+fn self_patched_text_words_form_unmodeled_singletons() {
+    use fracas_cpu::{TraceEvent, TraceKind};
+    let w = build_workload(IsaKind::Sira64, 1, 1, 10, false, 4_000);
+    let (_, mut trace) = golden_trace(&w);
+    // Forge a self-patch of word 3 into the golden trace (the bundled
+    // workloads never patch, so this is the only way to pin the path).
+    trace.events.push(TraceEvent {
+        core: 0,
+        tick: trace.events.last().map_or(0, |e| e.tick),
+        cycle: 0,
+        kind: TraceKind::TextPatch { word: 3 },
+    });
+    let faults: Vec<Fault> = [3u32, 4]
+        .iter()
+        .map(|&word| Fault {
+            target: FaultTarget::Text { word, bit: 1 },
+            cycle: 10,
+            width: 1,
+        })
+        .collect();
+    let stats = class_plan(&w, &trace, &faults).stats();
+    assert_eq!(stats.faults, 2);
+    assert_eq!(stats.unmodeled.text, 1, "{stats:?}");
+    assert_eq!(stats.unmodeled.total(), 1, "{stats:?}");
+    assert!(stats.singletons >= 1, "{stats:?}");
+    let (table, unmodeled) = prune_plan(&w, &trace, &faults);
+    assert_eq!(table[0], None, "patched word must run for real");
+    assert_eq!(unmodeled.text, 1);
+    // The same fault list against the unforged trace is fully modeled.
+    let (_, clean) = golden_trace(&w);
+    let (_, unmodeled) = prune_plan(&w, &clean, &faults);
+    assert_eq!(unmodeled.total(), 0);
 }
 
 /// The SIRA-32 FPR regression at the plan level: the sampler never

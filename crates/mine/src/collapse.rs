@@ -41,10 +41,37 @@ pub struct CollapseSummary {
 }
 
 impl CollapseSummary {
+    /// Folds one campaign's class statistics into the aggregate (the
+    /// single accumulation point shared by [`collapse_summary`] and the
+    /// stats binaries, so nothing hand-sums the fields and drifts when
+    /// one is added).
+    pub fn add(&mut self, stats: &ClassStats) {
+        self.campaigns += 1;
+        self.stats.faults += stats.faults;
+        self.stats.decided += stats.decided;
+        self.stats.live_classes += stats.live_classes;
+        self.stats.members += stats.members;
+        self.stats.singletons += stats.singletons;
+        self.stats.unmodeled.sira32_fpr += stats.unmodeled.sira32_fpr;
+        self.stats.unmodeled.mem += stats.unmodeled.mem;
+        self.stats.unmodeled.text += stats.unmodeled.text;
+    }
+
     /// Executed share of all sampled faults, in `[0, 1]`.
     #[must_use]
     pub fn executed_fraction(&self) -> f64 {
         self.stats.executed_fraction()
+    }
+
+    /// Statically decided share of all sampled faults, in `[0, 1]` (0
+    /// for an empty summary) — the text-fault "decidability" headline.
+    #[must_use]
+    pub fn decided_fraction(&self) -> f64 {
+        if self.stats.faults == 0 {
+            0.0
+        } else {
+            f64::from(self.stats.decided) / f64::from(self.stats.faults)
+        }
     }
 
     /// Faults represented per execution.
@@ -63,15 +90,7 @@ where
 {
     let mut out = CollapseSummary::default();
     for stats in results.into_iter().filter_map(|r| r.classes) {
-        out.campaigns += 1;
-        out.stats.faults += stats.faults;
-        out.stats.decided += stats.decided;
-        out.stats.live_classes += stats.live_classes;
-        out.stats.members += stats.members;
-        out.stats.singletons += stats.singletons;
-        out.stats.unmodeled.sira32_fpr += stats.unmodeled.sira32_fpr;
-        out.stats.unmodeled.mem += stats.unmodeled.mem;
-        out.stats.unmodeled.text += stats.unmodeled.text;
+        out.add(&stats);
     }
     out
 }
@@ -132,5 +151,12 @@ mod tests {
         assert_eq!(two.stats.faults, 80);
         assert_eq!(two.stats.executed_fraction(), one.stats.executed_fraction());
         assert!(two.collapse_factor() >= 1.0);
+        assert_eq!(two.decided_fraction(), one.decided_fraction());
+        // The incremental fold is the same accumulation.
+        let mut manual = CollapseSummary::default();
+        manual.add(&classed.classes.expect("classed"));
+        manual.add(&classed.classes.expect("classed"));
+        assert_eq!(manual, two);
+        assert_eq!(CollapseSummary::default().decided_fraction(), 0.0);
     }
 }
