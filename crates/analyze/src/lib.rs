@@ -53,6 +53,7 @@ pub mod cfg;
 pub mod intervals;
 pub mod liveness;
 pub mod prune;
+pub mod skipfault;
 pub mod textfault;
 pub mod usedef;
 
@@ -61,5 +62,6 @@ pub use cfg::{writes_pc, BasicBlock, Cfg};
 pub use intervals::Fingerprint;
 pub use liveness::{all_regs, Liveness};
 pub use prune::{PruneOracle, PruneTarget, PruneVerdict};
+pub use skipfault::{analyze_skips, skip_class, SkipClass, SkipComposition};
 pub use textfault::{analyze_text, cfg_reachable_words, flip_class, FlipClass, TextComposition};
 pub use usedef::{cond_reads, use_def, RegSet, UseDef, FLAG_ALL, FLAG_C, FLAG_N, FLAG_V, FLAG_Z};

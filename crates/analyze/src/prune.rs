@@ -557,6 +557,37 @@ impl PruneOracle {
         Some(Landing::At(start))
     }
 
+    /// Whether a fault timed at `(core, cycle)` is ever applied by the
+    /// injector's replay, or `None` for a core the trace never saw.
+    /// `Some(false)` is the never-lands case: the run
+    /// finishes before the core reaches `cycle`, so the faulted run IS
+    /// the golden run and the outcome is provably Vanished — the one
+    /// static decision available to fault domains the taint walk cannot
+    /// model (see `fracas-inject`'s `StaticOnly` prune capability).
+    pub fn applied(&self, core: usize, cycle: u64) -> Option<bool> {
+        self.landing(core, cycle).map(|l| l != Landing::Unapplied)
+    }
+
+    /// The PC of the first instruction `core` commits (executed or
+    /// annulled) at or after the landing of `(core, cycle)` — the
+    /// dynamic instruction an instruction-skip fault timed there would
+    /// drop. `None` when the fault is never applied or the core commits
+    /// nothing afterwards. Advisory (stats-side severity triage via the
+    /// static effects table); never used to decide outcomes.
+    pub fn skipped_pc(&self, core: usize, cycle: u64) -> Option<u32> {
+        match self.landing(core, cycle)? {
+            Landing::Unapplied => None,
+            Landing::At(start) => self.ops[start..].iter().find_map(|op| match *op {
+                Op::Exec { core: c, pc, .. } | Op::Skip { core: c, pc, .. }
+                    if c as usize == core =>
+                {
+                    Some(pc)
+                }
+                _ => None,
+            }),
+        }
+    }
+
     /// Decides the outcome of flipping `target` on `core` at `cycle`,
     /// or `None` when the fault may propagate and must run for real.
     /// Abstention is always sound; a `Some` verdict is exact.

@@ -1,0 +1,248 @@
+//! Static severity triage for instruction-skip faults.
+//!
+//! An instruction-skip fault drops exactly one dynamic instruction at
+//! the issue stage: the program counter advances, the cycle charge is
+//! paid, but none of the instruction's architectural effects happen.
+//! The interval oracle cannot fingerprint such a fault (there is no
+//! flipped bit to trace), so the campaign machinery runs every live
+//! skip for real. What the static [`Effects`] table *can* provide — the
+//! same second opinion [`crate::textfault::flip_class`] gives text
+//! faults — is a severity bound: classify the skipped instruction by
+//! which kind of architectural state fails to change when it is
+//! dropped.
+//!
+//! The classification is advisory and is never used to decide campaign
+//! outcomes. Its purpose is the `stats_uncore` composition table: a
+//! measured outcome distribution cross-checked against the static
+//! prediction (e.g. skipped stores and control transfers should
+//! dominate the non-Vanished mass, skipped dead ALU results should
+//! dominate the Vanished mass).
+
+use fracas_isa::effects::{CtrlFlow, Effects, MemEffect, RegSet};
+use fracas_isa::{Inst, IsaKind};
+
+/// What a dropped instruction fails to do, most severe kind first.
+///
+/// The order reflects how directly the missing effect corrupts the run:
+/// a missing control transfer or syscall derails execution immediately;
+/// a missing store corrupts memory that outlives the instruction; a
+/// missing load or ALU result corrupts registers that liveness may
+/// still kill; a missing `nop` changes nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SkipClass {
+    /// A branch, call, return or PC write falls through instead of
+    /// redirecting: control flow diverges at once.
+    Control,
+    /// A syscall never enters the kernel (exit, join, lock, write...):
+    /// process bookkeeping diverges.
+    Syscall,
+    /// A store (or atomic) never reaches memory.
+    Store,
+    /// A load (or atomic read half) never updates its destination.
+    Load,
+    /// A register or flag definition goes missing; dead definitions can
+    /// genuinely reconverge.
+    Data,
+    /// No architectural effect at all (`nop`): the skip is invisible.
+    Neutral,
+}
+
+impl SkipClass {
+    /// Every class, severity order (for stable table layouts).
+    pub const ALL: [SkipClass; 6] = [
+        SkipClass::Control,
+        SkipClass::Syscall,
+        SkipClass::Store,
+        SkipClass::Load,
+        SkipClass::Data,
+        SkipClass::Neutral,
+    ];
+
+    /// Stable short name (report columns).
+    pub fn name(self) -> &'static str {
+        match self {
+            SkipClass::Control => "control",
+            SkipClass::Syscall => "syscall",
+            SkipClass::Store => "store",
+            SkipClass::Load => "load",
+            SkipClass::Data => "data",
+            SkipClass::Neutral => "neutral",
+        }
+    }
+}
+
+/// Classifies what dropping `inst` fails to do, from its static
+/// [`Effects`]. Conditional instructions are classified as if their
+/// condition held — a skip landing on an annulled instruction is
+/// architecturally invisible regardless of class, and the measured
+/// composition absorbs that as Vanished mass.
+pub fn skip_class(isa: IsaKind, inst: &Inst) -> SkipClass {
+    let fx = Effects::of(isa, inst);
+    if fx.ctrl == CtrlFlow::Svc {
+        return SkipClass::Syscall;
+    }
+    if fx.ctrl != CtrlFlow::Fall || fx.pc_def {
+        return SkipClass::Control;
+    }
+    match fx.mem {
+        MemEffect::Store(_) | MemEffect::StoreFp | MemEffect::Amo => SkipClass::Store,
+        MemEffect::Load(_) | MemEffect::LoadFp => SkipClass::Load,
+        MemEffect::None => {
+            if fx.defs == RegSet::EMPTY {
+                SkipClass::Neutral
+            } else {
+                SkipClass::Data
+            }
+        }
+    }
+}
+
+/// Skip-severity composition of a text section: how many instructions
+/// fall in each [`SkipClass`]. The *static* composition weights every
+/// instruction equally; the measured campaign weights them by dynamic
+/// execution count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SkipComposition {
+    counts: [u64; SkipClass::ALL.len()],
+}
+
+impl SkipComposition {
+    /// Records one classified instruction (or one dynamic skip).
+    pub fn record(&mut self, class: SkipClass) {
+        let i = SkipClass::ALL.iter().position(|&c| c == class).unwrap();
+        self.counts[i] += 1;
+    }
+
+    /// Occurrences of `class`.
+    pub fn count(&self, class: SkipClass) -> u64 {
+        let i = SkipClass::ALL.iter().position(|&c| c == class).unwrap();
+        self.counts[i]
+    }
+
+    /// Total recorded instructions.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of `class` (0 when nothing is recorded).
+    pub fn fraction(&self, class: SkipClass) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            return 0.0;
+        }
+        self.count(class) as f64 / t as f64
+    }
+}
+
+/// Static skip-severity composition of a whole text section.
+pub fn analyze_skips(isa: IsaKind, text: &[Inst]) -> SkipComposition {
+    let mut composition = SkipComposition::default();
+    for inst in text {
+        composition.record(skip_class(isa, inst));
+    }
+    composition
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fracas_isa::{AluOp, InstKind, Reg, Width};
+
+    fn inst(kind: InstKind) -> Inst {
+        Inst::new(kind)
+    }
+
+    #[test]
+    fn classes_cover_the_severity_order() {
+        let isa = IsaKind::Sira64;
+        assert_eq!(
+            skip_class(isa, &inst(InstKind::B { off: 4 })),
+            SkipClass::Control
+        );
+        assert_eq!(
+            skip_class(isa, &inst(InstKind::Svc { imm: 1 })),
+            SkipClass::Syscall
+        );
+        assert_eq!(
+            skip_class(
+                isa,
+                &inst(InstKind::St {
+                    rd: Reg(1),
+                    rn: Reg(2),
+                    off: 0,
+                    width: Width::Word,
+                })
+            ),
+            SkipClass::Store
+        );
+        assert_eq!(
+            skip_class(
+                isa,
+                &inst(InstKind::Ld {
+                    rd: Reg(1),
+                    rn: Reg(2),
+                    off: 0,
+                    width: Width::Word,
+                })
+            ),
+            SkipClass::Load
+        );
+        assert_eq!(
+            skip_class(
+                isa,
+                &inst(InstKind::Alu {
+                    op: AluOp::Add,
+                    rd: Reg(1),
+                    rn: Reg(2),
+                    rm: Reg(3),
+                })
+            ),
+            SkipClass::Data
+        );
+        assert_eq!(skip_class(isa, &inst(InstKind::Nop)), SkipClass::Neutral);
+        // A flags-only definition is still a Data effect.
+        assert_eq!(
+            skip_class(
+                isa,
+                &inst(InstKind::Cmp {
+                    rn: Reg(1),
+                    rm: Reg(2)
+                })
+            ),
+            SkipClass::Data
+        );
+        // Skipping a halt skips the run-ending trap: control class.
+        assert_eq!(skip_class(isa, &inst(InstKind::Halt)), SkipClass::Control);
+    }
+
+    #[test]
+    fn sira32_pc_write_is_control() {
+        // `mov pc, lr` redirects via a register-file write on SIRA-32.
+        assert_eq!(
+            skip_class(
+                IsaKind::Sira32,
+                &inst(InstKind::Mov {
+                    rd: Reg(15),
+                    rm: Reg(14),
+                })
+            ),
+            SkipClass::Control
+        );
+    }
+
+    #[test]
+    fn composition_counts_and_fractions() {
+        let isa = IsaKind::Sira64;
+        let text = [
+            inst(InstKind::Nop),
+            inst(InstKind::Nop),
+            inst(InstKind::B { off: 0 }),
+            inst(InstKind::Halt),
+        ];
+        let c = analyze_skips(isa, &text);
+        assert_eq!(c.total(), 4);
+        assert_eq!(c.count(SkipClass::Neutral), 2);
+        assert_eq!(c.count(SkipClass::Control), 2);
+        assert!((c.fraction(SkipClass::Neutral) - 0.5).abs() < 1e-12);
+    }
+}

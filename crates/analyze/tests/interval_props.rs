@@ -109,7 +109,7 @@ fn class_key(oracle: &PruneOracle, isa: IsaKind, fault: &Fault) -> Option<ClassK
     let bit = match fault.target {
         FaultTarget::Gpr { bit, .. } | FaultTarget::Fpr { bit, .. } => bit,
         FaultTarget::Flag { which, .. } => which,
-        FaultTarget::Mem { .. } | FaultTarget::Text { .. } => return None,
+        _ => return None,
     };
     let width = fault.width.max(1);
     let fp = oracle.fingerprint(core, target, fault.cycle)?;

@@ -56,14 +56,7 @@ fn main() {
         config.seed = v;
     }
     if text_faults {
-        config.space = FaultSpace {
-            gpr: false,
-            fpr: false,
-            flags: false,
-            mem: None,
-            text: true,
-            mbu_width: 1,
-        };
+        config.space = FaultSpace::only("text");
     }
     let scenarios = filter.scenarios();
     eprintln!(

@@ -60,14 +60,7 @@ fn main() {
     if let Some(v) = seed {
         text_config.seed = v;
     }
-    text_config.space = FaultSpace {
-        gpr: false,
-        fpr: false,
-        flags: false,
-        mem: None,
-        text: true,
-        mbu_width: 1,
-    };
+    text_config.space = FaultSpace::only("text");
     let mut reg_config = text_config.clone();
     reg_config.space = FaultSpace::default();
     let scenarios = filter.scenarios();

@@ -198,10 +198,25 @@ pub struct SweepOpts {
     /// records (pruned faults and class members) for real and fail the
     /// sweep on any oracle-vs-execution mismatch.
     pub oracle_audit: Option<f64>,
-    /// `--text-faults`: sample the instruction-memory fault space
-    /// (text-word bits) instead of the architectural-register default —
-    /// the decode-differential campaign axis.
-    pub text_faults: bool,
+    /// `--<domain>-faults` flags, in command-line order: fault-domain
+    /// registry names whose spaces replace the architectural-register
+    /// default. The first flag resets the space to empty, every flag
+    /// enables its domain, so flags compose (`--text-faults` alone is
+    /// the decode-differential campaign axis; `--cache-faults
+    /// --kernelctl-faults --skip-faults` is the uncore axis).
+    pub domains: Vec<&'static str>,
+}
+
+/// Resolves a `--<domain>-faults` flag against the fault-domain
+/// registry: `Some(domain name)` when the stem names a registered
+/// boolean-switch domain, `None` otherwise. Adding a domain to the
+/// registry grows the sweep's flag set with no change here.
+fn domain_flag(flag: &str) -> Option<&'static str> {
+    let stem = flag.strip_prefix("--")?.strip_suffix("-faults")?;
+    fracas::inject::domains()
+        .iter()
+        .find(|d| d.flag == Some(stem))
+        .map(|d| d.name)
 }
 
 impl SweepOpts {
@@ -209,7 +224,7 @@ impl SweepOpts {
     /// [`FILTER_USAGE`]).
     pub const USAGE: &'static str = "[--faults N] [--epsilon E] [--threads N] [--seed N] \
          [--db PATH] [--sink PATH] [--prune-dead] [--prune-classes] [--oracle-audit R] \
-         [--text-faults]";
+         [--<domain>-faults: gpr|fpr|flag|text|cache|kernelctl|skip]";
 
     /// Parses the process arguments, accepting the filter flags and the
     /// campaign overrides.
@@ -231,8 +246,10 @@ impl SweepOpts {
                 "--prune-dead" => opts.prune_dead = true,
                 "--prune-classes" => opts.prune_classes = true,
                 "--oracle-audit" => opts.oracle_audit = Some(p.parsed(&flag)),
-                "--text-faults" => opts.text_faults = true,
-                other => p.unknown(other),
+                other => match domain_flag(other) {
+                    Some(name) => opts.domains.push(name),
+                    None => p.unknown(other),
+                },
             }
         }
         opts
@@ -264,15 +281,13 @@ impl SweepOpts {
         if let Some(v) = self.oracle_audit {
             config.campaign.oracle_audit = v;
         }
-        if self.text_faults {
-            config.campaign.space = fracas::inject::FaultSpace {
-                gpr: false,
-                fpr: false,
-                flags: false,
-                mem: None,
-                text: true,
-                mbu_width: 1,
-            };
+        if !self.domains.is_empty() {
+            let mut space = fracas::inject::FaultSpace::none();
+            for name in &self.domains {
+                let domain = fracas::inject::domain_named(name).expect("parsed from the registry");
+                (domain.enable)(&mut space);
+            }
+            config.campaign.space = space;
         }
         config
     }

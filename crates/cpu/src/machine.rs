@@ -641,6 +641,26 @@ impl Machine {
         Arc::make_mut(&mut self.dtext)[word_index as usize] = lower::lower(isa, pc, inst.as_ref());
     }
 
+    /// Flips one bit of a cache line's tag/state/LRU payload (see
+    /// `fracas_mem::MemSystem::flip_bit` for the unit codes and the
+    /// 40-bit line layout). Out-of-range lines are ignored; the hook is
+    /// a pure involution like every other flip.
+    pub fn flip_cache(&mut self, unit: u32, core: usize, line: usize, bit: u32) {
+        self.caches.flip_bit(unit, core, line, bit);
+    }
+
+    /// Toggles the instruction-skip fault latch on `core`: the next
+    /// instruction the core issues is dropped at the issue stage — it
+    /// retires (or annuls, if its condition fails) with its static
+    /// cost-class charge but performs no architectural work — and the
+    /// latch clears. A toggle rather than a set so the hook is its own
+    /// inverse, like every other flip hook (multi-bit "widths" fold
+    /// onto the single latch, modulus 1).
+    pub fn flip_skip(&mut self, core: usize) {
+        let cr = &mut self.cores[core];
+        cr.skip_pending = !cr.skip_pending;
+    }
+
     /// Number of instruction words in the text section.
     pub fn text_len(&self) -> u32 {
         self.text_words.len() as u32
@@ -798,6 +818,32 @@ impl Machine {
         Some(inst)
     }
 
+    /// Consumes a pending instruction-skip fault: the instruction at
+    /// `pc` is dropped at the issue stage. If its condition would have
+    /// failed anyway the skip coincides with the annul (same counter,
+    /// same base charge — the fault is architecturally invisible);
+    /// otherwise the instruction still retires with its static
+    /// cost-class charge but performs no architectural work and pays no
+    /// dynamic surcharge (no redirect, no data access). Counting the
+    /// skipped instruction as retired keeps the per-core instruction
+    /// counts aligned with the golden run, so a skipped dead
+    /// instruction can genuinely reconverge and classify as Vanished.
+    /// Both interpreter paths route through this helper, and it returns
+    /// before the conformance checker's pre-state capture — the checker
+    /// never observes a skipped step.
+    fn consume_skip(cr: &mut Core, d: DecodedInst, base: u64, charge: u64, pc: u32) -> StepResult {
+        cr.skip_pending = false;
+        if (d.exec_mask >> cr.flags.bits()) & 1 == 0 {
+            cr.stats.cond_skipped += 1;
+            cr.cycles += base;
+        } else {
+            cr.stats.instructions += 1;
+            cr.cycles += charge;
+        }
+        cr.set_pc(pc.wrapping_add(4));
+        StepResult::Executed
+    }
+
     /// The structured-[`Inst`] reference interpreter: the pre-predecode
     /// step path, retained verbatim for the conformance checker and as
     /// the oracle of the differential tests.
@@ -819,6 +865,17 @@ impl Machine {
         let fetch_penalty = self.caches.access(core, Access::Fetch, pc);
         self.cores[core].stats.miss_cycles += u64::from(fetch_penalty);
         self.cores[core].cycles += u64::from(fetch_penalty);
+
+        if self.cores[core].skip_pending {
+            // The predecoded slot agrees with `inst` (predecode
+            // invariant), and its `exec_mask` already folds the
+            // branch-never-annuls rule the reference path handles via
+            // `is_branch` below.
+            let d = self.dtext[idx];
+            let base = u64::from(self.cost.base);
+            let charge = u64::from(self.charge[usize::from(d.cost)]);
+            return Self::consume_skip(&mut self.cores[core], d, base, charge, pc);
+        }
 
         // --- conditional execution ---
         let flags = self.cores[core].flags();
@@ -881,6 +938,11 @@ impl Machine {
         let cr = &mut self.cores[core];
         cr.stats.miss_cycles += u64::from(fetch_penalty);
         cr.cycles += u64::from(fetch_penalty);
+
+        if cr.skip_pending {
+            let charge = u64::from(self.charge[usize::from(d.cost)]);
+            return Self::consume_skip(cr, d, base, charge, pc);
+        }
 
         // --- conditional execution: one shift through the predecoded
         // NZCV truth table (branches carry `ALWAYS` here and gate the
@@ -2004,6 +2066,109 @@ mod tests {
         m.flip_gpr(0, 1, 3); // 100 ^ 8 = 108
         m.run_to_halt(10).unwrap();
         assert_eq!(m.core(0).reg(Reg(0)), 108);
+    }
+
+    #[test]
+    fn skip_flip_is_an_involution() {
+        let mut asm = Asm::new(IsaKind::Sira64);
+        asm.global_fn("_start");
+        asm.nop();
+        asm.halt();
+        let image = link(IsaKind::Sira64, &[asm.into_object()]).unwrap();
+        let mut m = Machine::boot_flat(&image, 1);
+        assert!(!m.core(0).skip_pending());
+        m.flip_skip(0);
+        assert!(m.core(0).skip_pending());
+        m.flip_skip(0);
+        assert!(!m.core(0).skip_pending());
+    }
+
+    #[test]
+    fn skip_drops_one_instruction_but_retires_it() {
+        let build = || {
+            let mut asm = Asm::new(IsaKind::Sira64);
+            asm.global_fn("_start");
+            asm.movz(Reg(1), 100, 0);
+            asm.addi(Reg(0), Reg(1), 0);
+            asm.halt();
+            link(IsaKind::Sira64, &[asm.into_object()]).unwrap()
+        };
+        let mut golden = Machine::boot_flat(&build(), 1);
+        golden.run_to_halt(100).unwrap();
+        assert_eq!(golden.core(0).reg(Reg(0)), 100);
+
+        let image = build();
+        for reference in [false, true] {
+            let mut m = Machine::boot_flat(&image, 1);
+            m.set_reference_exec(reference);
+            let mut perm = PermissionMap::new(m.mem.size());
+            perm.map_range(
+                0,
+                m.mem.size(),
+                Perms {
+                    read: true,
+                    write: true,
+                    exec: true,
+                },
+            );
+            // Execute the movz, then latch a skip: the addi is dropped.
+            assert_eq!(m.step(0, &perm), StepResult::Executed);
+            m.flip_skip(0);
+            m.run_to_halt(100).unwrap();
+            assert_eq!(m.core(0).reg(Reg(0)), 0, "addi never executed");
+            assert_eq!(m.core(0).reg(Reg(1)), 100);
+            assert!(!m.core(0).skip_pending(), "latch consumed");
+            // The skipped instruction still retires with its static
+            // charge, so the counters track the golden run exactly.
+            assert_eq!(
+                m.core(0).stats().instructions,
+                golden.core(0).stats().instructions
+            );
+            assert_eq!(m.core(0).cycles(), golden.core(0).cycles());
+        }
+    }
+
+    #[test]
+    fn skipping_an_annulled_instruction_is_invisible() {
+        let build = || {
+            let mut asm = Asm::new(IsaKind::Sira32);
+            asm.global_fn("_start");
+            asm.movz(Reg(1), 5, 0);
+            asm.cmpi(Reg(1), 5);
+            // Eq holds, so the Ne-conditional move annuls in the golden
+            // run — a skip fault landing on it coincides with the annul.
+            asm.inst_if(
+                Cond::Ne,
+                InstKind::MovImm {
+                    rd: Reg(3),
+                    imm: 1,
+                    shift: 0,
+                    keep: false,
+                },
+            );
+            asm.halt();
+            link(IsaKind::Sira32, &[asm.into_object()]).unwrap()
+        };
+        let mut golden = Machine::boot_flat(&build(), 1);
+        golden.run_to_halt(100).unwrap();
+
+        let mut m = Machine::boot_flat(&build(), 1);
+        let mut perm = PermissionMap::new(m.mem.size());
+        perm.map_range(
+            0,
+            m.mem.size(),
+            Perms {
+                read: true,
+                write: true,
+                exec: true,
+            },
+        );
+        assert_eq!(m.step(0, &perm), StepResult::Executed); // movz
+        assert_eq!(m.step(0, &perm), StepResult::Executed); // cmpi
+        m.flip_skip(0);
+        m.run_to_halt(100).unwrap();
+        assert_eq!(m.core(0).stats().cond_skipped, 1, "counted as annul");
+        assert_eq!(m.core(0), golden.core(0), "architecturally invisible");
     }
 
     #[test]

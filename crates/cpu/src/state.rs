@@ -144,6 +144,13 @@ pub struct Core {
     pub(crate) flags: Flags,
     /// Set when the core executed `halt` (bare-metal) or is parked.
     pub(crate) halted: bool,
+    /// Instruction-skip fault latch: when set, the next instruction
+    /// this core issues is dropped at the issue stage (it retires
+    /// without architectural effect — see `Machine::flip_skip`) and the
+    /// latch clears. Core-local microarchitectural state: it survives
+    /// context switches and rides along in snapshots and state
+    /// comparisons like any other core field.
+    pub(crate) skip_pending: bool,
     isa: IsaKind,
     /// Local cycle clock.
     pub(crate) cycles: u64,
@@ -166,8 +173,14 @@ impl Core {
             flags: Flags::default(),
             cycles: 0,
             halted: true,
+            skip_pending: false,
             stats: CoreStats::default(),
         }
+    }
+
+    /// Whether an instruction-skip fault is latched on this core.
+    pub fn skip_pending(&self) -> bool {
+        self.skip_pending
     }
 
     /// The core's ISA.

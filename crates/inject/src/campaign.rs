@@ -65,6 +65,19 @@ impl Workload {
     fn boot(&self) -> Kernel {
         Kernel::boot(&self.image, self.cores, self.spec)
     }
+
+    /// The registry sampling-space dimensions of this workload's
+    /// campaigns: processor model plus text size from the image, uncore
+    /// capacities from the boot spec.
+    pub fn dims(&self, space: FaultSpace) -> crate::domain::SpaceDims {
+        crate::domain::SpaceDims::of(
+            self.image.isa,
+            self.cores as u32,
+            self.image.text.len() as u32,
+            &self.spec,
+            space,
+        )
+    }
 }
 
 /// Campaign parameters.
@@ -630,7 +643,7 @@ pub fn inject_one(
     };
     let paused = kernel.run_until_core_cycle(fault.timing_core(), fault.cycle, limits);
     if paused.is_none() {
-        fault.apply(kernel.machine_mut());
+        fault.apply(&mut kernel);
         if fault.targets_ephemeral_state() {
             let rung = resumed_from.map(|(i, _)| i);
             if let Some(golden) = checkpoints.try_reconverge(&mut kernel, rung, limits) {
@@ -683,14 +696,11 @@ pub fn campaign_faults(
     config: &CampaignConfig,
     golden_cycles: u64,
 ) -> Vec<Fault> {
-    crate::sample_faults_with_text(
-        workload.image.isa,
-        workload.cores as u32,
+    crate::sample_space(
+        &workload.dims(config.space),
         golden_cycles,
         config.faults,
-        &config.space,
         campaign_seed(&workload.id, config.seed),
-        workload.image.text.len() as u32,
     )
 }
 
@@ -739,11 +749,7 @@ pub(crate) fn assemble_result(
             instructions: golden.total_instructions(),
             per_core_instructions: golden.per_core_instructions.clone(),
         },
-        space_bits: config.space.total_bits_with_text(
-            workload.image.isa,
-            workload.cores as u32,
-            workload.image.text.len() as u32,
-        ),
+        space_bits: workload.dims(config.space).total_bits(),
         profile,
         tally,
         records,

@@ -27,7 +27,7 @@
 //!   representative's — any divergence fails the sweep.
 
 use crate::campaign::{InjectionRecord, Tally, Workload};
-use crate::prune::{prune_target, Unmodeled, UnmodeledCounts};
+use crate::prune::{prune_decision, Decision, Unmodeled, UnmodeledCounts};
 use crate::{Fault, FaultTarget, Outcome};
 use fracas_analyze::{Fingerprint, PruneOracle, PruneTarget, PruneVerdict};
 use fracas_cpu::ExecTrace;
@@ -165,8 +165,13 @@ fn bit_coords(fault: &Fault) -> (u32, u32) {
         FaultTarget::Gpr { bit, .. }
         | FaultTarget::Fpr { bit, .. }
         | FaultTarget::Mem { bit, .. }
-        | FaultTarget::Text { bit, .. } => bit,
+        | FaultTarget::Text { bit, .. }
+        | FaultTarget::CacheState { bit, .. }
+        | FaultTarget::RunQueue { bit, .. }
+        | FaultTarget::PagePerm { bit, .. } => bit,
         FaultTarget::Flag { which, .. } => which,
+        // The skip latch is a single toggle: no bit coordinate.
+        FaultTarget::InstrSkip { .. } => 0,
     };
     (bit, fault.width.max(1))
 }
@@ -188,23 +193,24 @@ pub fn class_plan(workload: &Workload, trace: &ExecTrace, faults: &[Fault]) -> C
     // coordinates must never merge their classes.
     let mut first: HashMap<(usize, PruneTarget, u32, u32, Fingerprint), u32> = HashMap::new();
     for (i, fault) in faults.iter().enumerate() {
-        let (core, target) = match prune_target(image.isa, fault) {
-            Ok(t) => t,
-            Err(reason) => {
+        let (core, target) = match prune_decision(&oracle, image.isa, fault) {
+            Decision::Oracle(core, target) => (core, target),
+            Decision::Verdict(outcome) => {
+                // A static-only domain's provably-unapplied fault: the
+                // proven golden-timing outcome, exactly as
+                // `--prune-dead` synthesizes it.
+                decided[i] = Some(outcome);
+                classes.push(FaultClass::Decided);
+                continue;
+            }
+            Decision::Unmodeled(reason) => {
+                // Outside the model (including self-patched text words):
+                // must execute alone — classing such a fault could merge
+                // genuinely different outcomes.
                 classes.push(FaultClass::Singleton(Some(reason)));
                 continue;
             }
         };
-        if let PruneTarget::Text { word, .. } = target {
-            if oracle.text_patched(word) {
-                // Self-patched word: outside the decode-differential
-                // model, so it must execute alone — classing it against
-                // a stale image text could merge genuinely different
-                // outcomes.
-                classes.push(FaultClass::Singleton(Some(Unmodeled::Text)));
-                continue;
-            }
-        }
         let (bit, width) = bit_coords(fault);
         match oracle.fingerprint(core, target, fault.cycle) {
             None => classes.push(FaultClass::Singleton(None)),

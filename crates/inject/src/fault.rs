@@ -1,7 +1,13 @@
 //! The single-bit-upset fault model.
+//!
+//! Every per-target behaviour here — sizing, sampling, timing,
+//! ephemerality, application — is a projection of the fault-domain
+//! registry in [`crate::domain`]; this module owns only the data types
+//! and the uniform sampler's RNG discipline.
 
-use fracas_cpu::Machine;
+use crate::domain::{domain_of, domains, Placement, SpaceDims};
 use fracas_isa::IsaKind;
+use fracas_kernel::Kernel;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -48,6 +54,42 @@ pub enum FaultTarget {
         /// Bit within the word (0–31).
         bit: u32,
     },
+    /// A cache metadata bit: tag, MESI state or LRU stamp of one line.
+    CacheState {
+        /// Core index (0 for the shared L2).
+        core: u32,
+        /// Cache unit: 0 = L1I, 1 = L1D, 2 = L2.
+        unit: u32,
+        /// Line index within the unit.
+        line: u32,
+        /// Bit within the line's 40 metadata bits (0–31 tag, 32–33
+        /// state, 34–39 LRU).
+        bit: u32,
+    },
+    /// A scheduler run-queue entry bit (a thread id word in the kernel's
+    /// ready queue).
+    RunQueue {
+        /// Queue slot index.
+        slot: u32,
+        /// Bit within the entry word (0–31).
+        bit: u32,
+    },
+    /// A page-permission bit in one process's permission map.
+    PagePerm {
+        /// Process index.
+        pid: u32,
+        /// Page index within the process's map.
+        page: u32,
+        /// Permission bit: 0 = read, 1 = write, 2 = execute.
+        bit: u32,
+    },
+    /// An issue-stage upset that drops exactly one dynamic instruction:
+    /// the next instruction the core issues retires (PC advances, the
+    /// cycle charge is paid) without any of its architectural effects.
+    InstrSkip {
+        /// Core index.
+        core: u32,
+    },
 }
 
 fn default_width() -> u32 {
@@ -71,47 +113,31 @@ pub struct Fault {
 }
 
 impl Fault {
-    /// The core whose clock times this fault.
+    /// The core whose clock times this fault (the registry's
+    /// [`crate::domain::Domain::timing_core`] rule).
     pub fn timing_core(&self) -> usize {
-        match self.target {
-            FaultTarget::Gpr { core, .. }
-            | FaultTarget::Fpr { core, .. }
-            | FaultTarget::Flag { core, .. } => core as usize,
-            FaultTarget::Mem { .. } | FaultTarget::Text { .. } => 0,
-        }
+        (domain_of(&self.target).timing_core)(&self.target)
     }
 
     /// True when the fault strikes short-lived architectural state
-    /// (registers, flags) that the program routinely overwrites —
-    /// the targets worth probing for golden reconvergence. Memory and
-    /// text bits are long-lived: a flip there persists until (if ever)
-    /// that exact location is rewritten, so probing would pay full
-    /// state-compare cost with almost no chance of a match.
+    /// (registers, flags, the skip latch) that the program routinely
+    /// overwrites — the targets worth probing for golden reconvergence.
+    /// Memory, text and uncore bits are long-lived: a flip there
+    /// persists until (if ever) that exact location is rewritten, so
+    /// probing would pay full state-compare cost with almost no chance
+    /// of a match.
     pub fn targets_ephemeral_state(&self) -> bool {
-        matches!(
-            self.target,
-            FaultTarget::Gpr { .. } | FaultTarget::Fpr { .. } | FaultTarget::Flag { .. }
-        )
+        domain_of(&self.target).ephemeral
     }
 
-    /// Applies the upset (all `width` adjacent bits) to a paused machine.
-    /// Adjacent bits wrap within the struck word, as in a real
-    /// single-word MBU.
-    pub fn apply(&self, machine: &mut Machine) {
+    /// Applies the upset (all `width` adjacent bits) to a paused
+    /// kernel, through the target domain's registry hook. Adjacent bits
+    /// wrap within the struck word, as in a real single-word MBU; each
+    /// domain's wrap modulus is declared in its registry entry.
+    pub fn apply(&self, kernel: &mut Kernel) {
+        let domain = domain_of(&self.target);
         for i in 0..self.width.max(1) {
-            match self.target {
-                FaultTarget::Gpr { core, reg, bit } => {
-                    machine.flip_gpr(core as usize, reg, bit + i);
-                }
-                FaultTarget::Fpr { core, reg, bit } => {
-                    machine.flip_fpr(core as usize, reg, bit + i);
-                }
-                FaultTarget::Flag { core, which } => {
-                    machine.flip_flag(core as usize, which + i);
-                }
-                FaultTarget::Mem { addr, bit } => machine.flip_mem(addr, bit + i),
-                FaultTarget::Text { word, bit } => machine.flip_text(word, bit + i),
-            }
+            (domain.apply)(kernel, self.target, i);
         }
     }
 }
@@ -129,6 +155,17 @@ pub struct FaultSpace {
     pub mem: Option<(u32, u32)>,
     /// Instruction-memory faults (bit flips in encoded text words).
     pub text: bool,
+    /// Cache metadata faults (L1/L2 tag, MESI state and LRU bits).
+    #[serde(default)]
+    pub cache: bool,
+    /// Kernel-control faults (scheduler run-queue entries and
+    /// per-process page-permission words).
+    #[serde(default)]
+    pub kernelctl: bool,
+    /// Instruction-skip faults (one latch per core that drops the next
+    /// issued dynamic instruction).
+    #[serde(default)]
+    pub skip: bool,
     /// Adjacent bits upset per fault (1 = SBU; >1 = single-word MBU,
     /// ref. \[13\] of the paper).
     #[serde(default = "default_width")]
@@ -137,60 +174,74 @@ pub struct FaultSpace {
 
 impl Default for FaultSpace {
     /// The paper's register-file campaign: GPRs plus (on SIRA-64) the FP
-    /// registers; no flags, no memory.
+    /// registers; no flags, no memory, no uncore state.
     fn default() -> FaultSpace {
         FaultSpace {
             gpr: true,
             fpr: true,
-            flags: false,
-            mem: None,
-            text: false,
-            mbu_width: 1,
+            ..FaultSpace::none()
         }
     }
 }
 
 impl FaultSpace {
+    /// The empty space: every domain disabled. Useful as a struct-update
+    /// base for single-domain spaces.
+    pub fn none() -> FaultSpace {
+        FaultSpace {
+            gpr: false,
+            fpr: false,
+            flags: false,
+            mem: None,
+            text: false,
+            cache: false,
+            kernelctl: false,
+            skip: false,
+            mbu_width: 1,
+        }
+    }
+
+    /// The space with exactly one registry domain enabled, by
+    /// [`crate::domain::Domain::name`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown name and on `"mem"`, which needs an address
+    /// range rather than a boolean switch.
+    pub fn only(name: &str) -> FaultSpace {
+        let domain = crate::domain::domain_named(name)
+            .unwrap_or_else(|| panic!("no fault domain named {name:?}"));
+        assert!(
+            domain.flag.is_some(),
+            "domain {name:?} has no boolean switch (memory needs a range)"
+        );
+        let mut space = FaultSpace::none();
+        (domain.enable)(&mut space);
+        space
+    }
+
     /// Total injectable bits for an ISA on `cores` cores, *excluding*
     /// instruction memory (whose size depends on the workload, not the
     /// processor model — see [`FaultSpace::total_bits_with_text`]).
     pub fn total_bits(&self, isa: IsaKind, cores: u32) -> u64 {
-        let layout = isa.reg_file();
-        let mut per_core = 0u64;
-        if self.gpr {
-            per_core += layout.gpr_total_bits();
-        }
-        if self.fpr {
-            per_core += u64::from(layout.fpr_count) * u64::from(layout.fpr_bits);
-        }
-        if self.flags {
-            per_core += 4;
-        }
-        let mut total = per_core * u64::from(cores);
-        if let Some((_, len)) = self.mem {
-            total += u64::from(len) * 8;
-        }
-        total
+        SpaceDims::bare(isa, cores, *self, 0).total_bits()
     }
 
     /// Total injectable bits including the workload's instruction memory
     /// when [`FaultSpace::text`] is enabled — the exact space
-    /// [`crate::sample_faults_with_text`] draws from, which campaign
-    /// reporting records as `space_bits`.
+    /// [`crate::sample_faults_with_text`] draws from. (Campaign
+    /// reporting records the full [`SpaceDims::total_bits`], which also
+    /// counts the uncore domains.)
     pub fn total_bits_with_text(&self, isa: IsaKind, cores: u32, text_words: u32) -> u64 {
-        let text_bits = if self.text {
-            u64::from(text_words) * 32
-        } else {
-            0
-        };
-        self.total_bits(isa, cores) + text_bits
+        SpaceDims::bare(isa, cores, *self, text_words).total_bits()
     }
 }
 
 /// Samples `count` uniform faults over the space and the app lifespan
 /// `[0, lifespan_cycles)` (phase two of the workflow). Deterministic in
 /// `seed`. Instruction-memory faults require the word count and use
-/// [`sample_faults_with_text`].
+/// [`sample_faults_with_text`]; uncore domains require the full
+/// [`SpaceDims`] and use [`sample_space`].
 pub fn sample_faults(
     isa: IsaKind,
     cores: u32,
@@ -215,81 +266,69 @@ pub fn sample_faults_with_text(
     seed: u64,
     text_words: u32,
 ) -> Vec<Fault> {
+    sample_space(
+        &SpaceDims::bare(isa, cores, *space, text_words),
+        lifespan_cycles,
+        count,
+        seed,
+    )
+}
+
+/// Samples `count` uniform faults over the full registry space
+/// described by `dims` — the registry-driven sampler every legacy
+/// entry point wraps. The space layout is the registry's: each
+/// [`Placement::CoreBlock`] domain in registry order, repeated
+/// core-major, then each [`Placement::Tail`] domain in registry order.
+/// Disabled domains contribute zero bits, so the draw sequence (and
+/// therefore every sampled fault) is bit-identical to the historical
+/// hand-written sampler for any historical space.
+pub fn sample_space(dims: &SpaceDims, lifespan_cycles: u64, count: usize, seed: u64) -> Vec<Fault> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let layout = isa.reg_file();
-    let gpr_bits = if space.gpr {
-        layout.gpr_total_bits()
-    } else {
-        0
-    };
-    let fpr_bits = if space.fpr {
-        u64::from(layout.fpr_count) * u64::from(layout.fpr_bits)
-    } else {
-        0
-    };
-    let flag_bits = if space.flags { 4u64 } else { 0 };
-    let per_core = gpr_bits + fpr_bits + flag_bits;
-    let mem_bits = space.mem.map_or(0, |(_, len)| u64::from(len) * 8);
-    let text_bits = if space.text {
-        u64::from(text_words) * 32
-    } else {
-        0
-    };
-    let total = per_core * u64::from(cores) + mem_bits + text_bits;
-    debug_assert_eq!(
-        total,
-        space.total_bits_with_text(isa, cores, text_words),
-        "sampler and reported space size must agree"
-    );
+    let per_core = dims.core_block_bits();
+    let core_total = per_core * u64::from(dims.cores);
+    let total = dims.total_bits();
     assert!(total > 0, "empty fault space");
 
     (0..count)
         .map(|_| {
             let cycle = rng.random_range(0..lifespan_cycles.max(1));
             let pick = rng.random_range(0..total);
-            let target = if pick < per_core * u64::from(cores) {
-                let core = (pick / per_core) as u32;
-                let within = pick % per_core;
-                if within < gpr_bits {
-                    FaultTarget::Gpr {
-                        core,
-                        reg: (within / u64::from(layout.gpr_bits)) as u32,
-                        bit: (within % u64::from(layout.gpr_bits)) as u32,
-                    }
-                } else if within < gpr_bits + fpr_bits {
-                    let w = within - gpr_bits;
-                    FaultTarget::Fpr {
-                        core,
-                        reg: (w / u64::from(layout.fpr_bits)) as u32,
-                        bit: (w % u64::from(layout.fpr_bits)) as u32,
-                    }
-                } else {
-                    FaultTarget::Flag {
-                        core,
-                        which: (within - gpr_bits - fpr_bits) as u32,
-                    }
-                }
-            } else if pick < per_core * u64::from(cores) + mem_bits {
-                let w = pick - per_core * u64::from(cores);
-                let (base, _) = space.mem.expect("mem bits imply mem space");
-                FaultTarget::Mem {
-                    addr: base + (w / 8) as u32,
-                    bit: (w % 8) as u32,
-                }
-            } else {
-                let w = pick - per_core * u64::from(cores) - mem_bits;
-                FaultTarget::Text {
-                    word: (w / 32) as u32,
-                    bit: (w % 32) as u32,
-                }
-            };
             Fault {
-                target,
+                target: decode_offset(dims, per_core, core_total, pick),
                 cycle,
-                width: space.mbu_width.max(1),
+                width: dims.space.mbu_width.max(1),
             }
         })
         .collect()
+}
+
+/// Decodes a uniform offset (`< dims.total_bits()`) into the registry
+/// domain and concrete target it addresses.
+fn decode_offset(dims: &SpaceDims, per_core: u64, core_total: u64, pick: u64) -> FaultTarget {
+    if pick < core_total {
+        let core = (pick / per_core) as u32;
+        let mut within = pick % per_core;
+        for domain in domains()
+            .iter()
+            .filter(|d| d.placement == Placement::CoreBlock)
+        {
+            let bits = (domain.bits)(dims);
+            if within < bits {
+                return (domain.make)(dims, core, within);
+            }
+            within -= bits;
+        }
+    } else {
+        let mut within = pick - core_total;
+        for domain in domains().iter().filter(|d| d.placement == Placement::Tail) {
+            let bits = (domain.bits)(dims);
+            if within < bits {
+                return (domain.make)(dims, 0, within);
+            }
+            within -= bits;
+        }
+    }
+    unreachable!("offset {pick} outside the {} -bit space", dims.total_bits())
 }
 
 #[cfg(test)]
@@ -373,12 +412,8 @@ mod tests {
     #[test]
     fn memory_faults_use_configured_range() {
         let space = FaultSpace {
-            gpr: false,
-            fpr: false,
-            flags: false,
             mem: Some((0x1000, 256)),
-            text: false,
-            mbu_width: 1,
+            ..FaultSpace::none()
         };
         let faults = sample_faults(IsaKind::Sira64, 1, 100, 100, &space, 1);
         for f in &faults {
@@ -394,17 +429,85 @@ mod tests {
 
     #[test]
     fn flags_included_when_enabled() {
-        let space = FaultSpace {
-            gpr: false,
-            fpr: false,
-            flags: true,
-            mem: None,
-            text: false,
-            mbu_width: 1,
-        };
+        let space = FaultSpace::only("flags");
         let faults = sample_faults(IsaKind::Sira64, 2, 100, 50, &space, 3);
         assert!(faults
             .iter()
             .all(|f| matches!(f.target, FaultTarget::Flag { which, .. } if which < 4)));
+    }
+
+    #[test]
+    fn uncore_domains_sample_through_the_registry() {
+        let mut space = FaultSpace::none();
+        space.cache = true;
+        space.kernelctl = true;
+        space.skip = true;
+        let dims = SpaceDims {
+            isa: IsaKind::Sira64,
+            cores: 2,
+            space,
+            text_words: 0,
+            runq_slots: 6,
+            procs: 3,
+            pages_per_proc: 128,
+            l1_lines: 512,
+            l2_lines: 8192,
+        };
+        let faults = sample_space(&dims, 5_000, 400, 11);
+        let mut seen_cache = false;
+        let mut seen_kctl = false;
+        let mut seen_skip = false;
+        for f in &faults {
+            assert!(f.cycle < 5_000);
+            match f.target {
+                FaultTarget::CacheState {
+                    core,
+                    unit,
+                    line,
+                    bit,
+                } => {
+                    seen_cache = true;
+                    assert!(unit <= 2 && bit < 40);
+                    if unit == 2 {
+                        assert!(core == 0 && line < 8192);
+                    } else {
+                        assert!(core < 2 && line < 512);
+                    }
+                }
+                FaultTarget::RunQueue { slot, bit } => {
+                    seen_kctl = true;
+                    assert!(slot < 6 && bit < 32);
+                }
+                FaultTarget::PagePerm { pid, page, bit } => {
+                    seen_kctl = true;
+                    assert!(pid < 3 && page < 128 && bit < 3);
+                }
+                FaultTarget::InstrSkip { core } => {
+                    seen_skip = true;
+                    assert!(core < 2);
+                }
+                other => panic!("unexpected target {other:?}"),
+            }
+        }
+        assert!(seen_cache, "cache dominates this space, must be hit");
+        assert!(seen_kctl || seen_skip, "tiny domains can miss, not both");
+    }
+
+    #[test]
+    fn only_constructs_single_domain_spaces() {
+        assert_eq!(
+            FaultSpace::only("text"),
+            FaultSpace {
+                text: true,
+                ..FaultSpace::none()
+            }
+        );
+        assert_eq!(
+            FaultSpace::only("skip"),
+            FaultSpace {
+                skip: true,
+                ..FaultSpace::none()
+            }
+        );
     }
 }

@@ -53,6 +53,7 @@ mod campaign;
 mod checkpoint;
 mod classes;
 mod classify;
+pub mod domain;
 mod fault;
 mod fleet;
 mod prune;
@@ -66,6 +67,11 @@ pub use campaign::{
 pub use checkpoint::CheckpointSet;
 pub use classes::{class_plan, weighted_tally, ClassPlan, ClassStats};
 pub use classify::{classify, Outcome};
-pub use fault::{sample_faults, sample_faults_with_text, Fault, FaultSpace, FaultTarget};
+pub use domain::{
+    domain_named, domain_of, domains, Domain, OracleMap, Placement, PruneCap, SpaceDims,
+};
+pub use fault::{
+    sample_faults, sample_faults_with_text, sample_space, Fault, FaultSpace, FaultTarget,
+};
 pub use fleet::{run_fleet, run_fleet_with, run_fleet_with_sink, FleetConfig, RecordSink};
 pub use prune::{prune_plan, prune_table, prune_target, Unmodeled, UnmodeledCounts};

@@ -17,9 +17,20 @@
 //! the oracle's decode-differential layer (`fracas_analyze::textfault`)
 //! since PR 8; only words the golden run itself overwrites remain
 //! outside the model.
+//!
+//! What each fault domain lets the oracle decide is declared in its
+//! registry entry ([`crate::domain::Domain::prune`]); this module
+//! projects those capabilities into per-fault decisions. Domains with
+//! only the static landing rule ([`crate::domain::PruneCap::StaticOnly`]
+//! — the uncore and skip domains) prune *only* the provably-unapplied
+//! case: a fault whose timing core never reaches its injection cycle is
+//! never applied, so its run is the golden run and Vanished with golden
+//! counts is exact. Every other fault of such a domain runs for real
+//! and is tallied in its explicit [`Unmodeled`] bucket.
 
 use crate::campaign::Workload;
-use crate::{Fault, FaultTarget, Outcome};
+use crate::domain::{domain_of, PruneCap};
+use crate::{Fault, Outcome};
 use fracas_analyze::{PruneOracle, PruneTarget, PruneVerdict};
 use fracas_cpu::ExecTrace;
 use fracas_isa::IsaKind;
@@ -45,15 +56,42 @@ pub enum Unmodeled {
     /// workloads never self-patch, so this bucket is empty for every
     /// real campaign.
     Text,
+    /// A cache metadata bit: whether a corrupted tag/state/LRU word ever
+    /// surfaces depends on the access stream and coherence traffic,
+    /// which the register-interval trace does not carry.
+    Cache,
+    /// A kernel-control word (run-queue entry or page permission):
+    /// scheduler and protection state live outside the traced
+    /// architectural register file.
+    KernelCtl,
+    /// An applied instruction-skip: there is no flipped bit to trace, so
+    /// the interval oracle has no fingerprint for the dropped
+    /// instruction's effects.
+    Skip,
 }
 
 impl Unmodeled {
+    /// Every reason, declaration order (for exhaustive accounting
+    /// loops — [`UnmodeledCounts::merge`] folds over this so a newly
+    /// added bucket cannot be silently dropped from aggregates).
+    pub const ALL: [Unmodeled; 6] = [
+        Unmodeled::Sira32Fpr,
+        Unmodeled::Mem,
+        Unmodeled::Text,
+        Unmodeled::Cache,
+        Unmodeled::KernelCtl,
+        Unmodeled::Skip,
+    ];
+
     /// Stable display name (audit reports, stats bins).
     pub fn name(self) -> &'static str {
         match self {
             Unmodeled::Sira32Fpr => "sira32-fpr",
             Unmodeled::Mem => "mem",
             Unmodeled::Text => "text",
+            Unmodeled::Cache => "cache",
+            Unmodeled::KernelCtl => "kernelctl",
+            Unmodeled::Skip => "skip",
         }
     }
 }
@@ -62,40 +100,63 @@ impl Unmodeled {
 /// architectural location, with the injector's wrapping rules
 /// (`reg % gpr_count`, SIRA-32 register 15 = PC, multi-bit flag upsets
 /// spreading over `(which + i) % 4`) applied. `Err` for targets the
-/// oracle does not model — see [`Unmodeled`].
+/// oracle does not model — see [`Unmodeled`]. A projection of the
+/// target domain's [`crate::domain::Domain::prune`] capability.
 pub fn prune_target(isa: IsaKind, fault: &Fault) -> Result<(usize, PruneTarget), Unmodeled> {
-    match fault.target {
-        FaultTarget::Gpr { core, reg, .. } => {
-            let target = match isa {
-                IsaKind::Sira32 if reg % 16 == 15 => PruneTarget::Pc,
-                IsaKind::Sira32 => PruneTarget::Gpr { reg: reg % 16 },
-                IsaKind::Sira64 => PruneTarget::Gpr { reg: reg % 32 },
-            };
-            Ok((core as usize, target))
-        }
-        FaultTarget::Fpr { core, reg, .. } => match isa {
-            IsaKind::Sira32 => Err(Unmodeled::Sira32Fpr),
-            IsaKind::Sira64 => Ok((core as usize, PruneTarget::Fpr { reg: reg % 32 })),
+    match domain_of(&fault.target).prune {
+        PruneCap::Oracle(map) => map(isa, fault),
+        PruneCap::StaticOnly(reason) | PruneCap::Unmodeled(reason) => Err(reason),
+    }
+}
+
+/// What the prune layer concluded about one fault, before any verdict
+/// lookup: synthesize a proven outcome, consult the interval oracle at
+/// the mapped coordinates, or run for real in a named bucket. Shared by
+/// [`prune_plan`] and the class planner so both modes dispatch
+/// identically.
+pub(crate) enum Decision {
+    /// The outcome is proven without consulting interval verdicts (a
+    /// static-only domain's fault provably never applied: the run is
+    /// the golden run).
+    Verdict(Outcome),
+    /// The fault maps onto the interval oracle at these coordinates.
+    Oracle(usize, PruneTarget),
+    /// The fault must run for real, tallied in this bucket.
+    Unmodeled(Unmodeled),
+}
+
+/// Decides how one fault prunes, from its domain's registry capability:
+/// oracle-mapped domains project through their coordinate map (with the
+/// self-patched-text escape folded in), static-only domains prune the
+/// provably-unapplied case via [`PruneOracle::applied`], and unmodeled
+/// domains always run for real.
+pub(crate) fn prune_decision(oracle: &PruneOracle, isa: IsaKind, fault: &Fault) -> Decision {
+    match domain_of(&fault.target).prune {
+        PruneCap::Oracle(map) => match map(isa, fault) {
+            Ok((core, target)) => {
+                if let PruneTarget::Text { word, .. } = target {
+                    if oracle.text_patched(word) {
+                        // Self-patched word: the one text case the
+                        // decode-differential layer cannot model. Runs
+                        // for real, counted separately from oracle
+                        // abstentions.
+                        return Decision::Unmodeled(Unmodeled::Text);
+                    }
+                }
+                Decision::Oracle(core, target)
+            }
+            Err(reason) => Decision::Unmodeled(reason),
         },
-        FaultTarget::Flag { core, which } => {
-            let mut mask = 0u8;
-            for i in 0..fault.width.max(1) {
-                mask |= 1 << ((which + i) % 4);
+        PruneCap::StaticOnly(reason) => {
+            match oracle.applied(fault.timing_core(), fault.cycle) {
+                // The timing core halts before the injection cycle: the
+                // fault is never applied, the "faulty" run is the golden
+                // run, and Vanished with golden counts is exact.
+                Some(false) => Decision::Verdict(Outcome::Vanished),
+                _ => Decision::Unmodeled(reason),
             }
-            Ok((core as usize, PruneTarget::Flags { mask }))
         }
-        FaultTarget::Mem { .. } => Err(Unmodeled::Mem),
-        FaultTarget::Text { word, bit } => {
-            // `Fault::apply` calls `flip_text(word, bit + i)` per upset
-            // bit and `flip_text` wraps the bit index within the word,
-            // so any width folds to one XOR mask on one word. Text
-            // faults always time against core 0.
-            let mut mask = 0u32;
-            for i in 0..fault.width.max(1) {
-                mask |= 1 << ((bit + i) % 32);
-            }
-            Ok((0, PruneTarget::Text { word, mask }))
-        }
+        PruneCap::Unmodeled(reason) => Decision::Unmodeled(reason),
     }
 }
 
@@ -111,31 +172,68 @@ pub struct UnmodeledCounts {
     pub mem: u32,
     /// Text faults.
     pub text: u32,
+    /// Cache metadata faults (applied; unapplied ones prune statically).
+    #[serde(default)]
+    pub cache: u32,
+    /// Kernel-control faults (applied).
+    #[serde(default)]
+    pub kernelctl: u32,
+    /// Instruction-skip faults (applied).
+    #[serde(default)]
+    pub skip: u32,
 }
 
 impl UnmodeledCounts {
+    /// The one field-to-reason mapping; every accessor routes through
+    /// it so a new bucket cannot be wired inconsistently.
+    fn slot(&mut self, reason: Unmodeled) -> &mut u32 {
+        match reason {
+            Unmodeled::Sira32Fpr => &mut self.sira32_fpr,
+            Unmodeled::Mem => &mut self.mem,
+            Unmodeled::Text => &mut self.text,
+            Unmodeled::Cache => &mut self.cache,
+            Unmodeled::KernelCtl => &mut self.kernelctl,
+            Unmodeled::Skip => &mut self.skip,
+        }
+    }
+
     /// Bumps the bucket for `reason`.
     pub fn record(&mut self, reason: Unmodeled) {
+        *self.slot(reason) += 1;
+    }
+
+    /// Occurrences of `reason`.
+    pub fn count(&self, reason: Unmodeled) -> u32 {
         match reason {
-            Unmodeled::Sira32Fpr => self.sira32_fpr += 1,
-            Unmodeled::Mem => self.mem += 1,
-            Unmodeled::Text => self.text += 1,
+            Unmodeled::Sira32Fpr => self.sira32_fpr,
+            Unmodeled::Mem => self.mem,
+            Unmodeled::Text => self.text,
+            Unmodeled::Cache => self.cache,
+            Unmodeled::KernelCtl => self.kernelctl,
+            Unmodeled::Skip => self.skip,
+        }
+    }
+
+    /// Folds another tally into this one, bucket by bucket. The fold
+    /// runs over [`Unmodeled::ALL`], so aggregation code (e.g. the
+    /// mining crate's collapse summary) picks up new buckets the moment
+    /// they exist instead of hand-summing a stale field list.
+    pub fn merge(&mut self, other: &UnmodeledCounts) {
+        for reason in Unmodeled::ALL {
+            *self.slot(reason) += other.count(reason);
         }
     }
 
     /// Total faults outside the model.
     pub fn total(&self) -> u32 {
-        self.sira32_fpr + self.mem + self.text
+        self.sira32_fpr + self.mem + self.text + self.cache + self.kernelctl + self.skip
     }
 
     /// `"3 sira32-fpr + 2 mem"`-style breakdown (empty when zero).
     pub fn breakdown(&self) -> String {
         let mut parts = Vec::new();
-        for (n, u) in [
-            (self.sira32_fpr, Unmodeled::Sira32Fpr),
-            (self.mem, Unmodeled::Mem),
-            (self.text, Unmodeled::Text),
-        ] {
+        for u in Unmodeled::ALL {
+            let n = self.count(u);
             if n > 0 {
                 parts.push(format!("{n} {}", u.name()));
             }
@@ -163,29 +261,20 @@ pub fn prune_plan(
     let mut unmodeled = UnmodeledCounts::default();
     let table = faults
         .iter()
-        .map(|fault| {
-            let (core, target) = match prune_target(image.isa, fault) {
-                Ok(t) => t,
-                Err(reason) => {
-                    unmodeled.record(reason);
-                    return None;
-                }
-            };
-            if let PruneTarget::Text { word, .. } = target {
-                if oracle.text_patched(word) {
-                    // Self-patched word: the one text case the
-                    // decode-differential layer cannot model. Runs for
-                    // real, counted separately from oracle abstentions.
-                    unmodeled.record(Unmodeled::Text);
-                    return None;
-                }
+        .map(|fault| match prune_decision(&oracle, image.isa, fault) {
+            Decision::Verdict(outcome) => Some(outcome),
+            Decision::Oracle(core, target) => {
+                oracle
+                    .verdict(core, target, fault.cycle)
+                    .map(|verdict| match verdict {
+                        PruneVerdict::Vanished => Outcome::Vanished,
+                        PruneVerdict::SilentResidue => Outcome::Ona,
+                    })
             }
-            oracle
-                .verdict(core, target, fault.cycle)
-                .map(|verdict| match verdict {
-                    PruneVerdict::Vanished => Outcome::Vanished,
-                    PruneVerdict::SilentResidue => Outcome::Ona,
-                })
+            Decision::Unmodeled(reason) => {
+                unmodeled.record(reason);
+                None
+            }
         })
         .collect();
     (table, unmodeled)
@@ -204,6 +293,7 @@ pub fn prune_table(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::FaultTarget;
 
     #[test]
     fn register_indices_wrap_like_the_injector() {
@@ -286,6 +376,48 @@ mod tests {
     }
 
     #[test]
+    fn uncore_targets_land_in_their_own_buckets() {
+        // Every new domain names its bucket: no silent `None` path.
+        let f = |target| Fault {
+            target,
+            cycle: 0,
+            width: 1,
+        };
+        let cache = FaultTarget::CacheState {
+            core: 0,
+            unit: 1,
+            line: 3,
+            bit: 33,
+        };
+        assert_eq!(
+            prune_target(IsaKind::Sira64, &f(cache)),
+            Err(Unmodeled::Cache)
+        );
+        assert_eq!(
+            prune_target(
+                IsaKind::Sira32,
+                &f(FaultTarget::RunQueue { slot: 0, bit: 5 })
+            ),
+            Err(Unmodeled::KernelCtl)
+        );
+        assert_eq!(
+            prune_target(
+                IsaKind::Sira64,
+                &f(FaultTarget::PagePerm {
+                    pid: 1,
+                    page: 2,
+                    bit: 0
+                })
+            ),
+            Err(Unmodeled::KernelCtl)
+        );
+        assert_eq!(
+            prune_target(IsaKind::Sira64, &f(FaultTarget::InstrSkip { core: 1 })),
+            Err(Unmodeled::Skip)
+        );
+    }
+
+    #[test]
     fn text_targets_fold_their_width_into_one_mask() {
         // A text fault maps onto the decode-differential oracle: one
         // word, one XOR mask, timed against core 0. Multi-bit upsets
@@ -330,7 +462,29 @@ mod tests {
         c.record(Unmodeled::Sira32Fpr);
         c.record(Unmodeled::Sira32Fpr);
         c.record(Unmodeled::Mem);
-        assert_eq!(c.total(), 3);
-        assert_eq!(c.breakdown(), "2 sira32-fpr + 1 mem");
+        c.record(Unmodeled::Skip);
+        assert_eq!(c.total(), 4);
+        assert_eq!(c.breakdown(), "2 sira32-fpr + 1 mem + 1 skip");
+        assert_eq!(c.count(Unmodeled::Skip), 1);
+        assert_eq!(c.count(Unmodeled::Cache), 0);
+    }
+
+    #[test]
+    fn merge_folds_every_bucket() {
+        // Fill every bucket with a distinct count so a dropped field
+        // cannot cancel out.
+        let mut a = UnmodeledCounts::default();
+        let mut b = UnmodeledCounts::default();
+        for (i, reason) in Unmodeled::ALL.into_iter().enumerate() {
+            for _ in 0..=i {
+                a.record(reason);
+            }
+            b.record(reason);
+        }
+        a.merge(&b);
+        for (i, reason) in Unmodeled::ALL.into_iter().enumerate() {
+            assert_eq!(a.count(reason), i as u32 + 2, "{}", reason.name());
+        }
+        assert_eq!(a.total(), 27);
     }
 }

@@ -154,14 +154,7 @@ fn database_json_roundtrips_through_disk_format() {
 fn text_faults_hit_instruction_memory() {
     let scenario = Scenario::new(App::Is, Model::Serial, 1, IsaKind::Sira64).unwrap();
     let workload = Workload::from_scenario(&scenario).unwrap();
-    let space = fracas_inject::FaultSpace {
-        gpr: false,
-        fpr: false,
-        flags: false,
-        mem: None,
-        text: true,
-        mbu_width: 1,
-    };
+    let space = fracas_inject::FaultSpace::only("text");
     let result = run_campaign(
         &workload,
         &CampaignConfig {

@@ -252,14 +252,7 @@ fn ep_text_only_classes_match_full_campaign() {
         let w = workload(App::Ep, Model::Serial, 1, isa);
         let config = CampaignConfig {
             faults: 120,
-            space: FaultSpace {
-                gpr: false,
-                fpr: false,
-                flags: false,
-                mem: None,
-                text: true,
-                mbu_width: 1,
-            },
+            space: FaultSpace::only("text"),
             ..CampaignConfig::default()
         };
         let classed = differential(&w, &config);

@@ -280,6 +280,33 @@ impl Kernel {
         &mut self.machine
     }
 
+    /// Fault hook: XORs bit `bit % 32` into the run-queue entry at
+    /// `slot` — the kernel-control fault model's view of one scheduler
+    /// SRAM word. Slots past the queue's current occupancy are ignored
+    /// (the strike lands in an empty entry), so out-of-range flips are
+    /// no-ops and the hook stays a pure involution. A corrupted entry
+    /// that still names a Ready thread dispatches that thread out of
+    /// order; anything else is discarded by the ready-queue pop's
+    /// validation and surfaces as a lost wakeup.
+    pub fn flip_runq(&mut self, slot: u32, bit: u32) {
+        self.sched_dirty = true;
+        if let Some(entry) = self.ready.get_mut(slot as usize) {
+            *entry ^= 1 << (bit % 32);
+        }
+    }
+
+    /// Fault hook: toggles one permission bit (`bit % 3`: read, write,
+    /// execute) of `page` in process `pid`'s page-permission map — the
+    /// kernel-control fault model's view of a page-table entry.
+    /// Out-of-range pids and pages are ignored (no-op, involution
+    /// preserved).
+    pub fn flip_page_perm(&mut self, pid: u32, page: u32, bit: u32) {
+        self.sched_dirty = true;
+        if let Some(p) = self.procs.get_mut(pid as usize) {
+            p.perm.flip_page_bit(page, bit);
+        }
+    }
+
     /// Scheduler ticks executed so far (the quantity [`Limits::max_steps`]
     /// bounds).
     pub fn steps(&self) -> u64 {
@@ -625,6 +652,27 @@ impl Kernel {
         self.machine.trace_dispatch(core, tid);
     }
 
+    /// Pops the next dispatchable entry off the run queue, discarding
+    /// entries that do not name a Ready thread. In a fault-free run
+    /// every queued entry is a Ready thread and nothing is ever
+    /// discarded; a run-queue strike ([`Kernel::flip_runq`]) can turn
+    /// an entry into an out-of-range tid or a duplicate of a thread
+    /// that is already running or blocked, and the scheduler's recovery
+    /// is to drop the bogus entry rather than dispatch garbage — the
+    /// lost wakeup then surfaces as a Hang or wrong-exit outcome.
+    fn pop_ready(&mut self) -> Option<Tid> {
+        while let Some(tid) = self.ready.pop_front() {
+            if self
+                .threads
+                .get(tid as usize)
+                .is_some_and(|t| t.state == ThreadState::Ready)
+            {
+                return Some(tid);
+            }
+        }
+        None
+    }
+
     /// Places ready threads on parked cores (lowest-clock cores first).
     fn fill_cores(&mut self) {
         loop {
@@ -635,7 +683,7 @@ impl Kernel {
                 .filter(|&c| self.core_thread[c].is_none())
                 .min_by_key(|&c| (self.machine.core(c).cycles(), c));
             let Some(core) = parked else { return };
-            let tid = self.ready.pop_front().expect("checked non-empty");
+            let Some(tid) = self.pop_ready() else { return };
             self.dispatch(core, tid);
         }
     }
@@ -661,7 +709,7 @@ impl Kernel {
     /// Parks `core` or hands it to the next ready thread.
     fn release_core(&mut self, core: usize) {
         self.core_thread[core] = None;
-        if let Some(next) = self.ready.pop_front() {
+        if let Some(next) = self.pop_ready() {
             self.dispatch(core, next);
         } else {
             self.power_transitions += 1;
@@ -685,7 +733,9 @@ impl Kernel {
         thread.state = ThreadState::Ready;
         thread.ready_at = now;
         self.ready.push_back(tid);
-        let next = self.ready.pop_front().expect("checked non-empty");
+        // Cannot fail: the current thread was just queued as Ready, so
+        // validation pops it at the latest.
+        let next = self.pop_ready().expect("current thread is queued ready");
         self.core_thread[core] = None;
         self.dispatch(core, next);
         true
@@ -905,7 +955,9 @@ impl Kernel {
                     thread.state = ThreadState::Ready;
                     thread.ready_at = now;
                     self.ready.push_back(tid);
-                    let next = self.ready.pop_front().expect("checked non-empty");
+                    // Cannot fail: the yielding thread was just queued
+                    // as Ready, so validation pops it at the latest.
+                    let next = self.pop_ready().expect("current thread is queued ready");
                     self.core_thread[core] = None;
                     self.dispatch(core, next);
                 }
@@ -1260,6 +1312,58 @@ mod tests {
         });
         assert_eq!(outcome, RunOutcome::CycleLimit);
         assert!(outcome.is_hang());
+    }
+
+    #[test]
+    fn runq_flip_is_an_involution() {
+        let spec = BootSpec {
+            processes: 3,
+            ..BootSpec::serial()
+        };
+        // 3 processes on 1 core: threads 1 and 2 sit in the run queue.
+        let mut k = boot(IsaKind::Sira64, 1, spec, exit0);
+        assert_eq!(k.ready.len(), 2);
+        let before = k.ready.clone();
+        k.flip_runq(0, 35); // bit 35 wraps onto bit 3
+        assert_eq!(k.ready[0], before[0] ^ 8);
+        k.flip_runq(0, 3);
+        assert_eq!(k.ready, before);
+        // Slots past the queue's occupancy are ignored.
+        k.flip_runq(99, 0);
+        assert_eq!(k.ready, before);
+    }
+
+    #[test]
+    fn corrupted_runq_entry_surfaces_as_hang() {
+        let spec = BootSpec {
+            processes: 3,
+            ..BootSpec::serial()
+        };
+        let mut k = boot(IsaKind::Sira64, 1, spec, exit0);
+        // Entry 0 (tid 1) becomes an out-of-range tid; the validated
+        // pop discards it, so thread 1's wakeup is lost for good.
+        k.flip_runq(0, 20);
+        let outcome = k.run(&Limits::default());
+        assert!(outcome.is_hang(), "{outcome}");
+    }
+
+    #[test]
+    fn page_perm_flip_segfaults_the_process() {
+        let mut k = boot(IsaKind::Sira64, 1, BootSpec::serial(), exit0);
+        let page = k.machine().core(0).pc() / fracas_mem::PAGE_SIZE;
+        // Drop execute on the text page: the next fetch traps.
+        k.flip_page_perm(0, page, 2);
+        let outcome = k.run(&Limits::default());
+        assert!(matches!(outcome, RunOutcome::Trapped { .. }), "{outcome}");
+
+        // Involution: a second flip (bit 5 wraps onto execute) restores
+        // the page and the run exits cleanly.
+        let mut k2 = boot(IsaKind::Sira64, 1, BootSpec::serial(), exit0);
+        k2.flip_page_perm(0, page, 2);
+        k2.flip_page_perm(0, page, 5);
+        assert!(k2.run(&Limits::default()).is_clean_exit());
+        // Out-of-range pids are ignored.
+        k2.flip_page_perm(99, page, 0);
     }
 
     #[test]

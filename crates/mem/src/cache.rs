@@ -49,6 +49,20 @@ impl CacheParams {
             mem_cycles: 48,
         }
     }
+
+    /// Number of lines in one L1 tag store (`set_count * ways`; 512 for
+    /// the paper's 32 kB / 4-way geometry). This is the cache-state
+    /// fault space's per-L1 extent, so it must match the slab
+    /// [`MemSystem`] actually allocates.
+    pub fn l1_lines(&self) -> u32 {
+        (self.l1_size / self.line / self.l1_ways).max(1) * self.l1_ways
+    }
+
+    /// Number of lines in the shared L2 tag store (8192 for the paper's
+    /// 512 kB / 8-way geometry).
+    pub fn l2_lines(&self) -> u32 {
+        (self.l2_size / self.line / self.l2_ways).max(1) * self.l2_ways
+    }
 }
 
 impl Default for CacheParams {
@@ -87,12 +101,39 @@ impl CacheStats {
 }
 
 /// MESI line states (the model distinguishes dirty vs clean and
-/// shared vs exclusive for the coherence counters).
+/// shared vs exclusive for the coherence counters). `Invalid` never
+/// arises in a fault-free run — occupancy is tracked by the
+/// [`INVALID_TAG`] sentinel instead — it exists so a particle strike on
+/// the 2-bit state field ([`SetAssoc::flip_line_bit`]) has somewhere to
+/// land; an `Invalid` line misses on lookup like an empty way.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Mesi {
     Modified,
     Exclusive,
     Shared,
+    Invalid,
+}
+
+impl Mesi {
+    /// The 2-bit SRAM encoding of the state field the fault model
+    /// flips: M=0, E=1, S=2, I=3.
+    fn code(self) -> u32 {
+        match self {
+            Mesi::Modified => 0,
+            Mesi::Exclusive => 1,
+            Mesi::Shared => 2,
+            Mesi::Invalid => 3,
+        }
+    }
+
+    fn from_code(code: u32) -> Mesi {
+        match code & 3 {
+            0 => Mesi::Modified,
+            1 => Mesi::Exclusive,
+            2 => Mesi::Shared,
+            _ => Mesi::Invalid,
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -164,7 +205,7 @@ impl SetAssoc {
         let (set, tag) = self.index(addr);
         let line = self.lines[set * self.ways..(set + 1) * self.ways]
             .iter_mut()
-            .find(|l| l.tag == tag)?;
+            .find(|l| l.tag == tag && l.state != Mesi::Invalid)?;
         line.lru = tick;
         Some(line)
     }
@@ -198,7 +239,9 @@ impl SetAssoc {
     fn remove(&mut self, addr: u32) -> Option<Line> {
         let (set, tag) = self.index(addr);
         let set = &mut self.lines[set * self.ways..(set + 1) * self.ways];
-        let i = set.iter().position(|l| l.tag == tag)?;
+        let i = set
+            .iter()
+            .position(|l| l.tag == tag && l.state != Mesi::Invalid)?;
         let line = set[i];
         set[i] = Line {
             tag: INVALID_TAG,
@@ -206,6 +249,28 @@ impl SetAssoc {
             lru: 0,
         };
         Some(line)
+    }
+
+    /// Fault hook: XORs one bit of the `line`-th tag-store entry.
+    /// The 40-bit per-line layout mirrors the SRAM a strike would hit —
+    /// bits 0–31 the tag, 32–33 the 2-bit MESI state code, 34–39 the
+    /// low six bits of the LRU stamp. `bit` wraps at 40 (the domain's
+    /// adjacent-bit modulus); out-of-range lines are ignored. Pure XOR
+    /// on every field, so applying the same flip twice is the identity.
+    fn flip_line_bit(&mut self, line: usize, bit: u32) {
+        let Some(l) = self.lines.get_mut(line) else {
+            return;
+        };
+        match bit % 40 {
+            b @ 0..=31 => l.tag ^= 1 << b,
+            b @ 32..=33 => l.state = Mesi::from_code(l.state.code() ^ (1 << (b - 32))),
+            b => l.lru ^= 1 << (b - 34),
+        }
+    }
+
+    /// Number of lines in this tag store.
+    fn line_count(&self) -> usize {
+        self.lines.len()
     }
 }
 
@@ -234,6 +299,18 @@ pub struct MemSystem {
 }
 
 impl MemSystem {
+    /// [`MemSystem::flip_bit`] unit selector: a per-core L1 instruction
+    /// tag store.
+    pub const UNIT_L1I: u32 = 0;
+    /// [`MemSystem::flip_bit`] unit selector: a per-core L1 data tag
+    /// store.
+    pub const UNIT_L1D: u32 = 1;
+    /// [`MemSystem::flip_bit`] unit selector: the shared L2 tag store.
+    pub const UNIT_L2: u32 = 2;
+    /// Bits per tag-store line in the cache-state fault model (32 tag +
+    /// 2 MESI state + 6 LRU-stamp bits).
+    pub const LINE_BITS: u32 = 40;
+
     /// Creates a hierarchy for `cores` cores.
     pub fn new(cores: usize, params: CacheParams) -> MemSystem {
         MemSystem {
@@ -395,6 +472,48 @@ impl MemSystem {
     pub fn l2_stats(&self) -> CacheStats {
         self.l2_stats
     }
+
+    /// Lines per L1 tag store (each of L1I and L1D, per core).
+    pub fn l1_line_count(&self) -> usize {
+        self.l1i.first().map_or(0, SetAssoc::line_count)
+    }
+
+    /// Lines in the shared L2 tag store.
+    pub fn l2_line_count(&self) -> usize {
+        self.l2.line_count()
+    }
+
+    /// Fault hook: XORs one bit of a tag-store line. `unit` selects the
+    /// store — [`MemSystem::UNIT_L1I`], [`MemSystem::UNIT_L1D`] or
+    /// [`MemSystem::UNIT_L2`] (`core` is ignored for the shared L2) —
+    /// and `bit` addresses the 40-bit line layout of
+    /// `SetAssoc::flip_line_bit` (tag, MESI code, low LRU bits),
+    /// wrapping at 40. Out-of-range units, cores and lines are ignored.
+    ///
+    /// The same-line fetch memo (`fetch_line`) is deliberately *not*
+    /// reset by an L1I flip: the memo models the core's fetch line
+    /// buffer, which holds the streamed instructions themselves and is
+    /// untouched by a strike on the tag SRAM behind it. The corruption
+    /// becomes observable at the next fetch that leaves the buffered
+    /// line — the first real tag lookup — and keeping the hook pure
+    /// XOR/toggle preserves the apply-twice-is-identity involution every
+    /// registered fault domain guarantees.
+    pub fn flip_bit(&mut self, unit: u32, core: usize, line: usize, bit: u32) {
+        match unit {
+            Self::UNIT_L1I => {
+                if let Some(l1i) = self.l1i.get_mut(core) {
+                    l1i.flip_line_bit(line, bit);
+                }
+            }
+            Self::UNIT_L1D => {
+                if let Some(l1d) = self.l1d.get_mut(core) {
+                    l1d.flip_line_bit(line, bit);
+                }
+            }
+            Self::UNIT_L2 => self.l2.flip_line_bit(line, bit),
+            _ => {}
+        }
+    }
 }
 
 #[cfg(test)]
@@ -488,6 +607,103 @@ mod tests {
         // 32 kB / 64 B / 4 ways = 128 sets; 512 kB / 64 B / 8 = 1024 sets.
         let m = MemSystem::new(4, CacheParams::paper());
         assert_eq!(m.cores(), 4);
+    }
+
+    #[test]
+    fn line_counts_match_paper_geometry() {
+        let p = CacheParams::paper();
+        assert_eq!(p.l1_lines(), 512, "32 kB / 64 B = 512 lines");
+        assert_eq!(p.l2_lines(), 8192, "512 kB / 64 B = 8192 lines");
+        let m = MemSystem::new(2, p);
+        assert_eq!(m.l1_line_count(), 512);
+        assert_eq!(m.l2_line_count(), 8192);
+    }
+
+    #[test]
+    fn line_flips_are_involutions() {
+        let mut m = MemSystem::new(2, small());
+        m.access(0, Access::DataWrite, 0x3000);
+        m.access(0, Access::Fetch, 0x1000);
+        m.access(1, Access::DataRead, 0x2000);
+        let golden = m.clone();
+        for unit in [MemSystem::UNIT_L1I, MemSystem::UNIT_L1D, MemSystem::UNIT_L2] {
+            for bit in [0, 17, 31, 32, 33, 34, 39] {
+                let mut faulty = golden.clone();
+                faulty.flip_bit(unit, 0, 3, bit);
+                faulty.flip_bit(unit, 0, 3, bit);
+                assert_eq!(faulty, golden, "unit {unit} bit {bit}");
+            }
+        }
+        // Out-of-range coordinates are ignored, twice over.
+        let mut faulty = golden.clone();
+        faulty.flip_bit(9, 0, 0, 0);
+        faulty.flip_bit(MemSystem::UNIT_L1D, 99, 0, 0);
+        faulty.flip_bit(MemSystem::UNIT_L2, 0, 1 << 20, 0);
+        assert_eq!(faulty, golden);
+    }
+
+    #[test]
+    fn state_flip_to_invalid_forces_a_miss() {
+        let mut m = MemSystem::new(1, small());
+        m.access(0, Access::DataRead, 0x1000);
+        assert_eq!(m.access(0, Access::DataRead, 0x1000), 0, "resident");
+        // Find the line and flip its state code from Exclusive (1) to
+        // Invalid (3): XOR bit 33 (state bit 1 of the 2-bit code).
+        let line = m.l1d[0]
+            .lines
+            .iter()
+            .position(|l| l.tag != INVALID_TAG)
+            .expect("one resident line");
+        m.flip_bit(MemSystem::UNIT_L1D, 0, line, 33);
+        assert_eq!(m.l1d[0].lines[line].state, Mesi::Invalid);
+        let misses = m.l1d_stats(0).misses;
+        assert!(
+            m.access(0, Access::DataRead, 0x1000) > 0,
+            "invalidated line must miss"
+        );
+        assert_eq!(m.l1d_stats(0).misses, misses + 1);
+    }
+
+    #[test]
+    fn l1i_flip_shows_after_the_fetch_buffer_moves_on() {
+        let mut m = MemSystem::new(1, small());
+        m.access(0, Access::Fetch, 0x1000);
+        let line = m.l1i[0]
+            .lines
+            .iter()
+            .position(|l| l.tag != INVALID_TAG)
+            .expect("one resident line");
+        m.flip_bit(MemSystem::UNIT_L1I, 0, line, 5);
+        // Same-line repeat fetch still streams from the fetch line
+        // buffer — a tag-SRAM strike does not touch the buffered
+        // instructions.
+        let hits = m.l1i_stats(0).hits;
+        assert_eq!(m.access(0, Access::Fetch, 0x1004), 0);
+        assert_eq!(m.l1i_stats(0).hits, hits + 1);
+        // Once fetch leaves the line and returns, the corrupted tag is
+        // consulted for real and the line misses.
+        m.access(0, Access::Fetch, 0x2000);
+        let misses = m.l1i_stats(0).misses;
+        assert!(m.access(0, Access::Fetch, 0x1000) > 0, "tag corrupted");
+        assert_eq!(m.l1i_stats(0).misses, misses + 1);
+    }
+
+    #[test]
+    fn tag_flip_can_create_a_phantom_hit() {
+        let mut m = MemSystem::new(1, small());
+        m.access(0, Access::DataRead, 0x1000);
+        let line = m.l1d[0]
+            .lines
+            .iter()
+            .position(|l| l.tag != INVALID_TAG)
+            .expect("one resident line");
+        // Flip tag bit 0: 0x1000's line now answers for a different
+        // address in the same set (aliasing, the classic tag-SRAM
+        // failure mode) and no longer for 0x1000 itself.
+        m.flip_bit(MemSystem::UNIT_L1D, 0, line, 0);
+        let misses = m.l1d_stats(0).misses;
+        m.access(0, Access::DataRead, 0x1000);
+        assert_eq!(m.l1d_stats(0).misses, misses + 1);
     }
 
     #[test]

@@ -123,6 +123,27 @@ impl PermissionMap {
         self.map_range(start, len, Perms::NONE);
     }
 
+    /// Number of pages the map covers.
+    pub fn page_count(&self) -> u32 {
+        self.pages.len() as u32
+    }
+
+    /// Fault hook: toggles one permission bit of `page` — the
+    /// kernel-control fault model's view of a page-table entry. `bit`
+    /// selects read (0), write (1) or execute (2) and wraps at 3 (the
+    /// domain's adjacent-bit modulus); out-of-range pages are ignored.
+    /// A pure toggle, so applying the same flip twice is the identity.
+    pub fn flip_page_bit(&mut self, page: u32, bit: u32) {
+        let Some(p) = self.pages.get_mut(page as usize) else {
+            return;
+        };
+        match bit % 3 {
+            0 => p.read = !p.read,
+            1 => p.write = !p.write,
+            _ => p.exec = !p.exec,
+        }
+    }
+
     /// The permissions of the page containing `addr`.
     pub fn perms_at(&self, addr: u32) -> Perms {
         self.pages
@@ -222,6 +243,32 @@ mod tests {
         assert!(map.check(0x1800, 4, AccessKind::Read).is_ok());
         map.unmap_range(0x1000, 0x1000);
         assert!(map.check(0x1800, 4, AccessKind::Read).is_err());
+    }
+
+    #[test]
+    fn page_bit_flips_toggle_and_invert() {
+        let mut map = PermissionMap::new(1 << 20);
+        map.map_range(0x1000, PAGE_SIZE, Perms::RX);
+        // Flip the write bit of page 1: RX becomes RWX.
+        map.flip_page_bit(1, 1);
+        assert!(map.check(0x1000, 4, AccessKind::Write).is_ok());
+        // Flip the exec bit (bit 5 wraps onto 2): RWX becomes RW.
+        map.flip_page_bit(1, 5);
+        assert!(map.check(0x1000, 4, AccessKind::Execute).is_err());
+        // Involution: undoing both flips restores RX exactly.
+        map.flip_page_bit(1, 1);
+        map.flip_page_bit(1, 2);
+        assert_eq!(map.perms_at(0x1000), Perms::RX);
+        // Out-of-range pages are ignored.
+        let before = map.clone();
+        map.flip_page_bit(1 << 20, 0);
+        assert_eq!(map, before);
+    }
+
+    #[test]
+    fn page_count_covers_the_address_space() {
+        assert_eq!(PermissionMap::new(1 << 20).page_count(), 256);
+        assert_eq!(PermissionMap::new(PAGE_SIZE + 1).page_count(), 2);
     }
 
     #[test]

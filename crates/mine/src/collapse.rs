@@ -52,9 +52,7 @@ impl CollapseSummary {
         self.stats.live_classes += stats.live_classes;
         self.stats.members += stats.members;
         self.stats.singletons += stats.singletons;
-        self.stats.unmodeled.sira32_fpr += stats.unmodeled.sira32_fpr;
-        self.stats.unmodeled.mem += stats.unmodeled.mem;
-        self.stats.unmodeled.text += stats.unmodeled.text;
+        self.stats.unmodeled.merge(&stats.unmodeled);
     }
 
     /// Executed share of all sampled faults, in `[0, 1]`.
@@ -158,5 +156,35 @@ mod tests {
         manual.add(&classed.classes.expect("classed"));
         assert_eq!(manual, two);
         assert_eq!(CollapseSummary::default().decided_fraction(), 0.0);
+    }
+
+    #[test]
+    fn add_keeps_every_unmodeled_bucket() {
+        // Regression: the fold must carry the uncore buckets (cache,
+        // kernelctl, skip), not just the original three — a hand-summed
+        // field list silently dropped new buckets once.
+        use fracas_inject::{ClassStats, Unmodeled, UnmodeledCounts};
+        let mut unmodeled = UnmodeledCounts::default();
+        for reason in Unmodeled::ALL {
+            unmodeled.record(reason);
+        }
+        let stats = ClassStats {
+            faults: 6,
+            singletons: 6,
+            unmodeled,
+            ..ClassStats::default()
+        };
+        let mut summary = CollapseSummary::default();
+        summary.add(&stats);
+        summary.add(&stats);
+        for reason in Unmodeled::ALL {
+            assert_eq!(
+                summary.stats.unmodeled.count(reason),
+                2,
+                "{}",
+                reason.name()
+            );
+        }
+        assert_eq!(summary.stats.unmodeled.total(), 12);
     }
 }

@@ -34,9 +34,9 @@ pub use correlate::{correlation_matrix, strongest, Correlation, METRICS, RATES};
 pub use db::{parse_id, Database, Key};
 pub use registers::{register_criticality, RegisterCriticality};
 pub use report::{
-    composition_stats, hang_index_table, masking_comparison, mem_table, mismatch_rows,
-    mismatch_table, outcome_table, workload_summary, CompositionStat, HangIndexRow, MaskingSummary,
-    MemRow, MismatchRow, WorkloadSummary,
+    composition_stats, hang_index_table, labeled_outcome_table, masking_comparison, mem_table,
+    mismatch_rows, mismatch_table, outcome_table, workload_summary, CompositionStat, HangIndexRow,
+    MaskingSummary, MemRow, MismatchRow, WorkloadSummary,
 };
 pub use stats::{mean, pearson, std_dev};
 pub use trends::{trend_rows, TrendPoint};

@@ -2,7 +2,7 @@
 
 use crate::db::{parse_id, Database, Key};
 use crate::stats::{mean, std_dev};
-use fracas_inject::Outcome;
+use fracas_inject::{Outcome, Tally};
 use fracas_isa::IsaKind;
 use fracas_npb::{App, Model};
 use std::fmt::Write as _;
@@ -73,6 +73,42 @@ pub fn outcome_table(db: &Database, isa: IsaKind, model: Model) -> String {
                 }
             }
         }
+    }
+    out
+}
+
+/// Renders a labeled outcome-composition panel from finished tallies —
+/// one row per label with the five outcome-class percentages plus the
+/// masking rate. Unlike [`outcome_table`] it is not keyed by scenario:
+/// callers bucket records however the comparison demands (per fault
+/// domain in `stats_uncore`, per ISA, per width...) and hand over the
+/// tallies. Labels with an empty tally render as `(no records)` so a
+/// domain that sampled nothing stays visible instead of vanishing from
+/// the panel.
+pub fn labeled_outcome_table(rows: &[(String, Tally)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:>6} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}   (injected faults %)",
+        "space", "n", "Vanish", "ONA", "OMM", "UT", "Hang", "mask%"
+    );
+    for (label, tally) in rows {
+        if tally.total() == 0 {
+            let _ = writeln!(out, "{label:<10} {:>6} (no records)", 0);
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "{:<10} {:>6} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+            label,
+            tally.total(),
+            tally.pct(Outcome::Vanished),
+            tally.pct(Outcome::Ona),
+            tally.pct(Outcome::Omm),
+            tally.pct(Outcome::Ut),
+            tally.pct(Outcome::Hang),
+            tally.masking_rate() * 100.0,
+        );
     }
     out
 }

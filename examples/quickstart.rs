@@ -53,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .run_until_core_cycle(fault.timing_core(), fault.cycle, &limits)
                 .is_none()
             {
-                fault.apply(kernel.machine_mut());
+                fault.apply(&mut kernel);
                 kernel.run(&limits);
             }
             let outcome = fracas::inject::classify(&golden, &kernel.report());

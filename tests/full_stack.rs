@@ -121,7 +121,7 @@ fn late_faults_mask_more_often() {
                     .run_until_core_cycle(0, fault.cycle, &limits)
                     .is_none()
                 {
-                    fault.apply(kernel.machine_mut());
+                    fault.apply(&mut kernel);
                     kernel.run(&limits);
                 }
                 fracas::inject::classify(&golden, &kernel.report()).is_masked()

@@ -241,56 +241,243 @@ proptest! {
     }
 }
 
-fn arb_fault_target() -> impl Strategy<Value = fracas_inject::FaultTarget> {
-    use fracas_inject::FaultTarget;
-    prop_oneof![
-        (0u32..2, 0u32..32, 0u32..64).prop_map(|(core, reg, bit)| FaultTarget::Gpr {
-            core,
-            reg,
-            bit
-        }),
-        (0u32..2, 0u32..32, 0u32..64).prop_map(|(core, reg, bit)| FaultTarget::Fpr {
-            core,
-            reg,
-            bit
-        }),
-        (0u32..2, 0u32..4).prop_map(|(core, which)| FaultTarget::Flag { core, which }),
-        (0u32..(1u32 << 21), 0u32..8).prop_map(|(addr, bit)| FaultTarget::Mem { addr, bit }),
-        (any::<u32>(), 0u32..32).prop_map(|(word, bit)| FaultTarget::Text { word, bit }),
-    ]
+/// A booted 2-core, 3-process kernel plus the registry space dimensions
+/// covering every fault domain — the shared fixture for the generic
+/// registry property tests. Three processes on two cores leave a live
+/// run-queue entry, so kernel-control flips hit occupied state too.
+fn registry_fixture() -> (fracas_kernel::Kernel, fracas_inject::SpaceDims) {
+    use fracas_inject::{FaultSpace, SpaceDims};
+    let mut asm = Asm::new(IsaKind::Sira64);
+    asm.global_fn("_start");
+    asm.load_imm(Reg(1), 0xdead_beef);
+    asm.halt();
+    let image = link(IsaKind::Sira64, &[asm.into_object()]).expect("link");
+    let spec = fracas_kernel::BootSpec {
+        processes: 3,
+        ..fracas_kernel::BootSpec::serial()
+    };
+    let kernel = fracas_kernel::Kernel::boot(&image, 2, spec);
+    let space = FaultSpace {
+        flags: true,
+        mem: Some((0, 4096)),
+        text: true,
+        cache: true,
+        kernelctl: true,
+        skip: true,
+        ..FaultSpace::default()
+    };
+    let dims = SpaceDims::of(IsaKind::Sira64, 2, image.text.len() as u32, &spec, space);
+    (kernel, dims)
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(ProptestConfig::with_cases(96))]
 
-    /// `Fault::apply` at width 1 is an involution for *every* target
-    /// variant: a second application restores the register contexts, the
-    /// memory state and the instruction memory bit-exactly.
+    /// `Fault::apply` is an involution for **every registered fault
+    /// domain** and every MBU width: a second application restores the
+    /// register contexts, flags, memory, text, cache metadata, scheduler
+    /// state, page permissions and skip latches bit-exactly — checked
+    /// through `Kernel::state_matches`, which compares all of them. The
+    /// target is decoded from a uniform offset by the domain's own
+    /// `make`, so every coordinate the sampler can produce is covered.
     #[test]
-    fn fault_apply_is_involution(target in arb_fault_target(), cycle in any::<u64>()) {
-        let mut asm = Asm::new(IsaKind::Sira64);
-        asm.global_fn("_start");
-        asm.load_imm(Reg(1), 0xdead_beef);
-        asm.halt();
-        let image = link(IsaKind::Sira64, &[asm.into_object()]).expect("link");
-        let mut m = Machine::boot_flat(&image, 2);
-        // Pin text faults inside the (tiny) image so they always land.
-        let target = match target {
-            fracas_inject::FaultTarget::Text { word, bit } => {
-                fracas_inject::FaultTarget::Text { word: word % m.text_len(), bit }
-            }
-            t => t,
-        };
-        let fault = fracas_inject::Fault { target, cycle, width: 1 };
-        let observe = |m: &Machine| {
-            let ctx: Vec<u64> = (0..m.core_count()).map(|i| m.core(i).context_hash()).collect();
-            let mem = m.mem.hash_range(0, 1 << 21).expect("hash range fits flat memory");
-            let text: Vec<u32> = (0..m.text_len()).map(|i| m.text_word(i).unwrap()).collect();
-            (ctx, mem, text)
-        };
-        let before = observe(&m);
-        fault.apply(&mut m);
-        fault.apply(&mut m);
-        prop_assert_eq!(observe(&m), before, "fault {:?} is not an involution", fault);
+    fn fault_apply_is_involution_for_every_domain(
+        domain_idx in 0usize..fracas_inject::domains().len(),
+        core in 0u32..2,
+        offset in any::<u64>(),
+        cycle in any::<u64>(),
+        width in 1u32..5,
+    ) {
+        let (mut kernel, dims) = registry_fixture();
+        let domain = &fracas_inject::domains()[domain_idx];
+        let bits = (domain.bits)(&dims);
+        prop_assert!(bits > 0, "fixture must enable domain {}", domain.name);
+        let target = (domain.make)(&dims, core, offset % bits);
+        let fault = fracas_inject::Fault { target, cycle, width };
+        let before = kernel.snapshot();
+        fault.apply(&mut kernel);
+        fault.apply(&mut kernel);
+        prop_assert!(
+            kernel.state_matches(&before),
+            "fault {:?} (domain {}) is not an involution", fault, domain.name
+        );
     }
+
+    /// The registry's per-domain timing and ephemerality rules reproduce
+    /// the historical hard-coded ones for the legacy domains: core-local
+    /// targets time against their own core and are ephemeral; memory and
+    /// text targets time against core 0 and persist.
+    #[test]
+    fn registry_timing_and_ephemerality_match_legacy_rules(
+        domain_idx in 0usize..fracas_inject::domains().len(),
+        core in 0u32..2,
+        offset in any::<u64>(),
+    ) {
+        use fracas_inject::FaultTarget;
+        let (_, dims) = registry_fixture();
+        let domain = &fracas_inject::domains()[domain_idx];
+        let bits = (domain.bits)(&dims);
+        prop_assert!(bits > 0);
+        let target = (domain.make)(&dims, core, offset % bits);
+        let fault = fracas_inject::Fault { target, cycle: 0, width: 1 };
+        let legacy = match target {
+            FaultTarget::Gpr { core, .. }
+            | FaultTarget::Fpr { core, .. }
+            | FaultTarget::Flag { core, .. } => Some((core as usize, true)),
+            FaultTarget::Mem { .. } | FaultTarget::Text { .. } => Some((0, false)),
+            _ => None,
+        };
+        if let Some((timing, ephemeral)) = legacy {
+            prop_assert_eq!(fault.timing_core(), timing);
+            prop_assert_eq!(fault.targets_ephemeral_state(), ephemeral);
+        }
+    }
+}
+
+/// A width equal to a domain's declared wrap modulus upsets the whole
+/// struck word exactly once — regardless of which bit the upset starts
+/// at. That pins each registry `wrap_modulus` to the flip hooks' actual
+/// wrapping arithmetic, domain by domain (including the historical
+/// implicit flag wrap at 4, now declared).
+#[test]
+fn mbu_width_wraps_at_each_domains_declared_modulus() {
+    use fracas_inject::{domain_of, Fault, FaultTarget};
+    let cases = [
+        // (same word, two different starting bits)
+        (
+            FaultTarget::Gpr {
+                core: 0,
+                reg: 1,
+                bit: 0,
+            },
+            FaultTarget::Gpr {
+                core: 0,
+                reg: 1,
+                bit: 17,
+            },
+        ),
+        (
+            FaultTarget::Fpr {
+                core: 1,
+                reg: 3,
+                bit: 0,
+            },
+            FaultTarget::Fpr {
+                core: 1,
+                reg: 3,
+                bit: 63,
+            },
+        ),
+        (
+            FaultTarget::Flag { core: 0, which: 0 },
+            FaultTarget::Flag { core: 0, which: 3 },
+        ),
+        (
+            FaultTarget::Mem { addr: 64, bit: 0 },
+            FaultTarget::Mem { addr: 64, bit: 5 },
+        ),
+        (
+            FaultTarget::Text { word: 0, bit: 0 },
+            FaultTarget::Text { word: 0, bit: 31 },
+        ),
+        (
+            FaultTarget::CacheState {
+                core: 1,
+                unit: 1,
+                line: 7,
+                bit: 0,
+            },
+            FaultTarget::CacheState {
+                core: 1,
+                unit: 1,
+                line: 7,
+                bit: 39,
+            },
+        ),
+        (
+            FaultTarget::RunQueue { slot: 0, bit: 0 },
+            FaultTarget::RunQueue { slot: 0, bit: 30 },
+        ),
+    ];
+    for (a, b) in cases {
+        let domain = domain_of(&a);
+        let width = (domain.wrap_modulus)(IsaKind::Sira64);
+        let (mut ka, _) = registry_fixture();
+        let (mut kb, _) = registry_fixture();
+        Fault {
+            target: a,
+            cycle: 0,
+            width,
+        }
+        .apply(&mut ka);
+        Fault {
+            target: b,
+            cycle: 0,
+            width,
+        }
+        .apply(&mut kb);
+        assert!(
+            ka.state_matches(&kb.snapshot()),
+            "domain {}: width {} starting at {:?} vs {:?} must flip the same full word",
+            domain.name,
+            width,
+            a,
+            b
+        );
+    }
+    // The page-permission half of the kernel-control domain wraps at its
+    // own 3-bit entry width (narrower than the domain's declared
+    // run-queue modulus): width 3 upsets all of read/write/execute from
+    // any starting bit.
+    let (mut ka, _) = registry_fixture();
+    let (mut kb, _) = registry_fixture();
+    for (k, bit) in [(&mut ka, 0), (&mut kb, 2)] {
+        Fault {
+            target: FaultTarget::PagePerm {
+                pid: 1,
+                page: 0,
+                bit,
+            },
+            cycle: 0,
+            width: 3,
+        }
+        .apply(k);
+    }
+    assert!(ka.state_matches(&kb.snapshot()));
+    // The skip latch's modulus is 1: every adjacent "bit" folds onto the
+    // single toggle, so even widths cancel and odd widths arm it.
+    let (mut k, _) = registry_fixture();
+    let arm = |k: &mut fracas_kernel::Kernel, width| {
+        Fault {
+            target: FaultTarget::InstrSkip { core: 0 },
+            cycle: 0,
+            width,
+        }
+        .apply(k);
+    };
+    let idle = k.snapshot();
+    arm(&mut k, 2);
+    assert!(k.state_matches(&idle), "even skip widths cancel");
+    arm(&mut k, 3);
+    assert!(!k.state_matches(&idle), "odd skip widths arm the latch");
+}
+
+/// The registry's declared moduli themselves (so a silent registry edit
+/// can't weaken the wrap test above).
+#[test]
+fn declared_wrap_moduli_match_the_word_widths() {
+    let modulus = |name: &str, isa| {
+        (fracas_inject::domain_named(name)
+            .expect("registered")
+            .wrap_modulus)(isa)
+    };
+    assert_eq!(modulus("gpr", IsaKind::Sira32), 32);
+    assert_eq!(modulus("gpr", IsaKind::Sira64), 64);
+    assert_eq!(modulus("fpr", IsaKind::Sira64), 64);
+    assert_eq!(modulus("flags", IsaKind::Sira32), 4);
+    assert_eq!(modulus("mem", IsaKind::Sira64), 8);
+    assert_eq!(modulus("text", IsaKind::Sira32), 32);
+    assert_eq!(modulus("cache", IsaKind::Sira64), 40);
+    assert_eq!(modulus("kernelctl", IsaKind::Sira64), 32);
+    assert_eq!(modulus("skip", IsaKind::Sira64), 1);
 }
