@@ -1,9 +1,10 @@
 //! Uncore fault-model report: measured outcome composition of the
-//! cache-metadata, kernel-control and instruction-skip fault spaces,
-//! per scenario, against the architectural-register baseline — plus the
-//! skip-severity cross-check (static [`SkipClass`] prediction vs the
-//! measured masking rate) and the accounting gate that proves no
-//! uncore fault ever falls through the prune layer silently.
+//! cache-metadata, kernel-control, instruction-skip, store-buffer and
+//! cache-data fault spaces, per scenario, against the
+//! architectural-register baseline — plus the skip-severity cross-check
+//! (static [`SkipClass`] prediction vs the measured masking rate) and
+//! the accounting gate that proves no uncore fault ever falls through
+//! the prune layer silently.
 //!
 //! ```text
 //! stats_uncore [--isa ...] [--model ...] [--app NAME] [--cores N]
@@ -20,12 +21,19 @@
 //!
 //! * every uncore fault is either statically decided (provably never
 //!   applied → Vanished) or tallied in its explicit per-domain
-//!   [`Unmodeled`](fracas::inject::Unmodeled) bucket;
-//! * no uncore fault lands in a foreign bucket (sira32-fpr, mem, text);
-//! * no harness anomalies anywhere.
+//!   [`Unmodeled`] bucket;
+//! * no uncore fault lands in a foreign bucket (any bucket but the
+//!   campaign domain's own);
+//! * no harness anomalies anywhere;
+//! * no domain is *vacuous* — a domain whose sampled faults all come
+//!   back Vanished over a nonzero aggregate sample cannot distinguish
+//!   anything and its rows are meaningless, unless it is on the
+//!   documented expected-quiet allowlist (cache metadata: timing-only
+//!   by design; kernel-control: measured non-masking rate below smoke
+//!   sample resolution).
 
 use fracas::analyze::{analyze_skips, skip_class, PruneOracle, SkipClass, SkipComposition};
-use fracas::inject::{run_campaign, FaultSpace, FaultTarget, Outcome, Tally, Workload};
+use fracas::inject::{run_campaign, FaultSpace, FaultTarget, Outcome, Tally, Unmodeled, Workload};
 use fracas::mine::{labeled_outcome_table, CollapseSummary};
 use fracas::npb::App;
 use fracas_bench::cli::{Parser, ScenarioFilter};
@@ -34,8 +42,43 @@ use std::time::Instant;
 const USAGE: &str = "stats_uncore [--isa sira32|sira64] [--model ser|omp|mpi] [--app NAME] \
      [--cores N] [--faults N] [--seed N] [--gate]";
 
-/// The three registry domains under report, display order.
-const UNCORE: [&str; 3] = ["cache", "kernelctl", "skip"];
+/// The registry domains under report, display order.
+const UNCORE: [&str; 5] = ["cache", "kernelctl", "skip", "storebuf", "cachedata"];
+
+/// Masking-rate column labels, parallel to [`UNCORE`].
+const SHORT: [&str; 5] = ["cache%", "kctl%", "skip%", "sbuf%", "cdata%"];
+
+/// Domains documented as expected-quiet, with the reason: for these a
+/// 100%-Vanished aggregate at smoke sample sizes is the *expected*
+/// result, not a vacuity violation. Cache metadata is timing-only by
+/// design; kernel-control's measured non-masking rate (~0.1% UT — one
+/// resurrected-waiter stall per ~1k faults) is real but far below what
+/// a smoke sample can be required to exhibit deterministically. Every
+/// other domain must show life or the gate fails — the check that
+/// caught the cache-data dilution regression.
+const EXPECTED_QUIET: [(&str, &str); 2] = [
+    (
+        "cache",
+        "timing-only metadata: values live in the L1D/store-buffer layers",
+    ),
+    (
+        "kernelctl",
+        "measured ~0.1% UT rate, below smoke-sample resolution",
+    ),
+];
+
+/// The [`Unmodeled`] bucket a domain's own applied faults land in;
+/// anything else is a foreign-bucket accounting violation.
+fn own_bucket(name: &str) -> Unmodeled {
+    match name {
+        "cache" => Unmodeled::Cache,
+        "kernelctl" => Unmodeled::KernelCtl,
+        "skip" => Unmodeled::Skip,
+        "storebuf" => Unmodeled::StoreBuf,
+        "cachedata" => Unmodeled::CacheData,
+        other => unreachable!("{other} is not an uncore domain"),
+    }
+}
 
 fn main() {
     let mut filter = ScenarioFilter::default();
@@ -76,10 +119,12 @@ fn main() {
         base.seed
     );
     let start = Instant::now();
-    println!(
-        "{:<22} {:>5} | {:>6} {:>6} {:>6} | {:>6} | {:>5} {:>5}",
-        "scenario", "flts", "cache%", "kctl%", "skip%", "r-msk%", "dec", "unm"
-    );
+    let mut header = format!("{:<22} {:>5} |", "scenario", "flts");
+    for label in SHORT {
+        header.push_str(&format!(" {label:>6}"));
+    }
+    header.push_str(&format!(" | {:>6} | {:>5} {:>5}", "r-msk%", "dec", "unm"));
+    println!("{header}");
     // Aggregates across scenarios: per-domain outcome tallies, the
     // register baseline, skip severity, and the collapse accounting.
     let mut domain_tallies: Vec<(String, Tally)> = UNCORE
@@ -125,7 +170,7 @@ fn main() {
                     result.tally.total()
                 ));
             }
-            let foreign = stats.unmodeled.sira32_fpr + stats.unmodeled.mem + stats.unmodeled.text;
+            let foreign = stats.unmodeled.total() - stats.unmodeled.count(own_bucket(name));
             if foreign != 0 {
                 violations.push(format!(
                     "{}/{name}: {foreign} fault(s) in foreign unmodeled bucket(s): {}",
@@ -160,17 +205,37 @@ fn main() {
             fold_tally(total, &result.tally);
         }
         static_skips = fold_composition(static_skips, &analyze_skips(image.isa, &image.text));
-        println!(
-            "{:<22} {:>5} | {:>5.1}% {:>5.1}% {:>5.1}% | {:>5.1}% | {:>5} {:>5}",
-            s.id(),
-            base.faults * UNCORE.len(),
-            row[0],
-            row[1],
-            row[2],
+        let mut line = format!("{:<22} {:>5} |", s.id(), base.faults * UNCORE.len());
+        for rate in &row {
+            line.push_str(&format!(" {rate:>5.1}%"));
+        }
+        line.push_str(&format!(
+            " | {:>5.1}% | {:>5} {:>5}",
             reg.tally.masking_rate() * 100.0,
             decided,
             unmodeled,
-        );
+        ));
+        println!("{line}");
+    }
+    // The vacuity gate, over the *aggregate* per-domain tallies (a
+    // single scenario can legitimately come back all-Vanished at small
+    // sample sizes; every scenario doing so means the domain cannot
+    // produce an SDC at all — PR 9's cache-metadata regression).
+    for (name, tally) in &domain_tallies {
+        let total = tally.total();
+        if total == 0 || tally.count(Outcome::Vanished) != total {
+            continue;
+        }
+        if let Some((_, why)) = EXPECTED_QUIET.iter().find(|(n, _)| *n == name.as_str()) {
+            eprintln!(
+                "note: domain {name} is 100% Vanished over {total} fault(s) — allowlisted: {why}"
+            );
+        } else {
+            violations.push(format!(
+                "domain {name}: all {total} sampled fault(s) Vanished across every \
+                 scenario — the domain is vacuous as a reliability instrument"
+            ));
+        }
     }
     println!();
     let mut rows = domain_tallies;

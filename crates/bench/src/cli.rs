@@ -224,7 +224,7 @@ impl SweepOpts {
     /// [`FILTER_USAGE`]).
     pub const USAGE: &'static str = "[--faults N] [--epsilon E] [--threads N] [--seed N] \
          [--db PATH] [--sink PATH] [--prune-dead] [--prune-classes] [--oracle-audit R] \
-         [--<domain>-faults: gpr|fpr|flag|text|cache|kernelctl|skip]";
+         [--<domain>-faults: gpr|fpr|flag|text|cache|kernelctl|skip|storebuf|cachedata]";
 
     /// Parses the process arguments, accepting the filter flags and the
     /// campaign overrides.

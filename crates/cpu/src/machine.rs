@@ -643,10 +643,64 @@ impl Machine {
 
     /// Flips one bit of a cache line's tag/state/LRU payload (see
     /// `fracas_mem::MemSystem::flip_bit` for the unit codes and the
-    /// 40-bit line layout). Out-of-range lines are ignored; the hook is
-    /// a pure involution like every other flip.
-    pub fn flip_cache(&mut self, unit: u32, core: usize, line: usize, bit: u32) {
-        self.caches.flip_bit(unit, core, line, bit);
+    /// 40-bit line layout). The hook is a pure involution like every
+    /// other flip.
+    ///
+    /// # Errors
+    ///
+    /// [`fracas_mem::FlipError`] on out-of-range coordinates; the flip
+    /// is not applied.
+    pub fn flip_cache(
+        &mut self,
+        unit: u32,
+        core: usize,
+        line: usize,
+        bit: u32,
+    ) -> Result<(), fracas_mem::FlipError> {
+        self.caches.flip_bit(unit, core, line, bit)
+    }
+
+    /// Flips one bit of a resident cache line's 64-byte data copy (see
+    /// `fracas_mem::MemSystem::flip_data_bit`): the line then serves
+    /// the corrupted bytes to loads until it is evicted or overwritten.
+    /// Strikes on empty ways mask; the hook is an involution.
+    ///
+    /// # Errors
+    ///
+    /// [`fracas_mem::FlipError`] on out-of-range or non-data-unit
+    /// coordinates; the flip is not applied.
+    pub fn flip_cachedata(
+        &mut self,
+        unit: u32,
+        core: usize,
+        line: usize,
+        bit: u32,
+    ) -> Result<(), fracas_mem::FlipError> {
+        self.caches.flip_data_bit(unit, core, line, bit, &self.mem)
+    }
+
+    /// Flips one bit of a store-buffer entry's 97-bit payload (see
+    /// `fracas_mem::StoreBuffer::flip` for the address/data/valid
+    /// layout): a matching load then forwards the corrupted value and
+    /// the entry eventually drains it over memory. An involution.
+    ///
+    /// # Errors
+    ///
+    /// [`fracas_mem::FlipError`] on an out-of-range core or entry; the
+    /// flip is not applied.
+    pub fn flip_storebuf(
+        &mut self,
+        core: usize,
+        entry: usize,
+        bit: u32,
+    ) -> Result<(), fracas_mem::FlipError> {
+        self.caches.flip_storebuf(core, entry, bit)
+    }
+
+    /// Drains `core`'s store buffer to memory — the kernel's fence
+    /// point at SVC entry. A no-op unless a fault tainted an entry.
+    pub fn drain_store_buffer(&mut self, core: usize) {
+        self.caches.drain_store_buffer(core, &mut self.mem);
     }
 
     /// Toggles the instruction-skip fault latch on `core`: the next
@@ -1061,6 +1115,9 @@ impl Machine {
             Op::Illegal => trap!(Trap::IllegalInst { pc }),
             Op::Nop => {}
             Op::Halt => {
+                // Halting is a fence: pending (possibly struck) stores
+                // retire before the core parks.
+                caches.drain_store_buffer(core, mem);
                 cr.cycles += cycles;
                 cr.set_halted(true);
                 return StepResult::Halted;
@@ -1166,6 +1223,8 @@ impl Machine {
                 let addr = cr.reg(Reg(d.b)) as u32;
                 let new = cr.reg(Reg(d.c));
                 let abytes = if bits == 32 { 4 } else { 8 };
+                // Atomics are fences: the buffer drains before the RMW.
+                caches.drain_store_buffer(core, mem);
                 match data_load(cr, mem, caches, core, perm, abytes, addr) {
                     Ok(old) => {
                         if let Err(t) = data_store(cr, mem, caches, core, perm, abytes, addr, new) {
@@ -1180,6 +1239,8 @@ impl Machine {
                 let addr = cr.reg(Reg(d.b)) as u32;
                 let delta = cr.reg(Reg(d.c));
                 let abytes = if bits == 32 { 4 } else { 8 };
+                // Atomics are fences: the buffer drains before the RMW.
+                caches.drain_store_buffer(core, mem);
                 match data_load(cr, mem, caches, core, perm, abytes, addr) {
                     Ok(old) => {
                         let sum = old.wrapping_add(delta);
@@ -1315,6 +1376,9 @@ impl Machine {
         match inst.kind {
             InstKind::Nop => {}
             InstKind::Halt => {
+                // Halting is a fence: pending (possibly struck) stores
+                // retire before the core parks.
+                self.caches.drain_store_buffer(core, &mut self.mem);
                 self.cores[core].cycles += cycles;
                 self.cores[core].set_halted(true);
                 return StepResult::Halted;
@@ -1436,6 +1500,8 @@ impl Machine {
             InstKind::Swp { rd, rn, rm } => {
                 let addr = self.cores[core].reg(rn) as u32;
                 let new = self.cores[core].reg(rm);
+                // Atomics are fences: the buffer drains before the RMW.
+                self.caches.drain_store_buffer(core, &mut self.mem);
                 match self.load(core, perm, Width::Word, addr) {
                     Ok(old) => {
                         if let Err(t) = self.store(core, perm, Width::Word, addr, new) {
@@ -1449,6 +1515,8 @@ impl Machine {
             InstKind::AmoAdd { rd, rn, rm } => {
                 let addr = self.cores[core].reg(rn) as u32;
                 let delta = self.cores[core].reg(rm);
+                // Atomics are fences: the buffer drains before the RMW.
+                self.caches.drain_store_buffer(core, &mut self.mem);
                 match self.load(core, perm, Width::Word, addr) {
                     Ok(old) => {
                         let sum = old.wrapping_add(delta);
@@ -1575,12 +1643,12 @@ impl Machine {
             }
             (Width::Word, IsaKind::Sira64) => self.mem.read_u64(addr)?,
         };
-        let penalty = self.caches.access(core, Access::DataRead, addr);
+        let (penalty, over) = self.caches.data_read(core, addr, size);
         let c = &mut self.cores[core];
         c.stats.loads += 1;
         c.stats.miss_cycles += u64::from(penalty);
         c.cycles += u64::from(penalty);
-        Ok(v)
+        Ok(over.unwrap_or(v))
     }
 
     fn store(
@@ -1600,7 +1668,9 @@ impl Machine {
             }
             (Width::Word, IsaKind::Sira64) => self.mem.write_u64(addr, value)?,
         }
-        let penalty = self.caches.access(core, Access::DataWrite, addr);
+        let penalty = self
+            .caches
+            .data_write(core, addr, size, value, &mut self.mem);
         let c = &mut self.cores[core];
         c.stats.stores += 1;
         c.stats.miss_cycles += u64::from(penalty);
@@ -1611,12 +1681,12 @@ impl Machine {
     fn load_f64(&mut self, core: usize, perm: &PermissionMap, addr: u32) -> Result<u64, Trap> {
         perm.check(addr, 8, AccessKind::Read)?;
         let v = self.mem.read_u64(addr)?;
-        let penalty = self.caches.access(core, Access::DataRead, addr);
+        let (penalty, over) = self.caches.data_read(core, addr, 8);
         let c = &mut self.cores[core];
         c.stats.loads += 1;
         c.stats.miss_cycles += u64::from(penalty);
         c.cycles += u64::from(penalty);
-        Ok(v)
+        Ok(over.unwrap_or(v))
     }
 
     fn store_f64(
@@ -1628,7 +1698,7 @@ impl Machine {
     ) -> Result<(), Trap> {
         perm.check(addr, 8, AccessKind::Write)?;
         self.mem.write_u64(addr, bits)?;
-        let penalty = self.caches.access(core, Access::DataWrite, addr);
+        let penalty = self.caches.data_write(core, addr, 8, bits, &mut self.mem);
         let c = &mut self.cores[core];
         c.stats.stores += 1;
         c.stats.miss_cycles += u64::from(penalty);
@@ -1707,11 +1777,11 @@ fn data_load(
         4 => u64::from(mem.read_u32(addr)?),
         _ => mem.read_u64(addr)?,
     };
-    let penalty = caches.access(core, Access::DataRead, addr);
+    let (penalty, over) = caches.data_read(core, addr, bytes);
     cr.stats.loads += 1;
     cr.stats.miss_cycles += u64::from(penalty);
     cr.cycles += u64::from(penalty);
-    Ok(v)
+    Ok(over.unwrap_or(v))
 }
 
 /// Fast-path data store; see [`data_load`].
@@ -1733,7 +1803,7 @@ fn data_store(
         4 => mem.write_u32(addr, value as u32)?,
         _ => mem.write_u64(addr, value)?,
     }
-    let penalty = caches.access(core, Access::DataWrite, addr);
+    let penalty = caches.data_write(core, addr, bytes, value, mem);
     cr.stats.stores += 1;
     cr.stats.miss_cycles += u64::from(penalty);
     cr.cycles += u64::from(penalty);

@@ -168,7 +168,9 @@ fn bit_coords(fault: &Fault) -> (u32, u32) {
         | FaultTarget::Text { bit, .. }
         | FaultTarget::CacheState { bit, .. }
         | FaultTarget::RunQueue { bit, .. }
-        | FaultTarget::PagePerm { bit, .. } => bit,
+        | FaultTarget::PagePerm { bit, .. }
+        | FaultTarget::StoreBuf { bit, .. }
+        | FaultTarget::CacheData { bit, .. } => bit,
         FaultTarget::Flag { which, .. } => which,
         // The skip latch is a single toggle: no bit coordinate.
         FaultTarget::InstrSkip { .. } => 0,

@@ -20,9 +20,12 @@
 //! refactor: first the per-core block — every [`Placement::CoreBlock`]
 //! domain in registry order (GPRs, FPRs, flags, then the skip latch),
 //! repeated core-major — then each [`Placement::Tail`] domain in
-//! registry order (memory, text, cache, kernel control). A domain
-//! disabled in the [`FaultSpace`] contributes zero bits, so enabling
-//! none of the new domains reproduces the historical space bit for bit.
+//! registry order (memory, text, cache, kernel control, store buffer,
+//! cache data). A domain disabled in the [`FaultSpace`] contributes
+//! zero bits, so enabling none of the new domains reproduces the
+//! historical space bit for bit — in particular the value-bearing
+//! store-buffer and cache-data domains sit *after* every legacy
+//! domain, so legacy sweeps draw the same faults they always did.
 //!
 //! ## Soundness of per-domain `Unmodeled` buckets
 //!
@@ -53,6 +56,18 @@ pub const RUNQ_ENTRY_BITS: u64 = 32;
 /// Bits per page-permission entry in the kernel-control domain
 /// (read/write/execute).
 pub const PAGE_PERM_BITS: u64 = 3;
+
+/// Bits per store-buffer entry in the
+/// [`StoreBuf`](FaultTarget::StoreBuf) domain: a 32-bit address, a
+/// 64-bit data word and the valid bit (see
+/// `fracas_mem::StoreBuffer::flip`). The MBU wrap modulus: adjacent
+/// upset bits never cross into the next entry.
+pub const STOREBUF_ENTRY_BITS: u64 = fracas_mem::STORE_ENTRY_BITS as u64;
+
+/// Bits per cache line's data copy in the
+/// [`CacheData`](FaultTarget::CacheData) domain (64 bytes — see
+/// `fracas_mem::MemSystem::flip_data_bit`).
+pub const CACHE_DATA_LINE_BITS: u64 = fracas_mem::MemSystem::DATA_LINE_BITS as u64;
 
 /// Where a domain's bits sit in the uniform space layout.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,6 +131,8 @@ pub struct SpaceDims {
     pub l1_lines: u32,
     /// Lines in the shared L2.
     pub l2_lines: u32,
+    /// Entries per core's store buffer.
+    pub sb_entries: u32,
 }
 
 impl SpaceDims {
@@ -133,6 +150,7 @@ impl SpaceDims {
             pages_per_proc: 0,
             l1_lines: 0,
             l2_lines: 0,
+            sb_entries: 0,
         }
     }
 
@@ -157,6 +175,7 @@ impl SpaceDims {
             pages_per_proc: spec.layout.mem_size.div_ceil(fracas_mem::PAGE_SIZE),
             l1_lines: spec.cache.l1_lines(),
             l2_lines: spec.cache.l2_lines(),
+            sb_entries: fracas_mem::STORE_BUFFER_ENTRIES as u32,
         }
     }
 
@@ -247,6 +266,30 @@ fn cache_bits(d: &SpaceDims) -> u64 {
     }
 }
 
+fn storebuf_bits(d: &SpaceDims) -> u64 {
+    if d.space.storebuf {
+        u64::from(d.cores) * u64::from(d.sb_entries) * STOREBUF_ENTRY_BITS
+    } else {
+        0
+    }
+}
+
+fn cachedata_bits(d: &SpaceDims) -> u64 {
+    // Only the L1D, the unit that actually serves load values. L1I
+    // data is the text domain's territory, and the shared L2 — 16x the
+    // slots, overwhelmingly instruction lines on this workload suite,
+    // its data copies shadowed by L1D residency — would dilute the
+    // space far below measurability at smoke sample sizes while adding
+    // no value path the L1D slot strike does not already represent
+    // (an L2 strike only ever surfaces through an L1D fill, which
+    // `propagate_l2_overlay` still models for hand-written faults).
+    if d.space.cachedata {
+        u64::from(d.cores) * u64::from(d.l1_lines) * CACHE_DATA_LINE_BITS
+    } else {
+        0
+    }
+}
+
 fn kernelctl_bits(d: &SpaceDims) -> u64 {
     if d.space.kernelctl {
         u64::from(d.runq_slots) * RUNQ_ENTRY_BITS
@@ -306,7 +349,7 @@ fn oracle_text(_isa: IsaKind, fault: &Fault) -> Result<(usize, PruneTarget), Unm
 
 /// The registry, in space-layout order (see the module docs' layout
 /// contract): core-block domains first, then tail domains.
-static DOMAINS: [Domain; 8] = [
+static DOMAINS: [Domain; 10] = [
     Domain {
         name: "gpr",
         flag: Some("gpr"),
@@ -522,8 +565,14 @@ static DOMAINS: [Domain; 8] = [
             else {
                 unreachable!()
             };
+            // A registry-sampled coordinate is in range by construction;
+            // an `Err` here means the sampler and the flip hook disagree
+            // about the geometry. Panic so the campaign runner surfaces
+            // it as an `Anomaly` record instead of silently dropping the
+            // flip.
             k.machine_mut()
-                .flip_cache(unit, core as usize, line as usize, bit + i);
+                .flip_cache(unit, core as usize, line as usize, bit + i)
+                .unwrap_or_else(|e| panic!("cache flip rejected: {e}"));
         },
         wrap_modulus: |_| CACHE_LINE_BITS as u32,
         prune: PruneCap::StaticOnly(Unmodeled::Cache),
@@ -570,6 +619,85 @@ static DOMAINS: [Domain; 8] = [
         // the per-domain wrap test pins both hooks' arithmetic.
         wrap_modulus: |_| RUNQ_ENTRY_BITS as u32,
         prune: PruneCap::StaticOnly(Unmodeled::KernelCtl),
+    },
+    Domain {
+        name: "storebuf",
+        flag: Some("storebuf"),
+        placement: Placement::Tail,
+        // A pending store lives at most a handful of instructions, but
+        // a drained corruption persists in memory indefinitely — the
+        // long tail rules reconvergence probing out.
+        ephemeral: false,
+        enabled: |s| s.storebuf,
+        enable: |s| s.storebuf = true,
+        bits: storebuf_bits,
+        make: |d, _, w| {
+            // Per-core entry blocks, core-major.
+            let per_core = u64::from(d.sb_entries) * STOREBUF_ENTRY_BITS;
+            FaultTarget::StoreBuf {
+                core: (w / per_core) as u32,
+                entry: ((w % per_core) / STOREBUF_ENTRY_BITS) as u32,
+                bit: (w % STOREBUF_ENTRY_BITS) as u32,
+            }
+        },
+        matches: |t| matches!(t, FaultTarget::StoreBuf { .. }),
+        timing_core: |t| match *t {
+            FaultTarget::StoreBuf { core, .. } => core as usize,
+            _ => unreachable!(),
+        },
+        apply: |k, t, i| {
+            let FaultTarget::StoreBuf { core, entry, bit } = t else {
+                unreachable!()
+            };
+            k.machine_mut()
+                .flip_storebuf(core as usize, entry as usize, bit + i)
+                .unwrap_or_else(|e| panic!("store-buffer flip rejected: {e}"));
+        },
+        // `StoreBuffer::flip` wraps the bit within the entry's 97 bits:
+        // an MBU never crosses into the neighbouring entry.
+        wrap_modulus: |_| STOREBUF_ENTRY_BITS as u32,
+        prune: PruneCap::StaticOnly(Unmodeled::StoreBuf),
+    },
+    Domain {
+        name: "cachedata",
+        flag: Some("cachedata"),
+        placement: Placement::Tail,
+        ephemeral: false,
+        enabled: |s| s.cachedata,
+        enable: |s| s.cachedata = true,
+        bits: cachedata_bits,
+        make: |d, _, w| {
+            // Layout: per-core L1D lines, core-major (see
+            // `cachedata_bits` for why neither L1I nor L2 is sampled).
+            let l1_unit = u64::from(d.l1_lines) * CACHE_DATA_LINE_BITS;
+            FaultTarget::CacheData {
+                core: (w / l1_unit) as u32,
+                unit: 1,
+                line: ((w % l1_unit) / CACHE_DATA_LINE_BITS) as u32,
+                bit: (w % CACHE_DATA_LINE_BITS) as u32,
+            }
+        },
+        matches: |t| matches!(t, FaultTarget::CacheData { .. }),
+        timing_core: |t| match *t {
+            FaultTarget::CacheData { core, .. } => core as usize,
+            _ => unreachable!(),
+        },
+        apply: |k, t, i| {
+            let FaultTarget::CacheData {
+                core,
+                unit,
+                line,
+                bit,
+            } = t
+            else {
+                unreachable!()
+            };
+            k.machine_mut()
+                .flip_cachedata(unit, core as usize, line as usize, bit + i)
+                .unwrap_or_else(|e| panic!("cache-data flip rejected: {e}"));
+        },
+        wrap_modulus: |_| CACHE_DATA_LINE_BITS as u32,
+        prune: PruneCap::StaticOnly(Unmodeled::CacheData),
     },
 ];
 
@@ -624,6 +752,17 @@ mod tests {
                 bit: 2,
             },
             FaultTarget::InstrSkip { core: 0 },
+            FaultTarget::StoreBuf {
+                core: 0,
+                entry: 1,
+                bit: 2,
+            },
+            FaultTarget::CacheData {
+                core: 0,
+                unit: 1,
+                line: 2,
+                bit: 3,
+            },
         ];
         for t in &targets {
             let matching = domains().iter().filter(|d| (d.matches)(t)).count();
@@ -671,6 +810,7 @@ mod tests {
             pages_per_proc: 256,
             l1_lines: 512,
             l2_lines: 8192,
+            sb_entries: 8,
         };
         let cache = (2 * 2 * 512 + 8192) * CACHE_LINE_BITS;
         let kctl = 4 * RUNQ_ENTRY_BITS + 2 * 256 * PAGE_PERM_BITS;
@@ -695,6 +835,7 @@ mod tests {
             pages_per_proc: 0,
             l1_lines: 4,
             l2_lines: 8,
+            sb_entries: 0,
         };
         let d = domain_named("cache").unwrap();
         assert_eq!((d.bits)(&dims), (2 * 2 * 4 + 8) * CACHE_LINE_BITS);
@@ -745,6 +886,7 @@ mod tests {
             pages_per_proc: 4,
             l1_lines: 0,
             l2_lines: 0,
+            sb_entries: 0,
         };
         let d = domain_named("kernelctl").unwrap();
         assert_eq!((d.bits)(&dims), 2 * 32 + 2 * 4 * 3);
@@ -770,5 +912,102 @@ mod tests {
                 bit: 1
             }
         );
+    }
+
+    #[test]
+    fn storebuf_offsets_decode_into_cores_entries_and_bits() {
+        let mut space = FaultSpace::none();
+        space.storebuf = true;
+        let dims = SpaceDims {
+            sb_entries: 8,
+            ..SpaceDims::bare(IsaKind::Sira64, 2, space, 0)
+        };
+        let d = domain_named("storebuf").unwrap();
+        assert_eq!((d.bits)(&dims), 2 * 8 * STOREBUF_ENTRY_BITS);
+        assert_eq!(dims.total_bits(), 2 * 8 * STOREBUF_ENTRY_BITS);
+        assert_eq!(
+            (d.make)(&dims, 0, 0),
+            FaultTarget::StoreBuf {
+                core: 0,
+                entry: 0,
+                bit: 0
+            }
+        );
+        // Entry blocks are 97 bits: offset 97 is entry 1, bit 0.
+        assert_eq!(
+            (d.make)(&dims, 0, STOREBUF_ENTRY_BITS),
+            FaultTarget::StoreBuf {
+                core: 0,
+                entry: 1,
+                bit: 0
+            }
+        );
+        // Past core 0's eight entries: core 1.
+        assert_eq!(
+            (d.make)(&dims, 0, 8 * STOREBUF_ENTRY_BITS + 96),
+            FaultTarget::StoreBuf {
+                core: 1,
+                entry: 0,
+                bit: 96
+            }
+        );
+        // Disabled: zero bits even with entries declared.
+        let mut off = dims;
+        off.space = FaultSpace::none();
+        assert_eq!((d.bits)(&off), 0);
+    }
+
+    #[test]
+    fn cachedata_offsets_decode_into_units_lines_and_bits() {
+        let mut space = FaultSpace::none();
+        space.cachedata = true;
+        let dims = SpaceDims {
+            l1_lines: 4,
+            l2_lines: 8,
+            ..SpaceDims::bare(IsaKind::Sira64, 2, space, 0)
+        };
+        let d = domain_named("cachedata").unwrap();
+        // One L1D block per core — no L1I block (text territory), no
+        // L2 block (dilution; see `cachedata_bits`). The declared
+        // `l2_lines` must not leak into the space.
+        assert_eq!((d.bits)(&dims), 2 * 4 * CACHE_DATA_LINE_BITS);
+        assert_eq!(
+            (d.make)(&dims, 0, 0),
+            FaultTarget::CacheData {
+                core: 0,
+                unit: 1,
+                line: 0,
+                bit: 0
+            }
+        );
+        // One core's L1D later: core 1's block.
+        assert_eq!(
+            (d.make)(&dims, 0, 4 * CACHE_DATA_LINE_BITS + 513),
+            FaultTarget::CacheData {
+                core: 1,
+                unit: 1,
+                line: 1,
+                bit: 1
+            }
+        );
+        // The last offset is core 1's last line, top bit.
+        assert_eq!(
+            (d.make)(&dims, 0, 2 * 4 * CACHE_DATA_LINE_BITS - 1),
+            FaultTarget::CacheData {
+                core: 1,
+                unit: 1,
+                line: 3,
+                bit: 511
+            }
+        );
+    }
+
+    #[test]
+    fn value_domains_sit_after_every_legacy_domain() {
+        // The md5-identity argument: storebuf and cachedata are the
+        // last two tail domains, so disabling them reproduces the
+        // legacy draw sequence bit for bit.
+        let names: Vec<&str> = domains().iter().map(|d| d.name).collect();
+        assert_eq!(&names[names.len() - 2..], &["storebuf", "cachedata"]);
     }
 }

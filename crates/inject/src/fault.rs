@@ -90,6 +90,30 @@ pub enum FaultTarget {
         /// Core index.
         core: u32,
     },
+    /// A per-core store-buffer entry bit: the address, data or valid
+    /// bit of one pending store (see `fracas_mem::StoreBuffer::flip`).
+    StoreBuf {
+        /// Core index.
+        core: u32,
+        /// Entry index within the buffer.
+        entry: u32,
+        /// Bit within the entry's 97 bits (0–31 address, 32–95 data,
+        /// 96 valid).
+        bit: u32,
+    },
+    /// A cache-line *data* bit: one bit of the 64-byte data copy a
+    /// value-bearing line holds (L1D and L2 only; instruction lines are
+    /// the text domain's territory).
+    CacheData {
+        /// Core index (0 for the shared L2).
+        core: u32,
+        /// Cache unit: 1 = L1D, 2 = L2.
+        unit: u32,
+        /// Line index within the unit.
+        line: u32,
+        /// Bit within the line's 512 data bits.
+        bit: u32,
+    },
 }
 
 fn default_width() -> u32 {
@@ -166,6 +190,12 @@ pub struct FaultSpace {
     /// issued dynamic instruction).
     #[serde(default)]
     pub skip: bool,
+    /// Store-buffer faults (address/data/valid bits of pending stores).
+    #[serde(default)]
+    pub storebuf: bool,
+    /// Cache-line data faults (the 64-byte data copies of L1D/L2 lines).
+    #[serde(default)]
+    pub cachedata: bool,
     /// Adjacent bits upset per fault (1 = SBU; >1 = single-word MBU,
     /// ref. \[13\] of the paper).
     #[serde(default = "default_width")]
@@ -197,6 +227,8 @@ impl FaultSpace {
             cache: false,
             kernelctl: false,
             skip: false,
+            storebuf: false,
+            cachedata: false,
             mbu_width: 1,
         }
     }
@@ -452,6 +484,7 @@ mod tests {
             pages_per_proc: 128,
             l1_lines: 512,
             l2_lines: 8192,
+            sb_entries: 8,
         };
         let faults = sample_space(&dims, 5_000, 400, 11);
         let mut seen_cache = false;

@@ -68,19 +68,29 @@ pub enum Unmodeled {
     /// the interval oracle has no fingerprint for the dropped
     /// instruction's effects.
     Skip,
+    /// A store-buffer entry bit: whether a corrupted pending store ever
+    /// surfaces depends on the forwarding window and the drain point,
+    /// which the register-interval trace does not carry.
+    StoreBuf,
+    /// A cache-line data bit: whether the corrupted copy is ever served
+    /// (versus silently evicted) depends on the access stream, which
+    /// the register-interval trace does not carry.
+    CacheData,
 }
 
 impl Unmodeled {
     /// Every reason, declaration order (for exhaustive accounting
     /// loops — [`UnmodeledCounts::merge`] folds over this so a newly
     /// added bucket cannot be silently dropped from aggregates).
-    pub const ALL: [Unmodeled; 6] = [
+    pub const ALL: [Unmodeled; 8] = [
         Unmodeled::Sira32Fpr,
         Unmodeled::Mem,
         Unmodeled::Text,
         Unmodeled::Cache,
         Unmodeled::KernelCtl,
         Unmodeled::Skip,
+        Unmodeled::StoreBuf,
+        Unmodeled::CacheData,
     ];
 
     /// Stable display name (audit reports, stats bins).
@@ -92,6 +102,8 @@ impl Unmodeled {
             Unmodeled::Cache => "cache",
             Unmodeled::KernelCtl => "kernelctl",
             Unmodeled::Skip => "skip",
+            Unmodeled::StoreBuf => "storebuf",
+            Unmodeled::CacheData => "cachedata",
         }
     }
 }
@@ -181,6 +193,12 @@ pub struct UnmodeledCounts {
     /// Instruction-skip faults (applied).
     #[serde(default)]
     pub skip: u32,
+    /// Store-buffer faults (applied).
+    #[serde(default)]
+    pub storebuf: u32,
+    /// Cache-data faults (applied).
+    #[serde(default)]
+    pub cachedata: u32,
 }
 
 impl UnmodeledCounts {
@@ -194,6 +212,8 @@ impl UnmodeledCounts {
             Unmodeled::Cache => &mut self.cache,
             Unmodeled::KernelCtl => &mut self.kernelctl,
             Unmodeled::Skip => &mut self.skip,
+            Unmodeled::StoreBuf => &mut self.storebuf,
+            Unmodeled::CacheData => &mut self.cachedata,
         }
     }
 
@@ -211,6 +231,8 @@ impl UnmodeledCounts {
             Unmodeled::Cache => self.cache,
             Unmodeled::KernelCtl => self.kernelctl,
             Unmodeled::Skip => self.skip,
+            Unmodeled::StoreBuf => self.storebuf,
+            Unmodeled::CacheData => self.cachedata,
         }
     }
 
@@ -226,7 +248,14 @@ impl UnmodeledCounts {
 
     /// Total faults outside the model.
     pub fn total(&self) -> u32 {
-        self.sira32_fpr + self.mem + self.text + self.cache + self.kernelctl + self.skip
+        self.sira32_fpr
+            + self.mem
+            + self.text
+            + self.cache
+            + self.kernelctl
+            + self.skip
+            + self.storebuf
+            + self.cachedata
     }
 
     /// `"3 sira32-fpr + 2 mem"`-style breakdown (empty when zero).
@@ -415,6 +444,29 @@ mod tests {
             prune_target(IsaKind::Sira64, &f(FaultTarget::InstrSkip { core: 1 })),
             Err(Unmodeled::Skip)
         );
+        assert_eq!(
+            prune_target(
+                IsaKind::Sira64,
+                &f(FaultTarget::StoreBuf {
+                    core: 0,
+                    entry: 2,
+                    bit: 40
+                })
+            ),
+            Err(Unmodeled::StoreBuf)
+        );
+        assert_eq!(
+            prune_target(
+                IsaKind::Sira32,
+                &f(FaultTarget::CacheData {
+                    core: 1,
+                    unit: 1,
+                    line: 0,
+                    bit: 12
+                })
+            ),
+            Err(Unmodeled::CacheData)
+        );
     }
 
     #[test]
@@ -485,6 +537,6 @@ mod tests {
         for (i, reason) in Unmodeled::ALL.into_iter().enumerate() {
             assert_eq!(a.count(reason), i as u32 + 2, "{}", reason.name());
         }
-        assert_eq!(a.total(), 27);
+        assert_eq!(a.total(), 44);
     }
 }

@@ -4,7 +4,7 @@
 
 use fracas_inject::{
     inject_one, run_campaign, run_campaign_with, run_fleet, run_fleet_with, run_fleet_with_sink,
-    CampaignConfig, FleetConfig, Outcome, RecordSink, Workload,
+    CampaignConfig, Fault, FaultSpace, FaultTarget, FleetConfig, Outcome, RecordSink, Workload,
 };
 use fracas_isa::IsaKind;
 use fracas_npb::{App, Model, Scenario};
@@ -270,6 +270,117 @@ fn panicking_injection_becomes_anomaly_record_in_campaign() {
             assert_eq!(a, b, "record {i} must survive the sibling panic");
         }
     }
+}
+
+#[test]
+fn out_of_range_flip_coordinates_surface_as_anomaly_records() {
+    // The checked-flip contract end to end: a fault whose coordinates
+    // fall outside the modeled geometry makes the apply hook panic with
+    // the `FlipError` description, and the worker's panic isolation
+    // turns that into an Anomaly record instead of silently dropping
+    // the flip (the old `flip_bit` behaviour).
+    let w = workload(App::Is, Model::Serial, 1, IsaKind::Sira64);
+    let config = CampaignConfig {
+        faults: 8,
+        threads: 2,
+        ..CampaignConfig::default()
+    };
+    let clean = run_campaign(&w, &config);
+    let bad = |target, i: usize| Fault {
+        target,
+        // Reuse a sampled cycle so the injection window is reachable
+        // and the flip is actually attempted.
+        cycle: clean.records[i].fault.cycle,
+        width: 1,
+    };
+    let poisoned = [
+        (
+            clean.records[2].fault,
+            bad(
+                FaultTarget::CacheData {
+                    core: 0,
+                    unit: 1,
+                    line: u32::MAX,
+                    bit: 0,
+                },
+                2,
+            ),
+        ),
+        (
+            clean.records[5].fault,
+            bad(
+                FaultTarget::StoreBuf {
+                    core: 0,
+                    entry: 99,
+                    bit: 0,
+                },
+                5,
+            ),
+        ),
+    ];
+    let result = run_campaign_with(&w, &config, &move |wl, fault, cps, limits| {
+        let fault = poisoned
+            .iter()
+            .find(|(original, _)| original == fault)
+            .map_or(*fault, |(_, bad)| *bad);
+        inject_one(wl, &fault, cps, limits)
+    });
+    assert_eq!(result.tally.anomaly, 2);
+    assert_eq!(result.records[2].outcome, Outcome::Anomaly);
+    assert_eq!(result.records[5].outcome, Outcome::Anomaly);
+    for (i, (a, b)) in clean.records.iter().zip(&result.records).enumerate() {
+        if i != 2 && i != 5 {
+            assert_eq!(a, b, "record {i} must survive the sibling anomalies");
+        }
+    }
+}
+
+#[test]
+fn value_domain_sweep_resumes_bit_identically() {
+    // The kill/resume differential over the two value-bearing domains:
+    // a store-buffer + cache-data sweep (class-pruned and audited, like
+    // CI's smoke sweep) must replay bit-identically from a truncated
+    // sink, with clean audit reports on both sides.
+    let workloads = vec![workload(App::Is, Model::Serial, 1, IsaKind::Sira64)];
+    let mut space = FaultSpace::none();
+    space.storebuf = true;
+    space.cachedata = true;
+    let config = FleetConfig {
+        campaign: CampaignConfig {
+            faults: 30,
+            space,
+            prune_classes: true,
+            oracle_audit: 0.5,
+            ..CampaignConfig::default()
+        },
+        ..FleetConfig::default()
+    };
+    let path = temp_sink("value-resume");
+    let _ = std::fs::remove_file(&path);
+    let full = run_fleet_with_sink(&workloads, &config, &path).expect("sink opens");
+    assert_eq!(full[0].tally.anomaly, 0);
+    let report = full[0].audit.as_ref().expect("audit on");
+    assert_eq!(report.mismatch_count(), 0, "{}", report.summary());
+
+    let text = std::fs::read_to_string(&path).expect("sink readable");
+    let lines: Vec<&str> = text.lines().collect();
+    let mut truncated: String = lines[..lines.len() / 2]
+        .iter()
+        .map(|l| format!("{l}\n"))
+        .collect();
+    truncated.push_str(&lines[lines.len() / 2][..7]);
+    std::fs::write(&path, truncated).expect("truncate sink");
+    let resumed = run_fleet_with_sink(&workloads, &config, &path).expect("sink reopens");
+    assert_eq!(
+        resumed[0].to_json(),
+        full[0].to_json(),
+        "resumed value-domain sweep must be bit-identical"
+    );
+    assert_eq!(
+        resumed[0].audit, full[0].audit,
+        "resumed audit report must be bit-identical"
+    );
+    let _ = std::fs::remove_file(&path);
 }
 
 #[test]

@@ -767,6 +767,10 @@ impl Kernel {
     #[allow(clippy::too_many_lines)]
     fn syscall(&mut self, core: usize, tid: Tid, num: u16) -> Option<RunOutcome> {
         let pid = self.threads[tid as usize].pid;
+        // Kernel entry is a fence: the calling core's store buffer
+        // drains before the kernel reads any user memory, so a struck
+        // in-flight store is visible to (or corrupts) the syscall.
+        self.machine.drain_store_buffer(core);
         self.machine
             .core_mut(core)
             .advance_kernel(self.spec.syscall_cost);

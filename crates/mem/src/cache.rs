@@ -1,10 +1,25 @@
-//! Tag-only cache hierarchy with MESI-style coherence statistics.
+//! Cache hierarchy with MESI-style coherence statistics and a
+//! value-carrying fault overlay.
 //!
 //! Geometry follows the paper's §3.1 platform: per-core L1I 32 kB /
 //! 4-way and L1D 32 kB / 4-way, shared L2 512 kB / 8-way, 64-byte lines,
-//! LRU replacement. The model is *tag-only*: it tracks which lines would
-//! be resident and returns access latencies; data itself lives in
-//! [`crate::PhysMem`].
+//! LRU replacement. Functionally the model stays write-through: data
+//! lives in [`crate::PhysMem`] and the tag stores produce timing and
+//! statistics. Two fault-state layers sit on top, both empty (and
+//! zero-cost) in a fault-free run:
+//!
+//! * per-core [`StoreBuffer`]s — pending stores between core and L1D,
+//!   with store-to-load forwarding once a strike taints an entry;
+//! * lazy per-line *data overlays* — a [`MemSystem::flip_data_bit`]
+//!   strike materialises a 64-byte copy of the struck line from memory,
+//!   corrupts it, and the overlay (not memory) then answers loads that
+//!   hit that physical line slot, so a cache-data upset serves a stale
+//!   value exactly like a real SRAM flip would.
+
+use crate::phys::PhysMem;
+use crate::store::StoreBuffer;
+use std::collections::BTreeMap;
+use std::fmt;
 
 /// What kind of access hits the hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,6 +115,60 @@ impl CacheStats {
     }
 }
 
+/// A rejected fault coordinate from one of the checked flip hooks
+/// ([`MemSystem::flip_bit`], [`MemSystem::flip_data_bit`],
+/// [`MemSystem::flip_storebuf`]). Campaign-sampled faults are in range
+/// by construction; this surfaces a mis-derived geometry (a future
+/// domain edit) as a harness anomaly instead of indexing garbage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlipError {
+    /// No such unit selector.
+    UnknownUnit(u32),
+    /// Core index past the hierarchy's core count.
+    CoreRange {
+        /// The rejected index.
+        core: usize,
+        /// The hierarchy's core count.
+        cores: usize,
+    },
+    /// Line index past the selected tag store.
+    LineRange {
+        /// The rejected index.
+        line: usize,
+        /// The store's line count.
+        lines: usize,
+    },
+    /// Store-buffer entry index past the FIFO depth.
+    EntryRange {
+        /// The rejected index.
+        entry: usize,
+        /// The FIFO depth.
+        entries: usize,
+    },
+}
+
+impl fmt::Display for FlipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlipError::UnknownUnit(unit) => write!(f, "unknown cache unit {unit}"),
+            FlipError::CoreRange { core, cores } => {
+                write!(f, "core {core} out of range (hierarchy has {cores})")
+            }
+            FlipError::LineRange { line, lines } => {
+                write!(f, "line {line} out of range (store has {lines})")
+            }
+            FlipError::EntryRange { entry, entries } => {
+                write!(
+                    f,
+                    "store-buffer entry {entry} out of range (depth {entries})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlipError {}
+
 /// MESI line states (the model distinguishes dirty vs clean and
 /// shared vs exclusive for the coherence counters). `Invalid` never
 /// arises in a fault-free run — occupancy is tracked by the
@@ -148,6 +217,17 @@ struct Line {
 /// out, so they can never be `u32::MAX`.
 const INVALID_TAG: u32 = u32::MAX;
 
+/// A materialised data copy of one resident cache line: the fault
+/// overlay behind [`MemSystem::flip_data_bit`]. `base` is the line's
+/// physical base address — the overlay serves a load only while the
+/// slot's occupant still maps there, so a later tag strike cannot leak
+/// the bytes to an unrelated address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct LineOverlay {
+    base: u32,
+    bytes: [u8; 64],
+}
+
 /// A set-associative tag store, laid out as one dense
 /// `set_count * ways` slab (set `s` owns `lines[s*ways..(s+1)*ways]`)
 /// so a lookup touches a single contiguous run of 12-byte entries —
@@ -160,6 +240,10 @@ const INVALID_TAG: u32 = u32::MAX;
 /// (LRU stamps come from a strictly increasing per-cache tick, so the
 /// minimum is unique and the victim choice cannot depend on way
 /// order).
+///
+/// `lookup`/`insert`/`remove` report the slab index of the line they
+/// touched so the data-overlay bookkeeping can key off the physical
+/// slot without a second (tick-bumping, hence timing-visible) walk.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct SetAssoc {
     lines: Box<[Line]>,
@@ -198,69 +282,78 @@ impl SetAssoc {
         )
     }
 
-    #[inline]
-    fn lookup(&mut self, addr: u32) -> Option<&mut Line> {
-        self.tick += 1;
-        let tick = self.tick;
-        let (set, tag) = self.index(addr);
-        let line = self.lines[set * self.ways..(set + 1) * self.ways]
-            .iter_mut()
-            .find(|l| l.tag == tag && l.state != Mesi::Invalid)?;
-        line.lru = tick;
-        Some(line)
+    /// The line's physical base address, reconstructed from its slab
+    /// slot and stored tag (the inverse of [`SetAssoc::index`]).
+    fn base_addr(&self, slot: usize) -> u32 {
+        let set = (slot / self.ways) as u32;
+        let block = (self.lines[slot].tag << self.set_mask.trailing_ones()) | set;
+        block << self.set_shift
     }
 
-    /// Inserts a line, returning the evicted line if the set was full.
-    fn insert(&mut self, addr: u32, state: Mesi) -> Option<Line> {
+    #[inline]
+    fn lookup(&mut self, addr: u32) -> Option<usize> {
         self.tick += 1;
         let tick = self.tick;
         let (set, tag) = self.index(addr);
-        let set = &mut self.lines[set * self.ways..(set + 1) * self.ways];
-        let (slot, evicted) = match set.iter().position(|l| l.tag == INVALID_TAG) {
+        let slot = self.lines[set * self.ways..(set + 1) * self.ways]
+            .iter()
+            .position(|l| l.tag == tag && l.state != Mesi::Invalid)?
+            + set * self.ways;
+        self.lines[slot].lru = tick;
+        Some(slot)
+    }
+
+    /// Inserts a line, returning its slab slot and the evicted line if
+    /// the set was full.
+    fn insert(&mut self, addr: u32, state: Mesi) -> (usize, Option<Line>) {
+        self.tick += 1;
+        let tick = self.tick;
+        let (set, tag) = self.index(addr);
+        let ways = &mut self.lines[set * self.ways..(set + 1) * self.ways];
+        let (way, evicted) = match ways.iter().position(|l| l.tag == INVALID_TAG) {
             Some(empty) => (empty, None),
             None => {
-                let victim = set
+                let victim = ways
                     .iter()
                     .enumerate()
                     .min_by_key(|(_, l)| l.lru)
                     .map(|(i, _)| i)
                     .expect("non-empty set");
-                (victim, Some(set[victim]))
+                (victim, Some(ways[victim]))
             }
         };
-        set[slot] = Line {
+        ways[way] = Line {
             tag,
             state,
             lru: tick,
         };
-        evicted
+        (set * self.ways + way, evicted)
     }
 
-    fn remove(&mut self, addr: u32) -> Option<Line> {
+    fn remove(&mut self, addr: u32) -> Option<(usize, Line)> {
         let (set, tag) = self.index(addr);
-        let set = &mut self.lines[set * self.ways..(set + 1) * self.ways];
-        let i = set
+        let ways = &mut self.lines[set * self.ways..(set + 1) * self.ways];
+        let i = ways
             .iter()
             .position(|l| l.tag == tag && l.state != Mesi::Invalid)?;
-        let line = set[i];
-        set[i] = Line {
+        let line = ways[i];
+        ways[i] = Line {
             tag: INVALID_TAG,
             state: Mesi::Shared,
             lru: 0,
         };
-        Some(line)
+        Some((set * self.ways + i, line))
     }
 
     /// Fault hook: XORs one bit of the `line`-th tag-store entry.
     /// The 40-bit per-line layout mirrors the SRAM a strike would hit —
     /// bits 0–31 the tag, 32–33 the 2-bit MESI state code, 34–39 the
     /// low six bits of the LRU stamp. `bit` wraps at 40 (the domain's
-    /// adjacent-bit modulus); out-of-range lines are ignored. Pure XOR
-    /// on every field, so applying the same flip twice is the identity.
+    /// adjacent-bit modulus); the caller has range-checked `line`. Pure
+    /// XOR on every field, so applying the same flip twice is the
+    /// identity.
     fn flip_line_bit(&mut self, line: usize, bit: u32) {
-        let Some(l) = self.lines.get_mut(line) else {
-            return;
-        };
+        let l = &mut self.lines[line];
         match bit % 40 {
             b @ 0..=31 => l.tag ^= 1 << b,
             b @ 32..=33 => l.state = Mesi::from_code(l.state.code() ^ (1 << (b - 32))),
@@ -274,8 +367,10 @@ impl SetAssoc {
     }
 }
 
-/// The multicore cache hierarchy: one L1I + L1D pair per core and a
-/// shared L2, with MESI bookkeeping between the L1 data caches.
+/// The multicore cache hierarchy: one L1I + L1D pair per core, a shared
+/// L2 with MESI bookkeeping between the L1 data caches, one
+/// [`StoreBuffer`] per core, and the lazy data-overlay map behind the
+/// `cachedata` fault domain.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MemSystem {
     params: CacheParams,
@@ -296,6 +391,14 @@ pub struct MemSystem {
     /// interleaves with the repeats, so the line's relative recency
     /// against every other line is unchanged.
     fetch_line: Vec<u32>,
+    /// Per-core store buffers. Shadow state is pushed on every store;
+    /// only a strike makes one observable (see [`crate::store`]).
+    sbuf: Vec<StoreBuffer>,
+    /// Materialised data copies of struck lines, keyed by
+    /// `(unit, core, slab slot)` (core 0 for the shared L2). Empty in
+    /// a fault-free run; a `BTreeMap` so iteration order, equality and
+    /// clones are deterministic.
+    overlays: BTreeMap<(u32, u32, u32), LineOverlay>,
 }
 
 impl MemSystem {
@@ -310,6 +413,8 @@ impl MemSystem {
     /// Bits per tag-store line in the cache-state fault model (32 tag +
     /// 2 MESI state + 6 LRU-stamp bits).
     pub const LINE_BITS: u32 = 40;
+    /// Bits per line in the cache-data fault model (the 64 data bytes).
+    pub const DATA_LINE_BITS: u32 = 512;
 
     /// Creates a hierarchy for `cores` cores.
     pub fn new(cores: usize, params: CacheParams) -> MemSystem {
@@ -326,6 +431,8 @@ impl MemSystem {
             l1d_stats: vec![CacheStats::default(); cores],
             l2_stats: CacheStats::default(),
             fetch_line: vec![u32::MAX; cores],
+            sbuf: vec![StoreBuffer::default(); cores],
+            overlays: BTreeMap::new(),
         }
     }
 
@@ -340,7 +447,11 @@ impl MemSystem {
     }
 
     /// Simulates one access by `core`, returning the extra latency in
-    /// cycles beyond the L1-hit base cost (0 for an L1 hit).
+    /// cycles beyond the L1-hit base cost (0 for an L1 hit). This is
+    /// the timing-only entry point (instruction fetch, and data
+    /// accesses that do not consult the value layers); loads and stores
+    /// on the execution path go through [`MemSystem::data_read`] /
+    /// [`MemSystem::data_write`], which produce identical timing.
     ///
     /// # Panics
     ///
@@ -349,9 +460,57 @@ impl MemSystem {
     pub fn access(&mut self, core: usize, access: Access, addr: u32) -> u32 {
         match access {
             Access::Fetch => self.access_l1i(core, addr),
-            Access::DataRead => self.access_l1d(core, addr, false),
-            Access::DataWrite => self.access_l1d(core, addr, true),
+            Access::DataRead => self.l1d_slot_access(core, addr, false).0,
+            Access::DataWrite => self.l1d_slot_access(core, addr, true).0,
         }
+    }
+
+    /// One data load by `core`: runs the exact timing access of
+    /// [`Access::DataRead`] and additionally consults the value layers,
+    /// youngest first — a tainted store-buffer entry forwards, else a
+    /// data overlay on the serving L1D slot answers. Returns the
+    /// penalty and `Some(value)` when a layer overrides the
+    /// write-through memory value (never in a fault-free run).
+    #[inline]
+    pub fn data_read(&mut self, core: usize, addr: u32, bytes: u32) -> (u32, Option<u64>) {
+        let forwarded = if self.sbuf[core].is_tainted() {
+            self.sbuf[core].forward(addr, bytes as u8)
+        } else {
+            None
+        };
+        let (penalty, slot) = self.l1d_slot_access(core, addr, false);
+        let value = forwarded.or_else(|| self.overlay_value(core, slot, addr, bytes));
+        (penalty, value)
+    }
+
+    /// One data store by `core`: pushes the store into the core's
+    /// buffer (recycling — and, if struck, draining — the oldest
+    /// entry), runs the exact timing access of [`Access::DataWrite`]
+    /// and folds the new value into any data overlay on the serving
+    /// slot. The caller has already written `value` through to `mem`;
+    /// an overlay that becomes byte-identical to memory dissolves.
+    #[inline]
+    pub fn data_write(
+        &mut self,
+        core: usize,
+        addr: u32,
+        bytes: u32,
+        value: u64,
+        mem: &mut PhysMem,
+    ) -> u32 {
+        self.sbuf[core].push(addr, bytes as u8, value, mem);
+        let (penalty, slot) = self.l1d_slot_access(core, addr, true);
+        if !self.overlays.is_empty() {
+            self.store_into_overlay(core, slot, addr, bytes, value, mem);
+        }
+        penalty
+    }
+
+    /// Drains `core`'s store buffer to memory (a fence: SVC entry,
+    /// halt, atomics). A no-op unless a strike tainted an entry.
+    #[inline]
+    pub fn drain_store_buffer(&mut self, core: usize, mem: &mut PhysMem) {
+        self.sbuf[core].drain_all(mem);
     }
 
     #[inline]
@@ -369,15 +528,21 @@ impl MemSystem {
             return 0;
         }
         self.l1i_stats[core].misses += 1;
-        let penalty = self.access_l2(addr, false);
+        let (penalty, _) = self.access_l2(addr, false);
         self.l1i[core].insert(addr, Mesi::Shared);
         penalty
     }
 
-    fn access_l1d(&mut self, core: usize, addr: u32, write: bool) -> u32 {
+    /// The L1D access path, returning the penalty and the slab slot of
+    /// the line that served (or was just filled for) `addr`. All data-
+    /// overlay bookkeeping rides the slots the timing walk already
+    /// computed — never an extra `lookup`, which would bump LRU ticks
+    /// and change golden timing.
+    fn l1d_slot_access(&mut self, core: usize, addr: u32, write: bool) -> (u32, usize) {
         // Hit path.
-        if let Some(line) = self.l1d[core].lookup(addr) {
+        if let Some(slot) = self.l1d[core].lookup(addr) {
             self.l1d_stats[core].hits += 1;
+            let line = &mut self.l1d[core].lines[slot];
             let upgrade = write && line.state == Mesi::Shared;
             if write {
                 line.state = Mesi::Modified;
@@ -386,7 +551,7 @@ impl MemSystem {
                 // BusUpgr: invalidate every other copy.
                 self.invalidate_others(core, addr);
             }
-            return 0;
+            return (0, slot);
         }
         self.l1d_stats[core].misses += 1;
 
@@ -397,13 +562,15 @@ impl MemSystem {
                 continue;
             }
             if write {
-                if let Some(line) = self.l1d[other].remove(addr) {
+                if let Some((oslot, line)) = self.l1d[other].remove(addr) {
                     self.l1d_stats[other].invalidations += 1;
                     if line.state == Mesi::Modified {
                         self.l1d_stats[other].writebacks += 1;
                     }
+                    self.drop_overlay(Self::UNIT_L1D, other, oslot);
                 }
-            } else if let Some(line) = self.l1d[other].lookup(addr) {
+            } else if let Some(oslot) = self.l1d[other].lookup(addr) {
+                let line = &mut self.l1d[other].lines[oslot];
                 if line.state == Mesi::Modified {
                     self.l1d_stats[other].writebacks += 1;
                 }
@@ -412,7 +579,7 @@ impl MemSystem {
             }
         }
 
-        let penalty = self.access_l2(addr, write);
+        let (penalty, l2_hit_slot) = self.access_l2(addr, write);
         let state = if write {
             Mesi::Modified
         } else if shared_elsewhere {
@@ -420,21 +587,32 @@ impl MemSystem {
         } else {
             Mesi::Exclusive
         };
-        if let Some(evicted) = self.l1d[core].insert(addr, state) {
+        let (slot, evicted) = self.l1d[core].insert(addr, state);
+        if let Some(evicted) = evicted {
             if evicted.state == Mesi::Modified {
                 self.l1d_stats[core].writebacks += 1;
             }
         }
-        penalty
+        if !self.overlays.is_empty() {
+            // The fill replaces the slot's occupant: its overlay (if
+            // any) leaves with it — a clean-line eviction discards the
+            // strike — and a struck L2 copy of the *new* line
+            // propagates down with the fill.
+            self.drop_overlay(Self::UNIT_L1D, core, slot);
+            if let Some(l2s) = l2_hit_slot {
+                self.propagate_l2_overlay(l2s, addr, core, slot);
+            }
+        }
+        (penalty, slot)
     }
 
-    fn access_l2(&mut self, addr: u32, write: bool) -> u32 {
-        if let Some(line) = self.l2.lookup(addr) {
+    fn access_l2(&mut self, addr: u32, write: bool) -> (u32, Option<usize>) {
+        if let Some(slot) = self.l2.lookup(addr) {
             self.l2_stats.hits += 1;
             if write {
-                line.state = Mesi::Modified;
+                self.l2.lines[slot].state = Mesi::Modified;
             }
-            return self.params.l2_hit_cycles;
+            return (self.params.l2_hit_cycles, Some(slot));
         }
         self.l2_stats.misses += 1;
         let state = if write {
@@ -442,18 +620,107 @@ impl MemSystem {
         } else {
             Mesi::Exclusive
         };
-        if let Some(evicted) = self.l2.insert(addr, state) {
+        let (slot, evicted) = self.l2.insert(addr, state);
+        if let Some(evicted) = evicted {
             if evicted.state == Mesi::Modified {
                 self.l2_stats.writebacks += 1;
             }
         }
-        self.params.l2_hit_cycles + self.params.mem_cycles
+        // The fill comes from memory, so the slot's previous occupant's
+        // overlay (if struck) is discarded with it.
+        self.drop_overlay(Self::UNIT_L2, 0, slot);
+        (self.params.l2_hit_cycles + self.params.mem_cycles, None)
     }
 
     fn invalidate_others(&mut self, core: usize, addr: u32) {
         for other in 0..self.l1d.len() {
-            if other != core && self.l1d[other].remove(addr).is_some() {
-                self.l1d_stats[other].invalidations += 1;
+            if other != core {
+                if let Some((oslot, _)) = self.l1d[other].remove(addr) {
+                    self.l1d_stats[other].invalidations += 1;
+                    self.drop_overlay(Self::UNIT_L1D, other, oslot);
+                }
+            }
+        }
+    }
+
+    // ----- data-overlay bookkeeping ---------------------------------------
+
+    fn drop_overlay(&mut self, unit: u32, core: usize, slot: usize) {
+        if !self.overlays.is_empty() {
+            self.overlays.remove(&(unit, core as u32, slot as u32));
+        }
+    }
+
+    /// Copies a struck L2 line's overlay down to the L1D slot a fill
+    /// just installed it in: the L1D fill reads the (corrupted) L2
+    /// copy, not memory.
+    fn propagate_l2_overlay(&mut self, l2_slot: usize, addr: u32, core: usize, l1_slot: usize) {
+        let base = addr & !(self.params.line - 1);
+        if let Some(ov) = self.overlays.get(&(Self::UNIT_L2, 0, l2_slot as u32)) {
+            if ov.base == base {
+                let ov = ov.clone();
+                self.overlays
+                    .insert((Self::UNIT_L1D, core as u32, l1_slot as u32), ov);
+            }
+        }
+    }
+
+    /// The overlay-served value for a load that the L1D answered from
+    /// `slot`, or `None` when no (address-matching) overlay covers it.
+    fn overlay_value(&self, core: usize, slot: usize, addr: u32, bytes: u32) -> Option<u64> {
+        if self.overlays.is_empty() {
+            return None;
+        }
+        let line_mask = self.params.line - 1;
+        let ov = self
+            .overlays
+            .get(&(Self::UNIT_L1D, core as u32, slot as u32))?;
+        if ov.base != addr & !line_mask {
+            return None;
+        }
+        let off = (addr & line_mask) as usize;
+        let end = off + bytes as usize;
+        if end > ov.bytes.len() {
+            return None;
+        }
+        let mut v = 0u64;
+        for (i, &b) in ov.bytes[off..end].iter().enumerate() {
+            v |= u64::from(b) << (8 * i);
+        }
+        Some(v)
+    }
+
+    /// Folds a store's value into the overlay covering its serving
+    /// slot, dissolving the overlay if it becomes byte-identical to
+    /// memory (the store overwrote the corrupted bytes).
+    fn store_into_overlay(
+        &mut self,
+        core: usize,
+        slot: usize,
+        addr: u32,
+        bytes: u32,
+        value: u64,
+        mem: &PhysMem,
+    ) {
+        let line_mask = self.params.line - 1;
+        let key = (Self::UNIT_L1D, core as u32, slot as u32);
+        let Some(ov) = self.overlays.get_mut(&key) else {
+            return;
+        };
+        if ov.base != addr & !line_mask {
+            return;
+        }
+        let off = (addr & line_mask) as usize;
+        let end = off + bytes as usize;
+        if end > ov.bytes.len() {
+            return;
+        }
+        for (i, b) in ov.bytes[off..end].iter_mut().enumerate() {
+            *b = (value >> (8 * i)) as u8;
+        }
+        if let Ok(current) = mem.read_bytes(ov.base, 64) {
+            if current == ov.bytes {
+                self.overlays.remove(&key);
             }
         }
     }
@@ -488,7 +755,9 @@ impl MemSystem {
     /// [`MemSystem::UNIT_L2`] (`core` is ignored for the shared L2) —
     /// and `bit` addresses the 40-bit line layout of
     /// `SetAssoc::flip_line_bit` (tag, MESI code, low LRU bits),
-    /// wrapping at 40. Out-of-range units, cores and lines are ignored.
+    /// wrapping at 40. Out-of-range units, cores and lines are rejected
+    /// with a [`FlipError`] so a mis-derived fault coordinate surfaces
+    /// as a campaign anomaly instead of silently landing nowhere.
     ///
     /// The same-line fetch memo (`fetch_line`) is deliberately *not*
     /// reset by an L1I flip: the memo models the core's fetch line
@@ -498,20 +767,138 @@ impl MemSystem {
     /// line — the first real tag lookup — and keeping the hook pure
     /// XOR/toggle preserves the apply-twice-is-identity involution every
     /// registered fault domain guarantees.
-    pub fn flip_bit(&mut self, unit: u32, core: usize, line: usize, bit: u32) {
+    ///
+    /// # Errors
+    ///
+    /// [`FlipError`] on an out-of-range unit, core or line; the flip is
+    /// not applied.
+    pub fn flip_bit(
+        &mut self,
+        unit: u32,
+        core: usize,
+        line: usize,
+        bit: u32,
+    ) -> Result<(), FlipError> {
+        let store = self.unit_store(unit, core)?;
+        let lines = store.line_count();
+        if line >= lines {
+            return Err(FlipError::LineRange { line, lines });
+        }
+        store.flip_line_bit(line, bit);
+        Ok(())
+    }
+
+    /// Fault hook behind the `cachedata` domain: XORs one bit of a
+    /// resident line's 64-byte data copy. `unit` is
+    /// [`MemSystem::UNIT_L1D`] or [`MemSystem::UNIT_L2`] (the L1I's
+    /// data is the text domain's territory) and `bit` wraps at
+    /// [`MemSystem::DATA_LINE_BITS`].
+    ///
+    /// The copy is materialised lazily: the first strike on a line
+    /// snapshots its bytes from `mem` into an overlay and corrupts
+    /// that; loads served from the slot then read the overlay. A strike
+    /// on an empty or `Invalid` way is a no-op (there is no data to
+    /// corrupt — the fault masks), as is one on a phantom line whose
+    /// reconstructed address falls outside memory. An overlay that
+    /// returns to byte-equality with memory dissolves, which is what
+    /// makes the hook an involution: the same flip twice restores the
+    /// snapshot exactly and the overlay map returns to its prior state.
+    ///
+    /// # Errors
+    ///
+    /// [`FlipError`] on an out-of-range or non-data unit, core or line;
+    /// the flip is not applied.
+    pub fn flip_data_bit(
+        &mut self,
+        unit: u32,
+        core: usize,
+        line: usize,
+        bit: u32,
+        mem: &PhysMem,
+    ) -> Result<(), FlipError> {
+        if unit != Self::UNIT_L1D && unit != Self::UNIT_L2 {
+            return Err(FlipError::UnknownUnit(unit));
+        }
+        let store = self.unit_store(unit, core)?;
+        let lines = store.line_count();
+        if line >= lines {
+            return Err(FlipError::LineRange { line, lines });
+        }
+        let l = store.lines[line];
+        if l.tag == INVALID_TAG || l.state == Mesi::Invalid {
+            return Ok(()); // empty way: the strike masks
+        }
+        let base = store.base_addr(line);
+        let key = (
+            unit,
+            if unit == Self::UNIT_L2 {
+                0
+            } else {
+                core as u32
+            },
+            line as u32,
+        );
+        let mut ov = match self.overlays.get(&key) {
+            Some(ov) if ov.base == base => ov.clone(),
+            _ => {
+                let Ok(bytes) = mem.read_bytes(base, 64) else {
+                    return Ok(()); // phantom line outside memory: masks
+                };
+                let mut copy = [0u8; 64];
+                copy.copy_from_slice(bytes);
+                LineOverlay { base, bytes: copy }
+            }
+        };
+        let bit = bit % Self::DATA_LINE_BITS;
+        ov.bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+        let dissolved = mem
+            .read_bytes(base, 64)
+            .is_ok_and(|current| current == ov.bytes);
+        if dissolved {
+            self.overlays.remove(&key);
+        } else {
+            self.overlays.insert(key, ov);
+        }
+        Ok(())
+    }
+
+    /// Fault hook behind the `storebuf` domain: XORs one bit of a
+    /// store-buffer entry's 97-bit payload (see [`StoreBuffer::flip`]
+    /// for the layout; `bit` wraps per entry so an MBU burst never
+    /// crosses entries).
+    ///
+    /// # Errors
+    ///
+    /// [`FlipError`] on an out-of-range core or entry; the flip is not
+    /// applied.
+    pub fn flip_storebuf(&mut self, core: usize, entry: usize, bit: u32) -> Result<(), FlipError> {
+        let cores = self.sbuf.len();
+        let Some(sb) = self.sbuf.get_mut(core) else {
+            return Err(FlipError::CoreRange { core, cores });
+        };
+        if entry >= crate::store::STORE_BUFFER_ENTRIES {
+            return Err(FlipError::EntryRange {
+                entry,
+                entries: crate::store::STORE_BUFFER_ENTRIES,
+            });
+        }
+        sb.flip(entry, bit);
+        Ok(())
+    }
+
+    fn unit_store(&mut self, unit: u32, core: usize) -> Result<&mut SetAssoc, FlipError> {
+        let cores = self.l1i.len();
         match unit {
-            Self::UNIT_L1I => {
-                if let Some(l1i) = self.l1i.get_mut(core) {
-                    l1i.flip_line_bit(line, bit);
-                }
-            }
-            Self::UNIT_L1D => {
-                if let Some(l1d) = self.l1d.get_mut(core) {
-                    l1d.flip_line_bit(line, bit);
-                }
-            }
-            Self::UNIT_L2 => self.l2.flip_line_bit(line, bit),
-            _ => {}
+            Self::UNIT_L1I => self
+                .l1i
+                .get_mut(core)
+                .ok_or(FlipError::CoreRange { core, cores }),
+            Self::UNIT_L1D => self
+                .l1d
+                .get_mut(core)
+                .ok_or(FlipError::CoreRange { core, cores }),
+            Self::UNIT_L2 => Ok(&mut self.l2),
+            _ => Err(FlipError::UnknownUnit(unit)),
         }
     }
 }
@@ -629,17 +1016,54 @@ mod tests {
         for unit in [MemSystem::UNIT_L1I, MemSystem::UNIT_L1D, MemSystem::UNIT_L2] {
             for bit in [0, 17, 31, 32, 33, 34, 39] {
                 let mut faulty = golden.clone();
-                faulty.flip_bit(unit, 0, 3, bit);
-                faulty.flip_bit(unit, 0, 3, bit);
+                faulty.flip_bit(unit, 0, 3, bit).unwrap();
+                faulty.flip_bit(unit, 0, 3, bit).unwrap();
                 assert_eq!(faulty, golden, "unit {unit} bit {bit}");
             }
         }
-        // Out-of-range coordinates are ignored, twice over.
-        let mut faulty = golden.clone();
-        faulty.flip_bit(9, 0, 0, 0);
-        faulty.flip_bit(MemSystem::UNIT_L1D, 99, 0, 0);
-        faulty.flip_bit(MemSystem::UNIT_L2, 0, 1 << 20, 0);
-        assert_eq!(faulty, golden);
+    }
+
+    #[test]
+    fn out_of_range_flips_are_rejected() {
+        let mut m = MemSystem::new(2, small());
+        let golden = m.clone();
+        assert_eq!(m.flip_bit(9, 0, 0, 0), Err(FlipError::UnknownUnit(9)));
+        assert_eq!(
+            m.flip_bit(MemSystem::UNIT_L1D, 99, 0, 0),
+            Err(FlipError::CoreRange { core: 99, cores: 2 })
+        );
+        assert_eq!(
+            m.flip_bit(MemSystem::UNIT_L2, 0, 1 << 20, 0),
+            Err(FlipError::LineRange {
+                line: 1 << 20,
+                lines: 64
+            })
+        );
+        let mem = PhysMem::new(1 << 16);
+        assert_eq!(
+            m.flip_data_bit(MemSystem::UNIT_L1I, 0, 0, 0, &mem),
+            Err(FlipError::UnknownUnit(MemSystem::UNIT_L1I)),
+            "L1I data is the text domain's territory"
+        );
+        assert_eq!(
+            m.flip_data_bit(MemSystem::UNIT_L1D, 0, 4096, 0, &mem),
+            Err(FlipError::LineRange {
+                line: 4096,
+                lines: 16
+            })
+        );
+        assert_eq!(
+            m.flip_storebuf(7, 0, 0),
+            Err(FlipError::CoreRange { core: 7, cores: 2 })
+        );
+        assert_eq!(
+            m.flip_storebuf(0, 99, 0),
+            Err(FlipError::EntryRange {
+                entry: 99,
+                entries: crate::store::STORE_BUFFER_ENTRIES
+            })
+        );
+        assert_eq!(m, golden, "rejected flips must not change state");
     }
 
     #[test]
@@ -654,7 +1078,7 @@ mod tests {
             .iter()
             .position(|l| l.tag != INVALID_TAG)
             .expect("one resident line");
-        m.flip_bit(MemSystem::UNIT_L1D, 0, line, 33);
+        m.flip_bit(MemSystem::UNIT_L1D, 0, line, 33).unwrap();
         assert_eq!(m.l1d[0].lines[line].state, Mesi::Invalid);
         let misses = m.l1d_stats(0).misses;
         assert!(
@@ -673,7 +1097,7 @@ mod tests {
             .iter()
             .position(|l| l.tag != INVALID_TAG)
             .expect("one resident line");
-        m.flip_bit(MemSystem::UNIT_L1I, 0, line, 5);
+        m.flip_bit(MemSystem::UNIT_L1I, 0, line, 5).unwrap();
         // Same-line repeat fetch still streams from the fetch line
         // buffer — a tag-SRAM strike does not touch the buffered
         // instructions.
@@ -700,10 +1124,144 @@ mod tests {
         // Flip tag bit 0: 0x1000's line now answers for a different
         // address in the same set (aliasing, the classic tag-SRAM
         // failure mode) and no longer for 0x1000 itself.
-        m.flip_bit(MemSystem::UNIT_L1D, 0, line, 0);
+        m.flip_bit(MemSystem::UNIT_L1D, 0, line, 0).unwrap();
         let misses = m.l1d_stats(0).misses;
         m.access(0, Access::DataRead, 0x1000);
         assert_eq!(m.l1d_stats(0).misses, misses + 1);
+    }
+
+    // ----- value layers ---------------------------------------------------
+
+    fn resident_l1d_slot(m: &MemSystem, core: usize) -> usize {
+        m.l1d[core]
+            .lines
+            .iter()
+            .position(|l| l.tag != INVALID_TAG)
+            .expect("one resident line")
+    }
+
+    #[test]
+    fn data_paths_match_access_timing_and_are_transparent_when_clean() {
+        let mut mem = PhysMem::new(1 << 16);
+        mem.write_u32(0x1000, 77).unwrap();
+        let mut a = MemSystem::new(1, small());
+        let mut b = MemSystem::new(1, small());
+        let pa = a.access(0, Access::DataRead, 0x1000);
+        let (pb, over) = b.data_read(0, 0x1000, 4);
+        assert_eq!(pa, pb);
+        assert_eq!(over, None, "clean hierarchy never overrides memory");
+        let pa = a.access(0, Access::DataWrite, 0x1040);
+        mem.write_u32(0x1040, 5).unwrap();
+        let pb = b.data_write(0, 0x1040, 4, 5, &mut mem);
+        assert_eq!(pa, pb);
+        assert_eq!(a, b, "identical timing state; value layers empty");
+    }
+
+    #[test]
+    fn data_flip_serves_a_corrupted_load_and_is_an_involution() {
+        let mut mem = PhysMem::new(1 << 16);
+        mem.write_u32(0x1000, 0xff).unwrap();
+        let mut m = MemSystem::new(1, small());
+        m.data_read(0, 0x1000, 4);
+        let slot = resident_l1d_slot(&m, 0);
+        let golden = m.clone();
+        m.flip_data_bit(MemSystem::UNIT_L1D, 0, slot, 3, &mem)
+            .unwrap();
+        let (_, over) = m.data_read(0, 0x1000, 4);
+        assert_eq!(over, Some(0xff ^ 8), "overlay serves the struck value");
+        assert_eq!(mem.read_u32(0x1000).unwrap(), 0xff, "memory untouched");
+        // The same flip twice dissolves the overlay entirely.
+        let mut twice = golden.clone();
+        twice
+            .flip_data_bit(MemSystem::UNIT_L1D, 0, slot, 3, &mem)
+            .unwrap();
+        twice
+            .flip_data_bit(MemSystem::UNIT_L1D, 0, slot, 3, &mem)
+            .unwrap();
+        assert_eq!(twice, golden);
+        assert!(twice.overlays.is_empty());
+    }
+
+    #[test]
+    fn store_over_the_struck_bytes_dissolves_the_overlay() {
+        let mut mem = PhysMem::new(1 << 16);
+        mem.write_u32(0x2000, 1).unwrap();
+        let mut m = MemSystem::new(1, small());
+        m.data_read(0, 0x2000, 4);
+        let slot = resident_l1d_slot(&m, 0);
+        m.flip_data_bit(MemSystem::UNIT_L1D, 0, slot, 0, &mem)
+            .unwrap();
+        assert!(!m.overlays.is_empty());
+        // Overwrite the corrupted word: cache copy and memory re-agree.
+        mem.write_u32(0x2000, 42).unwrap();
+        m.data_write(0, 0x2000, 4, 42, &mut mem);
+        assert!(m.overlays.is_empty(), "overlay equal to memory dissolves");
+        assert_eq!(m.data_read(0, 0x2000, 4).1, None);
+    }
+
+    #[test]
+    fn eviction_discards_the_struck_line() {
+        let mem = PhysMem::new(1 << 16);
+        let mut m = MemSystem::new(1, small());
+        m.data_read(0, 0, 4);
+        let slot = resident_l1d_slot(&m, 0);
+        m.flip_data_bit(MemSystem::UNIT_L1D, 0, slot, 0, &mem)
+            .unwrap();
+        // Two more lines in the same set (8 sets, 2 ways) evict line 0
+        // from the L1D; its overlay leaves with it. The L2 copy was
+        // never struck, so a re-read serves memory again.
+        let set_stride = 8 * 64;
+        m.data_read(0, set_stride, 4);
+        m.data_read(0, 2 * set_stride, 4);
+        assert!(
+            !m.overlays
+                .contains_key(&(MemSystem::UNIT_L1D, 0, slot as u32)),
+            "clean eviction discards the strike"
+        );
+        assert_eq!(m.data_read(0, 0, 4).1, None);
+    }
+
+    #[test]
+    fn l2_strike_propagates_down_with_the_fill() {
+        let mut mem = PhysMem::new(1 << 16);
+        mem.write_u32(0, 10).unwrap();
+        let mut m = MemSystem::new(1, small());
+        m.data_read(0, 0, 4);
+        // Evict the line from L1 (it stays in L2), then strike the L2
+        // data copy.
+        let set_stride = 8 * 64;
+        m.data_read(0, set_stride, 4);
+        m.data_read(0, 2 * set_stride, 4);
+        let l2_slot = (0..m.l2.line_count())
+            .find(|&s| m.l2.lines[s].tag != INVALID_TAG && m.l2.base_addr(s) == 0)
+            .expect("line resident in L2");
+        m.flip_data_bit(MemSystem::UNIT_L2, 0, l2_slot, 1, &mem)
+            .unwrap();
+        // Refill the L1D from the struck L2 copy: the load sees it.
+        let (_, over) = m.data_read(0, 0, 4);
+        assert_eq!(over, Some(10 ^ 2), "L1 fill reads the corrupted L2 data");
+    }
+
+    #[test]
+    fn strike_on_an_empty_way_masks() {
+        let mem = PhysMem::new(1 << 16);
+        let mut m = MemSystem::new(1, small());
+        let golden = m.clone();
+        m.flip_data_bit(MemSystem::UNIT_L1D, 0, 0, 5, &mem).unwrap();
+        assert_eq!(m, golden, "no resident data to corrupt");
+    }
+
+    #[test]
+    fn store_buffer_taint_forwards_through_data_read() {
+        let mut mem = PhysMem::new(1 << 16);
+        mem.write_u32(0x3000, 6).unwrap();
+        let mut m = MemSystem::new(1, small());
+        m.data_write(0, 0x3000, 4, 6, &mut mem);
+        m.flip_storebuf(0, 0, 32).unwrap(); // data bit 0 of the pending store
+        let (_, over) = m.data_read(0, 0x3000, 4);
+        assert_eq!(over, Some(6 ^ 1), "tainted entry forwards to the load");
+        m.drain_store_buffer(0, &mut mem);
+        assert_eq!(mem.read_u32(0x3000).unwrap(), 6 ^ 1, "fence commits it");
     }
 
     #[test]

@@ -10,8 +10,12 @@
 //! * [`MemSystem`] — the cache hierarchy of the paper's §3.1 platform:
 //!   per-core L1I 32 kB 4-way and L1D 32 kB 4-way, a shared L2 512 kB
 //!   8-way, LRU replacement and MESI-style coherence between the L1 data
-//!   caches. The hierarchy is *tag-only*: it produces timing and
-//!   statistics while data functionally lives in [`PhysMem`].
+//!   caches. Functionally the hierarchy is write-through — it produces
+//!   timing and statistics while data lives in [`PhysMem`] — but it
+//!   carries two value-bearing fault layers: per-core [`StoreBuffer`]s
+//!   (pending stores with store-to-load forwarding) and lazy per-line
+//!   data overlays, so store-buffer and cache-data strikes can serve
+//!   corrupted values the way real uncore SRAM upsets do.
 //!
 //! ## Example
 //!
@@ -31,10 +35,12 @@
 mod cache;
 mod perm;
 mod phys;
+mod store;
 
-pub use cache::{Access, CacheParams, CacheStats, MemSystem};
+pub use cache::{Access, CacheParams, CacheStats, FlipError, MemSystem};
 pub use perm::{AccessKind, PermissionMap, Perms, PAGE_SIZE};
 pub use phys::{MemError, MemSnapshot, PageSet, PhysMem};
+pub use store::{StoreBuffer, STORE_BUFFER_ENTRIES, STORE_ENTRY_BITS};
 
 /// Default physical memory size (64 MiB).
 pub const DEFAULT_MEM_SIZE: u32 = 64 << 20;

@@ -1,0 +1,346 @@
+//! Per-core store buffer: a bounded FIFO of pending stores between the
+//! core and its L1D, with store-to-load forwarding — the uncore
+//! structure Cho et al. identify as a dominant SDC source.
+//!
+//! ## Shadow-ring + diff-overlay design
+//!
+//! The functional memory model is write-through: every store lands in
+//! [`crate::PhysMem`] the cycle it executes, which is what keeps golden
+//! runs (and every pre-existing fault domain's sweep database)
+//! byte-identical with the buffer present. The buffer itself is split
+//! in two:
+//!
+//! * a **shadow ring** of the last [`STORE_BUFFER_ENTRIES`] stores
+//!   (address, width, data, valid) — pure bookkeeping that is pushed on
+//!   every store but, on its own, never influences execution: under
+//!   write-through, the newest ring match for an address necessarily
+//!   holds the same value memory does;
+//! * a per-entry **XOR diff overlay** — the fault state. A store-buffer
+//!   strike ([`StoreBuffer::flip`]) XORs into the diff, never the
+//!   shadow. While every diff is zero the buffer is *value-transparent*
+//!   and [`StoreBuffer::eq`] compares equal to any other untainted
+//!   buffer regardless of shadow history, so checkpoint reconvergence
+//!   and resume equality for the legacy domains are untouched.
+//!
+//! Once an entry carries a nonzero diff the buffer is *tainted*:
+//! matching loads forward the corrupted (shadow ⊕ diff) value, and the
+//! corrupted entry is eventually **drained** — written over memory — at
+//! a fence (SVC entry, halt, atomic) or when the ring slot is reused.
+//! Drains visit slots in a deterministic order (FIFO for the full
+//! drain, the overwritten slot for the capacity drain) and only touch
+//! memory for diff-carrying entries, so an untainted run never writes.
+
+use crate::phys::PhysMem;
+
+/// Entries per core in the store buffer (an 8-deep FIFO, the common
+/// depth of the embedded cores the paper's platform models).
+pub const STORE_BUFFER_ENTRIES: usize = 8;
+
+/// Bits per store-buffer entry in the fault model: 32 address + 64
+/// data + 1 valid. The domain's MBU wrap modulus, so an adjacent-bit
+/// burst never crosses an entry boundary.
+pub const STORE_ENTRY_BITS: u32 = 97;
+
+/// One architectural (shadow) entry: the store as the core issued it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct StoreEntry {
+    addr: u32,
+    /// Store width in bytes (1, 4 or 8); 0 marks a never-used slot.
+    len: u8,
+    valid: bool,
+    data: u64,
+}
+
+/// The XOR fault overlay for one entry. All-zero means "no strike".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct EntryDiff {
+    addr: u32,
+    data: u64,
+    valid: bool,
+}
+
+impl EntryDiff {
+    fn is_zero(self) -> bool {
+        self.addr == 0 && self.data == 0 && !self.valid
+    }
+}
+
+/// A per-core store buffer (see the module docs for the design).
+#[derive(Debug, Clone)]
+pub struct StoreBuffer {
+    entries: [StoreEntry; STORE_BUFFER_ENTRIES],
+    diff: [EntryDiff; STORE_BUFFER_ENTRIES],
+    /// Next push slot; `head - 1` is the newest entry.
+    head: usize,
+    /// Cached `diff.iter().any(|d| !d.is_zero())`, checked on the store
+    /// hot path.
+    tainted: bool,
+}
+
+/// Equality deliberately covers only the fault overlay. The shadow ring
+/// is execution *history* — two runs that reconverge architecturally
+/// can disagree on the last eight stores they issued — and under
+/// write-through an untainted shadow never influences any future value
+/// or cycle, so comparing it would break checkpoint-reconvergence
+/// pruning (and with it byte-identity of the legacy domains' sweep
+/// databases) for no semantic gain.
+impl PartialEq for StoreBuffer {
+    fn eq(&self, other: &StoreBuffer) -> bool {
+        self.diff == other.diff
+    }
+}
+
+impl Eq for StoreBuffer {}
+
+impl Default for StoreBuffer {
+    fn default() -> StoreBuffer {
+        StoreBuffer {
+            entries: [StoreEntry::default(); STORE_BUFFER_ENTRIES],
+            diff: [EntryDiff::default(); STORE_BUFFER_ENTRIES],
+            head: 0,
+            tainted: false,
+        }
+    }
+}
+
+fn width_mask(len: u8) -> u64 {
+    match len {
+        1 => 0xff,
+        4 => 0xffff_ffff,
+        _ => u64::MAX,
+    }
+}
+
+impl StoreBuffer {
+    /// True when any entry carries a nonzero diff (loads must consult
+    /// [`StoreBuffer::forward`], fences must drain).
+    #[inline]
+    pub fn is_tainted(&self) -> bool {
+        self.tainted
+    }
+
+    /// Records a store into the ring. The oldest slot is recycled; if a
+    /// strike left it diff-carrying, it drains to memory first (the
+    /// buffer is full, the entry retires) — that is the *capacity
+    /// drain*, and it happens in issue order by construction.
+    #[inline]
+    pub fn push(&mut self, addr: u32, len: u8, data: u64, mem: &mut PhysMem) {
+        let slot = self.head;
+        self.head = (self.head + 1) % STORE_BUFFER_ENTRIES;
+        if self.tainted && !self.diff[slot].is_zero() {
+            self.drain_slot(slot, mem);
+        }
+        self.entries[slot] = StoreEntry {
+            addr,
+            len,
+            valid: true,
+            data: data & width_mask(len),
+        };
+    }
+
+    /// Store-to-load forwarding: the youngest effective entry (shadow ⊕
+    /// diff) that is valid and matches `addr` exactly at width `len`
+    /// supplies the load's value. Partial or mixed-width overlap falls
+    /// through to memory — a modelling simplification that is exact for
+    /// the untainted case (memory already holds every pushed value) and
+    /// conservative for the tainted one.
+    ///
+    /// Only worth calling when [`StoreBuffer::is_tainted`]: an
+    /// untainted forward always equals the memory value.
+    pub fn forward(&self, addr: u32, len: u8) -> Option<u64> {
+        for i in 0..STORE_BUFFER_ENTRIES {
+            let idx = (self.head + STORE_BUFFER_ENTRIES - 1 - i) % STORE_BUFFER_ENTRIES;
+            let (e, d) = (self.entries[idx], self.diff[idx]);
+            if (e.valid ^ d.valid) && e.len == len && (e.addr ^ d.addr) == addr {
+                return Some((e.data ^ d.data) & width_mask(len));
+            }
+        }
+        None
+    }
+
+    /// Drains every diff-carrying entry to memory, oldest first, and
+    /// clears the overlay. Called at fences (SVC entry, halt, atomics):
+    /// the buffer architecturally empties, so a corrupted in-flight
+    /// store commits over the write-through value. A no-op on untainted
+    /// buffers — legacy runs never reach memory through here.
+    pub fn drain_all(&mut self, mem: &mut PhysMem) {
+        if !self.tainted {
+            return;
+        }
+        for i in 0..STORE_BUFFER_ENTRIES {
+            let idx = (self.head + i) % STORE_BUFFER_ENTRIES;
+            if !self.diff[idx].is_zero() {
+                self.drain_slot(idx, mem);
+            }
+        }
+    }
+
+    /// Writes one effective entry to memory and clears its diff. An
+    /// address strike can make the write unaligned or out of range; the
+    /// memory controller drops it (`Err` ignored), deterministically.
+    fn drain_slot(&mut self, slot: usize, mem: &mut PhysMem) {
+        let (e, d) = (self.entries[slot], self.diff[slot]);
+        if (e.valid ^ d.valid) && e.len != 0 {
+            let addr = e.addr ^ d.addr;
+            let data = (e.data ^ d.data) & width_mask(e.len);
+            let _ = match e.len {
+                1 => mem.write_u8(addr, data as u8),
+                4 => mem.write_u32(addr, data as u32),
+                _ => mem.write_u64(addr, data),
+            };
+        }
+        self.diff[slot] = EntryDiff::default();
+        self.tainted = self.diff.iter().any(|d| !d.is_zero());
+    }
+
+    /// Fault hook: XORs one bit of `entry`'s SRAM payload into the diff
+    /// overlay. `bit` wraps at [`STORE_ENTRY_BITS`] — bits 0–31 the
+    /// address, 32–95 the data word, 96 the valid bit — so an MBU burst
+    /// stays inside the struck entry. Pure XOR, hence an involution:
+    /// the same flip twice restores an all-zero diff and the buffer
+    /// compares equal to its pre-fault self.
+    pub fn flip(&mut self, entry: usize, bit: u32) {
+        let d = &mut self.diff[entry % STORE_BUFFER_ENTRIES];
+        match bit % STORE_ENTRY_BITS {
+            b @ 0..=31 => d.addr ^= 1 << b,
+            b @ 32..=95 => d.data ^= 1 << (b - 32),
+            _ => d.valid = !d.valid,
+        }
+        self.tainted = self.diff.iter().any(|d| !d.is_zero());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> PhysMem {
+        PhysMem::new(1 << 16)
+    }
+
+    #[test]
+    fn untainted_buffer_never_writes_memory_and_compares_equal() {
+        let mut m = mem();
+        let mut sb = StoreBuffer::default();
+        for i in 0..20u32 {
+            m.write_u32(i * 4, i).unwrap();
+            sb.push(i * 4, 4, u64::from(i), &mut m);
+        }
+        assert!(!sb.is_tainted());
+        let before = (0..20u32)
+            .map(|i| m.read_u32(i * 4).unwrap())
+            .collect::<Vec<_>>();
+        sb.drain_all(&mut m);
+        let after = (0..20u32)
+            .map(|i| m.read_u32(i * 4).unwrap())
+            .collect::<Vec<_>>();
+        assert_eq!(before, after);
+        // History-blind equality: a fresh buffer equals a used one.
+        assert_eq!(sb, StoreBuffer::default());
+    }
+
+    #[test]
+    fn untainted_forward_matches_memory() {
+        let mut m = mem();
+        let mut sb = StoreBuffer::default();
+        m.write_u64(0x100, 0xdead_beef_cafe_f00d).unwrap();
+        sb.push(0x100, 8, 0xdead_beef_cafe_f00d, &mut m);
+        assert_eq!(sb.forward(0x100, 8), Some(0xdead_beef_cafe_f00d));
+        assert_eq!(sb.forward(0x100, 4), None, "width mismatch falls through");
+        assert_eq!(sb.forward(0x108, 8), None);
+    }
+
+    #[test]
+    fn newest_matching_store_wins() {
+        let mut m = mem();
+        let mut sb = StoreBuffer::default();
+        sb.push(0x40, 4, 1, &mut m);
+        sb.push(0x40, 4, 2, &mut m);
+        assert_eq!(sb.forward(0x40, 4), Some(2));
+    }
+
+    #[test]
+    fn data_flip_forwards_and_drains_the_corrupted_value() {
+        let mut m = mem();
+        let mut sb = StoreBuffer::default();
+        m.write_u32(0x80, 5).unwrap();
+        sb.push(0x80, 4, 5, &mut m);
+        // Entry 0 holds the store; flip data bit 1 (layout bit 33).
+        sb.flip(0, 33);
+        assert!(sb.is_tainted());
+        assert_eq!(sb.forward(0x80, 4), Some(5 ^ 2));
+        sb.drain_all(&mut m);
+        assert_eq!(
+            m.read_u32(0x80).unwrap(),
+            5 ^ 2,
+            "drain commits the corruption"
+        );
+        assert!(!sb.is_tainted());
+    }
+
+    #[test]
+    fn capacity_push_drains_the_recycled_slot() {
+        let mut m = mem();
+        let mut sb = StoreBuffer::default();
+        m.write_u32(0, 9).unwrap();
+        sb.push(0, 4, 9, &mut m);
+        sb.flip(0, 32); // corrupt the pending store's data bit 0
+        for i in 1..=STORE_BUFFER_ENTRIES as u32 {
+            sb.push(0x1000 + i * 4, 4, 0, &mut m);
+        }
+        assert!(!sb.is_tainted(), "recycling slot 0 drained its diff");
+        assert_eq!(m.read_u32(0).unwrap(), 9 ^ 1);
+    }
+
+    #[test]
+    fn address_flip_redirects_the_drain_and_oor_is_dropped() {
+        let mut m = mem();
+        let mut sb = StoreBuffer::default();
+        m.write_u32(0x200, 7).unwrap();
+        sb.push(0x200, 4, 7, &mut m);
+        sb.flip(0, 10); // addr ^= 0x400 -> 0x600
+        sb.drain_all(&mut m);
+        assert_eq!(m.read_u32(0x200).unwrap(), 7, "write-through copy intact");
+        assert_eq!(
+            m.read_u32(0x600).unwrap(),
+            7,
+            "drain lands at the struck address"
+        );
+        // A flip past the memory bound: the drain write is dropped.
+        let mut sb = StoreBuffer::default();
+        sb.push(0x200, 4, 7, &mut m);
+        sb.flip(0, 31);
+        sb.drain_all(&mut m);
+        assert!(!sb.is_tainted());
+    }
+
+    #[test]
+    fn valid_flip_masks_the_entry() {
+        let mut m = mem();
+        let mut sb = StoreBuffer::default();
+        m.write_u32(0x300, 3).unwrap();
+        sb.push(0x300, 4, 3, &mut m);
+        sb.flip(0, 96);
+        assert_eq!(sb.forward(0x300, 4), None, "valid 1->0: no forward");
+        sb.drain_all(&mut m);
+        assert_eq!(m.read_u32(0x300).unwrap(), 3, "nothing drains");
+    }
+
+    #[test]
+    fn every_flip_is_an_involution() {
+        let mut m = mem();
+        let mut sb = StoreBuffer::default();
+        for i in 0..3u32 {
+            sb.push(i * 8, 8, u64::from(i) * 0x1111, &mut m);
+        }
+        let golden = sb.clone();
+        for entry in 0..STORE_BUFFER_ENTRIES {
+            for bit in [0, 31, 32, 63, 95, 96, 100] {
+                sb.flip(entry, bit);
+                sb.flip(entry, bit);
+                assert_eq!(sb, golden, "entry {entry} bit {bit}");
+                assert!(!sb.is_tainted());
+            }
+        }
+    }
+}

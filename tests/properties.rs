@@ -264,6 +264,8 @@ fn registry_fixture() -> (fracas_kernel::Kernel, fracas_inject::SpaceDims) {
         cache: true,
         kernelctl: true,
         skip: true,
+        storebuf: true,
+        cachedata: true,
         ..FaultSpace::default()
     };
     let dims = SpaceDims::of(IsaKind::Sira64, 2, image.text.len() as u32, &spec, space);
@@ -398,6 +400,35 @@ fn mbu_width_wraps_at_each_domains_declared_modulus() {
             FaultTarget::RunQueue { slot: 0, bit: 0 },
             FaultTarget::RunQueue { slot: 0, bit: 30 },
         ),
+        // Store-buffer MBUs wrap at the 97-bit entry: a full-width upset
+        // from any starting bit flips the whole entry and never crosses
+        // into its neighbour.
+        (
+            FaultTarget::StoreBuf {
+                core: 1,
+                entry: 2,
+                bit: 0,
+            },
+            FaultTarget::StoreBuf {
+                core: 1,
+                entry: 2,
+                bit: 42,
+            },
+        ),
+        (
+            FaultTarget::CacheData {
+                core: 0,
+                unit: 1,
+                line: 3,
+                bit: 0,
+            },
+            FaultTarget::CacheData {
+                core: 0,
+                unit: 1,
+                line: 3,
+                bit: 511,
+            },
+        ),
     ];
     for (a, b) in cases {
         let domain = domain_of(&a);
@@ -480,4 +511,6 @@ fn declared_wrap_moduli_match_the_word_widths() {
     assert_eq!(modulus("cache", IsaKind::Sira64), 40);
     assert_eq!(modulus("kernelctl", IsaKind::Sira64), 32);
     assert_eq!(modulus("skip", IsaKind::Sira64), 1);
+    assert_eq!(modulus("storebuf", IsaKind::Sira64), 97);
+    assert_eq!(modulus("cachedata", IsaKind::Sira64), 512);
 }
